@@ -1,0 +1,235 @@
+//! Agglomerative hierarchical clustering.
+//!
+//! PerfExplorer grew dendrogram views alongside k-means; this module
+//! provides average-linkage agglomerative clustering with a cut-at-k
+//! extraction, as the second mining method behind the analysis server.
+//!
+//! Complexity is O(n²·steps) with an O(n²) distance matrix — fine for the
+//! thread counts cluster analysis targets (hundreds to a few thousand);
+//! sample first for more.
+
+/// One merge step of the dendrogram: clusters `a` and `b` (ids as below)
+/// merged at `distance` into a new cluster with id `n + step`.
+///
+/// Ids 0..n are the leaves; merged clusters get ids n, n+1, ... in merge
+/// order (scipy linkage convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeStep {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Average-linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the merged cluster.
+    pub size: usize,
+}
+
+/// Result of hierarchical clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of leaves (input rows).
+    pub n: usize,
+    /// Merge steps, n−1 of them for n > 0.
+    pub merges: Vec<MergeStep>,
+}
+
+impl Dendrogram {
+    /// Cut the tree to produce exactly `k` clusters (k clamped to 1..=n).
+    /// Returns cluster indices 0..k per leaf, numbered by order of first
+    /// appearance.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        let n = self.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, n);
+        // Union-find over leaves, applying merges until k clusters remain.
+        let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut clusters = n;
+        for (step, m) in self.merges.iter().enumerate() {
+            if clusters <= k {
+                break;
+            }
+            let new_id = n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+            clusters -= 1;
+        }
+        // Relabel roots densely in order of first appearance.
+        let mut labels = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for leaf in 0..n {
+            let root = find(&mut parent, leaf);
+            let next = labels.len();
+            let label = *labels.entry(root).or_insert(next);
+            out.push(label);
+        }
+        out
+    }
+
+    /// The distance of the final merge (tree height); 0.0 for n < 2.
+    pub fn height(&self) -> f64 {
+        self.merges.last().map(|m| m.distance).unwrap_or(0.0)
+    }
+}
+
+/// Average-linkage agglomerative clustering over row-major data.
+pub fn hierarchical(data: &[Vec<f64>]) -> Dendrogram {
+    let n = data.len();
+    if n == 0 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+    // Active clusters: id, member leaf indices.
+    let mut active: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    // Pairwise distances between *points*.
+    let dist = |a: usize, b: usize| -> f64 {
+        data[a]
+            .iter()
+            .zip(&data[b])
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    // Average-linkage between member lists.
+    let linkage = |ma: &[usize], mb: &[usize]| -> f64 {
+        let mut s = 0.0;
+        for &a in ma {
+            for &b in mb {
+                s += dist(a, b);
+            }
+        }
+        s / (ma.len() * mb.len()) as f64
+    };
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+    while active.len() > 1 {
+        // find the closest pair
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..active.len() {
+            for j in (i + 1)..active.len() {
+                let d = linkage(&active[i].1, &active[j].1);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, d) = best;
+        let (id_b, members_b) = active.remove(j);
+        let (id_a, members_a) = active.remove(i);
+        let mut merged = members_a;
+        merged.extend(members_b);
+        merges.push(MergeStep {
+            a: id_a,
+            b: id_b,
+            distance: d,
+            size: merged.len(),
+        });
+        active.push((next_id, merged));
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [(0.0, 0.0), (10.0, 10.0), (-8.0, 6.0)].iter().enumerate() {
+            for i in 0..8 {
+                data.push(vec![
+                    center.0 + (i as f64 * 0.13).sin() * 0.5,
+                    center.1 + (i as f64 * 0.31).cos() * 0.5,
+                ]);
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn recovers_blobs_at_k3() {
+        let (data, truth) = blobs();
+        let tree = hierarchical(&data);
+        assert_eq!(tree.merges.len(), data.len() - 1);
+        let cut = tree.cut(3);
+        assert_eq!(
+            crate::kmeans::adjusted_rand_index(&cut, &truth),
+            1.0
+        );
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let (data, _) = blobs();
+        let tree = hierarchical(&data);
+        let all_one = tree.cut(1);
+        assert!(all_one.iter().all(|&c| c == 0));
+        let singletons = tree.cut(usize::MAX);
+        let distinct: std::collections::HashSet<_> = singletons.iter().collect();
+        assert_eq!(distinct.len(), data.len());
+    }
+
+    #[test]
+    fn merge_distances_monotone_for_average_linkage_on_blobs() {
+        // not guaranteed in general for average linkage, but holds for
+        // well-separated blobs: within-cluster merges precede between-
+        // cluster ones
+        let (data, _) = blobs();
+        let tree = hierarchical(&data);
+        let within_max = tree.merges[..data.len() - 3]
+            .iter()
+            .map(|m| m.distance)
+            .fold(0.0f64, f64::max);
+        let between_min = tree.merges[data.len() - 3..]
+            .iter()
+            .map(|m| m.distance)
+            .fold(f64::INFINITY, f64::min);
+        assert!(within_max < between_min);
+        assert!(tree.height() >= between_min);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = hierarchical(&[]);
+        assert!(empty.cut(3).is_empty());
+        let single = hierarchical(&[vec![1.0]]);
+        assert_eq!(single.cut(2), vec![0]);
+        assert_eq!(single.height(), 0.0);
+        // identical points still produce a full tree
+        let same = hierarchical(&vec![vec![2.0, 2.0]; 5]);
+        assert_eq!(same.merges.len(), 4);
+        assert_eq!(same.cut(2).len(), 5);
+    }
+
+    #[test]
+    fn sizes_track_merges() {
+        let (data, _) = blobs();
+        let tree = hierarchical(&data);
+        assert_eq!(tree.merges.last().unwrap().size, data.len());
+        for m in &tree.merges {
+            assert!(m.size >= 2);
+        }
+    }
+}

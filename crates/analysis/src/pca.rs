@@ -1,0 +1,262 @@
+//! Principal component analysis via cyclic Jacobi eigendecomposition.
+//!
+//! PerfExplorer reduces hundreds of event/metric dimensions before
+//! clustering ("current visualization tools are incapable of displaying
+//! thousands of data points with hundreds of dimensions", §5.3). PCA is
+//! the standard reduction; the R backend the paper used provides it via
+//! `prcomp`, and this module is its Rust stand-in.
+
+/// PCA result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// Column means of the input (used to center projections).
+    pub means: Vec<f64>,
+    /// Eigenvalues (variances along components), descending.
+    pub eigenvalues: Vec<f64>,
+    /// Principal axes, one row per component (orthonormal).
+    pub components: Vec<Vec<f64>>,
+}
+
+impl Pca {
+    /// Fraction of total variance captured by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|&e| e / total).collect()
+    }
+
+    /// Project rows onto the first `k` components.
+    pub fn transform(&self, data: &[Vec<f64>], k: usize) -> Vec<Vec<f64>> {
+        let k = k.min(self.components.len());
+        data.iter()
+            .map(|row| {
+                (0..k)
+                    .map(|c| {
+                        row.iter()
+                            .zip(&self.means)
+                            .zip(&self.components[c])
+                            .map(|((&x, &m), &w)| (x - m) * w)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Fit PCA on row-major data (`n × d`). Returns `None` for fewer than two
+/// rows or empty dimensions.
+pub fn pca(data: &[Vec<f64>]) -> Option<Pca> {
+    let n = data.len();
+    if n < 2 {
+        return None;
+    }
+    let d = data[0].len();
+    if d == 0 {
+        return None;
+    }
+    // column means
+    let mut means = vec![0.0f64; d];
+    for row in data {
+        for (m, &x) in means.iter_mut().zip(row) {
+            *m += x;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    // covariance matrix (d × d)
+    let mut cov = vec![vec![0.0f64; d]; d];
+    for row in data {
+        for i in 0..d {
+            let xi = row[i] - means[i];
+            for j in i..d {
+                cov[i][j] += xi * (row[j] - means[j]);
+            }
+        }
+    }
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= (n - 1) as f64;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
+    // sort descending by eigenvalue
+    let mut order: Vec<usize> = (0..d).collect();
+    order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| eigenvalues[i].max(0.0)).collect();
+    let components: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&i| eigenvectors.iter().map(|row| row[i]).collect())
+        .collect();
+    Some(Pca {
+        means,
+        eigenvalues,
+        components,
+    })
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Returns (eigenvalues, eigenvector matrix with eigenvectors as columns).
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0f64; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    const MAX_SWEEPS: usize = 64;
+    for _ in 0..MAX_SWEEPS {
+        // off-diagonal magnitude
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // rotate A
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                // rotate V
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    (eigenvalues, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along y = 2x with tiny perpendicular noise.
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let noise = ((i * 7919) % 13) as f64 / 1000.0;
+                vec![t - noise * 2.0, 2.0 * t + noise]
+            })
+            .collect();
+        let p = pca(&data).unwrap();
+        let ratio = p.explained_variance_ratio();
+        assert!(ratio[0] > 0.99, "{ratio:?}");
+        // first component parallel to (1, 2)/√5
+        let c = &p.components[0];
+        let dot = (c[0] + 2.0 * c[1]).abs() / 5.0f64.sqrt();
+        assert!((dot - 1.0).abs() < 1e-3, "component {c:?}");
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_nonnegative() {
+        let data: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x = (i as f64).sin() * 5.0;
+                let y = (i as f64).cos() * 2.0;
+                let z = (i as f64 * 0.5).sin();
+                vec![x, y, z]
+            })
+            .collect();
+        let p = pca(&data).unwrap();
+        assert_eq!(p.eigenvalues.len(), 3);
+        for w in p.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(p.eigenvalues.iter().all(|&e| e >= 0.0));
+        // total variance preserved: sum of eigenvalues == trace of cov
+        let d = 3;
+        let n = data.len();
+        let mut means = vec![0.0; d];
+        for row in &data {
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        let mut trace = 0.0;
+        for j in 0..d {
+            trace += data
+                .iter()
+                .map(|r| (r[j] - means[j]).powi(2))
+                .sum::<f64>()
+                / (n - 1) as f64;
+        }
+        let total: f64 = p.eigenvalues.iter().sum();
+        assert!((total - trace).abs() < 1e-9 * (1.0 + trace));
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i * i % 17) as f64, ((i * 31) % 7) as f64])
+            .collect();
+        let p = pca(&data).unwrap();
+        for i in 0..3 {
+            let norm: f64 = p.components[i].iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-9);
+            for j in (i + 1)..3 {
+                let dot: f64 = p.components[i]
+                    .iter()
+                    .zip(&p.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transform_reduces_dimensions() {
+        let data: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let p = pca(&data).unwrap();
+        let projected = p.transform(&data, 1);
+        assert_eq!(projected.len(), 20);
+        assert_eq!(projected[0].len(), 1);
+        // projections preserve ordering along the line
+        for w in projected.windows(2) {
+            assert!((w[1][0] - w[0][0]).abs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pca(&[]).is_none());
+        assert!(pca(&[vec![1.0]]).is_none());
+        assert!(pca(&[vec![], vec![]]).is_none());
+        // constant data: zero variance, no panic
+        let p = pca(&[vec![3.0, 3.0], vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        assert!(p.eigenvalues.iter().all(|&e| e.abs() < 1e-12));
+        assert_eq!(p.explained_variance_ratio(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * secondary indexes vs full scans (index pushdown),
+//! * prepared statements vs per-row parsing (the bulk-load fast path),
+//! * transactions vs autocommit for bulk inserts,
+//! * hash join vs nested-loop join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfdmf_db::{Connection, Value};
+
+fn table_with_rows(n: usize, indexed: bool) -> Connection {
+    let conn = Connection::open_in_memory();
+    conn.execute(
+        "CREATE TABLE m (id INTEGER PRIMARY KEY AUTO_INCREMENT, k INTEGER, v DOUBLE)",
+        &[],
+    )
+    .expect("ddl");
+    let ins = conn.prepare("INSERT INTO m (k, v) VALUES (?, ?)").expect("prep");
+    conn.transaction(|tx| {
+        for i in 0..n {
+            tx.execute_prepared(
+                &ins,
+                &[Value::Int((i % 512) as i64), Value::Float(i as f64)],
+            )?;
+        }
+        Ok(())
+    })
+    .expect("fill");
+    if indexed {
+        conn.execute("CREATE INDEX ix_k ON m (k)", &[]).expect("index");
+    }
+    conn
+}
+
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_index_pushdown");
+    group.sample_size(30);
+    for n in [10_000usize, 100_000] {
+        for (label, indexed) in [("scan", false), ("indexed", true)] {
+            let conn = table_with_rows(n, indexed);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        conn.query("SELECT v FROM m WHERE k = ?", &[Value::Int(7)])
+                            .expect("query")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_prepared_vs_parsed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prepared_statements");
+    group.sample_size(10);
+    const ROWS: usize = 5_000;
+    group.bench_function("parse_per_row", |b| {
+        b.iter(|| {
+            let conn = Connection::open_in_memory();
+            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[]).unwrap();
+            conn.transaction(|tx| {
+                for i in 0..ROWS {
+                    tx.execute(
+                        "INSERT INTO t (a, b) VALUES (?, ?)",
+                        &[Value::Int(i as i64), Value::Float(i as f64)],
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+    group.bench_function("prepared_once", |b| {
+        b.iter(|| {
+            let conn = Connection::open_in_memory();
+            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[]).unwrap();
+            let ins = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
+            conn.transaction(|tx| {
+                for i in 0..ROWS {
+                    tx.execute_prepared(
+                        &ins,
+                        &[Value::Int(i as i64), Value::Float(i as f64)],
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_txn_vs_autocommit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_transaction_batching");
+    group.sample_size(10);
+    const ROWS: usize = 2_000;
+    group.bench_function("autocommit_each_row", |b| {
+        b.iter(|| {
+            let conn = Connection::open_in_memory();
+            conn.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+            let ins = conn.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
+            for i in 0..ROWS {
+                conn.execute_prepared(&ins, &[Value::Int(i as i64)]).unwrap();
+            }
+        });
+    });
+    group.bench_function("one_transaction", |b| {
+        b.iter(|| {
+            let conn = Connection::open_in_memory();
+            conn.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
+            let ins = conn.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
+            conn.transaction(|tx| {
+                for i in 0..ROWS {
+                    tx.execute_prepared(&ins, &[Value::Int(i as i64)])?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_hash_vs_nested_join(c: &mut Criterion) {
+    let conn = Connection::open_in_memory();
+    conn.execute("CREATE TABLE l (k INTEGER)", &[]).unwrap();
+    conn.execute("CREATE TABLE r (k INTEGER)", &[]).unwrap();
+    let il = conn.prepare("INSERT INTO l VALUES (?)").unwrap();
+    let ir = conn.prepare("INSERT INTO r VALUES (?)").unwrap();
+    conn.transaction(|tx| {
+        for i in 0..2_000 {
+            tx.execute_prepared(&il, &[Value::Int(i % 101)])?;
+            tx.execute_prepared(&ir, &[Value::Int(i % 101)])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let mut group = c.benchmark_group("ablation_join_strategy");
+    group.sample_size(10);
+    group.bench_function("hash_join_equi", |b| {
+        b.iter(|| {
+            conn.query("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k", &[])
+                .unwrap()
+        });
+    });
+    group.bench_function("nested_loop_nonequi_form", |b| {
+        b.iter(|| {
+            conn.query("SELECT COUNT(*) FROM l JOIN r ON l.k - r.k = 0", &[])
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_vs_scan,
+    bench_prepared_vs_parsed,
+    bench_txn_vs_autocommit,
+    bench_hash_vs_nested_join
+);
+criterion_main!(benches);

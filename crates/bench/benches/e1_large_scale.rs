@@ -1,0 +1,91 @@
+//! Experiment E1 — large-scale profile handling (paper §3.1 / §5.3).
+//!
+//! Paper claim: "101 events on 16K processors ... 1.6 million data
+//! points, and the PerfDMF API was able to handle the data without
+//! problems." This bench sweeps Miranda-shaped trials over processor
+//! counts and measures the three pipeline stages: store into the DBMS,
+//! full trial load, and a node-selective load. Expected shape: all three
+//! scale ~linearly in data points (the 16K point itself is exercised by
+//! `examples/large_scale_miranda.rs --full`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use perfdmf_bench::store_fresh;
+use perfdmf_core::{load_trial, load_trial_filtered, LoadFilter};
+use perfdmf_workload::MirandaModel;
+
+fn bench_store(c: &mut Criterion) {
+    let model = MirandaModel::default();
+    let mut group = c.benchmark_group("e1_store");
+    group.sample_size(10);
+    for procs in [64usize, 256, 1024] {
+        let profile = model.generate(procs);
+        let points = profile.data_point_count() as u64;
+        group.throughput(Throughput::Elements(points));
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &profile, |b, p| {
+            b.iter(|| store_fresh(p));
+        });
+    }
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let model = MirandaModel::default();
+    let mut group = c.benchmark_group("e1_load_full");
+    group.sample_size(10);
+    for procs in [64usize, 256, 1024] {
+        let profile = model.generate(procs);
+        let points = profile.data_point_count() as u64;
+        let (conn, trial) = store_fresh(&profile);
+        group.throughput(Throughput::Elements(points));
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &(), |b, _| {
+            b.iter(|| load_trial(&conn, trial).expect("load"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_selective_load(c: &mut Criterion) {
+    let model = MirandaModel::default();
+    let mut group = c.benchmark_group("e1_load_one_node");
+    for procs in [256usize, 1024, 4096] {
+        let profile = model.generate(procs);
+        let (conn, trial) = store_fresh(&profile);
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &(), |b, _| {
+            b.iter(|| {
+                load_trial_filtered(
+                    &conn,
+                    trial,
+                    &LoadFilter {
+                        node: Some(0),
+                        ..Default::default()
+                    },
+                )
+                .expect("filtered load")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let model = MirandaModel::default();
+    let mut group = c.benchmark_group("e1_total_summary");
+    for procs in [1024usize, 4096, 16384] {
+        let profile = model.generate(procs);
+        let m = profile.find_metric("WALL_CLOCK").expect("metric");
+        group.throughput(Throughput::Elements(profile.data_point_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &(), |b, _| {
+            b.iter(|| profile.total_summary(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store,
+    bench_load,
+    bench_selective_load,
+    bench_summaries
+);
+criterion_main!(benches);

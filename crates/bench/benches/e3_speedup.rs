@@ -1,0 +1,74 @@
+//! Experiment E3 — speedup analysis cost (paper §5.2).
+//!
+//! Measures building the per-routine min/mean/max speedup table and the
+//! application-level Amdahl fit over EVH1-style trial series. Expected
+//! shape: cost grows with routine count × trial count × thread count, and
+//! stays interactive (well under a second) at study scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfdmf_analysis::SpeedupAnalysis;
+use perfdmf_workload::Evh1Model;
+
+fn build_analysis(max_procs: usize) -> SpeedupAnalysis {
+    let model = Evh1Model::default_mix(17);
+    let mut analysis = SpeedupAnalysis::new("GET_TIME_OF_DAY");
+    let mut p = 1usize;
+    while p <= max_procs {
+        analysis.add_trial(p, model.generate(p));
+        p *= 2;
+    }
+    analysis
+}
+
+fn bench_routine_speedups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_routine_speedups");
+    for max_procs in [8usize, 32, 128] {
+        let analysis = build_analysis(max_procs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_procs),
+            &analysis,
+            |b, a| {
+                b.iter(|| a.routine_speedups());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_application_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_application_scaling");
+    for max_procs in [8usize, 32, 128] {
+        let analysis = build_analysis(max_procs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_procs),
+            &analysis,
+            |b, a| {
+                b.iter(|| a.application_scaling().expect("scaling"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_comparison_algebra(c: &mut Criterion) {
+    // the CUBE-style diff over two large trials
+    let model = Evh1Model::default_mix(23);
+    let a = model.generate(64);
+    let b_trial = model.generate(128);
+    let mut group = c.benchmark_group("e3_trial_diff");
+    group.bench_function("diff_64_vs_128", |b| {
+        b.iter(|| perfdmf_analysis::diff(&a, &b_trial));
+    });
+    group.bench_function("merge_64_128", |b| {
+        b.iter(|| perfdmf_analysis::merge(&a, &b_trial));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routine_speedups,
+    bench_application_scaling,
+    bench_comparison_algebra
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment E5 — flexible-schema operations (paper §3.2).
+//!
+//! Measures the cost of the operations that make the schema "flexible":
+//! ALTER TABLE ADD/DROP COLUMN on a populated trial table, runtime
+//! metadata discovery, and FlexRow save/load. Expected shape: ALTER cost
+//! is linear in row count (every row is rewritten); metadata discovery is
+//! O(columns) and effectively free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfdmf_core::{create_schema, FlexRow};
+use perfdmf_db::{Connection, Value};
+
+fn populated(rows: usize) -> Connection {
+    let conn = Connection::open_in_memory();
+    create_schema(&conn).expect("schema");
+    let mut app = FlexRow::new("app");
+    let app_id = app.save(&conn, "application").expect("app");
+    let mut exp = FlexRow::new("exp").with_field("application", app_id);
+    let exp_id = exp.save(&conn, "experiment").expect("exp");
+    let ins = conn
+        .prepare("INSERT INTO trial (experiment, name, node_count) VALUES (?, ?, ?)")
+        .expect("prepare");
+    conn.transaction(|tx| {
+        for i in 0..rows {
+            tx.execute_prepared(
+                &ins,
+                &[
+                    Value::Int(exp_id),
+                    Value::Text(format!("t{i}")),
+                    Value::Int((i % 1024) as i64),
+                ],
+            )?;
+        }
+        Ok(())
+    })
+    .expect("populate");
+    conn
+}
+
+fn bench_alter_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_alter_add_drop");
+    group.sample_size(20);
+    for rows in [100usize, 1000, 10000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            let conn = populated(rows);
+            b.iter(|| {
+                conn.execute(
+                    "ALTER TABLE trial ADD COLUMN scratch TEXT DEFAULT 'x'",
+                    &[],
+                )
+                .expect("add");
+                conn.execute("ALTER TABLE trial DROP COLUMN scratch", &[])
+                    .expect("drop");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_metadata_discovery(c: &mut Criterion) {
+    let conn = populated(100);
+    // widen the table so discovery walks a realistic column set
+    for i in 0..12 {
+        conn.execute(
+            &format!("ALTER TABLE trial ADD COLUMN meta_{i} TEXT"),
+            &[],
+        )
+        .expect("widen");
+    }
+    c.bench_function("e5_table_meta", |b| {
+        b.iter(|| conn.table_meta("trial").expect("meta"));
+    });
+}
+
+fn bench_flexrow_save_load(c: &mut Criterion) {
+    let conn = populated(10);
+    conn.execute("ALTER TABLE application ADD COLUMN compiler TEXT", &[])
+        .expect("alter");
+    let mut group = c.benchmark_group("e5_flexrow");
+    group.bench_function("save_insert", |b| {
+        b.iter(|| {
+            let mut row = FlexRow::new("bench-app").with_field("compiler", "xlf");
+            row.save(&conn, "application").expect("save")
+        });
+    });
+    let mut row = FlexRow::new("the-one").with_field("compiler", "gcc");
+    let id = row.save(&conn, "application").expect("save");
+    group.bench_function("load", |b| {
+        b.iter(|| FlexRow::load(&conn, "application", id).expect("load"));
+    });
+    group.bench_function("save_update", |b| {
+        b.iter(|| {
+            row.set_field("compiler", "icc");
+            row.save(&conn, "application").expect("update")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alter_table,
+    bench_metadata_discovery,
+    bench_flexrow_save_load
+);
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! Archive exchange: dump and restore whole performance archives.
+//!
+//! The paper's §6–7 discuss sharing performance data across sites
+//! (PPerfDB/PPerfXchange interoperation, "a central repository of
+//! performance information contributed to and shared by several
+//! groups"). This module implements that exchange surface: an archive
+//! directory containing one PerfDMF-XML file per trial plus a manifest
+//! carrying the application/experiment hierarchy and all flexible
+//! metadata columns.
+//!
+//! ```text
+//! archive-dir/
+//!   manifest.xml       # hierarchy + metadata (incl. runtime columns)
+//!   trial_<id>.xml     # one PerfDMF exchange document per trial
+//! ```
+//!
+//! `restore_archive` merges into the target database: applications and
+//! experiments are matched by name (created if absent), trials are always
+//! created fresh, and metadata columns missing from the target's flexible
+//! schema are added on the fly.
+
+use crate::objects::FlexRow;
+use crate::schema::create_schema;
+use crate::upload::{load_trial, save_profile};
+use perfdmf_db::{Connection, DataType, DbError, Result, Value};
+use perfdmf_xml::{Element, Writer};
+use std::path::Path;
+
+fn storage_err(e: impl std::fmt::Display) -> DbError {
+    DbError::Storage(e.to_string())
+}
+
+fn value_to_attr(v: &Value) -> (String, String) {
+    let ty = match v {
+        Value::Int(_) => "int",
+        Value::Float(_) => "float",
+        Value::Bool(_) => "bool",
+        Value::Null => "null",
+        _ => "text",
+    };
+    (ty.to_string(), v.to_string())
+}
+
+fn attr_to_value(ty: &str, raw: &str) -> Value {
+    match ty {
+        "int" => raw.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        "float" => raw.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+        "bool" => Value::Bool(raw == "true"),
+        "null" => Value::Null,
+        _ => Value::Text(raw.to_string()),
+    }
+}
+
+fn write_fields(w: &mut Writer<'_>, row: &FlexRow) -> perfdmf_xml::Result<()> {
+    for (name, value) in &row.fields {
+        if value.is_null() {
+            continue;
+        }
+        let (ty, text) = value_to_attr(value);
+        w.begin("field")?;
+        w.attr("name", name)?;
+        w.attr("type", &ty)?;
+        w.attr("value", &text)?;
+        w.end()?;
+    }
+    Ok(())
+}
+
+/// Dump every trial of the database into `dir`. Returns the trial count.
+pub fn dump_archive(conn: &Connection, dir: &Path) -> Result<usize> {
+    std::fs::create_dir_all(dir).map_err(storage_err)?;
+    let mut manifest = String::new();
+    let mut w = Writer::new(&mut manifest);
+    w.declaration().map_err(storage_err)?;
+    w.begin("perfdmf_archive").map_err(storage_err)?;
+    w.attr("version", "1").map_err(storage_err)?;
+
+    let apps = conn.query("SELECT id FROM application ORDER BY id", &[])?;
+    let mut trials_written = 0usize;
+    for app_row in &apps.rows {
+        let app_id = app_row[0].as_int().expect("pk");
+        let app = FlexRow::load(conn, "application", app_id)?;
+        w.begin("application").map_err(storage_err)?;
+        w.attr("name", &app.name).map_err(storage_err)?;
+        write_fields(&mut w, &app).map_err(storage_err)?;
+        let exps = conn.query(
+            "SELECT id FROM experiment WHERE application = ? ORDER BY id",
+            &[Value::Int(app_id)],
+        )?;
+        for exp_row in &exps.rows {
+            let exp_id = exp_row[0].as_int().expect("pk");
+            let mut exp = FlexRow::load(conn, "experiment", exp_id)?;
+            exp.fields.remove("application"); // re-linked on restore
+            w.begin("experiment").map_err(storage_err)?;
+            w.attr("name", &exp.name).map_err(storage_err)?;
+            write_fields(&mut w, &exp).map_err(storage_err)?;
+            let trials = conn.query(
+                "SELECT id FROM trial WHERE experiment = ? ORDER BY id",
+                &[Value::Int(exp_id)],
+            )?;
+            for trial_row in &trials.rows {
+                let trial_id = trial_row[0].as_int().expect("pk");
+                let mut trial = FlexRow::load(conn, "trial", trial_id)?;
+                trial.fields.remove("experiment");
+                let file = format!("trial_{trial_id}.xml");
+                w.begin("trial").map_err(storage_err)?;
+                w.attr("name", &trial.name).map_err(storage_err)?;
+                w.attr("file", &file).map_err(storage_err)?;
+                write_fields(&mut w, &trial).map_err(storage_err)?;
+                w.end().map_err(storage_err)?; // trial
+                let profile = load_trial(conn, trial_id)?;
+                std::fs::write(dir.join(&file), perfdmf_import::export_xml(&profile))
+                    .map_err(storage_err)?;
+                trials_written += 1;
+            }
+            w.end().map_err(storage_err)?; // experiment
+        }
+        w.end().map_err(storage_err)?; // application
+    }
+    w.end().map_err(storage_err)?;
+    w.finish().map_err(storage_err)?;
+    std::fs::write(dir.join("manifest.xml"), manifest).map_err(storage_err)?;
+    Ok(trials_written)
+}
+
+fn apply_fields(
+    conn: &Connection,
+    table: &str,
+    row: &mut FlexRow,
+    element: &Element,
+) -> Result<()> {
+    for f in element.children_named("field") {
+        let name = f.attr("name").unwrap_or_default().to_ascii_lowercase();
+        if name.is_empty() || name == "id" || name == "name" {
+            continue;
+        }
+        let value = attr_to_value(f.attr("type").unwrap_or("text"), f.attr("value").unwrap_or(""));
+        // Flexible schema: grow the target table when the column is new.
+        let known = conn
+            .table_meta(table)?
+            .iter()
+            .any(|c| c.name == name);
+        if !known {
+            let sql_ty = match value {
+                Value::Int(_) => DataType::Integer,
+                Value::Float(_) => DataType::Double,
+                Value::Bool(_) => DataType::Boolean,
+                _ => DataType::Text,
+            };
+            conn.execute(
+                &format!("ALTER TABLE {table} ADD COLUMN {name} {}", sql_ty.sql_name()),
+                &[],
+            )?;
+        }
+        row.set_field(name, value);
+    }
+    Ok(())
+}
+
+/// Restore an archive dumped by [`dump_archive`] into a database.
+/// Returns the new trial ids.
+pub fn restore_archive(conn: &Connection, dir: &Path) -> Result<Vec<i64>> {
+    create_schema(conn)?;
+    let manifest = std::fs::read_to_string(dir.join("manifest.xml")).map_err(storage_err)?;
+    let doc = Element::parse(&manifest).map_err(storage_err)?;
+    if doc.name != "perfdmf_archive" {
+        return Err(DbError::Corrupt(format!(
+            "manifest root is <{}>, expected <perfdmf_archive>",
+            doc.name
+        )));
+    }
+    let mut new_trials = Vec::new();
+    for app_el in doc.children_named("application") {
+        let app_name = app_el.attr("name").unwrap_or("imported");
+        let app_id = match conn
+            .query(
+                "SELECT id FROM application WHERE name = ?",
+                &[Value::Text(app_name.into())],
+            )?
+            .scalar()
+            .and_then(Value::as_int)
+        {
+            Some(id) => id,
+            None => {
+                let mut app = FlexRow::new(app_name);
+                apply_fields(conn, "application", &mut app, app_el)?;
+                app.save(conn, "application")?
+            }
+        };
+        for exp_el in app_el.children_named("experiment") {
+            let exp_name = exp_el.attr("name").unwrap_or("imported");
+            let exp_id = match conn
+                .query(
+                    "SELECT id FROM experiment WHERE name = ? AND application = ?",
+                    &[Value::Text(exp_name.into()), Value::Int(app_id)],
+                )?
+                .scalar()
+                .and_then(Value::as_int)
+            {
+                Some(id) => id,
+                None => {
+                    let mut exp = FlexRow::new(exp_name).with_field("application", app_id);
+                    apply_fields(conn, "experiment", &mut exp, exp_el)?;
+                    exp.save(conn, "experiment")?
+                }
+            };
+            for trial_el in exp_el.children_named("trial") {
+                let file = trial_el.attr("file").ok_or_else(|| {
+                    DbError::Corrupt("trial element missing file attribute".into())
+                })?;
+                let xml = std::fs::read_to_string(dir.join(file)).map_err(storage_err)?;
+                let profile = perfdmf_import::import_xml(&xml)
+                    .map_err(|e| DbError::Corrupt(e.to_string()))?;
+                let mut trial = FlexRow::new(trial_el.attr("name").unwrap_or(&profile.name))
+                    .with_field("experiment", exp_id);
+                apply_fields(conn, "trial", &mut trial, trial_el)?;
+                let trial_id = trial.save(conn, "trial")?;
+                save_profile(conn, trial_id, &profile)?;
+                new_trials.push(trial_id);
+            }
+        }
+    }
+    Ok(new_trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::DatabaseSession;
+    use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+
+    fn trial_profile(name: &str, v: f64) -> Profile {
+        let mut p = Profile::new(name);
+        p.source_format = "tau".into();
+        let m = p.add_metric(Metric::measured("TIME"));
+        let e = p.add_event(IntervalEvent::new("main", "TAU_USER"));
+        p.add_threads((0..2).map(|n| ThreadId::new(n, 0, 0)));
+        for &t in p.threads().to_vec().iter() {
+            p.set_interval(e, t, m, IntervalData::new(v, v, 1.0, 0.0));
+        }
+        p
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "pdmf_archive_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn dump_restore_roundtrip_with_metadata() {
+        let src = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(src.clone()).unwrap();
+        session.store_profile("evh1", "scaling", &trial_profile("p1", 10.0)).unwrap();
+        session.store_profile("evh1", "scaling", &trial_profile("p2", 6.0)).unwrap();
+        session.store_profile("sppm", "counters", &trial_profile("c1", 3.0)).unwrap();
+        // flexible metadata travels with the archive
+        src.execute("ALTER TABLE trial ADD COLUMN machine TEXT", &[]).unwrap();
+        src.update("UPDATE trial SET machine = 'frost' WHERE id = 1", &[]).unwrap();
+
+        let dir = tmpdir("roundtrip");
+        let n = dump_archive(&src, &dir).unwrap();
+        assert_eq!(n, 3);
+        assert!(dir.join("manifest.xml").exists());
+        assert!(dir.join("trial_1.xml").exists());
+
+        let dst = Connection::open_in_memory();
+        let ids = restore_archive(&dst, &dir).unwrap();
+        assert_eq!(ids.len(), 3);
+        // hierarchy re-created
+        assert_eq!(dst.row_count("application").unwrap(), 2);
+        assert_eq!(dst.row_count("experiment").unwrap(), 2);
+        // machine column grown on the fly and populated
+        let rs = dst
+            .query("SELECT machine FROM trial WHERE name = 'p1'", &[])
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::from("frost")));
+        // profile data intact
+        let back = load_trial(&dst, ids[0]).unwrap();
+        let m = back.find_metric("TIME").unwrap();
+        let e = back.find_event("main").unwrap();
+        assert_eq!(back.interval(e, ThreadId::ZERO, m).unwrap().inclusive(), Some(10.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_merges_into_existing_hierarchy() {
+        let src = Connection::open_in_memory();
+        let mut s1 = DatabaseSession::new(src.clone()).unwrap();
+        s1.store_profile("evh1", "scaling", &trial_profile("siteA", 1.0)).unwrap();
+        let dir = tmpdir("merge");
+        dump_archive(&src, &dir).unwrap();
+
+        let dst = Connection::open_in_memory();
+        let mut s2 = DatabaseSession::new(dst.clone()).unwrap();
+        s2.store_profile("evh1", "scaling", &trial_profile("siteB", 2.0)).unwrap();
+        restore_archive(&dst, &dir).unwrap();
+        // same app/exp reused, both trials present
+        assert_eq!(dst.row_count("application").unwrap(), 1);
+        assert_eq!(dst.row_count("experiment").unwrap(), 1);
+        assert_eq!(dst.row_count("trial").unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_bad_manifest() {
+        let dir = tmpdir("bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.xml"), "<wrong/>").unwrap();
+        let dst = Connection::open_in_memory();
+        assert!(restore_archive(&dst, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

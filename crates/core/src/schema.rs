@@ -1,0 +1,166 @@
+//! The PerfDMF relational schema (paper §3.2).
+//!
+//! ```text
+//! APPLICATION ──< EXPERIMENT ──< TRIAL ──< METRIC
+//!                                      ├──< INTERVAL_EVENT ──< INTERVAL_LOCATION_PROFILE
+//!                                      │                   ├──< INTERVAL_TOTAL_SUMMARY
+//!                                      │                   └──< INTERVAL_MEAN_SUMMARY
+//!                                      └──< ATOMIC_EVENT ──< ATOMIC_LOCATION_PROFILE
+//! ```
+//!
+//! APPLICATION / EXPERIMENT / TRIAL have the paper's *flexible schema*:
+//! beyond the required `id`, `name`, and foreign-key columns, metadata
+//! columns may be added or removed at runtime (`ALTER TABLE`) and are
+//! discovered through [`perfdmf_db::Connection::table_meta`] — no source
+//! changes required.
+
+use perfdmf_db::{Connection, Result};
+
+/// DDL statements creating the PerfDMF schema.
+pub const SCHEMA_DDL: &[&str] = &[
+    "CREATE TABLE IF NOT EXISTS application (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        name TEXT NOT NULL,
+        version TEXT,
+        description TEXT)",
+    "CREATE TABLE IF NOT EXISTS experiment (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        application INTEGER NOT NULL REFERENCES application(id),
+        name TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS trial (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        experiment INTEGER NOT NULL REFERENCES experiment(id),
+        name TEXT NOT NULL,
+        date TEXT,
+        node_count INTEGER,
+        contexts_per_node INTEGER,
+        threads_per_context INTEGER,
+        problem_definition TEXT,
+        source_format TEXT)",
+    "CREATE TABLE IF NOT EXISTS metric (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        trial INTEGER NOT NULL REFERENCES trial(id),
+        name TEXT NOT NULL,
+        derived BOOLEAN DEFAULT FALSE)",
+    "CREATE TABLE IF NOT EXISTS interval_event (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        trial INTEGER NOT NULL REFERENCES trial(id),
+        name TEXT NOT NULL,
+        group_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS interval_location_profile (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        interval_event INTEGER NOT NULL REFERENCES interval_event(id),
+        metric INTEGER NOT NULL REFERENCES metric(id),
+        node INTEGER NOT NULL,
+        context INTEGER NOT NULL,
+        thread INTEGER NOT NULL,
+        inclusive DOUBLE,
+        inclusive_percentage DOUBLE,
+        exclusive DOUBLE,
+        exclusive_percentage DOUBLE,
+        inclusive_per_call DOUBLE,
+        num_calls DOUBLE,
+        num_subrs DOUBLE)",
+    "CREATE TABLE IF NOT EXISTS interval_total_summary (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        interval_event INTEGER NOT NULL REFERENCES interval_event(id),
+        metric INTEGER NOT NULL REFERENCES metric(id),
+        inclusive DOUBLE,
+        inclusive_percentage DOUBLE,
+        exclusive DOUBLE,
+        exclusive_percentage DOUBLE,
+        inclusive_per_call DOUBLE,
+        num_calls DOUBLE,
+        num_subrs DOUBLE)",
+    "CREATE TABLE IF NOT EXISTS interval_mean_summary (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        interval_event INTEGER NOT NULL REFERENCES interval_event(id),
+        metric INTEGER NOT NULL REFERENCES metric(id),
+        inclusive DOUBLE,
+        inclusive_percentage DOUBLE,
+        exclusive DOUBLE,
+        exclusive_percentage DOUBLE,
+        inclusive_per_call DOUBLE,
+        num_calls DOUBLE,
+        num_subrs DOUBLE)",
+    "CREATE TABLE IF NOT EXISTS atomic_event (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        trial INTEGER NOT NULL REFERENCES trial(id),
+        name TEXT NOT NULL,
+        group_name TEXT)",
+    "CREATE TABLE IF NOT EXISTS atomic_location_profile (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        atomic_event INTEGER NOT NULL REFERENCES atomic_event(id),
+        node INTEGER NOT NULL,
+        context INTEGER NOT NULL,
+        thread INTEGER NOT NULL,
+        sample_count INTEGER,
+        maximum_value DOUBLE,
+        minimum_value DOUBLE,
+        mean_value DOUBLE,
+        standard_deviation DOUBLE)",
+    // Foreign-key access paths used by every trial load / analysis query.
+    "CREATE INDEX ix_experiment_app ON experiment (application)",
+    "CREATE INDEX ix_trial_experiment ON trial (experiment)",
+    "CREATE INDEX ix_metric_trial ON metric (trial)",
+    "CREATE INDEX ix_ievent_trial ON interval_event (trial)",
+    "CREATE INDEX ix_ilp_event ON interval_location_profile (interval_event)",
+    "CREATE INDEX ix_ilp_metric ON interval_location_profile (metric)",
+    "CREATE INDEX ix_its_event ON interval_total_summary (interval_event)",
+    "CREATE INDEX ix_ims_event ON interval_mean_summary (interval_event)",
+    "CREATE INDEX ix_aevent_trial ON atomic_event (trial)",
+    "CREATE INDEX ix_alp_event ON atomic_location_profile (atomic_event)",
+];
+
+/// Tables whose schema is *flexible* (metadata columns may be added).
+pub const FLEXIBLE_TABLES: &[&str] = &["application", "experiment", "trial"];
+
+/// Create the PerfDMF schema in a database (idempotent for tables; index
+/// creation is skipped if the schema already exists).
+pub fn create_schema(conn: &Connection) -> Result<()> {
+    let already = conn.has_table("application");
+    for ddl in SCHEMA_DDL {
+        if already && ddl.starts_with("CREATE INDEX") {
+            continue;
+        }
+        conn.execute(ddl, &[])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_all_tables_and_is_idempotent() {
+        let conn = Connection::open_in_memory();
+        create_schema(&conn).unwrap();
+        for t in [
+            "application",
+            "experiment",
+            "trial",
+            "metric",
+            "interval_event",
+            "interval_location_profile",
+            "interval_total_summary",
+            "interval_mean_summary",
+            "atomic_event",
+            "atomic_location_profile",
+        ] {
+            assert!(conn.has_table(t), "missing table {t}");
+        }
+        // idempotent
+        create_schema(&conn).unwrap();
+    }
+
+    #[test]
+    fn foreign_keys_wired() {
+        let conn = Connection::open_in_memory();
+        create_schema(&conn).unwrap();
+        // trial requires an existing experiment
+        assert!(conn
+            .insert("INSERT INTO trial (experiment, name) VALUES (1, 'x')", &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Thread-safe connection facade — the JDBC-equivalent surface of the
+//! engine (paper §3.1: "Access to the SQL interface is provided using the
+//! JDBC API ... the tool programmer does not need to worry about
+//! vendor-specific SQL syntax").
+//!
+//! A [`Connection`] is a cheap cloneable handle to a shared database.
+//! SELECTs take a read lock (many readers run concurrently); mutating
+//! statements take the write lock. Multi-statement transactions that must
+//! exclude other writers should use [`Connection::transaction`], which
+//! holds the write lock for the closure's duration.
+
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::exec::{execute, Outcome, ResultSet};
+use crate::schema::ColumnDef;
+use crate::sql::ast::Statement;
+use crate::sql::parser::parse_statement_with_params;
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::Arc;
+
+/// A handle to a shared database.
+#[derive(Clone)]
+pub struct Connection {
+    db: Arc<RwLock<Database>>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection").finish_non_exhaustive()
+    }
+}
+
+/// A parsed, reusable statement with a known parameter count.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    statement: Statement,
+    param_count: usize,
+}
+
+impl Prepared {
+    /// Number of `?` placeholders.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.statement
+    }
+}
+
+impl Connection {
+    /// Open an in-memory database.
+    pub fn open_in_memory() -> Connection {
+        Connection {
+            db: Arc::new(RwLock::new(Database::new())),
+        }
+    }
+
+    /// Open (or create) a persistent database in `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Connection> {
+        Ok(Connection {
+            db: Arc::new(RwLock::new(Database::open(dir.as_ref())?)),
+        })
+    }
+
+    /// Parse a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let (statement, param_count) = parse_statement_with_params(sql)?;
+        Ok(Prepared {
+            statement,
+            param_count,
+        })
+    }
+
+    fn check_params(prepared: &Prepared, params: &[Value]) -> Result<()> {
+        if params.len() < prepared.param_count {
+            return Err(DbError::MissingParameter(params.len()));
+        }
+        Ok(())
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<Outcome> {
+        Self::check_params(prepared, params)?;
+        match &prepared.statement {
+            // SELECT and EXPLAIN SELECT never mutate; run them under the
+            // read lock so they share with other readers.
+            Statement::Select(sel) => {
+                let db = self.db.read();
+                Ok(Outcome::Rows(crate::exec::select::execute_select(
+                    &db, sel, params,
+                )?))
+            }
+            Statement::Explain(inner) => {
+                if let Statement::Select(sel) = inner.as_ref() {
+                    let db = self.db.read();
+                    let lines = crate::exec::select::explain_select(&db, sel, params)?;
+                    return Ok(Outcome::Rows(crate::exec::ResultSet {
+                        columns: vec!["plan".to_string()],
+                        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                    }));
+                }
+                let mut db = self.db.write();
+                execute(&mut db, &prepared.statement, params)
+            }
+            _ => {
+                let mut db = self.db.write();
+                execute(&mut db, &prepared.statement, params)
+            }
+        }
+    }
+
+    /// Parse and execute a statement.
+    pub fn execute(&self, sql: &str, params: &[Value]) -> Result<Outcome> {
+        let prepared = self.prepare(sql)?;
+        self.execute_prepared(&prepared, params)
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            Outcome::Rows(rs) => Ok(rs),
+            _ => Err(DbError::Unsupported(
+                "query() requires a SELECT statement".into(),
+            )),
+        }
+    }
+
+    /// Execute a scalar SELECT (first column of first row).
+    pub fn query_scalar(&self, sql: &str, params: &[Value]) -> Result<Value> {
+        let rs = self.query(sql, params)?;
+        Ok(rs.scalar().cloned().unwrap_or(Value::Null))
+    }
+
+    /// Execute DML and return the affected-row count.
+    pub fn update(&self, sql: &str, params: &[Value]) -> Result<usize> {
+        match self.execute(sql, params)? {
+            Outcome::Affected { count, .. } => Ok(count),
+            Outcome::Done => Ok(0),
+            Outcome::Rows(_) => Err(DbError::Unsupported(
+                "update() cannot run a SELECT statement".into(),
+            )),
+        }
+    }
+
+    /// Execute an INSERT and return the generated AUTO_INCREMENT id, if any.
+    pub fn insert(&self, sql: &str, params: &[Value]) -> Result<Option<i64>> {
+        match self.execute(sql, params)? {
+            Outcome::Affected { last_insert_id, .. } => Ok(last_insert_id),
+            _ => Err(DbError::Unsupported(
+                "insert() requires an INSERT statement".into(),
+            )),
+        }
+    }
+
+    /// Run `f` with exclusive access inside a transaction. Commits on `Ok`,
+    /// rolls back on `Err`.
+    pub fn transaction<T>(
+        &self,
+        f: impl FnOnce(&mut TransactionHandle<'_>) -> Result<T>,
+    ) -> Result<T> {
+        let mut db = self.db.write();
+        db.begin()?;
+        let mut handle = TransactionHandle { db: &mut db };
+        match f(&mut handle) {
+            Ok(v) => {
+                db.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = db.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Names of all tables (the catalog half of `getMetaData()`).
+    pub fn table_names(&self) -> Vec<String> {
+        self.db.read().table_names()
+    }
+
+    /// Does a table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.db.read().has_table(name)
+    }
+
+    /// Column metadata for a table — PerfDMF's runtime schema discovery
+    /// (the JDBC `getMetaData()` equivalent that makes the flexible
+    /// APPLICATION/EXPERIMENT/TRIAL schema possible).
+    pub fn table_meta(&self, table: &str) -> Result<Vec<ColumnDef>> {
+        let db = self.db.read();
+        Ok(db.table(table)?.schema.columns.clone())
+    }
+
+    /// Number of live rows in a table.
+    pub fn row_count(&self, table: &str) -> Result<usize> {
+        let db = self.db.read();
+        Ok(db.table(table)?.len())
+    }
+
+    /// Write a snapshot and truncate the WAL (persistent databases only).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.db.write().checkpoint()
+    }
+}
+
+/// Exclusive access to the database within [`Connection::transaction`].
+pub struct TransactionHandle<'a> {
+    db: &'a mut Database,
+}
+
+impl TransactionHandle<'_> {
+    /// Execute a statement inside the transaction.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<Outcome> {
+        let (statement, param_count) = parse_statement_with_params(sql)?;
+        if params.len() < param_count {
+            return Err(DbError::MissingParameter(params.len()));
+        }
+        if matches!(
+            statement,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        ) {
+            return Err(DbError::Transaction(
+                "transaction control statements are managed by transaction()".into(),
+            ));
+        }
+        execute(self.db, &statement, params)
+    }
+
+    /// Execute a pre-parsed statement inside the transaction (parse once,
+    /// run many — the bulk-load fast path).
+    pub fn execute_prepared(&mut self, prepared: &Prepared, params: &[Value]) -> Result<Outcome> {
+        if params.len() < prepared.param_count {
+            return Err(DbError::MissingParameter(params.len()));
+        }
+        if matches!(
+            prepared.statement,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        ) {
+            return Err(DbError::Transaction(
+                "transaction control statements are managed by transaction()".into(),
+            ));
+        }
+        execute(self.db, &prepared.statement, params)
+    }
+
+    /// Execute a pre-parsed INSERT and return the generated id.
+    pub fn insert_prepared(&mut self, prepared: &Prepared, params: &[Value]) -> Result<Option<i64>> {
+        match self.execute_prepared(prepared, params)? {
+            Outcome::Affected { last_insert_id, .. } => Ok(last_insert_id),
+            _ => Err(DbError::Unsupported(
+                "insert_prepared() requires an INSERT statement".into(),
+            )),
+        }
+    }
+
+    /// Query inside the transaction.
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> Result<ResultSet> {
+        match self.execute(sql, params)? {
+            Outcome::Rows(rs) => Ok(rs),
+            _ => Err(DbError::Unsupported(
+                "query() requires a SELECT statement".into(),
+            )),
+        }
+    }
+
+    /// INSERT returning the generated id.
+    pub fn insert(&mut self, sql: &str, params: &[Value]) -> Result<Option<i64>> {
+        match self.execute(sql, params)? {
+            Outcome::Affected { last_insert_id, .. } => Ok(last_insert_id),
+            _ => Err(DbError::Unsupported(
+                "insert() requires an INSERT statement".into(),
+            )),
+        }
+    }
+}

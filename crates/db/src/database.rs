@@ -1,0 +1,952 @@
+//! The database kernel: a catalog of tables with transactional mutation.
+//!
+//! All mutation goes through methods on [`Database`], which
+//!
+//! * validate constraints (types, NOT NULL, UNIQUE, FOREIGN KEY),
+//! * push inverse operations onto an undo log (for ROLLBACK and for
+//!   statement-level atomicity), and
+//! * buffer [`WalRecord`]s that are appended to the write-ahead log when
+//!   the enclosing transaction (or autocommit statement) commits.
+//!
+//! [`Database`] is single-threaded by design; [`crate::Connection`] wraps it
+//! in a reader/writer lock for concurrent use.
+
+use crate::error::{DbError, Result};
+use crate::schema::{ColumnDef, TableSchema};
+use crate::storage::{read_snapshot, read_wal, write_snapshot, Wal, WalRecord};
+use crate::table::{Row, RowId, Table};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Inverse operations for rollback.
+#[derive(Debug)]
+enum Undo {
+    Insert { table: String, id: RowId },
+    Delete { table: String, id: RowId, row: Row },
+    Update { table: String, id: RowId, old: Row },
+    CreateTable { name: String },
+    /// Whole-table snapshot taken before destructive DDL.
+    RestoreTable { name: String, table: Box<Table> },
+    CreateIndex { table: String, name: String },
+}
+
+/// An embedded relational database: the persistent store under PerfDMF.
+#[derive(Debug)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    /// index name → table name (index names are global, like PostgreSQL).
+    index_owner: BTreeMap<String, String>,
+    undo: Vec<Undo>,
+    pending: Vec<WalRecord>,
+    in_txn: bool,
+    wal: Option<Wal>,
+    dir: Option<PathBuf>,
+}
+
+/// Marker for statement-level atomicity: positions in the undo/pending logs
+/// captured before a statement runs.
+#[derive(Debug, Clone, Copy)]
+pub struct StmtMark {
+    undo_len: usize,
+    pending_len: usize,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Create an empty in-memory database (no persistence).
+    pub fn new() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            index_owner: BTreeMap::new(),
+            undo: Vec::new(),
+            pending: Vec::new(),
+            in_txn: false,
+            wal: None,
+            dir: None,
+        }
+    }
+
+    /// Open (or create) a persistent database in directory `dir`.
+    ///
+    /// Loads `snapshot.pdmf` if present, then replays committed WAL records.
+    pub fn open(dir: &Path) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut db = Database::new();
+        let snap_path = dir.join("snapshot.pdmf");
+        if snap_path.exists() {
+            for table in read_snapshot(&snap_path)? {
+                let name = table.schema.name.clone();
+                for ix_name in table.indexes.keys() {
+                    if !ix_name.starts_with("__uniq_") {
+                        db.index_owner.insert(ix_name.clone(), name.clone());
+                    }
+                }
+                db.tables.insert(name, table);
+            }
+        }
+        let wal_path = dir.join("wal.pdmf");
+        let mut recovered: Option<Vec<WalRecord>> = None;
+        if wal_path.exists() {
+            let records = read_wal(&wal_path)?;
+            for rec in records.clone() {
+                db.apply_record(rec)?;
+            }
+            recovered = Some(records);
+        }
+        let mut wal = Wal::open(&wal_path)?;
+        // Rewrite the log to exactly the committed prefix we replayed: a
+        // torn or uncommitted tail must not bury future appends behind
+        // garbage bytes.
+        if let Some(records) = recovered {
+            wal.reset()?;
+            if !records.is_empty() {
+                wal.append(&records)?;
+            }
+        }
+        db.wal = Some(wal);
+        db.dir = Some(dir.to_path_buf());
+        Ok(db)
+    }
+
+    /// Write a fresh snapshot and truncate the WAL. No-op for in-memory DBs.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(dir) = self.dir.clone() else {
+            return Ok(());
+        };
+        if self.in_txn {
+            return Err(DbError::Transaction(
+                "cannot checkpoint inside a transaction".into(),
+            ));
+        }
+        let entries: Vec<(&String, &Table)> = self.tables.iter().collect();
+        write_snapshot(&dir.join("snapshot.pdmf"), &entries)?;
+        if let Some(wal) = &mut self.wal {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// Apply a WAL record during recovery (no undo, no re-logging).
+    fn apply_record(&mut self, rec: WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Insert { table, id, row } => {
+                self.table_mut_raw(&table)?.insert_at(id, row)?;
+            }
+            WalRecord::Delete { table, id } => {
+                self.table_mut_raw(&table)?.delete(id)?;
+            }
+            WalRecord::Update { table, id, row } => {
+                self.table_mut_raw(&table)?.update(id, row)?;
+            }
+            WalRecord::CreateTable { schema } => {
+                let name = schema.name.clone();
+                self.tables.insert(name, Table::new(schema));
+            }
+            WalRecord::DropTable { name } => {
+                if let Some(t) = self.tables.remove(&name) {
+                    for ix in t.indexes.keys() {
+                        self.index_owner.remove(ix);
+                    }
+                }
+            }
+            WalRecord::AddColumn { table, column } => {
+                self.table_mut_raw(&table)?.add_column(column)?;
+            }
+            WalRecord::DropColumn { table, column } => {
+                let t = self.table_mut_raw(&table)?;
+                // capture dropped index names before mutation
+                let dropped: Vec<String> = {
+                    let idx = t.schema.column_index(&column);
+                    match idx {
+                        Some(i) => t
+                            .indexes
+                            .iter()
+                            .filter(|(_, ix)| ix.column == i)
+                            .map(|(n, _)| n.clone())
+                            .collect(),
+                        None => Vec::new(),
+                    }
+                };
+                t.drop_column(&column)?;
+                for n in dropped {
+                    self.index_owner.remove(&n);
+                }
+            }
+            WalRecord::CreateIndex {
+                table,
+                name,
+                column,
+                unique,
+            } => {
+                self.table_mut_raw(&table)?.create_index(&name, &column, unique)?;
+                self.index_owner.insert(name, table);
+            }
+            WalRecord::DropIndex { table, name } => {
+                self.table_mut_raw(&table)?.drop_index(&name)?;
+                self.index_owner.remove(&name);
+            }
+            WalRecord::Commit => {}
+        }
+        Ok(())
+    }
+
+    /// Is a write-ahead log attached (persistent database)?
+    fn logging(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    // ---------------- catalog access ----------------
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .get(&key)
+            .ok_or(DbError::NoSuchTable(key))
+    }
+
+    fn table_mut_raw(&mut self, name: &str) -> Result<&mut Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .get_mut(&key)
+            .ok_or(DbError::NoSuchTable(key))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Does a table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    // ---------------- statement atomicity ----------------
+
+    /// Capture undo/WAL positions before executing a statement.
+    pub fn stmt_begin(&mut self) -> StmtMark {
+        StmtMark {
+            undo_len: self.undo.len(),
+            pending_len: self.pending.len(),
+        }
+    }
+
+    /// Roll back the effects of a failed statement.
+    pub fn stmt_abort(&mut self, mark: StmtMark) {
+        self.undo_to(mark.undo_len);
+        self.pending.truncate(mark.pending_len);
+    }
+
+    /// Finish a successful statement: autocommit if no transaction is open.
+    pub fn stmt_finish(&mut self) -> Result<()> {
+        if !self.in_txn {
+            self.commit_internal()?;
+        }
+        Ok(())
+    }
+
+    fn undo_to(&mut self, len: usize) {
+        while self.undo.len() > len {
+            let op = self.undo.pop().expect("len checked");
+            match op {
+                Undo::Insert { table, id } => {
+                    let _ = self.table_mut_raw(&table).and_then(|t| t.delete(id));
+                }
+                Undo::Delete { table, id, row } => {
+                    let _ = self
+                        .table_mut_raw(&table)
+                        .and_then(|t| t.insert_at(id, row));
+                }
+                Undo::Update { table, id, old } => {
+                    let _ = self.table_mut_raw(&table).and_then(|t| t.update(id, old));
+                }
+                Undo::CreateTable { name } => {
+                    if let Some(t) = self.tables.remove(&name) {
+                        for ix in t.indexes.keys() {
+                            self.index_owner.remove(ix);
+                        }
+                    }
+                }
+                Undo::RestoreTable { name, table } => {
+                    // Re-register this table's named indexes.
+                    for ix in table.indexes.keys() {
+                        if !ix.starts_with("__uniq_") {
+                            self.index_owner.insert(ix.clone(), name.clone());
+                        }
+                    }
+                    self.tables.insert(name, *table);
+                }
+                Undo::CreateIndex { table, name } => {
+                    let _ = self
+                        .table_mut_raw(&table)
+                        .and_then(|t| t.drop_index(&name));
+                    self.index_owner.remove(&name);
+                }
+            }
+        }
+    }
+
+    // ---------------- transactions ----------------
+
+    /// True if an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// BEGIN.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.in_txn {
+            return Err(DbError::Transaction(
+                "nested transactions are not supported".into(),
+            ));
+        }
+        // Anything pending belongs to completed autocommit statements.
+        debug_assert!(self.pending.is_empty());
+        self.in_txn = true;
+        Ok(())
+    }
+
+    /// COMMIT.
+    pub fn commit(&mut self) -> Result<()> {
+        if !self.in_txn {
+            return Err(DbError::Transaction("COMMIT outside a transaction".into()));
+        }
+        self.in_txn = false;
+        self.commit_internal()
+    }
+
+    fn commit_internal(&mut self) -> Result<()> {
+        if let Some(wal) = &mut self.wal {
+            if !self.pending.is_empty() {
+                self.pending.push(WalRecord::Commit);
+                wal.append(&self.pending)?;
+            }
+        }
+        self.pending.clear();
+        self.undo.clear();
+        Ok(())
+    }
+
+    /// ROLLBACK.
+    pub fn rollback(&mut self) -> Result<()> {
+        if !self.in_txn {
+            return Err(DbError::Transaction(
+                "ROLLBACK outside a transaction".into(),
+            ));
+        }
+        self.in_txn = false;
+        self.undo_to(0);
+        self.pending.clear();
+        Ok(())
+    }
+
+    // ---------------- DDL ----------------
+
+    /// CREATE TABLE.
+    pub fn create_table(&mut self, schema: TableSchema, if_not_exists: bool) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) {
+            if if_not_exists {
+                return Ok(());
+            }
+            return Err(DbError::TableExists(name));
+        }
+        // Validate FK targets exist (self-reference allowed).
+        for col in &schema.columns {
+            if let Some((ftable, fcol)) = &col.references {
+                if ftable != &name {
+                    let target = self.table(ftable)?;
+                    if target.schema.column_index(fcol).is_none() {
+                        return Err(DbError::NoSuchColumn {
+                            table: ftable.clone(),
+                            column: fcol.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        self.tables.insert(name.clone(), Table::new(schema.clone()));
+        self.undo.push(Undo::CreateTable { name: name.clone() });
+        self.pending.push(WalRecord::CreateTable { schema });
+        Ok(())
+    }
+
+    /// DROP TABLE.
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            if if_exists {
+                return Ok(());
+            }
+            return Err(DbError::NoSuchTable(key));
+        }
+        // Refuse to drop a table referenced by another table's FK.
+        for (tname, t) in &self.tables {
+            if tname == &key {
+                continue;
+            }
+            for col in &t.schema.columns {
+                if let Some((ftable, _)) = &col.references {
+                    if ftable == &key {
+                        return Err(DbError::ForeignKeyViolation {
+                            table: tname.clone(),
+                            column: col.name.clone(),
+                            references: key.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let table = self.tables.remove(&key).expect("checked above");
+        for ix in table.indexes.keys() {
+            self.index_owner.remove(ix);
+        }
+        self.undo.push(Undo::RestoreTable {
+            name: key.clone(),
+            table: Box::new(table),
+        });
+        self.pending.push(WalRecord::DropTable { name: key });
+        Ok(())
+    }
+
+    /// ALTER TABLE ADD COLUMN.
+    pub fn add_column(&mut self, table: &str, column: ColumnDef) -> Result<()> {
+        if let Some((ftable, fcol)) = &column.references {
+            let target = self.table(ftable)?;
+            if target.schema.column_index(fcol).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: ftable.clone(),
+                    column: fcol.clone(),
+                });
+            }
+        }
+        let key = table.to_ascii_lowercase();
+        let t = self.table_mut_raw(&key)?;
+        let snapshot = t.clone();
+        t.add_column(column.clone())?;
+        self.undo.push(Undo::RestoreTable {
+            name: key.clone(),
+            table: Box::new(snapshot),
+        });
+        self.pending.push(WalRecord::AddColumn { table: key, column });
+        Ok(())
+    }
+
+    /// ALTER TABLE DROP COLUMN.
+    pub fn drop_column(&mut self, table: &str, column: &str) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        let t = self.table_mut_raw(&key)?;
+        let snapshot = t.clone();
+        let col_idx = t.schema.column_index(column);
+        let dropped_ix: Vec<String> = match col_idx {
+            Some(i) => t
+                .indexes
+                .iter()
+                .filter(|(_, ix)| ix.column == i)
+                .map(|(n, _)| n.clone())
+                .collect(),
+            None => Vec::new(),
+        };
+        t.drop_column(column)?;
+        for n in dropped_ix {
+            self.index_owner.remove(&n);
+        }
+        self.undo.push(Undo::RestoreTable {
+            name: key.clone(),
+            table: Box::new(snapshot),
+        });
+        self.pending.push(WalRecord::DropColumn {
+            table: key,
+            column: column.to_ascii_lowercase(),
+        });
+        Ok(())
+    }
+
+    /// CREATE \[UNIQUE\] INDEX.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        table: &str,
+        column: &str,
+        unique: bool,
+    ) -> Result<()> {
+        let iname = name.to_ascii_lowercase();
+        let tkey = table.to_ascii_lowercase();
+        if self.index_owner.contains_key(&iname) {
+            return Err(DbError::Unsupported(format!(
+                "index {iname} already exists"
+            )));
+        }
+        let t = self.table_mut_raw(&tkey)?;
+        t.create_index(&iname, column, unique)?;
+        self.index_owner.insert(iname.clone(), tkey.clone());
+        self.undo.push(Undo::CreateIndex {
+            table: tkey.clone(),
+            name: iname.clone(),
+        });
+        self.pending.push(WalRecord::CreateIndex {
+            table: tkey,
+            name: iname,
+            column: column.to_ascii_lowercase(),
+            unique,
+        });
+        Ok(())
+    }
+
+    /// DROP INDEX.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let iname = name.to_ascii_lowercase();
+        let tkey = self
+            .index_owner
+            .get(&iname)
+            .cloned()
+            .ok_or_else(|| DbError::Unsupported(format!("no such index: {iname}")))?;
+        let t = self.table_mut_raw(&tkey)?;
+        let snapshot = t.clone();
+        t.drop_index(&iname)?;
+        self.index_owner.remove(&iname);
+        self.undo.push(Undo::RestoreTable {
+            name: tkey.clone(),
+            table: Box::new(snapshot),
+        });
+        self.pending.push(WalRecord::DropIndex {
+            table: tkey,
+            name: iname,
+        });
+        Ok(())
+    }
+
+    // ---------------- DML ----------------
+
+    /// Check FK constraints for a prospective row of `table`.
+    fn check_foreign_keys(&self, table: &Table, row: &Row) -> Result<()> {
+        for (i, col) in table.schema.columns.iter().enumerate() {
+            let Some((ftable, fcol)) = &col.references else {
+                continue;
+            };
+            if row[i].is_null() {
+                continue;
+            }
+            // FK checks run before column coercion; coerce a copy so a
+            // text '1' matches an integer key 1 the same way the stored
+            // row eventually will.
+            let coerced = row[i].coerce(col.ty);
+            let v = coerced.as_ref().unwrap_or(&row[i]);
+            let target = self.table(ftable)?;
+            let fidx = target
+                .schema
+                .column_index(fcol)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: ftable.clone(),
+                    column: fcol.clone(),
+                })?;
+            let found = match target.index_on(fidx) {
+                Some(ix) => !ix.get(v).is_empty(),
+                None => target.iter().any(|(_, r)| r[fidx].sql_eq(v) == Some(true)),
+            };
+            if !found {
+                return Err(DbError::ForeignKeyViolation {
+                    table: table.schema.name.clone(),
+                    column: col.name.clone(),
+                    references: format!("{ftable}.{fcol}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check that no row in any table references `(table, key_col) = value`.
+    fn check_not_referenced(&self, table: &str, row: &Row, schema: &TableSchema) -> Result<()> {
+        for (rname, rtable) in &self.tables {
+            for (ci, col) in rtable.schema.columns.iter().enumerate() {
+                let Some((ftable, fcol)) = &col.references else {
+                    continue;
+                };
+                if ftable != table {
+                    continue;
+                }
+                let Some(key_idx) = schema.column_index(fcol) else {
+                    continue;
+                };
+                let key = &row[key_idx];
+                if key.is_null() {
+                    continue;
+                }
+                let referenced = match rtable.index_on(ci) {
+                    Some(ix) => !ix.get(key).is_empty(),
+                    None => rtable
+                        .iter()
+                        .any(|(_, r)| r[ci].sql_eq(key) == Some(true)),
+                };
+                if referenced {
+                    return Err(DbError::ForeignKeyViolation {
+                        table: rname.clone(),
+                        column: col.name.clone(),
+                        references: format!("{table}.{fcol}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a row (values in schema order, `Value::Null` for omitted
+    /// AUTO_INCREMENT). Returns the row id and the stored row.
+    pub fn insert_row(&mut self, table: &str, row: Row) -> Result<RowId> {
+        let key = table.to_ascii_lowercase();
+        {
+            let t = self.table(&key)?;
+            if row.len() != t.schema.columns.len() {
+                return Err(DbError::Arity {
+                    expected: t.schema.columns.len(),
+                    got: row.len(),
+                });
+            }
+            // FK check against a coerced copy: coercion happens in insert,
+            // but FK values compare cross-type anyway, so raw check is fine.
+            self.check_foreign_keys(t, &row)?;
+        }
+        let logging = self.logging();
+        let t = self.table_mut_raw(&key)?;
+        let id = t.insert(row)?;
+        let stored = if logging {
+            Some(t.row(id).expect("just inserted").clone())
+        } else {
+            None
+        };
+        self.undo.push(Undo::Insert {
+            table: key.clone(),
+            id,
+        });
+        if let Some(row) = stored {
+            self.pending.push(WalRecord::Insert {
+                table: key,
+                id,
+                row,
+            });
+        }
+        Ok(id)
+    }
+
+    /// Delete a row by id.
+    pub fn delete_row(&mut self, table: &str, id: RowId) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        {
+            let t = self.table(&key)?;
+            let row = t
+                .row(id)
+                .ok_or_else(|| DbError::Corrupt(format!("delete of unknown row {id}")))?
+                .clone();
+            let schema = t.schema.clone();
+            self.check_not_referenced(&key, &row, &schema)?;
+        }
+        let logging = self.logging();
+        let t = self.table_mut_raw(&key)?;
+        let row = t.delete(id)?;
+        self.undo.push(Undo::Delete {
+            table: key.clone(),
+            id,
+            row,
+        });
+        if logging {
+            self.pending.push(WalRecord::Delete { table: key, id });
+        }
+        Ok(())
+    }
+
+    /// Update a row by id with a full replacement row.
+    pub fn update_row(&mut self, table: &str, id: RowId, new_row: Row) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        {
+            let t = self.table(&key)?;
+            self.check_foreign_keys(t, &new_row)?;
+            // If a referenced key column changes, enforce RESTRICT.
+            let old = t
+                .row(id)
+                .ok_or_else(|| DbError::Corrupt(format!("update of unknown row {id}")))?;
+            let schema = t.schema.clone();
+            let changed_keys: Vec<usize> = schema
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| old.get(*i) != new_row.get(*i))
+                .map(|(i, _)| i)
+                .collect();
+            if !changed_keys.is_empty() {
+                // Only need the referenced-check for the old values.
+                let mut probe = old.clone();
+                // Mask out unchanged columns so the check only fires on
+                // columns whose value is going away.
+                for (i, v) in probe.iter_mut().enumerate() {
+                    if !changed_keys.contains(&i) {
+                        *v = Value::Null;
+                    }
+                }
+                self.check_not_referenced(&key, &probe, &schema)?;
+            }
+        }
+        let logging = self.logging();
+        let t = self.table_mut_raw(&key)?;
+        let old = t.update(id, new_row)?;
+        let stored = if logging {
+            Some(t.row(id).expect("just updated").clone())
+        } else {
+            None
+        };
+        self.undo.push(Undo::Update {
+            table: key.clone(),
+            id,
+            old,
+        });
+        if let Some(row) = stored {
+            self.pending.push(WalRecord::Update {
+                table: key,
+                id,
+                row,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn db_with_parent_child() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "parent",
+                vec![
+                    ColumnDef::new("id", DataType::Integer)
+                        .primary_key()
+                        .auto_increment(),
+                    ColumnDef::new("name", DataType::Text),
+                ],
+            )
+            .unwrap(),
+            false,
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "child",
+                vec![
+                    ColumnDef::new("id", DataType::Integer)
+                        .primary_key()
+                        .auto_increment(),
+                    ColumnDef::new("parent", DataType::Integer).references("parent", "id"),
+                ],
+            )
+            .unwrap(),
+            false,
+        )
+        .unwrap();
+        db.stmt_finish().unwrap();
+        db
+    }
+
+    #[test]
+    fn fk_insert_enforced() {
+        let mut db = db_with_parent_child();
+        assert!(matches!(
+            db.insert_row("child", vec![Value::Null, Value::Int(99)]),
+            Err(DbError::ForeignKeyViolation { .. })
+        ));
+        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        // NULL FK is allowed
+        db.insert_row("child", vec![Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn fk_accepts_coercible_values() {
+        let mut db = db_with_parent_child();
+        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
+        // text '1' coerces to the integer key 1 before the FK check
+        db.insert_row("child", vec![Value::Null, Value::Text("1".into())])
+            .unwrap();
+        assert_eq!(db.table("child").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fk_delete_restricted() {
+        let mut db = db_with_parent_child();
+        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        assert!(matches!(
+            db.delete_row("parent", 0),
+            Err(DbError::ForeignKeyViolation { .. })
+        ));
+        db.delete_row("child", 0).unwrap();
+        db.delete_row("parent", 0).unwrap();
+    }
+
+    #[test]
+    fn fk_update_restricted() {
+        let mut db = db_with_parent_child();
+        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        // Changing the referenced pk away is refused...
+        assert!(matches!(
+            db.update_row("parent", 0, vec![Value::Int(5), "p".into()]),
+            Err(DbError::ForeignKeyViolation { .. })
+        ));
+        // ...but updating a non-key column is fine.
+        db.update_row("parent", 0, vec![Value::Int(1), "renamed".into()])
+            .unwrap();
+    }
+
+    #[test]
+    fn drop_referenced_table_refused() {
+        let mut db = db_with_parent_child();
+        assert!(matches!(
+            db.drop_table("parent", false),
+            Err(DbError::ForeignKeyViolation { .. })
+        ));
+        db.drop_table("child", false).unwrap();
+        db.drop_table("parent", false).unwrap();
+    }
+
+    #[test]
+    fn transaction_rollback_restores_rows() {
+        let mut db = db_with_parent_child();
+        db.insert_row("parent", vec![Value::Null, "keep".into()]).unwrap();
+        db.stmt_finish().unwrap();
+        db.begin().unwrap();
+        db.insert_row("parent", vec![Value::Null, "gone".into()]).unwrap();
+        db.update_row("parent", 0, vec![Value::Int(1), "changed".into()])
+            .unwrap();
+        db.rollback().unwrap();
+        let t = db.table("parent").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).unwrap()[1], Value::Text("keep".into()));
+    }
+
+    #[test]
+    fn transaction_rollback_restores_ddl() {
+        let mut db = db_with_parent_child();
+        db.begin().unwrap();
+        db.create_table(
+            TableSchema::new("temp", vec![ColumnDef::new("x", DataType::Integer)]).unwrap(),
+            false,
+        )
+        .unwrap();
+        db.add_column("parent", ColumnDef::new("extra", DataType::Text))
+            .unwrap();
+        db.create_index("ix_name", "parent", "name", false).unwrap();
+        db.rollback().unwrap();
+        assert!(!db.has_table("temp"));
+        assert!(db.table("parent").unwrap().schema.column("extra").is_none());
+        assert!(db.table("parent").unwrap().indexes.get("ix_name").is_none());
+    }
+
+    #[test]
+    fn statement_abort_is_partial() {
+        let mut db = db_with_parent_child();
+        db.begin().unwrap();
+        db.insert_row("parent", vec![Value::Null, "a".into()]).unwrap();
+        let mark = db.stmt_begin();
+        db.insert_row("parent", vec![Value::Null, "b".into()]).unwrap();
+        db.stmt_abort(mark);
+        db.commit().unwrap();
+        assert_eq!(db.table("parent").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn nested_begin_rejected() {
+        let mut db = Database::new();
+        db.begin().unwrap();
+        assert!(db.begin().is_err());
+        db.commit().unwrap();
+        assert!(db.commit().is_err());
+        assert!(db.rollback().is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdmf_dbtest_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(
+                TableSchema::new(
+                    "t",
+                    vec![
+                        ColumnDef::new("id", DataType::Integer)
+                            .primary_key()
+                            .auto_increment(),
+                        ColumnDef::new("v", DataType::Double),
+                    ],
+                )
+                .unwrap(),
+                false,
+            )
+            .unwrap();
+            db.stmt_finish().unwrap();
+            let mark = db.stmt_begin();
+            let _ = mark;
+            db.insert_row("t", vec![Value::Null, Value::Float(1.5)]).unwrap();
+            db.stmt_finish().unwrap();
+            db.insert_row("t", vec![Value::Null, Value::Float(2.5)]).unwrap();
+            db.stmt_finish().unwrap();
+        }
+        // Reopen: WAL replay restores everything.
+        {
+            let mut db = Database::open(&dir).unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 2);
+            // Checkpoint, add more, reopen again: snapshot + WAL combine.
+            db.checkpoint().unwrap();
+            db.insert_row("t", vec![Value::Null, Value::Float(9.0)]).unwrap();
+            db.stmt_finish().unwrap();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            let t = db.table("t").unwrap();
+            assert_eq!(t.len(), 3);
+            assert_eq!(t.row(2).unwrap()[1], Value::Float(9.0));
+            assert_eq!(t.next_auto_value(), 4);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_txn_not_persisted() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdmf_dbtest_txn_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut db = Database::open(&dir).unwrap();
+            db.create_table(
+                TableSchema::new("t", vec![ColumnDef::new("x", DataType::Integer)]).unwrap(),
+                false,
+            )
+            .unwrap();
+            db.stmt_finish().unwrap();
+            db.begin().unwrap();
+            db.insert_row("t", vec![Value::Int(1)]).unwrap();
+            // drop without commit — simulated crash
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert_eq!(db.table("t").unwrap().len(), 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Database error type.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// Errors produced by the SQL engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL text failed to tokenize or parse.
+    Parse { message: String, position: usize },
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced column does not exist.
+    NoSuchColumn { table: String, column: String },
+    /// Ambiguous unqualified column in a join.
+    AmbiguousColumn(String),
+    /// Table already exists (CREATE without IF NOT EXISTS).
+    TableExists(String),
+    /// Column already exists (ALTER TABLE ADD).
+    ColumnExists { table: String, column: String },
+    /// A value could not be coerced to the column type.
+    TypeMismatch {
+        column: String,
+        expected: DataType,
+        got: String,
+    },
+    /// NOT NULL constraint violated.
+    NotNullViolation { table: String, column: String },
+    /// UNIQUE / PRIMARY KEY constraint violated.
+    UniqueViolation { table: String, column: String },
+    /// FOREIGN KEY constraint violated.
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        references: String,
+    },
+    /// Wrong number of values in INSERT, or parameter count mismatch.
+    Arity { expected: usize, got: usize },
+    /// Expression evaluation failed (bad operand types, division by zero...).
+    Eval(String),
+    /// A `?` placeholder had no bound parameter.
+    MissingParameter(usize),
+    /// Operation requires an active transaction / no nested transactions.
+    Transaction(String),
+    /// Persistence layer failure.
+    Storage(String),
+    /// Snapshot/WAL bytes were malformed.
+    Corrupt(String),
+    /// Anything else.
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse { message, position } => {
+                write!(f, "SQL parse error at position {position}: {message}")
+            }
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column: {table}.{column}")
+            }
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::ColumnExists { table, column } => {
+                write!(f, "column already exists: {table}.{column}")
+            }
+            DbError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column {column}: expected {expected}, got {got}"
+            ),
+            DbError::NotNullViolation { table, column } => {
+                write!(f, "NOT NULL constraint failed: {table}.{column}")
+            }
+            DbError::UniqueViolation { table, column } => {
+                write!(f, "UNIQUE constraint failed: {table}.{column}")
+            }
+            DbError::ForeignKeyViolation {
+                table,
+                column,
+                references,
+            } => write!(
+                f,
+                "FOREIGN KEY constraint failed: {table}.{column} references {references}"
+            ),
+            DbError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            DbError::Eval(m) => write!(f, "evaluation error: {m}"),
+            DbError::MissingParameter(i) => write!(f, "missing bound parameter {i}"),
+            DbError::Transaction(m) => write!(f, "transaction error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Corrupt(m) => write!(f, "corrupt database file: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Storage(e.to_string())
+    }
+}

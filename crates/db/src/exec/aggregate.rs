@@ -1,0 +1,246 @@
+//! Aggregate accumulators: COUNT, SUM, AVG, MIN, MAX, STDDEV.
+//!
+//! STDDEV uses Welford's online algorithm for numerical stability — the
+//! same algorithm the profile model uses for atomic events, so SQL results
+//! and toolkit statistics agree bit-for-bit on the same data.
+
+use crate::error::{DbError, Result};
+use crate::sql::ast::AggregateFn;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// One accumulator instance (per aggregate expression per group).
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggregateFn,
+    distinct: bool,
+    seen: HashSet<Value>,
+    count: u64,
+    /// Running sum kept as integer while possible (exact for counters).
+    int_sum: i64,
+    int_exact: bool,
+    float_sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+    // Welford state
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// New accumulator for `func`.
+    pub fn new(func: AggregateFn, distinct: bool) -> Self {
+        Accumulator {
+            func,
+            distinct,
+            seen: HashSet::new(),
+            count: 0,
+            int_sum: 0,
+            int_exact: true,
+            float_sum: 0.0,
+            min: None,
+            max: None,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Feed one input value. `None` means `COUNT(*)` row marker.
+    pub fn update(&mut self, value: Option<&Value>) -> Result<()> {
+        let Some(v) = value else {
+            // COUNT(*): every row counts.
+            self.count += 1;
+            return Ok(());
+        };
+        if v.is_null() {
+            return Ok(()); // aggregates skip NULLs
+        }
+        if self.distinct && !self.seen.insert(v.clone()) {
+            return Ok(());
+        }
+        self.count += 1;
+        match self.func {
+            AggregateFn::Count => {}
+            AggregateFn::Min => {
+                if self.min.as_ref().is_none_or(|m| v < m) {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggregateFn::Max => {
+                if self.max.as_ref().is_none_or(|m| v > m) {
+                    self.max = Some(v.clone());
+                }
+            }
+            AggregateFn::Sum | AggregateFn::Avg | AggregateFn::StdDev => {
+                let x = v.as_float().ok_or_else(|| {
+                    DbError::Eval(format!("{} of non-numeric value {v}", self.func.name()))
+                })?;
+                match v {
+                    Value::Int(i) if self.int_exact => {
+                        match self.int_sum.checked_add(*i) {
+                            Some(s) => self.int_sum = s,
+                            None => {
+                                self.int_exact = false;
+                                self.float_sum = self.int_sum as f64 + *i as f64;
+                            }
+                        }
+                    }
+                    _ => {
+                        if self.int_exact {
+                            self.float_sum = self.int_sum as f64;
+                            self.int_exact = false;
+                        }
+                        self.float_sum += x;
+                    }
+                }
+                // Welford
+                let delta = x - self.mean;
+                self.mean += delta / self.count as f64;
+                self.m2 += delta * (x - self.mean);
+            }
+        }
+        Ok(())
+    }
+
+    /// Final aggregate value.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggregateFn::Count => Value::Int(self.count as i64),
+            AggregateFn::Min => self.min.clone().unwrap_or(Value::Null),
+            AggregateFn::Max => self.max.clone().unwrap_or(Value::Null),
+            AggregateFn::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.int_exact {
+                    Value::Int(self.int_sum)
+                } else {
+                    Value::Float(self.float_sum)
+                }
+            }
+            AggregateFn::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    let sum = if self.int_exact {
+                        self.int_sum as f64
+                    } else {
+                        self.float_sum
+                    };
+                    Value::Float(sum / self.count as f64)
+                }
+            }
+            AggregateFn::StdDev => {
+                if self.count < 2 {
+                    Value::Null
+                } else {
+                    Value::Float((self.m2 / (self.count - 1) as f64).sqrt())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggregateFn, vals: &[Value]) -> Value {
+        let mut acc = Accumulator::new(func, false);
+        for v in vals {
+            acc.update(Some(v)).unwrap();
+        }
+        acc.finish()
+    }
+
+    fn ints(v: &[i64]) -> Vec<Value> {
+        v.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggregateFn::Count, &vals), Value::Int(2));
+    }
+
+    #[test]
+    fn count_star_counts_everything() {
+        let mut acc = Accumulator::new(AggregateFn::Count, false);
+        for _ in 0..5 {
+            acc.update(None).unwrap();
+        }
+        assert_eq!(acc.finish(), Value::Int(5));
+    }
+
+    #[test]
+    fn sum_integer_exact() {
+        assert_eq!(run(AggregateFn::Sum, &ints(&[1, 2, 3])), Value::Int(6));
+        // mixed types fall to float
+        let vals = vec![Value::Int(1), Value::Float(0.5)];
+        assert_eq!(run(AggregateFn::Sum, &vals), Value::Float(1.5));
+    }
+
+    #[test]
+    fn sum_overflow_degrades_to_float() {
+        let vals = ints(&[i64::MAX, 10]);
+        match run(AggregateFn::Sum, &vals) {
+            Value::Float(f) => assert!((f - (i64::MAX as f64 + 10.0)).abs() < 1e4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn avg_and_stddev() {
+        let vals = ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(run(AggregateFn::Avg, &vals), Value::Float(5.0));
+        // sample stddev of this classic dataset: sqrt(32/7)
+        match run(AggregateFn::StdDev, &vals) {
+            Value::Float(s) => assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stddev_needs_two_values() {
+        assert_eq!(run(AggregateFn::StdDev, &ints(&[5])), Value::Null);
+        assert_eq!(run(AggregateFn::StdDev, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_text() {
+        let vals = vec![
+            Value::Text("mpi_send".into()),
+            Value::Text("main".into()),
+            Value::Text("mpi_recv".into()),
+        ];
+        assert_eq!(run(AggregateFn::Min, &vals), Value::Text("main".into()));
+        assert_eq!(run(AggregateFn::Max, &vals), Value::Text("mpi_send".into()));
+    }
+
+    #[test]
+    fn empty_aggregates_are_null_except_count() {
+        assert_eq!(run(AggregateFn::Sum, &[]), Value::Null);
+        assert_eq!(run(AggregateFn::Avg, &[]), Value::Null);
+        assert_eq!(run(AggregateFn::Min, &[]), Value::Null);
+        assert_eq!(run(AggregateFn::Count, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut acc = Accumulator::new(AggregateFn::Count, true);
+        for v in ints(&[1, 1, 2, 2, 3]) {
+            acc.update(Some(&v)).unwrap();
+        }
+        assert_eq!(acc.finish(), Value::Int(3));
+        let mut acc = Accumulator::new(AggregateFn::Sum, true);
+        for v in ints(&[5, 5, 7]) {
+            acc.update(Some(&v)).unwrap();
+        }
+        assert_eq!(acc.finish(), Value::Int(12));
+    }
+
+    #[test]
+    fn non_numeric_sum_errors() {
+        let mut acc = Accumulator::new(AggregateFn::Sum, false);
+        assert!(acc.update(Some(&Value::Text("x".into()))).is_err());
+    }
+}

@@ -1,0 +1,441 @@
+//! Statement execution.
+
+pub mod aggregate;
+pub mod eval;
+pub mod select;
+
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::schema::TableSchema;
+use crate::sql::ast::{Expr, Statement};
+use crate::table::{Row, RowId};
+use crate::value::Value;
+use eval::{Env, Layout};
+
+/// A query result: column names plus rows of values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Value at `(row, column-name)`.
+    pub fn get(&self, row: usize, column: &str) -> Option<&Value> {
+        let ci = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(ci))
+    }
+
+    /// First value of the first row — convenient for scalar queries like
+    /// `SELECT COUNT(*) ...`.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+
+    /// Render as an aligned text table (for CLI tools and examples).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// SELECT produced rows.
+    Rows(ResultSet),
+    /// DML affected this many rows. For INSERT into a table with an
+    /// AUTO_INCREMENT key, `last_insert_id` carries the last generated id.
+    Affected {
+        count: usize,
+        last_insert_id: Option<i64>,
+    },
+    /// DDL or transaction-control statement completed.
+    Done,
+}
+
+/// Execute a parsed statement with bound parameters.
+///
+/// Statement-level atomicity: on error, any partial effects are rolled
+/// back; on success outside an explicit transaction, effects are committed
+/// (autocommit).
+pub fn execute(db: &mut Database, stmt: &Statement, params: &[Value]) -> Result<Outcome> {
+    let mark = db.stmt_begin();
+    match execute_inner(db, stmt, params) {
+        Ok(out) => {
+            db.stmt_finish()?;
+            Ok(out)
+        }
+        Err(e) => {
+            db.stmt_abort(mark);
+            Err(e)
+        }
+    }
+}
+
+fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Result<Outcome> {
+    match stmt {
+        Statement::Explain(inner) => {
+            let lines = match inner.as_ref() {
+                Statement::Select(sel) => select::explain_select(db, sel, params)?,
+                other => vec![describe_statement(other)],
+            };
+            Ok(Outcome::Rows(ResultSet {
+                columns: vec!["plan".to_string()],
+                rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+            }))
+        }
+        Statement::Select(sel) => Ok(Outcome::Rows(select::execute_select(db, sel, params)?)),
+        Statement::Insert(ins) => {
+            let (count, last) = execute_insert(db, ins, params)?;
+            Ok(Outcome::Affected {
+                count,
+                last_insert_id: last,
+            })
+        }
+        Statement::Update(upd) => {
+            let count = execute_update(db, upd, params)?;
+            Ok(Outcome::Affected {
+                count,
+                last_insert_id: None,
+            })
+        }
+        Statement::Delete(del) => {
+            let count = execute_delete(db, del, params)?;
+            Ok(Outcome::Affected {
+                count,
+                last_insert_id: None,
+            })
+        }
+        Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
+            let schema = TableSchema::new(name.clone(), columns.clone())?;
+            db.create_table(schema, *if_not_exists)?;
+            Ok(Outcome::Done)
+        }
+        Statement::DropTable { name, if_exists } => {
+            db.drop_table(name, *if_exists)?;
+            Ok(Outcome::Done)
+        }
+        Statement::AlterTableAddColumn { table, column } => {
+            db.add_column(table, column.clone())?;
+            Ok(Outcome::Done)
+        }
+        Statement::AlterTableDropColumn { table, column } => {
+            db.drop_column(table, column)?;
+            Ok(Outcome::Done)
+        }
+        Statement::CreateIndex {
+            name,
+            table,
+            column,
+            unique,
+        } => {
+            db.create_index(name, table, column, *unique)?;
+            Ok(Outcome::Done)
+        }
+        Statement::DropIndex { name } => {
+            db.drop_index(name)?;
+            Ok(Outcome::Done)
+        }
+        Statement::Begin => {
+            db.begin()?;
+            Ok(Outcome::Done)
+        }
+        Statement::Commit => {
+            db.commit()?;
+            Ok(Outcome::Done)
+        }
+        Statement::Rollback => {
+            db.rollback()?;
+            Ok(Outcome::Done)
+        }
+    }
+}
+
+fn describe_statement(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Insert(i) => format!("insert into {} ({} row(s))", i.table, i.rows.len()),
+        Statement::Update(u) => format!(
+            "update {} ({} assignment(s){})",
+            u.table,
+            u.assignments.len(),
+            if u.where_clause.is_some() {
+                ", filtered"
+            } else {
+                ", all rows"
+            }
+        ),
+        Statement::Delete(d) => format!(
+            "delete from {}{}",
+            d.table,
+            if d.where_clause.is_some() {
+                " (filtered)"
+            } else {
+                " (all rows)"
+            }
+        ),
+        other => format!("{other:?}")
+            .split_whitespace()
+            .next()
+            .unwrap_or("statement")
+            .to_ascii_lowercase(),
+    }
+}
+
+fn eval_const(expr: &Expr, params: &[Value]) -> Result<Value> {
+    let layout = Layout::default();
+    let env = Env::new(&layout, &[], params);
+    eval::eval(expr, &env)
+}
+
+fn execute_insert(
+    db: &mut Database,
+    ins: &crate::sql::ast::Insert,
+    params: &[Value],
+) -> Result<(usize, Option<i64>)> {
+    // Resolve the column mapping once.
+    let (schema_cols, col_map, auto_pk): (usize, Vec<usize>, Option<usize>) = {
+        let t = db.table(&ins.table)?;
+        let n = t.schema.columns.len();
+        let map: Vec<usize> = if ins.columns.is_empty() {
+            (0..n).collect()
+        } else {
+            let mut m = Vec::with_capacity(ins.columns.len());
+            for c in &ins.columns {
+                m.push(
+                    t.schema
+                        .column_index(c)
+                        .ok_or_else(|| DbError::NoSuchColumn {
+                            table: ins.table.clone(),
+                            column: c.clone(),
+                        })?,
+                );
+            }
+            m
+        };
+        let auto = t
+            .schema
+            .primary_key_index()
+            .filter(|&i| t.schema.columns[i].auto_increment);
+        (n, map, auto)
+    };
+    let defaults: Vec<Value> = {
+        let t = db.table(&ins.table)?;
+        t.schema
+            .columns
+            .iter()
+            .map(|c| c.default.clone().unwrap_or(Value::Null))
+            .collect()
+    };
+    let mut count = 0;
+    let mut last = None;
+    for tuple in &ins.rows {
+        if tuple.len() != col_map.len() {
+            return Err(DbError::Arity {
+                expected: col_map.len(),
+                got: tuple.len(),
+            });
+        }
+        let mut row: Row = defaults.clone();
+        for (slot, expr) in col_map.iter().zip(tuple) {
+            let expr = select::resolve_subqueries(db, expr, params)?;
+            row[*slot] = eval_const(&expr, params)?;
+        }
+        let id: RowId = db.insert_row(&ins.table, row)?;
+        if let Some(pk) = auto_pk {
+            if let Some(Value::Int(v)) = db.table(&ins.table)?.row(id).map(|r| r[pk].clone()) {
+                last = Some(v);
+            }
+        }
+        count += 1;
+    }
+    let _ = schema_cols;
+    Ok((count, last))
+}
+
+fn execute_update(
+    db: &mut Database,
+    upd: &crate::sql::ast::Update,
+    params: &[Value],
+) -> Result<usize> {
+    let where_clause = upd
+        .where_clause
+        .as_ref()
+        .map(|w| select::resolve_subqueries(db, w, params))
+        .transpose()?;
+    let (layout, assignments, targets): (Layout, Vec<(usize, Expr)>, Vec<(RowId, Row)>) = {
+        let t = db.table(&upd.table)?;
+        let layout = Layout::single(
+            t.schema.name.clone(),
+            t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        );
+        let mut assigns = Vec::with_capacity(upd.assignments.len());
+        for (col, e) in &upd.assignments {
+            let idx = t
+                .schema
+                .column_index(col)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: upd.table.clone(),
+                    column: col.clone(),
+                })?;
+            assigns.push((idx, select::resolve_subqueries(db, e, params)?));
+        }
+        let mut targets = Vec::new();
+        let candidates = select::index_candidates(
+            t,
+            &t.schema.name.clone(),
+            &layout,
+            where_clause.as_ref(),
+            params,
+        )?;
+        let mut check = |id: RowId, row: &Row| -> Result<()> {
+            let matched = match &where_clause {
+                None => true,
+                Some(pred) => {
+                    let env = Env::new(&layout, row, params);
+                    eval::eval_condition(pred, &env)?
+                }
+            };
+            if matched {
+                targets.push((id, row.clone()));
+            }
+            Ok(())
+        };
+        match candidates {
+            Some(ids) => {
+                for id in ids {
+                    if let Some(row) = t.row(id) {
+                        check(id, row)?;
+                    }
+                }
+            }
+            None => {
+                for (id, row) in t.iter() {
+                    check(id, row)?;
+                }
+            }
+        }
+        (layout, assigns, targets)
+    };
+    let count = targets.len();
+    for (id, old_row) in targets {
+        let env = Env::new(&layout, &old_row, params);
+        let mut new_row = old_row.clone();
+        for (idx, e) in &assignments {
+            new_row[*idx] = eval::eval(e, &env)?;
+        }
+        db.update_row(&upd.table, id, new_row)?;
+    }
+    Ok(count)
+}
+
+fn execute_delete(
+    db: &mut Database,
+    del: &crate::sql::ast::Delete,
+    params: &[Value],
+) -> Result<usize> {
+    let where_clause = del
+        .where_clause
+        .as_ref()
+        .map(|w| select::resolve_subqueries(db, w, params))
+        .transpose()?;
+    let targets: Vec<RowId> = {
+        let t = db.table(&del.table)?;
+        let layout = Layout::single(
+            t.schema.name.clone(),
+            t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+        );
+        let mut ids = Vec::new();
+        let candidates = select::index_candidates(
+            t,
+            &t.schema.name.clone(),
+            &layout,
+            where_clause.as_ref(),
+            params,
+        )?;
+        let mut check = |id: RowId, row: &Row| -> Result<()> {
+            let matched = match &where_clause {
+                None => true,
+                Some(pred) => {
+                    let env = Env::new(&layout, row, params);
+                    eval::eval_condition(pred, &env)?
+                }
+            };
+            if matched {
+                ids.push(id);
+            }
+            Ok(())
+        };
+        match candidates {
+            Some(cand) => {
+                for id in cand {
+                    if let Some(row) = t.row(id) {
+                        check(id, row)?;
+                    }
+                }
+            }
+            None => {
+                for (id, row) in t.iter() {
+                    check(id, row)?;
+                }
+            }
+        }
+        ids
+    };
+    let count = targets.len();
+    for id in targets {
+        db.delete_row(&del.table, id)?;
+    }
+    Ok(count)
+}

@@ -1,0 +1,1360 @@
+//! SELECT execution: scan → join → filter → aggregate → sort → limit.
+//!
+//! The planner is deliberately simple but does the two optimizations that
+//! matter for PerfDMF's access patterns (large `INTERVAL_LOCATION_PROFILE`
+//! tables filtered by trial/metric, joined to small dimension tables):
+//!
+//! * **Index pushdown** — an equality or range conjunct on an indexed
+//!   column of the base table restricts the scan to index hits.
+//! * **Hash joins** — `JOIN ... ON a.x = b.y` builds a hash table on the
+//!   smaller, right side instead of a nested loop.
+
+use super::aggregate::Accumulator;
+use super::eval::{eval, eval_condition, Env, Layout};
+use super::ResultSet;
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::sql::ast::*;
+use crate::table::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// Replace uncorrelated subqueries (`IN (SELECT ...)`, scalar
+/// `(SELECT ...)`) in an expression by executing them once up front.
+pub(crate) fn resolve_subqueries(db: &Database, expr: &Expr, params: &[Value]) -> Result<Expr> {
+    let rec = |e: &Expr| resolve_subqueries(db, e, params);
+    Ok(match expr {
+        Expr::InSubquery {
+            operand,
+            select,
+            negated,
+        } => {
+            let rs = execute_select(db, select, params)?;
+            if rs.columns.len() != 1 {
+                return Err(DbError::Eval(format!(
+                    "IN subquery must return one column, got {}",
+                    rs.columns.len()
+                )));
+            }
+            Expr::InList {
+                operand: Box::new(rec(operand)?),
+                list: rs
+                    .rows
+                    .into_iter()
+                    .map(|mut r| Expr::Literal(r.remove(0)))
+                    .collect(),
+                negated: *negated,
+            }
+        }
+        Expr::ScalarSubquery(select) => {
+            let rs = execute_select(db, select, params)?;
+            if rs.columns.len() != 1 {
+                return Err(DbError::Eval(format!(
+                    "scalar subquery must return one column, got {}",
+                    rs.columns.len()
+                )));
+            }
+            if rs.rows.len() > 1 {
+                return Err(DbError::Eval(format!(
+                    "scalar subquery returned {} rows",
+                    rs.rows.len()
+                )));
+            }
+            Expr::Literal(
+                rs.rows
+                    .into_iter()
+                    .next()
+                    .map(|mut r| r.remove(0))
+                    .unwrap_or(Value::Null),
+            )
+        }
+        Expr::Exists { select, negated } => {
+            let rs = execute_select(db, select, params)?;
+            Expr::Literal(Value::Bool(!rs.rows.is_empty() != *negated))
+        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op: *op,
+            operand: Box::new(rec(operand)?),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rec(left)?),
+            right: Box::new(rec(right)?),
+        },
+        Expr::IsNull { operand, negated } => Expr::IsNull {
+            operand: Box::new(rec(operand)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            operand,
+            list,
+            negated,
+        } => Expr::InList {
+            operand: Box::new(rec(operand)?),
+            list: list.iter().map(rec).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            operand,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            operand: Box::new(rec(operand)?),
+            low: Box::new(rec(low)?),
+            high: Box::new(rec(high)?),
+            negated: *negated,
+        },
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => Expr::Aggregate {
+            func: *func,
+            arg: arg.as_ref().map(|a| rec(a).map(Box::new)).transpose()?,
+            distinct: *distinct,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(rec).collect::<Result<_>>()?,
+        },
+        Expr::Case {
+            branches,
+            else_branch,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Ok((rec(c)?, rec(v)?)))
+                .collect::<Result<_>>()?,
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| rec(e).map(Box::new))
+                .transpose()?,
+        },
+        leaf => leaf.clone(),
+    })
+}
+
+fn expr_has_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) | Expr::Exists { .. } => true,
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => expr_has_subquery(operand),
+        Expr::Binary { left, right, .. } => expr_has_subquery(left) || expr_has_subquery(right),
+        Expr::InList { operand, list, .. } => {
+            expr_has_subquery(operand) || list.iter().any(expr_has_subquery)
+        }
+        Expr::Between {
+            operand, low, high, ..
+        } => expr_has_subquery(operand) || expr_has_subquery(low) || expr_has_subquery(high),
+        Expr::Aggregate { arg, .. } => arg.as_ref().is_some_and(|a| expr_has_subquery(a)),
+        Expr::Function { args, .. } => args.iter().any(expr_has_subquery),
+        Expr::Case {
+            branches,
+            else_branch,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| expr_has_subquery(c) || expr_has_subquery(v))
+                || else_branch.as_ref().is_some_and(|e| expr_has_subquery(e))
+        }
+        _ => false,
+    }
+}
+
+fn select_has_subqueries(sel: &Select) -> bool {
+    sel.projections.iter().any(|p| match p {
+        Projection::Expr { expr, .. } => expr_has_subquery(expr),
+        _ => false,
+    }) || sel.where_clause.as_ref().is_some_and(expr_has_subquery)
+        || sel.group_by.iter().any(expr_has_subquery)
+        || sel.having.as_ref().is_some_and(expr_has_subquery)
+        || sel.order_by.iter().any(|o| expr_has_subquery(&o.expr))
+        || sel
+            .joins
+            .iter()
+            .any(|j| j.on.as_ref().is_some_and(expr_has_subquery))
+}
+
+/// Rewrite a SELECT with every subquery resolved.
+fn resolve_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Select> {
+    let mut out = sel.clone();
+    for p in &mut out.projections {
+        if let Projection::Expr { expr, .. } = p {
+            *expr = resolve_subqueries(db, expr, params)?;
+        }
+    }
+    if let Some(w) = &mut out.where_clause {
+        *w = resolve_subqueries(db, w, params)?;
+    }
+    for g in &mut out.group_by {
+        *g = resolve_subqueries(db, g, params)?;
+    }
+    if let Some(h) = &mut out.having {
+        *h = resolve_subqueries(db, h, params)?;
+    }
+    for o in &mut out.order_by {
+        o.expr = resolve_subqueries(db, &o.expr, params)?;
+    }
+    for j in &mut out.joins {
+        if let Some(on) = &mut j.on {
+            *on = resolve_subqueries(db, on, params)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a SELECT.
+pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
+    // Uncorrelated subqueries run once, up front.
+    let resolved;
+    let sel = if select_has_subqueries(sel) {
+        resolved = resolve_select(db, sel, params)?;
+        &resolved
+    } else {
+        sel
+    };
+    // Scalar SELECT without FROM.
+    let (layout, mut rows) = match &sel.from {
+        None => (Layout::default(), vec![Vec::new()]),
+        Some(base) => scan_and_join(db, base, sel, params)?,
+    };
+
+    // WHERE
+    if let Some(pred) = &sel.where_clause {
+        if pred.contains_aggregate() {
+            return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
+        }
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let env = Env::new(&layout, &row, params);
+            if eval_condition(pred, &env)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    let needs_aggregation = !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+
+    let mut out = if needs_aggregation {
+        aggregate_path(sel, &layout, &rows, params)?
+    } else {
+        plain_path(sel, &layout, &rows, params)?
+    };
+
+    // DISTINCT
+    if sel.distinct {
+        let mut seen = std::collections::HashSet::new();
+        out.rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    // LIMIT / OFFSET
+    let offset = sel.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        out.rows.drain(..offset.min(out.rows.len()));
+    }
+    if let Some(limit) = sel.limit {
+        out.rows.truncate(limit as usize);
+    }
+    Ok(out)
+}
+
+/// Describe the plan the executor would use for a SELECT (`EXPLAIN`).
+///
+/// The description is produced by the same decision code the executor
+/// runs — index candidate selection, base-conjunct pushdown, projection
+/// masking, and per-join strategy — so it cannot drift from reality.
+pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Vec<String>> {
+    let mut lines = Vec::new();
+    let Some(base) = &sel.from else {
+        lines.push("result: constant row (no FROM)".to_string());
+        return Ok(lines);
+    };
+    let base_table = db.table(&base.table)?;
+    let base_binding = base.effective_name().to_string();
+    let layout1 = Layout::single(
+        base_binding.clone(),
+        base_table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    );
+    let needed = needed_columns(sel);
+    match index_candidates(
+        base_table,
+        &base_binding,
+        &layout1,
+        sel.where_clause.as_ref(),
+        params,
+    )? {
+        Some(ids) => lines.push(format!(
+            "index scan on {} ({} candidate row(s) of {})",
+            base.table,
+            ids.len(),
+            base_table.len()
+        )),
+        None => lines.push(format!(
+            "seq scan on {} ({} row(s))",
+            base.table,
+            base_table.len()
+        )),
+    }
+    if !sel.joins.is_empty() {
+        if let Some(pred) = &sel.where_clause {
+            let pushed = conjuncts(pred)
+                .into_iter()
+                .filter(|c| !c.contains_aggregate() && refs_only_layout(c, &layout1))
+                .count();
+            if pushed > 0 {
+                lines.push(format!("  pushdown: {pushed} base-only conjunct(s)"));
+            }
+        }
+    }
+    let base_cols: Vec<String> = base_table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    if let Some(mask) = column_mask(&base_binding, &base_cols, &needed) {
+        let masked = mask.iter().filter(|&&k| !k).count();
+        lines.push(format!(
+            "  projection pruning: {masked}/{} column(s) of {} masked",
+            base_cols.len(),
+            base.table
+        ));
+    }
+    // joins, left-to-right, using the same equi-detection
+    let mut bindings = vec![(
+        base_binding.clone(),
+        base_cols.clone(),
+    )];
+    for join in &sel.joins {
+        let right_table = db.table(&join.table.table)?;
+        let right_binding = join.table.effective_name().to_string();
+        let right_cols: Vec<String> = right_table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let left_layout = Layout::new(bindings.clone());
+        let strategy = match join.kind {
+            JoinKind::Cross => "cross join (cartesian)".to_string(),
+            JoinKind::Inner | JoinKind::Left => {
+                let kind = if join.kind == JoinKind::Left {
+                    "left"
+                } else {
+                    "inner"
+                };
+                match join
+                    .on
+                    .as_ref()
+                    .and_then(|on| equi_offsets(on, &left_layout, &right_binding, &right_cols))
+                {
+                    Some(_) => format!("{kind} hash join"),
+                    None => format!("{kind} nested-loop join"),
+                }
+            }
+        };
+        lines.push(format!(
+            "{strategy} with {} ({} row(s))",
+            join.table.table,
+            right_table.len()
+        ));
+        if let Some(mask) = column_mask(&right_binding, &right_cols, &needed) {
+            let masked = mask.iter().filter(|&&k| !k).count();
+            lines.push(format!(
+                "  projection pruning: {masked}/{} column(s) of {} masked",
+                right_cols.len(),
+                join.table.table
+            ));
+        }
+        bindings.push((right_binding, right_cols));
+    }
+    if sel.where_clause.is_some() {
+        lines.push("filter: WHERE".to_string());
+    }
+    let has_agg = !sel.group_by.is_empty()
+        || sel.having.is_some()
+        || sel.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+    if has_agg {
+        lines.push(format!(
+            "aggregate: group by {} expr(s){}",
+            sel.group_by.len(),
+            if sel.having.is_some() { ", having" } else { "" }
+        ));
+    }
+    if sel.distinct {
+        lines.push("distinct".to_string());
+    }
+    if !sel.order_by.is_empty() {
+        lines.push(format!("sort: {} key(s)", sel.order_by.len()));
+    }
+    if sel.limit.is_some() || sel.offset.is_some() {
+        lines.push(format!(
+            "limit {:?} offset {:?}",
+            sel.limit, sel.offset
+        ));
+    }
+    Ok(lines)
+}
+
+// ---------------- scan + join ----------------
+
+fn table_layout_entry(db: &Database, tref: &TableRef) -> Result<(String, Vec<String>)> {
+    let t = db.table(&tref.table)?;
+    Ok((
+        tref.effective_name().to_string(),
+        t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+    ))
+}
+
+/// Collect every column reference in an expression tree.
+fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+    match expr {
+        Expr::Column { table, column } => out.push((table.as_deref(), column)),
+        Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
+            collect_columns(operand, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::InList { operand, list, .. } => {
+            collect_columns(operand, out);
+            for e in list {
+                collect_columns(e, out);
+            }
+        }
+        Expr::Between {
+            operand, low, high, ..
+        } => {
+            collect_columns(operand, out);
+            collect_columns(low, out);
+            collect_columns(high, out);
+        }
+        Expr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                collect_columns(a, out);
+            }
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+        Expr::Case {
+            branches,
+            else_branch,
+        } => {
+            for (c, v) in branches {
+                collect_columns(c, out);
+                collect_columns(v, out);
+            }
+            if let Some(e) = else_branch {
+                collect_columns(e, out);
+            }
+        }
+        // Subqueries are resolved before this pass runs; their operand is
+        // the only outer-query reference.
+        Expr::InSubquery { operand, .. } => collect_columns(operand, out),
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+    }
+}
+
+/// Columns the query actually reads, or `None` when a wildcard projection
+/// requires everything. Used for projection pruning: unneeded columns are
+/// masked to NULL at materialization time, which avoids cloning large
+/// strings from dimension tables into every joined fact row.
+fn needed_columns<'a>(sel: &'a Select) -> Option<Vec<(Option<&'a str>, &'a str)>> {
+    let mut out = Vec::new();
+    for p in &sel.projections {
+        match p {
+            Projection::Wildcard | Projection::TableWildcard(_) => return None,
+            Projection::Expr { expr, .. } => collect_columns(expr, &mut out),
+        }
+    }
+    if let Some(w) = &sel.where_clause {
+        collect_columns(w, &mut out);
+    }
+    for g in &sel.group_by {
+        collect_columns(g, &mut out);
+    }
+    if let Some(h) = &sel.having {
+        collect_columns(h, &mut out);
+    }
+    for o in &sel.order_by {
+        collect_columns(&o.expr, &mut out);
+        // ORDER BY bare names may refer to projection aliases; aliases are
+        // computed from projections already collected above. Bare names
+        // that are real columns are collected by collect_columns too.
+    }
+    for j in &sel.joins {
+        if let Some(on) = &j.on {
+            collect_columns(on, &mut out);
+        }
+    }
+    Some(out)
+}
+
+/// Per-column keep/mask flags for one binding.
+fn column_mask(
+    binding: &str,
+    columns: &[String],
+    needed: &Option<Vec<(Option<&str>, &str)>>,
+) -> Option<Vec<bool>> {
+    let needed = needed.as_ref()?;
+    let mask: Vec<bool> = columns
+        .iter()
+        .map(|col| {
+            needed.iter().any(|(t, c)| {
+                c.eq_ignore_ascii_case(col)
+                    && t.is_none_or(|t| t.eq_ignore_ascii_case(binding))
+            })
+        })
+        .collect();
+    if mask.iter().all(|&k| k) {
+        None // nothing to prune
+    } else {
+        Some(mask)
+    }
+}
+
+fn masked_clone(row: &Row, mask: &Option<Vec<bool>>) -> Row {
+    match mask {
+        None => row.clone(),
+        Some(mask) => row
+            .iter()
+            .zip(mask)
+            .map(|(v, &keep)| if keep { v.clone() } else { Value::Null })
+            .collect(),
+    }
+}
+
+fn scan_and_join(
+    db: &Database,
+    base: &TableRef,
+    sel: &Select,
+    params: &[Value],
+) -> Result<(Layout, Vec<Row>)> {
+    let joins = &sel.joins;
+    let where_clause = sel.where_clause.as_ref();
+    let needed = needed_columns(sel);
+    // Base scan with index pushdown.
+    let base_table = db.table(&base.table)?;
+    let base_binding = base.effective_name().to_string();
+    let mut bindings = vec![table_layout_entry(db, base)?];
+
+    let base_rows: Vec<Row> = {
+        let layout1 = Layout::single(
+            base_binding.clone(),
+            base_table
+                .schema
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        );
+        let candidates = index_candidates(
+            base_table,
+            &base_binding,
+            &layout1,
+            where_clause,
+            params,
+        )?;
+        // Push down every WHERE conjunct that references only base-table
+        // columns, *before* materializing rows for the join — this keeps
+        // filtered scans over million-row fact tables from cloning the
+        // whole table.
+        let pushdown: Vec<&Expr> = match (where_clause, joins.is_empty()) {
+            (Some(pred), false) => conjuncts(pred)
+                .into_iter()
+                .filter(|c| !c.contains_aggregate() && refs_only_layout(c, &layout1))
+                .collect(),
+            _ => Vec::new(), // without joins the main WHERE pass handles it
+        };
+        let keep = |row: &Row| -> Result<bool> {
+            for c in &pushdown {
+                let env = Env::new(&layout1, row, params);
+                if !eval_condition(c, &env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        };
+        let base_mask = column_mask(
+            &base_binding,
+            &base_table
+                .schema
+                .columns
+                .iter()
+                .map(|c| c.name.clone())
+                .collect::<Vec<_>>(),
+            &needed,
+        );
+        match candidates {
+            Some(ids) => {
+                let mut out = Vec::with_capacity(ids.len());
+                for id in ids {
+                    if let Some(row) = base_table.row(id) {
+                        if keep(row)? {
+                            out.push(masked_clone(row, &base_mask));
+                        }
+                    }
+                }
+                out
+            }
+            None => {
+                let mut out = Vec::new();
+                for (_, row) in base_table.iter() {
+                    if keep(row)? {
+                        out.push(masked_clone(row, &base_mask));
+                    }
+                }
+                out
+            }
+        }
+    };
+
+    let mut rows = base_rows;
+    for join in joins {
+        let right_table = db.table(&join.table.table)?;
+        let right_binding = join.table.effective_name().to_string();
+        if bindings
+            .iter()
+            .any(|(b, _)| b.eq_ignore_ascii_case(&right_binding))
+        {
+            return Err(DbError::Unsupported(format!(
+                "duplicate table binding {right_binding:?} in FROM (use an alias)"
+            )));
+        }
+        let right_cols: Vec<String> = right_table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let right_width = right_cols.len();
+        let left_layout = Layout::new(bindings.clone());
+        bindings.push((right_binding.clone(), right_cols.clone()));
+        let full_layout = Layout::new(bindings.clone());
+
+        let right_rows: Vec<&Row> = right_table.iter().map(|(_, r)| r).collect();
+        let right_mask = column_mask(&right_binding, &right_cols, &needed);
+        let extend_masked = |row: &mut Row, r: &Row| match &right_mask {
+            None => row.extend(r.iter().cloned()),
+            Some(mask) => row.extend(
+                r.iter()
+                    .zip(mask)
+                    .map(|(v, &keep)| if keep { v.clone() } else { Value::Null }),
+            ),
+        };
+
+        let mut joined: Vec<Row> = Vec::new();
+        match join.kind {
+            JoinKind::Cross => {
+                for l in &rows {
+                    for r in &right_rows {
+                        let mut row = l.clone();
+                        extend_masked(&mut row, r);
+                        joined.push(row);
+                    }
+                }
+            }
+            JoinKind::Inner | JoinKind::Left => {
+                let on = join
+                    .on
+                    .as_ref()
+                    .ok_or_else(|| DbError::Unsupported("JOIN requires ON".into()))?;
+                // Try hash join on a simple equi-condition.
+                if let Some((l_off, r_off)) =
+                    equi_offsets(on, &left_layout, &right_binding, &right_cols)
+                {
+                    let mut table: HashMap<Value, Vec<&Row>> = HashMap::new();
+                    for r in &right_rows {
+                        let key = &r[r_off];
+                        if !key.is_null() {
+                            table.entry(key.clone()).or_default().push(r);
+                        }
+                    }
+                    for l in &rows {
+                        let key = &l[l_off];
+                        let matches = if key.is_null() {
+                            None
+                        } else {
+                            table.get(key)
+                        };
+                        match matches {
+                            Some(ms) if !ms.is_empty() => {
+                                for m in ms {
+                                    let mut row = l.clone();
+                                    extend_masked(&mut row, m);
+                                    joined.push(row);
+                                }
+                            }
+                            _ if join.kind == JoinKind::Left => {
+                                let mut row = l.clone();
+                                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                                joined.push(row);
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    // General nested loop with full ON evaluation.
+                    for l in &rows {
+                        let mut matched = false;
+                        for r in &right_rows {
+                            let mut row = l.clone();
+                            extend_masked(&mut row, r);
+                            let env = Env::new(&full_layout, &row, params);
+                            if eval_condition(on, &env)? {
+                                joined.push(row);
+                                matched = true;
+                            }
+                        }
+                        if !matched && join.kind == JoinKind::Left {
+                            let mut row = l.clone();
+                            row.extend(std::iter::repeat_n(Value::Null, right_width));
+                            joined.push(row);
+                        }
+                    }
+                }
+            }
+        }
+        rows = joined;
+    }
+    Ok((Layout::new(bindings), rows))
+}
+
+/// If `on` is `left_col = right_col` (either order), return flat offsets
+/// (left offset in the accumulated layout, right offset in the right table).
+fn equi_offsets(
+    on: &Expr,
+    left_layout: &Layout,
+    right_binding: &str,
+    right_cols: &[String],
+) -> Option<(usize, usize)> {
+    let Expr::Binary {
+        op: BinaryOp::Eq,
+        left,
+        right,
+    } = on
+    else {
+        return None;
+    };
+    let as_col = |e: &Expr| -> Option<(Option<String>, String)> {
+        if let Expr::Column { table, column } = e {
+            Some((table.clone(), column.clone()))
+        } else {
+            None
+        }
+    };
+    let (lt, lc) = as_col(left)?;
+    let (rt, rc) = as_col(right)?;
+    let right_off = |t: &Option<String>, c: &str| -> Option<usize> {
+        match t {
+            Some(t) if !t.eq_ignore_ascii_case(right_binding) => None,
+            _ => right_cols.iter().position(|n| n.eq_ignore_ascii_case(c)),
+        }
+    };
+    let left_off = |t: &Option<String>, c: &str| -> Option<usize> {
+        left_layout.resolve(t.as_deref(), c).ok()
+    };
+    // (left = right)
+    if let (Some(lo), Some(ro)) = (left_off(&lt, &lc), right_off(&rt, &rc)) {
+        // ensure "right" side really refers to the right table (unqualified
+        // names could resolve on both sides — prefer explicit qualification)
+        if rt.is_some() || left_layout.resolve(None, &rc).is_err() {
+            return Some((lo, ro));
+        }
+    }
+    // (right = left)
+    if let (Some(lo), Some(ro)) = (left_off(&rt, &rc), right_off(&lt, &lc)) {
+        if lt.is_some() || left_layout.resolve(None, &lc).is_err() {
+            return Some((lo, ro));
+        }
+    }
+    None
+}
+
+/// True if every column reference in `expr` resolves within `layout`.
+fn refs_only_layout(expr: &Expr, layout: &Layout) -> bool {
+    match expr {
+        Expr::Column { table, column } => layout.resolve(table.as_deref(), column).is_ok(),
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
+            refs_only_layout(operand, layout)
+        }
+        Expr::Binary { left, right, .. } => {
+            refs_only_layout(left, layout) && refs_only_layout(right, layout)
+        }
+        Expr::InList { operand, list, .. } => {
+            refs_only_layout(operand, layout) && list.iter().all(|e| refs_only_layout(e, layout))
+        }
+        Expr::Between {
+            operand, low, high, ..
+        } => {
+            refs_only_layout(operand, layout)
+                && refs_only_layout(low, layout)
+                && refs_only_layout(high, layout)
+        }
+        Expr::Aggregate { arg, .. } => arg
+            .as_ref()
+            .is_none_or(|a| refs_only_layout(a, layout)),
+        Expr::Function { args, .. } => args.iter().all(|e| refs_only_layout(e, layout)),
+        Expr::Case {
+            branches,
+            else_branch,
+        } => {
+            branches
+                .iter()
+                .all(|(c, v)| refs_only_layout(c, layout) && refs_only_layout(v, layout))
+                && else_branch
+                    .as_ref()
+                    .is_none_or(|e| refs_only_layout(e, layout))
+        }
+        // Unresolved subqueries cannot be pushed down safely.
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) | Expr::Exists { .. } => false,
+    }
+}
+
+/// Collect top-level AND conjuncts.
+fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            left,
+            right,
+        } => {
+            let mut v = conjuncts(left);
+            v.extend(conjuncts(right));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// If the WHERE clause has an indexable conjunct on the base table, return
+/// the candidate row ids; `None` means full scan. Also used by the
+/// UPDATE/DELETE executors to avoid full-table target scans.
+pub(crate) fn index_candidates(
+    table: &crate::table::Table,
+    binding: &str,
+    layout1: &Layout,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+) -> Result<Option<Vec<crate::table::RowId>>> {
+    let Some(pred) = where_clause else {
+        return Ok(None);
+    };
+    let resolve_base_col = |e: &Expr| -> Option<usize> {
+        if let Expr::Column { table: t, column } = e {
+            match t {
+                Some(t) if !t.eq_ignore_ascii_case(binding) => None,
+                _ => layout1.resolve(None, column).ok(),
+            }
+        } else {
+            None
+        }
+    };
+    let const_val = |e: &Expr| -> Option<Value> {
+        match e {
+            Expr::Literal(v) => Some(v.clone()),
+            Expr::Param(i) => params.get(*i).cloned(),
+            _ => None,
+        }
+    };
+    for c in conjuncts(pred) {
+        if let Expr::Binary { op, left, right } = c {
+            // col op const / const op col
+            let (col, val, op) = match (resolve_base_col(left), const_val(right)) {
+                (Some(col), Some(v)) => (col, v, *op),
+                _ => match (resolve_base_col(right), const_val(left)) {
+                    (Some(col), Some(v)) => (col, v, flip(*op)),
+                    _ => continue,
+                },
+            };
+            if val.is_null() {
+                continue;
+            }
+            let Some(ix) = table.index_on(col) else {
+                continue;
+            };
+            let ids = match op {
+                BinaryOp::Eq => ix.get(&val),
+                BinaryOp::Lt => ix.range(Bound::Unbounded, Bound::Excluded(&val)),
+                BinaryOp::LtEq => ix.range(Bound::Unbounded, Bound::Included(&val)),
+                BinaryOp::Gt => ix.range(Bound::Excluded(&val), Bound::Unbounded),
+                BinaryOp::GtEq => ix.range(Bound::Included(&val), Bound::Unbounded),
+                _ => continue,
+            };
+            return Ok(Some(ids));
+        }
+        if let Expr::Between {
+            operand,
+            low,
+            high,
+            negated: false,
+        } = c
+        {
+            if let (Some(col), Some(lo), Some(hi)) =
+                (resolve_base_col(operand), const_val(low), const_val(high))
+            {
+                if let Some(ix) = table.index_on(col) {
+                    return Ok(Some(ix.range(Bound::Included(&lo), Bound::Included(&hi))));
+                }
+            }
+        }
+        if let Expr::InList {
+            operand,
+            list,
+            negated: false,
+        } = c
+        {
+            if let Some(col) = resolve_base_col(operand) {
+                if let Some(ix) = table.index_on(col) {
+                    let mut ids = Vec::new();
+                    let mut all_const = true;
+                    for item in list {
+                        match const_val(item) {
+                            Some(v) => ids.extend(ix.get(&v)),
+                            None => {
+                                all_const = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_const {
+                        ids.sort_unstable();
+                        ids.dedup();
+                        return Ok(Some(ids));
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+// ---------------- projection ----------------
+
+/// Expand projections into (name, expr) pairs; wildcards become columns.
+fn expand_projections(sel: &Select, layout: &Layout) -> Result<Vec<(String, Expr)>> {
+    let mut out = Vec::new();
+    for p in &sel.projections {
+        match p {
+            Projection::Wildcard => {
+                for (binding, col) in layout.flat() {
+                    out.push((
+                        col.clone(),
+                        Expr::Column {
+                            table: Some(binding.clone()),
+                            column: col.clone(),
+                        },
+                    ));
+                }
+            }
+            Projection::TableWildcard(t) => {
+                let (start, len) = layout
+                    .binding_span(t)
+                    .ok_or_else(|| DbError::NoSuchTable(t.clone()))?;
+                for (binding, col) in &layout.flat()[start..start + len] {
+                    out.push((
+                        col.clone(),
+                        Expr::Column {
+                            table: Some(binding.clone()),
+                            column: col.clone(),
+                        },
+                    ));
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.default_name());
+                out.push((name, expr.clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn plain_path(
+    sel: &Select,
+    layout: &Layout,
+    rows: &[Row],
+    params: &[Value],
+) -> Result<ResultSet> {
+    let projections = expand_projections(sel, layout)?;
+    let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
+
+    // ORDER BY before projection so sort keys can use any source column.
+    let mut indices: Vec<usize> = (0..rows.len()).collect();
+    if !sel.order_by.is_empty() {
+        let keys = order_keys(&sel.order_by, layout, rows, params, &projections, None)?;
+        sort_indices(&mut indices, &keys, &sel.order_by);
+    }
+
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for &i in &indices {
+        let env = Env::new(layout, &rows[i], params);
+        let mut out = Vec::with_capacity(projections.len());
+        for (_, e) in &projections {
+            out.push(eval(e, &env)?);
+        }
+        out_rows.push(out);
+    }
+    Ok(ResultSet {
+        columns,
+        rows: out_rows,
+    })
+}
+
+// ---------------- aggregation ----------------
+
+/// Collect every distinct aggregate sub-expression in a tree.
+fn collect_aggregates<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match expr {
+        Expr::Aggregate { .. } => {
+            if !out.iter().any(|e| *e == expr) {
+                out.push(expr);
+            }
+        }
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
+            collect_aggregates(operand, out)
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::InList { operand, list, .. } => {
+            collect_aggregates(operand, out);
+            for e in list {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Between {
+            operand, low, high, ..
+        } => {
+            collect_aggregates(operand, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Case {
+            branches,
+            else_branch,
+        } => {
+            for (c, v) in branches {
+                collect_aggregates(c, out);
+                collect_aggregates(v, out);
+            }
+            if let Some(e) = else_branch {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::InSubquery { operand, .. } => collect_aggregates(operand, out),
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => {}
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => {}
+    }
+}
+
+/// Replace aggregate nodes with their computed literal values.
+fn substitute(expr: &Expr, aggs: &[&Expr], values: &[Value]) -> Expr {
+    if let Some(pos) = aggs.iter().position(|a| *a == expr) {
+        return Expr::Literal(values[pos].clone());
+    }
+    match expr {
+        Expr::Unary { op, operand } => Expr::Unary {
+            op: *op,
+            operand: Box::new(substitute(operand, aggs, values)),
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute(left, aggs, values)),
+            right: Box::new(substitute(right, aggs, values)),
+        },
+        Expr::IsNull { operand, negated } => Expr::IsNull {
+            operand: Box::new(substitute(operand, aggs, values)),
+            negated: *negated,
+        },
+        Expr::InList {
+            operand,
+            list,
+            negated,
+        } => Expr::InList {
+            operand: Box::new(substitute(operand, aggs, values)),
+            list: list.iter().map(|e| substitute(e, aggs, values)).collect(),
+            negated: *negated,
+        },
+        Expr::Between {
+            operand,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            operand: Box::new(substitute(operand, aggs, values)),
+            low: Box::new(substitute(low, aggs, values)),
+            high: Box::new(substitute(high, aggs, values)),
+            negated: *negated,
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(|e| substitute(e, aggs, values)).collect(),
+        },
+        Expr::Case {
+            branches,
+            else_branch,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| (substitute(c, aggs, values), substitute(v, aggs, values)))
+                .collect(),
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| Box::new(substitute(e, aggs, values))),
+        },
+        other => other.clone(),
+    }
+}
+
+fn aggregate_path(
+    sel: &Select,
+    layout: &Layout,
+    rows: &[Row],
+    params: &[Value],
+) -> Result<ResultSet> {
+    let projections = expand_projections(sel, layout)?;
+    let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
+
+    // All aggregate expressions across projections, HAVING, ORDER BY.
+    let mut aggs: Vec<&Expr> = Vec::new();
+    for (_, e) in &projections {
+        collect_aggregates(e, &mut aggs);
+    }
+    if let Some(h) = &sel.having {
+        collect_aggregates(h, &mut aggs);
+    }
+    for o in &sel.order_by {
+        collect_aggregates(&o.expr, &mut aggs);
+    }
+
+    // Group rows.
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+    if sel.group_by.is_empty() {
+        groups.push((Vec::new(), (0..rows.len()).collect()));
+    } else {
+        for (i, row) in rows.iter().enumerate() {
+            let env = Env::new(layout, row, params);
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, &env)?);
+            }
+            match group_index.get(&key) {
+                Some(&gi) => groups[gi].1.push(i),
+                None => {
+                    group_index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+    }
+
+    // Accumulate aggregates per group.
+    let mut out_rows = Vec::with_capacity(groups.len());
+    for (_, members) in &groups {
+        let mut accs: Vec<Accumulator> = aggs
+            .iter()
+            .map(|a| match a {
+                Expr::Aggregate {
+                    func, distinct, ..
+                } => Accumulator::new(*func, *distinct),
+                _ => unreachable!("collect_aggregates only collects aggregates"),
+            })
+            .collect();
+        for &ri in members {
+            let env = Env::new(layout, &rows[ri], params);
+            for (ai, a) in aggs.iter().enumerate() {
+                let Expr::Aggregate { arg, .. } = a else {
+                    unreachable!()
+                };
+                match arg {
+                    None => accs[ai].update(None)?,
+                    Some(e) => {
+                        let v = eval(e, &env)?;
+                        accs[ai].update(Some(&v))?;
+                    }
+                }
+            }
+        }
+        let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+
+        // Representative row for evaluating group-key expressions. An empty
+        // group (aggregate over zero rows, no GROUP BY) uses a NULL row.
+        let null_row: Row = vec![Value::Null; layout.width()];
+        let rep: &Row = members.first().map(|&i| &rows[i]).unwrap_or(&null_row);
+        let env = Env::new(layout, rep, params);
+
+        // HAVING
+        if let Some(h) = &sel.having {
+            let h_sub = substitute(h, &aggs, &agg_values);
+            if !eval_condition(&h_sub, &env)? {
+                continue;
+            }
+        }
+
+        let mut out = Vec::with_capacity(projections.len());
+        for (_, e) in &projections {
+            let e_sub = substitute(e, &aggs, &agg_values);
+            out.push(eval(&e_sub, &env)?);
+        }
+
+        // ORDER BY keys for this group (computed now, sorted below).
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for o in &sel.order_by {
+            let key = resolve_order_expr(&o.expr, &projections, &columns, &out)?;
+            match key {
+                Some(v) => keys.push(v),
+                None => {
+                    let e_sub = substitute(&o.expr, &aggs, &agg_values);
+                    keys.push(eval(&e_sub, &env)?);
+                }
+            }
+        }
+        out_rows.push((keys, out));
+    }
+
+    // Sort groups.
+    if !sel.order_by.is_empty() {
+        out_rows.sort_by(|a, b| {
+            for (i, o) in sel.order_by.iter().enumerate() {
+                let ord = a.0[i].total_cmp(&b.0[i]);
+                let ord = if o.descending { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    Ok(ResultSet {
+        columns,
+        rows: out_rows.into_iter().map(|(_, r)| r).collect(),
+    })
+}
+
+// ---------------- ORDER BY helpers ----------------
+
+/// Resolve ORDER BY shortcuts: ordinal (`ORDER BY 2`) or output alias.
+/// Returns the already-computed output value when applicable.
+fn resolve_order_expr(
+    expr: &Expr,
+    projections: &[(String, Expr)],
+    columns: &[String],
+    out_row: &[Value],
+) -> Result<Option<Value>> {
+    match expr {
+        Expr::Literal(Value::Int(n)) => {
+            let i = *n as usize;
+            if i == 0 || i > columns.len() {
+                return Err(DbError::Eval(format!(
+                    "ORDER BY ordinal {n} out of range 1..={}",
+                    columns.len()
+                )));
+            }
+            Ok(Some(out_row[i - 1].clone()))
+        }
+        Expr::Column {
+            table: None,
+            column,
+        } => {
+            // Prefer an explicit output alias over a source column only if
+            // the alias was explicitly given (it shadows).
+            if let Some(pos) = projections
+                .iter()
+                .position(|(n, e)| n.eq_ignore_ascii_case(column) && !matches!(e, Expr::Column { column: c, .. } if c.eq_ignore_ascii_case(column)))
+            {
+                return Ok(Some(out_row[pos].clone()));
+            }
+            Ok(None)
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Evaluate ORDER BY keys for every row (plain path).
+fn order_keys(
+    order_by: &[OrderItem],
+    layout: &Layout,
+    rows: &[Row],
+    params: &[Value],
+    projections: &[(String, Expr)],
+    _unused: Option<()>,
+) -> Result<Vec<Vec<Value>>> {
+    let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
+    let mut keys = Vec::with_capacity(rows.len());
+    for row in rows {
+        let env = Env::new(layout, row, params);
+        let mut k = Vec::with_capacity(order_by.len());
+        for o in order_by {
+            // For ordinals/aliases we must project first.
+            let needs_projection = matches!(&o.expr, Expr::Literal(Value::Int(_)))
+                || matches!(&o.expr, Expr::Column { table: None, .. });
+            if needs_projection {
+                // compute the projected row lazily only when required
+                let mut out = Vec::with_capacity(projections.len());
+                for (_, e) in projections {
+                    out.push(eval(e, &env)?);
+                }
+                if let Some(v) = resolve_order_expr(&o.expr, projections, &columns, &out)? {
+                    k.push(v);
+                    continue;
+                }
+            }
+            k.push(eval(&o.expr, &env)?);
+        }
+        keys.push(k);
+    }
+    Ok(keys)
+}
+
+fn sort_indices(indices: &mut [usize], keys: &[Vec<Value>], order_by: &[OrderItem]) {
+    indices.sort_by(|&a, &b| {
+        for (i, o) in order_by.iter().enumerate() {
+            let ord = keys[a][i].total_cmp(&keys[b][i]);
+            let ord = if o.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}

@@ -1,0 +1,66 @@
+//! # perfdmf-db
+//!
+//! An embedded relational database engine — the DBMS substrate under
+//! PerfDMF.
+//!
+//! The paper runs PerfDMF on PostgreSQL, MySQL, Oracle, or DB2 through
+//! JDBC. This crate provides the equivalent substrate as a from-scratch
+//! embedded engine so the framework is self-contained:
+//!
+//! * typed tables with PRIMARY KEY / UNIQUE / NOT NULL / FOREIGN KEY /
+//!   DEFAULT / AUTO_INCREMENT constraints,
+//! * ordered secondary indexes with equality and range pushdown,
+//! * a SQL dialect covering everything the PerfDMF schema and API use:
+//!   CREATE/DROP/ALTER TABLE, CREATE/DROP INDEX, INSERT/UPDATE/DELETE,
+//!   SELECT with joins (inner/left/cross, hash-join fast path), WHERE,
+//!   GROUP BY + HAVING, aggregates (COUNT/SUM/AVG/MIN/MAX/STDDEV),
+//!   DISTINCT, ORDER BY (incl. aliases and ordinals), LIMIT/OFFSET,
+//!   scalar functions, CASE, CAST, LIKE, IN, BETWEEN, and `?` parameters,
+//! * transactions (BEGIN/COMMIT/ROLLBACK) with statement-level atomicity,
+//! * durability via binary snapshots plus a checksummed write-ahead log
+//!   with torn-tail recovery,
+//! * runtime schema metadata (the JDBC `getMetaData()` equivalent PerfDMF
+//!   relies on for its flexible APPLICATION/EXPERIMENT/TRIAL schema).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use perfdmf_db::{Connection, Value};
+//!
+//! let conn = Connection::open_in_memory();
+//! conn.execute(
+//!     "CREATE TABLE application (
+//!          id INTEGER PRIMARY KEY AUTO_INCREMENT,
+//!          name TEXT NOT NULL,
+//!          version TEXT)",
+//!     &[],
+//! ).unwrap();
+//! let id = conn
+//!     .insert("INSERT INTO application (name, version) VALUES (?, ?)",
+//!             &[Value::from("EVH1"), Value::from("1.0")])
+//!     .unwrap()
+//!     .unwrap();
+//! let rs = conn
+//!     .query("SELECT name FROM application WHERE id = ?", &[Value::Int(id)])
+//!     .unwrap();
+//! assert_eq!(rs.get(0, "name"), Some(&Value::from("EVH1")));
+//! ```
+
+pub mod connection;
+pub mod database;
+mod error;
+pub mod exec;
+pub mod index;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod table;
+pub mod value;
+
+pub use connection::{Connection, Prepared, TransactionHandle};
+pub use database::Database;
+pub use error::{DbError, Result};
+pub use exec::{Outcome, ResultSet};
+pub use schema::{ColumnDef, TableSchema};
+pub use table::{Row, RowId, Table};
+pub use value::{DataType, Value};

@@ -1,0 +1,339 @@
+//! SQL abstract syntax tree.
+
+use crate::schema::ColumnDef;
+use crate::value::Value;
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `EXPLAIN <statement>` — describe the execution plan.
+    Explain(Box<Statement>),
+    Select(Select),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        if_not_exists: bool,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    AlterTableAddColumn {
+        table: String,
+        column: ColumnDef,
+    },
+    AlterTableDropColumn {
+        table: String,
+        column: String,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+        unique: bool,
+    },
+    DropIndex {
+        name: String,
+    },
+    Begin,
+    Commit,
+    Rollback,
+}
+
+/// SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub distinct: bool,
+    pub projections: Vec<Projection>,
+    /// FROM clause; empty for scalar SELECTs like `SELECT 1+1`.
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// A projected output column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    TableWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Name this table is addressed by in the query.
+    pub fn effective_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Join types supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// One JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    /// ON condition (absent for CROSS JOIN).
+    pub on: Option<Expr>,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// INSERT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Explicit column list; empty means "all columns in order".
+    pub columns: Vec<String>,
+    /// One or more value tuples.
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// UPDATE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub table: String,
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// DELETE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub where_clause: Option<Expr>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Like,
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Sample standard deviation (n-1 denominator), matching common DBMS
+    /// `STDDEV`.
+    StdDev,
+}
+
+impl AggregateFn {
+    /// Parse an aggregate function name.
+    pub fn parse(name: &str) -> Option<AggregateFn> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateFn::Count),
+            "SUM" => Some(AggregateFn::Sum),
+            "AVG" | "MEAN" => Some(AggregateFn::Avg),
+            "MIN" => Some(AggregateFn::Min),
+            "MAX" => Some(AggregateFn::Max),
+            "STDDEV" | "STDDEV_SAMP" | "STD" => Some(AggregateFn::StdDev),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateFn::Count => "COUNT",
+            AggregateFn::Sum => "SUM",
+            AggregateFn::Avg => "AVG",
+            AggregateFn::Min => "MIN",
+            AggregateFn::Max => "MAX",
+            AggregateFn::StdDev => "STDDEV",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// `?` positional parameter (0-based ordinal).
+    Param(usize),
+    /// Column reference, optionally qualified: `[table.]column`.
+    Column {
+        table: Option<String>,
+        column: String,
+    },
+    Unary {
+        op: UnaryOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        operand: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        operand: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)` — uncorrelated subquery, resolved to
+    /// an `InList` before evaluation.
+    InSubquery {
+        operand: Box<Expr>,
+        select: Box<Select>,
+        negated: bool,
+    },
+    /// `(SELECT ...)` in scalar position — uncorrelated, must yield one
+    /// column; resolved to a literal (first row's value, NULL if empty).
+    ScalarSubquery(Box<Select>),
+    /// `[NOT] EXISTS (SELECT ...)` — uncorrelated; resolved to a boolean.
+    Exists {
+        select: Box<Select>,
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        operand: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    /// Aggregate call. `arg` is `None` for `COUNT(*)`.
+    Aggregate {
+        func: AggregateFn,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    /// Scalar function call (ABS, LOWER, COALESCE, ...).
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `CASE WHEN c THEN v [WHEN ...] [ELSE e] END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Column reference shorthand.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            table: None,
+            column: name.to_ascii_lowercase(),
+        }
+    }
+
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// True if this expression (sub)tree contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column { .. } => false,
+            Expr::Unary { operand, .. } => operand.contains_aggregate(),
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::IsNull { operand, .. } => operand.contains_aggregate(),
+            Expr::InList { operand, list, .. } => {
+                operand.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSubquery { operand, .. } => operand.contains_aggregate(),
+            Expr::ScalarSubquery(_) | Expr::Exists { .. } => false,
+            Expr::Between {
+                operand, low, high, ..
+            } => {
+                operand.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case {
+                branches,
+                else_branch,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_branch
+                        .as_ref()
+                        .is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+
+    /// Display name used for an unaliased projection of this expression.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column { column, .. } => column.clone(),
+            Expr::Aggregate { func, arg, .. } => match arg {
+                None => format!("{}(*)", func.name()),
+                Some(a) => format!("{}({})", func.name(), a.default_name()),
+            },
+            Expr::Function { name, .. } => name.to_ascii_lowercase(),
+            Expr::Literal(v) => v.to_string(),
+            _ => "expr".to_string(),
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! End-to-end SQL suite exercising the engine through the Connection API,
+//! modeled on the statements PerfDMF issues against its schema.
+
+use perfdmf_db::{Connection, DbError, Outcome, Value};
+
+fn seeded() -> Connection {
+    let conn = Connection::open_in_memory();
+    conn.execute(
+        "CREATE TABLE application (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            name TEXT NOT NULL,
+            version TEXT)",
+        &[],
+    )
+    .unwrap();
+    conn.execute(
+        "CREATE TABLE experiment (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            application INTEGER NOT NULL REFERENCES application(id),
+            name TEXT NOT NULL)",
+        &[],
+    )
+    .unwrap();
+    conn.execute(
+        "CREATE TABLE trial (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            experiment INTEGER NOT NULL REFERENCES experiment(id),
+            name TEXT NOT NULL,
+            node_count INTEGER,
+            time DOUBLE)",
+        &[],
+    )
+    .unwrap();
+    conn.insert(
+        "INSERT INTO application (name, version) VALUES ('evh1', '1.0'), ('sppm', '2.1')",
+        &[],
+    )
+    .unwrap();
+    conn.insert(
+        "INSERT INTO experiment (application, name) VALUES (1, 'scaling'), (1, 'tuning'), (2, 'counters')",
+        &[],
+    )
+    .unwrap();
+    conn.insert(
+        "INSERT INTO trial (experiment, name, node_count, time) VALUES
+            (1, 'p1',   1, 100.0),
+            (1, 'p2',   2,  52.0),
+            (1, 'p4',   4,  28.0),
+            (1, 'p8',   8,  16.0),
+            (2, 'base', 4,  30.0),
+            (3, 'c1',   16, NULL)",
+        &[],
+    )
+    .unwrap();
+    conn
+}
+
+#[test]
+fn select_where_order_limit() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT name, time FROM trial WHERE experiment = 1 ORDER BY time ASC LIMIT 2",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.columns, vec!["name", "time"]);
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p8")));
+    assert_eq!(rs.get(1, "name"), Some(&Value::from("p4")));
+}
+
+#[test]
+fn parameterized_queries() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) AS n FROM trial WHERE node_count >= ? AND experiment = ?",
+            &[Value::Int(4), Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    assert!(matches!(
+        conn.query("SELECT * FROM trial WHERE id = ?", &[]),
+        Err(DbError::MissingParameter(_))
+    ));
+}
+
+#[test]
+fn join_three_tables() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT a.name AS app, e.name AS exp, t.name AS trial_name
+             FROM trial t
+             JOIN experiment e ON t.experiment = e.id
+             JOIN application a ON e.application = a.id
+             WHERE a.name = 'evh1'
+             ORDER BY t.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 5);
+    assert_eq!(rs.get(0, "app"), Some(&Value::from("evh1")));
+    assert_eq!(rs.get(4, "trial_name"), Some(&Value::from("base")));
+}
+
+#[test]
+fn left_join_null_padding() {
+    let conn = seeded();
+    // experiment 'counters' has one trial; applications without trials pad.
+    conn.insert("INSERT INTO application (name) VALUES ('untested')", &[])
+        .unwrap();
+    let rs = conn
+        .query(
+            "SELECT a.name, e.id FROM application a LEFT JOIN experiment e ON e.application = a.id
+             WHERE a.name = 'untested'",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][1], Value::Null);
+}
+
+#[test]
+fn cross_join_counts() {
+    let conn = seeded();
+    let rs = conn
+        .query("SELECT COUNT(*) FROM application, experiment", &[])
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(6)));
+}
+
+#[test]
+fn group_by_having_aggregates() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT experiment, COUNT(*) AS n, AVG(time) AS mean_time,
+                    MIN(node_count) AS lo, MAX(node_count) AS hi
+             FROM trial GROUP BY experiment HAVING COUNT(*) > 1 ORDER BY experiment",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.get(0, "n"), Some(&Value::Int(4)));
+    assert_eq!(rs.get(0, "mean_time"), Some(&Value::Float(49.0)));
+    assert_eq!(rs.get(0, "lo"), Some(&Value::Int(1)));
+    assert_eq!(rs.get(0, "hi"), Some(&Value::Int(8)));
+}
+
+#[test]
+fn stddev_matches_manual() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT STDDEV(time) FROM trial WHERE experiment = 1",
+            &[],
+        )
+        .unwrap();
+    // sample stddev of [100, 52, 28, 16]
+    let xs = [100.0f64, 52.0, 28.0, 16.0];
+    let mean = xs.iter().sum::<f64>() / 4.0;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 3.0;
+    match rs.scalar() {
+        Some(Value::Float(s)) => assert!((s - var.sqrt()).abs() < 1e-9),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_skip_nulls() {
+    let conn = seeded();
+    let rs = conn
+        .query("SELECT COUNT(time), COUNT(*), AVG(time) FROM trial", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(5));
+    assert_eq!(rs.rows[0][1], Value::Int(6));
+    match &rs.rows[0][2] {
+        Value::Float(f) => assert!((f - 45.2).abs() < 1e-9),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn distinct_and_in() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT DISTINCT node_count FROM trial WHERE node_count IN (1, 2, 4) ORDER BY node_count",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(4)]
+        ]
+    );
+}
+
+#[test]
+fn like_and_case() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT name, CASE WHEN node_count >= 8 THEN 'big' ELSE 'small' END AS size
+             FROM trial WHERE name LIKE 'p%' ORDER BY node_count",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 4);
+    assert_eq!(rs.get(0, "size"), Some(&Value::from("small")));
+    assert_eq!(rs.get(3, "size"), Some(&Value::from("big")));
+}
+
+#[test]
+fn update_and_delete_with_where() {
+    let conn = seeded();
+    let n = conn
+        .update("UPDATE trial SET time = time * 2 WHERE experiment = 1", &[])
+        .unwrap();
+    assert_eq!(n, 4);
+    let rs = conn
+        .query("SELECT time FROM trial WHERE name = 'p1'", &[])
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Float(200.0)));
+    let n = conn.update("DELETE FROM trial WHERE time IS NULL", &[]).unwrap();
+    assert_eq!(n, 1);
+    assert_eq!(conn.row_count("trial").unwrap(), 5);
+}
+
+#[test]
+fn statement_atomicity_on_failed_multi_insert() {
+    let conn = seeded();
+    let before = conn.row_count("trial").unwrap();
+    // Second tuple violates FK → whole statement must roll back.
+    let err = conn.insert(
+        "INSERT INTO trial (experiment, name) VALUES (1, 'ok'), (99, 'bad')",
+        &[],
+    );
+    assert!(err.is_err());
+    assert_eq!(conn.row_count("trial").unwrap(), before);
+}
+
+#[test]
+fn explicit_transaction_commit_and_rollback() {
+    let conn = seeded();
+    conn.transaction(|tx| {
+        tx.execute("INSERT INTO application (name) VALUES ('tx1')", &[])?;
+        tx.execute("INSERT INTO application (name) VALUES ('tx2')", &[])?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(conn.row_count("application").unwrap(), 4);
+
+    let r: Result<(), DbError> = conn.transaction(|tx| {
+        tx.execute("INSERT INTO application (name) VALUES ('doomed')", &[])?;
+        Err(DbError::Eval("abort".into()))
+    });
+    assert!(r.is_err());
+    assert_eq!(conn.row_count("application").unwrap(), 4);
+}
+
+#[test]
+fn sql_level_transactions() {
+    let conn = seeded();
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("INSERT INTO application (name) VALUES ('x')", &[])
+        .unwrap();
+    conn.execute("ROLLBACK", &[]).unwrap();
+    assert_eq!(conn.row_count("application").unwrap(), 2);
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("INSERT INTO application (name) VALUES ('y')", &[])
+        .unwrap();
+    conn.execute("COMMIT", &[]).unwrap();
+    assert_eq!(conn.row_count("application").unwrap(), 3);
+}
+
+#[test]
+fn flexible_schema_alter_table() {
+    let conn = seeded();
+    // Paper §3.2: add metadata columns at runtime, discover via metadata.
+    conn.execute(
+        "ALTER TABLE experiment ADD COLUMN compiler TEXT DEFAULT 'xlc'",
+        &[],
+    )
+    .unwrap();
+    conn.execute("ALTER TABLE experiment ADD COLUMN os_version TEXT", &[])
+        .unwrap();
+    let cols = conn.table_meta("experiment").unwrap();
+    let names: Vec<_> = cols.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["id", "application", "name", "compiler", "os_version"]);
+    // Existing rows picked up the default.
+    let rs = conn
+        .query("SELECT compiler FROM experiment WHERE id = 1", &[])
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::from("xlc")));
+    conn.execute("ALTER TABLE experiment DROP COLUMN os_version", &[])
+        .unwrap();
+    assert_eq!(conn.table_meta("experiment").unwrap().len(), 4);
+}
+
+#[test]
+fn index_accelerated_queries_same_results() {
+    let conn = seeded();
+    let plain = conn
+        .query("SELECT id FROM trial WHERE node_count = 4 ORDER BY id", &[])
+        .unwrap();
+    conn.execute("CREATE INDEX ix_nodes ON trial (node_count)", &[])
+        .unwrap();
+    let mut indexed = conn
+        .query("SELECT id FROM trial WHERE node_count = 4 ORDER BY id", &[])
+        .unwrap();
+    indexed.rows.sort();
+    let mut plain_rows = plain.rows.clone();
+    plain_rows.sort();
+    assert_eq!(indexed.rows, plain_rows);
+    // Range predicate through the index too.
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) FROM trial WHERE node_count BETWEEN 2 AND 8",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    conn.execute("DROP INDEX ix_nodes", &[]).unwrap();
+}
+
+#[test]
+fn unique_index_enforced() {
+    let conn = seeded();
+    conn.execute("CREATE UNIQUE INDEX u_app_name ON application (name)", &[])
+        .unwrap();
+    assert!(matches!(
+        conn.insert("INSERT INTO application (name) VALUES ('evh1')", &[]),
+        Err(DbError::UniqueViolation { .. })
+    ));
+}
+
+#[test]
+fn order_by_alias_and_ordinal() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT name, node_count * 2 AS doubled FROM trial WHERE experiment = 1 ORDER BY doubled DESC",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p8")));
+    let rs = conn
+        .query(
+            "SELECT name, node_count FROM trial WHERE experiment = 1 ORDER BY 2 DESC",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p8")));
+}
+
+#[test]
+fn scalar_select_without_from() {
+    let conn = Connection::open_in_memory();
+    assert_eq!(
+        conn.query_scalar("SELECT 6 * 7", &[]).unwrap(),
+        Value::Int(42)
+    );
+    assert_eq!(
+        conn.query_scalar("SELECT UPPER('tau') || '-db'", &[]).unwrap(),
+        Value::Text("TAU-db".into())
+    );
+}
+
+#[test]
+fn table_wildcards() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT t.*, e.name FROM trial t JOIN experiment e ON t.experiment = e.id WHERE t.id = 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.columns.len(), 6);
+    let rs2 = conn.query("SELECT * FROM trial WHERE id = 1", &[]).unwrap();
+    assert_eq!(rs2.columns, vec!["id", "experiment", "name", "node_count", "time"]);
+}
+
+#[test]
+fn last_insert_id_reported() {
+    let conn = seeded();
+    match conn
+        .execute("INSERT INTO application (name) VALUES ('z')", &[])
+        .unwrap()
+    {
+        Outcome::Affected {
+            count,
+            last_insert_id,
+        } => {
+            assert_eq!(count, 1);
+            assert_eq!(last_insert_id, Some(3));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn error_on_unknown_entities() {
+    let conn = seeded();
+    assert!(matches!(
+        conn.query("SELECT * FROM nope", &[]),
+        Err(DbError::NoSuchTable(_))
+    ));
+    assert!(matches!(
+        conn.query("SELECT nope FROM trial", &[]),
+        Err(DbError::NoSuchColumn { .. })
+    ));
+    assert!(matches!(
+        conn.query("SELECT id FROM trial t JOIN experiment e ON t.experiment = e.id", &[]),
+        Err(DbError::AmbiguousColumn(_))
+    ));
+}
+
+#[test]
+fn self_referential_join_with_aliases() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT a.name, b.name FROM application a JOIN application b ON a.id < b.id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}
+
+#[test]
+fn where_aggregate_rejected() {
+    let conn = seeded();
+    assert!(conn
+        .query("SELECT id FROM trial WHERE COUNT(*) > 1", &[])
+        .is_err());
+}
+
+#[test]
+fn group_by_expression() {
+    let conn = seeded();
+    let rs = conn
+        .query(
+            "SELECT node_count >= 4 AS big, COUNT(*) FROM trial GROUP BY node_count >= 4 ORDER BY 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][1], Value::Int(2)); // 1, 2
+    assert_eq!(rs.rows[1][1], Value::Int(4)); // 4, 4, 8, 16
+}
+
+#[test]
+fn offset_pagination() {
+    let conn = seeded();
+    let page1 = conn
+        .query("SELECT id FROM trial ORDER BY id LIMIT 2 OFFSET 0", &[])
+        .unwrap();
+    let page2 = conn
+        .query("SELECT id FROM trial ORDER BY id LIMIT 2 OFFSET 2", &[])
+        .unwrap();
+    assert_eq!(page1.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    assert_eq!(page2.rows, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+}
+
+#[test]
+fn in_subqueries() {
+    let conn = seeded();
+    // trials of the evh1 application, via a nested subquery chain
+    let rs = conn
+        .query(
+            "SELECT name FROM trial
+             WHERE experiment IN (
+                 SELECT id FROM experiment WHERE application IN (
+                     SELECT id FROM application WHERE name = 'evh1'))
+             ORDER BY id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 5);
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p1")));
+    // NOT IN
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) FROM trial WHERE experiment NOT IN (SELECT id FROM experiment WHERE name = 'scaling')",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    // parameters inside the subquery bind from the same list
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) FROM trial WHERE experiment IN (SELECT id FROM experiment WHERE application = ?)",
+            &[Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+    // multi-column subquery is rejected
+    assert!(conn
+        .query(
+            "SELECT 1 FROM trial WHERE id IN (SELECT id, name FROM trial)",
+            &[]
+        )
+        .is_err());
+}
+
+#[test]
+fn exists_subqueries() {
+    let conn = seeded();
+    // applications that have at least one experiment
+    let rs = conn
+        .query(
+            "SELECT name FROM application
+             WHERE EXISTS (SELECT 1 FROM experiment) ORDER BY id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    // NOT EXISTS over an empty set selects everything
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) FROM application
+             WHERE NOT EXISTS (SELECT 1 FROM trial WHERE node_count > 999)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(2)));
+    // EXISTS over an empty set selects nothing
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) FROM application
+             WHERE EXISTS (SELECT 1 FROM trial WHERE node_count > 999)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Int(0)));
+}
+
+#[test]
+fn scalar_subqueries() {
+    let conn = seeded();
+    // trials slower than the average
+    let rs = conn
+        .query(
+            "SELECT name FROM trial WHERE time > (SELECT AVG(time) FROM trial) ORDER BY time DESC",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p1")));
+    // scalar subquery in projection
+    let rs = conn
+        .query("SELECT name, time - (SELECT MIN(time) FROM trial) AS over_best FROM trial WHERE name = 'p8'", &[])
+        .unwrap();
+    assert_eq!(rs.get(0, "over_best"), Some(&Value::Float(0.0)));
+    // empty scalar subquery yields NULL
+    let v = conn
+        .query_scalar(
+            "SELECT (SELECT time FROM trial WHERE name = 'nope')",
+            &[],
+        )
+        .unwrap();
+    assert!(v.is_null());
+    // more than one row is an error
+    assert!(conn
+        .query_scalar("SELECT (SELECT time FROM trial)", &[])
+        .is_err());
+    // DML with subqueries
+    let n = conn
+        .update(
+            "DELETE FROM trial WHERE time > (SELECT AVG(time) FROM trial)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(n, 2); // p1 (100.0) and p2 (52.0) vs avg 45.2
+    let n = conn
+        .update(
+            "UPDATE trial SET node_count = (SELECT MAX(node_count) FROM trial) WHERE name = 'base'",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(n, 1);
+    assert_eq!(
+        conn.query_scalar("SELECT node_count FROM trial WHERE name = 'base'", &[])
+            .unwrap(),
+        Value::Int(16)
+    );
+}
+
+#[test]
+fn explain_reports_plan_decisions() {
+    let conn = seeded();
+    // seq scan without an index
+    let rs = conn
+        .query("EXPLAIN SELECT name FROM trial WHERE node_count = 4", &[])
+        .unwrap();
+    assert_eq!(rs.columns, vec!["plan"]);
+    let plan = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(plan.contains("seq scan on trial"), "{plan}");
+    assert!(plan.contains("filter: WHERE"), "{plan}");
+    // index scan once the index exists
+    conn.execute("CREATE INDEX ix_nodes ON trial (node_count)", &[])
+        .unwrap();
+    let rs = conn
+        .query("EXPLAIN SELECT name FROM trial WHERE node_count = 4", &[])
+        .unwrap();
+    let plan = rs.rows[0][0].as_text().unwrap();
+    assert!(plan.contains("index scan on trial"), "{plan}");
+    // join strategy + projection pruning reported
+    let rs = conn
+        .query(
+            "EXPLAIN SELECT COUNT(*) FROM experiment e
+             JOIN trial t ON t.experiment = e.id WHERE e.application = 1",
+            &[],
+        )
+        .unwrap();
+    let plan = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(plan.contains("hash join with trial"), "{plan}");
+    assert!(plan.contains("pushdown: 1 base-only conjunct"), "{plan}");
+    assert!(plan.contains("projection pruning"), "{plan}");
+    assert!(plan.contains("aggregate"), "{plan}");
+    // EXPLAIN of DML describes without executing
+    let before = conn.row_count("trial").unwrap();
+    let rs = conn
+        .query("EXPLAIN DELETE FROM trial WHERE id = 1", &[])
+        .unwrap();
+    assert!(rs.rows[0][0].as_text().unwrap().contains("delete from trial"));
+    assert_eq!(conn.row_count("trial").unwrap(), before);
+}
+
+#[test]
+fn concurrent_readers_one_writer() {
+    let conn = seeded();
+    let mut handles = Vec::new();
+    for i in 0..4 {
+        let c = conn.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                let rs = c
+                    .query("SELECT COUNT(*) FROM trial", &[])
+                    .unwrap();
+                let n = rs.scalar().unwrap().as_int().unwrap();
+                assert!(n >= 6, "thread {i} saw {n}");
+            }
+        }));
+    }
+    let w = conn.clone();
+    handles.push(std::thread::spawn(move || {
+        for i in 0..25 {
+            w.insert(
+                "INSERT INTO trial (experiment, name) VALUES (1, ?)",
+                &[Value::Text(format!("w{i}"))],
+            )
+            .unwrap();
+        }
+    }));
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(conn.row_count("trial").unwrap(), 31);
+}
+
+#[test]
+fn result_set_rendering() {
+    let conn = seeded();
+    let rs = conn
+        .query("SELECT name, node_count FROM trial WHERE id <= 2 ORDER BY id", &[])
+        .unwrap();
+    let s = rs.to_table_string();
+    assert!(s.contains("name"));
+    assert!(s.contains("p1"));
+    assert!(s.lines().count() >= 4);
+}

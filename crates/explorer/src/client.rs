@@ -1,0 +1,101 @@
+//! The PerfExplorer client handle.
+
+use crate::protocol::{Request, Response};
+use crate::server::AnalysisServer;
+use crossbeam::channel::{bounded, Sender};
+
+/// A client connected to an [`AnalysisServer`].
+///
+/// Cheap to clone; requests from multiple clients are served concurrently
+/// by the server's worker pool.
+#[derive(Clone)]
+pub struct ExplorerClient {
+    tx: Sender<(Request, Sender<Response>)>,
+}
+
+impl ExplorerClient {
+    /// Connect to a server.
+    pub fn connect(server: &AnalysisServer) -> ExplorerClient {
+        ExplorerClient {
+            tx: server.sender(),
+        }
+    }
+
+    /// Send a request and block for the response.
+    pub fn request(&self, request: Request) -> Response {
+        let (rtx, rrx) = bounded(1);
+        if self.tx.send((request, rtx)).is_err() {
+            return Response::Error("analysis server is down".into());
+        }
+        rrx.recv()
+            .unwrap_or_else(|_| Response::Error("analysis server dropped the request".into()))
+    }
+
+    /// Convenience: cluster a trial's threads by their per-event time
+    /// breakdown of one metric, with automatic k selection.
+    pub fn cluster(&self, trial_id: i64, metric: &str, max_k: usize) -> Response {
+        self.request(Request::ClusterTrial {
+            trial_id,
+            features: crate::protocol::FeatureSpace::EventsOfMetric(metric.to_string()),
+            k: None,
+            max_k,
+            pca_components: 0,
+            method: crate::protocol::ClusterMethod::KMeans,
+        })
+    }
+
+    /// Convenience: cluster a trial's threads by their hardware-counter
+    /// vectors at one event (the Ahn & Vetter sPPM feature space).
+    pub fn cluster_counters(&self, trial_id: i64, event: &str, max_k: usize) -> Response {
+        self.request(Request::ClusterTrial {
+            trial_id,
+            features: crate::protocol::FeatureSpace::MetricsOfEvent(event.to_string()),
+            k: None,
+            max_k,
+            pca_components: 0,
+            method: crate::protocol::ClusterMethod::KMeans,
+        })
+    }
+
+    /// Convenience: hierarchical (dendrogram) clustering of counter
+    /// vectors, cut at the silhouette-selected k.
+    pub fn cluster_hierarchical(&self, trial_id: i64, event: &str, max_k: usize) -> Response {
+        self.request(Request::ClusterTrial {
+            trial_id,
+            features: crate::protocol::FeatureSpace::MetricsOfEvent(event.to_string()),
+            k: None,
+            max_k,
+            pca_components: 0,
+            method: crate::protocol::ClusterMethod::Hierarchical,
+        })
+    }
+
+    /// Convenience: correlation matrix of a trial's metrics at one event.
+    pub fn correlate(&self, trial_id: i64, event: &str) -> Response {
+        self.request(Request::CorrelateMetrics {
+            trial_id,
+            event: event.to_string(),
+        })
+    }
+
+    /// Convenience: browse a stored result.
+    pub fn fetch(&self, settings_id: i64) -> Response {
+        self.request(Request::FetchResult { settings_id })
+    }
+
+    /// Convenience: server-side speedup study over an experiment's trials.
+    pub fn speedup(&self, experiment_id: i64, metric: &str) -> Response {
+        self.request(Request::SpeedupStudy {
+            experiment_id,
+            metric: metric.to_string(),
+        })
+    }
+
+    /// Convenience: scan an experiment's trial history for regressions.
+    pub fn regressions(&self, experiment_id: i64, threshold: f64) -> Response {
+        self.request(Request::RegressionScan {
+            experiment_id,
+            threshold,
+        })
+    }
+}

@@ -1,0 +1,282 @@
+//! # perfdmf-explorer
+//!
+//! PerfExplorer (paper §5.3): "a data mining application for doing
+//! parallel performance analysis on very large profile datasets",
+//! designed as a client-server system in which "the client makes requests
+//! to an analysis server back end, which is integrated with a performance
+//! database, using PerfDMF."
+//!
+//! * [`AnalysisServer`] — worker pool over the shared database; executes
+//!   clustering and correlation requests with `perfdmf-analysis` (the R
+//!   substitute) and persists results through the PerfDMF API into the
+//!   `analysis_settings` / `analysis_result` schema extension.
+//! * [`ExplorerClient`] — blocking request handle (cloneable; many
+//!   clients share one server).
+//! * [`Request`] / [`Response`] — the wire protocol.
+//!
+//! Transport is an in-process crossbeam channel rather than the paper's
+//! socket; the architecture (client → server → PerfDMF → DBMS → analysis
+//! package → results saved via PerfDMF) is preserved.
+
+mod client;
+mod protocol;
+mod server;
+
+pub use client::ExplorerClient;
+pub use protocol::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
+pub use server::{AnalysisServer, ANALYSIS_DDL};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdmf_core::DatabaseSession;
+    use perfdmf_db::Connection;
+    use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+
+    /// Trial with two obvious thread-behaviour groups.
+    fn bimodal_trial(session: &mut DatabaseSession) -> i64 {
+        let mut p = Profile::new("bimodal");
+        let m = p.add_metric(Metric::measured("TIME"));
+        let a = p.add_event(IntervalEvent::ungrouped("compute"));
+        let b = p.add_event(IntervalEvent::ungrouped("exchange"));
+        p.add_threads((0..32).map(|n| ThreadId::new(n, 0, 0)));
+        for (i, &t) in p.threads().to_vec().iter().enumerate() {
+            // first half compute-heavy, second half exchange-heavy
+            let (ca, cb) = if i < 16 { (100.0, 5.0) } else { (10.0, 80.0) };
+            let j = (i % 4) as f64 * 0.1;
+            p.set_interval(a, t, m, IntervalData::new(ca + j, ca + j, 10.0, 0.0));
+            p.set_interval(b, t, m, IntervalData::new(cb - j, cb - j, 10.0, 0.0));
+        }
+        session.store_profile("app", "exp", &p).unwrap()
+    }
+
+    fn setup() -> (Connection, i64) {
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        let trial = bimodal_trial(&mut session);
+        (conn, trial)
+    }
+
+    #[test]
+    fn end_to_end_clustering() {
+        let (conn, trial) = setup();
+        let server = AnalysisServer::start(conn.clone(), 2).unwrap();
+        let client = ExplorerClient::connect(&server);
+        match client.cluster(trial, "TIME", 5) {
+            Response::Clustering {
+                k,
+                assignments,
+                summaries,
+                silhouette,
+                settings_id,
+                ..
+            } => {
+                assert_eq!(k, 2, "silhouette should pick the planted k");
+                assert_eq!(assignments.len(), 32);
+                // the two halves land in different clusters
+                assert!(assignments[..16].iter().all(|&a| a == assignments[0]));
+                assert!(assignments[16..].iter().all(|&a| a == assignments[16]));
+                assert_ne!(assignments[0], assignments[16]);
+                assert!(silhouette > 0.5);
+                let sizes: Vec<_> = summaries.iter().map(|s| s.size).collect();
+                assert_eq!(sizes.iter().sum::<usize>(), 32);
+                // results were persisted and can be browsed back
+                match client.fetch(settings_id) {
+                    Response::Stored { method, rows } => {
+                        assert_eq!(method, "kmeans");
+                        assert!(rows.iter().any(|(t, _, _, _)| t == "assignment"));
+                        assert!(rows.iter().any(|(t, _, _, _)| t == "centroid"));
+                        assert!(rows.iter().any(|(t, _, _, _)| t == "silhouette"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn correlation_request() {
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        // trial with two perfectly correlated metrics and one anti-correlated
+        let mut p = Profile::new("corr");
+        let m1 = p.add_metric(Metric::measured("A"));
+        let m2 = p.add_metric(Metric::measured("B"));
+        let m3 = p.add_metric(Metric::measured("C"));
+        let e = p.add_event(IntervalEvent::ungrouped("f"));
+        p.add_threads((0..16).map(|n| ThreadId::new(n, 0, 0)));
+        for (i, &t) in p.threads().to_vec().iter().enumerate() {
+            let x = i as f64;
+            p.set_interval(e, t, m1, IntervalData::new(x, x, 1.0, 0.0));
+            p.set_interval(e, t, m2, IntervalData::new(2.0 * x + 1.0, 2.0 * x + 1.0, 1.0, 0.0));
+            p.set_interval(e, t, m3, IntervalData::new(100.0 - x, 100.0 - x, 1.0, 0.0));
+        }
+        let trial = session.store_profile("app", "exp", &p).unwrap();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        match client.correlate(trial, "f") {
+            Response::Correlation {
+                metrics, matrix, ..
+            } => {
+                let ai = metrics.iter().position(|m| m == "A").unwrap();
+                let bi = metrics.iter().position(|m| m == "B").unwrap();
+                let ci = metrics.iter().position(|m| m == "C").unwrap();
+                assert!((matrix[ai][bi] - 1.0).abs() < 1e-9);
+                assert!((matrix[ai][ci] + 1.0).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_are_responses_not_crashes() {
+        let (conn, trial) = setup();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        assert!(matches!(client.cluster(999, "TIME", 4), Response::Error(_)));
+        assert!(matches!(
+            client.cluster(trial, "NO_SUCH_METRIC", 4),
+            Response::Error(_)
+        ));
+        assert!(matches!(client.fetch(12345), Response::Error(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn hierarchical_method_agrees_with_kmeans_on_separable_data() {
+        let (conn, trial) = setup();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let km = match client.cluster(trial, "TIME", 4) {
+            Response::Clustering { assignments, .. } => assignments,
+            other => panic!("{other:?}"),
+        };
+        let hc = match client.request(Request::ClusterTrial {
+            trial_id: trial,
+            features: FeatureSpace::EventsOfMetric("TIME".into()),
+            k: None,
+            max_k: 4,
+            pca_components: 0,
+            method: ClusterMethod::Hierarchical,
+        }) {
+            Response::Clustering { k, assignments, settings_id, .. } => {
+                assert_eq!(k, 2);
+                // persisted under the hierarchical method name
+                match client.fetch(settings_id) {
+                    Response::Stored { method, .. } => assert_eq!(method, "hierarchical"),
+                    other => panic!("{other:?}"),
+                }
+                assignments
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            perfdmf_analysis::adjusted_rand_index(&km, &hc),
+            1.0,
+            "both methods must find the same bimodal split"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_side_speedup_study() {
+        use perfdmf_workload::Evh1Model;
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        let model = Evh1Model::default_mix(4);
+        for p in [1usize, 2, 4, 8] {
+            session
+                .store_profile("evh1", "scaling", &model.generate(p))
+                .unwrap();
+        }
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        match client.speedup(1, "GET_TIME_OF_DAY") {
+            Response::Speedup {
+                application,
+                amdahl_serial_fraction,
+                routines,
+            } => {
+                assert_eq!(application.len(), 4);
+                let (p, s, _) = application[3];
+                assert_eq!(p, 8);
+                assert!(s > 4.0 && s < 8.0, "speedup {s}");
+                assert!(amdahl_serial_fraction.is_some());
+                assert!(routines.iter().any(|(n, ..)| n == "init_grid"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // too-small experiments error as responses
+        assert!(matches!(
+            client.speedup(999, "GET_TIME_OF_DAY"),
+            Response::Error(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn regression_scan_flags_history_changes() {
+        use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        // three "nightly" trials; the third slows one routine down 50%
+        for (run, slow) in [(1, 1.0), (2, 1.0), (3, 1.5)] {
+            let mut p = Profile::new(format!("nightly-{run}"));
+            let m = p.add_metric(Metric::measured("TIME"));
+            let stable = p.add_event(IntervalEvent::ungrouped("stable"));
+            let hot = p.add_event(IntervalEvent::ungrouped("hot_loop"));
+            p.add_thread(ThreadId::ZERO);
+            p.set_interval(stable, ThreadId::ZERO, m, IntervalData::new(10.0, 10.0, 1.0, 0.0));
+            p.set_interval(
+                hot,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(20.0 * slow, 20.0 * slow, 1.0, 0.0),
+            );
+            session.store_profile("app", "nightly", &p).unwrap();
+        }
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        match client.regressions(1, 0.10) {
+            Response::Regressions {
+                findings,
+                pairs_compared,
+            } => {
+                assert_eq!(pairs_compared, 2);
+                assert_eq!(findings.len(), 1, "{findings:?}");
+                let (older, newer, event, metric, rel) = &findings[0];
+                assert_eq!(*older, 2);
+                assert_eq!(*newer, 3);
+                assert_eq!(event, "hot_loop");
+                assert_eq!(metric, "TIME");
+                assert!((rel - 0.5).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (conn, trial) = setup();
+        let server = AnalysisServer::start(conn, 4).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = client.clone();
+            handles.push(std::thread::spawn(move || {
+                match c.cluster(trial, "TIME", 4) {
+                    Response::Clustering { k, .. } => k,
+                    other => panic!("{other:?}"),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 2);
+        }
+        server.shutdown();
+    }
+}

@@ -1,0 +1,473 @@
+//! The PerfExplorer analysis server.
+//!
+//! Figure 3 of the paper: client → PerfExplorer server → PerfDMF →
+//! DBMS, with the statistics package (R in the paper, `perfdmf-analysis`
+//! here) on the side; results are saved back through the PerfDMF API.
+//!
+//! "Because PerfDMF is flexible and extensible, the PerfExplorer
+//! developers were able to extend the PerfDMF database API to support
+//! saving and retrieving analysis results" — mirrored here by the
+//! `analysis_settings` / `analysis_result` tables created on startup.
+
+use crate::protocol::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
+use crossbeam::channel::{unbounded, Sender};
+use perfdmf_analysis::{
+    correlation_matrix, kmeans, pca, select_k, silhouette_score, thread_event_matrix,
+    thread_metric_matrix, FeatureMatrix,
+};
+use perfdmf_core::load_trial;
+use perfdmf_db::{Connection, Value};
+use perfdmf_profile::IntervalField;
+use std::thread::JoinHandle;
+
+/// DDL for the analysis-result schema extension.
+pub const ANALYSIS_DDL: &[&str] = &[
+    "CREATE TABLE IF NOT EXISTS analysis_settings (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        trial INTEGER NOT NULL REFERENCES trial(id),
+        method TEXT NOT NULL,
+        metric TEXT,
+        parameters TEXT)",
+    "CREATE TABLE IF NOT EXISTS analysis_result (
+        id INTEGER PRIMARY KEY AUTO_INCREMENT,
+        settings INTEGER NOT NULL REFERENCES analysis_settings(id),
+        result_type TEXT NOT NULL,
+        item INTEGER,
+        value DOUBLE,
+        label TEXT)",
+];
+
+type Job = (Request, Sender<Response>);
+
+/// A running analysis server with a pool of worker threads.
+pub struct AnalysisServer {
+    tx: Sender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AnalysisServer {
+    /// Start `workers` worker threads over the shared database.
+    pub fn start(conn: Connection, workers: usize) -> perfdmf_db::Result<AnalysisServer> {
+        for ddl in ANALYSIS_DDL {
+            conn.execute(ddl, &[])?;
+        }
+        let (tx, rx) = unbounded::<Job>();
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let conn = conn.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok((request, reply)) = rx.recv() {
+                    if request == Request::Shutdown {
+                        let _ = reply.send(Response::ShuttingDown);
+                        break;
+                    }
+                    let response = handle(&conn, &request)
+                        .unwrap_or_else(|e| Response::Error(e.to_string()));
+                    let _ = reply.send(response);
+                }
+            }));
+        }
+        Ok(AnalysisServer {
+            tx,
+            workers: handles,
+        })
+    }
+
+    /// A submission handle for building clients.
+    pub(crate) fn sender(&self) -> Sender<Job> {
+        self.tx.clone()
+    }
+
+    /// Stop all workers and wait for them.
+    pub fn shutdown(self) {
+        for _ in &self.workers {
+            let (rtx, _rrx) = unbounded();
+            let _ = self.tx.send((Request::Shutdown, rtx));
+        }
+        for h in self.workers {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle(conn: &Connection, request: &Request) -> perfdmf_db::Result<Response> {
+    match request {
+        Request::ClusterTrial {
+            trial_id,
+            features,
+            k,
+            max_k,
+            pca_components,
+            method,
+        } => cluster_trial(conn, *trial_id, features, *k, *max_k, *pca_components, *method),
+        Request::CorrelateMetrics { trial_id, event } => {
+            correlate_metrics(conn, *trial_id, event)
+        }
+        Request::FetchResult { settings_id } => fetch_result(conn, *settings_id),
+        Request::SpeedupStudy {
+            experiment_id,
+            metric,
+        } => speedup_study(conn, *experiment_id, metric),
+        Request::RegressionScan {
+            experiment_id,
+            threshold,
+        } => regression_scan(conn, *experiment_id, *threshold),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    }
+}
+
+fn regression_scan(
+    conn: &Connection,
+    experiment_id: i64,
+    threshold: f64,
+) -> perfdmf_db::Result<Response> {
+    let trials = conn.query(
+        "SELECT id FROM trial WHERE experiment = ? ORDER BY id",
+        &[Value::Int(experiment_id)],
+    )?;
+    if trials.len() < 2 {
+        return Err(perfdmf_db::DbError::Unsupported(format!(
+            "experiment {experiment_id} has fewer than two trials to compare"
+        )));
+    }
+    let ids: Vec<i64> = trials
+        .rows
+        .iter()
+        .map(|r| r[0].as_int().expect("pk"))
+        .collect();
+    let mut findings = Vec::new();
+    let mut prev = load_trial(conn, ids[0])?;
+    for pair in ids.windows(2) {
+        let next = load_trial(conn, pair[1])?;
+        let diffs = perfdmf_analysis::diff(&prev, &next);
+        for entry in perfdmf_analysis::regressions(&diffs, threshold) {
+            findings.push((
+                pair[0],
+                pair[1],
+                entry.event.clone(),
+                entry.metric.clone(),
+                entry.relative.unwrap_or(0.0),
+            ));
+        }
+        prev = next;
+    }
+    Ok(Response::Regressions {
+        findings,
+        pairs_compared: ids.len() - 1,
+    })
+}
+
+fn speedup_study(
+    conn: &Connection,
+    experiment_id: i64,
+    metric: &str,
+) -> perfdmf_db::Result<Response> {
+    let trials = conn.query(
+        "SELECT id, node_count FROM trial WHERE experiment = ? ORDER BY node_count",
+        &[Value::Int(experiment_id)],
+    )?;
+    if trials.len() < 2 {
+        return Err(perfdmf_db::DbError::Unsupported(format!(
+            "experiment {experiment_id} has fewer than two trials"
+        )));
+    }
+    let mut analysis = perfdmf_analysis::SpeedupAnalysis::new(metric);
+    for row in &trials.rows {
+        let trial_id = row[0].as_int().expect("pk");
+        let procs = row[1].as_int().unwrap_or(1).max(1) as usize;
+        analysis.add_trial(procs, load_trial(conn, trial_id)?);
+    }
+    let scaling = analysis.application_scaling().ok_or_else(|| {
+        perfdmf_db::DbError::Unsupported("application scaling could not be computed".into())
+    })?;
+    let routines = analysis
+        .routine_speedups()
+        .into_iter()
+        .flat_map(|r| {
+            r.points
+                .into_iter()
+                .map(move |p| (r.event.clone(), p.processors, p.min, p.mean, p.max))
+        })
+        .collect();
+    Ok(Response::Speedup {
+        application: scaling.points,
+        amdahl_serial_fraction: scaling.amdahl_serial_fraction,
+        routines,
+    })
+}
+
+fn extract_features(
+    profile: &perfdmf_profile::Profile,
+    trial_id: i64,
+    space: &FeatureSpace,
+) -> perfdmf_db::Result<FeatureMatrix> {
+    match space {
+        FeatureSpace::EventsOfMetric(metric_name) => {
+            let metric = profile.find_metric(metric_name).ok_or_else(|| {
+                perfdmf_db::DbError::Unsupported(format!(
+                    "trial {trial_id} has no metric {metric_name}"
+                ))
+            })?;
+            Ok(thread_event_matrix(profile, metric, IntervalField::Exclusive))
+        }
+        FeatureSpace::MetricsOfEvent(event_name) => {
+            let event = profile.find_event(event_name).ok_or_else(|| {
+                perfdmf_db::DbError::Unsupported(format!(
+                    "trial {trial_id} has no event {event_name}"
+                ))
+            })?;
+            Ok(thread_metric_matrix(profile, event, IntervalField::Exclusive))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cluster_trial(
+    conn: &Connection,
+    trial_id: i64,
+    space: &FeatureSpace,
+    k: Option<usize>,
+    max_k: usize,
+    pca_components: usize,
+    method: ClusterMethod,
+) -> perfdmf_db::Result<Response> {
+    let profile = load_trial(conn, trial_id)?;
+    let mut features = extract_features(&profile, trial_id, space)?;
+    features.standardize();
+    let mut rows = features.rows.clone();
+    if pca_components > 0 && pca_components < features.columns.len() {
+        if let Some(p) = pca(&rows) {
+            rows = p.transform(&rows, pca_components);
+        }
+    }
+    let seed = trial_id as u64 ^ 0x5045_5246;
+    let (chosen_k, assignments_vec) = match method {
+        ClusterMethod::KMeans => {
+            let (chosen_k, result) = match k {
+                Some(k) => (k, kmeans(&rows, k, seed, 200)),
+                None => select_k(&rows, 2..=max_k.max(2), seed),
+            };
+            (chosen_k, result.assignments)
+        }
+        ClusterMethod::Hierarchical => {
+            let tree = perfdmf_analysis::hierarchical(&rows);
+            match k {
+                Some(k) => (k, tree.cut(k)),
+                None => {
+                    // silhouette-select the cut level
+                    let mut best: Option<(f64, usize, Vec<usize>)> = None;
+                    for kk in 2..=max_k.max(2) {
+                        let cut = tree.cut(kk);
+                        let score = silhouette_score(&rows, &cut, kk);
+                        if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                            best = Some((score, kk, cut));
+                        }
+                    }
+                    let (_, kk, cut) = best.expect("k range non-empty");
+                    (kk, cut)
+                }
+            }
+        }
+    };
+    let silhouette = silhouette_score(&rows, &assignments_vec, chosen_k);
+
+    // Per-cluster summary in *original* (unstandardized) feature space:
+    // recompute means from the raw matrix for interpretability.
+    let raw = extract_features(&profile, trial_id, space)?;
+    let d = raw.columns.len();
+    let mut sums = vec![vec![0.0f64; d]; chosen_k];
+    let mut counts = vec![0usize; chosen_k];
+    for (row, &a) in raw.rows.iter().zip(&assignments_vec) {
+        counts[a] += 1;
+        for (s, &x) in sums[a].iter_mut().zip(row) {
+            *s += x;
+        }
+    }
+    let summaries: Vec<ClusterSummary> = (0..chosen_k)
+        .map(|c| ClusterSummary {
+            cluster: c,
+            size: counts[c],
+            centroid: if counts[c] > 0 {
+                sums[c].iter().map(|s| s / counts[c] as f64).collect()
+            } else {
+                vec![0.0; d]
+            },
+        })
+        .collect();
+
+    // Persist through the PerfDMF API path (settings + result rows).
+    let (space_kind, space_name) = match space {
+        FeatureSpace::EventsOfMetric(m) => ("events-of-metric", m.as_str()),
+        FeatureSpace::MetricsOfEvent(e) => ("metrics-of-event", e.as_str()),
+    };
+    let method_name = match method {
+        ClusterMethod::KMeans => "kmeans",
+        ClusterMethod::Hierarchical => "hierarchical",
+    };
+    let params = format!(
+        "k={chosen_k};pca={pca_components};features={space_kind};field=exclusive;seed={seed}"
+    );
+    let settings_id = conn.transaction(|tx| {
+        let sid = tx
+            .insert(
+                "INSERT INTO analysis_settings (trial, method, metric, parameters)
+                 VALUES (?, ?, ?, ?)",
+                &[
+                    Value::Int(trial_id),
+                    Value::Text(method_name.to_string()),
+                    Value::Text(space_name.to_string()),
+                    Value::Text(params.clone()),
+                ],
+            )?
+            .expect("auto id");
+        let ins = conn.prepare(
+            "INSERT INTO analysis_result (settings, result_type, item, value, label)
+             VALUES (?, ?, ?, ?, ?)",
+        )?;
+        for (i, &a) in assignments_vec.iter().enumerate() {
+            tx.execute_prepared(
+                &ins,
+                &[
+                    Value::Int(sid),
+                    Value::Text("assignment".into()),
+                    Value::Int(i as i64),
+                    Value::Float(a as f64),
+                    Value::Text(raw.threads[i].to_string()),
+                ],
+            )?;
+        }
+        for s in &summaries {
+            tx.execute_prepared(
+                &ins,
+                &[
+                    Value::Int(sid),
+                    Value::Text("cluster_size".into()),
+                    Value::Int(s.cluster as i64),
+                    Value::Float(s.size as f64),
+                    Value::Text(String::new()),
+                ],
+            )?;
+            for (ci, &v) in s.centroid.iter().enumerate() {
+                tx.execute_prepared(
+                    &ins,
+                    &[
+                        Value::Int(sid),
+                        Value::Text("centroid".into()),
+                        Value::Int((s.cluster * d + ci) as i64),
+                        Value::Float(v),
+                        Value::Text(raw.columns[ci].clone()),
+                    ],
+                )?;
+            }
+        }
+        tx.execute_prepared(
+            &ins,
+            &[
+                Value::Int(sid),
+                Value::Text("silhouette".into()),
+                Value::Int(0),
+                Value::Float(silhouette),
+                Value::Text(String::new()),
+            ],
+        )?;
+        Ok(sid)
+    })?;
+
+    Ok(Response::Clustering {
+        settings_id,
+        k: chosen_k,
+        assignments: assignments_vec,
+        summaries,
+        silhouette,
+        columns: raw.columns,
+    })
+}
+
+fn correlate_metrics(
+    conn: &Connection,
+    trial_id: i64,
+    event_name: &str,
+) -> perfdmf_db::Result<Response> {
+    let profile = load_trial(conn, trial_id)?;
+    let event = profile.find_event(event_name).ok_or_else(|| {
+        perfdmf_db::DbError::Unsupported(format!("trial {trial_id} has no event {event_name}"))
+    })?;
+    let fm = perfdmf_analysis::thread_metric_matrix(&profile, event, IntervalField::Exclusive);
+    // columns of the matrix = metrics; build column-major data
+    let d = fm.columns.len();
+    let columns_data: Vec<Vec<f64>> = (0..d)
+        .map(|c| fm.rows.iter().map(|r| r[c]).collect())
+        .collect();
+    let matrix = correlation_matrix(&columns_data);
+    let settings_id = conn.transaction(|tx| {
+        let sid = tx
+            .insert(
+                "INSERT INTO analysis_settings (trial, method, metric, parameters)
+                 VALUES (?, 'correlation', NULL, ?)",
+                &[
+                    Value::Int(trial_id),
+                    Value::Text(format!("event={event_name}")),
+                ],
+            )?
+            .expect("auto id");
+        let ins = conn.prepare(
+            "INSERT INTO analysis_result (settings, result_type, item, value, label)
+             VALUES (?, 'correlation', ?, ?, ?)",
+        )?;
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                tx.execute_prepared(
+                    &ins,
+                    &[
+                        Value::Int(sid),
+                        Value::Int((i * d + j) as i64),
+                        Value::Float(v),
+                        Value::Text(format!("{}~{}", fm.columns[i], fm.columns[j])),
+                    ],
+                )?;
+            }
+        }
+        Ok(sid)
+    })?;
+    Ok(Response::Correlation {
+        settings_id,
+        metrics: fm.columns,
+        matrix,
+    })
+}
+
+fn fetch_result(conn: &Connection, settings_id: i64) -> perfdmf_db::Result<Response> {
+    let meta = conn.query(
+        "SELECT method FROM analysis_settings WHERE id = ?",
+        &[Value::Int(settings_id)],
+    )?;
+    if meta.is_empty() {
+        return Ok(Response::Error(format!(
+            "no analysis_settings row {settings_id}"
+        )));
+    }
+    let method = meta
+        .get(0, "method")
+        .and_then(|v| v.as_text())
+        .unwrap_or("")
+        .to_string();
+    let rs = conn.query(
+        "SELECT result_type, item, value, label FROM analysis_result
+         WHERE settings = ? ORDER BY id",
+        &[Value::Int(settings_id)],
+    )?;
+    let rows = rs
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[0].as_text().unwrap_or("").to_string(),
+                r[1].as_int().unwrap_or(0),
+                r[2].as_float().unwrap_or(0.0),
+                r[3].as_text().unwrap_or("").to_string(),
+            )
+        })
+        .collect();
+    Ok(Response::Stored { method, rows })
+}

@@ -1,0 +1,354 @@
+//! CUBE format export/import.
+//!
+//! The paper (§7): "We hope to work with the University of Tennessee to
+//! integrate the CUBE algebra with PerfDMF ... TAU already supports
+//! translation of parallel profiles to CUBE format for presentation with
+//! the Expert tool." This module implements that translation: the CUBE
+//! 1.0 document model (Song/Wolf et al.) with its three dimensions —
+//! metrics, program (call tree, flat here since profiles carry no call
+//! paths), and system (machine → node → process → thread) — plus the
+//! severity matrix.
+//!
+//! ```xml
+//! <cube version="1.0">
+//!   <metrics><metric id="0"><name>TIME</name></metric>...</metrics>
+//!   <program><region id="0"><name>main</name></region>...</program>
+//!   <system>
+//!     <machine id="0"><node id="0">
+//!       <process id="0"><thread id="0"/></process>
+//!     </node></machine>
+//!   </system>
+//!   <severity>
+//!     <matrix metricId="0">
+//!       <row regionId="0">0.5 0.25 ...</row>
+//!     </matrix>
+//!   </severity>
+//! </cube>
+//! ```
+//!
+//! Severity values are *exclusive* measurements, matching CUBE's
+//! convention of per-node severities that sum to inclusive values.
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{EventId, IntervalData, IntervalEvent, Metric, MetricId, Profile, ThreadId};
+use perfdmf_xml::{Element, Writer};
+
+const FORMAT: &str = "cube";
+
+/// Export a profile to CUBE XML.
+pub fn export_cube(profile: &Profile) -> String {
+    let mut out = String::with_capacity(1 << 14);
+    let mut w = Writer::compact(&mut out);
+    w.declaration().expect("fresh writer");
+    w.begin("cube").expect("root");
+    w.attr("version", "1.0").expect("attr");
+
+    // attrs: trial provenance
+    w.begin("attr").expect("open");
+    w.attr("key", "PerfDMF trial").expect("attr");
+    w.attr("value", &profile.name).expect("attr");
+    w.end().expect("close");
+
+    // --- metric dimension ---
+    w.begin("metrics").expect("open");
+    for (i, m) in profile.metrics().iter().enumerate() {
+        w.begin("metric").expect("open");
+        w.attr_fmt("id", i).expect("attr");
+        w.text_element("name", &m.name).expect("name");
+        w.text_element("uom", if m.name.contains("TIME") { "sec" } else { "occ" })
+            .expect("uom");
+        w.end().expect("close");
+    }
+    w.end().expect("close");
+
+    // --- program dimension (flat regions) ---
+    w.begin("program").expect("open");
+    for (i, e) in profile.events().iter().enumerate() {
+        w.begin("region").expect("open");
+        w.attr_fmt("id", i).expect("attr");
+        w.text_element("name", &e.name).expect("name");
+        w.text_element("descr", &e.group).expect("descr");
+        w.end().expect("close");
+    }
+    w.end().expect("close");
+
+    // --- system dimension ---
+    w.begin("system").expect("open");
+    w.begin("machine").expect("open");
+    w.attr_fmt("id", 0).expect("attr");
+    // group threads by node, then context (process)
+    let mut threads = profile.threads().to_vec();
+    threads.sort();
+    let mut current_node: Option<u32> = None;
+    let mut current_ctx: Option<(u32, u32)> = None;
+    for t in &threads {
+        if current_node != Some(t.node) {
+            if current_ctx.is_some() {
+                w.end().expect("close process");
+                current_ctx = None;
+            }
+            if current_node.is_some() {
+                w.end().expect("close node");
+            }
+            w.begin("node").expect("open");
+            w.attr_fmt("id", t.node).expect("attr");
+            current_node = Some(t.node);
+        }
+        if current_ctx != Some((t.node, t.context)) {
+            if current_ctx.is_some() {
+                w.end().expect("close process");
+            }
+            w.begin("process").expect("open");
+            w.attr_fmt("id", t.context).expect("attr");
+            current_ctx = Some((t.node, t.context));
+        }
+        w.begin("thread").expect("open");
+        w.attr_fmt("id", t.thread).expect("attr");
+        w.end().expect("close");
+    }
+    if current_ctx.is_some() {
+        w.end().expect("close process");
+    }
+    if current_node.is_some() {
+        w.end().expect("close node");
+    }
+    w.end().expect("close machine");
+    w.end().expect("close system");
+
+    // --- severity: exclusive values per (metric, region, thread) ---
+    w.begin("severity").expect("open");
+    for (mi, _) in profile.metrics().iter().enumerate() {
+        w.begin("matrix").expect("open");
+        w.attr_fmt("metricId", mi).expect("attr");
+        for (ei, _) in profile.events().iter().enumerate() {
+            let mut row = String::new();
+            let mut any = false;
+            for t in &threads {
+                let v = profile
+                    .interval(EventId(ei), *t, MetricId(mi))
+                    .and_then(|d| d.exclusive())
+                    .unwrap_or(0.0);
+                if v != 0.0 {
+                    any = true;
+                }
+                if !row.is_empty() {
+                    row.push(' ');
+                }
+                row.push_str(&format!("{v}"));
+            }
+            if any {
+                w.begin("row").expect("open");
+                w.attr_fmt("regionId", ei).expect("attr");
+                w.text(&row).expect("text");
+                w.end().expect("close");
+            }
+        }
+        w.end().expect("close matrix");
+    }
+    w.end().expect("close severity");
+    w.end().expect("close cube");
+    w.finish().expect("balanced");
+    out
+}
+
+/// Import CUBE XML (as produced by [`export_cube`]; also accepts any CUBE
+/// 1.0 document with flat regions).
+pub fn import_cube(text: &str) -> Result<Profile> {
+    let doc = Element::parse(text)?;
+    if doc.name != "cube" {
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            format!("unexpected root <{}>", doc.name),
+        ));
+    }
+    let mut profile = Profile::new(
+        doc.children_named("attr")
+            .find(|a| a.attr("key") == Some("PerfDMF trial"))
+            .and_then(|a| a.attr("value"))
+            .unwrap_or("cube"),
+    );
+    profile.source_format = "cube".into();
+
+    let metrics_el = doc
+        .child("metrics")
+        .ok_or_else(|| ImportError::format(FORMAT, 0, "missing <metrics>"))?;
+    let mut metric_ids = Vec::new();
+    for m in metrics_el.children_named("metric") {
+        let name = m
+            .child_text("name")
+            .ok_or_else(|| ImportError::format(FORMAT, 0, "metric without <name>"))?;
+        metric_ids.push(profile.add_metric(Metric::measured(name)));
+    }
+    let program = doc
+        .child("program")
+        .ok_or_else(|| ImportError::format(FORMAT, 0, "missing <program>"))?;
+    let mut event_ids = Vec::new();
+    for r in program.children_named("region") {
+        let name = r
+            .child_text("name")
+            .ok_or_else(|| ImportError::format(FORMAT, 0, "region without <name>"))?;
+        let group = r.child_text("descr").unwrap_or("CUBE");
+        event_ids.push(profile.add_event(IntervalEvent::new(name, group)));
+    }
+
+    // system: machine/node/process/thread nesting
+    let system = doc
+        .child("system")
+        .ok_or_else(|| ImportError::format(FORMAT, 0, "missing <system>"))?;
+    let mut threads = Vec::new();
+    for machine in system.children_named("machine") {
+        for node in machine.children_named("node") {
+            let n: u32 = node
+                .attr("id")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            for process in node.children_named("process") {
+                let c: u32 = process
+                    .attr("id")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                for thread in process.children_named("thread") {
+                    let t: u32 = thread
+                        .attr("id")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    threads.push(ThreadId::new(n, c, t));
+                }
+            }
+        }
+    }
+    threads.sort();
+    profile.add_threads(threads.iter().copied());
+
+    if let Some(severity) = doc.child("severity") {
+        for matrix in severity.children_named("matrix") {
+            let mi: usize = matrix
+                .require_attr("metricId")?
+                .parse()
+                .map_err(|_| ImportError::format(FORMAT, 0, "bad metricId"))?;
+            let &metric = metric_ids
+                .get(mi)
+                .ok_or_else(|| ImportError::format(FORMAT, 0, "metricId out of range"))?;
+            for row in matrix.children_named("row") {
+                let ei: usize = row
+                    .require_attr("regionId")?
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, 0, "bad regionId"))?;
+                let &event = event_ids
+                    .get(ei)
+                    .ok_or_else(|| ImportError::format(FORMAT, 0, "regionId out of range"))?;
+                for (pos, tok) in row.text().split_whitespace().enumerate() {
+                    let v: f64 = tok.parse().map_err(|_| {
+                        ImportError::format(FORMAT, 0, format!("bad severity value {tok:?}"))
+                    })?;
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let Some(&thread) = threads.get(pos) else {
+                        return Err(ImportError::format(
+                            FORMAT,
+                            0,
+                            "severity row longer than the thread list",
+                        ));
+                    };
+                    profile.set_interval(
+                        event,
+                        thread,
+                        metric,
+                        IntervalData::new(v, v, f64::NAN, f64::NAN),
+                    );
+                }
+            }
+        }
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        let mut p = Profile::new("cube-trial");
+        let time = p.add_metric(Metric::measured("TIME"));
+        let fp = p.add_metric(Metric::measured("PAPI_FP_OPS"));
+        let a = p.add_event(IntervalEvent::new("main", "USER"));
+        let b = p.add_event(IntervalEvent::new("MPI_Send()", "MPI"));
+        // 2 nodes × 2 contexts × 1 thread
+        p.add_threads([
+            ThreadId::new(0, 0, 0),
+            ThreadId::new(0, 1, 0),
+            ThreadId::new(1, 0, 0),
+            ThreadId::new(1, 1, 0),
+        ]);
+        for (i, &t) in p.threads().to_vec().iter().enumerate() {
+            p.set_interval(a, t, time, IntervalData::new(10.0 + i as f64, 10.0 + i as f64, 1.0, 0.0));
+            p.set_interval(b, t, time, IntervalData::new(2.0, 2.0, 5.0, 0.0));
+            p.set_interval(a, t, fp, IntervalData::new(1e9, 1e9, 1.0, 0.0));
+        }
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_severities() {
+        let p = sample();
+        let xml = export_cube(&p);
+        let back = import_cube(&xml).unwrap();
+        assert_eq!(back.name, "cube-trial");
+        assert_eq!(back.metrics().len(), 2);
+        assert_eq!(back.events().len(), 2);
+        assert_eq!(back.threads().len(), 4);
+        let time = back.find_metric("TIME").unwrap();
+        let main = back.find_event("main").unwrap();
+        assert_eq!(
+            back.interval(main, ThreadId::new(1, 1, 0), time)
+                .unwrap()
+                .exclusive(),
+            Some(13.0)
+        );
+        let fp = back.find_metric("PAPI_FP_OPS").unwrap();
+        assert_eq!(
+            back.interval(main, ThreadId::new(0, 0, 0), fp)
+                .unwrap()
+                .exclusive(),
+            Some(1e9)
+        );
+    }
+
+    #[test]
+    fn system_tree_nesting() {
+        let xml = export_cube(&sample());
+        let doc = Element::parse(&xml).unwrap();
+        let machine = doc.child("system").unwrap().child("machine").unwrap();
+        let nodes: Vec<_> = machine.children_named("node").collect();
+        assert_eq!(nodes.len(), 2);
+        let procs: Vec<_> = nodes[0].children_named("process").collect();
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs[0].children_named("thread").count(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(import_cube("<notcube/>").is_err());
+        assert!(import_cube("<cube version=\"1.0\"/>").is_err());
+        let bad = r#"<cube version="1.0"><metrics><metric id="0"><name>T</name></metric></metrics>
+            <program><region id="0"><name>f</name></region></program>
+            <system><machine id="0"><node id="0"><process id="0"><thread id="0"/></process></node></machine></system>
+            <severity><matrix metricId="9"><row regionId="0">1</row></matrix></severity></cube>"#;
+        assert!(import_cube(bad).is_err());
+    }
+
+    #[test]
+    fn zero_severities_skipped() {
+        let mut p = Profile::new("z");
+        let m = p.add_metric(Metric::measured("T"));
+        let a = p.add_event(IntervalEvent::ungrouped("used"));
+        let b = p.add_event(IntervalEvent::ungrouped("empty"));
+        p.add_thread(ThreadId::ZERO);
+        p.set_interval(a, ThreadId::ZERO, m, IntervalData::new(1.0, 1.0, 1.0, 0.0));
+        let _ = b;
+        let back = import_cube(&export_cube(&p)).unwrap();
+        assert_eq!(back.data_point_count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! dynaprof importer.
+//!
+//! dynaprof (Mucci) instruments binaries at runtime and its `papiprobe` /
+//! `wallclockprobe` probes emit one text report per thread listing, for
+//! each instrumented function, the total (inclusive) and exclusive counts
+//! of the probe's metric plus the call count:
+//!
+//! ```text
+//! dynaprof output
+//! probe: papiprobe
+//! metric: PAPI_TOT_CYC
+//! thread: 0
+//! name               calls   exclusive     inclusive
+//! main                   1     1000000       9000000
+//! compute             1000     8000000       8000000
+//! ```
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+
+const FORMAT: &str = "dynaprof";
+
+/// Parse one dynaprof report into `profile`.
+pub fn parse_dynaprof_text(text: &str, profile: &mut Profile) -> Result<()> {
+    let mut metric_name = "DYNAPROF_COUNT".to_string();
+    let mut thread = ThreadId::ZERO;
+    let mut in_table = false;
+    let mut rows = 0usize;
+    let mut pending: Vec<(String, f64, f64, f64)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_table {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("dynaprof") || lower.starts_with("probe:") {
+                continue;
+            }
+            if let Some(m) = lower.strip_prefix("metric:") {
+                metric_name = line[line.len() - m.trim_start().len()..].trim().to_string();
+                continue;
+            }
+            if let Some(t) = lower.strip_prefix("thread:") {
+                let id: u32 = t.trim().parse().map_err(|_| {
+                    ImportError::format(FORMAT, lineno + 1, "bad thread number")
+                })?;
+                thread = ThreadId::new(0, 0, id);
+                continue;
+            }
+            if lower.starts_with("name") {
+                in_table = true;
+                continue;
+            }
+            return Err(ImportError::format(
+                FORMAT,
+                lineno + 1,
+                format!("unexpected header line {line:?}"),
+            ));
+        }
+        // table rows: name calls exclusive inclusive
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 4 {
+            return Err(ImportError::format(
+                FORMAT,
+                lineno + 1,
+                "expected 'name calls exclusive inclusive'",
+            ));
+        }
+        let name = fields[..fields.len() - 3].join(" ");
+        let calls: f64 = fields[fields.len() - 3].parse().map_err(|_| {
+            ImportError::format(FORMAT, lineno + 1, "bad calls value")
+        })?;
+        let excl: f64 = fields[fields.len() - 2].parse().map_err(|_| {
+            ImportError::format(FORMAT, lineno + 1, "bad exclusive value")
+        })?;
+        let incl: f64 = fields[fields.len() - 1].parse().map_err(|_| {
+            ImportError::format(FORMAT, lineno + 1, "bad inclusive value")
+        })?;
+        pending.push((name, calls, excl, incl));
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(ImportError::format(FORMAT, 0, "no data rows found"));
+    }
+    let metric = profile.add_metric(Metric::measured(metric_name));
+    profile.add_thread(thread);
+    for (name, calls, excl, incl) in pending {
+        let event = profile.add_event(IntervalEvent::new(name, "DYNAPROF"));
+        profile.set_interval(
+            event,
+            thread,
+            metric,
+            IntervalData::new(incl, excl, calls, UNDEFINED),
+        );
+    }
+    profile.recompute_derived_fields(metric);
+    Ok(())
+}
+
+/// Load a dynaprof report file.
+pub fn load_dynaprof_file(path: &std::path::Path) -> Result<Profile> {
+    let text = std::fs::read_to_string(path).map_err(|e| ImportError::io(path, e))?;
+    let mut profile = Profile::new(
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    );
+    profile.source_format = "dynaprof".into();
+    parse_dynaprof_text(&text, &mut profile)?;
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+dynaprof output
+probe: papiprobe
+metric: PAPI_TOT_CYC
+thread: 2
+name               calls   exclusive     inclusive
+main                   1     1000000       9000000
+compute kernel      1000     8000000       8000000
+";
+
+    #[test]
+    fn parses_report() {
+        let mut p = Profile::new("t");
+        parse_dynaprof_text(SAMPLE, &mut p).unwrap();
+        let m = p.find_metric("PAPI_TOT_CYC").unwrap();
+        let t = ThreadId::new(0, 0, 2);
+        let main = p.find_event("main").unwrap();
+        let d = p.interval(main, t, m).unwrap();
+        assert_eq!(d.inclusive(), Some(9e6));
+        assert_eq!(d.exclusive(), Some(1e6));
+        assert_eq!(d.calls(), Some(1.0));
+        // multi-word function name
+        let ck = p.find_event("compute kernel").unwrap();
+        assert_eq!(p.interval(ck, t, m).unwrap().calls(), Some(1000.0));
+    }
+
+    #[test]
+    fn default_metric_when_missing() {
+        let text = "dynaprof output\nname calls exclusive inclusive\nf 1 2 3\n";
+        let mut p = Profile::new("t");
+        parse_dynaprof_text(text, &mut p).unwrap();
+        assert!(p.find_metric("DYNAPROF_COUNT").is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut p = Profile::new("t");
+        assert!(parse_dynaprof_text("", &mut p).is_err());
+        assert!(parse_dynaprof_text("what is this\n", &mut p).is_err());
+        assert!(parse_dynaprof_text(
+            "metric: X\nname calls exclusive inclusive\nf one 2 3\n",
+            &mut p
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Import errors.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Result alias for importers.
+pub type Result<T> = std::result::Result<T, ImportError>;
+
+/// An error while importing profile data.
+#[derive(Debug)]
+pub enum ImportError {
+    /// I/O failure reading the input.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// The input does not match the expected format.
+    Format {
+        format: &'static str,
+        message: String,
+        line: usize,
+    },
+    /// No importer recognizes the input.
+    UnknownFormat(PathBuf),
+    /// A directory scan matched no profile files.
+    NoProfiles(PathBuf),
+    /// XML parsing failed (psrun / PerfDMF exchange format).
+    Xml(perfdmf_xml::Error),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Io { path, source } => {
+                write!(f, "I/O error reading {}: {source}", path.display())
+            }
+            ImportError::Format {
+                format,
+                message,
+                line,
+            } => write!(f, "{format} format error at line {line}: {message}"),
+            ImportError::UnknownFormat(p) => {
+                write!(f, "no importer recognizes {}", p.display())
+            }
+            ImportError::NoProfiles(p) => {
+                write!(f, "no profile files found in {}", p.display())
+            }
+            ImportError::Xml(e) => write!(f, "XML error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<perfdmf_xml::Error> for ImportError {
+    fn from(e: perfdmf_xml::Error) -> Self {
+        ImportError::Xml(e)
+    }
+}
+
+impl ImportError {
+    /// Build a format error.
+    pub fn format(format: &'static str, line: usize, message: impl Into<String>) -> Self {
+        ImportError::Format {
+            format,
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// Build an I/O error.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        ImportError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}

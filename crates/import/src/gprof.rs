@@ -1,0 +1,249 @@
+//! gprof importer.
+//!
+//! Parses the text report produced by `gprof` (Graham, Kessler, McKusick
+//! 1982): the *flat profile* gives per-function self time and call counts;
+//! the *call graph* gives self+children (inclusive) time for each primary
+//! line. gprof output describes a single process, so the resulting profile
+//! has one thread (`0:0:0`) unless the caller maps files to ranks.
+//!
+//! ```text
+//! Flat profile:
+//!
+//! Each sample counts as 0.01 seconds.
+//!   %   cumulative   self              self     total
+//!  time   seconds   seconds    calls  ms/call  ms/call  name
+//!  33.34      0.02     0.02     7208     0.00     0.00  open
+//! ...
+//!                      Call graph
+//!
+//! index % time    self  children    called     name
+//! [1]     92.3    0.02     0.10       1         main [1]
+//! ```
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+
+const FORMAT: &str = "gprof";
+
+/// Parse gprof text output into a profile (one thread).
+pub fn parse_gprof_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Result<()> {
+    let metric = profile.add_metric(Metric::measured("GPROF_TIME"));
+    profile.add_thread(thread);
+
+    let mut in_flat = false;
+    let mut flat_header_seen = false;
+    let mut in_graph = false;
+    let mut parsed_any = false;
+
+    // (name, self_seconds, calls)
+    let mut flat: Vec<(String, f64, f64)> = Vec::new();
+    // name -> inclusive seconds (self + children from primary graph lines)
+    let mut inclusive: Vec<(String, f64)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.trim_start().starts_with("Flat profile") {
+            in_flat = true;
+            in_graph = false;
+            continue;
+        }
+        if line.contains("Call graph") {
+            in_graph = true;
+            in_flat = false;
+            continue;
+        }
+        if in_flat {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with("Each sample") {
+                continue;
+            }
+            if t.starts_with('%') || t.starts_with("time") {
+                flat_header_seen = true;
+                continue;
+            }
+            if !flat_header_seen {
+                continue;
+            }
+            // data row: %time cum self [calls [self/call total/call]] name
+            let fields: Vec<&str> = t.split_whitespace().collect();
+            if fields.len() < 4 {
+                // end of flat section (e.g. legend text)
+                if parsed_any {
+                    in_flat = false;
+                }
+                continue;
+            }
+            let pct: std::result::Result<f64, _> = fields[0].parse();
+            if pct.is_err() {
+                continue; // legend lines after the table
+            }
+            let self_secs: f64 = fields[2].parse().map_err(|_| {
+                ImportError::format(FORMAT, lineno + 1, "bad self-seconds column")
+            })?;
+            // calls column may be missing for sampled-only functions
+            let (calls, name_start) = match fields.get(3).and_then(|s| s.parse::<f64>().ok()) {
+                Some(c) if fields.len() >= 5 => {
+                    // with calls present there may be ms/call columns
+                    let mut idx = 4;
+                    while idx < fields.len() - 1 && fields[idx].parse::<f64>().is_ok() {
+                        idx += 1;
+                    }
+                    (c, idx)
+                }
+                _ => (UNDEFINED, 3),
+            };
+            let name = fields[name_start..].join(" ");
+            if name.is_empty() {
+                return Err(ImportError::format(FORMAT, lineno + 1, "missing function name"));
+            }
+            flat.push((name, self_secs, calls));
+            parsed_any = true;
+        } else if in_graph {
+            let t = line.trim();
+            // primary lines start with "[n]"
+            if !t.starts_with('[') {
+                continue;
+            }
+            let fields: Vec<&str> = t.split_whitespace().collect();
+            // [index] %time self children called name [index]
+            if fields.len() < 5 {
+                continue;
+            }
+            let (Ok(self_s), Ok(children_s)) =
+                (fields[2].parse::<f64>(), fields[3].parse::<f64>())
+            else {
+                continue;
+            };
+            // name runs from after `called` (field 4, may be "n" or "n+m")
+            // to the trailing [index].
+            let mut name_fields = &fields[4..];
+            // The "called" column may be absent for the top node; detect by
+            // whether fields[4] parses as count-ish.
+            if !name_fields.is_empty()
+                && name_fields[0]
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || c == '+' || c == '/')
+            {
+                name_fields = &name_fields[1..];
+            }
+            let mut name = name_fields.join(" ");
+            if let Some(pos) = name.rfind('[') {
+                name.truncate(pos);
+            }
+            let name = name.trim().to_string();
+            if name.is_empty() || name == "<spontaneous>" {
+                continue;
+            }
+            inclusive.push((name, self_s + children_s));
+        }
+    }
+
+    if flat.is_empty() {
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            "no flat profile data found",
+        ));
+    }
+
+    for (name, self_secs, calls) in flat {
+        let incl = inclusive
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(self_secs);
+        let event = profile.add_event(IntervalEvent::new(name, "GPROF_DEFAULT"));
+        profile.set_interval(
+            event,
+            thread,
+            metric,
+            IntervalData::new(incl.max(self_secs), self_secs, calls, UNDEFINED),
+        );
+    }
+    profile.recompute_derived_fields(metric);
+    Ok(())
+}
+
+/// Load a gprof report file as a single-thread profile.
+pub fn load_gprof_file(path: &std::path::Path) -> Result<Profile> {
+    let text = std::fs::read_to_string(path).map_err(|e| ImportError::io(path, e))?;
+    let mut profile = Profile::new(
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    );
+    profile.source_format = "gprof".into();
+    parse_gprof_text(&text, ThreadId::ZERO, &mut profile)?;
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 60.00      0.60     0.60     1000     0.60     0.90  compute_flux
+ 30.00      0.90     0.30      500     0.60     0.60  riemann solver
+ 10.00      1.00     0.10                             mcount
+
+                     Call graph
+
+granularity: each sample hit covers 2 byte(s) for 1.00% of 1.00 seconds
+
+index % time    self  children    called     name
+[1]     90.0    0.00     0.90       1         main [1]
+[2]     90.0    0.60     0.30    1000         compute_flux [2]
+[3]     30.0    0.30     0.00     500         riemann solver [3]
+";
+
+    #[test]
+    fn parses_flat_and_graph() {
+        let mut p = Profile::new("t");
+        parse_gprof_text(SAMPLE, ThreadId::ZERO, &mut p).unwrap();
+        let m = p.find_metric("GPROF_TIME").unwrap();
+        let flux = p.find_event("compute_flux").unwrap();
+        let d = p.interval(flux, ThreadId::ZERO, m).unwrap();
+        assert_eq!(d.exclusive(), Some(0.60));
+        // 0.60 + 0.30 in binary floating point
+        assert!((d.inclusive().unwrap() - 0.90).abs() < 1e-12);
+        assert_eq!(d.calls(), Some(1000.0));
+        // name with a space
+        let rs = p.find_event("riemann solver").unwrap();
+        let d = p.interval(rs, ThreadId::ZERO, m).unwrap();
+        assert_eq!(d.exclusive(), Some(0.30));
+        // function without calls column
+        let mc = p.find_event("mcount").unwrap();
+        let d = p.interval(mc, ThreadId::ZERO, m).unwrap();
+        assert_eq!(d.calls(), None);
+        assert_eq!(d.inclusive(), Some(0.10));
+    }
+
+    #[test]
+    fn inclusive_defaults_to_self_without_graph() {
+        let text = "\
+Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+100.00      1.00     1.00        1  1000.00  1000.00  solo
+";
+        let mut p = Profile::new("t");
+        parse_gprof_text(text, ThreadId::ZERO, &mut p).unwrap();
+        let m = p.find_metric("GPROF_TIME").unwrap();
+        let e = p.find_event("solo").unwrap();
+        assert_eq!(p.interval(e, ThreadId::ZERO, m).unwrap().inclusive(), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_empty_report() {
+        let mut p = Profile::new("t");
+        assert!(parse_gprof_text("nothing here", ThreadId::ZERO, &mut p).is_err());
+        assert!(parse_gprof_text("Flat profile:\n", ThreadId::ZERO, &mut p).is_err());
+    }
+}

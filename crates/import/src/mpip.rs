@@ -1,0 +1,224 @@
+//! mpiP importer.
+//!
+//! mpiP (Vetter & Chambreau) writes a single text report per run with `@`
+//! section markers. This importer reads:
+//!
+//! * `@--- MPI Time (seconds)` — per-task application and MPI time, which
+//!   become the `Application` and aggregate `MPI` events per rank;
+//! * `@--- Callsite Time statistics` — per-rank, per-callsite operation
+//!   statistics, which become one event per `<op> site <n>` with
+//!   exclusive time = count × mean and call count = count.
+//!
+//! Times in the statistics section are milliseconds (as mpiP reports);
+//! they are converted to seconds to match the MPI Time section.
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+
+const FORMAT: &str = "mpip";
+
+/// Parse an mpiP report into a profile (one thread per MPI task).
+pub fn parse_mpip_text(text: &str, profile: &mut Profile) -> Result<()> {
+    let metric = profile.add_metric(Metric::measured("MPIP_TIME"));
+    let app_event = profile.add_event(IntervalEvent::new("Application", "MPIP_APP"));
+
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        MpiTime,
+        CallsiteStats,
+    }
+    let mut section = Section::None;
+    let mut header_skipped = false;
+    let mut saw_task_times = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("@---") {
+            // Pure separator rules ("@------...") delimit sections without
+            // naming one; they must not reset the current section.
+            if line.chars().all(|c| c == '@' || c == '-') {
+                continue;
+            }
+            section = if line.contains("MPI Time") {
+                Section::MpiTime
+            } else if line.contains("Callsite Time statistics") {
+                Section::CallsiteStats
+            } else {
+                Section::None
+            };
+            header_skipped = false;
+            continue;
+        }
+        if line.starts_with('@') || line.is_empty() {
+            continue;
+        }
+        match section {
+            Section::None => {}
+            Section::MpiTime => {
+                if !header_skipped {
+                    // "Task    AppTime    MPITime     MPI%"
+                    if line.starts_with("Task") {
+                        header_skipped = true;
+                    }
+                    continue;
+                }
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                if fields.len() < 3 {
+                    continue;
+                }
+                if fields[0] == "*" {
+                    continue; // aggregate row
+                }
+                let task: u32 = fields[0].parse().map_err(|_| {
+                    ImportError::format(FORMAT, lineno + 1, "bad task number")
+                })?;
+                let app_time: f64 = fields[1].parse().map_err(|_| {
+                    ImportError::format(FORMAT, lineno + 1, "bad AppTime")
+                })?;
+                let thread = ThreadId::new(task, 0, 0);
+                profile.add_thread(thread);
+                profile.set_interval(
+                    app_event,
+                    thread,
+                    metric,
+                    IntervalData::new(app_time, UNDEFINED, 1.0, UNDEFINED),
+                );
+                saw_task_times = true;
+            }
+            Section::CallsiteStats => {
+                if !header_skipped {
+                    if line.starts_with("Name") {
+                        header_skipped = true;
+                    }
+                    continue;
+                }
+                // "Send  1  0  20  0.435  0.267  0.119  28.9  92.2"
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                if fields.len() < 7 {
+                    continue;
+                }
+                let name = fields[0];
+                let site = fields[1];
+                if fields[2] == "*" {
+                    continue; // cross-rank aggregate row
+                }
+                let rank: u32 = match fields[2].parse() {
+                    Ok(r) => r,
+                    Err(_) => continue,
+                };
+                let count: f64 = fields[3].parse().map_err(|_| {
+                    ImportError::format(FORMAT, lineno + 1, "bad callsite count")
+                })?;
+                let mean_ms: f64 = fields[5].parse().map_err(|_| {
+                    ImportError::format(FORMAT, lineno + 1, "bad callsite mean")
+                })?;
+                let thread = ThreadId::new(rank, 0, 0);
+                profile.add_thread(thread);
+                let ev = profile.add_event(IntervalEvent::new(
+                    format!("MPI_{name}() site {site}"),
+                    "MPI",
+                ));
+                let total_s = count * mean_ms / 1000.0;
+                profile.set_interval(
+                    ev,
+                    thread,
+                    metric,
+                    IntervalData::new(total_s, total_s, count, 0.0),
+                );
+            }
+        }
+    }
+
+    if !saw_task_times {
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            "no '@--- MPI Time' section found",
+        ));
+    }
+    profile.recompute_derived_fields(metric);
+    Ok(())
+}
+
+/// Load an mpiP report file.
+pub fn load_mpip_file(path: &std::path::Path) -> Result<Profile> {
+    let text = std::fs::read_to_string(path).map_err(|e| ImportError::io(path, e))?;
+    let mut profile = Profile::new(
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    );
+    profile.source_format = "mpip".into();
+    parse_mpip_text(&text, &mut profile)?;
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+@ mpiP
+@ Command : ./sppm
+@ Version : 3.4.1
+@--------------------------------------------------------------
+@--- MPI Time (seconds) ---------------------------------------
+@--------------------------------------------------------------
+Task    AppTime    MPITime     MPI%
+   0       10.0        3.0    30.00
+   1       10.2        3.4    33.33
+   *       20.2        6.4    31.68
+@--------------------------------------------------------------
+@--- Callsite Time statistics (all, milliseconds): 4 ----------
+@--------------------------------------------------------------
+Name              Site Rank  Count      Max     Mean      Min   App%   MPI%
+Send                 1    0     20     40.0    100.0     10.0   20.0   66.7
+Send                 1    1     22     50.0    100.0     11.0   21.6   64.7
+Barrier              2    0      5    100.0    200.0     90.0   10.0   33.3
+Send                 1    *     42     50.0    100.0     10.0   20.8   65.6
+";
+
+    #[test]
+    fn parses_tasks_and_callsites() {
+        let mut p = Profile::new("t");
+        parse_mpip_text(SAMPLE, &mut p).unwrap();
+        assert_eq!(p.threads().len(), 2);
+        let m = p.find_metric("MPIP_TIME").unwrap();
+        let app = p.find_event("Application").unwrap();
+        let d = p.interval(app, ThreadId::new(1, 0, 0), m).unwrap();
+        assert_eq!(d.inclusive(), Some(10.2));
+        let send = p.find_event("MPI_Send() site 1").unwrap();
+        let d = p.interval(send, ThreadId::new(0, 0, 0), m).unwrap();
+        assert_eq!(d.exclusive(), Some(2.0)); // 20 * 100ms
+        assert_eq!(d.calls(), Some(20.0));
+        let bar = p.find_event("MPI_Barrier() site 2").unwrap();
+        assert!(p.interval(bar, ThreadId::new(1, 0, 0), m).is_none());
+        assert_eq!(p.event(send).group, "MPI");
+    }
+
+    #[test]
+    fn aggregate_rows_skipped() {
+        let mut p = Profile::new("t");
+        parse_mpip_text(SAMPLE, &mut p).unwrap();
+        // '*' rows must not create a thread
+        assert!(p.threads().iter().all(|t| t.node < 2));
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        let mut p = Profile::new("t");
+        assert!(parse_mpip_text("@ mpiP\n@ Command: x\n", &mut p).is_err());
+    }
+
+    #[test]
+    fn malformed_task_line_rejected() {
+        let text = "\
+@--- MPI Time (seconds) ---
+Task    AppTime    MPITime     MPI%
+   0        bad        3.0    30.00
+";
+        let mut p = Profile::new("t");
+        assert!(parse_mpip_text(text, &mut p).is_err());
+    }
+}

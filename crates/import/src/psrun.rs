@@ -1,0 +1,168 @@
+//! PerfSuite (`psrun`) XML importer.
+//!
+//! `psrun` (NCSA) samples hardware performance counters for a whole
+//! process and writes one XML document per process:
+//!
+//! ```xml
+//! <hwpcprofilereport>
+//!   <hwpcreport class="PAPI">
+//!     <executable name="sppm"/>
+//!     <machineinfo> ... </machineinfo>
+//!     <hwpceventlist class="PAPI">
+//!       <hwpcevent name="PAPI_TOT_CYC" type="preset">123456789</hwpcevent>
+//!       <hwpcevent name="PAPI_FP_OPS" type="preset">23456789</hwpcevent>
+//!     </hwpceventlist>
+//!     <wallclock>12.5</wallclock>
+//!   </hwpcreport>
+//! </hwpcprofilereport>
+//! ```
+//!
+//! Counters are whole-process totals, so the profile has a single event
+//! (the executable) per process; each `hwpcevent` becomes a metric.
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+use perfdmf_xml::Element;
+
+const FORMAT: &str = "psrun";
+
+/// Parse one psrun XML document into `profile` as `thread`.
+pub fn parse_psrun_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Result<()> {
+    let doc = Element::parse(text)?;
+    let report = if doc.name == "hwpcreport" {
+        &doc
+    } else if doc.name == "hwpcprofilereport" {
+        doc.child("hwpcreport").ok_or_else(|| {
+            ImportError::format(FORMAT, 0, "missing <hwpcreport> element")
+        })?
+    } else {
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            format!("unexpected root element <{}>", doc.name),
+        ));
+    };
+    let exe = report
+        .child("executable")
+        .and_then(|e| e.attr("name").map(str::to_string).or_else(|| {
+            let t = e.text();
+            if t.is_empty() {
+                None
+            } else {
+                Some(t.to_string())
+            }
+        }))
+        .unwrap_or_else(|| "program".to_string());
+    profile.add_thread(thread);
+    let event = profile.add_event(IntervalEvent::new(exe, "PSRUN"));
+
+    let list = report.child("hwpceventlist").ok_or_else(|| {
+        ImportError::format(FORMAT, 0, "missing <hwpceventlist> element")
+    })?;
+    let mut n = 0usize;
+    for ev in list.children_named("hwpcevent") {
+        let name = ev.require_attr("name")?;
+        let value: f64 = ev.text().parse().map_err(|_| {
+            ImportError::format(
+                FORMAT,
+                0,
+                format!("bad counter value {:?} for {name}", ev.text()),
+            )
+        })?;
+        let metric = profile.add_metric(Metric::measured(name));
+        profile.set_interval(
+            event,
+            thread,
+            metric,
+            IntervalData::new(value, value, 1.0, UNDEFINED),
+        );
+        n += 1;
+    }
+    if let Some(wc) = report.child("wallclock") {
+        if let Ok(secs) = wc.text().parse::<f64>() {
+            let metric = profile.add_metric(Metric::measured("PSRUN_WALL_CLOCK"));
+            profile.set_interval(
+                event,
+                thread,
+                metric,
+                IntervalData::new(secs, secs, 1.0, UNDEFINED),
+            );
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(ImportError::format(FORMAT, 0, "no hwpcevent counters found"));
+    }
+    Ok(())
+}
+
+/// Load a single psrun XML file (one process).
+pub fn load_psrun_file(path: &std::path::Path) -> Result<Profile> {
+    let text = std::fs::read_to_string(path).map_err(|e| ImportError::io(path, e))?;
+    let mut profile = Profile::new(
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    );
+    profile.source_format = "psrun".into();
+    parse_psrun_text(&text, ThreadId::ZERO, &mut profile)?;
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<hwpcprofilereport>
+  <hwpcreport class="PAPI" version="1.0">
+    <executable name="sppm"/>
+    <hwpceventlist class="PAPI">
+      <hwpcevent name="PAPI_TOT_CYC" type="preset">123456789</hwpcevent>
+      <hwpcevent name="PAPI_FP_OPS" type="preset">23456789</hwpcevent>
+    </hwpceventlist>
+    <wallclock>12.5</wallclock>
+  </hwpcreport>
+</hwpcprofilereport>"#;
+
+    #[test]
+    fn parses_counters() {
+        let mut p = Profile::new("t");
+        parse_psrun_text(SAMPLE, ThreadId::ZERO, &mut p).unwrap();
+        assert_eq!(p.metrics().len(), 3);
+        let e = p.find_event("sppm").unwrap();
+        let cyc = p.find_metric("PAPI_TOT_CYC").unwrap();
+        assert_eq!(
+            p.interval(e, ThreadId::ZERO, cyc).unwrap().inclusive(),
+            Some(123456789.0)
+        );
+        let wc = p.find_metric("PSRUN_WALL_CLOCK").unwrap();
+        assert_eq!(
+            p.interval(e, ThreadId::ZERO, wc).unwrap().inclusive(),
+            Some(12.5)
+        );
+    }
+
+    #[test]
+    fn bare_hwpcreport_accepted() {
+        let text = r#"<hwpcreport><executable name="x"/><hwpceventlist>
+            <hwpcevent name="C">5</hwpcevent></hwpceventlist></hwpcreport>"#;
+        let mut p = Profile::new("t");
+        parse_psrun_text(text, ThreadId::ZERO, &mut p).unwrap();
+        assert_eq!(p.metrics().len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        let mut p = Profile::new("t");
+        assert!(parse_psrun_text("<wrong/>", ThreadId::ZERO, &mut p).is_err());
+        assert!(parse_psrun_text("<hwpcreport/>", ThreadId::ZERO, &mut p).is_err());
+        assert!(parse_psrun_text(
+            "<hwpcreport><hwpceventlist><hwpcevent name=\"X\">bad</hwpcevent></hwpceventlist></hwpcreport>",
+            ThreadId::ZERO,
+            &mut p
+        )
+        .is_err());
+        assert!(parse_psrun_text("not xml at all", ThreadId::ZERO, &mut p).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! TAU profile importer.
+//!
+//! TAU writes one `profile.<node>.<context>.<thread>` file per thread of
+//! execution. Single-metric runs put them straight in the run directory;
+//! multi-metric runs (`TAU_MULTIPLE_COUNTERS`) create one
+//! `MULTI__<METRIC>` directory per metric, each with its own
+//! `profile.n.c.t` set. This importer handles both layouts.
+//!
+//! File grammar (as produced by TAU 2.x):
+//!
+//! ```text
+//! <n> templated_functions_MULTI_<METRIC>
+//! # Name Calls Subrs Excl Incl ProfileCalls #
+//! "main()" 1 5 60.5 100.25 0 GROUP="TAU_USER"
+//! ...
+//! <n> aggregates
+//! <n> userevents
+//! # eventname numevents max min mean sumsqr
+//! "Message size" 12 1024 8 512 3.2e+06
+//! ```
+
+use crate::error::{ImportError, Result};
+use perfdmf_profile::{
+    AtomicData, AtomicEvent, IntervalData, IntervalEvent, Metric, MetricId, Profile, ThreadId,
+};
+use std::path::Path;
+
+const FORMAT: &str = "tau";
+
+/// Parse the `node.context.thread` suffix of a `profile.n.c.t` filename.
+pub fn parse_profile_filename(name: &str) -> Option<ThreadId> {
+    let rest = name.strip_prefix("profile.")?;
+    let mut parts = rest.split('.');
+    let node = parts.next()?.parse().ok()?;
+    let context = parts.next()?.parse().ok()?;
+    let thread = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(ThreadId::new(node, context, thread))
+}
+
+/// Parse one TAU profile file's text into `profile` for `thread`.
+///
+/// The metric named in the header is registered (or looked up) in the
+/// profile; returns that metric's id.
+pub fn parse_tau_text(
+    text: &str,
+    thread: ThreadId,
+    profile: &mut Profile,
+) -> Result<MetricId> {
+    let mut lines = text.lines().enumerate();
+
+    // Header: "<n> templated_functions[_MULTI_<METRIC>]"
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ImportError::format(FORMAT, 1, "empty file"))?;
+    let mut hp = header.splitn(2, ' ');
+    let n_funcs: usize = hp
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse()
+        .map_err(|_| ImportError::format(FORMAT, 1, "bad function count in header"))?;
+    let tail = hp.next().unwrap_or("").trim();
+    if !tail.starts_with("templated_functions") {
+        return Err(ImportError::format(
+            FORMAT,
+            1,
+            format!("unexpected header {header:?}"),
+        ));
+    }
+    let metric_name = tail
+        .strip_prefix("templated_functions_MULTI_")
+        .unwrap_or("GET_TIME_OF_DAY")
+        .to_string();
+    let metric = profile.add_metric(Metric::measured(metric_name));
+    profile.add_thread(thread);
+
+    // Column-header comment line.
+    let (_, columns) = lines
+        .next()
+        .ok_or_else(|| ImportError::format(FORMAT, 2, "missing column header"))?;
+    if !columns.trim_start().starts_with('#') {
+        return Err(ImportError::format(
+            FORMAT,
+            2,
+            "expected '# Name Calls Subrs Excl Incl ...' comment",
+        ));
+    }
+
+    // Function lines.
+    let mut parsed_funcs = 0usize;
+    let mut rest_line = None;
+    for (lineno, line) in lines.by_ref() {
+        if parsed_funcs == n_funcs {
+            rest_line = Some((lineno, line));
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, tail) = parse_quoted(line).ok_or_else(|| {
+            ImportError::format(FORMAT, lineno + 1, "expected quoted event name")
+        })?;
+        let mut fields = tail.split_whitespace();
+        let calls: f64 = next_num(&mut fields, FORMAT, lineno, "calls")?;
+        let subrs: f64 = next_num(&mut fields, FORMAT, lineno, "subrs")?;
+        let excl: f64 = next_num(&mut fields, FORMAT, lineno, "exclusive")?;
+        let incl: f64 = next_num(&mut fields, FORMAT, lineno, "inclusive")?;
+        let _profile_calls: f64 = next_num(&mut fields, FORMAT, lineno, "profile calls")?;
+        let group = tail
+            .split_once("GROUP=\"")
+            .and_then(|(_, g)| g.split('"').next())
+            .unwrap_or("TAU_DEFAULT")
+            .to_string();
+        let event = profile.add_event(IntervalEvent::new(name, group));
+        profile.set_interval(
+            event,
+            thread,
+            metric,
+            IntervalData::new(incl, excl, calls, subrs),
+        );
+        parsed_funcs += 1;
+    }
+    if parsed_funcs != n_funcs {
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            format!("header promised {n_funcs} functions, found {parsed_funcs}"),
+        ));
+    }
+
+    // Aggregates section: "<n> aggregates" (we skip aggregate lines).
+    let mut lines: Box<dyn Iterator<Item = (usize, &str)>> = match rest_line {
+        Some(first) => Box::new(std::iter::once(first).chain(lines)),
+        None => Box::new(lines),
+    };
+    let Some((lineno, agg_header)) = lines.next() else {
+        return Ok(metric); // aggregates/userevents sections are optional
+    };
+    let n_aggregates = section_count(agg_header, "aggregates")
+        .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected '<n> aggregates'"))?;
+    for _ in 0..n_aggregates {
+        lines.next();
+    }
+
+    // User events: "<n> userevents" + comment + lines.
+    let Some((lineno, ue_header)) = lines.next() else {
+        return Ok(metric);
+    };
+    let n_userevents = section_count(ue_header, "userevents")
+        .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected '<n> userevents'"))?;
+    if n_userevents > 0 {
+        let (lineno, comment) = lines
+            .next()
+            .ok_or_else(|| ImportError::format(FORMAT, lineno + 2, "missing userevent header"))?;
+        if !comment.trim_start().starts_with('#') {
+            return Err(ImportError::format(
+                FORMAT,
+                lineno + 1,
+                "expected '# eventname numevents max min mean sumsqr'",
+            ));
+        }
+        let mut parsed = 0usize;
+        for (lineno, line) in lines.by_ref() {
+            if parsed == n_userevents {
+                break;
+            }
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, tail) = parse_quoted(line).ok_or_else(|| {
+                ImportError::format(FORMAT, lineno + 1, "expected quoted userevent name")
+            })?;
+            let mut fields = tail.split_whitespace();
+            let count: f64 = next_num(&mut fields, FORMAT, lineno, "numevents")?;
+            let max: f64 = next_num(&mut fields, FORMAT, lineno, "max")?;
+            let min: f64 = next_num(&mut fields, FORMAT, lineno, "min")?;
+            let mean: f64 = next_num(&mut fields, FORMAT, lineno, "mean")?;
+            let sumsqr: f64 = next_num(&mut fields, FORMAT, lineno, "sumsqr")?;
+            // TAU stores sum of squares; sample stddev from moments.
+            let n = count;
+            let stddev = if n > 1.0 {
+                let var = ((sumsqr - n * mean * mean) / (n - 1.0)).max(0.0);
+                var.sqrt()
+            } else {
+                0.0
+            };
+            let ae = profile.add_atomic_event(AtomicEvent::new(name, "TAU_EVENT"));
+            profile.set_atomic(
+                ae,
+                thread,
+                AtomicData::from_summary(count as u64, min, max, mean, stddev),
+            );
+            parsed += 1;
+        }
+    }
+    Ok(metric)
+}
+
+fn section_count(line: &str, keyword: &str) -> Option<usize> {
+    let mut parts = line.trim().splitn(2, ' ');
+    let n = parts.next()?.parse().ok()?;
+    if parts.next()?.trim().starts_with(keyword) {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Split a leading `"quoted name"` off a line; returns (name, rest).
+fn parse_quoted(line: &str) -> Option<(&str, &str)> {
+    let rest = line.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some((&rest[..end], &rest[end + 1..]))
+}
+
+fn next_num<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    format: &'static str,
+    lineno: usize,
+    what: &str,
+) -> Result<f64> {
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ImportError::format(format, lineno + 1, format!("bad or missing {what}")))
+}
+
+/// Load a TAU run directory (flat `profile.n.c.t` files or `MULTI__<M>`
+/// subdirectories) into a single multi-metric [`Profile`].
+pub fn load_tau_directory(dir: &Path) -> Result<Profile> {
+    let mut profile = Profile::new(
+        dir.file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| dir.display().to_string()),
+    );
+    profile.source_format = "tau".into();
+    let entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| ImportError::io(dir, e))?
+        .filter_map(|e| e.ok())
+        .collect();
+    let multi_dirs: Vec<_> = entries
+        .iter()
+        .filter(|e| {
+            e.file_name().to_string_lossy().starts_with("MULTI__")
+                && e.path().is_dir()
+        })
+        .collect();
+    let mut loaded = 0usize;
+    if !multi_dirs.is_empty() {
+        for d in multi_dirs {
+            loaded += load_flat_dir(&d.path(), &mut profile)?;
+        }
+    } else {
+        loaded = load_flat_dir(dir, &mut profile)?;
+    }
+    if loaded == 0 {
+        return Err(ImportError::NoProfiles(dir.to_path_buf()));
+    }
+    for m in 0..profile.metrics().len() {
+        profile.recompute_derived_fields(perfdmf_profile::MetricId(m));
+    }
+    Ok(profile)
+}
+
+fn load_flat_dir(dir: &Path, profile: &mut Profile) -> Result<usize> {
+    let mut count = 0usize;
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| ImportError::io(dir, e))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            parse_profile_filename(&name).map(|t| (t, e.path()))
+        })
+        .collect();
+    files.sort_by_key(|(t, _)| *t);
+    // Register all threads first: bulk registration avoids per-thread
+    // re-striding of the dense storage.
+    profile.add_threads(files.iter().map(|(t, _)| *t));
+    for (thread, path) in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| ImportError::io(&path, e))?;
+        parse_tau_text(&text, thread, profile)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdmf_profile::IntervalField;
+
+    const SAMPLE: &str = r#"3 templated_functions_MULTI_GET_TIME_OF_DAY
+# Name Calls Subrs Excl Incl ProfileCalls #
+"main()" 1 2 60.5 100.25 0 GROUP="TAU_USER"
+"MPI_Send()" 10 0 25.75 25.75 0 GROUP="MPI"
+"compute" 5 0 14 14 0 GROUP="TAU_USER"
+0 aggregates
+1 userevents
+# eventname numevents max min mean sumsqr
+"Message size" 4 1024 8 512 1310720
+"#;
+
+    #[test]
+    fn parses_functions_and_userevents() {
+        let mut p = Profile::new("t");
+        let m = parse_tau_text(SAMPLE, ThreadId::ZERO, &mut p).unwrap();
+        assert_eq!(p.metric(m).name, "GET_TIME_OF_DAY");
+        assert_eq!(p.events().len(), 3);
+        let main = p.find_event("main()").unwrap();
+        let d = p.interval(main, ThreadId::ZERO, m).unwrap();
+        assert_eq!(d.inclusive(), Some(100.25));
+        assert_eq!(d.exclusive(), Some(60.5));
+        assert_eq!(d.calls(), Some(1.0));
+        assert_eq!(d.subroutines(), Some(2.0));
+        assert_eq!(p.event(p.find_event("MPI_Send()").unwrap()).group, "MPI");
+        let ae = p.find_atomic_event("Message size").unwrap();
+        let a = p.atomic(ae, ThreadId::ZERO).unwrap();
+        assert_eq!(a.count, 4);
+        assert_eq!(a.max, 1024.0);
+        assert_eq!(a.mean, 512.0);
+    }
+
+    #[test]
+    fn header_without_multi_defaults_to_time() {
+        let text = "1 templated_functions\n# hdr\n\"f\" 1 0 1 1 0 GROUP=\"X\"\n";
+        let mut p = Profile::new("t");
+        let m = parse_tau_text(text, ThreadId::ZERO, &mut p).unwrap();
+        assert_eq!(p.metric(m).name, "GET_TIME_OF_DAY");
+    }
+
+    #[test]
+    fn sections_optional() {
+        let text = "1 templated_functions_MULTI_TIME\n# hdr\n\"f\" 1 0 2.5 2.5 0\n";
+        let mut p = Profile::new("t");
+        parse_tau_text(text, ThreadId::ZERO, &mut p).unwrap();
+        assert_eq!(p.data_point_count(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let mut p = Profile::new("t");
+        assert!(parse_tau_text("", ThreadId::ZERO, &mut p).is_err());
+        assert!(parse_tau_text("x templated_functions\n", ThreadId::ZERO, &mut p).is_err());
+        assert!(
+            parse_tau_text("1 wrong_header\n# h\n\"f\" 1 0 1 1 0\n", ThreadId::ZERO, &mut p)
+                .is_err()
+        );
+        assert!(parse_tau_text(
+            "2 templated_functions\n# h\n\"f\" 1 0 1 1 0\n0 aggregates\n0 userevents\n",
+            ThreadId::ZERO,
+            &mut p
+        )
+        .is_err());
+        assert!(parse_tau_text(
+            "1 templated_functions\n# h\nf 1 0 1 1 0\n",
+            ThreadId::ZERO,
+            &mut p
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn filename_parsing() {
+        assert_eq!(
+            parse_profile_filename("profile.3.0.2"),
+            Some(ThreadId::new(3, 0, 2))
+        );
+        assert_eq!(parse_profile_filename("profile.0.0"), None);
+        assert_eq!(parse_profile_filename("profile.a.b.c"), None);
+        assert_eq!(parse_profile_filename("other.0.0.0"), None);
+        assert_eq!(parse_profile_filename("profile.0.0.0.0"), None);
+    }
+
+    #[test]
+    fn directory_roundtrip_single_and_multi() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdmf_tau_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // single metric layout, two ranks
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in 0..2 {
+            std::fs::write(
+                dir.join(format!("profile.{n}.0.0")),
+                SAMPLE,
+            )
+            .unwrap();
+        }
+        let p = load_tau_directory(&dir).unwrap();
+        assert_eq!(p.threads().len(), 2);
+        assert_eq!(p.metrics().len(), 1);
+        assert_eq!(p.data_point_count(), 6);
+        // percentages recomputed
+        let main = p.find_event("main()").unwrap();
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let s = p.event_stats(main, m, IntervalField::Inclusive).unwrap();
+        assert_eq!(s.count, 2);
+
+        // multi-metric layout
+        let mdir = dir.join("multi");
+        for metric in ["GET_TIME_OF_DAY", "PAPI_FP_OPS"] {
+            let sub = mdir.join(format!("MULTI__{metric}"));
+            std::fs::create_dir_all(&sub).unwrap();
+            let text = SAMPLE.replace("GET_TIME_OF_DAY", metric);
+            std::fs::write(sub.join("profile.0.0.0"), text).unwrap();
+        }
+        let p = load_tau_directory(&mdir).unwrap();
+        assert_eq!(p.metrics().len(), 2);
+        assert!(p.find_metric("PAPI_FP_OPS").is_some());
+        assert_eq!(p.data_point_count(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdmf_tau_empty_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            load_tau_directory(&dir),
+            Err(ImportError::NoProfiles(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Atomic-event profiles: count / min / max / mean / standard deviation.
+//!
+//! Matches the paper's ATOMIC_LOCATION_PROFILE columns ("the sample count,
+//! maximum value, minimum value, mean value and standard deviation for each
+//! ATOMIC_EVENT, node, context, thread combination"). Accumulation uses
+//! Welford's online algorithm so streaming large sample sets stays
+//! numerically stable.
+
+/// Summary statistics of one atomic event on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AtomicData {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Welford sum of squared deviations (not the stddev itself).
+    m2: f64,
+}
+
+impl AtomicData {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        AtomicData {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    /// Construct directly from precomputed summary fields (used by
+    /// importers whose input files carry the statistics, not the samples).
+    pub fn from_summary(count: u64, min: f64, max: f64, mean: f64, stddev: f64) -> Self {
+        let m2 = if count > 1 {
+            stddev * stddev * (count - 1) as f64
+        } else {
+            0.0
+        };
+        AtomicData {
+            count,
+            min,
+            max,
+            mean,
+            m2,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Sample standard deviation (n−1); `None` with fewer than 2 samples.
+    pub fn stddev(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some((self.m2 / (self.count - 1) as f64).sqrt())
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel combination via
+    /// Chan et al.'s pairwise update).
+    pub fn merge(&mut self, other: &AtomicData) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_basic_stats() {
+        let mut a = AtomicData::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.record(x);
+        }
+        assert_eq!(a.count, 8);
+        assert_eq!(a.min, 2.0);
+        assert_eq!(a.max, 9.0);
+        assert!((a.mean - 5.0).abs() < 1e-12);
+        assert!((a.stddev().unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_undefined_for_small_samples() {
+        let mut a = AtomicData::new();
+        assert_eq!(a.stddev(), None);
+        a.record(5.0);
+        assert_eq!(a.stddev(), None);
+        a.record(7.0);
+        assert!(a.stddev().is_some());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = AtomicData::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = AtomicData::new();
+        let mut right = AtomicData::new();
+        for &x in &xs[..37] {
+            left.record(x);
+        }
+        for &x in &xs[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count, whole.count);
+        assert!((left.mean - whole.mean).abs() < 1e-12);
+        assert!((left.stddev().unwrap() - whole.stddev().unwrap()).abs() < 1e-12);
+        assert_eq!(left.min, whole.min);
+        assert_eq!(left.max, whole.max);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = AtomicData::new();
+        a.record(1.0);
+        let before = a;
+        a.merge(&AtomicData::new());
+        assert_eq!(a, before);
+        let mut empty = AtomicData::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn from_summary_roundtrip() {
+        let mut a = AtomicData::new();
+        for x in [1.0, 3.0, 5.0, 7.0] {
+            a.record(x);
+        }
+        let b = AtomicData::from_summary(a.count, a.min, a.max, a.mean, a.stddev().unwrap());
+        assert!((b.stddev().unwrap() - a.stddev().unwrap()).abs() < 1e-12);
+        assert_eq!(b.count, 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! Callpath events and call-tree reconstruction.
+//!
+//! TAU callpath profiling encodes paths in event names with `=>`
+//! separators (`main => solve => MPI_Send()`); ParaProf builds its
+//! callgraph displays from them. This module parses those names, builds
+//! the call tree for one thread/metric, and derives the flat (per-leaf
+//! aggregated) view.
+
+use crate::interval::IntervalData;
+use crate::profile::{EventId, MetricId, Profile};
+use crate::thread::ThreadId;
+use std::collections::BTreeMap;
+
+/// Separator used by TAU callpath event names.
+pub const CALLPATH_SEPARATOR: &str = " => ";
+
+/// Split a callpath event name into frames; a plain name yields one frame.
+pub fn parse_callpath(name: &str) -> Vec<&str> {
+    name.split(CALLPATH_SEPARATOR).map(str::trim).collect()
+}
+
+/// True if an event name encodes a callpath.
+pub fn is_callpath(name: &str) -> bool {
+    name.contains(CALLPATH_SEPARATOR)
+}
+
+/// One node of a reconstructed call tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallNode {
+    /// Frame name (the last path component).
+    pub name: String,
+    /// Inclusive value at this path.
+    pub inclusive: Option<f64>,
+    /// Exclusive value at this path.
+    pub exclusive: Option<f64>,
+    /// Calls at this path.
+    pub calls: Option<f64>,
+    /// Child nodes, ordered by name.
+    pub children: Vec<CallNode>,
+}
+
+impl CallNode {
+    fn new(name: &str) -> CallNode {
+        CallNode {
+            name: name.to_string(),
+            inclusive: None,
+            exclusive: None,
+            calls: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Find a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&CallNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut CallNode {
+        if let Some(pos) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[pos];
+        }
+        let pos = self
+            .children
+            .binary_search_by(|c| c.name.as_str().cmp(name))
+            .unwrap_err();
+        self.children.insert(pos, CallNode::new(name));
+        &mut self.children[pos]
+    }
+
+    /// Total number of nodes in this subtree (including self).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(CallNode::node_count).sum::<usize>()
+    }
+
+    /// Depth of the subtree (1 for a leaf).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(CallNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "{:indent$}{} incl={} excl={} calls={}",
+            "",
+            self.name,
+            self.inclusive.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+            self.exclusive.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+            self.calls.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+            indent = indent
+        );
+        for c in &self.children {
+            c.render_into(out, indent + 2);
+        }
+    }
+
+    /// Render the subtree as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+}
+
+/// Build the call tree of one thread/metric from a callpath profile.
+///
+/// Events without `=>` are treated as roots of length-1 paths. Returns a
+/// synthetic unnamed root whose children are the top-level frames.
+pub fn build_call_tree(profile: &Profile, thread: ThreadId, metric: MetricId) -> CallNode {
+    let mut root = CallNode::new("<root>");
+    for (ei, event) in profile.events().iter().enumerate() {
+        let Some(d) = profile.interval(EventId(ei), thread, metric) else {
+            continue;
+        };
+        let frames = parse_callpath(&event.name);
+        let mut node = &mut root;
+        for frame in &frames {
+            node = node.child_mut(frame);
+        }
+        node.inclusive = d.inclusive();
+        node.exclusive = d.exclusive();
+        node.calls = d.calls();
+    }
+    root
+}
+
+/// Aggregate a callpath profile into flat per-leaf totals for one
+/// thread/metric: each path's exclusive value and calls are attributed to
+/// its final frame (the function actually executing).
+pub fn flatten_callpaths(
+    profile: &Profile,
+    thread: ThreadId,
+    metric: MetricId,
+) -> BTreeMap<String, IntervalData> {
+    let mut out: BTreeMap<String, IntervalData> = BTreeMap::new();
+    for (ei, event) in profile.events().iter().enumerate() {
+        let Some(d) = profile.interval(EventId(ei), thread, metric) else {
+            continue;
+        };
+        let leaf = *parse_callpath(&event.name).last().expect("non-empty split");
+        out.entry(leaf.to_string())
+            .and_modify(|acc| acc.accumulate(d))
+            .or_insert(*d);
+    }
+    out
+}
+
+/// Check call-tree consistency: a parent's inclusive value should be at
+/// least the sum of its children's inclusives (within `tol` relative
+/// slack). Returns violations as human-readable strings.
+pub fn validate_call_tree(node: &CallNode, tol: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    fn walk(node: &CallNode, tol: f64, problems: &mut Vec<String>) {
+        if let Some(incl) = node.inclusive {
+            let child_sum: f64 = node.children.iter().filter_map(|c| c.inclusive).sum();
+            if child_sum > incl * (1.0 + tol) + tol {
+                problems.push(format!(
+                    "{}: children inclusive {child_sum} exceeds own inclusive {incl}",
+                    node.name
+                ));
+            }
+        }
+        for c in &node.children {
+            walk(c, tol, problems);
+        }
+    }
+    walk(node, tol, &mut problems);
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{IntervalEvent, Metric};
+
+    fn callpath_profile() -> Profile {
+        let mut p = Profile::new("cp");
+        let m = p.add_metric(Metric::measured("TIME"));
+        p.add_thread(ThreadId::ZERO);
+        let paths = [
+            ("main", 100.0, 10.0, 1.0),
+            ("main => solve", 80.0, 20.0, 5.0),
+            ("main => solve => MPI_Send()", 30.0, 30.0, 50.0),
+            ("main => solve => compute", 30.0, 30.0, 50.0),
+            ("main => io", 10.0, 10.0, 2.0),
+            ("MPI_Send()", 30.0, 30.0, 50.0), // flat twin of the callpath leaf
+        ];
+        for (name, incl, excl, calls) in paths {
+            let e = p.add_event(IntervalEvent::new(name, "TAU_CALLPATH"));
+            p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(incl, excl, calls, 0.0));
+        }
+        p
+    }
+
+    #[test]
+    fn parse_and_detect() {
+        assert_eq!(parse_callpath("a => b => c"), vec!["a", "b", "c"]);
+        assert_eq!(parse_callpath("plain"), vec!["plain"]);
+        assert!(is_callpath("a => b"));
+        assert!(!is_callpath("a=>b"), "TAU uses spaced arrows");
+    }
+
+    #[test]
+    fn builds_tree_with_values() {
+        let p = callpath_profile();
+        let m = p.find_metric("TIME").unwrap();
+        let tree = build_call_tree(&p, ThreadId::ZERO, m);
+        let main = tree.child("main").unwrap();
+        assert_eq!(main.inclusive, Some(100.0));
+        let solve = main.child("solve").unwrap();
+        assert_eq!(solve.inclusive, Some(80.0));
+        assert_eq!(solve.children.len(), 2);
+        let send = solve.child("MPI_Send()").unwrap();
+        assert_eq!(send.calls, Some(50.0));
+        assert_eq!(tree.depth(), 4); // root -> main -> solve -> leaf
+        assert_eq!(main.node_count(), 5);
+        // consistency holds for this profile
+        assert!(validate_call_tree(&tree, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn flatten_merges_leaves() {
+        let p = callpath_profile();
+        let m = p.find_metric("TIME").unwrap();
+        let flat = flatten_callpaths(&p, ThreadId::ZERO, m);
+        // MPI_Send() appears as a callpath leaf and as a flat event: merged
+        let send = &flat["MPI_Send()"];
+        assert_eq!(send.exclusive(), Some(60.0));
+        assert_eq!(send.calls(), Some(100.0));
+        assert_eq!(flat["compute"].exclusive(), Some(30.0));
+        assert!(flat.contains_key("io"));
+        assert!(!flat.contains_key("main => solve"));
+    }
+
+    #[test]
+    fn detects_inconsistent_tree() {
+        let mut p = Profile::new("bad");
+        let m = p.add_metric(Metric::measured("TIME"));
+        p.add_thread(ThreadId::ZERO);
+        for (name, incl) in [("a", 10.0), ("a => b", 50.0)] {
+            let e = p.add_event(IntervalEvent::new(name, "G"));
+            p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(incl, incl, 1.0, 0.0));
+        }
+        let tree = build_call_tree(&p, ThreadId::ZERO, m);
+        let problems = validate_call_tree(&tree, 1e-9);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains('a'));
+    }
+
+    #[test]
+    fn tree_renders() {
+        let p = callpath_profile();
+        let m = p.find_metric("TIME").unwrap();
+        let text = build_call_tree(&p, ThreadId::ZERO, m).render();
+        assert!(text.contains("main"));
+        assert!(text.contains("  solve") || text.contains("solve incl"));
+        assert!(text.lines().count() >= 6);
+    }
+}

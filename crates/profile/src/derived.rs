@@ -1,0 +1,432 @@
+//! Derived metrics.
+//!
+//! The paper (§3.2): "Because some analysis tools also generate derived
+//! data, derived metrics can be saved with the profile data in the database
+//! using the PerfDMF API" — e.g. FLOPS = PAPI_FP_OPS / time.
+//!
+//! A derived metric is described by an arithmetic expression over existing
+//! metric names. The expression is evaluated independently for the
+//! inclusive and exclusive fields of every (event, thread) combination;
+//! call/subroutine counts are copied from the first operand metric (they
+//! are metric-independent in TAU).
+//!
+//! Grammar: `expr := term (('+'|'-') term)*`, `term := factor (('*'|'/')
+//! factor)*`, `factor := NUMBER | IDENT | '"' name '"' | '(' expr ')' |
+//! '-' factor`. Identifiers name metrics; quoted strings allow metric
+//! names with spaces.
+
+use crate::event::Metric;
+use crate::interval::{IntervalData, UNDEFINED};
+use crate::profile::{MetricId, Profile};
+use std::fmt;
+
+/// A parsed derived-metric expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricExpr {
+    /// Numeric constant.
+    Constant(f64),
+    /// Reference to a metric by name.
+    Metric(String),
+    /// Negation.
+    Neg(Box<MetricExpr>),
+    /// Binary arithmetic.
+    Binary {
+        op: char,
+        left: Box<MetricExpr>,
+        right: Box<MetricExpr>,
+    },
+}
+
+/// Error from parsing or evaluating a metric expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DerivedError {
+    /// Syntax error with offset.
+    Parse { message: String, offset: usize },
+    /// Expression references a metric the profile does not have.
+    UnknownMetric(String),
+    /// The target name already exists.
+    MetricExists(String),
+}
+
+impl fmt::Display for DerivedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DerivedError::Parse { message, offset } => {
+                write!(f, "metric expression error at {offset}: {message}")
+            }
+            DerivedError::UnknownMetric(m) => write!(f, "unknown metric {m:?}"),
+            DerivedError::MetricExists(m) => write!(f, "metric {m:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for DerivedError {}
+
+impl MetricExpr {
+    /// Parse an expression.
+    pub fn parse(src: &str) -> Result<MetricExpr, DerivedError> {
+        let mut p = Parser {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+        };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos < p.chars.len() {
+            return Err(DerivedError::Parse {
+                message: "trailing input".into(),
+                offset: p.offset(),
+            });
+        }
+        Ok(e)
+    }
+
+    /// Names of all metrics the expression references.
+    pub fn metric_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            MetricExpr::Constant(_) => {}
+            MetricExpr::Metric(m) => {
+                if !out.contains(&m.as_str()) {
+                    out.push(m);
+                }
+            }
+            MetricExpr::Neg(e) => e.collect_names(out),
+            MetricExpr::Binary { left, right, .. } => {
+                left.collect_names(out);
+                right.collect_names(out);
+            }
+        }
+    }
+
+    /// Evaluate with a metric-name → value resolver. Returns NaN for
+    /// undefined operands or division by zero (the undefined sentinel).
+    pub fn eval(&self, resolve: &impl Fn(&str) -> f64) -> f64 {
+        match self {
+            MetricExpr::Constant(c) => *c,
+            MetricExpr::Metric(m) => resolve(m),
+            MetricExpr::Neg(e) => -e.eval(resolve),
+            MetricExpr::Binary { op, left, right } => {
+                let l = left.eval(resolve);
+                let r = right.eval(resolve);
+                match op {
+                    '+' => l + r,
+                    '-' => l - r,
+                    '*' => l * r,
+                    '/' => {
+                        if r == 0.0 {
+                            UNDEFINED
+                        } else {
+                            l / r
+                        }
+                    }
+                    _ => UNDEFINED,
+                }
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|(i, _)| *i)
+            .unwrap_or(self.src.len())
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|(_, c)| c.is_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).map(|(_, c)| *c)
+    }
+
+    fn expr(&mut self) -> Result<MetricExpr, DerivedError> {
+        let mut left = self.term()?;
+        while let Some(op @ ('+' | '-')) = self.peek() {
+            self.pos += 1;
+            let right = self.term()?;
+            left = MetricExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<MetricExpr, DerivedError> {
+        let mut left = self.factor()?;
+        while let Some(op @ ('*' | '/')) = self.peek() {
+            self.pos += 1;
+            let right = self.factor()?;
+            left = MetricExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<MetricExpr, DerivedError> {
+        match self.peek() {
+            Some('-') => {
+                self.pos += 1;
+                Ok(MetricExpr::Neg(Box::new(self.factor()?)))
+            }
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if self.peek() != Some(')') {
+                    return Err(DerivedError::Parse {
+                        message: "expected ')'".into(),
+                        offset: self.offset(),
+                    });
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some('"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.chars.get(self.pos).is_some_and(|(_, c)| *c != '"') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.chars.len() {
+                    return Err(DerivedError::Parse {
+                        message: "unterminated quoted metric name".into(),
+                        offset: self.offset(),
+                    });
+                }
+                let name: String = self.chars[start..self.pos].iter().map(|(_, c)| c).collect();
+                self.pos += 1;
+                Ok(MetricExpr::Metric(name))
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => {
+                let start = self.pos;
+                let mut seen_e = false;
+                while let Some((_, c)) = self.chars.get(self.pos) {
+                    if c.is_ascii_digit() || *c == '.' {
+                        self.pos += 1;
+                    } else if (*c == 'e' || *c == 'E') && !seen_e {
+                        // exponent must be followed by digit or sign
+                        match self.chars.get(self.pos + 1) {
+                            Some((_, n)) if n.is_ascii_digit() || *n == '+' || *n == '-' => {
+                                seen_e = true;
+                                self.pos += 2;
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = self.chars[start..self.pos].iter().map(|(_, c)| c).collect();
+                text.parse::<f64>()
+                    .map(MetricExpr::Constant)
+                    .map_err(|_| DerivedError::Parse {
+                        message: format!("bad number {text:?}"),
+                        offset: self.offset(),
+                    })
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|(_, c)| c.is_alphanumeric() || *c == '_')
+                {
+                    self.pos += 1;
+                }
+                let name: String = self.chars[start..self.pos].iter().map(|(_, c)| c).collect();
+                Ok(MetricExpr::Metric(name))
+            }
+            other => Err(DerivedError::Parse {
+                message: format!("unexpected {other:?}"),
+                offset: self.offset(),
+            }),
+        }
+    }
+}
+
+/// Compute a derived metric and add it to the profile.
+///
+/// Evaluates `expr` over the inclusive and exclusive fields independently
+/// for every (event, thread); copies calls/subroutines from the first
+/// referenced metric. Returns the new metric's id.
+pub fn derive_metric(
+    profile: &mut Profile,
+    name: &str,
+    expr: &MetricExpr,
+) -> Result<MetricId, DerivedError> {
+    if profile.find_metric(name).is_some() {
+        return Err(DerivedError::MetricExists(name.to_string()));
+    }
+    // Resolve referenced metrics up front.
+    let mut sources: Vec<(String, MetricId)> = Vec::new();
+    for m in expr.metric_names() {
+        let id = profile
+            .find_metric(m)
+            .ok_or_else(|| DerivedError::UnknownMetric(m.to_string()))?;
+        sources.push((m.to_string(), id));
+    }
+    let new_id = profile.add_metric(Metric::derived(name));
+    let events: Vec<_> = (0..profile.events().len())
+        .map(crate::profile::EventId)
+        .collect();
+    let threads = profile.threads().to_vec();
+    for &event in &events {
+        for &thread in &threads {
+            // Gather operand values.
+            let mut incl_vals = Vec::with_capacity(sources.len());
+            let mut excl_vals = Vec::with_capacity(sources.len());
+            let mut calls = UNDEFINED;
+            let mut subrs = UNDEFINED;
+            let mut any = false;
+            for (i, (_, mid)) in sources.iter().enumerate() {
+                match profile.interval(event, thread, *mid) {
+                    Some(d) => {
+                        any = true;
+                        incl_vals.push(d.inclusive);
+                        excl_vals.push(d.exclusive);
+                        if i == 0 {
+                            calls = d.calls;
+                            subrs = d.subroutines;
+                        }
+                    }
+                    None => {
+                        incl_vals.push(UNDEFINED);
+                        excl_vals.push(UNDEFINED);
+                    }
+                }
+            }
+            if !any && !sources.is_empty() {
+                continue;
+            }
+            let resolve_incl = |m: &str| -> f64 {
+                sources
+                    .iter()
+                    .position(|(n, _)| n == m)
+                    .map(|i| incl_vals[i])
+                    .unwrap_or(UNDEFINED)
+            };
+            let resolve_excl = |m: &str| -> f64 {
+                sources
+                    .iter()
+                    .position(|(n, _)| n == m)
+                    .map(|i| excl_vals[i])
+                    .unwrap_or(UNDEFINED)
+            };
+            let incl = expr.eval(&resolve_incl);
+            let excl = expr.eval(&resolve_excl);
+            let mut d = IntervalData::new(incl, excl, calls, subrs);
+            if incl.is_nan() && excl.is_nan() && calls.is_nan() && subrs.is_nan() {
+                continue;
+            }
+            d.inclusive_percent = UNDEFINED;
+            d.exclusive_percent = UNDEFINED;
+            profile.set_interval(event, thread, new_id, d);
+        }
+    }
+    profile.recompute_derived_fields(new_id);
+    Ok(new_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::IntervalEvent;
+    use crate::thread::ThreadId;
+
+    #[test]
+    fn parse_shapes() {
+        let e = MetricExpr::parse("PAPI_FP_OPS / GET_TIME_OF_DAY * 1e6").unwrap();
+        assert_eq!(e.metric_names(), vec!["PAPI_FP_OPS", "GET_TIME_OF_DAY"]);
+        let e = MetricExpr::parse("\"L2 cache misses\" + 1").unwrap();
+        assert_eq!(e.metric_names(), vec!["L2 cache misses"]);
+        assert!(MetricExpr::parse("1 +").is_err());
+        assert!(MetricExpr::parse("(1").is_err());
+        assert!(MetricExpr::parse("\"open").is_err());
+        assert!(MetricExpr::parse("2 2").is_err());
+    }
+
+    #[test]
+    fn eval_precedence() {
+        let e = MetricExpr::parse("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval(&|_| 0.0), 7.0);
+        let e = MetricExpr::parse("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval(&|_| 0.0), 9.0);
+        let e = MetricExpr::parse("-X / 2").unwrap();
+        assert_eq!(e.eval(&|_| 10.0), -5.0);
+        let e = MetricExpr::parse("1 / 0").unwrap();
+        assert!(e.eval(&|_| 0.0).is_nan());
+    }
+
+    #[test]
+    fn derive_flops() {
+        let mut p = Profile::new("t");
+        let time = p.add_metric(Metric::measured("TIME"));
+        let fp = p.add_metric(Metric::measured("PAPI_FP_OPS"));
+        let e = p.add_event(IntervalEvent::ungrouped("main"));
+        p.add_thread(ThreadId::ZERO);
+        p.set_interval(e, ThreadId::ZERO, time, IntervalData::new(2.0, 2.0, 1.0, 0.0));
+        p.set_interval(e, ThreadId::ZERO, fp, IntervalData::new(8.0e9, 8.0e9, 1.0, 0.0));
+        let expr = MetricExpr::parse("PAPI_FP_OPS / TIME").unwrap();
+        let flops = derive_metric(&mut p, "FLOPS", &expr).unwrap();
+        let d = p.interval(e, ThreadId::ZERO, flops).unwrap();
+        assert_eq!(d.inclusive(), Some(4.0e9));
+        assert_eq!(d.calls(), Some(1.0));
+        assert!(p.metric(flops).derived);
+    }
+
+    #[test]
+    fn derive_rejects_unknown_and_duplicate() {
+        let mut p = Profile::new("t");
+        p.add_metric(Metric::measured("TIME"));
+        let expr = MetricExpr::parse("NOPE / TIME").unwrap();
+        assert!(matches!(
+            derive_metric(&mut p, "X", &expr),
+            Err(DerivedError::UnknownMetric(_))
+        ));
+        let expr = MetricExpr::parse("TIME * 2").unwrap();
+        assert!(matches!(
+            derive_metric(&mut p, "TIME", &expr),
+            Err(DerivedError::MetricExists(_))
+        ));
+    }
+
+    #[test]
+    fn derive_skips_missing_combinations() {
+        let mut p = Profile::new("t");
+        let time = p.add_metric(Metric::measured("TIME"));
+        let e1 = p.add_event(IntervalEvent::ungrouped("a"));
+        let e2 = p.add_event(IntervalEvent::ungrouped("b"));
+        p.add_thread(ThreadId::ZERO);
+        p.set_interval(e1, ThreadId::ZERO, time, IntervalData::new(4.0, 4.0, 2.0, 0.0));
+        let expr = MetricExpr::parse("TIME / 2").unwrap();
+        let half = derive_metric(&mut p, "HALF", &expr).unwrap();
+        assert_eq!(p.interval(e1, ThreadId::ZERO, half).unwrap().inclusive(), Some(2.0));
+        assert!(p.interval(e2, ThreadId::ZERO, half).is_none());
+    }
+}

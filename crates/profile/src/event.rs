@@ -1,0 +1,107 @@
+//! Performance events: interval (timer) events and atomic (counter) events.
+
+use std::fmt;
+
+/// An interval event — a named region of code (function, loop, basic
+/// block) whose entry/exit is measured (paper §3.2, INTERVAL_EVENT).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IntervalEvent {
+    /// Event name, e.g. `MPI_Send()` or `main => loop1`.
+    pub name: String,
+    /// Event group, e.g. `MPI`, `TAU_USER`, `computation`.
+    pub group: String,
+}
+
+impl IntervalEvent {
+    /// Create an event with a group.
+    pub fn new(name: impl Into<String>, group: impl Into<String>) -> Self {
+        IntervalEvent {
+            name: name.into(),
+            group: group.into(),
+        }
+    }
+
+    /// Create an ungrouped event (group = `TAU_DEFAULT`).
+    pub fn ungrouped(name: impl Into<String>) -> Self {
+        IntervalEvent::new(name, "TAU_DEFAULT")
+    }
+}
+
+impl fmt::Display for IntervalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.group)
+    }
+}
+
+/// An atomic event — a user-defined counter sampled at instrumentation
+/// points (paper §3.2, ATOMIC_EVENT): e.g. message size, heap usage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AtomicEvent {
+    /// Counter name, e.g. `Message size sent to all nodes`.
+    pub name: String,
+    /// Counter group.
+    pub group: String,
+}
+
+impl AtomicEvent {
+    /// Create an atomic event.
+    pub fn new(name: impl Into<String>, group: impl Into<String>) -> Self {
+        AtomicEvent {
+            name: name.into(),
+            group: group.into(),
+        }
+    }
+}
+
+/// A measurement metric collected during a trial (paper §3.2, METRIC):
+/// wall-clock time, PAPI counters, or derived quantities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Metric {
+    /// Metric name, e.g. `GET_TIME_OF_DAY`, `PAPI_FP_OPS`.
+    pub name: String,
+    /// True if this metric was computed from others rather than measured.
+    pub derived: bool,
+}
+
+impl Metric {
+    /// A measured metric.
+    pub fn measured(name: impl Into<String>) -> Self {
+        Metric {
+            name: name.into(),
+            derived: false,
+        }
+    }
+
+    /// A derived metric.
+    pub fn derived(name: impl Into<String>) -> Self {
+        Metric {
+            name: name.into(),
+            derived: true,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = IntervalEvent::new("MPI_Send()", "MPI");
+        assert_eq!(e.to_string(), "MPI_Send() [MPI]");
+        let u = IntervalEvent::ungrouped("main");
+        assert_eq!(u.group, "TAU_DEFAULT");
+        let m = Metric::measured("PAPI_FP_OPS");
+        assert!(!m.derived);
+        let d = Metric::derived("FLOPS");
+        assert!(d.derived);
+        let a = AtomicEvent::new("Message size", "TAU_EVENT");
+        assert_eq!(a.name, "Message size");
+    }
+}

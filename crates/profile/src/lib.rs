@@ -1,0 +1,43 @@
+//! # perfdmf-profile
+//!
+//! The common parallel profile data model at the heart of PerfDMF
+//! (paper §3.1): profile data organized by **node, context, thread, metric
+//! and event**, with an aggregate measurement recorded for each
+//! combination.
+//!
+//! * [`ThreadId`] — node / context / thread addressing.
+//! * [`Metric`], [`IntervalEvent`], [`AtomicEvent`] — the measured things.
+//! * [`IntervalData`] — one INTERVAL_LOCATION_PROFILE record (inclusive,
+//!   exclusive, percentages, per-call, calls, subroutines) with support
+//!   for tool-specific undefined fields.
+//! * [`AtomicData`] — one ATOMIC_LOCATION_PROFILE record (count, min, max,
+//!   mean, stddev) with Welford accumulation and parallel merge.
+//! * [`Profile`] — the trial container, with total/mean summaries
+//!   (INTERVAL_TOTAL_SUMMARY / INTERVAL_MEAN_SUMMARY), cross-thread event
+//!   statistics, consistency validation, and dense storage sized for
+//!   16K-processor trials.
+//! * [`MetricExpr`] / [`derive_metric`] — derived metrics
+//!   (e.g. `FLOPS = PAPI_FP_OPS / TIME`).
+//! * [`callpath`] — TAU callpath (`a => b`) parsing, call-tree
+//!   reconstruction, and flat-view aggregation.
+
+mod atomic;
+pub mod callpath;
+mod derived;
+mod event;
+mod interval;
+mod profile;
+mod thread;
+
+pub use atomic::AtomicData;
+pub use callpath::{
+    build_call_tree, flatten_callpaths, is_callpath, parse_callpath, validate_call_tree,
+    CallNode, CALLPATH_SEPARATOR,
+};
+pub use derived::{derive_metric, DerivedError, MetricExpr};
+pub use event::{AtomicEvent, IntervalEvent, Metric};
+pub use interval::{IntervalData, UNDEFINED};
+pub use profile::{
+    AtomicEventId, EventId, EventStats, IntervalField, MetricId, Profile,
+};
+pub use thread::ThreadId;

@@ -1,0 +1,76 @@
+//! Thread addressing: the node / context / thread triple.
+//!
+//! PerfDMF organizes all profile data "by node, context, thread, metric and
+//! event" (paper §3.1). A [`ThreadId`] is the first three coordinates;
+//! ordering is lexicographic, which matches how TAU numbers `profile.n.c.t`
+//! files.
+
+use std::fmt;
+
+/// Location of one thread of execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId {
+    /// Node (MPI rank / host).
+    pub node: u32,
+    /// Context within the node (process).
+    pub context: u32,
+    /// Thread within the context.
+    pub thread: u32,
+}
+
+impl ThreadId {
+    /// Construct a thread id.
+    pub const fn new(node: u32, context: u32, thread: u32) -> Self {
+        ThreadId {
+            node,
+            context,
+            thread,
+        }
+    }
+
+    /// The first thread of node 0 — where serial profiles live.
+    pub const ZERO: ThreadId = ThreadId::new(0, 0, 0);
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.node, self.context, self.thread)
+    }
+}
+
+impl From<(u32, u32, u32)> for ThreadId {
+    fn from((node, context, thread): (u32, u32, u32)) -> Self {
+        ThreadId::new(node, context, thread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![
+            ThreadId::new(1, 0, 0),
+            ThreadId::new(0, 1, 0),
+            ThreadId::new(0, 0, 2),
+            ThreadId::new(0, 0, 0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                ThreadId::new(0, 0, 0),
+                ThreadId::new(0, 0, 2),
+                ThreadId::new(0, 1, 0),
+                ThreadId::new(1, 0, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ThreadId::new(3, 1, 2).to_string(), "3:1:2");
+        assert_eq!(ThreadId::ZERO.to_string(), "0:0:0");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests on profile-model invariants.
+
+use perfdmf_profile::{
+    derive_metric, AtomicData, IntervalData, IntervalEvent, IntervalField, Metric, MetricExpr,
+    Profile, ThreadId,
+};
+use proptest::prelude::*;
+
+fn build_profile(values: &[Vec<f64>]) -> (Profile, Vec<perfdmf_profile::EventId>) {
+    // values[e][t] = exclusive time of event e on thread t
+    let mut p = Profile::new("prop");
+    let m = p.add_metric(Metric::measured("TIME"));
+    let n_threads = values.first().map(|v| v.len()).unwrap_or(0);
+    p.add_threads((0..n_threads as u32).map(|n| ThreadId::new(n, 0, 0)));
+    let mut events = Vec::new();
+    for (e, row) in values.iter().enumerate() {
+        let id = p.add_event(IntervalEvent::new(format!("f{e}"), "G"));
+        events.push(id);
+        for (t, &x) in row.iter().enumerate() {
+            p.set_interval(
+                id,
+                ThreadId::new(t as u32, 0, 0),
+                m,
+                IntervalData::new(x * 1.5, x, 1.0 + e as f64, 0.0),
+            );
+        }
+    }
+    (p, events)
+}
+
+proptest! {
+    /// mean summary × thread count == total summary, for every event.
+    #[test]
+    fn mean_times_count_equals_total(
+        values in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1e6, 4),
+            1..12,
+        )
+    ) {
+        let (p, _events) = build_profile(&values);
+        let m = p.find_metric("TIME").unwrap();
+        let total = p.total_summary(m);
+        let mean = p.mean_summary(m);
+        let n = p.threads().len() as f64;
+        for (t, u) in total.iter().zip(&mean) {
+            if let (Some(a), Some(b)) = (t.exclusive(), u.exclusive()) {
+                prop_assert!((b * n - a).abs() <= 1e-9 * (1.0 + a.abs()));
+            }
+            if let (Some(a), Some(b)) = (t.inclusive(), u.inclusive()) {
+                prop_assert!((b * n - a).abs() <= 1e-9 * (1.0 + a.abs()));
+            }
+        }
+    }
+
+    /// Event stats bounds: min <= mean <= max, and all within data range.
+    #[test]
+    fn event_stats_are_bounded(
+        row in proptest::collection::vec(0.0f64..1e9, 1..64)
+    ) {
+        let (p, events) = build_profile(&[row.clone()]);
+        let m = p.find_metric("TIME").unwrap();
+        let s = p.event_stats(events[0], m, IntervalField::Exclusive).unwrap();
+        prop_assert_eq!(s.count, row.len());
+        let lo = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.mean >= lo - 1e-9 && s.mean <= hi + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    /// Derived metric TIME * k scales inclusive/exclusive by k everywhere.
+    #[test]
+    fn derived_linear_scaling(
+        values in proptest::collection::vec(proptest::collection::vec(0.5f64..1e5, 3), 1..6),
+        k in 0.5f64..8.0,
+    ) {
+        let (mut p, events) = build_profile(&values);
+        let m = p.find_metric("TIME").unwrap();
+        let expr = MetricExpr::parse(&format!("TIME * {k}")).unwrap();
+        let scaled = derive_metric(&mut p, "SCALED", &expr).unwrap();
+        for &e in &events {
+            for &t in p.threads() {
+                let orig = p.interval(e, t, m).unwrap();
+                let s = p.interval(e, t, scaled).unwrap();
+                prop_assert!((s.exclusive().unwrap() - orig.exclusive().unwrap() * k).abs() < 1e-6 * (1.0 + k));
+                prop_assert!((s.inclusive().unwrap() - orig.inclusive().unwrap() * k).abs() < 1e-6 * (1.0 + k));
+                // calls copied from source
+                prop_assert_eq!(s.calls(), orig.calls());
+            }
+        }
+    }
+
+    /// Welford merge is associative enough: merging in any split equals
+    /// the sequential result.
+    #[test]
+    fn atomic_merge_split_invariance(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..50),
+        split in 1usize..49,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = AtomicData::new();
+        for &x in &xs { whole.record(x); }
+        let mut a = AtomicData::new();
+        let mut b = AtomicData::new();
+        for &x in &xs[..split] { a.record(x); }
+        for &x in &xs[split..] { b.record(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count, whole.count);
+        prop_assert!((a.mean - whole.mean).abs() < 1e-6 * (1.0 + whole.mean.abs()));
+        let (sa, sw) = (a.stddev().unwrap_or(0.0), whole.stddev().unwrap_or(0.0));
+        prop_assert!((sa - sw).abs() < 1e-6 * (1.0 + sw));
+    }
+
+    /// recompute_derived_fields keeps validate() clean and percentages
+    /// within range for arbitrary exclusive<=inclusive data.
+    #[test]
+    fn derived_fields_valid(
+        (_n, values) in (2usize..6).prop_flat_map(|n| (
+            Just(n),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..1e6, n), 1..8),
+        ))
+    ) {
+        let (mut p, _) = build_profile(&values);
+        let m = p.find_metric("TIME").unwrap();
+        p.recompute_derived_fields(m);
+        let problems = p.validate();
+        prop_assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    /// Interleaved registration (threads late) never loses data.
+    #[test]
+    fn late_registration_preserves_data(
+        first_batch in 1usize..6,
+        second_batch in 1usize..6,
+    ) {
+        let mut p = Profile::new("t");
+        let m = p.add_metric(Metric::measured("TIME"));
+        let e = p.add_event(IntervalEvent::ungrouped("f"));
+        p.add_threads((0..first_batch as u32).map(|n| ThreadId::new(n, 0, 0)));
+        for n in 0..first_batch as u32 {
+            p.set_interval(e, ThreadId::new(n, 0, 0), m, IntervalData::new(n as f64 + 1.0, n as f64 + 1.0, 1.0, 0.0));
+        }
+        p.add_threads((0..second_batch as u32).map(|n| ThreadId::new(100 + n, 0, 0)));
+        for n in 0..second_batch as u32 {
+            p.set_interval(e, ThreadId::new(100 + n, 0, 0), m, IntervalData::new(1000.0 + n as f64, 1000.0 + n as f64, 1.0, 0.0));
+        }
+        prop_assert_eq!(p.data_point_count(), first_batch + second_batch);
+        for n in 0..first_batch as u32 {
+            prop_assert_eq!(
+                p.interval(e, ThreadId::new(n, 0, 0), m).unwrap().inclusive(),
+                Some(n as f64 + 1.0)
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: randomized ground-truth profiles written in each tool
+//! format parse back with their measurements intact.
+
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+use perfdmf_workload::{
+    dynaprof_report_text, gprof_report_text, psrun_xml_text, sppm_timing_text, tau_file_text,
+};
+use proptest::prelude::*;
+
+/// Random single-metric profile: `events` events × `threads` threads with
+/// positive times and calls.
+fn arb_profile() -> impl Strategy<Value = Profile> {
+    (
+        1usize..6,  // events
+        1usize..4,  // threads
+        proptest::collection::vec(0.001f64..1e4, 24),
+        proptest::collection::vec(1u32..1000, 24),
+    )
+        .prop_map(|(n_events, n_threads, times, calls)| {
+            let mut p = Profile::new("prop");
+            let m = p.add_metric(Metric::measured("GET_TIME_OF_DAY"));
+            let events: Vec<_> = (0..n_events)
+                .map(|i| p.add_event(IntervalEvent::new(format!("routine_{i}"), "G")))
+                .collect();
+            p.add_threads((0..n_threads as u32).map(|n| ThreadId::new(n, 0, 0)));
+            let mut k = 0;
+            for &e in &events {
+                for &t in p.threads().to_vec().iter() {
+                    let excl = times[k % times.len()];
+                    let c = calls[k % calls.len()] as f64;
+                    k += 1;
+                    p.set_interval(
+                        e,
+                        t,
+                        m,
+                        IntervalData::new(excl * 1.25, excl, c, 0.0),
+                    );
+                }
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tau_text_roundtrips(p in arb_profile()) {
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        for &t in p.threads() {
+            let text = tau_file_text(&p, m, t, false);
+            let mut back = Profile::new("b");
+            perfdmf_import::tau::parse_tau_text(&text, t, &mut back).unwrap();
+            let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+            for (ei, ev) in p.events().iter().enumerate() {
+                let orig = p.interval(perfdmf_profile::EventId(ei), t, m).unwrap();
+                let be = back.find_event(&ev.name).unwrap();
+                let got = back.interval(be, t, bm).unwrap();
+                // TAU text uses shortest-float formatting: exact roundtrip
+                prop_assert_eq!(got.exclusive(), orig.exclusive());
+                prop_assert_eq!(got.inclusive(), orig.inclusive());
+                prop_assert_eq!(got.calls(), orig.calls());
+            }
+        }
+    }
+
+    #[test]
+    fn dynaprof_text_roundtrips(p in arb_profile()) {
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let t = ThreadId::ZERO;
+        let text = dynaprof_report_text(&p, m, t);
+        let mut back = Profile::new("b");
+        perfdmf_import::dynaprof::parse_dynaprof_text(&text, &mut back).unwrap();
+        let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        for (ei, ev) in p.events().iter().enumerate() {
+            let orig = p.interval(perfdmf_profile::EventId(ei), t, m).unwrap();
+            let be = back.find_event(&ev.name).unwrap();
+            let got = back.interval(be, t, bm).unwrap();
+            prop_assert_eq!(got.exclusive(), orig.exclusive());
+            prop_assert_eq!(got.inclusive(), orig.inclusive());
+        }
+    }
+
+    #[test]
+    fn sppm_text_roundtrips(p in arb_profile()) {
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let text = sppm_timing_text(&p, m);
+        let mut back = Profile::new("b");
+        perfdmf_import::sppm::parse_sppm_text(&text, &mut back).unwrap();
+        let bm = back.find_metric("SPPM_TIME").unwrap();
+        for (ei, ev) in p.events().iter().enumerate() {
+            for &t in p.threads() {
+                let orig = p.interval(perfdmf_profile::EventId(ei), t, m).unwrap();
+                let name = ev.name.replace(' ', "_");
+                let be = back.find_event(&name).unwrap();
+                let got = back.interval(be, t, bm).unwrap();
+                prop_assert_eq!(got.exclusive(), orig.exclusive());
+                prop_assert_eq!(got.calls(), orig.calls());
+            }
+        }
+    }
+
+    #[test]
+    fn psrun_xml_roundtrips(p in arb_profile()) {
+        // psrun carries one event (whole program) with per-metric counters;
+        // project the first event of the random profile.
+        let t = ThreadId::ZERO;
+        let text = psrun_xml_text(&p, t);
+        let mut back = Profile::new("b");
+        perfdmf_import::psrun::parse_psrun_text(&text, t, &mut back).unwrap();
+        let orig = p
+            .interval(perfdmf_profile::EventId(0), t, p.find_metric("GET_TIME_OF_DAY").unwrap())
+            .unwrap();
+        let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        let be = back.find_event(&p.events()[0].name).unwrap();
+        prop_assert_eq!(back.interval(be, t, bm).unwrap().inclusive(), orig.inclusive());
+    }
+
+    #[test]
+    fn gprof_text_roundtrips_approximately(p in arb_profile()) {
+        // gprof output has fixed decimal places; compare with tolerance.
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let t = ThreadId::ZERO;
+        let text = gprof_report_text(&p, m, t);
+        let mut back = Profile::new("b");
+        perfdmf_import::gprof::parse_gprof_text(&text, t, &mut back).unwrap();
+        let bm = back.find_metric("GPROF_TIME").unwrap();
+        for (ei, ev) in p.events().iter().enumerate() {
+            let orig = p.interval(perfdmf_profile::EventId(ei), t, m).unwrap();
+            let be = back.find_event(&ev.name).unwrap();
+            let got = back.interval(be, t, bm).unwrap();
+            let o = orig.exclusive().unwrap();
+            let g = got.exclusive().unwrap();
+            prop_assert!((o - g).abs() <= 5e-5 * (1.0 + o.abs()) + 5e-5, "{o} vs {g}");
+            prop_assert_eq!(got.calls(), orig.calls());
+        }
+    }
+
+    #[test]
+    fn perfdmf_xml_roundtrips_exactly(p in arb_profile()) {
+        let xml = perfdmf_import::export_xml(&p);
+        let back = perfdmf_import::import_xml(&xml).unwrap();
+        prop_assert_eq!(back.data_point_count(), p.data_point_count());
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        for (e, t, d) in p.iter_metric(m) {
+            let be = back.find_event(&p.events()[e.0].name).unwrap();
+            let got = back.interval(be, t, bm).unwrap();
+            prop_assert_eq!(got.exclusive(), d.exclusive());
+            prop_assert_eq!(got.inclusive(), d.inclusive());
+            prop_assert_eq!(got.calls(), d.calls());
+        }
+    }
+
+    #[test]
+    fn cube_roundtrips_exclusives(p in arb_profile()) {
+        let xml = perfdmf_import::export_cube(&p);
+        let back = perfdmf_import::import_cube(&xml).unwrap();
+        let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+        let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        for (e, t, d) in p.iter_metric(m) {
+            let be = back.find_event(&p.events()[e.0].name).unwrap();
+            let got = back.interval(be, t, bm).unwrap();
+            prop_assert_eq!(got.exclusive(), d.exclusive());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A small tree API over the pull parser, for documents where random access
+//! beats streaming (e.g. psrun profiles, which are a few kilobytes).
+
+use crate::error::{Error, Result};
+use crate::reader::{Event, Reader};
+use crate::writer::Writer;
+
+/// A parsed XML element: name, attributes, child elements, and text.
+///
+/// Text from all text/CDATA nodes directly under the element is concatenated
+/// into `text_content`; mixed-content ordering is not preserved (profile
+/// formats never rely on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Element name, with any namespace prefix verbatim.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated text content (entities resolved).
+    pub text_content: String,
+}
+
+impl Element {
+    /// Create an empty element with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+            text_content: String::new(),
+        }
+    }
+
+    /// Parse a complete document and return its root element.
+    pub fn parse(src: &str) -> Result<Element> {
+        let mut reader = Reader::new(src);
+        loop {
+            match reader.next_event()? {
+                Event::Start { name, attributes } => {
+                    let mut root = Element {
+                        name,
+                        attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
+                        children: Vec::new(),
+                        text_content: String::new(),
+                    };
+                    Self::fill(&mut root, &mut reader)?;
+                    return Ok(root);
+                }
+                Event::Empty { name, attributes } => {
+                    return Ok(Element {
+                        name,
+                        attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
+                        children: Vec::new(),
+                        text_content: String::new(),
+                    })
+                }
+                Event::Declaration { .. }
+                | Event::Comment(_)
+                | Event::ProcessingInstruction { .. }
+                | Event::Text(_) => continue,
+                Event::CData(_) => continue,
+                Event::End { name } => {
+                    return Err(Error::Syntax {
+                        message: format!("unexpected </{name}> before root"),
+                        offset: reader.offset(),
+                    })
+                }
+                Event::Eof => {
+                    return Err(Error::UnexpectedEof {
+                        context: "document root element",
+                    })
+                }
+            }
+        }
+    }
+
+    fn fill(parent: &mut Element, reader: &mut Reader<'_>) -> Result<()> {
+        loop {
+            match reader.next_event()? {
+                Event::Start { name, attributes } => {
+                    let mut child = Element {
+                        name,
+                        attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
+                        children: Vec::new(),
+                        text_content: String::new(),
+                    };
+                    Self::fill(&mut child, reader)?;
+                    parent.children.push(child);
+                }
+                Event::Empty { name, attributes } => {
+                    parent.children.push(Element {
+                        name,
+                        attributes: attributes.into_iter().map(|a| (a.name, a.value)).collect(),
+                        children: Vec::new(),
+                        text_content: String::new(),
+                    });
+                }
+                Event::Text(t) => parent.text_content.push_str(&t),
+                Event::CData(t) => parent.text_content.push_str(&t),
+                Event::End { .. } => return Ok(()),
+                Event::Comment(_) | Event::ProcessingInstruction { .. } => {}
+                Event::Declaration { .. } => {
+                    return Err(Error::Syntax {
+                        message: "XML declaration inside element".into(),
+                        offset: reader.offset(),
+                    })
+                }
+                Event::Eof => {
+                    return Err(Error::UnexpectedEof {
+                        context: "element content",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required attribute, as an error otherwise.
+    pub fn require_attr(&self, name: &str) -> Result<&str> {
+        self.attr(name).ok_or_else(|| Error::Syntax {
+            message: format!("element <{}> missing required attribute {name:?}", self.name),
+            offset: 0,
+        })
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Trimmed text content.
+    pub fn text(&self) -> &str {
+        self.text_content.trim()
+    }
+
+    /// Trimmed text content of a named child, if present.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).map(|c| c.text())
+    }
+
+    /// Set (or replace) an attribute; builder style.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        let name = name.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value.into();
+        } else {
+            self.attributes.push((name, value.into()));
+        }
+        self
+    }
+
+    /// Append a child; builder style.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Set text content; builder style.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text_content = text.into();
+        self
+    }
+
+    /// Serialize this element (and its subtree) as a document.
+    pub fn to_xml(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        {
+            let mut w = if pretty {
+                Writer::new(&mut out)
+            } else {
+                Writer::compact(&mut out)
+            };
+            w.declaration().expect("fresh writer");
+            self.write_into(&mut w).expect("string sink cannot fail");
+            w.finish().expect("balanced");
+        }
+        out
+    }
+
+    fn write_into(&self, w: &mut Writer<'_>) -> Result<()> {
+        w.begin(&self.name)?;
+        for (n, v) in &self.attributes {
+            w.attr(n, v)?;
+        }
+        if !self.text_content.is_empty() {
+            w.text(&self.text_content)?;
+        }
+        for c in &self.children {
+            c.write_into(w)?;
+        }
+        w.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Element::parse(
+            r#"<hwpcprofile><hwpcevent name="PAPI_FP_OPS">12345</hwpcevent>
+               <hwpcevent name="PAPI_TOT_CYC">99</hwpcevent></hwpcprofile>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.name, "hwpcprofile");
+        assert_eq!(doc.children.len(), 2);
+        let evs: Vec<_> = doc.children_named("hwpcevent").collect();
+        assert_eq!(evs[0].attr("name"), Some("PAPI_FP_OPS"));
+        assert_eq!(evs[0].text(), "12345");
+        assert_eq!(doc.child("missing"), None);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let e = Element::new("trial")
+            .with_attr("name", "t&1")
+            .with_child(Element::new("metric").with_text("WALL_CLOCK"))
+            .with_child(Element::new("count").with_text("3"));
+        let compact = e.to_xml(false);
+        assert_eq!(Element::parse(&compact).unwrap(), e);
+        // Pretty output inserts indentation whitespace between child
+        // elements; it parses back equal once whitespace-only text is pruned.
+        let xml = e.to_xml(true);
+        let mut back = Element::parse(&xml).unwrap();
+        fn prune_ws(e: &mut Element) {
+            if e.text_content.trim().is_empty() {
+                e.text_content.clear();
+            }
+            for c in &mut e.children {
+                prune_ws(c);
+            }
+        }
+        prune_ws(&mut back);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn require_attr_errors() {
+        let e = Element::new("x");
+        assert!(e.require_attr("y").is_err());
+    }
+
+    #[test]
+    fn cdata_contributes_text() {
+        let doc = Element::parse("<a>pre<![CDATA[ <raw> ]]>post</a>").unwrap();
+        assert_eq!(doc.text_content, "pre <raw> post");
+    }
+
+    #[test]
+    fn skips_prolog_noise() {
+        let doc = Element::parse(
+            "<?xml version=\"1.0\"?>\n<!-- header -->\n<?pi data?>\n<root x=\"1\"/>",
+        )
+        .unwrap();
+        assert_eq!(doc.name, "root");
+        assert_eq!(doc.attr("x"), Some("1"));
+    }
+}

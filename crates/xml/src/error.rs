@@ -1,0 +1,81 @@
+//! Error type shared by the XML reader, writer, and DOM.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An XML parsing or writing error.
+///
+/// Parse errors carry the byte offset in the input where the problem was
+/// detected, which callers can convert to line/column if they retained the
+/// source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        context: &'static str,
+    },
+    /// A syntactic error at a known byte offset.
+    Syntax {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// An end tag did not match the innermost open start tag.
+    MismatchedTag {
+        /// The element that was open.
+        expected: String,
+        /// The end tag that was found.
+        found: String,
+        /// Byte offset of the offending end tag.
+        offset: usize,
+    },
+    /// An entity reference could not be resolved.
+    UnknownEntity {
+        /// The entity name (without `&` and `;`).
+        name: String,
+        /// Byte offset of the reference.
+        offset: usize,
+    },
+    /// The writer was used incorrectly (e.g. `end` without `begin`).
+    WriterMisuse(&'static str),
+    /// Formatting into the underlying sink failed.
+    Fmt,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            Error::Syntax { message, offset } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            Error::MismatchedTag {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            Error::UnknownEntity { name, offset } => {
+                write!(f, "unknown entity &{name}; at byte {offset}")
+            }
+            Error::WriterMisuse(msg) => write!(f, "XML writer misuse: {msg}"),
+            Error::Fmt => write!(f, "formatting error while writing XML"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<fmt::Error> for Error {
+    fn from(_: fmt::Error) -> Self {
+        Error::Fmt
+    }
+}

@@ -1,0 +1,161 @@
+//! Entity escaping and unescaping.
+//!
+//! Only the five predefined XML entities (`lt`, `gt`, `amp`, `apos`,
+//! `quot`) and numeric character references (`&#nnn;`, `&#xhh;`) are
+//! supported; this is what profile-tool XML uses in practice.
+
+use crate::error::{Error, Result};
+use std::borrow::Cow;
+
+/// Escape text content: `&`, `<`, `>`.
+///
+/// Returns a borrowed string when no escaping is needed, avoiding an
+/// allocation on the (overwhelmingly common) clean path.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escape attribute-value content: `&`, `<`, `>`, `"`, `'`.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = |c: char| matches!(c, '&' | '<' | '>') || (attr && matches!(c, '"' | '\''));
+    if !s.chars().any(needs) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve entity and character references in `s`.
+///
+/// `offset` is the byte position of `s` in the overall document and is used
+/// only to report accurate error locations.
+pub fn unescape(s: &str) -> Result<Cow<'_, str>> {
+    unescape_at(s, 0)
+}
+
+pub(crate) fn unescape_at(s: &str, offset: usize) -> Result<Cow<'_, str>> {
+    if !s.contains('&') {
+        return Ok(Cow::Borrowed(s));
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy a run of non-entity bytes at once.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&s[start..i]);
+            continue;
+        }
+        let semi = s[i..]
+            .find(';')
+            .map(|p| i + p)
+            .ok_or(Error::UnexpectedEof {
+                context: "entity reference",
+            })?;
+        let name = &s[i + 1..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with('#') => {
+                let code = if let Some(hex) = name.strip_prefix("#x").or(name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    name[1..].parse::<u32>()
+                };
+                let c = code
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| Error::UnknownEntity {
+                        name: name.to_string(),
+                        offset: offset + i,
+                    })?;
+                out.push(c);
+            }
+            _ => {
+                return Err(Error::UnknownEntity {
+                    name: name.to_string(),
+                    offset: offset + i,
+                })
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(Cow::Owned(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_text_borrows() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello world").unwrap(), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_text_specials() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn escapes_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        // Text escaping leaves quotes alone.
+        assert_eq!(escape_text(r#""q""#), r#""q""#);
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;").unwrap(), "<x> & \"y\" 'z'");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;").unwrap(), "ABC");
+        assert_eq!(unescape("&#955;").unwrap(), "λ");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown() {
+        assert!(matches!(unescape("&bogus;"), Err(Error::UnknownEntity { .. })));
+        assert!(matches!(unescape("&#xZZ;"), Err(Error::UnknownEntity { .. })));
+        // Surrogate code point is not a valid char.
+        assert!(unescape("&#xD800;").is_err());
+    }
+
+    #[test]
+    fn unescape_unterminated() {
+        assert!(matches!(unescape("&amp"), Err(Error::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn roundtrip_escape_unescape() {
+        let cases = ["", "plain", "a<b", "x & y", "\"quoted\" 'single'", "λ→μ", "MPI_Send()"];
+        for c in cases {
+            assert_eq!(unescape(&escape_attr(c)).unwrap(), c, "case {c:?}");
+            assert_eq!(unescape(&escape_text(c)).unwrap(), c, "case {c:?}");
+        }
+    }
+}

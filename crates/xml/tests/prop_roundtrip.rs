@@ -1,0 +1,111 @@
+//! Property tests: arbitrary trees of elements serialize and parse back
+//! identically, and arbitrary strings survive escape/unescape.
+
+use perfdmf_xml::{escape_attr, escape_text, unescape, Element};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,12}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Avoid raw control chars (writer passes them through; parser too) but
+    // exercise all escape-relevant characters and unicode.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'), Just('Z'), Just('0'), Just(' '), Just('<'), Just('>'),
+            Just('&'), Just('"'), Just('\''), Just('λ'), Just('('), Just(')'),
+            Just('/'), Just('='), Just(';'),
+        ],
+        0..24,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name).with_text(text);
+            for (n, v) in attrs {
+                e = e.with_attr(n, v);
+            }
+            e
+        });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (leaf, proptest::collection::vec(arb_element(depth - 1), 0..4))
+        .prop_map(|(mut e, kids)| {
+            for k in kids {
+                e = e.with_child(k);
+            }
+            e
+        })
+        .boxed()
+}
+
+fn dedupe_attrs(e: &mut Element) {
+    let mut seen = std::collections::HashSet::new();
+    e.attributes.retain(|(n, _)| seen.insert(n.clone()));
+    for c in &mut e.children {
+        dedupe_attrs(c);
+    }
+}
+
+proptest! {
+    #[test]
+    fn escape_text_roundtrips(s in arb_text()) {
+        let esc = escape_text(&s).into_owned();
+        prop_assert_eq!(unescape(&esc).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_attr_roundtrips(s in arb_text()) {
+        let esc = escape_attr(&s).into_owned();
+        prop_assert_eq!(unescape(&esc).unwrap(), s);
+    }
+
+    #[test]
+    fn element_tree_roundtrips_compact(mut e in arb_element(3)) {
+        dedupe_attrs(&mut e);
+        let xml = e.to_xml(false);
+        let back = Element::parse(&xml).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn element_tree_roundtrips_pretty(mut e in arb_element(2)) {
+        dedupe_attrs(&mut e);
+        // Pretty printing inserts whitespace between child elements; text
+        // content of elements *with children* may gain whitespace, so only
+        // compare structure for childless text. To keep the property exact,
+        // strip text from nodes that have children.
+        fn strip_mixed(e: &mut Element) {
+            if !e.children.is_empty() {
+                e.text_content.clear();
+            }
+            for c in &mut e.children { strip_mixed(c); }
+        }
+        strip_mixed(&mut e);
+        let xml = e.to_xml(true);
+        let mut back = Element::parse(&xml).unwrap();
+        // Indentation shows up as whitespace-only text on parents; trim it.
+        fn trim_ws(e: &mut Element) {
+            if e.text_content.trim().is_empty() { e.text_content.clear(); }
+            else { e.text_content = e.text_content.trim().to_string(); }
+            for c in &mut e.children { trim_ws(c); }
+        }
+        trim_ws(&mut back);
+        fn trim_leaf(e: &mut Element) {
+            e.text_content = e.text_content.trim().to_string();
+            for c in &mut e.children { trim_leaf(c); }
+        }
+        trim_leaf(&mut e);
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = Element::parse(&s);
+    }
+}

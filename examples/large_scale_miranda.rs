@@ -1,0 +1,94 @@
+//! Large-scale data handling (paper §3.1 / §5.3) — experiment E1.
+//!
+//! "Our tests with large profile data (101 events on 16K processors)
+//! showed the framework adequately handled the mass of data. ... The 16K
+//! processor run consisted of over 1.6 million data points, and the
+//! PerfDMF API was able to handle the data without problems."
+//!
+//! This example sweeps Miranda-shaped trials over processor counts,
+//! measuring generate / store / query / summarize times and printing the
+//! data-point counts. The default sweep tops out at 4K processors to stay
+//! quick in debug builds; pass `--full` for the paper's 8K and 16K points
+//! (use `--release`).
+//!
+//! Run with: `cargo run --release --example large_scale_miranda [-- --full]`
+
+use perfdmf::core::{load_trial_filtered, DatabaseSession, LoadFilter};
+use perfdmf::db::{Connection, Value};
+use perfdmf::workload::MirandaModel;
+use std::time::Instant;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let proc_counts: &[usize] = if full {
+        &[1024, 2048, 4096, 8192, 16384]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    let model = MirandaModel::default();
+    println!(
+        "Miranda-shaped scale sweep: {} events per trial, 1 metric (WALL_CLOCK)",
+        model.events
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "procs", "data points", "gen (s)", "store (s)", "query (s)", "summ (s)"
+    );
+
+    for &procs in proc_counts {
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+
+        let t0 = Instant::now();
+        let profile = model.generate(procs);
+        let gen_s = t0.elapsed().as_secs_f64();
+        let points = profile.data_point_count();
+
+        let t0 = Instant::now();
+        let trial_id = session.store_profile("miranda", "bgl", &profile).unwrap();
+        let store_s = t0.elapsed().as_secs_f64();
+
+        // Representative analysis queries over the mass of data:
+        let t0 = Instant::now();
+        // (a) SQL aggregate across every location row
+        let rs = conn
+            .query(
+                "SELECT COUNT(*), AVG(p.exclusive), MAX(p.exclusive)
+                 FROM interval_event e
+                 JOIN interval_location_profile p ON p.interval_event = e.id
+                 WHERE e.trial = ?",
+                &[Value::Int(trial_id)],
+            )
+            .unwrap();
+        let row_count = rs.rows[0][0].as_int().unwrap();
+        // (b) selective load of a single node (the partial-load API)
+        let part = load_trial_filtered(
+            &conn,
+            trial_id,
+            &LoadFilter {
+                node: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let query_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let m = profile.find_metric("WALL_CLOCK").unwrap();
+        let totals = profile.total_summary(m);
+        let summ_s = t0.elapsed().as_secs_f64();
+
+        assert_eq!(row_count as usize, points, "no rows lost");
+        assert_eq!(part.threads().len(), 1);
+        assert_eq!(totals.len(), model.events);
+
+        println!(
+            "{procs:>8} {points:>12} {gen_s:>10.3} {store_s:>10.3} {query_s:>10.3} {summ_s:>10.3}"
+        );
+    }
+    if full {
+        println!("\n(16384 procs × 101 events = 1,654,784 data points — the paper's 1.6M)");
+    } else {
+        println!("\n(pass --full with --release for the paper's 8K/16K processor points)");
+    }
+}

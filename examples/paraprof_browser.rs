@@ -1,0 +1,143 @@
+//! ParaProf-style profile browser (paper §5.1, Figure 2) — experiment E2.
+//!
+//! Figure 2 shows ParaProf browsing a database archive holding three
+//! trials of the same application imported from three different profiling
+//! tools: HPMtoolkit, mpiP, and TAU. This example reproduces that data
+//! path end to end:
+//!
+//! 1. generate one application run and render it as HPMtoolkit, mpiP, and
+//!    TAU output files;
+//! 2. import each with its format translator;
+//! 3. store all three trials in one database archive;
+//! 4. browse the application → experiment → trial tree and draw the
+//!    per-thread bar charts ParaProf shows (as ASCII, one row per
+//!    node/context/thread).
+//!
+//! Run with: `cargo run --example paraprof_browser`
+
+use perfdmf::core::DatabaseSession;
+use perfdmf::db::{Connection, Value};
+use perfdmf::import::{load_path, mpip, ProfileFormat};
+use perfdmf::profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+use perfdmf::workload::{mpip_report_text, write_hpm_files, write_tau_directory, Evh1Model};
+
+fn main() {
+    let tmp = std::env::temp_dir().join(format!("perfdmf_paraprof_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+
+    // ---- generate the same application observed by three tools ----
+    let base = Evh1Model::default_mix(7).generate(4);
+
+    // TAU sees everything.
+    let tau_dir = tmp.join("tau_run");
+    write_tau_directory(&base, &tau_dir).unwrap();
+
+    // HPMtoolkit sees coarse sections with counters.
+    let mut hpm = Profile::new("hpm_run");
+    hpm.source_format = "hpmtoolkit".into();
+    let wall = hpm.add_metric(Metric::measured("HPM_WALL_CLOCK"));
+    let fpu = hpm.add_metric(Metric::measured("PM_FPU0_CMPL"));
+    let sect = hpm.add_event(IntervalEvent::new("hydro_sweeps", "HPM"));
+    hpm.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in hpm.threads().to_vec().iter().enumerate() {
+        hpm.set_interval(sect, t, wall, IntervalData::new(52.0 + i as f64, 52.0 + i as f64, 100.0, 0.0));
+        hpm.set_interval(sect, t, fpu, IntervalData::new(3.1e9, 3.1e9, 100.0, 0.0));
+    }
+    let hpm_dir = tmp.join("hpm_run");
+    write_hpm_files(&hpm, &hpm_dir).unwrap();
+
+    // mpiP sees only the MPI side.
+    let mut mp = Profile::new("mpip_run");
+    let mt = mp.add_metric(Metric::measured("MPIP_TIME"));
+    let app_ev = mp.add_event(IntervalEvent::new("Application", "MPIP_APP"));
+    let send = mp.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
+    let allr = mp.add_event(IntervalEvent::new("MPI_Allreduce() site 2", "MPI"));
+    mp.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in mp.threads().to_vec().iter().enumerate() {
+        mp.set_interval(app_ev, t, mt, IntervalData::new(60.0, UNDEFINED, 1.0, UNDEFINED));
+        mp.set_interval(send, t, mt, IntervalData::new(3.0 + i as f64 * 0.2, 3.0 + i as f64 * 0.2, 400.0, 0.0));
+        mp.set_interval(allr, t, mt, IntervalData::new(2.0, 2.0, 150.0, 0.0));
+    }
+    let mpip_file = tmp.join("run.mpip");
+    std::fs::write(&mpip_file, mpip_report_text(&mp, mt)).unwrap();
+
+    // ---- import all three and archive them in one database ----
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+
+    let tau_trial = load_path(&tau_dir).expect("tau import");
+    let hpm_trial = ProfileFormat::HpmToolkit.load(&hpm_dir).expect("hpm import");
+    let mpip_trial = mpip::load_mpip_file(&mpip_file).expect("mpip import");
+    for (exp, profile) in [
+        ("tau", &tau_trial),
+        ("hpmtoolkit", &hpm_trial),
+        ("mpip", &mpip_trial),
+    ] {
+        session.store_profile("evh1", exp, profile).unwrap();
+    }
+
+    // ---- the Figure-2 left pane: application/experiment/trial tree ----
+    println!("database archive:");
+    session.reset();
+    for app in session.application_list().unwrap() {
+        println!("└─ application: {}", app.name);
+        session.set_application(app.id.unwrap());
+        for exp in session.experiment_list().unwrap() {
+            println!("   └─ experiment: {}", exp.name);
+            session.set_experiment(exp.id.unwrap());
+            for trial in session.trial_list().unwrap() {
+                let fmt = trial
+                    .field("source_format")
+                    .and_then(|v| v.as_text().map(str::to_string))
+                    .unwrap_or_default();
+                println!(
+                    "      └─ trial {}: {} ({} nodes, source: {fmt})",
+                    trial.id.unwrap(),
+                    trial.name,
+                    trial.field("node_count").and_then(Value::as_int).unwrap_or(0),
+                );
+            }
+        }
+    }
+
+    // ---- the Figure-2 graph windows: per-thread bars for each trial ----
+    session.reset();
+    for trial in session.trial_list().unwrap() {
+        let id = trial.id.unwrap();
+        session.set_trial(id);
+        let metric = session.metric_list().unwrap()[0].clone();
+        let profile = {
+            session.set_metric(metric.clone());
+            session.load_profile().unwrap()
+        };
+        println!("\ntrial {id} ({}) — metric {metric}, per-thread top event:", trial.name);
+        let m = profile.find_metric(&metric).unwrap();
+        for (tpos, &thread) in profile.threads().iter().enumerate() {
+            // biggest exclusive event on this thread
+            let mut best: Option<(&str, f64)> = None;
+            for (ei, ev) in profile.events().iter().enumerate() {
+                if let Some(d) = profile.interval_at(perfdmf::profile::EventId(ei), tpos, m) {
+                    if let Some(x) = d.exclusive() {
+                        if best.is_none_or(|(_, b)| x > b) {
+                            best = Some((&ev.name, x));
+                        }
+                    }
+                }
+            }
+            if let Some((name, x)) = best {
+                let bar_len = ((x / 8.0).round() as usize).clamp(1, 60);
+                println!(
+                    "  n,c,t {:>7}  {:<24} {:>9.3} |{}",
+                    thread.to_string(),
+                    name,
+                    x,
+                    "█".repeat(bar_len)
+                );
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!("\n(three tool formats, one archive — the Figure 2 data path)");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: the PerfDMF happy path in one file.
+//!
+//! 1. A synthetic application run writes TAU `profile.n.c.t` files.
+//! 2. The importer parses them (format autodetected).
+//! 3. A `DatabaseSession` stores the trial in the relational schema.
+//! 4. The trial is browsed, queried with SQL aggregates, and a derived
+//!    metric is appended.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use perfdmf::core::{append_derived_metric, DatabaseSession};
+use perfdmf::db::Connection;
+use perfdmf::import::load_path;
+use perfdmf::workload::{write_tau_directory, Evh1Model};
+
+fn main() {
+    // --- 1. produce tool output files (stand-in for a real TAU run) ---
+    let dir = std::env::temp_dir().join(format!("perfdmf_quickstart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = Evh1Model::default_mix(42).generate(8);
+    write_tau_directory(&run, &dir).expect("write TAU profiles");
+    println!("wrote TAU profiles for 8 ranks to {}", dir.display());
+
+    // --- 2. import (autodetected) ---
+    let profile = load_path(&dir).expect("import TAU directory");
+    println!(
+        "imported trial: {} events, {} threads, {} data points",
+        profile.events().len(),
+        profile.threads().len(),
+        profile.data_point_count()
+    );
+
+    // --- 3. store in the performance database ---
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).expect("create PerfDMF schema");
+    let trial_id = session
+        .store_profile("evh1", "quickstart", &profile)
+        .expect("store trial");
+    println!("stored as trial {trial_id}");
+
+    // --- 4a. browse the hierarchy ---
+    session.set_trial(trial_id);
+    println!("\napplications in the archive:");
+    for app in session.application_list().expect("list") {
+        println!("  [{}] {}", app.id.unwrap_or(-1), app.name);
+    }
+    println!("metrics of trial {trial_id}: {:?}", session.metric_list().unwrap());
+
+    // --- 4b. SQL aggregates across threads (paper §5.2) ---
+    println!("\ntop 5 events by mean exclusive time (SQL aggregates):");
+    let mut aggs = session.event_aggregates("GET_TIME_OF_DAY").expect("aggregates");
+    aggs.sort_by(|a, b| {
+        b.mean_exclusive
+            .unwrap_or(0.0)
+            .total_cmp(&a.mean_exclusive.unwrap_or(0.0))
+    });
+    for a in aggs.iter().take(5) {
+        println!(
+            "  {:<24} mean={:8.3}s  min={:8.3}s  max={:8.3}s  stddev={:6.4}",
+            a.event_name,
+            a.mean_exclusive.unwrap_or(0.0),
+            a.min_exclusive.unwrap_or(0.0),
+            a.max_exclusive.unwrap_or(0.0),
+            a.stddev_exclusive.unwrap_or(0.0),
+        );
+    }
+
+    // --- 4c. derived metric appended to the stored trial ---
+    append_derived_metric(&conn, trial_id, "TIME_MS", "GET_TIME_OF_DAY * 1000").expect("derive");
+    println!(
+        "\nderived metric added; trial now has metrics {:?}",
+        session.metric_list().unwrap()
+    );
+
+    // --- 4d. raw SQL is also available (the JDBC-style interface) ---
+    let rs = conn
+        .query(
+            "SELECT COUNT(*) AS rows FROM interval_location_profile",
+            &[],
+        )
+        .expect("sql");
+    println!("interval_location_profile rows: {}", rs.scalar().unwrap());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

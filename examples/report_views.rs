@@ -1,0 +1,43 @@
+//! Text report views and CUBE export.
+//!
+//! ParaProf offers "summary text views of performance data, with various
+//! groupings and contextual highlighting" (paper §5.1); §7 plans CUBE
+//! translation for the Expert tool. This example renders both from one
+//! trial: the group breakdown, the top-events table with imbalance
+//! highlighting, a per-thread view, and the CUBE XML export.
+//!
+//! Run with: `cargo run --example report_views`
+
+use perfdmf::analysis::{render_profile_report, render_thread_view, ReportOptions};
+use perfdmf::import::{export_cube, import_cube};
+use perfdmf::profile::ThreadId;
+use perfdmf::workload::Evh1Model;
+
+fn main() {
+    let profile = Evh1Model::default_mix(314).generate(8);
+    let metric = profile.find_metric("GET_TIME_OF_DAY").expect("metric");
+
+    let options = ReportOptions {
+        top_events: 12,
+        bar_width: 32,
+        imbalance_threshold: 1.02, // the model's noise makes this visible
+    };
+    println!("{}", render_profile_report(&profile, metric, &options));
+    println!(
+        "{}",
+        render_thread_view(&profile, metric, ThreadId::new(3, 0, 0), &options)
+    );
+
+    // CUBE export (paper §7 planned work) and sanity re-import.
+    let cube = export_cube(&profile);
+    let back = import_cube(&cube).expect("re-import");
+    println!(
+        "CUBE export: {} bytes; re-imported {} events × {} threads × {} metrics",
+        cube.len(),
+        back.events().len(),
+        back.threads().len(),
+        back.metrics().len()
+    );
+    let head: String = cube.chars().take(200).collect();
+    println!("document head: {head}...");
+}

@@ -1,0 +1,17 @@
+"""Summarize criterion output in bench_output.txt into a compact table."""
+import re, sys
+
+path = sys.argv[1] if len(sys.argv) > 1 else "/root/repo/bench_output.txt"
+text = open(path).read()
+# criterion blocks: "<name>\n ...time:   [lo MID hi]"
+pattern = re.compile(r"^(?P<name>[\w/ .:+-]+?)\s*\n\s+time:\s+\[[^\]]*?\s([0-9.]+\s\w+)\s[0-9.]+\s\w+\]", re.M)
+rows = []
+for m in pattern.finditer(text):
+    name = m.group("name").strip()
+    if name.startswith("Benchmarking") or name.startswith("Warning"):
+        continue
+    rows.append((name, m.group(2)))
+width = max(len(n) for n, _ in rows) if rows else 10
+for n, t in rows:
+    print(f"{n:<{width}}  {t}")
+print(f"\n{len(rows)} benchmark results")

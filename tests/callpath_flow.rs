@@ -1,0 +1,98 @@
+//! Callpath flow: TAU callpath profiles survive the write → import →
+//! store → load pipeline and reconstruct into consistent call trees.
+
+use perfdmf::core::DatabaseSession;
+use perfdmf::db::Connection;
+use perfdmf::profile::{
+    build_call_tree, flatten_callpaths, validate_call_tree, IntervalData, IntervalEvent, Metric,
+    Profile, ThreadId,
+};
+use perfdmf::workload::write_tau_directory;
+
+fn callpath_profile() -> Profile {
+    let mut p = Profile::new("cp-run");
+    p.source_format = "tau".into();
+    let m = p.add_metric(Metric::measured("GET_TIME_OF_DAY"));
+    p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
+    let paths: [(&str, f64, f64, f64); 6] = [
+        ("main", 100.0, 5.0, 1.0),
+        ("main => solve", 70.0, 10.0, 10.0),
+        ("main => solve => sweep", 40.0, 40.0, 200.0),
+        ("main => solve => MPI_Allreduce()", 20.0, 20.0, 50.0),
+        ("main => io", 25.0, 25.0, 4.0),
+        ("sweep", 40.0, 40.0, 200.0), // flat twin
+    ];
+    for (name, incl, excl, calls) in paths {
+        let group = if name.contains("=>") {
+            "TAU_CALLPATH"
+        } else {
+            "TAU_USER"
+        };
+        let e = p.add_event(IntervalEvent::new(name, group));
+        for &t in p.threads().to_vec().iter() {
+            p.set_interval(e, t, m, IntervalData::new(incl, excl, calls, 0.0));
+        }
+    }
+    p
+}
+
+#[test]
+fn callpaths_roundtrip_through_tau_files_and_database() {
+    let truth = callpath_profile();
+    // --- through TAU files ---
+    let dir = std::env::temp_dir().join(format!(
+        "pdmf_cp_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_tau_directory(&truth, &dir).unwrap();
+    let imported = perfdmf::import::load_path(&dir).unwrap();
+    assert_eq!(imported.events().len(), truth.events().len());
+    assert!(imported
+        .events()
+        .iter()
+        .any(|e| e.name == "main => solve => sweep"));
+
+    // --- through the database ---
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+    let trial = session.store_profile("app", "cp", &imported).unwrap();
+    session.set_trial(trial);
+    let loaded = session.load_profile().unwrap();
+
+    // --- reconstruct and validate the call tree ---
+    let m = loaded.find_metric("GET_TIME_OF_DAY").unwrap();
+    let tree = build_call_tree(&loaded, ThreadId::new(1, 0, 0), m);
+    let problems = validate_call_tree(&tree, 1e-9);
+    assert!(problems.is_empty(), "{problems:?}");
+    let main = tree.child("main").unwrap();
+    assert_eq!(main.inclusive, Some(100.0));
+    let solve = main.child("solve").unwrap();
+    assert_eq!(solve.children.len(), 2);
+    assert_eq!(
+        solve.child("MPI_Allreduce()").unwrap().calls,
+        Some(50.0)
+    );
+
+    // --- flat view merges the callpath leaf with its flat twin ---
+    let flat = flatten_callpaths(&loaded, ThreadId::new(0, 0, 0), m);
+    assert_eq!(flat["sweep"].exclusive(), Some(80.0));
+    assert_eq!(flat["sweep"].calls(), Some(400.0));
+    assert_eq!(flat["io"].exclusive(), Some(25.0));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn callpath_groups_separate_in_reports() {
+    use perfdmf::analysis::group_summaries;
+    let p = callpath_profile();
+    let m = p.find_metric("GET_TIME_OF_DAY").unwrap();
+    let groups = group_summaries(&p, m);
+    let names: Vec<&str> = groups.iter().map(|g| g.group.as_str()).collect();
+    assert!(names.contains(&"TAU_CALLPATH"));
+    assert!(names.contains(&"TAU_USER"));
+    let total: f64 = groups.iter().map(|g| g.share).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests of the `perfdmf` command-line tool: import into a
+//! persistent archive, browse, query, export, derive, and cluster.
+
+use perfdmf::workload::{write_tau_directory, Evh1Model, SppmModel};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/perfdmf next to the test binary
+    let mut p = std::env::current_exe().unwrap();
+    p.pop(); // deps/
+    p.pop(); // debug/
+    p.push("perfdmf");
+    p
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn perfdmf CLI");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "pdmf_cli_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn full_cli_workflow() {
+    let root = tmpdir("flow");
+    let db = root.join("archive");
+    let db_s = db.to_string_lossy().into_owned();
+
+    // --- make tool output and import it ---
+    let run_dir = root.join("tau_run");
+    write_tau_directory(&Evh1Model::default_mix(77).generate(4), &run_dir).unwrap();
+    let (out, err, ok) = run(&[
+        "import",
+        "--db",
+        &db_s,
+        "--app",
+        "evh1",
+        "--exp",
+        "cli",
+        &run_dir.to_string_lossy(),
+    ]);
+    assert!(ok, "import failed: {err}");
+    assert!(out.contains("as trial 1"), "{out}");
+
+    // --- list ---
+    let (out, _, ok) = run(&["list", "--db", &db_s]);
+    assert!(ok);
+    assert!(out.contains("application 1: evh1"));
+    assert!(out.contains("trial 1:"));
+
+    // --- raw SQL ---
+    let (out, _, ok) = run(&[
+        "sql",
+        "--db",
+        &db_s,
+        "SELECT COUNT(*) AS n FROM interval_location_profile",
+    ]);
+    assert!(ok);
+    assert!(out.contains("(1 rows)"), "{out}");
+
+    // --- derive a metric, visible afterwards ---
+    let (_, err, ok) = run(&[
+        "derive",
+        "--db",
+        &db_s,
+        "--trial",
+        "1",
+        "TIME_MS",
+        "GET_TIME_OF_DAY * 1000",
+    ]);
+    assert!(ok, "derive failed: {err}");
+    let (out, _, ok) = run(&[
+        "sql",
+        "--db",
+        &db_s,
+        "SELECT name FROM metric WHERE derived = TRUE",
+    ]);
+    assert!(ok);
+    assert!(out.contains("TIME_MS"), "{out}");
+
+    // --- export to XML and reimport via the library ---
+    let xml_path = root.join("trial1.xml");
+    let (_, err, ok) = run(&[
+        "export",
+        "--db",
+        &db_s,
+        "--trial",
+        "1",
+        "--out",
+        &xml_path.to_string_lossy(),
+    ]);
+    assert!(ok, "export failed: {err}");
+    let xml = std::fs::read_to_string(&xml_path).unwrap();
+    let back = perfdmf::import::import_xml(&xml).unwrap();
+    assert_eq!(back.threads().len(), 4);
+    assert!(back.find_metric("TIME_MS").is_some());
+
+    // --- dump the archive and restore it into a second database ---
+    let dump_dir = root.join("exported");
+    let (out, err, ok) = run(&["dump", "--db", &db_s, "--out", &dump_dir.to_string_lossy()]);
+    assert!(ok, "dump failed: {err}");
+    assert!(out.contains("dumped 1 trial"), "{out}");
+    let db2 = root.join("archive2");
+    let (out, err, ok) = run(&[
+        "restore",
+        "--db",
+        &db2.to_string_lossy(),
+        "--from",
+        &dump_dir.to_string_lossy(),
+    ]);
+    assert!(ok, "restore failed: {err}");
+    assert!(out.contains("restored 1 trial"), "{out}");
+    let (out, _, ok) = run(&["list", "--db", &db2.to_string_lossy()]);
+    assert!(ok);
+    assert!(out.contains("evh1"), "{out}");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn cli_speedup_and_cluster() {
+    let root = tmpdir("analysis");
+    let db = root.join("archive");
+    let db_s = db.to_string_lossy().into_owned();
+
+    // several scaling trials
+    let model = Evh1Model::default_mix(3);
+    for p in [1usize, 2, 4, 8] {
+        let dir = root.join(format!("run_p{p}"));
+        write_tau_directory(&model.generate(p), &dir).unwrap();
+        let (_, err, ok) = run(&[
+            "import",
+            "--db",
+            &db_s,
+            "--app",
+            "evh1",
+            "--exp",
+            "scaling",
+            &dir.to_string_lossy(),
+        ]);
+        assert!(ok, "{err}");
+    }
+    let (out, err, ok) = run(&[
+        "speedup",
+        "--db",
+        &db_s,
+        "--exp",
+        "1",
+        "--metric",
+        "GET_TIME_OF_DAY",
+    ]);
+    assert!(ok, "speedup failed: {err}");
+    assert!(out.contains("speedup"), "{out}");
+    assert!(out.contains("sweep_x_stage1"), "{out}");
+
+    // a counter trial for clustering
+    let (sppm, _) = SppmModel::default_classes(5).generate(64, &[0.5, 0.3, 0.2]);
+    {
+        // store through the library (CLI imports files; this trial is synthetic)
+        let conn = perfdmf::db::Connection::open(&db).unwrap();
+        let mut session = perfdmf::core::DatabaseSession::new(conn.clone()).unwrap();
+        session.store_profile("sppm", "counters", &sppm).unwrap();
+        conn.checkpoint().unwrap();
+    }
+    // regression scan over the scaling history (MPI routines regress with scale)
+    let (out, err, ok) = run(&[
+        "regress",
+        "--db",
+        &db_s,
+        "--exp",
+        "1",
+        "--threshold",
+        "0.25",
+    ]);
+    assert!(ok, "regress failed: {err}");
+    assert!(out.contains("compared 3 consecutive trial pairs"), "{out}");
+    // doubling processors halves the compute sweeps: flagged as "faster"
+    assert!(out.contains("(faster)"), "{out}");
+    assert!(out.contains("sweep_"), "{out}");
+
+    let (out, err, ok) = run(&[
+        "cluster",
+        "--db",
+        &db_s,
+        "--trial",
+        "5",
+        "--event",
+        "sppm_timestep",
+    ]);
+    assert!(ok, "cluster failed: {err}\n{out}");
+    assert!(out.contains("k = 3"), "{out}");
+    assert!(out.contains("PAPI_FP_OPS"), "{out}");
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let (_, err, ok) = run(&["bogus-command"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+    let (_, err, ok) = run(&["sql"]);
+    assert!(!ok);
+    assert!(err.contains("--db"));
+    let root = tmpdir("err");
+    let db_s = root.join("db").to_string_lossy().into_owned();
+    let (_, err, ok) = run(&["sql", "--db", &db_s, "SELEKT 1"]);
+    assert!(!ok);
+    assert!(err.contains("parse error"), "{err}");
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,174 @@
+//! Failure injection and durability: the PerfDMF archive survives
+//! crashes, torn WAL writes, and checkpoint cycles with committed trials
+//! intact and uncommitted work discarded.
+
+use perfdmf::core::{load_trial, DatabaseSession};
+use perfdmf::db::{Connection, Value};
+use perfdmf::workload::Evh1Model;
+use std::io::Write;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "pdmf_dur_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn archive_survives_reopen() {
+    let dir = tmpdir("reopen");
+    let profile = Evh1Model::default_mix(5).generate(4);
+    let trial_id;
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let mut session = DatabaseSession::new(conn).unwrap();
+        trial_id = session.store_profile("evh1", "dur", &profile).unwrap();
+    } // drop without checkpoint: recovery must come from the WAL alone
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let back = load_trial(&conn, trial_id).unwrap();
+        assert_eq!(back.data_point_count(), profile.data_point_count());
+        assert_eq!(back.events().len(), profile.events().len());
+        let m = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        let tm = profile.find_metric("GET_TIME_OF_DAY").unwrap();
+        for (e, t, d) in profile.iter_metric(tm) {
+            let name = &profile.events()[e.0].name;
+            let be = back.find_event(name).unwrap();
+            let bd = back.interval(be, t, m).unwrap();
+            assert_eq!(bd.exclusive(), d.exclusive(), "{name}@{t}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_then_more_writes_then_reopen() {
+    let dir = tmpdir("ckpt");
+    let t1;
+    let t2;
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        t1 = session
+            .store_profile("evh1", "dur", &Evh1Model::default_mix(1).generate(2))
+            .unwrap();
+        conn.checkpoint().unwrap();
+        t2 = session
+            .store_profile("evh1", "dur", &Evh1Model::default_mix(2).generate(2))
+            .unwrap();
+    }
+    {
+        let conn = Connection::open(&dir).unwrap();
+        assert!(load_trial(&conn, t1).is_ok(), "snapshot part");
+        assert!(load_trial(&conn, t2).is_ok(), "WAL part");
+        let n: i64 = conn
+            .query_scalar("SELECT COUNT(*) FROM trial", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_loses_only_uncommitted_work() {
+    let dir = tmpdir("torn");
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let mut session = DatabaseSession::new(conn).unwrap();
+        session
+            .store_profile("evh1", "dur", &Evh1Model::default_mix(9).generate(2))
+            .unwrap();
+    }
+    // simulate a crash mid-append: garbage at the end of the WAL
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.pdmf"))
+            .unwrap();
+        f.write_all(&[0xBA, 0xAD, 0xF0, 0x0D, 0x01]).unwrap();
+    }
+    {
+        let conn = Connection::open(&dir).unwrap();
+        // committed trial is fully intact
+        let n: i64 = conn
+            .query_scalar("SELECT COUNT(*) FROM trial", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(n, 1);
+        let rows: i64 = conn
+            .query_scalar("SELECT COUNT(*) FROM interval_location_profile", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(rows > 0);
+        // and the database remains writable afterwards
+        conn.insert(
+            "INSERT INTO application (name) VALUES ('after-crash')",
+            &[],
+        )
+        .unwrap();
+    }
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let apps: i64 = conn
+            .query_scalar("SELECT COUNT(*) FROM application", &[])
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(apps, 2);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn interrupted_transaction_never_persists() {
+    let dir = tmpdir("txn");
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        session
+            .store_profile("evh1", "dur", &Evh1Model::default_mix(3).generate(1))
+            .unwrap();
+        // open a transaction and crash inside it
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("INSERT INTO application (name) VALUES ('phantom')", &[])
+            .unwrap();
+        // no COMMIT: drop simulates the crash
+    }
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let rs = conn
+            .query("SELECT name FROM application ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::from("evh1")]]);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_snapshot_is_detected() {
+    let dir = tmpdir("snapbad");
+    {
+        let conn = Connection::open(&dir).unwrap();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        session
+            .store_profile("evh1", "dur", &Evh1Model::default_mix(4).generate(1))
+            .unwrap();
+        conn.checkpoint().unwrap();
+    }
+    // flip a byte in the snapshot body
+    let snap = dir.join("snapshot.pdmf");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, &bytes).unwrap();
+    // opening reports corruption instead of silently serving bad data
+    assert!(Connection::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,156 @@
+//! Experiment E5 (paper §3.2): the flexible schema. Metadata columns can
+//! be added to (or removed from) APPLICATION / EXPERIMENT / TRIAL at
+//! runtime without source changes, discovered via table metadata — and
+//! derived metrics can be appended to stored trials.
+
+use perfdmf::core::{
+    append_derived_metric, create_schema, DatabaseSession, FlexRow, FLEXIBLE_TABLES,
+};
+use perfdmf::db::{Connection, DataType, Value};
+use perfdmf::profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+
+fn counter_profile() -> Profile {
+    let mut p = Profile::new("t");
+    let time = p.add_metric(Metric::measured("TIME"));
+    let fp = p.add_metric(Metric::measured("PAPI_FP_OPS"));
+    let e = p.add_event(IntervalEvent::ungrouped("kernel"));
+    p.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in p.threads().to_vec().iter().enumerate() {
+        p.set_interval(e, t, time, IntervalData::new(2.0, 2.0, 1.0, 0.0));
+        p.set_interval(
+            e,
+            t,
+            fp,
+            IntervalData::new(4e9 + i as f64 * 1e8, 4e9 + i as f64 * 1e8, 1.0, 0.0),
+        );
+    }
+    p
+}
+
+#[test]
+fn metadata_columns_added_and_discovered_at_runtime() {
+    let conn = Connection::open_in_memory();
+    create_schema(&conn).unwrap();
+    // the paper's example columns: compiler names/versions, OS attributes
+    for table in FLEXIBLE_TABLES {
+        conn.execute(
+            &format!("ALTER TABLE {table} ADD COLUMN os_version TEXT"),
+            &[],
+        )
+        .unwrap();
+    }
+    conn.execute(
+        "ALTER TABLE experiment ADD COLUMN compiler TEXT DEFAULT 'gcc'",
+        &[],
+    )
+    .unwrap();
+    conn.execute(
+        "ALTER TABLE experiment ADD COLUMN compiler_version TEXT",
+        &[],
+    )
+    .unwrap();
+
+    // metadata discovery (the getMetaData() equivalent)
+    let cols = conn.table_meta("experiment").unwrap();
+    let names: Vec<&str> = cols.iter().map(|c| c.name.as_str()).collect();
+    assert!(names.contains(&"compiler"));
+    assert!(names.contains(&"compiler_version"));
+    assert!(names.contains(&"os_version"));
+    let compiler = cols.iter().find(|c| c.name == "compiler").unwrap();
+    assert_eq!(compiler.ty, DataType::Text);
+    assert_eq!(compiler.default, Some(Value::from("gcc")));
+
+    // objects pick the columns up with no code changes
+    let mut app = FlexRow::new("app").with_field("os_version", "AIX 5.1");
+    let app_id = app.save(&conn, "application").unwrap();
+    let mut exp = FlexRow::new("exp")
+        .with_field("application", app_id)
+        .with_field("compiler", "xlf")
+        .with_field("compiler_version", "8.1.1");
+    let exp_id = exp.save(&conn, "experiment").unwrap();
+    let back = FlexRow::load(&conn, "experiment", exp_id).unwrap();
+    assert_eq!(back.field("compiler"), Some(&Value::from("xlf")));
+
+    // the paper: "the compiler information can be stored in the
+    // APPLICATION, EXPERIMENT or TRIAL table, or not at all" — drop it.
+    conn.execute("ALTER TABLE experiment DROP COLUMN compiler", &[])
+        .unwrap();
+    conn.execute("ALTER TABLE experiment DROP COLUMN compiler_version", &[])
+        .unwrap();
+    let back = FlexRow::load(&conn, "experiment", exp_id).unwrap();
+    assert!(back.field("compiler").is_none());
+    assert_eq!(back.name, "exp");
+}
+
+#[test]
+fn queries_over_metadata_columns() {
+    let conn = Connection::open_in_memory();
+    create_schema(&conn).unwrap();
+    conn.execute("ALTER TABLE trial ADD COLUMN problem_size INTEGER", &[])
+        .unwrap();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+    for (name, size) in [("small", 64i64), ("medium", 256), ("large", 1024)] {
+        let mut p = counter_profile();
+        p.name = name.into();
+        let trial = session.store_profile("app", "sizes", &p).unwrap();
+        conn.update(
+            "UPDATE trial SET problem_size = ? WHERE id = ?",
+            &[Value::Int(size), Value::Int(trial)],
+        )
+        .unwrap();
+    }
+    let rs = conn
+        .query(
+            "SELECT name FROM trial WHERE problem_size >= 256 ORDER BY problem_size",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::from("medium")], vec![Value::from("large")]]
+    );
+}
+
+#[test]
+fn derived_metric_appended_to_stored_trial() {
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+    let trial = session
+        .store_profile("app", "exp", &counter_profile())
+        .unwrap();
+    // FLOPS = FP_OPS / TIME, computed from DB contents, written back
+    let metric_id = append_derived_metric(&conn, trial, "FLOPS", "PAPI_FP_OPS / TIME").unwrap();
+    assert!(metric_id > 0);
+    session.set_trial(trial);
+    assert_eq!(
+        session.metric_list().unwrap(),
+        vec!["TIME", "PAPI_FP_OPS", "FLOPS"]
+    );
+    session.set_metric("FLOPS");
+    let p = session.load_profile().unwrap();
+    let m = p.find_metric("FLOPS").unwrap();
+    let e = p.find_event("kernel").unwrap();
+    let d = p.interval(e, ThreadId::ZERO, m).unwrap();
+    assert_eq!(d.inclusive(), Some(2e9));
+    assert!(p.metric(m).derived);
+    // derived metrics cannot be re-added under the same name
+    assert!(append_derived_metric(&conn, trial, "FLOPS", "TIME * 1").is_err());
+}
+
+#[test]
+fn schema_changes_are_transactional() {
+    let conn = Connection::open_in_memory();
+    create_schema(&conn).unwrap();
+    let r: Result<(), perfdmf::db::DbError> = conn.transaction(|tx| {
+        tx.execute("ALTER TABLE trial ADD COLUMN temp_col INTEGER", &[])?;
+        Err(perfdmf::db::DbError::Eval("abort".into()))
+    });
+    assert!(r.is_err());
+    let names: Vec<String> = conn
+        .table_meta("trial")
+        .unwrap()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    assert!(!names.contains(&"temp_col".to_string()), "{names:?}");
+}

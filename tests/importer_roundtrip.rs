@@ -1,0 +1,159 @@
+//! Experiment E6: all profile formats import correctly against ground
+//! truth, and the common XML exchange format round-trips losslessly.
+
+use perfdmf::import::{detect_format, export_xml, import_xml, load_path, ProfileFormat};
+use perfdmf::profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+use perfdmf::workload::{
+    dynaprof_report_text, gprof_report_text, mpip_report_text, psrun_xml_text, sppm_timing_text,
+    write_hpm_files, write_tau_directory, Evh1Model,
+};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "pdmf_it_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn tau_directory_import_matches_ground_truth() {
+    let truth = Evh1Model::default_mix(123).generate(4);
+    let dir = tmpdir("tau");
+    write_tau_directory(&truth, &dir).unwrap();
+    assert_eq!(detect_format(&dir).unwrap(), ProfileFormat::Tau);
+    let got = load_path(&dir).unwrap();
+    assert_eq!(got.threads().len(), truth.threads().len());
+    assert_eq!(got.events().len(), truth.events().len());
+    let tm = truth.find_metric("GET_TIME_OF_DAY").unwrap();
+    let gm = got.find_metric("GET_TIME_OF_DAY").unwrap();
+    // every single data point survives
+    for (ei, ev) in truth.events().iter().enumerate() {
+        let ge = got.find_event(&ev.name).unwrap();
+        for &t in truth.threads() {
+            let a = truth.interval(perfdmf::profile::EventId(ei), t, tm).unwrap();
+            let b = got.interval(ge, t, gm).unwrap();
+            assert!(
+                (a.exclusive().unwrap_or(0.0) - b.exclusive().unwrap_or(0.0)).abs() < 1e-9,
+                "{} @ {t}",
+                ev.name
+            );
+            assert_eq!(a.calls(), b.calls());
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn every_text_format_sniffs_and_parses() {
+    // one synthetic run rendered per format; each must autodetect + load
+    let mut p = Profile::new("mini");
+    let m = p.add_metric(Metric::measured("GET_TIME_OF_DAY"));
+    let main = p.add_event(IntervalEvent::new("main", "TAU_USER"));
+    let work = p.add_event(IntervalEvent::new("work", "COMPUTE"));
+    p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
+    for &t in p.threads().to_vec().iter() {
+        p.set_interval(main, t, m, IntervalData::new(10.0, 2.0, 1.0, 1.0));
+        p.set_interval(work, t, m, IntervalData::new(8.0, 8.0, 16.0, 0.0));
+    }
+    let dir = tmpdir("sniff");
+
+    let gprof = dir.join("report.gprof");
+    std::fs::write(&gprof, gprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
+    assert_eq!(detect_format(&gprof).unwrap(), ProfileFormat::Gprof);
+    assert_eq!(load_path(&gprof).unwrap().source_format, "gprof");
+
+    let dyna = dir.join("probe.dynaprof");
+    std::fs::write(&dyna, dynaprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
+    assert_eq!(detect_format(&dyna).unwrap(), ProfileFormat::Dynaprof);
+    assert_eq!(load_path(&dyna).unwrap().source_format, "dynaprof");
+
+    let psrun = dir.join("run.xml");
+    std::fs::write(&psrun, psrun_xml_text(&p, ThreadId::ZERO)).unwrap();
+    assert_eq!(detect_format(&psrun).unwrap(), ProfileFormat::PerfSuite);
+    assert_eq!(load_path(&psrun).unwrap().source_format, "psrun");
+
+    let sppm = dir.join("timing.txt");
+    std::fs::write(&sppm, sppm_timing_text(&p, m)).unwrap();
+    assert_eq!(detect_format(&sppm).unwrap(), ProfileFormat::Sppm);
+    assert_eq!(load_path(&sppm).unwrap().threads().len(), 2);
+
+    // mpiP needs its specific event shape
+    let mut mp = Profile::new("mp");
+    let mt = mp.add_metric(Metric::measured("MPIP_TIME"));
+    let app = mp.add_event(IntervalEvent::new("Application", "MPIP_APP"));
+    let send = mp.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
+    mp.add_thread(ThreadId::ZERO);
+    mp.set_interval(app, ThreadId::ZERO, mt, IntervalData::new(5.0, f64::NAN, 1.0, f64::NAN));
+    mp.set_interval(send, ThreadId::ZERO, mt, IntervalData::new(1.0, 1.0, 10.0, 0.0));
+    let mpip = dir.join("run.mpip");
+    std::fs::write(&mpip, mpip_report_text(&mp, mt)).unwrap();
+    assert_eq!(detect_format(&mpip).unwrap(), ProfileFormat::MpiP);
+    assert_eq!(load_path(&mpip).unwrap().source_format, "mpip");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hpm_directory_detection() {
+    let mut p = Profile::new("h");
+    let wall = p.add_metric(Metric::measured("HPM_WALL_CLOCK"));
+    let e = p.add_event(IntervalEvent::new("main", "HPM"));
+    p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
+    for &t in p.threads().to_vec().iter() {
+        p.set_interval(e, t, wall, IntervalData::new(3.0, 3.0, 1.0, 0.0));
+    }
+    let dir = tmpdir("hpmdir");
+    write_hpm_files(&p, &dir).unwrap();
+    assert_eq!(detect_format(&dir).unwrap(), ProfileFormat::HpmToolkit);
+    let got = load_path(&dir).unwrap();
+    assert_eq!(got.threads().len(), 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn xml_exchange_lossless_on_generated_workloads() {
+    for seed in [1u64, 2, 3] {
+        let truth = Evh1Model::default_mix(seed).generate(3);
+        let xml = export_xml(&truth);
+        let back = import_xml(&xml).unwrap();
+        assert_eq!(back.metrics(), truth.metrics());
+        assert_eq!(back.events(), truth.events());
+        assert_eq!(back.threads(), truth.threads());
+        assert_eq!(back.data_point_count(), truth.data_point_count());
+        // exact float round-trip on all points
+        let tm = truth.find_metric("GET_TIME_OF_DAY").unwrap();
+        let bm = back.find_metric("GET_TIME_OF_DAY").unwrap();
+        for (e, t, d) in truth.iter_metric(tm) {
+            let b = back.interval(e, t, bm).unwrap();
+            assert_eq!(d.inclusive(), b.inclusive());
+            assert_eq!(d.exclusive(), b.exclusive());
+            assert_eq!(d.inclusive_percent(), b.inclusive_percent());
+        }
+    }
+}
+
+#[test]
+fn mixed_directory_scan_with_filters() {
+    use perfdmf::import::{load_directory_filtered, FileFilter};
+    let dir = tmpdir("mixed");
+    let mut p = Profile::new("x");
+    let m = p.add_metric(Metric::measured("T"));
+    let e = p.add_event(IntervalEvent::ungrouped("f"));
+    p.add_thread(ThreadId::ZERO);
+    p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(1.0, 1.0, 1.0, 0.0));
+    std::fs::write(dir.join("a.gprof"), gprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
+    std::fs::write(dir.join("b.gprof"), gprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
+    std::fs::write(dir.join("c.sppm"), sppm_timing_text(&p, m)).unwrap();
+    let all = load_directory_filtered(&dir, &FileFilter::default()).unwrap();
+    assert_eq!(all.len(), 3);
+    let only_gprof = load_directory_filtered(&dir, &FileFilter::with_suffix(".gprof")).unwrap();
+    assert_eq!(only_gprof.len(), 2);
+    assert!(only_gprof.iter().all(|p| p.source_format == "gprof"));
+    let prefixed = load_directory_filtered(&dir, &FileFilter::with_prefix("c")).unwrap();
+    assert_eq!(prefixed.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

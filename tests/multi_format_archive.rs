@@ -1,0 +1,161 @@
+//! Experiment E2 (paper §5.1, Figure 2): trials from three different
+//! profiling tools — HPMtoolkit, mpiP, and TAU — stored in one database
+//! archive and browsed back through the session API.
+
+use perfdmf::core::DatabaseSession;
+use perfdmf::db::{Connection, Value};
+use perfdmf::import::{load_path, mpip, ProfileFormat};
+use perfdmf::profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId, UNDEFINED};
+use perfdmf::workload::{mpip_report_text, write_hpm_files, write_tau_directory, Evh1Model};
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "pdmf_arch_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn three_tool_archive_like_figure_2() {
+    let tmp = tmpdir("fig2");
+
+    // --- tool outputs for the same logical application ---
+    let tau_run = Evh1Model::default_mix(99).generate(4);
+    let tau_dir = tmp.join("tau");
+    write_tau_directory(&tau_run, &tau_dir).unwrap();
+
+    let mut hpm = Profile::new("hpm");
+    let wall = hpm.add_metric(Metric::measured("HPM_WALL_CLOCK"));
+    let sect = hpm.add_event(IntervalEvent::new("solver", "HPM"));
+    hpm.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
+    for &t in hpm.threads().to_vec().iter() {
+        hpm.set_interval(sect, t, wall, IntervalData::new(42.0, 42.0, 7.0, 0.0));
+    }
+    let hpm_dir = tmp.join("hpm");
+    write_hpm_files(&hpm, &hpm_dir).unwrap();
+
+    let mut mp = Profile::new("mpip");
+    let mt = mp.add_metric(Metric::measured("MPIP_TIME"));
+    let app = mp.add_event(IntervalEvent::new("Application", "MPIP_APP"));
+    let send = mp.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
+    mp.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
+    for &t in mp.threads().to_vec().iter() {
+        mp.set_interval(app, t, mt, IntervalData::new(50.0, UNDEFINED, 1.0, UNDEFINED));
+        mp.set_interval(send, t, mt, IntervalData::new(4.0, 4.0, 64.0, 0.0));
+    }
+    let mpip_file = tmp.join("run.mpip");
+    std::fs::write(&mpip_file, mpip_report_text(&mp, mt)).unwrap();
+
+    // --- import and archive ---
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+    let t_tau = session
+        .store_profile("evh1", "tools", &load_path(&tau_dir).unwrap())
+        .unwrap();
+    let t_hpm = session
+        .store_profile(
+            "evh1",
+            "tools",
+            &ProfileFormat::HpmToolkit.load(&hpm_dir).unwrap(),
+        )
+        .unwrap();
+    let t_mpip = session
+        .store_profile("evh1", "tools", &mpip::load_mpip_file(&mpip_file).unwrap())
+        .unwrap();
+
+    // --- browse the tree: one application, one experiment, 3 trials ---
+    session.reset();
+    let apps = session.application_list().unwrap();
+    assert_eq!(apps.len(), 1);
+    session.set_application(apps[0].id.unwrap());
+    let exps = session.experiment_list().unwrap();
+    assert_eq!(exps.len(), 1);
+    session.set_experiment(exps[0].id.unwrap());
+    let trials = session.trial_list().unwrap();
+    assert_eq!(trials.len(), 3);
+    let formats: Vec<String> = trials
+        .iter()
+        .map(|t| {
+            t.field("source_format")
+                .and_then(|v| v.as_text().map(str::to_string))
+                .unwrap_or_default()
+        })
+        .collect();
+    assert!(formats.contains(&"tau".to_string()));
+    assert!(formats.contains(&"hpmtoolkit".to_string()));
+    assert!(formats.contains(&"mpip".to_string()));
+
+    // --- each trial loads back with its own metrics intact ---
+    session.set_trial(t_tau);
+    assert!(session.metric_list().unwrap().contains(&"GET_TIME_OF_DAY".to_string()));
+    session.set_trial(t_hpm);
+    assert_eq!(session.metric_list().unwrap(), vec!["HPM_WALL_CLOCK"]);
+    let hpm_back = session.load_profile().unwrap();
+    let m = hpm_back.find_metric("HPM_WALL_CLOCK").unwrap();
+    let e = hpm_back.find_event("solver").unwrap();
+    assert_eq!(
+        hpm_back.interval(e, ThreadId::new(2, 0, 0), m).unwrap().inclusive(),
+        Some(42.0)
+    );
+    session.set_trial(t_mpip);
+    let mpip_back = session.load_profile().unwrap();
+    assert!(mpip_back.find_event("MPI_Send() site 1").is_some());
+
+    // --- cross-trial SQL over the whole archive ---
+    let rs = conn
+        .query(
+            "SELECT t.name, COUNT(*) AS events
+             FROM trial t JOIN interval_event e ON e.trial = t.id
+             GROUP BY t.name ORDER BY t.name",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    let total: i64 = rs
+        .rows
+        .iter()
+        .map(|r| r[1].as_int().unwrap())
+        .sum();
+    assert_eq!(
+        total,
+        (tau_run.events().len() + 1 /*hpm solver*/ + 2/*mpip app+send*/) as i64
+    );
+
+    std::fs::remove_dir_all(&tmp).unwrap();
+}
+
+#[test]
+fn archive_supports_metadata_policies() {
+    // The paper: "it would be a simple matter to implement access
+    // authorization" — the flexible schema carries such policy columns.
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).unwrap();
+    let p = Evh1Model::default_mix(5).generate(2);
+    let trial = session.store_profile("evh1", "secure", &p).unwrap();
+    conn.execute(
+        "ALTER TABLE trial ADD COLUMN owner TEXT DEFAULT 'perf-team'",
+        &[],
+    )
+    .unwrap();
+    conn.execute(
+        "ALTER TABLE trial ADD COLUMN visibility TEXT DEFAULT 'private'",
+        &[],
+    )
+    .unwrap();
+    conn.update(
+        "UPDATE trial SET visibility = 'shared' WHERE id = ?",
+        &[Value::Int(trial)],
+    )
+    .unwrap();
+    let rs = conn
+        .query(
+            "SELECT name FROM trial WHERE visibility = 'shared' AND owner = 'perf-team'",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+}

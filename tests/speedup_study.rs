@@ -1,0 +1,111 @@
+//! Experiment E3 (paper §5.2): the trial browser / speedup analyzer over
+//! EVH1-style scalability data, driven end-to-end through the database.
+
+use perfdmf::analysis::SpeedupAnalysis;
+use perfdmf::core::DatabaseSession;
+use perfdmf::db::{Connection, Value};
+use perfdmf::workload::Evh1Model;
+
+#[test]
+fn evh1_speedup_study_through_database() {
+    let model = Evh1Model::default_mix(2005);
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn).unwrap();
+    let procs = [1usize, 2, 4, 8, 16];
+    for &p in &procs {
+        session
+            .store_profile("evh1", "scaling", &model.generate(p))
+            .unwrap();
+    }
+
+    // Reload from the database (not the in-memory profiles!) and analyze.
+    session.reset();
+    let mut analysis = SpeedupAnalysis::new("GET_TIME_OF_DAY");
+    for trial in session.trial_list().unwrap() {
+        let nodes = trial.field("node_count").and_then(Value::as_int).unwrap() as usize;
+        session.set_trial(trial.id.unwrap());
+        analysis.add_trial(nodes, session.load_profile().unwrap());
+    }
+    assert_eq!(analysis.trial_count(), procs.len());
+
+    let routines = analysis.routine_speedups();
+    assert!(routines.len() > 30, "every profiled routine is analyzed");
+
+    // Shape checks against the model's ground truth:
+    // 1. compute sweeps scale nearly linearly
+    let sweep = routines
+        .iter()
+        .find(|r| r.event == "sweep_x_stage1")
+        .unwrap();
+    let at16 = sweep.points.iter().find(|p| p.processors == 16).unwrap();
+    assert!(at16.mean > 13.0 && at16.mean < 18.0, "sweep mean {}", at16.mean);
+    assert!(at16.min <= at16.mean && at16.mean <= at16.max);
+
+    // 2. serial setup stays flat
+    let setup = routines.iter().find(|r| r.event == "init_grid").unwrap();
+    let s16 = setup.points.iter().find(|p| p.processors == 16).unwrap();
+    assert!(s16.mean < 1.3, "serial speedup {}", s16.mean);
+
+    // 3. MPI routines slow down (negative scaling)
+    let mpi = routines.iter().find(|r| r.event == "MPI_Allreduce()").unwrap();
+    let m16 = mpi.points.iter().find(|p| p.processors == 16).unwrap();
+    assert!(m16.mean < 1.0, "mpi speedup {}", m16.mean);
+
+    // 4. application-level Amdahl fit recovers the model's serial share
+    let scaling = analysis.application_scaling().unwrap();
+    assert_eq!(scaling.points.len(), procs.len());
+    // speedups monotone increasing, efficiency decreasing
+    for w in scaling.points.windows(2) {
+        assert!(w[1].1 > w[0].1, "speedup should increase: {:?}", scaling.points);
+        assert!(w[1].2 < w[0].2 + 1e-9, "efficiency should decrease");
+    }
+    let frac = scaling.amdahl_serial_fraction.unwrap();
+    assert!(frac > 0.005 && frac < 0.12, "serial fraction {frac}");
+
+    // 5. the report table renders every routine
+    let report = analysis.report();
+    assert!(report.contains("init_grid"));
+    assert!(report.contains("MPI_Allreduce()"));
+}
+
+#[test]
+fn aggregates_via_sql_match_analysis_toolkit() {
+    // Experiment E7: the DBMS's MIN/MAX/AVG/STDDEV agree with the toolkit.
+    let model = Evh1Model::default_mix(31);
+    let profile = model.generate(8);
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn).unwrap();
+    let trial = session.store_profile("evh1", "agg", &profile).unwrap();
+    session.set_trial(trial);
+    let aggs = session.event_aggregates("GET_TIME_OF_DAY").unwrap();
+    let m = profile.find_metric("GET_TIME_OF_DAY").unwrap();
+    let mut checked = 0;
+    for a in &aggs {
+        let Some(e) = profile.find_event(&a.event_name) else {
+            continue;
+        };
+        let Some(stats) = profile.event_stats(e, m, perfdmf::profile::IntervalField::Exclusive)
+        else {
+            continue;
+        };
+        if stats.count == 0 {
+            continue;
+        }
+        assert_eq!(a.count as usize, stats.count, "{}", a.event_name);
+        assert!((a.min_exclusive.unwrap() - stats.min).abs() < 1e-9);
+        assert!((a.max_exclusive.unwrap() - stats.max).abs() < 1e-9);
+        assert!((a.mean_exclusive.unwrap() - stats.mean).abs() < 1e-9);
+        if stats.count > 1 {
+            assert!(
+                (a.stddev_exclusive.unwrap() - stats.stddev).abs()
+                    < 1e-9 * (1.0 + stats.stddev),
+                "{}: sql {} vs toolkit {}",
+                a.event_name,
+                a.stddev_exclusive.unwrap(),
+                stats.stddev
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 30, "checked {checked} events");
+}
