@@ -147,8 +147,18 @@ mod tests {
         let m = a.add_metric(Metric::measured("TIME"));
         let e = a.add_event(IntervalEvent::ungrouped("f"));
         a.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
-        a.set_interval(e, ThreadId::new(0, 0, 0), m, IntervalData::new(10.0, 10.0, 1.0, 0.0));
-        a.set_interval(e, ThreadId::new(1, 0, 0), m, IntervalData::new(20.0, 20.0, 1.0, 0.0));
+        a.set_interval(
+            e,
+            ThreadId::new(0, 0, 0),
+            m,
+            IntervalData::new(10.0, 10.0, 1.0, 0.0),
+        );
+        a.set_interval(
+            e,
+            ThreadId::new(1, 0, 0),
+            m,
+            IntervalData::new(20.0, 20.0, 1.0, 0.0),
+        );
         let b = profile(&[("f", 30.0)]);
         let d = diff(&a, &b);
         assert_eq!(d[0].left, Some(15.0));
@@ -181,7 +191,12 @@ mod tests {
         let mut a = profile(&[("f", 10.0)]);
         let papi = a.add_metric(Metric::measured("PAPI_FP_OPS"));
         let e = a.find_event("f").unwrap();
-        a.set_interval(e, ThreadId::ZERO, papi, IntervalData::new(1e9, 1e9, 1.0, 0.0));
+        a.set_interval(
+            e,
+            ThreadId::ZERO,
+            papi,
+            IntervalData::new(1e9, 1e9, 1.0, 0.0),
+        );
         let b = profile(&[("f", 10.0)]);
         let d = diff(&a, &b);
         // TIME aligns, PAPI only on the left

@@ -117,11 +117,21 @@ mod tests {
         let b = p.add_event(IntervalEvent::ungrouped("b"));
         p.add_threads((0..3).map(|n| ThreadId::new(n, 0, 0)));
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
-            p.set_interval(a, t, time, IntervalData::new(10.0 * (i + 1) as f64, 10.0 * (i + 1) as f64, 1.0, 0.0));
+            p.set_interval(
+                a,
+                t,
+                time,
+                IntervalData::new(10.0 * (i + 1) as f64, 10.0 * (i + 1) as f64, 1.0, 0.0),
+            );
             p.set_interval(a, t, fp, IntervalData::new(1e6, 1e6, 1.0, 0.0));
         }
         // event b only on thread 2
-        p.set_interval(b, ThreadId::new(2, 0, 0), time, IntervalData::new(5.0, 5.0, 1.0, 0.0));
+        p.set_interval(
+            b,
+            ThreadId::new(2, 0, 0),
+            time,
+            IntervalData::new(5.0, 5.0, 1.0, 0.0),
+        );
         p
     }
 

@@ -46,7 +46,7 @@ impl Dendrogram {
         let k = k.clamp(1, n);
         // Union-find over leaves, applying merges until k clusters remain.
         let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];
@@ -174,10 +174,7 @@ mod tests {
         let tree = hierarchical(&data);
         assert_eq!(tree.merges.len(), data.len() - 1);
         let cut = tree.cut(3);
-        assert_eq!(
-            crate::kmeans::adjusted_rand_index(&cut, &truth),
-            1.0
-        );
+        assert_eq!(crate::kmeans::adjusted_rand_index(&cut, &truth), 1.0);
     }
 
     #[test]

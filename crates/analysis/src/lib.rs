@@ -33,9 +33,7 @@ pub mod stats;
 pub use compare::{diff, merge, regressions, DiffEntry};
 pub use features::{thread_event_matrix, thread_metric_matrix, FeatureMatrix};
 pub use hierarchical::{hierarchical, Dendrogram, MergeStep};
-pub use kmeans::{
-    adjusted_rand_index, kmeans, select_k, silhouette_score, KMeansResult,
-};
+pub use kmeans::{adjusted_rand_index, kmeans, select_k, silhouette_score, KMeansResult};
 pub use pca::{pca, Pca};
 pub use report::{
     group_summaries, render_event_across_threads, render_profile_report, render_thread_view,

@@ -48,6 +48,7 @@ impl Pca {
 
 /// Fit PCA on row-major data (`n × d`). Returns `None` for fewer than two
 /// rows or empty dimensions.
+#[allow(clippy::needless_range_loop)] // symmetric i/j index walks read clearer than iterators
 pub fn pca(data: &[Vec<f64>]) -> Option<Pca> {
     let n = data.len();
     if n < 2 {
@@ -101,6 +102,7 @@ pub fn pca(data: &[Vec<f64>]) -> Option<Pca> {
 
 /// Cyclic Jacobi eigendecomposition of a symmetric matrix.
 /// Returns (eigenvalues, eigenvector matrix with eigenvectors as columns).
+#[allow(clippy::needless_range_loop)] // Givens rotations touch (k,p)/(k,q) pairs by index
 fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
     let n = a.len();
     let mut v = vec![vec![0.0f64; n]; n];
@@ -206,11 +208,7 @@ mod tests {
         }
         let mut trace = 0.0;
         for j in 0..d {
-            trace += data
-                .iter()
-                .map(|r| (r[j] - means[j]).powi(2))
-                .sum::<f64>()
-                / (n - 1) as f64;
+            trace += data.iter().map(|r| (r[j] - means[j]).powi(2)).sum::<f64>() / (n - 1) as f64;
         }
         let total: f64 = p.eigenvalues.iter().sum();
         assert!((total - trace).abs() < 1e-9 * (1.0 + trace));

@@ -85,7 +85,8 @@ pub fn render_profile_report(
 
     let _ = writeln!(out, "\nby group:");
     for g in group_summaries(profile, metric) {
-        let bar = "#".repeat(((g.share * options.bar_width as f64).round() as usize).min(options.bar_width));
+        let bar = "#"
+            .repeat(((g.share * options.bar_width as f64).round() as usize).min(options.bar_width));
         let _ = writeln!(
             out,
             "  {:<16} {:>6.1}%  {:<width$}  ({} events)",
@@ -202,7 +203,12 @@ pub fn render_event_across_threads(
         };
         let bar_len =
             ((x / scale * options.bar_width as f64).round() as usize).clamp(1, options.bar_width);
-        let _ = writeln!(out, "  {:<10} {x:>12.4} |{}", thread.to_string(), "█".repeat(bar_len));
+        let _ = writeln!(
+            out,
+            "  {:<10} {x:>12.4} |{}",
+            thread.to_string(),
+            "█".repeat(bar_len)
+        );
     }
     if let Some(s) = stats {
         let _ = writeln!(

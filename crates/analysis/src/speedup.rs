@@ -120,8 +120,7 @@ impl SpeedupAnalysis {
                 let Some(&base_mean) = baseline.get(e.name.as_str()) else {
                     continue;
                 };
-                let Some(stats) =
-                    profile.event_stats(EventId(i), metric, IntervalField::Exclusive)
+                let Some(stats) = profile.event_stats(EventId(i), metric, IntervalField::Exclusive)
                 else {
                     continue;
                 };
@@ -223,12 +222,7 @@ mod tests {
         for &t in p.threads().to_vec().iter() {
             p.set_interval(par, t, m, IntervalData::new(per, per, 1.0, 0.0));
             p.set_interval(ser, t, m, IntervalData::new(serial, serial, 1.0, 0.0));
-            p.set_interval(
-                root,
-                t,
-                m,
-                IntervalData::new(per + serial, 0.0, 1.0, 2.0),
-            );
+            p.set_interval(root, t, m, IntervalData::new(per + serial, 0.0, 1.0, 2.0));
         }
         p
     }
@@ -245,7 +239,10 @@ mod tests {
     fn routine_speedup_perfect_vs_serial() {
         let a = analysis();
         let routines = a.routine_speedups();
-        let par = routines.iter().find(|r| r.event == "parallel_loop").unwrap();
+        let par = routines
+            .iter()
+            .find(|r| r.event == "parallel_loop")
+            .unwrap();
         assert_eq!(par.points.len(), 4);
         // parallel loop: speedup == p
         for pt in &par.points {
@@ -282,11 +279,24 @@ mod tests {
         let m = p.add_metric(Metric::measured("TIME"));
         let e = p.add_event(IntervalEvent::new("parallel_loop", "COMP"));
         p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
-        p.set_interval(e, ThreadId::new(0, 0, 0), m, IntervalData::new(60.0, 60.0, 1.0, 0.0));
-        p.set_interval(e, ThreadId::new(1, 0, 0), m, IntervalData::new(40.0, 40.0, 1.0, 0.0));
+        p.set_interval(
+            e,
+            ThreadId::new(0, 0, 0),
+            m,
+            IntervalData::new(60.0, 60.0, 1.0, 0.0),
+        );
+        p.set_interval(
+            e,
+            ThreadId::new(1, 0, 0),
+            m,
+            IntervalData::new(40.0, 40.0, 1.0, 0.0),
+        );
         a.add_trial(2, p);
         let routines = a.routine_speedups();
-        let r = routines.iter().find(|r| r.event == "parallel_loop").unwrap();
+        let r = routines
+            .iter()
+            .find(|r| r.event == "parallel_loop")
+            .unwrap();
         let pt = r.points.iter().find(|p| p.processors == 2).unwrap();
         assert!((pt.min - 100.0 / 60.0).abs() < 1e-9);
         assert!((pt.max - 100.0 / 40.0).abs() < 1e-9);

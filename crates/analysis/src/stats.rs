@@ -97,11 +97,7 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> Option<f64> {
     }
     let mx = mean(xs);
     let my = mean(ys);
-    let s: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(&x, &y)| (x - mx) * (y - my))
-        .sum();
+    let s: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
     Some(s / (xs.len() - 1) as f64)
 }
 

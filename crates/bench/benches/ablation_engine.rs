@@ -15,7 +15,9 @@ fn table_with_rows(n: usize, indexed: bool) -> Connection {
         &[],
     )
     .expect("ddl");
-    let ins = conn.prepare("INSERT INTO m (k, v) VALUES (?, ?)").expect("prep");
+    let ins = conn
+        .prepare("INSERT INTO m (k, v) VALUES (?, ?)")
+        .expect("prep");
     conn.transaction(|tx| {
         for i in 0..n {
             tx.execute_prepared(
@@ -27,7 +29,8 @@ fn table_with_rows(n: usize, indexed: bool) -> Connection {
     })
     .expect("fill");
     if indexed {
-        conn.execute("CREATE INDEX ix_k ON m (k)", &[]).expect("index");
+        conn.execute("CREATE INDEX ix_k ON m (k)", &[])
+            .expect("index");
     }
     conn
 }
@@ -38,16 +41,12 @@ fn bench_index_vs_scan(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         for (label, indexed) in [("scan", false), ("indexed", true)] {
             let conn = table_with_rows(n, indexed);
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(),
-                |b, _| {
-                    b.iter(|| {
-                        conn.query("SELECT v FROM m WHERE k = ?", &[Value::Int(7)])
-                            .expect("query")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(), |b, _| {
+                b.iter(|| {
+                    conn.query("SELECT v FROM m WHERE k = ?", &[Value::Int(7)])
+                        .expect("query")
+                });
+            });
         }
     }
     group.finish();
@@ -60,7 +59,8 @@ fn bench_prepared_vs_parsed(c: &mut Criterion) {
     group.bench_function("parse_per_row", |b| {
         b.iter(|| {
             let conn = Connection::open_in_memory();
-            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[]).unwrap();
+            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[])
+                .unwrap();
             conn.transaction(|tx| {
                 for i in 0..ROWS {
                     tx.execute(
@@ -76,14 +76,12 @@ fn bench_prepared_vs_parsed(c: &mut Criterion) {
     group.bench_function("prepared_once", |b| {
         b.iter(|| {
             let conn = Connection::open_in_memory();
-            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[]).unwrap();
+            conn.execute("CREATE TABLE t (a INTEGER, b DOUBLE)", &[])
+                .unwrap();
             let ins = conn.prepare("INSERT INTO t (a, b) VALUES (?, ?)").unwrap();
             conn.transaction(|tx| {
                 for i in 0..ROWS {
-                    tx.execute_prepared(
-                        &ins,
-                        &[Value::Int(i as i64), Value::Float(i as f64)],
-                    )?;
+                    tx.execute_prepared(&ins, &[Value::Int(i as i64), Value::Float(i as f64)])?;
                 }
                 Ok(())
             })
@@ -103,7 +101,8 @@ fn bench_txn_vs_autocommit(c: &mut Criterion) {
             conn.execute("CREATE TABLE t (a INTEGER)", &[]).unwrap();
             let ins = conn.prepare("INSERT INTO t (a) VALUES (?)").unwrap();
             for i in 0..ROWS {
-                conn.execute_prepared(&ins, &[Value::Int(i as i64)]).unwrap();
+                conn.execute_prepared(&ins, &[Value::Int(i as i64)])
+                    .unwrap();
             }
         });
     });

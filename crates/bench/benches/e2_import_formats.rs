@@ -31,7 +31,12 @@ fn mpip_shaped() -> (Profile, perfdmf_profile::MetricId) {
         .collect();
     p.add_threads((0..16).map(|n| ThreadId::new(n, 0, 0)));
     for &t in p.threads().to_vec().iter() {
-        p.set_interval(app, t, m, IntervalData::new(30.0, UNDEFINED, 1.0, UNDEFINED));
+        p.set_interval(
+            app,
+            t,
+            m,
+            IntervalData::new(30.0, UNDEFINED, 1.0, UNDEFINED),
+        );
         for &op in &ops {
             p.set_interval(op, t, m, IntervalData::new(1.5, 1.5, 64.0, 0.0));
         }
@@ -63,10 +68,8 @@ fn bench_text_parsers(c: &mut Criterion) {
             b.iter(|| {
                 let mut out = Profile::new("bench");
                 match name {
-                    "tau" => {
-                        perfdmf_import::tau::parse_tau_text(text, ThreadId::ZERO, &mut out)
-                            .map(|_| ())
-                    }
+                    "tau" => perfdmf_import::tau::parse_tau_text(text, ThreadId::ZERO, &mut out)
+                        .map(|_| ()),
                     "gprof" => {
                         perfdmf_import::gprof::parse_gprof_text(text, ThreadId::ZERO, &mut out)
                     }

@@ -24,13 +24,9 @@ fn bench_routine_speedups(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_routine_speedups");
     for max_procs in [8usize, 32, 128] {
         let analysis = build_analysis(max_procs);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_procs),
-            &analysis,
-            |b, a| {
-                b.iter(|| a.routine_speedups());
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(max_procs), &analysis, |b, a| {
+            b.iter(|| a.routine_speedups());
+        });
     }
     group.finish();
 }
@@ -39,13 +35,9 @@ fn bench_application_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_application_scaling");
     for max_procs in [8usize, 32, 128] {
         let analysis = build_analysis(max_procs);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_procs),
-            &analysis,
-            |b, a| {
-                b.iter(|| a.application_scaling().expect("scaling"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(max_procs), &analysis, |b, a| {
+            b.iter(|| a.application_scaling().expect("scaling"));
+        });
     }
     group.finish();
 }

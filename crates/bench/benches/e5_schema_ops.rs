@@ -44,11 +44,8 @@ fn bench_alter_table(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
             let conn = populated(rows);
             b.iter(|| {
-                conn.execute(
-                    "ALTER TABLE trial ADD COLUMN scratch TEXT DEFAULT 'x'",
-                    &[],
-                )
-                .expect("add");
+                conn.execute("ALTER TABLE trial ADD COLUMN scratch TEXT DEFAULT 'x'", &[])
+                    .expect("add");
                 conn.execute("ALTER TABLE trial DROP COLUMN scratch", &[])
                     .expect("drop");
             });
@@ -61,11 +58,8 @@ fn bench_metadata_discovery(c: &mut Criterion) {
     let conn = populated(100);
     // widen the table so discovery walks a realistic column set
     for i in 0..12 {
-        conn.execute(
-            &format!("ALTER TABLE trial ADD COLUMN meta_{i} TEXT"),
-            &[],
-        )
-        .expect("widen");
+        conn.execute(&format!("ALTER TABLE trial ADD COLUMN meta_{i} TEXT"), &[])
+            .expect("widen");
     }
     c.bench_function("e5_table_meta", |b| {
         b.iter(|| conn.table_meta("trial").expect("meta"));

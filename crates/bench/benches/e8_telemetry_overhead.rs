@@ -1,0 +1,73 @@
+//! Experiment E8 — the cost of observing ourselves.
+//!
+//! The instrumentation layer claims near-zero overhead: enabled, an
+//! instrumented operation pays a few atomic RMWs; disabled, each
+//! instrumentation point reduces to one relaxed atomic load. This
+//! experiment prices both against the E7 SQL aggregate workload — the
+//! acceptance bar is under 5% between telemetry on and off — and
+//! measures the raw primitives in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use perfdmf_bench::store_fresh;
+use perfdmf_core::DatabaseSession;
+use perfdmf_telemetry as telemetry;
+use perfdmf_workload::Evh1Model;
+
+/// The E7 grouped-aggregate query, with telemetry on vs off.
+fn bench_sql_aggregates_overhead(c: &mut Criterion) {
+    let model = Evh1Model::default_mix(41);
+    let profile = model.generate(64);
+    let (conn, trial) = store_fresh(&profile);
+    let mut session = DatabaseSession::new(conn).expect("session");
+    session.set_trial(trial);
+
+    let mut group = c.benchmark_group("e8_sql_aggregates");
+    group.sample_size(20);
+    telemetry::set_enabled(true);
+    group.bench_function("telemetry_on", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
+    telemetry::set_enabled(false);
+    group.bench_function("telemetry_off", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
+    telemetry::set_enabled(true);
+    group.finish();
+}
+
+/// Raw primitive costs: span enter/exit, counter add, histogram record —
+/// and the same points with collection switched off.
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_primitives");
+    telemetry::set_enabled(true);
+    let counter = telemetry::counter("e8.counter");
+    let histogram = telemetry::histogram("e8.histogram");
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let _g = telemetry::span("e8.span");
+        });
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| counter.add(black_box(1)));
+    });
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| histogram.record(black_box(1234)));
+    });
+    group.bench_function("named_add", |b| {
+        b.iter(|| telemetry::add(black_box("e8.named"), 1));
+    });
+    telemetry::set_enabled(false);
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _g = telemetry::span("e8.span");
+        });
+    });
+    group.bench_function("named_add_disabled", |b| {
+        b.iter(|| telemetry::add(black_box("e8.named"), 1));
+    });
+    telemetry::set_enabled(true);
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql_aggregates_overhead, bench_primitives);
+criterion_main!(benches);

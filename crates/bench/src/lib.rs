@@ -26,7 +26,11 @@ pub fn blob_data(n: usize, d: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|c| (0..d).map(|j| (c * 37 + j * 11) as f64 % 23.0 * 5.0).collect())
+        .map(|c| {
+            (0..d)
+                .map(|j| (c * 37 + j * 11) as f64 % 23.0 * 5.0)
+                .collect()
+        })
         .collect();
     let mut data = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);

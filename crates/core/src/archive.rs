@@ -134,12 +134,12 @@ fn apply_fields(
         if name.is_empty() || name == "id" || name == "name" {
             continue;
         }
-        let value = attr_to_value(f.attr("type").unwrap_or("text"), f.attr("value").unwrap_or(""));
+        let value = attr_to_value(
+            f.attr("type").unwrap_or("text"),
+            f.attr("value").unwrap_or(""),
+        );
         // Flexible schema: grow the target table when the column is new.
-        let known = conn
-            .table_meta(table)?
-            .iter()
-            .any(|c| c.name == name);
+        let known = conn.table_meta(table)?.iter().any(|c| c.name == name);
         if !known {
             let sql_ty = match value {
                 Value::Int(_) => DataType::Integer,
@@ -148,7 +148,10 @@ fn apply_fields(
                 _ => DataType::Text,
             };
             conn.execute(
-                &format!("ALTER TABLE {table} ADD COLUMN {name} {}", sql_ty.sql_name()),
+                &format!(
+                    "ALTER TABLE {table} ADD COLUMN {name} {}",
+                    sql_ty.sql_name()
+                ),
                 &[],
             )?;
         }
@@ -255,12 +258,20 @@ mod tests {
     fn dump_restore_roundtrip_with_metadata() {
         let src = Connection::open_in_memory();
         let mut session = DatabaseSession::new(src.clone()).unwrap();
-        session.store_profile("evh1", "scaling", &trial_profile("p1", 10.0)).unwrap();
-        session.store_profile("evh1", "scaling", &trial_profile("p2", 6.0)).unwrap();
-        session.store_profile("sppm", "counters", &trial_profile("c1", 3.0)).unwrap();
+        session
+            .store_profile("evh1", "scaling", &trial_profile("p1", 10.0))
+            .unwrap();
+        session
+            .store_profile("evh1", "scaling", &trial_profile("p2", 6.0))
+            .unwrap();
+        session
+            .store_profile("sppm", "counters", &trial_profile("c1", 3.0))
+            .unwrap();
         // flexible metadata travels with the archive
-        src.execute("ALTER TABLE trial ADD COLUMN machine TEXT", &[]).unwrap();
-        src.update("UPDATE trial SET machine = 'frost' WHERE id = 1", &[]).unwrap();
+        src.execute("ALTER TABLE trial ADD COLUMN machine TEXT", &[])
+            .unwrap();
+        src.update("UPDATE trial SET machine = 'frost' WHERE id = 1", &[])
+            .unwrap();
 
         let dir = tmpdir("roundtrip");
         let n = dump_archive(&src, &dir).unwrap();
@@ -283,7 +294,10 @@ mod tests {
         let back = load_trial(&dst, ids[0]).unwrap();
         let m = back.find_metric("TIME").unwrap();
         let e = back.find_event("main").unwrap();
-        assert_eq!(back.interval(e, ThreadId::ZERO, m).unwrap().inclusive(), Some(10.0));
+        assert_eq!(
+            back.interval(e, ThreadId::ZERO, m).unwrap().inclusive(),
+            Some(10.0)
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -291,13 +305,15 @@ mod tests {
     fn restore_merges_into_existing_hierarchy() {
         let src = Connection::open_in_memory();
         let mut s1 = DatabaseSession::new(src.clone()).unwrap();
-        s1.store_profile("evh1", "scaling", &trial_profile("siteA", 1.0)).unwrap();
+        s1.store_profile("evh1", "scaling", &trial_profile("siteA", 1.0))
+            .unwrap();
         let dir = tmpdir("merge");
         dump_archive(&src, &dir).unwrap();
 
         let dst = Connection::open_in_memory();
         let mut s2 = DatabaseSession::new(dst.clone()).unwrap();
-        s2.store_profile("evh1", "scaling", &trial_profile("siteB", 2.0)).unwrap();
+        s2.store_profile("evh1", "scaling", &trial_profile("siteB", 2.0))
+            .unwrap();
         restore_archive(&dst, &dir).unwrap();
         // same app/exp reused, both trials present
         assert_eq!(dst.row_count("application").unwrap(), 1);

@@ -46,10 +46,10 @@ pub mod upload;
 pub use archive::{dump_archive, restore_archive};
 pub use objects::{Application, Experiment, FlexRow, Trial};
 pub use schema::{create_schema, FLEXIBLE_TABLES, SCHEMA_DDL};
-pub use session::{
-    AtomicEventRow, DatabaseSession, EventAggregate, FileSession, IntervalEventRow,
+pub use session::{AtomicEventRow, DatabaseSession, EventAggregate, FileSession, IntervalEventRow};
+pub use upload::{
+    append_derived_metric, load_trial, load_trial_filtered, save_profile, LoadFilter,
 };
-pub use upload::{append_derived_metric, load_trial, load_trial_filtered, save_profile, LoadFilter};
 
 // Re-export the profile type the API is built around.
 pub use perfdmf_profile::Profile;

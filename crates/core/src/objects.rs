@@ -31,13 +31,15 @@ impl FlexRow {
 
     /// Set a metadata field (builder style).
     pub fn with_field(mut self, column: impl Into<String>, value: impl Into<Value>) -> Self {
-        self.fields.insert(column.into().to_ascii_lowercase(), value.into());
+        self.fields
+            .insert(column.into().to_ascii_lowercase(), value.into());
         self
     }
 
     /// Set a metadata field.
     pub fn set_field(&mut self, column: impl Into<String>, value: impl Into<Value>) {
-        self.fields.insert(column.into().to_ascii_lowercase(), value.into());
+        self.fields
+            .insert(column.into().to_ascii_lowercase(), value.into());
     }
 
     /// Get a metadata field.
@@ -108,9 +110,7 @@ impl FlexRow {
             &[Value::Int(id)],
         )?;
         if rs.is_empty() {
-            return Err(DbError::Unsupported(format!(
-                "no {table} row with id {id}"
-            )));
+            return Err(DbError::Unsupported(format!("no {table} row with id {id}")));
         }
         Ok(Self::from_result_row(&rs.columns, &rs.rows[0]))
     }

@@ -19,6 +19,7 @@ use crate::schema::create_schema;
 use crate::upload::{load_trial_filtered, save_profile, LoadFilter};
 use perfdmf_db::{Connection, DbError, Result, ResultSet, Value};
 use perfdmf_profile::Profile;
+use perfdmf_telemetry as telemetry;
 
 /// A row of the INTERVAL_EVENT table.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,7 +164,9 @@ impl DatabaseSession {
 
     /// All applications (`getApplicationList()`).
     pub fn application_list(&self) -> Result<Vec<FlexRow>> {
-        let rs = self.conn.query("SELECT * FROM application ORDER BY id", &[])?;
+        let rs = self
+            .conn
+            .query("SELECT * FROM application ORDER BY id", &[])?;
         Ok(materialize(&rs))
     }
 
@@ -174,7 +177,9 @@ impl DatabaseSession {
                 "SELECT * FROM experiment WHERE application = ? ORDER BY id",
                 &[Value::Int(app)],
             )?,
-            None => self.conn.query("SELECT * FROM experiment ORDER BY id", &[])?,
+            None => self
+                .conn
+                .query("SELECT * FROM experiment ORDER BY id", &[])?,
         };
         Ok(materialize(&rs))
     }
@@ -247,9 +252,8 @@ impl DatabaseSession {
     }
 
     fn require_trial(&self) -> Result<i64> {
-        self.trial.ok_or_else(|| {
-            DbError::Unsupported("no trial selected (call set_trial first)".into())
-        })
+        self.trial
+            .ok_or_else(|| DbError::Unsupported("no trial selected (call set_trial first)".into()))
     }
 
     // ---------------- storage ----------------
@@ -262,6 +266,7 @@ impl DatabaseSession {
         experiment: &str,
         profile: &Profile,
     ) -> Result<i64> {
+        let _span = telemetry::span("session.store_profile");
         let app_id = match self
             .conn
             .query(
@@ -320,7 +325,9 @@ impl DatabaseSession {
             .with_field("threads_per_context", threads)
             .with_field("source_format", profile.source_format.as_str());
         let trial_id = trial.save(&self.conn, "trial")?;
-        save_profile(&self.conn, trial_id, profile)?;
+        let rows = save_profile(&self.conn, trial_id, profile)?;
+        telemetry::add("session.profiles_stored", 1);
+        telemetry::add("session.rows_stored", rows as u64);
         self.application = Some(app_id);
         self.experiment = Some(exp_id);
         self.trial = Some(trial_id);
@@ -330,6 +337,7 @@ impl DatabaseSession {
     /// Load the selected trial's profile, honoring the metric and
     /// node/context/thread selections.
     pub fn load_profile(&self) -> Result<Profile> {
+        let _span = telemetry::span("session.load_profile");
         let trial = self.require_trial()?;
         let filter = LoadFilter {
             node: self.node,
@@ -337,7 +345,9 @@ impl DatabaseSession {
             thread: self.thread,
             metric: self.metric.clone(),
         };
-        load_trial_filtered(&self.conn, trial, &filter)
+        let profile = load_trial_filtered(&self.conn, trial, &filter)?;
+        telemetry::add("session.profiles_loaded", 1);
+        Ok(profile)
     }
 
     // ---------------- aggregates ----------------
@@ -443,8 +453,23 @@ mod tests {
         let send = p.add_event(IntervalEvent::new("MPI_Send()", "MPI"));
         p.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
-            p.set_interval(main, t, m, IntervalData::new(scale * 100.0, scale * (50.0 + i as f64), 1.0, 1.0));
-            p.set_interval(send, t, m, IntervalData::new(scale * (30.0 + i as f64), scale * (30.0 + i as f64), 5.0, 0.0));
+            p.set_interval(
+                main,
+                t,
+                m,
+                IntervalData::new(scale * 100.0, scale * (50.0 + i as f64), 1.0, 1.0),
+            );
+            p.set_interval(
+                send,
+                t,
+                m,
+                IntervalData::new(
+                    scale * (30.0 + i as f64),
+                    scale * (30.0 + i as f64),
+                    5.0,
+                    0.0,
+                ),
+            );
         }
         p
     }
@@ -485,9 +510,7 @@ mod tests {
     #[test]
     fn trial_contents_listing() {
         let mut s = session();
-        let trial = s
-            .store_profile("a", "e", &tiny_profile("t", 1.0))
-            .unwrap();
+        let trial = s.store_profile("a", "e", &tiny_profile("t", 1.0)).unwrap();
         s.set_trial(trial);
         assert_eq!(s.metric_list().unwrap(), vec!["TIME"]);
         let events = s.interval_event_list().unwrap();
@@ -506,9 +529,7 @@ mod tests {
     #[test]
     fn filtered_profile_load() {
         let mut s = session();
-        let trial = s
-            .store_profile("a", "e", &tiny_profile("t", 1.0))
-            .unwrap();
+        let trial = s.store_profile("a", "e", &tiny_profile("t", 1.0)).unwrap();
         s.set_trial(trial);
         s.set_node(Some(2));
         let p = s.load_profile().unwrap();
@@ -554,9 +575,7 @@ mod tests {
     #[test]
     fn trial_row_captures_dimensions() {
         let mut s = session();
-        let trial = s
-            .store_profile("a", "e", &tiny_profile("t", 1.0))
-            .unwrap();
+        let trial = s.store_profile("a", "e", &tiny_profile("t", 1.0)).unwrap();
         let row = FlexRow::load(s.connection(), "trial", trial).unwrap();
         assert_eq!(row.field("node_count"), Some(&Value::Int(4)));
         assert_eq!(row.field("contexts_per_node"), Some(&Value::Int(1)));

@@ -225,7 +225,10 @@ pub fn load_trial_filtered(
         )));
     }
     let mut profile = Profile::new(
-        trial_rs.get(0, "name").and_then(|v| v.as_text()).unwrap_or(""),
+        trial_rs
+            .get(0, "name")
+            .and_then(|v| v.as_text())
+            .unwrap_or(""),
     );
     profile.source_format = trial_rs
         .get(0, "source_format")
@@ -273,8 +276,7 @@ pub fn load_trial_filtered(
     // trial filter is pushed down before the hash join probes the fact
     // table; for node/context/thread-selective loads the fact table is
     // the base so its filters are pushed down before joining instead.
-    let selective =
-        filter.node.is_some() || filter.context.is_some() || filter.thread.is_some();
+    let selective = filter.node.is_some() || filter.context.is_some() || filter.thread.is_some();
     const COLS: &str = "p.interval_event, p.metric, p.node, p.context, p.thread,
                 p.inclusive, p.inclusive_percentage, p.exclusive,
                 p.exclusive_percentage, p.inclusive_per_call, p.num_calls, p.num_subrs";
@@ -356,7 +358,10 @@ pub fn load_trial_filtered(
         let db_id = row[0].as_int().expect("pk");
         let name = row[1].as_text().unwrap_or("");
         let group = row[2].as_text().unwrap_or("TAU_EVENT");
-        aevent_map.insert(db_id, profile.add_atomic_event(AtomicEvent::new(name, group)));
+        aevent_map.insert(
+            db_id,
+            profile.add_atomic_event(AtomicEvent::new(name, group)),
+        );
     }
     if !aevent_map.is_empty() {
         let mut sql = String::from(
@@ -492,8 +497,18 @@ mod tests {
         let send = p.add_event(IntervalEvent::new("MPI_Send()", "MPI"));
         p.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
-            p.set_interval(main, t, time, IntervalData::new(100.0, 60.0 + i as f64, 1.0, 3.0));
-            p.set_interval(send, t, time, IntervalData::new(40.0 - i as f64, 40.0 - i as f64, 10.0, 0.0));
+            p.set_interval(
+                main,
+                t,
+                time,
+                IntervalData::new(100.0, 60.0 + i as f64, 1.0, 3.0),
+            );
+            p.set_interval(
+                send,
+                t,
+                time,
+                IntervalData::new(40.0 - i as f64, 40.0 - i as f64, 10.0, 0.0),
+            );
             p.set_interval(main, t, fp, IntervalData::new(2e9, 1e9, 1.0, 3.0));
             p.set_interval(send, t, fp, IntervalData::new(1e6, 1e6, 10.0, 0.0));
         }
@@ -609,8 +624,10 @@ mod tests {
         let m = p.add_metric(Metric::measured("X"));
         let e = p.add_event(IntervalEvent::ungrouped("f"));
         p.add_thread(ThreadId::ZERO);
-        let mut d = IntervalData::default();
-        d.exclusive = 2.5;
+        let d = IntervalData {
+            exclusive: 2.5,
+            ..Default::default()
+        };
         p.set_interval(e, ThreadId::ZERO, m, d);
         save_profile(&conn, trial_id, &p).unwrap();
         let back = load_trial(&conn, trial_id).unwrap();

@@ -58,7 +58,11 @@ fn build(spec: &Spec) -> Profile {
                 }
                 let incl = if sel & 1 != 0 { v * 2.0 } else { UNDEFINED };
                 let excl = if sel & 2 != 0 { v } else { UNDEFINED };
-                let calls = if sel & 4 != 0 { (k % 13 + 1) as f64 } else { UNDEFINED };
+                let calls = if sel & 4 != 0 {
+                    (k % 13 + 1) as f64
+                } else {
+                    UNDEFINED
+                };
                 let d = IntervalData::new(incl, excl, calls, UNDEFINED);
                 p.set_interval(e, t, m, d);
             }

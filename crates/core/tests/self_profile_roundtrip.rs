@@ -1,0 +1,56 @@
+//! The self-profiling loop, closed: live telemetry exported with
+//! `snapshot_to_profile()` is stored through `DataSession::store_profile`
+//! and read back with `load_profile` like any other trial.
+
+use perfdmf_core::DatabaseSession;
+use perfdmf_db::Connection;
+use perfdmf_profile::ThreadId;
+use perfdmf_telemetry as telemetry;
+use perfdmf_telemetry::snapshot::TELEMETRY_METRIC;
+
+#[test]
+fn telemetry_snapshot_round_trips_through_database() {
+    // Open the session first so its schema DDL runs before the snapshot;
+    // unique names keep this test independent of parallel tests.
+    let mut session = DatabaseSession::new(Connection::open_in_memory()).unwrap();
+
+    telemetry::counter("rt.core.rows").add(42);
+    let h = telemetry::histogram("rt.core.latency_ns");
+    h.record(1_000);
+    h.record(3_000);
+
+    let profile = telemetry::snapshot_to_profile();
+    assert!(profile.validate().is_empty());
+
+    let trial_id = session
+        .store_profile("perfdmf", "self-profiling", &profile)
+        .unwrap();
+    session.set_trial(trial_id);
+    let loaded = session.load_profile().unwrap();
+
+    let metric = loaded.find_metric(TELEMETRY_METRIC).expect("metric stored");
+    let event = loaded
+        .find_event("rt.core.latency_ns")
+        .expect("histogram became an interval event");
+    let data = loaded
+        .interval(event, ThreadId::ZERO, metric)
+        .expect("data");
+    assert_eq!(data.calls(), Some(2.0));
+    assert_eq!(data.inclusive(), Some(4_000.0));
+
+    let atomic = loaded
+        .find_atomic_event("rt.core.rows")
+        .expect("counter became an atomic event");
+    let ad = loaded.atomic(atomic, ThreadId::ZERO).expect("atomic data");
+    assert_eq!(ad.mean, 42.0);
+
+    // The instrumented store/load above fed the registry in turn: the
+    // session spans themselves show up as latency histograms.
+    let snap = telemetry::snapshot();
+    assert!(snap
+        .histogram("session.store_profile")
+        .is_some_and(|s| s.count >= 1));
+    assert!(snap
+        .histogram("session.load_profile")
+        .is_some_and(|s| s.count >= 1));
+}

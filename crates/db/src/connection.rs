@@ -12,13 +12,16 @@
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::exec::{execute, Outcome, ResultSet};
+use crate::observe;
 use crate::schema::ColumnDef;
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse_statement_with_params;
 use crate::value::Value;
 use parking_lot::RwLock;
+use perfdmf_telemetry as telemetry;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A handle to a shared database.
 #[derive(Clone)]
@@ -37,6 +40,8 @@ impl std::fmt::Debug for Connection {
 pub struct Prepared {
     statement: Statement,
     param_count: usize,
+    /// Original SQL text, kept for the slow-query log.
+    sql: String,
 }
 
 impl Prepared {
@@ -48,6 +53,11 @@ impl Prepared {
     /// The parsed statement.
     pub fn statement(&self) -> &Statement {
         &self.statement
+    }
+
+    /// The SQL text this statement was parsed from.
+    pub fn sql(&self) -> &str {
+        &self.sql
     }
 }
 
@@ -68,10 +78,12 @@ impl Connection {
 
     /// Parse a statement for repeated execution.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let _span = telemetry::span("db.parse");
         let (statement, param_count) = parse_statement_with_params(sql)?;
         Ok(Prepared {
             statement,
             param_count,
+            sql: sql.to_string(),
         })
     }
 
@@ -85,7 +97,9 @@ impl Connection {
     /// Execute a prepared statement.
     pub fn execute_prepared(&self, prepared: &Prepared, params: &[Value]) -> Result<Outcome> {
         Self::check_params(prepared, params)?;
-        match &prepared.statement {
+        let _span = telemetry::span("db.exec");
+        let started = telemetry::enabled().then(Instant::now);
+        let outcome = (|| match &prepared.statement {
             // SELECT and EXPLAIN SELECT never mutate; run them under the
             // read lock so they share with other readers.
             Statement::Select(sel) => {
@@ -101,6 +115,7 @@ impl Connection {
                     return Ok(Outcome::Rows(crate::exec::ResultSet {
                         columns: vec!["plan".to_string()],
                         rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                        ..Default::default()
                     }));
                 }
                 let mut db = self.db.write();
@@ -110,7 +125,11 @@ impl Connection {
                 let mut db = self.db.write();
                 execute(&mut db, &prepared.statement, params)
             }
+        })();
+        if let Some(started) = started {
+            observe::record_statement(&prepared.sql, &outcome, started.elapsed());
         }
+        outcome
     }
 
     /// Parse and execute a statement.
@@ -215,10 +234,14 @@ pub struct TransactionHandle<'a> {
 impl TransactionHandle<'_> {
     /// Execute a statement inside the transaction.
     pub fn execute(&mut self, sql: &str, params: &[Value]) -> Result<Outcome> {
-        let (statement, param_count) = parse_statement_with_params(sql)?;
-        if params.len() < param_count {
-            return Err(DbError::MissingParameter(params.len()));
-        }
+        let statement = {
+            let _span = telemetry::span("db.parse");
+            let (statement, param_count) = parse_statement_with_params(sql)?;
+            if params.len() < param_count {
+                return Err(DbError::MissingParameter(params.len()));
+            }
+            statement
+        };
         if matches!(
             statement,
             Statement::Begin | Statement::Commit | Statement::Rollback
@@ -227,7 +250,13 @@ impl TransactionHandle<'_> {
                 "transaction control statements are managed by transaction()".into(),
             ));
         }
-        execute(self.db, &statement, params)
+        let _span = telemetry::span("db.exec");
+        let started = telemetry::enabled().then(Instant::now);
+        let outcome = execute(self.db, &statement, params);
+        if let Some(started) = started {
+            observe::record_statement(sql, &outcome, started.elapsed());
+        }
+        outcome
     }
 
     /// Execute a pre-parsed statement inside the transaction (parse once,
@@ -244,11 +273,21 @@ impl TransactionHandle<'_> {
                 "transaction control statements are managed by transaction()".into(),
             ));
         }
-        execute(self.db, &prepared.statement, params)
+        let _span = telemetry::span("db.exec");
+        let started = telemetry::enabled().then(Instant::now);
+        let outcome = execute(self.db, &prepared.statement, params);
+        if let Some(started) = started {
+            observe::record_statement(&prepared.sql, &outcome, started.elapsed());
+        }
+        outcome
     }
 
     /// Execute a pre-parsed INSERT and return the generated id.
-    pub fn insert_prepared(&mut self, prepared: &Prepared, params: &[Value]) -> Result<Option<i64>> {
+    pub fn insert_prepared(
+        &mut self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> Result<Option<i64>> {
         match self.execute_prepared(prepared, params)? {
             Outcome::Affected { last_insert_id, .. } => Ok(last_insert_id),
             _ => Err(DbError::Unsupported(

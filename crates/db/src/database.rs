@@ -22,13 +22,32 @@ use std::path::{Path, PathBuf};
 /// Inverse operations for rollback.
 #[derive(Debug)]
 enum Undo {
-    Insert { table: String, id: RowId },
-    Delete { table: String, id: RowId, row: Row },
-    Update { table: String, id: RowId, old: Row },
-    CreateTable { name: String },
+    Insert {
+        table: String,
+        id: RowId,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        row: Row,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        old: Row,
+    },
+    CreateTable {
+        name: String,
+    },
     /// Whole-table snapshot taken before destructive DDL.
-    RestoreTable { name: String, table: Box<Table> },
-    CreateIndex { table: String, name: String },
+    RestoreTable {
+        name: String,
+        table: Box<Table>,
+    },
+    CreateIndex {
+        table: String,
+        name: String,
+    },
 }
 
 /// An embedded relational database: the persistent store under PerfDMF.
@@ -184,7 +203,8 @@ impl Database {
                 column,
                 unique,
             } => {
-                self.table_mut_raw(&table)?.create_index(&name, &column, unique)?;
+                self.table_mut_raw(&table)?
+                    .create_index(&name, &column, unique)?;
                 self.index_owner.insert(name, table);
             }
             WalRecord::DropIndex { table, name } => {
@@ -206,16 +226,12 @@ impl Database {
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
         let key = name.to_ascii_lowercase();
-        self.tables
-            .get(&key)
-            .ok_or(DbError::NoSuchTable(key))
+        self.tables.get(&key).ok_or(DbError::NoSuchTable(key))
     }
 
     fn table_mut_raw(&mut self, name: &str) -> Result<&mut Table> {
         let key = name.to_ascii_lowercase();
-        self.tables
-            .get_mut(&key)
-            .ok_or(DbError::NoSuchTable(key))
+        self.tables.get_mut(&key).ok_or(DbError::NoSuchTable(key))
     }
 
     /// Names of all tables, sorted.
@@ -284,9 +300,7 @@ impl Database {
                     self.tables.insert(name, *table);
                 }
                 Undo::CreateIndex { table, name } => {
-                    let _ = self
-                        .table_mut_raw(&table)
-                        .and_then(|t| t.drop_index(&name));
+                    let _ = self.table_mut_raw(&table).and_then(|t| t.drop_index(&name));
                     self.index_owner.remove(&name);
                 }
             }
@@ -435,7 +449,8 @@ impl Database {
             name: key.clone(),
             table: Box::new(snapshot),
         });
-        self.pending.push(WalRecord::AddColumn { table: key, column });
+        self.pending
+            .push(WalRecord::AddColumn { table: key, column });
         Ok(())
     }
 
@@ -581,9 +596,7 @@ impl Database {
                 }
                 let referenced = match rtable.index_on(ci) {
                     Some(ix) => !ix.get(key).is_empty(),
-                    None => rtable
-                        .iter()
-                        .any(|(_, r)| r[ci].sql_eq(key) == Some(true)),
+                    None => rtable.iter().any(|(_, r)| r[ci].sql_eq(key) == Some(true)),
                 };
                 if referenced {
                     return Err(DbError::ForeignKeyViolation {
@@ -762,16 +775,20 @@ mod tests {
             db.insert_row("child", vec![Value::Null, Value::Int(99)]),
             Err(DbError::ForeignKeyViolation { .. })
         ));
-        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
-        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "p".into()])
+            .unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)])
+            .unwrap();
         // NULL FK is allowed
-        db.insert_row("child", vec![Value::Null, Value::Null]).unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Null])
+            .unwrap();
     }
 
     #[test]
     fn fk_accepts_coercible_values() {
         let mut db = db_with_parent_child();
-        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "p".into()])
+            .unwrap();
         // text '1' coerces to the integer key 1 before the FK check
         db.insert_row("child", vec![Value::Null, Value::Text("1".into())])
             .unwrap();
@@ -781,8 +798,10 @@ mod tests {
     #[test]
     fn fk_delete_restricted() {
         let mut db = db_with_parent_child();
-        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
-        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "p".into()])
+            .unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)])
+            .unwrap();
         assert!(matches!(
             db.delete_row("parent", 0),
             Err(DbError::ForeignKeyViolation { .. })
@@ -794,8 +813,10 @@ mod tests {
     #[test]
     fn fk_update_restricted() {
         let mut db = db_with_parent_child();
-        db.insert_row("parent", vec![Value::Null, "p".into()]).unwrap();
-        db.insert_row("child", vec![Value::Null, Value::Int(1)]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "p".into()])
+            .unwrap();
+        db.insert_row("child", vec![Value::Null, Value::Int(1)])
+            .unwrap();
         // Changing the referenced pk away is refused...
         assert!(matches!(
             db.update_row("parent", 0, vec![Value::Int(5), "p".into()]),
@@ -820,10 +841,12 @@ mod tests {
     #[test]
     fn transaction_rollback_restores_rows() {
         let mut db = db_with_parent_child();
-        db.insert_row("parent", vec![Value::Null, "keep".into()]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "keep".into()])
+            .unwrap();
         db.stmt_finish().unwrap();
         db.begin().unwrap();
-        db.insert_row("parent", vec![Value::Null, "gone".into()]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "gone".into()])
+            .unwrap();
         db.update_row("parent", 0, vec![Value::Int(1), "changed".into()])
             .unwrap();
         db.rollback().unwrap();
@@ -847,16 +870,18 @@ mod tests {
         db.rollback().unwrap();
         assert!(!db.has_table("temp"));
         assert!(db.table("parent").unwrap().schema.column("extra").is_none());
-        assert!(db.table("parent").unwrap().indexes.get("ix_name").is_none());
+        assert!(!db.table("parent").unwrap().indexes.contains_key("ix_name"));
     }
 
     #[test]
     fn statement_abort_is_partial() {
         let mut db = db_with_parent_child();
         db.begin().unwrap();
-        db.insert_row("parent", vec![Value::Null, "a".into()]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "a".into()])
+            .unwrap();
         let mark = db.stmt_begin();
-        db.insert_row("parent", vec![Value::Null, "b".into()]).unwrap();
+        db.insert_row("parent", vec![Value::Null, "b".into()])
+            .unwrap();
         db.stmt_abort(mark);
         db.commit().unwrap();
         assert_eq!(db.table("parent").unwrap().len(), 1);
@@ -899,9 +924,11 @@ mod tests {
             db.stmt_finish().unwrap();
             let mark = db.stmt_begin();
             let _ = mark;
-            db.insert_row("t", vec![Value::Null, Value::Float(1.5)]).unwrap();
+            db.insert_row("t", vec![Value::Null, Value::Float(1.5)])
+                .unwrap();
             db.stmt_finish().unwrap();
-            db.insert_row("t", vec![Value::Null, Value::Float(2.5)]).unwrap();
+            db.insert_row("t", vec![Value::Null, Value::Float(2.5)])
+                .unwrap();
             db.stmt_finish().unwrap();
         }
         // Reopen: WAL replay restores everything.
@@ -910,7 +937,8 @@ mod tests {
             assert_eq!(db.table("t").unwrap().len(), 2);
             // Checkpoint, add more, reopen again: snapshot + WAL combine.
             db.checkpoint().unwrap();
-            db.insert_row("t", vec![Value::Null, Value::Float(9.0)]).unwrap();
+            db.insert_row("t", vec![Value::Null, Value::Float(9.0)])
+                .unwrap();
             db.stmt_finish().unwrap();
         }
         {

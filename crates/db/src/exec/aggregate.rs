@@ -76,15 +76,13 @@ impl Accumulator {
                     DbError::Eval(format!("{} of non-numeric value {v}", self.func.name()))
                 })?;
                 match v {
-                    Value::Int(i) if self.int_exact => {
-                        match self.int_sum.checked_add(*i) {
-                            Some(s) => self.int_sum = s,
-                            None => {
-                                self.int_exact = false;
-                                self.float_sum = self.int_sum as f64 + *i as f64;
-                            }
+                    Value::Int(i) if self.int_exact => match self.int_sum.checked_add(*i) {
+                        Some(s) => self.int_sum = s,
+                        None => {
+                            self.int_exact = false;
+                            self.float_sum = self.int_sum as f64 + *i as f64;
                         }
-                    }
+                    },
                     _ => {
                         if self.int_exact {
                             self.float_sum = self.int_sum as f64;

@@ -67,7 +67,9 @@ impl Layout {
     pub fn resolve(&self, table: Option<&str>, column: &str) -> Result<usize> {
         match table {
             Some(t) => {
-                let (start, len) = self.binding_span(t).ok_or_else(|| DbError::NoSuchTable(t.to_string()))?;
+                let (start, len) = self
+                    .binding_span(t)
+                    .ok_or_else(|| DbError::NoSuchTable(t.to_string()))?;
                 for i in 0..len {
                     if self.flat[start + i].1.eq_ignore_ascii_case(column) {
                         return Ok(start + i);
@@ -205,11 +207,9 @@ pub fn eval(expr: &Expr, env: &Env<'_>) -> Result<Value> {
             "aggregate {} used outside of an aggregating query",
             func.name()
         ))),
-        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) | Expr::Exists { .. } => {
-            Err(DbError::Eval(
-                "subquery was not resolved before evaluation".into(),
-            ))
-        }
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) | Expr::Exists { .. } => Err(
+            DbError::Eval("subquery was not resolved before evaluation".into()),
+        ),
         Expr::Function { name, args } => eval_function(name, args, env),
         Expr::Case {
             branches,
@@ -355,9 +355,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|k| rec(&t[k..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|k| rec(&t[k..], rest)),
             Some(('_', rest)) => match t.split_first() {
                 Some((_, t_rest)) => rec(t_rest, rest),
                 None => false,
@@ -414,8 +412,12 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
         "ceil" | "ceiling" => numeric1(f64::ceil),
         "round" => {
             if vals.len() == 2 {
-                let x = vals[0].as_float().ok_or_else(|| DbError::Eval("round of non-numeric".into()))?;
-                let d = vals[1].as_int().ok_or_else(|| DbError::Eval("round digits must be integer".into()))?;
+                let x = vals[0]
+                    .as_float()
+                    .ok_or_else(|| DbError::Eval("round of non-numeric".into()))?;
+                let d = vals[1]
+                    .as_int()
+                    .ok_or_else(|| DbError::Eval("round digits must be integer".into()))?;
                 let m = 10f64.powi(d as i32);
                 Ok(Value::Float((x * m).round() / m))
             } else {
@@ -427,8 +429,12 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
             if vals[0].is_null() || vals[1].is_null() {
                 return Ok(Value::Null);
             }
-            let a = vals[0].as_float().ok_or_else(|| DbError::Eval("power of non-numeric".into()))?;
-            let b = vals[1].as_float().ok_or_else(|| DbError::Eval("power of non-numeric".into()))?;
+            let a = vals[0]
+                .as_float()
+                .ok_or_else(|| DbError::Eval("power of non-numeric".into()))?;
+            let b = vals[1]
+                .as_float()
+                .ok_or_else(|| DbError::Eval("power of non-numeric".into()))?;
             Ok(Value::Float(a.powf(b)))
         }
         "lower" => {
@@ -534,8 +540,8 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse_statement;
     use crate::sql::ast::{Projection, Statement};
+    use crate::sql::parser::parse_statement;
 
     /// Evaluate a scalar SQL expression with no row context.
     fn eval_sql(expr_sql: &str) -> Result<Value> {
@@ -596,7 +602,10 @@ mod tests {
         assert_eq!(eval_sql("5 NOT IN (1, 2)").unwrap(), Value::Bool(true));
         assert_eq!(eval_sql("5 IN (1, NULL)").unwrap(), Value::Null);
         assert_eq!(eval_sql("2 BETWEEN 1 AND 3").unwrap(), Value::Bool(true));
-        assert_eq!(eval_sql("0 NOT BETWEEN 1 AND 3").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_sql("0 NOT BETWEEN 1 AND 3").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_sql("NULL BETWEEN 1 AND 3").unwrap(), Value::Null);
     }
 
@@ -653,10 +662,7 @@ mod tests {
             eval_sql("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END").unwrap(),
             Value::Text("b".into())
         );
-        assert_eq!(
-            eval_sql("CASE WHEN FALSE THEN 1 END").unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_sql("CASE WHEN FALSE THEN 1 END").unwrap(), Value::Null);
         assert_eq!(eval_sql("CAST('42' AS INTEGER)").unwrap(), Value::Int(42));
         assert_eq!(
             eval_sql("CAST(42 AS TEXT)").unwrap(),

@@ -13,12 +13,27 @@ use crate::value::Value;
 use eval::{Env, Layout};
 
 /// A query result: column names plus rows of values.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Also carries execution provenance (`rows_scanned`, `elapsed`) filled
+/// in by the SELECT executor. Provenance is advisory — it does not
+/// participate in equality, so result sets compare by visible data only.
+#[derive(Debug, Clone, Default)]
 pub struct ResultSet {
     /// Output column names, in projection order.
     pub columns: Vec<String>,
     /// Result rows.
     pub rows: Vec<Row>,
+    /// Rows the executor materialized from base tables (after index
+    /// pruning, before WHERE filtering); a selectivity denominator.
+    pub rows_scanned: u64,
+    /// Wall-clock time spent executing the SELECT.
+    pub elapsed: std::time::Duration,
+}
+
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl ResultSet {
@@ -130,6 +145,7 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             Ok(Outcome::Rows(ResultSet {
                 columns: vec!["plan".to_string()],
                 rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                ..ResultSet::default()
             }))
         }
         Statement::Select(sel) => Ok(Outcome::Rows(select::execute_select(db, sel, params)?)),
@@ -314,6 +330,7 @@ fn execute_update(
         .as_ref()
         .map(|w| select::resolve_subqueries(db, w, params))
         .transpose()?;
+    #[allow(clippy::type_complexity)]
     let (layout, assignments, targets): (Layout, Vec<(usize, Expr)>, Vec<(RowId, Row)>) = {
         let t = db.table(&upd.table)?;
         let layout = Layout::single(

@@ -71,7 +71,7 @@ pub(crate) fn resolve_subqueries(db: &Database, expr: &Expr, params: &[Value]) -
         }
         Expr::Exists { select, negated } => {
             let rs = execute_select(db, select, params)?;
-            Expr::Literal(Value::Bool(!rs.rows.is_empty() != *negated))
+            Expr::Literal(Value::Bool(rs.rows.is_empty() == *negated))
         }
         Expr::Unary { op, operand } => Expr::Unary {
             op: *op,
@@ -206,6 +206,7 @@ fn resolve_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Selec
 
 /// Execute a SELECT.
 pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
+    let started = std::time::Instant::now();
     // Uncorrelated subqueries run once, up front.
     let resolved;
     let sel = if select_has_subqueries(sel) {
@@ -218,6 +219,10 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
     let (layout, mut rows) = match &sel.from {
         None => (Layout::default(), vec![Vec::new()]),
         Some(base) => scan_and_join(db, base, sel, params)?,
+    };
+    let rows_scanned = match &sel.from {
+        None => 0,
+        Some(_) => rows.len() as u64,
     };
 
     // WHERE
@@ -262,6 +267,8 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
     if let Some(limit) = sel.limit {
         out.rows.truncate(limit as usize);
     }
+    out.rows_scanned = rows_scanned;
+    out.elapsed = started.elapsed();
     Ok(out)
 }
 
@@ -333,10 +340,7 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
         ));
     }
     // joins, left-to-right, using the same equi-detection
-    let mut bindings = vec![(
-        base_binding.clone(),
-        base_cols.clone(),
-    )];
+    let mut bindings = vec![(base_binding.clone(), base_cols.clone())];
     for join in &sel.joins {
         let right_table = db.table(&join.table.table)?;
         let right_binding = join.table.effective_name().to_string();
@@ -403,10 +407,7 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
         lines.push(format!("sort: {} key(s)", sel.order_by.len()));
     }
     if sel.limit.is_some() || sel.offset.is_some() {
-        lines.push(format!(
-            "limit {:?} offset {:?}",
-            sel.limit, sel.offset
-        ));
+        lines.push(format!("limit {:?} offset {:?}", sel.limit, sel.offset));
     }
     Ok(lines)
 }
@@ -426,9 +427,7 @@ fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>
     match expr {
         Expr::Column { table, column } => out.push((table.as_deref(), column)),
         Expr::Literal(_) | Expr::Param(_) => {}
-        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => {
-            collect_columns(operand, out)
-        }
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => collect_columns(operand, out),
         Expr::Binary { left, right, .. } => {
             collect_columns(left, out);
             collect_columns(right, out);
@@ -479,7 +478,7 @@ fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>
 /// requires everything. Used for projection pruning: unneeded columns are
 /// masked to NULL at materialization time, which avoids cloning large
 /// strings from dimension tables into every joined fact row.
-fn needed_columns<'a>(sel: &'a Select) -> Option<Vec<(Option<&'a str>, &'a str)>> {
+fn needed_columns(sel: &Select) -> Option<Vec<(Option<&str>, &str)>> {
     let mut out = Vec::new();
     for p in &sel.projections {
         match p {
@@ -521,8 +520,7 @@ fn column_mask(
         .iter()
         .map(|col| {
             needed.iter().any(|(t, c)| {
-                c.eq_ignore_ascii_case(col)
-                    && t.is_none_or(|t| t.eq_ignore_ascii_case(binding))
+                c.eq_ignore_ascii_case(col) && t.is_none_or(|t| t.eq_ignore_ascii_case(binding))
             })
         })
         .collect();
@@ -568,13 +566,8 @@ fn scan_and_join(
                 .map(|c| c.name.clone())
                 .collect(),
         );
-        let candidates = index_candidates(
-            base_table,
-            &base_binding,
-            &layout1,
-            where_clause,
-            params,
-        )?;
+        let candidates =
+            index_candidates(base_table, &base_binding, &layout1, where_clause, params)?;
         // Push down every WHERE conjunct that references only base-table
         // columns, *before* materializing rows for the join — this keeps
         // filtered scans over million-row fact tables from cloning the
@@ -656,11 +649,13 @@ fn scan_and_join(
         let right_mask = column_mask(&right_binding, &right_cols, &needed);
         let extend_masked = |row: &mut Row, r: &Row| match &right_mask {
             None => row.extend(r.iter().cloned()),
-            Some(mask) => row.extend(
-                r.iter()
-                    .zip(mask)
-                    .map(|(v, &keep)| if keep { v.clone() } else { Value::Null }),
-            ),
+            Some(mask) => {
+                row.extend(
+                    r.iter()
+                        .zip(mask)
+                        .map(|(v, &keep)| if keep { v.clone() } else { Value::Null }),
+                )
+            }
         };
 
         let mut joined: Vec<Row> = Vec::new();
@@ -692,11 +687,7 @@ fn scan_and_join(
                     }
                     for l in &rows {
                         let key = &l[l_off];
-                        let matches = if key.is_null() {
-                            None
-                        } else {
-                            table.get(key)
-                        };
+                        let matches = if key.is_null() { None } else { table.get(key) };
                         match matches {
                             Some(ms) if !ms.is_empty() => {
                                 for m in ms {
@@ -812,9 +803,7 @@ fn refs_only_layout(expr: &Expr, layout: &Layout) -> bool {
                 && refs_only_layout(low, layout)
                 && refs_only_layout(high, layout)
         }
-        Expr::Aggregate { arg, .. } => arg
-            .as_ref()
-            .is_none_or(|a| refs_only_layout(a, layout)),
+        Expr::Aggregate { arg, .. } => arg.as_ref().is_none_or(|a| refs_only_layout(a, layout)),
         Expr::Function { args, .. } => args.iter().all(|e| refs_only_layout(e, layout)),
         Expr::Case {
             branches,
@@ -1001,12 +990,7 @@ fn expand_projections(sel: &Select, layout: &Layout) -> Result<Vec<(String, Expr
     Ok(out)
 }
 
-fn plain_path(
-    sel: &Select,
-    layout: &Layout,
-    rows: &[Row],
-    params: &[Value],
-) -> Result<ResultSet> {
+fn plain_path(sel: &Select, layout: &Layout, rows: &[Row], params: &[Value]) -> Result<ResultSet> {
     let projections = expand_projections(sel, layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
 
@@ -1029,6 +1013,7 @@ fn plain_path(
     Ok(ResultSet {
         columns,
         rows: out_rows,
+        ..ResultSet::default()
     })
 }
 
@@ -1038,7 +1023,7 @@ fn plain_path(
 fn collect_aggregates<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
     match expr {
         Expr::Aggregate { .. } => {
-            if !out.iter().any(|e| *e == expr) {
+            if !out.contains(&expr) {
                 out.push(expr);
             }
         }
@@ -1193,9 +1178,7 @@ fn aggregate_path(
         let mut accs: Vec<Accumulator> = aggs
             .iter()
             .map(|a| match a {
-                Expr::Aggregate {
-                    func, distinct, ..
-                } => Accumulator::new(*func, *distinct),
+                Expr::Aggregate { func, distinct, .. } => Accumulator::new(*func, *distinct),
                 _ => unreachable!("collect_aggregates only collects aggregates"),
             })
             .collect();
@@ -1268,6 +1251,7 @@ fn aggregate_path(
     Ok(ResultSet {
         columns,
         rows: out_rows.into_iter().map(|(_, r)| r).collect(),
+        ..ResultSet::default()
     })
 }
 

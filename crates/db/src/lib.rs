@@ -51,6 +51,7 @@ pub mod database;
 mod error;
 pub mod exec;
 pub mod index;
+pub mod observe;
 pub mod schema;
 pub mod sql;
 pub mod storage;
@@ -61,6 +62,7 @@ pub use connection::{Connection, Prepared, TransactionHandle};
 pub use database::Database;
 pub use error::{DbError, Result};
 pub use exec::{Outcome, ResultSet};
+pub use observe::{set_slow_query_threshold, slow_query_threshold};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, RowId, Table};
 pub use value::{DataType, Value};

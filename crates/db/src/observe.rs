@@ -1,0 +1,108 @@
+//! Telemetry for statement execution: latency histograms, row counters,
+//! and the slow-query log.
+//!
+//! Every statement executed through [`crate::Connection`] (directly or
+//! inside a transaction) passes through [`record_statement`], which
+//! feeds `db.*` metrics in the global `perfdmf_telemetry` registry:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `db.statement_latency_ns` | histogram | parse-excluded execution latency |
+//! | `db.statements`           | counter   | statements executed |
+//! | `db.statement_errors`     | counter   | statements that returned an error |
+//! | `db.rows_returned`        | counter   | SELECT rows handed to callers |
+//! | `db.rows_scanned`         | counter   | base-table rows materialized by SELECTs |
+//! | `db.rows_affected`        | counter   | rows touched by DML |
+//! | `db.slow_queries`         | counter   | statements at/over the threshold |
+//!
+//! Statements slower than the configurable threshold additionally emit a
+//! `slow_query` structured event carrying the SQL text (truncated),
+//! latency, and row counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::exec::Outcome;
+use perfdmf_telemetry as telemetry;
+
+/// Default slow-query threshold: 50ms.
+const DEFAULT_SLOW_QUERY_NS: u64 = 50_000_000;
+
+/// Longest SQL prefix included in a `slow_query` event.
+const SQL_SNIPPET_LEN: usize = 512;
+
+static SLOW_QUERY_THRESHOLD_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_QUERY_NS);
+
+/// Statements at or above this duration emit a `slow_query` event.
+pub fn slow_query_threshold() -> Duration {
+    Duration::from_nanos(SLOW_QUERY_THRESHOLD_NS.load(Ordering::Relaxed))
+}
+
+/// Change the slow-query threshold process-wide. `Duration::ZERO` logs
+/// every statement; `Duration::MAX`-ish values disable the log.
+pub fn set_slow_query_threshold(threshold: Duration) {
+    let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+    SLOW_QUERY_THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Record one executed statement into the telemetry registry and, when
+/// slow, the event log. No-op while telemetry is disabled.
+pub fn record_statement(sql: &str, outcome: &Result<Outcome>, elapsed: Duration) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::record_duration("db.statement_latency_ns", elapsed);
+    telemetry::add("db.statements", 1);
+
+    let (rows_returned, rows_scanned, rows_affected) = match outcome {
+        Ok(Outcome::Rows(rs)) => (rs.rows.len() as u64, rs.rows_scanned, 0),
+        Ok(Outcome::Affected { count, .. }) => (0, 0, *count as u64),
+        Ok(Outcome::Done) => (0, 0, 0),
+        Err(_) => {
+            telemetry::add("db.statement_errors", 1);
+            (0, 0, 0)
+        }
+    };
+    telemetry::add("db.rows_returned", rows_returned);
+    telemetry::add("db.rows_scanned", rows_scanned);
+    telemetry::add("db.rows_affected", rows_affected);
+
+    if elapsed >= slow_query_threshold() {
+        telemetry::add("db.slow_queries", 1);
+        let snippet: String = if sql.len() > SQL_SNIPPET_LEN {
+            let mut end = SQL_SNIPPET_LEN;
+            while !sql.is_char_boundary(end) {
+                end -= 1;
+            }
+            format!("{}…", &sql[..end])
+        } else {
+            sql.to_string()
+        };
+        telemetry::emit(
+            telemetry::Event::new(telemetry::Severity::Warn, "slow_query")
+                .field("sql", snippet)
+                .field(
+                    "elapsed_ns",
+                    elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                )
+                .field("rows_returned", rows_returned)
+                .field("rows_scanned", rows_scanned)
+                .field("rows_affected", rows_affected)
+                .field("ok", u64::from(outcome.is_ok())),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_configurable() {
+        let before = slow_query_threshold();
+        set_slow_query_threshold(Duration::from_millis(7));
+        assert_eq!(slow_query_threshold(), Duration::from_millis(7));
+        set_slow_query_threshold(before);
+    }
+}

@@ -192,10 +192,12 @@ impl TableSchema {
 
     /// Remove a column (ALTER TABLE DROP COLUMN). Returns its old index.
     pub fn drop_column(&mut self, name: &str) -> Result<usize> {
-        let idx = self.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
-            table: self.name.clone(),
-            column: name.to_string(),
-        })?;
+        let idx = self
+            .column_index(name)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })?;
         if self.columns[idx].primary_key {
             return Err(DbError::Unsupported(format!(
                 "cannot drop primary key column {name}"
@@ -276,7 +278,8 @@ mod tests {
     #[test]
     fn alter_add_and_drop() {
         let mut s = TableSchema::new("trial", vec![id()]).unwrap();
-        s.add_column(ColumnDef::new("compiler", DataType::Text)).unwrap();
+        s.add_column(ColumnDef::new("compiler", DataType::Text))
+            .unwrap();
         assert_eq!(s.columns.len(), 2);
         assert!(s
             .add_column(ColumnDef::new("compiler", DataType::Text))

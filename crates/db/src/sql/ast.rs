@@ -316,9 +316,7 @@ impl Expr {
                 branches
                     .iter()
                     .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
-                    || else_branch
-                        .as_ref()
-                        .is_some_and(|e| e.contains_aggregate())
+                    || else_branch.as_ref().is_some_and(|e| e.contains_aggregate())
             }
         }
     }

@@ -46,13 +46,70 @@ pub enum TokenKind {
 
 /// Reserved words recognized as keywords.
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET",
-    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "DROP", "ALTER",
-    "ADD", "COLUMN", "INDEX", "ON", "PRIMARY", "KEY", "NOT", "NULL", "UNIQUE", "DEFAULT",
-    "REFERENCES", "FOREIGN", "AUTO_INCREMENT", "AND", "OR", "IN", "IS", "LIKE", "BETWEEN", "AS",
-    "JOIN", "INNER", "LEFT", "OUTER", "CROSS", "DISTINCT", "BEGIN", "COMMIT", "ROLLBACK",
-    "TRANSACTION", "IF", "EXISTS", "CASE", "WHEN", "THEN", "ELSE", "END", "TRUE", "FALSE",
-    "CAST", "UNION", "ALL", "EXPLAIN",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "DROP",
+    "ALTER",
+    "ADD",
+    "COLUMN",
+    "INDEX",
+    "ON",
+    "PRIMARY",
+    "KEY",
+    "NOT",
+    "NULL",
+    "UNIQUE",
+    "DEFAULT",
+    "REFERENCES",
+    "FOREIGN",
+    "AUTO_INCREMENT",
+    "AND",
+    "OR",
+    "IN",
+    "IS",
+    "LIKE",
+    "BETWEEN",
+    "AS",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "OUTER",
+    "CROSS",
+    "DISTINCT",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION",
+    "IF",
+    "EXISTS",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "TRUE",
+    "FALSE",
+    "CAST",
+    "UNION",
+    "ALL",
+    "EXPLAIN",
 ];
 
 /// Tokenize SQL text.
@@ -147,9 +204,9 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         j += 1;
                     } else if (b == 'e' || b == 'E')
                         && j > i
-                        && bytes.get(j + 1).is_some_and(|&n| {
-                            n.is_ascii_digit() || n == b'+' || n == b'-'
-                        })
+                        && bytes
+                            .get(j + 1)
+                            .is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
                     {
                         is_float = true;
                         j += 2;
@@ -291,31 +348,29 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 });
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token {
-                            kind: TokenKind::LtEq,
-                            pos,
-                        });
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token {
-                            kind: TokenKind::NotEq,
-                            pos,
-                        });
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token {
-                            kind: TokenKind::Lt,
-                            pos,
-                        });
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        pos,
+                    });
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token {
@@ -442,7 +497,10 @@ mod tests {
     fn quoted_identifiers() {
         assert_eq!(
             kinds(r#""Mixed Case Col""#),
-            vec![TokenKind::QuotedIdent("Mixed Case Col".into()), TokenKind::Eof]
+            vec![
+                TokenKind::QuotedIdent("Mixed Case Col".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -113,9 +113,7 @@ impl Parser {
             TokenKind::QuotedIdent(s) => Ok(s),
             // Non-reserved usage of keywords as identifiers is common for
             // column names like "key"; allow a few safe ones.
-            TokenKind::Keyword(k)
-                if matches!(k.as_str(), "KEY" | "INDEX" | "COLUMN" | "ALL") =>
-            {
+            TokenKind::Keyword(k) if matches!(k.as_str(), "KEY" | "INDEX" | "COLUMN" | "ALL") => {
                 Ok(k.to_ascii_lowercase())
             }
             other => {
@@ -291,9 +289,7 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.identifier("alias")?)
-        } else if matches!(self.peek(), TokenKind::Ident(_)) {
+        let alias = if self.eat_keyword("AS") || matches!(self.peek(), TokenKind::Ident(_)) {
             Some(self.identifier("alias")?)
         } else {
             None
@@ -303,9 +299,7 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let table = self.identifier("table name")?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.identifier("table alias")?)
-        } else if matches!(self.peek(), TokenKind::Ident(_)) {
+        let alias = if self.eat_keyword("AS") || matches!(self.peek(), TokenKind::Ident(_)) {
             Some(self.identifier("table alias")?)
         } else {
             None
@@ -884,7 +878,10 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let s = parse_statement("SELECT id, name FROM application WHERE id = 3 ORDER BY name DESC LIMIT 10 OFFSET 2").unwrap();
+        let s = parse_statement(
+            "SELECT id, name FROM application WHERE id = 3 ORDER BY name DESC LIMIT 10 OFFSET 2",
+        )
+        .unwrap();
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.projections.len(), 2);
@@ -1009,7 +1006,10 @@ mod tests {
 
     #[test]
     fn parses_update_delete() {
-        let s = parse_statement("UPDATE trial SET name = 'x', node_count = node_count + 1 WHERE id = 9").unwrap();
+        let s = parse_statement(
+            "UPDATE trial SET name = 'x', node_count = node_count + 1 WHERE id = 9",
+        )
+        .unwrap();
         assert!(matches!(s, Statement::Update(_)));
         let s = parse_statement("DELETE FROM trial WHERE name LIKE 'tmp%'").unwrap();
         assert!(matches!(s, Statement::Delete(_)));
@@ -1033,7 +1033,10 @@ mod tests {
             parse_statement("DROP INDEX ix").unwrap(),
             Statement::DropIndex { .. }
         ));
-        assert!(matches!(parse_statement("BEGIN").unwrap(), Statement::Begin));
+        assert!(matches!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin
+        ));
         assert!(matches!(
             parse_statement("COMMIT TRANSACTION").unwrap(),
             Statement::Commit

@@ -29,19 +29,11 @@ const FORMAT_VERSION: u32 = 1;
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Row inserted at a specific slot.
-    Insert {
-        table: String,
-        id: RowId,
-        row: Row,
-    },
+    Insert { table: String, id: RowId, row: Row },
     /// Row deleted.
     Delete { table: String, id: RowId },
     /// Row replaced.
-    Update {
-        table: String,
-        id: RowId,
-        row: Row,
-    },
+    Update { table: String, id: RowId, row: Row },
     /// Table created.
     CreateTable { schema: TableSchema },
     /// Table dropped.
@@ -500,12 +492,14 @@ pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
     buf.advance(4);
     let version = buf.get_u32_le();
     if version != FORMAT_VERSION {
-        return Err(DbError::Corrupt(format!("unsupported WAL version {version}")));
+        return Err(DbError::Corrupt(format!(
+            "unsupported WAL version {version}"
+        )));
     }
     let mut all = Vec::new();
     let mut committed_len = 0usize;
     while buf.remaining() >= 4 {
-        let len = (&buf[..4]).to_vec();
+        let len = buf[..4].to_vec();
         let len = u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize;
         if buf.remaining() < 4 + len + 8 {
             break; // torn tail
@@ -793,11 +787,8 @@ mod tests {
         let mut wal = Wal::open(&path).unwrap();
         wal.append(&[WalRecord::Commit]).unwrap();
         let good_len = std::fs::metadata(&path).unwrap().len();
-        wal.append(&[
-            WalRecord::DropTable { name: "x".into() },
-            WalRecord::Commit,
-        ])
-        .unwrap();
+        wal.append(&[WalRecord::DropTable { name: "x".into() }, WalRecord::Commit])
+            .unwrap();
         drop(wal);
         // Flip a byte inside the second batch.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -874,10 +865,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            read_snapshot(&path),
-            Err(DbError::Corrupt(_))
-        ));
+        assert!(matches!(read_snapshot(&path), Err(DbError::Corrupt(_))));
         std::fs::remove_file(&path).unwrap();
     }
 }

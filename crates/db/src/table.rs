@@ -385,14 +385,17 @@ mod tests {
         let mut t = people();
         t.insert(vec![Value::Int(10), "x".into(), Value::Null])
             .unwrap();
-        let id = t.insert(vec![Value::Null, "y".into(), Value::Null]).unwrap();
+        let id = t
+            .insert(vec![Value::Null, "y".into(), Value::Null])
+            .unwrap();
         assert_eq!(t.row(id).unwrap()[0], Value::Int(11));
     }
 
     #[test]
     fn unique_violation() {
         let mut t = people();
-        t.insert(vec![Value::Int(1), "a".into(), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), "a".into(), Value::Null])
+            .unwrap();
         let err = t
             .insert(vec![Value::Int(1), "b".into(), Value::Null])
             .unwrap_err();
@@ -424,12 +427,17 @@ mod tests {
     #[test]
     fn delete_and_slot_reuse() {
         let mut t = people();
-        let a = t.insert(vec![Value::Null, "a".into(), Value::Null]).unwrap();
-        t.insert(vec![Value::Null, "b".into(), Value::Null]).unwrap();
+        let a = t
+            .insert(vec![Value::Null, "a".into(), Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Null, "b".into(), Value::Null])
+            .unwrap();
         t.delete(a).unwrap();
         assert_eq!(t.len(), 1);
         assert!(t.row(a).is_none());
-        let c = t.insert(vec![Value::Null, "c".into(), Value::Null]).unwrap();
+        let c = t
+            .insert(vec![Value::Null, "c".into(), Value::Null])
+            .unwrap();
         assert_eq!(c, a, "tombstone slot reused");
         assert!(t.delete(a).is_ok());
         assert!(t.delete(a).is_err(), "double delete");
@@ -464,7 +472,8 @@ mod tests {
     #[test]
     fn add_and_drop_column() {
         let mut t = people();
-        t.insert(vec![Value::Null, "a".into(), Value::Int(1)]).unwrap();
+        t.insert(vec![Value::Null, "a".into(), Value::Int(1)])
+            .unwrap();
         t.add_column(ColumnDef::new("city", DataType::Text).default_value("eugene"))
             .unwrap();
         assert_eq!(t.row(0).unwrap()[3], Value::Text("eugene".into()));
@@ -481,8 +490,10 @@ mod tests {
     #[test]
     fn create_unique_index_rejects_existing_dupes() {
         let mut t = people();
-        t.insert(vec![Value::Null, "a".into(), Value::Int(1)]).unwrap();
-        t.insert(vec![Value::Null, "b".into(), Value::Int(1)]).unwrap();
+        t.insert(vec![Value::Null, "a".into(), Value::Int(1)])
+            .unwrap();
+        t.insert(vec![Value::Null, "b".into(), Value::Int(1)])
+            .unwrap();
         assert!(t.create_index("u_age", "age", true).is_err());
         assert!(t.create_index("ix_age", "age", false).is_ok());
     }

@@ -226,7 +226,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -352,12 +352,15 @@ mod tests {
     fn cross_type_numeric_order() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
     fn null_sorts_first() {
-        let mut v = vec![Value::Int(1), Value::Null, Value::Text("a".into())];
+        let mut v = [Value::Int(1), Value::Null, Value::Text("a".into())];
         v.sort();
         assert!(v[0].is_null());
         assert_eq!(v[1], Value::Int(1));
@@ -380,8 +383,14 @@ mod tests {
 
     #[test]
     fn coercions() {
-        assert_eq!(Value::Int(3).coerce(DataType::Double), Some(Value::Float(3.0)));
-        assert_eq!(Value::Float(3.0).coerce(DataType::Integer), Some(Value::Int(3)));
+        assert_eq!(
+            Value::Int(3).coerce(DataType::Double),
+            Some(Value::Float(3.0))
+        );
+        assert_eq!(
+            Value::Float(3.0).coerce(DataType::Integer),
+            Some(Value::Int(3))
+        );
         assert_eq!(Value::Float(3.5).coerce(DataType::Integer), None);
         assert_eq!(
             Value::Text("42".into()).coerce(DataType::Integer),

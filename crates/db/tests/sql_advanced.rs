@@ -11,7 +11,9 @@ fn numbers(n: i64) -> Connection {
         &[],
     )
     .unwrap();
-    let ins = conn.prepare("INSERT INTO nums (k, v, s) VALUES (?, ?, ?)").unwrap();
+    let ins = conn
+        .prepare("INSERT INTO nums (k, v, s) VALUES (?, ?, ?)")
+        .unwrap();
     conn.transaction(|tx| {
         for i in 0..n {
             tx.execute_prepared(
@@ -70,8 +72,14 @@ fn case_in_group_by_and_aggregate_args() {
 #[test]
 fn null_arithmetic_and_grouping() {
     let conn = Connection::open_in_memory();
-    conn.execute("CREATE TABLE t (g INTEGER, x DOUBLE)", &[]).unwrap();
-    for (g, x) in [(Some(1), Some(1.0)), (Some(1), None), (None, Some(5.0)), (None, None)] {
+    conn.execute("CREATE TABLE t (g INTEGER, x DOUBLE)", &[])
+        .unwrap();
+    for (g, x) in [
+        (Some(1), Some(1.0)),
+        (Some(1), None),
+        (None, Some(5.0)),
+        (None, None),
+    ] {
         conn.insert(
             "INSERT INTO t VALUES (?, ?)",
             &[Value::from(g.map(|v| v as i64)), Value::from(x)],
@@ -80,7 +88,10 @@ fn null_arithmetic_and_grouping() {
     }
     // NULL group key forms its own group (grouping treats NULLs equal)
     let rs = conn
-        .query("SELECT g, COUNT(*), SUM(x) FROM t GROUP BY g ORDER BY g", &[])
+        .query(
+            "SELECT g, COUNT(*), SUM(x) FROM t GROUP BY g ORDER BY g",
+            &[],
+        )
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
     assert!(rs.rows[0][0].is_null());
@@ -88,12 +99,14 @@ fn null_arithmetic_and_grouping() {
     assert_eq!(rs.rows[0][2], Value::Float(5.0));
     // IS NULL filters
     assert_eq!(
-        conn.query_scalar("SELECT COUNT(*) FROM t WHERE x IS NULL", &[]).unwrap(),
+        conn.query_scalar("SELECT COUNT(*) FROM t WHERE x IS NULL", &[])
+            .unwrap(),
         Value::Int(2)
     );
     // comparisons with NULL match nothing
     assert_eq!(
-        conn.query_scalar("SELECT COUNT(*) FROM t WHERE x = x", &[]).unwrap(),
+        conn.query_scalar("SELECT COUNT(*) FROM t WHERE x = x", &[])
+            .unwrap(),
         Value::Int(2)
     );
 }
@@ -131,7 +144,10 @@ fn aggregate_over_empty_input() {
     let conn = Connection::open_in_memory();
     conn.execute("CREATE TABLE e (x INTEGER)", &[]).unwrap();
     let rs = conn
-        .query("SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x), STDDEV(x) FROM e", &[])
+        .query(
+            "SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x), STDDEV(x) FROM e",
+            &[],
+        )
         .unwrap();
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Int(0));
@@ -155,11 +171,13 @@ fn updates_and_deletes_maintain_indexes() {
         .unwrap();
     assert_eq!(moved, 10);
     assert_eq!(
-        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 3", &[]).unwrap(),
+        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 3", &[])
+            .unwrap(),
         Value::Int(0)
     );
     assert_eq!(
-        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 99", &[]).unwrap(),
+        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 99", &[])
+            .unwrap(),
         Value::Int(10)
     );
     // delete through the indexed predicate
@@ -168,7 +186,8 @@ fn updates_and_deletes_maintain_indexes() {
     assert_eq!(conn.row_count("nums").unwrap(), 90);
     // index still consistent for other keys
     assert_eq!(
-        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 4", &[]).unwrap(),
+        conn.query_scalar("SELECT COUNT(*) FROM nums WHERE k = 4", &[])
+            .unwrap(),
         Value::Int(10)
     );
 }
@@ -176,7 +195,8 @@ fn updates_and_deletes_maintain_indexes() {
 #[test]
 fn self_update_expression_reads_pre_update_values() {
     let conn = Connection::open_in_memory();
-    conn.execute("CREATE TABLE t (a INTEGER, b INTEGER)", &[]).unwrap();
+    conn.execute("CREATE TABLE t (a INTEGER, b INTEGER)", &[])
+        .unwrap();
     conn.insert("INSERT INTO t VALUES (1, 10)", &[]).unwrap();
     // a = b, b = a must swap, not cascade
     conn.update("UPDATE t SET a = b, b = a", &[]).unwrap();
@@ -187,7 +207,8 @@ fn self_update_expression_reads_pre_update_values() {
 #[test]
 fn large_group_by_many_groups() {
     let conn = Connection::open_in_memory();
-    conn.execute("CREATE TABLE t (g INTEGER, v INTEGER)", &[]).unwrap();
+    conn.execute("CREATE TABLE t (g INTEGER, v INTEGER)", &[])
+        .unwrap();
     let ins = conn.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
     conn.transaction(|tx| {
         for i in 0..5000i64 {
@@ -207,10 +228,14 @@ fn large_group_by_many_groups() {
 #[test]
 fn three_way_join_with_left_tail() {
     let conn = Connection::open_in_memory();
-    conn.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, name TEXT)", &[]).unwrap();
-    conn.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, a INTEGER)", &[]).unwrap();
-    conn.execute("CREATE TABLE c (id INTEGER PRIMARY KEY, b INTEGER)", &[]).unwrap();
-    conn.insert("INSERT INTO a VALUES (1, 'x'), (2, 'y')", &[]).unwrap();
+    conn.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, name TEXT)", &[])
+        .unwrap();
+    conn.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, a INTEGER)", &[])
+        .unwrap();
+    conn.execute("CREATE TABLE c (id INTEGER PRIMARY KEY, b INTEGER)", &[])
+        .unwrap();
+    conn.insert("INSERT INTO a VALUES (1, 'x'), (2, 'y')", &[])
+        .unwrap();
     conn.insert("INSERT INTO b VALUES (10, 1)", &[]).unwrap();
     conn.insert("INSERT INTO c VALUES (100, 10)", &[]).unwrap();
     let rs = conn
@@ -223,7 +248,10 @@ fn three_way_join_with_left_tail() {
         )
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
-    assert_eq!(rs.rows[0], vec![Value::from("x"), Value::Int(10), Value::Int(100)]);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::from("x"), Value::Int(10), Value::Int(100)]
+    );
     assert_eq!(rs.rows[1], vec![Value::from("y"), Value::Null, Value::Null]);
 }
 
@@ -231,9 +259,15 @@ fn three_way_join_with_left_tail() {
 fn pushdown_preserves_left_join_semantics() {
     // a base-only conjunct must not change LEFT JOIN padding behaviour
     let conn = Connection::open_in_memory();
-    conn.execute("CREATE TABLE l (id INTEGER, tag TEXT)", &[]).unwrap();
-    conn.execute("CREATE TABLE r (lid INTEGER, v INTEGER)", &[]).unwrap();
-    conn.insert("INSERT INTO l VALUES (1, 'keep'), (2, 'keep'), (3, 'drop')", &[]).unwrap();
+    conn.execute("CREATE TABLE l (id INTEGER, tag TEXT)", &[])
+        .unwrap();
+    conn.execute("CREATE TABLE r (lid INTEGER, v INTEGER)", &[])
+        .unwrap();
+    conn.insert(
+        "INSERT INTO l VALUES (1, 'keep'), (2, 'keep'), (3, 'drop')",
+        &[],
+    )
+    .unwrap();
     conn.insert("INSERT INTO r VALUES (1, 100)", &[]).unwrap();
     let rs = conn
         .query(
@@ -262,7 +296,8 @@ fn functions_compose() {
         .unwrap();
     assert_eq!(rs.get(0, "tag"), Some(&Value::from("ROW-0")));
     assert_eq!(
-        conn.query_scalar("SELECT ROUND(SQRT(ABS(-16)), 0)", &[]).unwrap(),
+        conn.query_scalar("SELECT ROUND(SQRT(ABS(-16)), 0)", &[])
+            .unwrap(),
         Value::Float(4.0)
     );
 }
@@ -361,10 +396,7 @@ fn mixed_readers_and_writers_under_transactions() {
                 // transaction effects must be atomic: the v-bump and the
                 // row insert arrive together
                 let rs = c
-                    .query(
-                        "SELECT COUNT(*) - 50 AS inserted, SUM(v) FROM nums",
-                        &[],
-                    )
+                    .query("SELECT COUNT(*) - 50 AS inserted, SUM(v) FROM nums", &[])
                     .unwrap();
                 let inserted = rs.rows[0][0].as_int().unwrap();
                 assert!((0..=20).contains(&inserted));

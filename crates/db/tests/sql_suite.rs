@@ -153,10 +153,7 @@ fn group_by_having_aggregates() {
 fn stddev_matches_manual() {
     let conn = seeded();
     let rs = conn
-        .query(
-            "SELECT STDDEV(time) FROM trial WHERE experiment = 1",
-            &[],
-        )
+        .query("SELECT STDDEV(time) FROM trial WHERE experiment = 1", &[])
         .unwrap();
     // sample stddev of [100, 52, 28, 16]
     let xs = [100.0f64, 52.0, 28.0, 16.0];
@@ -227,7 +224,9 @@ fn update_and_delete_with_where() {
         .query("SELECT time FROM trial WHERE name = 'p1'", &[])
         .unwrap();
     assert_eq!(rs.scalar(), Some(&Value::Float(200.0)));
-    let n = conn.update("DELETE FROM trial WHERE time IS NULL", &[]).unwrap();
+    let n = conn
+        .update("DELETE FROM trial WHERE time IS NULL", &[])
+        .unwrap();
     assert_eq!(n, 1);
     assert_eq!(conn.row_count("trial").unwrap(), 5);
 }
@@ -292,7 +291,10 @@ fn flexible_schema_alter_table() {
         .unwrap();
     let cols = conn.table_meta("experiment").unwrap();
     let names: Vec<_> = cols.iter().map(|c| c.name.as_str()).collect();
-    assert_eq!(names, vec!["id", "application", "name", "compiler", "os_version"]);
+    assert_eq!(
+        names,
+        vec!["id", "application", "name", "compiler", "os_version"]
+    );
     // Existing rows picked up the default.
     let rs = conn
         .query("SELECT compiler FROM experiment WHERE id = 1", &[])
@@ -367,7 +369,8 @@ fn scalar_select_without_from() {
         Value::Int(42)
     );
     assert_eq!(
-        conn.query_scalar("SELECT UPPER('tau') || '-db'", &[]).unwrap(),
+        conn.query_scalar("SELECT UPPER('tau') || '-db'", &[])
+            .unwrap(),
         Value::Text("TAU-db".into())
     );
 }
@@ -383,7 +386,10 @@ fn table_wildcards() {
         .unwrap();
     assert_eq!(rs.columns.len(), 6);
     let rs2 = conn.query("SELECT * FROM trial WHERE id = 1", &[]).unwrap();
-    assert_eq!(rs2.columns, vec!["id", "experiment", "name", "node_count", "time"]);
+    assert_eq!(
+        rs2.columns,
+        vec!["id", "experiment", "name", "node_count", "time"]
+    );
 }
 
 #[test]
@@ -416,7 +422,10 @@ fn error_on_unknown_entities() {
         Err(DbError::NoSuchColumn { .. })
     ));
     assert!(matches!(
-        conn.query("SELECT id FROM trial t JOIN experiment e ON t.experiment = e.id", &[]),
+        conn.query(
+            "SELECT id FROM trial t JOIN experiment e ON t.experiment = e.id",
+            &[]
+        ),
         Err(DbError::AmbiguousColumn(_))
     ));
 }
@@ -559,10 +568,7 @@ fn scalar_subqueries() {
     assert_eq!(rs.get(0, "over_best"), Some(&Value::Float(0.0)));
     // empty scalar subquery yields NULL
     let v = conn
-        .query_scalar(
-            "SELECT (SELECT time FROM trial WHERE name = 'nope')",
-            &[],
-        )
+        .query_scalar("SELECT (SELECT time FROM trial WHERE name = 'nope')", &[])
         .unwrap();
     assert!(v.is_null());
     // more than one row is an error
@@ -638,7 +644,10 @@ fn explain_reports_plan_decisions() {
     let rs = conn
         .query("EXPLAIN DELETE FROM trial WHERE id = 1", &[])
         .unwrap();
-    assert!(rs.rows[0][0].as_text().unwrap().contains("delete from trial"));
+    assert!(rs.rows[0][0]
+        .as_text()
+        .unwrap()
+        .contains("delete from trial"));
     assert_eq!(conn.row_count("trial").unwrap(), before);
 }
 
@@ -650,9 +659,7 @@ fn concurrent_readers_one_writer() {
         let c = conn.clone();
         handles.push(std::thread::spawn(move || {
             for _ in 0..50 {
-                let rs = c
-                    .query("SELECT COUNT(*) FROM trial", &[])
-                    .unwrap();
+                let rs = c.query("SELECT COUNT(*) FROM trial", &[]).unwrap();
                 let n = rs.scalar().unwrap().as_int().unwrap();
                 assert!(n >= 6, "thread {i} saw {n}");
             }
@@ -678,7 +685,10 @@ fn concurrent_readers_one_writer() {
 fn result_set_rendering() {
     let conn = seeded();
     let rs = conn
-        .query("SELECT name, node_count FROM trial WHERE id <= 2 ORDER BY id", &[])
+        .query(
+            "SELECT name, node_count FROM trial WHERE id <= 2 ORDER BY id",
+            &[],
+        )
         .unwrap();
     let s = rs.to_table_string();
     assert!(s.contains("name"));

@@ -134,10 +134,7 @@ fn checkpoint_cycling_under_writes() {
         for cycle in 0..8 {
             conn.transaction(|tx| {
                 for i in 0..100 {
-                    tx.execute_prepared(
-                        &ins,
-                        &[Value::Int(i % 4), Value::Float(cycle as f64)],
-                    )?;
+                    tx.execute_prepared(&ins, &[Value::Int(i % 4), Value::Float(cycle as f64)])?;
                 }
                 Ok(())
             })
@@ -159,20 +156,15 @@ fn checkpoint_cycling_under_writes() {
         assert_eq!(n, expected);
         // index functional after recovery
         let s0: i64 = conn
-            .query_scalar(
-                "SELECT COUNT(*) FROM samples WHERE series = 0",
-                &[],
-            )
+            .query_scalar("SELECT COUNT(*) FROM samples WHERE series = 0", &[])
             .unwrap()
             .as_int()
             .unwrap();
         assert_eq!(s0, expected / 4);
-        conn.insert(
-            "INSERT INTO samples (series, v) VALUES (0, -1.0)",
-            &[],
-        )
-        .unwrap();
-        conn.update("DELETE FROM samples WHERE v = -1.0", &[]).unwrap();
+        conn.insert("INSERT INTO samples (series, v) VALUES (0, -1.0)", &[])
+            .unwrap();
+        conn.update("DELETE FROM samples WHERE v = -1.0", &[])
+            .unwrap();
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,133 @@
+//! End-to-end checks that statements executed through [`Connection`]
+//! feed the telemetry registry and the slow-query log.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use perfdmf_db::{set_slow_query_threshold, Connection, Value};
+use perfdmf_telemetry as telemetry;
+
+fn seeded_connection() -> Connection {
+    let conn = Connection::open_in_memory();
+    conn.execute(
+        "CREATE TABLE trial (id INTEGER PRIMARY KEY AUTO_INCREMENT, name TEXT, node_count INTEGER)",
+        &[],
+    )
+    .unwrap();
+    for i in 0..32 {
+        conn.insert(
+            "INSERT INTO trial (name, node_count) VALUES (?, ?)",
+            &[Value::from(format!("t{i}")), Value::Int(i % 8)],
+        )
+        .unwrap();
+    }
+    conn
+}
+
+#[test]
+fn queries_record_spans_counters_and_latency() {
+    let conn = seeded_connection();
+
+    let latency = telemetry::histogram("db.statement_latency_ns");
+    let parse = telemetry::histogram("db.parse");
+    let exec = telemetry::histogram("db.exec");
+    let statements = telemetry::counter("db.statements");
+    let returned = telemetry::counter("db.rows_returned");
+    let scanned = telemetry::counter("db.rows_scanned");
+
+    let before = (
+        latency.count(),
+        parse.count(),
+        exec.count(),
+        statements.value(),
+        returned.value(),
+        scanned.value(),
+    );
+
+    let rs = conn
+        .query(
+            "SELECT name FROM trial WHERE node_count = ?",
+            &[Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(rs.len(), 4);
+    assert_eq!(rs.rows_scanned, 32, "full scan materialized every row");
+    assert!(rs.elapsed > Duration::ZERO);
+
+    assert!(latency.count() > before.0, "latency histogram recorded");
+    assert!(parse.count() > before.1, "db.parse span recorded");
+    assert!(exec.count() > before.2, "db.exec span recorded");
+    assert!(statements.value() > before.3);
+    assert!(returned.value() >= before.4 + 4);
+    assert!(scanned.value() >= before.5 + 32);
+}
+
+#[test]
+fn transaction_statements_are_recorded_too() {
+    let conn = seeded_connection();
+    let statements = telemetry::counter("db.statements");
+    let affected = telemetry::counter("db.rows_affected");
+    let before = (statements.value(), affected.value());
+
+    conn.transaction(|tx| {
+        let ins = conn.prepare("INSERT INTO trial (name, node_count) VALUES (?, ?)")?;
+        for i in 0..5 {
+            tx.insert_prepared(&ins, &[Value::from(format!("x{i}")), Value::Int(64)])?;
+        }
+        tx.execute(
+            "UPDATE trial SET node_count = 65 WHERE node_count = 64",
+            &[],
+        )?;
+        Ok(())
+    })
+    .unwrap();
+
+    assert!(statements.value() >= before.0 + 6);
+    assert!(
+        affected.value() >= before.1 + 10,
+        "5 inserts + 5 updated rows"
+    );
+}
+
+#[test]
+fn slow_queries_emit_structured_events() {
+    let conn = seeded_connection();
+    let sink = Arc::new(telemetry::RingBufferSink::new(4096));
+    telemetry::install_sink(sink.clone());
+
+    // Zero threshold: every statement is "slow".
+    set_slow_query_threshold(Duration::ZERO);
+    let marker = "SELECT name, node_count FROM trial WHERE id = 7";
+    conn.query(marker, &[]).unwrap();
+    set_slow_query_threshold(Duration::from_millis(50));
+
+    let events = sink.events();
+    let slow = events
+        .iter()
+        .find(|e| {
+            e.kind == "slow_query"
+                && matches!(e.get("sql"), Some(telemetry::FieldValue::Str(s)) if s == marker)
+        })
+        .expect("slow_query event for the marker statement");
+    assert!(matches!(
+        slow.get("rows_returned"),
+        Some(&telemetry::FieldValue::U64(1))
+    ));
+    assert!(
+        slow.span_path.contains("db.exec"),
+        "emitted inside the exec span"
+    );
+    let json = slow.to_json();
+    assert!(json.contains("\"kind\":\"slow_query\""), "{json}");
+
+    // Default threshold restored: an ordinary fast query adds no event.
+    let fast = "SELECT COUNT(*) FROM trial";
+    conn.query(fast, &[]).unwrap();
+    assert!(
+        !sink
+            .events()
+            .iter()
+            .any(|e| matches!(e.get("sql"), Some(telemetry::FieldValue::Str(s)) if s == fast)),
+        "fast query under threshold logged nothing"
+    );
+}

@@ -3,6 +3,7 @@
 use crate::protocol::{Request, Response};
 use crate::server::AnalysisServer;
 use crossbeam::channel::{bounded, Sender};
+use std::time::Instant;
 
 /// A client connected to an [`AnalysisServer`].
 ///
@@ -10,7 +11,7 @@ use crossbeam::channel::{bounded, Sender};
 /// by the server's worker pool.
 #[derive(Clone)]
 pub struct ExplorerClient {
-    tx: Sender<(Request, Sender<Response>)>,
+    tx: Sender<(Request, Sender<Response>, Instant)>,
 }
 
 impl ExplorerClient {
@@ -24,7 +25,7 @@ impl ExplorerClient {
     /// Send a request and block for the response.
     pub fn request(&self, request: Request) -> Response {
         let (rtx, rrx) = bounded(1);
-        if self.tx.send((request, rtx)).is_err() {
+        if self.tx.send((request, rtx, Instant::now())).is_err() {
             return Response::Error("analysis server is down".into());
         }
         rrx.recv()

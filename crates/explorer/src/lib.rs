@@ -110,7 +110,12 @@ mod tests {
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
             let x = i as f64;
             p.set_interval(e, t, m1, IntervalData::new(x, x, 1.0, 0.0));
-            p.set_interval(e, t, m2, IntervalData::new(2.0 * x + 1.0, 2.0 * x + 1.0, 1.0, 0.0));
+            p.set_interval(
+                e,
+                t,
+                m2,
+                IntervalData::new(2.0 * x + 1.0, 2.0 * x + 1.0, 1.0, 0.0),
+            );
             p.set_interval(e, t, m3, IntervalData::new(100.0 - x, 100.0 - x, 1.0, 0.0));
         }
         let trial = session.store_profile("app", "exp", &p).unwrap();
@@ -162,7 +167,12 @@ mod tests {
             pca_components: 0,
             method: ClusterMethod::Hierarchical,
         }) {
-            Response::Clustering { k, assignments, settings_id, .. } => {
+            Response::Clustering {
+                k,
+                assignments,
+                settings_id,
+                ..
+            } => {
                 assert_eq!(k, 2);
                 // persisted under the hierarchical method name
                 match client.fetch(settings_id) {
@@ -229,7 +239,12 @@ mod tests {
             let stable = p.add_event(IntervalEvent::ungrouped("stable"));
             let hot = p.add_event(IntervalEvent::ungrouped("hot_loop"));
             p.add_thread(ThreadId::ZERO);
-            p.set_interval(stable, ThreadId::ZERO, m, IntervalData::new(10.0, 10.0, 1.0, 0.0));
+            p.set_interval(
+                stable,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(10.0, 10.0, 1.0, 0.0),
+            );
             p.set_interval(
                 hot,
                 ThreadId::ZERO,

@@ -18,7 +18,9 @@ use perfdmf_analysis::{
 use perfdmf_core::load_trial;
 use perfdmf_db::{Connection, Value};
 use perfdmf_profile::IntervalField;
+use perfdmf_telemetry as telemetry;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// DDL for the analysis-result schema extension.
 pub const ANALYSIS_DDL: &[&str] = &[
@@ -37,7 +39,9 @@ pub const ANALYSIS_DDL: &[&str] = &[
         label TEXT)",
 ];
 
-type Job = (Request, Sender<Response>);
+/// A queued request: what to do, where to reply, and when it was
+/// submitted (for the `explorer.queue_wait_ns` histogram).
+type Job = (Request, Sender<Response>, Instant);
 
 /// A running analysis server with a pool of worker threads.
 pub struct AnalysisServer {
@@ -57,13 +61,34 @@ impl AnalysisServer {
             let rx = rx.clone();
             let conn = conn.clone();
             handles.push(std::thread::spawn(move || {
-                while let Ok((request, reply)) = rx.recv() {
+                while let Ok((request, reply, submitted)) = rx.recv() {
+                    if telemetry::enabled() {
+                        telemetry::record_duration("explorer.queue_wait_ns", submitted.elapsed());
+                        telemetry::record("explorer.queue_depth", rx.len() as u64);
+                    }
                     if request == Request::Shutdown {
                         let _ = reply.send(Response::ShuttingDown);
                         break;
                     }
-                    let response = handle(&conn, &request)
-                        .unwrap_or_else(|e| Response::Error(e.to_string()));
+                    let response = {
+                        let _span = telemetry::span("explorer.handle");
+                        let busy = telemetry::enabled().then(Instant::now);
+                        let response = handle(&conn, &request)
+                            .unwrap_or_else(|e| Response::Error(e.to_string()));
+                        if let Some(busy) = busy {
+                            let busy_ns = busy.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                            telemetry::add("explorer.requests", 1);
+                            telemetry::add("explorer.busy_ns", busy_ns);
+                            if matches!(response, Response::Error(_)) {
+                                telemetry::add("explorer.request_errors", 1);
+                            }
+                            telemetry::record_duration(
+                                "explorer.request_latency_ns",
+                                submitted.elapsed(),
+                            );
+                        }
+                        response
+                    };
                     let _ = reply.send(response);
                 }
             }));
@@ -83,7 +108,7 @@ impl AnalysisServer {
     pub fn shutdown(self) {
         for _ in &self.workers {
             let (rtx, _rrx) = unbounded();
-            let _ = self.tx.send((Request::Shutdown, rtx));
+            let _ = self.tx.send((Request::Shutdown, rtx, Instant::now()));
         }
         for h in self.workers {
             let _ = h.join();
@@ -100,10 +125,16 @@ fn handle(conn: &Connection, request: &Request) -> perfdmf_db::Result<Response> 
             max_k,
             pca_components,
             method,
-        } => cluster_trial(conn, *trial_id, features, *k, *max_k, *pca_components, *method),
-        Request::CorrelateMetrics { trial_id, event } => {
-            correlate_metrics(conn, *trial_id, event)
-        }
+        } => cluster_trial(
+            conn,
+            *trial_id,
+            features,
+            *k,
+            *max_k,
+            *pca_components,
+            *method,
+        ),
+        Request::CorrelateMetrics { trial_id, event } => correlate_metrics(conn, *trial_id, event),
         Request::FetchResult { settings_id } => fetch_result(conn, *settings_id),
         Request::SpeedupStudy {
             experiment_id,
@@ -209,7 +240,11 @@ fn extract_features(
                     "trial {trial_id} has no metric {metric_name}"
                 ))
             })?;
-            Ok(thread_event_matrix(profile, metric, IntervalField::Exclusive))
+            Ok(thread_event_matrix(
+                profile,
+                metric,
+                IntervalField::Exclusive,
+            ))
         }
         FeatureSpace::MetricsOfEvent(event_name) => {
             let event = profile.find_event(event_name).ok_or_else(|| {
@@ -217,7 +252,11 @@ fn extract_features(
                     "trial {trial_id} has no event {event_name}"
                 ))
             })?;
-            Ok(thread_metric_matrix(profile, event, IntervalField::Exclusive))
+            Ok(thread_metric_matrix(
+                profile,
+                event,
+                IntervalField::Exclusive,
+            ))
         }
     }
 }

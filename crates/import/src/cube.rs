@@ -55,8 +55,15 @@ pub fn export_cube(profile: &Profile) -> String {
         w.begin("metric").expect("open");
         w.attr_fmt("id", i).expect("attr");
         w.text_element("name", &m.name).expect("name");
-        w.text_element("uom", if m.name.contains("TIME") { "sec" } else { "occ" })
-            .expect("uom");
+        w.text_element(
+            "uom",
+            if m.name.contains("TIME") {
+                "sec"
+            } else {
+                "occ"
+            },
+        )
+        .expect("uom");
         w.end().expect("close");
     }
     w.end().expect("close");
@@ -199,20 +206,11 @@ pub fn import_cube(text: &str) -> Result<Profile> {
     let mut threads = Vec::new();
     for machine in system.children_named("machine") {
         for node in machine.children_named("node") {
-            let n: u32 = node
-                .attr("id")
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0);
+            let n: u32 = node.attr("id").and_then(|s| s.parse().ok()).unwrap_or(0);
             for process in node.children_named("process") {
-                let c: u32 = process
-                    .attr("id")
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(0);
+                let c: u32 = process.attr("id").and_then(|s| s.parse().ok()).unwrap_or(0);
                 for thread in process.children_named("thread") {
-                    let t: u32 = thread
-                        .attr("id")
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(0);
+                    let t: u32 = thread.attr("id").and_then(|s| s.parse().ok()).unwrap_or(0);
                     threads.push(ThreadId::new(n, c, t));
                 }
             }
@@ -283,7 +281,12 @@ mod tests {
             ThreadId::new(1, 1, 0),
         ]);
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
-            p.set_interval(a, t, time, IntervalData::new(10.0 + i as f64, 10.0 + i as f64, 1.0, 0.0));
+            p.set_interval(
+                a,
+                t,
+                time,
+                IntervalData::new(10.0 + i as f64, 10.0 + i as f64, 1.0, 0.0),
+            );
             p.set_interval(b, t, time, IntervalData::new(2.0, 2.0, 5.0, 0.0));
             p.set_interval(a, t, fp, IntervalData::new(1e9, 1e9, 1.0, 0.0));
         }

@@ -43,9 +43,10 @@ pub fn parse_dynaprof_text(text: &str, profile: &mut Profile) -> Result<()> {
                 continue;
             }
             if let Some(t) = lower.strip_prefix("thread:") {
-                let id: u32 = t.trim().parse().map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad thread number")
-                })?;
+                let id: u32 = t
+                    .trim()
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad thread number"))?;
                 thread = ThreadId::new(0, 0, id);
                 continue;
             }
@@ -69,15 +70,15 @@ pub fn parse_dynaprof_text(text: &str, profile: &mut Profile) -> Result<()> {
             ));
         }
         let name = fields[..fields.len() - 3].join(" ");
-        let calls: f64 = fields[fields.len() - 3].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad calls value")
-        })?;
-        let excl: f64 = fields[fields.len() - 2].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad exclusive value")
-        })?;
-        let incl: f64 = fields[fields.len() - 1].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad inclusive value")
-        })?;
+        let calls: f64 = fields[fields.len() - 3]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad calls value"))?;
+        let excl: f64 = fields[fields.len() - 2]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad exclusive value"))?;
+        let incl: f64 = fields[fields.len() - 1]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad inclusive value"))?;
         pending.push((name, calls, excl, incl));
         rows += 1;
     }

@@ -77,9 +77,9 @@ pub fn parse_gprof_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
             if pct.is_err() {
                 continue; // legend lines after the table
             }
-            let self_secs: f64 = fields[2].parse().map_err(|_| {
-                ImportError::format(FORMAT, lineno + 1, "bad self-seconds column")
-            })?;
+            let self_secs: f64 = fields[2]
+                .parse()
+                .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad self-seconds column"))?;
             // calls column may be missing for sampled-only functions
             let (calls, name_start) = match fields.get(3).and_then(|s| s.parse::<f64>().ok()) {
                 Some(c) if fields.len() >= 5 => {
@@ -94,7 +94,11 @@ pub fn parse_gprof_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
             };
             let name = fields[name_start..].join(" ");
             if name.is_empty() {
-                return Err(ImportError::format(FORMAT, lineno + 1, "missing function name"));
+                return Err(ImportError::format(
+                    FORMAT,
+                    lineno + 1,
+                    "missing function name",
+                ));
             }
             flat.push((name, self_secs, calls));
             parsed_any = true;
@@ -109,8 +113,7 @@ pub fn parse_gprof_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
             if fields.len() < 5 {
                 continue;
             }
-            let (Ok(self_s), Ok(children_s)) =
-                (fields[2].parse::<f64>(), fields[3].parse::<f64>())
+            let (Ok(self_s), Ok(children_s)) = (fields[2].parse::<f64>(), fields[3].parse::<f64>())
             else {
                 continue;
             };
@@ -139,11 +142,7 @@ pub fn parse_gprof_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
     }
 
     if flat.is_empty() {
-        return Err(ImportError::format(
-            FORMAT,
-            0,
-            "no flat profile data found",
-        ));
+        return Err(ImportError::format(FORMAT, 0, "no flat profile data found"));
     }
 
     for (name, self_secs, calls) in flat {
@@ -237,7 +236,10 @@ Each sample counts as 0.01 seconds.
         parse_gprof_text(text, ThreadId::ZERO, &mut p).unwrap();
         let m = p.find_metric("GPROF_TIME").unwrap();
         let e = p.find_event("solo").unwrap();
-        assert_eq!(p.interval(e, ThreadId::ZERO, m).unwrap().inclusive(), Some(1.0));
+        assert_eq!(
+            p.interval(e, ThreadId::ZERO, m).unwrap().inclusive(),
+            Some(1.0)
+        );
     }
 
     #[test]

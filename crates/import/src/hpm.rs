@@ -32,11 +32,7 @@ const FORMAT: &str = "hpmtoolkit";
 /// Parse one HPMtoolkit task file into `profile` as `thread`.
 pub fn parse_hpm_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Result<()> {
     if !text.contains("libhpm") {
-        return Err(ImportError::format(
-            FORMAT,
-            1,
-            "missing libhpm header line",
-        ));
+        return Err(ImportError::format(FORMAT, 1, "missing libhpm header line"));
     }
     profile.add_thread(thread);
     let wall = profile.add_metric(Metric::measured("HPM_WALL_CLOCK"));
@@ -50,13 +46,7 @@ pub fn parse_hpm_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
             let label = rest
                 .split("Label:")
                 .nth(1)
-                .map(|s| {
-                    s.split("process:")
-                        .next()
-                        .unwrap_or(s)
-                        .trim()
-                        .to_string()
-                })
+                .map(|s| s.split("process:").next().unwrap_or(s).trim().to_string())
                 .ok_or_else(|| {
                     ImportError::format(FORMAT, lineno + 1, "section line missing Label:")
                 })?;
@@ -68,9 +58,10 @@ pub fn parse_hpm_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
             continue;
         };
         if let Some(rest) = line.strip_prefix("Count:") {
-            *count = rest.trim().parse().map_err(|_| {
-                ImportError::format(FORMAT, lineno + 1, "bad Count value")
-            })?;
+            *count = rest
+                .trim()
+                .parse()
+                .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad Count value"))?;
             continue;
         }
         if let Some(rest) = line.strip_prefix("Wall Clock Time:") {
@@ -79,9 +70,7 @@ pub fn parse_hpm_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
                 .trim_end_matches("seconds")
                 .trim()
                 .parse()
-                .map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad Wall Clock Time")
-                })?;
+                .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad Wall Clock Time"))?;
             let event = profile.add_event(IntervalEvent::new(label.clone(), "HPM"));
             profile.set_interval(
                 event,
@@ -94,15 +83,12 @@ pub fn parse_hpm_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
         // counter line: "PM_XXX (description) : value"
         if line.starts_with("PM_") && line.contains(':') {
             let (head, value) = line.rsplit_once(':').expect("contains ':'");
-            let counter = head
-                .split('(')
-                .next()
-                .unwrap_or(head)
+            let counter = head.split('(').next().unwrap_or(head).trim().to_string();
+            let v: f64 = value
                 .trim()
-                .to_string();
-            let v: f64 = value.trim().replace(',', "").parse().map_err(|_| {
-                ImportError::format(FORMAT, lineno + 1, "bad counter value")
-            })?;
+                .replace(',', "")
+                .parse()
+                .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad counter value"))?;
             let metric = profile.add_metric(Metric::measured(counter));
             let event = profile.add_event(IntervalEvent::new(label.clone(), "HPM"));
             profile.set_interval(

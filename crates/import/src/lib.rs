@@ -37,9 +37,7 @@ pub mod sppm;
 pub mod tau;
 pub mod xml_format;
 
-pub use error::{ImportError, Result};
-pub use source::{
-    detect_format, load_directory_filtered, load_path, FileFilter, ProfileFormat,
-};
 pub use cube::{export_cube, import_cube};
+pub use error::{ImportError, Result};
+pub use source::{detect_format, load_directory_filtered, load_path, FileFilter, ProfileFormat};
 pub use xml_format::{export_xml, import_xml};

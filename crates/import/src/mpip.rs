@@ -70,12 +70,12 @@ pub fn parse_mpip_text(text: &str, profile: &mut Profile) -> Result<()> {
                 if fields[0] == "*" {
                     continue; // aggregate row
                 }
-                let task: u32 = fields[0].parse().map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad task number")
-                })?;
-                let app_time: f64 = fields[1].parse().map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad AppTime")
-                })?;
+                let task: u32 = fields[0]
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad task number"))?;
+                let app_time: f64 = fields[1]
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad AppTime"))?;
                 let thread = ThreadId::new(task, 0, 0);
                 profile.add_thread(thread);
                 profile.set_interval(
@@ -107,12 +107,12 @@ pub fn parse_mpip_text(text: &str, profile: &mut Profile) -> Result<()> {
                     Ok(r) => r,
                     Err(_) => continue,
                 };
-                let count: f64 = fields[3].parse().map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad callsite count")
-                })?;
-                let mean_ms: f64 = fields[5].parse().map_err(|_| {
-                    ImportError::format(FORMAT, lineno + 1, "bad callsite mean")
-                })?;
+                let count: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad callsite count"))?;
+                let mean_ms: f64 = fields[5]
+                    .parse()
+                    .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad callsite mean"))?;
                 let thread = ThreadId::new(rank, 0, 0);
                 profile.add_thread(thread);
                 let ev = profile.add_event(IntervalEvent::new(

@@ -32,9 +32,8 @@ pub fn parse_psrun_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
     let report = if doc.name == "hwpcreport" {
         &doc
     } else if doc.name == "hwpcprofilereport" {
-        doc.child("hwpcreport").ok_or_else(|| {
-            ImportError::format(FORMAT, 0, "missing <hwpcreport> element")
-        })?
+        doc.child("hwpcreport")
+            .ok_or_else(|| ImportError::format(FORMAT, 0, "missing <hwpcreport> element"))?
     } else {
         return Err(ImportError::format(
             FORMAT,
@@ -44,21 +43,23 @@ pub fn parse_psrun_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
     };
     let exe = report
         .child("executable")
-        .and_then(|e| e.attr("name").map(str::to_string).or_else(|| {
-            let t = e.text();
-            if t.is_empty() {
-                None
-            } else {
-                Some(t.to_string())
-            }
-        }))
+        .and_then(|e| {
+            e.attr("name").map(str::to_string).or_else(|| {
+                let t = e.text();
+                if t.is_empty() {
+                    None
+                } else {
+                    Some(t.to_string())
+                }
+            })
+        })
         .unwrap_or_else(|| "program".to_string());
     profile.add_thread(thread);
     let event = profile.add_event(IntervalEvent::new(exe, "PSRUN"));
 
-    let list = report.child("hwpceventlist").ok_or_else(|| {
-        ImportError::format(FORMAT, 0, "missing <hwpceventlist> element")
-    })?;
+    let list = report
+        .child("hwpceventlist")
+        .ok_or_else(|| ImportError::format(FORMAT, 0, "missing <hwpceventlist> element"))?;
     let mut n = 0usize;
     for ev in list.children_named("hwpcevent") {
         let name = ev.require_attr("name")?;
@@ -91,7 +92,11 @@ pub fn parse_psrun_text(text: &str, thread: ThreadId, profile: &mut Profile) -> 
         }
     }
     if n == 0 {
-        return Err(ImportError::format(FORMAT, 0, "no hwpcevent counters found"));
+        return Err(ImportError::format(
+            FORMAT,
+            0,
+            "no hwpcevent counters found",
+        ));
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 use crate::error::{ImportError, Result};
 use crate::{dynaprof, gprof, hpm, mpip, psrun, sppm, tau, xml_format};
 use perfdmf_profile::{Profile, ThreadId};
+use perfdmf_telemetry as telemetry;
 use std::path::Path;
 
 /// The profile formats PerfDMF can import.
@@ -89,7 +90,29 @@ impl ProfileFormat {
     }
 
     /// Load a path (file or directory, as appropriate) in this format.
+    ///
+    /// Each call records telemetry: an `import.load` span, a per-format
+    /// `import.parse_ns.<name>` latency histogram, and `import.files` /
+    /// `import.bytes_read` (total and per-format) counters.
     pub fn load(&self, path: &Path) -> Result<Profile> {
+        let _span = telemetry::span("import.load");
+        let started = telemetry::enabled().then(std::time::Instant::now);
+        let result = self.load_inner(path);
+        if let Some(started) = started {
+            let name = self.name();
+            telemetry::record_duration(&format!("import.parse_ns.{name}"), started.elapsed());
+            telemetry::add("import.files", 1);
+            if result.is_err() {
+                telemetry::add("import.errors", 1);
+            }
+            let bytes = path_bytes(path);
+            telemetry::add("import.bytes_read", bytes);
+            telemetry::add(&format!("import.bytes_read.{name}"), bytes);
+        }
+        result
+    }
+
+    fn load_inner(&self, path: &Path) -> Result<Profile> {
         match self {
             ProfileFormat::Tau => tau::load_tau_directory(path),
             ProfileFormat::Gprof => gprof::load_gprof_file(path),
@@ -122,6 +145,25 @@ impl ProfileFormat {
                 xml_format::import_xml(&text)
             }
         }
+    }
+}
+
+/// Input size of a load target, for the `import.bytes_read` counters:
+/// a file's length, or the summed lengths of a directory's files.
+fn path_bytes(path: &Path) -> u64 {
+    if path.is_dir() {
+        std::fs::read_dir(path)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .filter(|m| m.is_file())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    } else {
+        std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
     }
 }
 
@@ -303,8 +345,7 @@ mod tests {
         );
         let profiles = load_directory_filtered(&dir, &FileFilter::default()).unwrap();
         assert_eq!(profiles.len(), 2);
-        let filtered =
-            load_directory_filtered(&dir, &FileFilter::with_suffix(".sppm")).unwrap();
+        let filtered = load_directory_filtered(&dir, &FileFilter::with_suffix(".sppm")).unwrap();
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered[0].source_format, "sppm");
         assert!(matches!(

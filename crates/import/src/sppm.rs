@@ -36,16 +36,16 @@ pub fn parse_sppm_text(text: &str, profile: &mut Profile) -> Result<()> {
                 "expected 'rank routine calls seconds'",
             ));
         }
-        let rank: u32 = fields[0].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad rank")
-        })?;
+        let rank: u32 = fields[0]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad rank"))?;
         let routine = fields[1];
-        let calls: f64 = fields[2].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad call count")
-        })?;
-        let secs: f64 = fields[3].parse().map_err(|_| {
-            ImportError::format(FORMAT, lineno + 1, "bad seconds")
-        })?;
+        let calls: f64 = fields[2]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad call count"))?;
+        let secs: f64 = fields[3]
+            .parse()
+            .map_err(|_| ImportError::format(FORMAT, lineno + 1, "bad seconds"))?;
         let thread = ThreadId::new(rank, 0, 0);
         profile.add_thread(thread);
         let event = profile.add_event(IntervalEvent::new(routine, "SPPM"));
@@ -98,7 +98,9 @@ mod tests {
         let m = p.find_metric("SPPM_TIME").unwrap();
         let e = p.find_event("hydro_sweep_x").unwrap();
         assert_eq!(
-            p.interval(e, ThreadId::new(1, 0, 0), m).unwrap().inclusive(),
+            p.interval(e, ThreadId::new(1, 0, 0), m)
+                .unwrap()
+                .inclusive(),
             Some(10.5)
         );
     }

@@ -44,11 +44,7 @@ pub fn parse_profile_filename(name: &str) -> Option<ThreadId> {
 ///
 /// The metric named in the header is registered (or looked up) in the
 /// profile; returns that metric's id.
-pub fn parse_tau_text(
-    text: &str,
-    thread: ThreadId,
-    profile: &mut Profile,
-) -> Result<MetricId> {
+pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Result<MetricId> {
     let mut lines = text.lines().enumerate();
 
     // Header: "<n> templated_functions[_MULTI_<METRIC>]"
@@ -101,9 +97,8 @@ pub fn parse_tau_text(
         if line.is_empty() {
             continue;
         }
-        let (name, tail) = parse_quoted(line).ok_or_else(|| {
-            ImportError::format(FORMAT, lineno + 1, "expected quoted event name")
-        })?;
+        let (name, tail) = parse_quoted(line)
+            .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected quoted event name"))?;
         let mut fields = tail.split_whitespace();
         let calls: f64 = next_num(&mut fields, FORMAT, lineno, "calls")?;
         let subrs: f64 = next_num(&mut fields, FORMAT, lineno, "subrs")?;
@@ -244,10 +239,7 @@ pub fn load_tau_directory(dir: &Path) -> Result<Profile> {
         .collect();
     let multi_dirs: Vec<_> = entries
         .iter()
-        .filter(|e| {
-            e.file_name().to_string_lossy().starts_with("MULTI__")
-                && e.path().is_dir()
-        })
+        .filter(|e| e.file_name().to_string_lossy().starts_with("MULTI__") && e.path().is_dir())
         .collect();
     let mut loaded = 0usize;
     if !multi_dirs.is_empty() {
@@ -345,10 +337,12 @@ mod tests {
         let mut p = Profile::new("t");
         assert!(parse_tau_text("", ThreadId::ZERO, &mut p).is_err());
         assert!(parse_tau_text("x templated_functions\n", ThreadId::ZERO, &mut p).is_err());
-        assert!(
-            parse_tau_text("1 wrong_header\n# h\n\"f\" 1 0 1 1 0\n", ThreadId::ZERO, &mut p)
-                .is_err()
-        );
+        assert!(parse_tau_text(
+            "1 wrong_header\n# h\n\"f\" 1 0 1 1 0\n",
+            ThreadId::ZERO,
+            &mut p
+        )
+        .is_err());
         assert!(parse_tau_text(
             "2 templated_functions\n# h\n\"f\" 1 0 1 1 0\n0 aggregates\n0 userevents\n",
             ThreadId::ZERO,
@@ -386,11 +380,7 @@ mod tests {
         // single metric layout, two ranks
         std::fs::create_dir_all(&dir).unwrap();
         for n in 0..2 {
-            std::fs::write(
-                dir.join(format!("profile.{n}.0.0")),
-                SAMPLE,
-            )
-            .unwrap();
+            std::fs::write(dir.join(format!("profile.{n}.0.0")), SAMPLE).unwrap();
         }
         let p = load_tau_directory(&dir).unwrap();
         assert_eq!(p.threads().len(), 2);

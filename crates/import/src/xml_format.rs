@@ -274,7 +274,11 @@ pub fn import_xml(text: &str) -> Result<Profile> {
             let max: f64 = parse_attr(a, "max")?;
             let mean: f64 = parse_attr(a, "mean")?;
             let stddev: f64 = parse_attr(a, "stddev")?;
-            profile.set_atomic(id, thread, AtomicData::from_summary(count, min, max, mean, stddev));
+            profile.set_atomic(
+                id,
+                thread,
+                AtomicData::from_summary(count, min, max, mean, stddev),
+            );
         }
     }
     Ok(profile)
@@ -299,8 +303,16 @@ mod tests {
         let main = p.add_event(IntervalEvent::new("main()", "TAU_USER"));
         let send = p.add_event(IntervalEvent::new("MPI_Send()", "MPI"));
         p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
-        for (i, t) in [ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)].into_iter().enumerate() {
-            p.set_interval(main, t, time, IntervalData::new(100.0 + i as f64, 60.0, 1.0, 2.0));
+        for (i, t) in [ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]
+            .into_iter()
+            .enumerate()
+        {
+            p.set_interval(
+                main,
+                t,
+                time,
+                IntervalData::new(100.0 + i as f64, 60.0, 1.0, 2.0),
+            );
             p.set_interval(send, t, time, IntervalData::new(40.0, 40.0, 10.0, 0.0));
             p.set_interval(main, t, fp, IntervalData::new(1e9, 5e8, 1.0, 2.0));
         }
@@ -330,7 +342,13 @@ mod tests {
         let m = back.find_metric("GET_TIME_OF_DAY").unwrap();
         let e = back.find_event("main()").unwrap();
         let t1 = ThreadId::new(1, 0, 0);
-        let orig = p.interval(p.find_event("main()").unwrap(), t1, p.find_metric("GET_TIME_OF_DAY").unwrap()).unwrap();
+        let orig = p
+            .interval(
+                p.find_event("main()").unwrap(),
+                t1,
+                p.find_metric("GET_TIME_OF_DAY").unwrap(),
+            )
+            .unwrap();
         let got = back.interval(e, t1, m).unwrap();
         assert_eq!(got.inclusive(), orig.inclusive());
         assert_eq!(got.inclusive_percent(), orig.inclusive_percent());
@@ -339,7 +357,9 @@ mod tests {
         let a = back.atomic(ae, t1).unwrap();
         assert_eq!(a.count, 3);
         assert_eq!(a.max, 1024.0);
-        let orig_a = p.atomic(p.find_atomic_event("Message size").unwrap(), t1).unwrap();
+        let orig_a = p
+            .atomic(p.find_atomic_event("Message size").unwrap(), t1)
+            .unwrap();
         assert!((a.stddev().unwrap() - orig_a.stddev().unwrap()).abs() < 1e-9);
     }
 
@@ -350,8 +370,10 @@ mod tests {
         let e = p.add_event(IntervalEvent::ungrouped("f"));
         p.add_thread(ThreadId::ZERO);
         // only exclusive defined
-        let mut d = IntervalData::default();
-        d.exclusive = 5.0;
+        let d = IntervalData {
+            exclusive: 5.0,
+            ..Default::default()
+        };
         p.set_interval(e, ThreadId::ZERO, m, d);
         let back = import_xml(&export_xml(&p)).unwrap();
         let got = back

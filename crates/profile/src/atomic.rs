@@ -7,7 +7,7 @@
 //! numerically stable.
 
 /// Summary statistics of one atomic event on one thread.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AtomicData {
     /// Number of samples.
     pub count: u64,
@@ -19,6 +19,14 @@ pub struct AtomicData {
     pub mean: f64,
     /// Welford sum of squared deviations (not the stddev itself).
     m2: f64,
+}
+
+impl Default for AtomicData {
+    /// Same as [`AtomicData::new`]: an empty accumulator with min/max at
+    /// the identity elements (±infinity), not zero.
+    fn default() -> Self {
+        AtomicData::new()
+    }
 }
 
 impl AtomicData {

@@ -69,17 +69,16 @@ impl CallNode {
 
     /// Total number of nodes in this subtree (including self).
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(CallNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(CallNode::node_count)
+            .sum::<usize>()
     }
 
     /// Depth of the subtree (1 for a leaf).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(CallNode::depth)
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(CallNode::depth).max().unwrap_or(0)
     }
 
     fn render_into(&self, out: &mut String, indent: usize) {
@@ -89,9 +88,15 @@ impl CallNode {
             "{:indent$}{} incl={} excl={} calls={}",
             "",
             self.name,
-            self.inclusive.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
-            self.exclusive.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
-            self.calls.map(|v| format!("{v}")).unwrap_or_else(|| "-".into()),
+            self.inclusive
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            self.exclusive
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            self.calls
+                .map(|v| format!("{v}"))
+                .unwrap_or_else(|| "-".into()),
             indent = indent
         );
         for c in &self.children {
@@ -192,7 +197,12 @@ mod tests {
         ];
         for (name, incl, excl, calls) in paths {
             let e = p.add_event(IntervalEvent::new(name, "TAU_CALLPATH"));
-            p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(incl, excl, calls, 0.0));
+            p.set_interval(
+                e,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(incl, excl, calls, 0.0),
+            );
         }
         p
     }
@@ -244,7 +254,12 @@ mod tests {
         p.add_thread(ThreadId::ZERO);
         for (name, incl) in [("a", 10.0), ("a => b", 50.0)] {
             let e = p.add_event(IntervalEvent::new(name, "G"));
-            p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(incl, incl, 1.0, 0.0));
+            p.set_interval(
+                e,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(incl, incl, 1.0, 0.0),
+            );
         }
         let tree = build_call_tree(&p, ThreadId::ZERO, m);
         let problems = validate_call_tree(&tree, 1e-9);

@@ -390,8 +390,18 @@ mod tests {
         let fp = p.add_metric(Metric::measured("PAPI_FP_OPS"));
         let e = p.add_event(IntervalEvent::ungrouped("main"));
         p.add_thread(ThreadId::ZERO);
-        p.set_interval(e, ThreadId::ZERO, time, IntervalData::new(2.0, 2.0, 1.0, 0.0));
-        p.set_interval(e, ThreadId::ZERO, fp, IntervalData::new(8.0e9, 8.0e9, 1.0, 0.0));
+        p.set_interval(
+            e,
+            ThreadId::ZERO,
+            time,
+            IntervalData::new(2.0, 2.0, 1.0, 0.0),
+        );
+        p.set_interval(
+            e,
+            ThreadId::ZERO,
+            fp,
+            IntervalData::new(8.0e9, 8.0e9, 1.0, 0.0),
+        );
         let expr = MetricExpr::parse("PAPI_FP_OPS / TIME").unwrap();
         let flops = derive_metric(&mut p, "FLOPS", &expr).unwrap();
         let d = p.interval(e, ThreadId::ZERO, flops).unwrap();
@@ -423,10 +433,18 @@ mod tests {
         let e1 = p.add_event(IntervalEvent::ungrouped("a"));
         let e2 = p.add_event(IntervalEvent::ungrouped("b"));
         p.add_thread(ThreadId::ZERO);
-        p.set_interval(e1, ThreadId::ZERO, time, IntervalData::new(4.0, 4.0, 2.0, 0.0));
+        p.set_interval(
+            e1,
+            ThreadId::ZERO,
+            time,
+            IntervalData::new(4.0, 4.0, 2.0, 0.0),
+        );
         let expr = MetricExpr::parse("TIME / 2").unwrap();
         let half = derive_metric(&mut p, "HALF", &expr).unwrap();
-        assert_eq!(p.interval(e1, ThreadId::ZERO, half).unwrap().inclusive(), Some(2.0));
+        assert_eq!(
+            p.interval(e1, ThreadId::ZERO, half).unwrap().inclusive(),
+            Some(2.0)
+        );
         assert!(p.interval(e2, ThreadId::ZERO, half).is_none());
     }
 }

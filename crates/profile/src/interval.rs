@@ -130,11 +130,12 @@ impl IntervalData {
         // Percent / per-call are recomputed from the sums, not summed.
         self.inclusive_percent = UNDEFINED;
         self.exclusive_percent = UNDEFINED;
-        self.inclusive_per_call = if !self.calls.is_nan() && self.calls > 0.0 && !self.inclusive.is_nan() {
-            self.inclusive / self.calls
-        } else {
-            UNDEFINED
-        };
+        self.inclusive_per_call =
+            if !self.calls.is_nan() && self.calls > 0.0 && !self.inclusive.is_nan() {
+                self.inclusive / self.calls
+            } else {
+                UNDEFINED
+            };
     }
 
     /// Scale all measurement fields by `1/n` (total → mean summary).
@@ -179,8 +180,10 @@ mod tests {
     #[test]
     fn accumulate_handles_undefined() {
         let mut a = IntervalData::new(10.0, 5.0, 1.0, 0.0);
-        let mut undef = IntervalData::default();
-        undef.exclusive = 3.0;
+        let undef = IntervalData {
+            exclusive: 3.0,
+            ..Default::default()
+        };
         a.accumulate(&undef);
         assert_eq!(a.inclusive(), Some(10.0));
         assert_eq!(a.exclusive(), Some(8.0));

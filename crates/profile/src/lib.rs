@@ -31,13 +31,11 @@ mod thread;
 
 pub use atomic::AtomicData;
 pub use callpath::{
-    build_call_tree, flatten_callpaths, is_callpath, parse_callpath, validate_call_tree,
-    CallNode, CALLPATH_SEPARATOR,
+    build_call_tree, flatten_callpaths, is_callpath, parse_callpath, validate_call_tree, CallNode,
+    CALLPATH_SEPARATOR,
 };
 pub use derived::{derive_metric, DerivedError, MetricExpr};
 pub use event::{AtomicEvent, IntervalEvent, Metric};
 pub use interval::{IntervalData, UNDEFINED};
-pub use profile::{
-    AtomicEventId, EventId, EventStats, IntervalField, MetricId, Profile,
-};
+pub use profile::{AtomicEventId, EventId, EventStats, IntervalField, MetricId, Profile};
 pub use thread::ThreadId;

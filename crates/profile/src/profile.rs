@@ -112,8 +112,10 @@ impl Profile {
         let i = self.metrics.len();
         self.metric_index.insert(metric.name.clone(), i);
         self.metrics.push(metric);
-        self.planes
-            .push(vec![IntervalData::default(); self.events.len() * self.threads.len()]);
+        self.planes.push(vec![
+            IntervalData::default();
+            self.events.len() * self.threads.len()
+        ]);
         MetricId(i)
     }
 
@@ -147,8 +149,7 @@ impl Profile {
         // Threads are the inner dimension: re-stride every plane.
         let new_n = old_n + 1;
         for plane in &mut self.planes {
-            let mut new_plane =
-                vec![IntervalData::default(); self.events.len() * new_n];
+            let mut new_plane = vec![IntervalData::default(); self.events.len() * new_n];
             for e in 0..self.events.len() {
                 let src = &plane[e * old_n..(e + 1) * old_n];
                 new_plane[e * new_n..e * new_n + old_n].copy_from_slice(src);
@@ -338,7 +339,7 @@ impl Profile {
         let tpos = self.thread_index[&thread];
         self.atomic_data
             .entry((event.0, tpos))
-            .or_insert_with(AtomicData::new)
+            .or_default()
             .record(sample);
     }
 
@@ -349,9 +350,7 @@ impl Profile {
     }
 
     /// Iterate all atomic records.
-    pub fn iter_atomic(
-        &self,
-    ) -> impl Iterator<Item = (AtomicEventId, ThreadId, &AtomicData)> + '_ {
+    pub fn iter_atomic(&self) -> impl Iterator<Item = (AtomicEventId, ThreadId, &AtomicData)> + '_ {
         self.atomic_data
             .iter()
             .map(|(&(e, t), d)| (AtomicEventId(e), self.threads[t], d))
@@ -505,9 +504,7 @@ impl Profile {
                 ] {
                     if let Some(p) = pct {
                         if !(-EPS..=100.0 + EPS).contains(&p) {
-                            problems.push(format!(
-                                "{event}@{thread}: {label} {p} outside [0,100]"
-                            ));
+                            problems.push(format!("{event}@{thread}: {label} {p} outside [0,100]"));
                         }
                     }
                 }
@@ -593,9 +590,7 @@ mod tests {
         let t0 = ThreadId::new(0, 0, 0);
         assert_eq!(p.interval(main, t0, m).unwrap().inclusive(), Some(100.0));
         assert_eq!(p.interval(send, t0, m).unwrap().calls(), Some(10.0));
-        assert!(p
-            .interval(main, ThreadId::new(9, 9, 9), m)
-            .is_none());
+        assert!(p.interval(main, ThreadId::new(9, 9, 9), m).is_none());
         assert_eq!(p.data_point_count(), 8);
     }
 
@@ -606,7 +601,9 @@ mod tests {
         p.add_thread(t_new);
         // existing data still addressable
         assert_eq!(
-            p.interval(main, ThreadId::new(3, 0, 0), m).unwrap().exclusive(),
+            p.interval(main, ThreadId::new(3, 0, 0), m)
+                .unwrap()
+                .exclusive(),
             Some(63.0)
         );
         p.set_interval(main, t_new, m, IntervalData::new(1.0, 1.0, 1.0, 0.0));
@@ -658,9 +655,7 @@ mod tests {
     #[test]
     fn event_stats_across_threads() {
         let (p, _main, send, m) = tiny();
-        let s = p
-            .event_stats(send, m, IntervalField::Exclusive)
-            .unwrap();
+        let s = p.event_stats(send, m, IntervalField::Exclusive).unwrap();
         assert_eq!(s.count, 4);
         assert_eq!(s.min, 37.0);
         assert_eq!(s.max, 40.0);
@@ -705,7 +700,12 @@ mod tests {
         let e = p.add_event(IntervalEvent::ungrouped("f"));
         p.add_thread(ThreadId::ZERO);
         // exclusive > inclusive
-        p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(10.0, 20.0, 1.0, 0.0));
+        p.set_interval(
+            e,
+            ThreadId::ZERO,
+            m,
+            IntervalData::new(10.0, 20.0, 1.0, 0.0),
+        );
         assert_eq!(p.validate().len(), 1);
     }
 

@@ -57,7 +57,7 @@ proptest! {
     fn event_stats_are_bounded(
         row in proptest::collection::vec(0.0f64..1e9, 1..64)
     ) {
-        let (p, events) = build_profile(&[row.clone()]);
+        let (p, events) = build_profile(std::slice::from_ref(&row));
         let m = p.find_metric("TIME").unwrap();
         let s = p.event_stats(events[0], m, IntervalField::Exclusive).unwrap();
         prop_assert_eq!(s.count, row.len());

@@ -1,0 +1,133 @@
+//! Self-observability for PerfDMF — the performance data framework
+//! measuring itself.
+//!
+//! Three primitives, all behind one global on/off switch:
+//!
+//! * **Spans** ([`span`]) — RAII scoped timers on a monotonic clock.
+//!   Each span records its elapsed nanoseconds into a latency
+//!   [`Histogram`] named after the span, and nests via a thread-local
+//!   stack so events can capture where they happened
+//!   ([`span::current_path`]).
+//! * **Counters and histograms** ([`counter`], [`histogram`]) — named
+//!   atomics in a sharded global registry; histograms bucket by
+//!   power of two (65 buckets cover the full `u64` range).
+//! * **Structured events** ([`event::emit`]) — key/value records (e.g.
+//!   the slow-query log) fanned out to installed [`event::EventSink`]s
+//!   such as the bundled ring buffer with text/JSON export.
+//!
+//! When telemetry is disabled ([`set_enabled`]`(false)`) every
+//! instrumentation point reduces to one relaxed atomic load.
+//!
+//! The loop is closed by [`snapshot_to_profile`]: live metrics become a
+//! [`perfdmf_profile::Profile`] (spans → interval events, counters →
+//! atomic events), so the framework's own behavior can be stored,
+//! queried, and analyzed with the very machinery it instruments.
+
+pub mod event;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+pub use event::{emit, install_sink, Event, EventSink, FieldValue, RingBufferSink, Severity};
+pub use registry::{Counter, Histogram, LocalCounter};
+pub use snapshot::{snapshot, snapshot_to_profile, CounterSnapshot, HistogramSnapshot, Snapshot};
+pub use span::{span, SpanGuard};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Is telemetry currently collecting?
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off globally. Off, instrumentation points cost
+/// a single relaxed atomic load.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Handle to the named counter (creating it on first use).
+pub fn counter(name: &str) -> Counter {
+    registry::global().counter(name)
+}
+
+/// Handle to the named histogram (creating it on first use).
+pub fn histogram(name: &str) -> Histogram {
+    registry::global().histogram(name)
+}
+
+/// Add `delta` to the named counter (no-op while disabled).
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if enabled() {
+        counter(name).add(delta);
+    }
+}
+
+/// Record one `value` into the named histogram (no-op while disabled).
+#[inline]
+pub fn record(name: &str, value: u64) {
+    if enabled() {
+        histogram(name).record(value);
+    }
+}
+
+/// Record a duration, in nanoseconds, into the named histogram.
+#[inline]
+pub fn record_duration(name: &str, elapsed: Duration) {
+    record(name, elapsed.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+/// Clear all counters, histograms, and installed sinks. Intended for
+/// tests and between self-profiling runs; instruments running
+/// concurrently will re-create their metrics on next use.
+pub fn reset() {
+    registry::global().reset();
+    event::clear_sinks();
+}
+
+/// Serializes tests that toggle the global enabled flag against tests
+/// that rely on it being on: flag-toggling tests take the write lock,
+/// flag-dependent tests take a read lock.
+#[cfg(test)]
+pub(crate) fn enabled_flag_lock() -> &'static parking_lot::RwLock<()> {
+    static LOCK: std::sync::OnceLock<parking_lot::RwLock<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| parking_lot::RwLock::new(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_drops_samples() {
+        let _toggle = enabled_flag_lock().write();
+        let c = counter("lib.disabled.counter");
+        set_enabled(false);
+        add("lib.disabled.counter", 5);
+        record("lib.disabled.hist", 5);
+        {
+            let _g = span("lib.disabled.span");
+        }
+        set_enabled(true);
+        assert_eq!(c.value(), 0);
+        assert_eq!(histogram("lib.disabled.hist").count(), 0);
+        assert_eq!(histogram("lib.disabled.span").count(), 0);
+
+        add("lib.disabled.counter", 3);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn record_duration_uses_nanos() {
+        let _on = enabled_flag_lock().read();
+        record_duration("lib.dur.hist", Duration::from_micros(2));
+        let h = histogram("lib.dur.hist");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 2_000);
+    }
+}

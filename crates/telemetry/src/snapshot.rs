@@ -1,0 +1,205 @@
+//! Point-in-time captures of the registry, and conversion into a
+//! [`perfdmf_profile::Profile`] — the self-profiling export.
+//!
+//! The mapping mirrors how TAU data lands in PerfDMF: each span/latency
+//! histogram becomes an `INTERVAL_EVENT` (inclusive = exclusive = total
+//! nanoseconds, calls = sample count) under metric `TELEMETRY_TIME_NS`,
+//! and each counter becomes an `ATOMIC_EVENT` with a single sample.
+//! Everything is attributed to [`ThreadId::ZERO`], the serial-profile
+//! convention. The resulting profile round-trips through
+//! `DataSession::store_profile` / `load_profile` like any trial.
+
+use perfdmf_profile::{AtomicEvent, IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+
+use crate::registry::{self, BUCKETS};
+
+/// Frozen view of one counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    pub name: String,
+    pub value: u64,
+}
+
+/// Frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket where the cumulative count crosses `q * count`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(registry::bucket_upper_bound(i));
+            }
+        }
+        self.max
+    }
+}
+
+/// Frozen view of the whole registry, names sorted.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<CounterSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<&CounterSnapshot> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Capture every registered instrument. Concurrent recording keeps
+/// going; per-field reads are atomic, the snapshot as a whole is not.
+pub fn snapshot() -> Snapshot {
+    let reg = registry::global();
+    Snapshot {
+        counters: reg
+            .counters()
+            .into_iter()
+            .map(|(name, c)| CounterSnapshot {
+                name,
+                value: c.value(),
+            })
+            .collect(),
+        histograms: reg
+            .histograms()
+            .into_iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                min: h.min(),
+                max: h.max(),
+                buckets: h.buckets(),
+            })
+            .collect(),
+    }
+}
+
+/// Metric name carrying span/histogram totals in the exported profile.
+pub const TELEMETRY_METRIC: &str = "TELEMETRY_TIME_NS";
+
+/// Event group assigned to every exported telemetry event.
+pub const TELEMETRY_GROUP: &str = "TELEMETRY";
+
+/// Convert a snapshot into a PerfDMF profile (see module docs for the
+/// mapping). Empty histograms are skipped; counters keep zero values so
+/// their existence survives the round trip.
+pub fn profile_from_snapshot(snap: &Snapshot) -> Profile {
+    let mut p = Profile::new("perfdmf-telemetry");
+    let metric = p.add_metric(Metric::measured(TELEMETRY_METRIC));
+    p.add_thread(ThreadId::ZERO);
+
+    for h in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        let event = p.add_event(IntervalEvent::new(h.name.clone(), TELEMETRY_GROUP));
+        let total = h.sum as f64;
+        p.set_interval(
+            event,
+            ThreadId::ZERO,
+            metric,
+            IntervalData::new(total, total, h.count as f64, 0.0),
+        );
+    }
+
+    for c in &snap.counters {
+        let event = p.add_atomic_event(AtomicEvent::new(c.name.clone(), TELEMETRY_GROUP));
+        p.record_atomic(event, ThreadId::ZERO, c.value as f64);
+    }
+
+    p.recompute_derived_fields(metric);
+    p
+}
+
+/// Snapshot the live registry and export it as a profile in one call.
+pub fn snapshot_to_profile() -> Profile {
+    profile_from_snapshot(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let mut buckets = [0u64; BUCKETS];
+        // 50 samples of 1, 50 samples in [4, 8).
+        buckets[1] = 50;
+        buckets[3] = 50;
+        let h = HistogramSnapshot {
+            name: "q".into(),
+            count: 100,
+            sum: 50 + 50 * 6,
+            min: Some(1),
+            max: Some(7),
+            buckets,
+        };
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.99), Some(7));
+        assert_eq!(h.mean(), Some(3.5));
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            buckets: [0; BUCKETS],
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn export_maps_instruments_to_profile_events() {
+        crate::counter("snap.test.rows").add(17);
+        crate::histogram("snap.test.latency").record(1000);
+        crate::histogram("snap.test.latency").record(3000);
+        crate::histogram("snap.test.empty"); // registered, never recorded
+
+        let p = snapshot_to_profile();
+        let problems = p.validate();
+        assert!(problems.is_empty(), "{problems:?}");
+
+        let m = p.find_metric(TELEMETRY_METRIC).expect("metric");
+        let e = p.find_event("snap.test.latency").expect("interval event");
+        let d = p.interval(e, ThreadId::ZERO, m).expect("data");
+        assert_eq!(d.calls(), Some(2.0));
+        assert_eq!(d.inclusive(), Some(4000.0));
+        assert!(p.find_event("snap.test.empty").is_none());
+
+        let a = p.find_atomic_event("snap.test.rows").expect("atomic event");
+        let ad = p.atomic(a, ThreadId::ZERO).expect("atomic data");
+        assert_eq!(ad.count, 1);
+        assert_eq!(ad.mean, 17.0);
+    }
+}

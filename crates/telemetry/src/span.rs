@@ -1,0 +1,126 @@
+//! Scoped timers with nesting.
+//!
+//! [`span`] starts a timer on the monotonic clock and returns a guard;
+//! when the guard drops, the elapsed nanoseconds land in the histogram
+//! named after the span. Active span names sit on a thread-local stack
+//! so code deeper in the call tree (event emitters, error paths) can ask
+//! "where am I?" via [`current_path`].
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span; records on drop.
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at entry — drop does nothing.
+    armed: Option<(&'static str, Instant)>,
+}
+
+/// Open a span named `name`. While the returned guard lives, the name is
+/// on this thread's span stack; on drop the elapsed time is recorded
+/// into histogram `name` (in nanoseconds). Disabled telemetry makes this
+/// a single atomic load.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { armed: None };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        armed: Some((name, Instant::now())),
+    }
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, `None` if the span is unarmed (disabled).
+    pub fn elapsed_nanos(&self) -> Option<u64> {
+        self.armed
+            .as_ref()
+            .map(|(_, start)| start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Pop our own frame. Guards are usually dropped in LIFO
+                // order; if a caller held one across scopes, remove the
+                // matching name instead of corrupting the stack.
+                match stack.last() {
+                    Some(&top) if std::ptr::eq(top, name) => {
+                        stack.pop();
+                    }
+                    _ => {
+                        if let Some(pos) = stack.iter().rposition(|&n| std::ptr::eq(n, name)) {
+                            stack.remove(pos);
+                        }
+                    }
+                }
+            });
+            crate::histogram(name).record(nanos);
+        }
+    }
+}
+
+/// Slash-joined names of the spans currently open on this thread, e.g.
+/// `"session.store_profile/db.execute"`. Empty when no span is open.
+pub fn current_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
+/// Depth of the current span stack on this thread.
+pub fn depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _on = crate::enabled_flag_lock().read();
+        assert_eq!(depth(), 0);
+        {
+            let _outer = span("span.test.outer");
+            assert_eq!(current_path(), "span.test.outer");
+            {
+                let _inner = span("span.test.inner");
+                assert_eq!(current_path(), "span.test.outer/span.test.inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(current_path(), "span.test.outer");
+        }
+        assert_eq!(depth(), 0);
+        let h = crate::histogram("span.test.inner");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "slept 1ms, recorded {}ns", h.sum());
+        assert_eq!(crate::histogram("span.test.outer").count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_stack_sane() {
+        let _on = crate::enabled_flag_lock().read();
+        let outer = span("span.order.outer");
+        let inner = span("span.order.inner");
+        drop(outer);
+        assert_eq!(current_path(), "span.order.inner");
+        drop(inner);
+        assert_eq!(depth(), 0);
+    }
+
+    #[test]
+    fn elapsed_nanos_observable_mid_span() {
+        let _on = crate::enabled_flag_lock().read();
+        let g = span("span.test.mid");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(g.elapsed_nanos().unwrap() >= 1_000_000);
+    }
+}

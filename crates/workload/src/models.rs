@@ -15,9 +15,7 @@
 //! * [`MirandaModel`] — the scale test: ~101 events × N processors × one
 //!   wall-clock metric (1.6M data points at 16K).
 
-use perfdmf_profile::{
-    AtomicEvent, IntervalData, IntervalEvent, Metric, Profile, ThreadId,
-};
+use perfdmf_profile::{AtomicEvent, IntervalData, IntervalEvent, Metric, Profile, ThreadId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,7 +73,12 @@ impl Evh1Model {
                 });
             }
         }
-        for op in ["MPI_Send()", "MPI_Recv()", "MPI_Allreduce()", "MPI_Barrier()"] {
+        for op in [
+            "MPI_Send()",
+            "MPI_Recv()",
+            "MPI_Allreduce()",
+            "MPI_Barrier()",
+        ] {
             routines.push(RoutineSpec {
                 name: op.into(),
                 group: "MPI".into(),
@@ -242,21 +245,13 @@ impl SppmModel {
         let mut labels = Vec::with_capacity(threads);
         let thread_ids = profile.threads().to_vec();
         for (t, &thread) in thread_ids.iter().enumerate() {
-            let class = boundaries
-                .iter()
-                .position(|&b| t < b)
-                .unwrap_or(0);
+            let class = boundaries.iter().position(|&b| t < b).unwrap_or(0);
             labels.push(class);
             let spec = &self.classes[class];
             for (mi, &metric) in metric_ids.iter().enumerate() {
                 let mean = spec.metric_means[mi];
                 let v = mean * (1.0 + rng.gen_range(-spec.spread..spec.spread));
-                profile.set_interval(
-                    event,
-                    thread,
-                    metric,
-                    IntervalData::new(v, v, 100.0, 0.0),
-                );
+                profile.set_interval(event, thread, metric, IntervalData::new(v, v, 100.0, 0.0));
             }
         }
         // an atomic event for message sizes, to exercise that path
@@ -315,7 +310,13 @@ impl MirandaModel {
         profile.add_threads((0..procs as u32).map(|n| ThreadId::new(n, 0, 0)));
         let threads = profile.threads().to_vec();
         let base: Vec<f64> = (0..self.events)
-            .map(|i| if i == 0 { 0.0 } else { 50.0 / (i as f64).sqrt() })
+            .map(|i| {
+                if i == 0 {
+                    0.0
+                } else {
+                    50.0 / (i as f64).sqrt()
+                }
+            })
             .collect();
         for &thread in &threads {
             let mut total = 0.0;
@@ -357,27 +358,51 @@ mod tests {
         let m1 = p1.find_metric("GET_TIME_OF_DAY").unwrap();
         let m8 = p8.find_metric("GET_TIME_OF_DAY").unwrap();
         let sweep1 = p1
-            .event_stats(p1.find_event("sweep_x_stage1").unwrap(), m1, IntervalField::Exclusive)
+            .event_stats(
+                p1.find_event("sweep_x_stage1").unwrap(),
+                m1,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         let sweep8 = p8
-            .event_stats(p8.find_event("sweep_x_stage1").unwrap(), m8, IntervalField::Exclusive)
+            .event_stats(
+                p8.find_event("sweep_x_stage1").unwrap(),
+                m8,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         let speedup = sweep1.mean / sweep8.mean;
         assert!(speedup > 6.0 && speedup < 9.0, "sweep speedup {speedup}");
         let setup1 = p1
-            .event_stats(p1.find_event("init_grid").unwrap(), m1, IntervalField::Exclusive)
+            .event_stats(
+                p1.find_event("init_grid").unwrap(),
+                m1,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         let setup8 = p8
-            .event_stats(p8.find_event("init_grid").unwrap(), m8, IntervalField::Exclusive)
+            .event_stats(
+                p8.find_event("init_grid").unwrap(),
+                m8,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         let serial_speedup = setup1.mean / setup8.mean;
         assert!(serial_speedup < 1.2, "serial speedup {serial_speedup}");
         // MPI time grows with scale
         let mpi1 = p1
-            .event_stats(p1.find_event("MPI_Allreduce()").unwrap(), m1, IntervalField::Exclusive)
+            .event_stats(
+                p1.find_event("MPI_Allreduce()").unwrap(),
+                m1,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         let mpi8 = p8
-            .event_stats(p8.find_event("MPI_Allreduce()").unwrap(), m8, IntervalField::Exclusive)
+            .event_stats(
+                p8.find_event("MPI_Allreduce()").unwrap(),
+                m8,
+                IntervalField::Exclusive,
+            )
             .unwrap();
         assert!(mpi8.mean > mpi1.mean);
     }
@@ -412,7 +437,11 @@ mod tests {
         let t0 = profile.threads()[0];
         let t_last = *profile.threads().last().unwrap();
         let v0 = profile.interval(e, t0, fp).unwrap().exclusive().unwrap();
-        let v2 = profile.interval(e, t_last, fp).unwrap().exclusive().unwrap();
+        let v2 = profile
+            .interval(e, t_last, fp)
+            .unwrap()
+            .exclusive()
+            .unwrap();
         assert!(v0 > 5.0 * v2);
         // atomic samples recorded
         assert_eq!(profile.atomic_events().len(), 1);

@@ -215,11 +215,7 @@ pub fn mpip_report_text(profile: &Profile, metric: MetricId) -> String {
         else {
             continue;
         };
-        let site = event
-            .name
-            .split("site ")
-            .nth(1)
-            .unwrap_or("1");
+        let site = event.name.split("site ").nth(1).unwrap_or("1");
         for &thread in profile.threads() {
             let Some(d) = profile.interval(EventId(ei), thread, metric) else {
                 continue;
@@ -397,7 +393,12 @@ mod tests {
         p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
             p.set_interval(main, t, m, IntervalData::new(10.0, 2.0, 1.0, 1.0));
-            p.set_interval(kern, t, m, IntervalData::new(8.0 - i as f64, 8.0 - i as f64, 4.0, 0.0));
+            p.set_interval(
+                kern,
+                t,
+                m,
+                IntervalData::new(8.0 - i as f64, 8.0 - i as f64, 4.0, 0.0),
+            );
         }
         p
     }
@@ -418,7 +419,9 @@ mod tests {
         let m = back.find_metric("GET_TIME_OF_DAY").unwrap();
         let k = back.find_event("kernel").unwrap();
         assert_eq!(
-            back.interval(k, ThreadId::new(1, 0, 0), m).unwrap().exclusive(),
+            back.interval(k, ThreadId::new(1, 0, 0), m)
+                .unwrap()
+                .exclusive(),
             Some(7.0)
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -463,14 +466,22 @@ mod tests {
         let fp = p.add_metric(Metric::measured("PAPI_FP_OPS"));
         let e = p.add_event(IntervalEvent::new("sppm", "PSRUN"));
         p.add_thread(ThreadId::ZERO);
-        p.set_interval(e, ThreadId::ZERO, cyc, IntervalData::new(1e10, 1e10, 1.0, 0.0));
+        p.set_interval(
+            e,
+            ThreadId::ZERO,
+            cyc,
+            IntervalData::new(1e10, 1e10, 1.0, 0.0),
+        );
         p.set_interval(e, ThreadId::ZERO, fp, IntervalData::new(2e9, 2e9, 1.0, 0.0));
         let text = psrun_xml_text(&p, ThreadId::ZERO);
         let mut back = Profile::new("b");
         perfdmf_import::psrun::parse_psrun_text(&text, ThreadId::ZERO, &mut back).unwrap();
         let m = back.find_metric("PAPI_FP_OPS").unwrap();
         let ev = back.find_event("sppm").unwrap();
-        assert_eq!(back.interval(ev, ThreadId::ZERO, m).unwrap().inclusive(), Some(2e9));
+        assert_eq!(
+            back.interval(ev, ThreadId::ZERO, m).unwrap().inclusive(),
+            Some(2e9)
+        );
     }
 
     #[test]
@@ -484,7 +495,9 @@ mod tests {
         let sm = back.find_metric("SPPM_TIME").unwrap();
         let k = back.find_event("kernel").unwrap();
         assert_eq!(
-            back.interval(k, ThreadId::new(0, 0, 0), sm).unwrap().exclusive(),
+            back.interval(k, ThreadId::new(0, 0, 0), sm)
+                .unwrap()
+                .exclusive(),
             Some(8.0)
         );
     }
@@ -512,7 +525,9 @@ mod tests {
         let m = back.find_metric("PM_FPU0_CMPL").unwrap();
         let ev = back.find_event("main").unwrap();
         assert_eq!(
-            back.interval(ev, ThreadId::new(1, 0, 0), m).unwrap().inclusive(),
+            back.interval(ev, ThreadId::new(1, 0, 0), m)
+                .unwrap()
+                .inclusive(),
             Some(1e8)
         );
         std::fs::remove_dir_all(&dir).unwrap();
@@ -527,7 +542,12 @@ mod tests {
         let send = p.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
         p.add_threads([ThreadId::new(0, 0, 0), ThreadId::new(1, 0, 0)]);
         for (i, &t) in p.threads().to_vec().iter().enumerate() {
-            p.set_interval(app, t, m, IntervalData::new(10.0 + i as f64, f64::NAN, 1.0, f64::NAN));
+            p.set_interval(
+                app,
+                t,
+                m,
+                IntervalData::new(10.0 + i as f64, f64::NAN, 1.0, f64::NAN),
+            );
             p.set_interval(send, t, m, IntervalData::new(2.0, 2.0, 20.0, 0.0));
         }
         let text = mpip_report_text(&p, m);
@@ -536,7 +556,9 @@ mod tests {
         let bm = back.find_metric("MPIP_TIME").unwrap();
         let bapp = back.find_event("Application").unwrap();
         assert_eq!(
-            back.interval(bapp, ThreadId::new(1, 0, 0), bm).unwrap().inclusive(),
+            back.interval(bapp, ThreadId::new(1, 0, 0), bm)
+                .unwrap()
+                .inclusive(),
             Some(11.0)
         );
         let bsend = back.find_event("MPI_Send() site 1").unwrap();

@@ -11,8 +11,8 @@ use proptest::prelude::*;
 /// positive times and calls.
 fn arb_profile() -> impl Strategy<Value = Profile> {
     (
-        1usize..6,  // events
-        1usize..4,  // threads
+        1usize..6, // events
+        1usize..4, // threads
         proptest::collection::vec(0.001f64..1e4, 24),
         proptest::collection::vec(1u32..1000, 24),
     )
@@ -29,12 +29,7 @@ fn arb_profile() -> impl Strategy<Value = Profile> {
                     let excl = times[k % times.len()];
                     let c = calls[k % calls.len()] as f64;
                     k += 1;
-                    p.set_interval(
-                        e,
-                        t,
-                        m,
-                        IntervalData::new(excl * 1.25, excl, c, 0.0),
-                    );
+                    p.set_interval(e, t, m, IntervalData::new(excl * 1.25, excl, c, 0.0));
                 }
             }
             p

@@ -127,7 +127,10 @@ impl Element {
     /// Required attribute, as an error otherwise.
     pub fn require_attr(&self, name: &str) -> Result<&str> {
         self.attr(name).ok_or_else(|| Error::Syntax {
-            message: format!("element <{}> missing required attribute {name:?}", self.name),
+            message: format!(
+                "element <{}> missing required attribute {name:?}",
+                self.name
+            ),
             offset: 0,
         })
     }

@@ -121,14 +121,20 @@ mod tests {
 
     #[test]
     fn escapes_attr_quotes() {
-        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+        assert_eq!(
+            escape_attr(r#"say "hi" & 'bye'"#),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;"
+        );
         // Text escaping leaves quotes alone.
         assert_eq!(escape_text(r#""q""#), r#""q""#);
     }
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;").unwrap(), "<x> & \"y\" 'z'");
+        assert_eq!(
+            unescape("&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;").unwrap(),
+            "<x> & \"y\" 'z'"
+        );
     }
 
     #[test]
@@ -139,8 +145,14 @@ mod tests {
 
     #[test]
     fn unescape_rejects_unknown() {
-        assert!(matches!(unescape("&bogus;"), Err(Error::UnknownEntity { .. })));
-        assert!(matches!(unescape("&#xZZ;"), Err(Error::UnknownEntity { .. })));
+        assert!(matches!(
+            unescape("&bogus;"),
+            Err(Error::UnknownEntity { .. })
+        ));
+        assert!(matches!(
+            unescape("&#xZZ;"),
+            Err(Error::UnknownEntity { .. })
+        ));
         // Surrogate code point is not a valid char.
         assert!(unescape("&#xD800;").is_err());
     }
@@ -152,7 +164,15 @@ mod tests {
 
     #[test]
     fn roundtrip_escape_unescape() {
-        let cases = ["", "plain", "a<b", "x & y", "\"quoted\" 'single'", "λ→μ", "MPI_Send()"];
+        let cases = [
+            "",
+            "plain",
+            "a<b",
+            "x & y",
+            "\"quoted\" 'single'",
+            "λ→μ",
+            "MPI_Send()",
+        ];
         for c in cases {
             assert_eq!(unescape(&escape_attr(c)).unwrap(), c, "case {c:?}");
             assert_eq!(unescape(&escape_text(c)).unwrap(), c, "case {c:?}");

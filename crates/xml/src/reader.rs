@@ -24,11 +24,17 @@ pub enum Event {
     /// `<?xml version="1.0" ...?>`
     Declaration { attributes: Vec<Attribute> },
     /// `<name attr="v">`
-    Start { name: String, attributes: Vec<Attribute> },
+    Start {
+        name: String,
+        attributes: Vec<Attribute>,
+    },
     /// `</name>`
     End { name: String },
     /// `<name attr="v"/>` — reported as a single event.
-    Empty { name: String, attributes: Vec<Attribute> },
+    Empty {
+        name: String,
+        attributes: Vec<Attribute>,
+    },
     /// Character data with entities resolved. Whitespace-only text between
     /// elements is reported too; callers that don't care can skip it.
     Text(String),
@@ -144,7 +150,11 @@ impl<'a> Reader<'a> {
 
     fn parse_text(&mut self) -> Result<Event> {
         let start = self.pos;
-        let end = self.rest().find('<').map(|p| start + p).unwrap_or(self.src.len());
+        let end = self
+            .rest()
+            .find('<')
+            .map(|p| start + p)
+            .unwrap_or(self.src.len());
         let raw = &self.src[start..end];
         self.pos = end;
         if self.stack.is_empty() && !raw.trim().is_empty() {
@@ -164,9 +174,9 @@ impl<'a> Reader<'a> {
         debug_assert!(self.rest().starts_with('<'));
         let r = self.rest();
         if let Some(stripped) = r.strip_prefix("<!--") {
-            let end = stripped.find("-->").ok_or(Error::UnexpectedEof {
-                context: "comment",
-            })?;
+            let end = stripped
+                .find("-->")
+                .ok_or(Error::UnexpectedEof { context: "comment" })?;
             let body = stripped[..end].to_string();
             self.bump(4 + end + 3);
             return Ok(Event::Comment(body));
@@ -189,9 +199,9 @@ impl<'a> Reader<'a> {
             return self.parse_pi();
         }
         if let Some(stripped) = r.strip_prefix("</") {
-            let end = stripped.find('>').ok_or(Error::UnexpectedEof {
-                context: "end tag",
-            })?;
+            let end = stripped
+                .find('>')
+                .ok_or(Error::UnexpectedEof { context: "end tag" })?;
             let name = stripped[..end].trim();
             if !is_name(name) {
                 return Err(self.syntax(format!("invalid end tag name {name:?}")));
@@ -502,10 +512,7 @@ mod tests {
         r.next_event().unwrap();
         r.next_event().unwrap();
         r.next_event().unwrap();
-        assert!(matches!(
-            r.next_event(),
-            Err(Error::UnexpectedEof { .. })
-        ));
+        assert!(matches!(r.next_event(), Err(Error::UnexpectedEof { .. })));
     }
 
     #[test]

@@ -55,13 +55,16 @@ impl<'a> Writer<'a> {
     /// Must be called before any element is begun.
     pub fn declaration(&mut self) -> Result<()> {
         if self.wrote_root || !self.stack.is_empty() {
-            return Err(Error::WriterMisuse("declaration must precede the root element"));
+            return Err(Error::WriterMisuse(
+                "declaration must precede the root element",
+            ));
         }
         if self.wrote_decl {
             return Err(Error::WriterMisuse("declaration written twice"));
         }
         self.wrote_decl = true;
-        self.out.write_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
+        self.out
+            .write_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>")?;
         if self.pretty {
             self.out.write_char('\n')?;
         }
@@ -94,7 +97,9 @@ impl<'a> Writer<'a> {
     /// Open an element. Attributes may be added until content is written.
     pub fn begin(&mut self, name: &str) -> Result<()> {
         if self.stack.is_empty() && self.wrote_root {
-            return Err(Error::WriterMisuse("document may have only one root element"));
+            return Err(Error::WriterMisuse(
+                "document may have only one root element",
+            ));
         }
         self.close_pending(true)?;
         if !self.stack.is_empty() {

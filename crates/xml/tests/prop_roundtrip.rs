@@ -13,9 +13,21 @@ fn arb_text() -> impl Strategy<Value = String> {
     // exercise all escape-relevant characters and unicode.
     proptest::collection::vec(
         prop_oneof![
-            Just('a'), Just('Z'), Just('0'), Just(' '), Just('<'), Just('>'),
-            Just('&'), Just('"'), Just('\''), Just('λ'), Just('('), Just(')'),
-            Just('/'), Just('='), Just(';'),
+            Just('a'),
+            Just('Z'),
+            Just('0'),
+            Just(' '),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just('λ'),
+            Just('('),
+            Just(')'),
+            Just('/'),
+            Just('='),
+            Just(';'),
         ],
         0..24,
     )
@@ -23,7 +35,11 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..4), arb_text())
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..4),
+        arb_text(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut e = Element::new(name).with_text(text);
             for (n, v) in attrs {
@@ -34,7 +50,10 @@ fn arb_element(depth: u32) -> BoxedStrategy<Element> {
     if depth == 0 {
         return leaf.boxed();
     }
-    (leaf, proptest::collection::vec(arb_element(depth - 1), 0..4))
+    (
+        leaf,
+        proptest::collection::vec(arb_element(depth - 1), 0..4),
+    )
         .prop_map(|(mut e, kids)| {
             for k in kids {
                 e = e.with_child(k);

@@ -41,7 +41,12 @@ fn main() {
     let sect = hpm.add_event(IntervalEvent::new("hydro_sweeps", "HPM"));
     hpm.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
     for (i, &t) in hpm.threads().to_vec().iter().enumerate() {
-        hpm.set_interval(sect, t, wall, IntervalData::new(52.0 + i as f64, 52.0 + i as f64, 100.0, 0.0));
+        hpm.set_interval(
+            sect,
+            t,
+            wall,
+            IntervalData::new(52.0 + i as f64, 52.0 + i as f64, 100.0, 0.0),
+        );
         hpm.set_interval(sect, t, fpu, IntervalData::new(3.1e9, 3.1e9, 100.0, 0.0));
     }
     let hpm_dir = tmp.join("hpm_run");
@@ -55,8 +60,18 @@ fn main() {
     let allr = mp.add_event(IntervalEvent::new("MPI_Allreduce() site 2", "MPI"));
     mp.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
     for (i, &t) in mp.threads().to_vec().iter().enumerate() {
-        mp.set_interval(app_ev, t, mt, IntervalData::new(60.0, UNDEFINED, 1.0, UNDEFINED));
-        mp.set_interval(send, t, mt, IntervalData::new(3.0 + i as f64 * 0.2, 3.0 + i as f64 * 0.2, 400.0, 0.0));
+        mp.set_interval(
+            app_ev,
+            t,
+            mt,
+            IntervalData::new(60.0, UNDEFINED, 1.0, UNDEFINED),
+        );
+        mp.set_interval(
+            send,
+            t,
+            mt,
+            IntervalData::new(3.0 + i as f64 * 0.2, 3.0 + i as f64 * 0.2, 400.0, 0.0),
+        );
         mp.set_interval(allr, t, mt, IntervalData::new(2.0, 2.0, 150.0, 0.0));
     }
     let mpip_file = tmp.join("run.mpip");
@@ -67,7 +82,9 @@ fn main() {
     let mut session = DatabaseSession::new(conn.clone()).unwrap();
 
     let tau_trial = load_path(&tau_dir).expect("tau import");
-    let hpm_trial = ProfileFormat::HpmToolkit.load(&hpm_dir).expect("hpm import");
+    let hpm_trial = ProfileFormat::HpmToolkit
+        .load(&hpm_dir)
+        .expect("hpm import");
     let mpip_trial = mpip::load_mpip_file(&mpip_file).expect("mpip import");
     for (exp, profile) in [
         ("tau", &tau_trial),
@@ -95,7 +112,10 @@ fn main() {
                     "      └─ trial {}: {} ({} nodes, source: {fmt})",
                     trial.id.unwrap(),
                     trial.name,
-                    trial.field("node_count").and_then(Value::as_int).unwrap_or(0),
+                    trial
+                        .field("node_count")
+                        .and_then(Value::as_int)
+                        .unwrap_or(0),
                 );
             }
         }
@@ -111,7 +131,10 @@ fn main() {
             session.set_metric(metric.clone());
             session.load_profile().unwrap()
         };
-        println!("\ntrial {id} ({}) — metric {metric}, per-thread top event:", trial.name);
+        println!(
+            "\ntrial {id} ({}) — metric {metric}, per-thread top event:",
+            trial.name
+        );
         let m = profile.find_metric(&metric).unwrap();
         for (tpos, &thread) in profile.threads().iter().enumerate() {
             // biggest exclusive event on this thread

@@ -81,7 +81,10 @@ fn main() {
         for i in 0..metrics.len() {
             for j in (i + 1)..metrics.len() {
                 if matrix[i][j].abs() > 0.8 {
-                    println!("  {} ~ {}: r = {:+.3}", metrics[i], metrics[j], matrix[i][j]);
+                    println!(
+                        "  {} ~ {}: r = {:+.3}",
+                        metrics[i], metrics[j], matrix[i][j]
+                    );
                 }
             }
         }
@@ -95,9 +98,7 @@ fn main() {
     } = client.cluster_hierarchical(trial_id, "sppm_timestep", 6)
     {
         let agreement = adjusted_rand_index(&assignments, &h_assignments);
-        println!(
-            "\nhierarchical clustering agrees with k-means: k = {hk}, ARI = {agreement:.3}"
-        );
+        println!("\nhierarchical clustering agrees with k-means: k = {hk}, ARI = {agreement:.3}");
     }
 
     // ---- browse the stored results, as the PerfExplorer client would ----

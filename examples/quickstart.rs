@@ -44,11 +44,16 @@ fn main() {
     for app in session.application_list().expect("list") {
         println!("  [{}] {}", app.id.unwrap_or(-1), app.name);
     }
-    println!("metrics of trial {trial_id}: {:?}", session.metric_list().unwrap());
+    println!(
+        "metrics of trial {trial_id}: {:?}",
+        session.metric_list().unwrap()
+    );
 
     // --- 4b. SQL aggregates across threads (paper §5.2) ---
     println!("\ntop 5 events by mean exclusive time (SQL aggregates):");
-    let mut aggs = session.event_aggregates("GET_TIME_OF_DAY").expect("aggregates");
+    let mut aggs = session
+        .event_aggregates("GET_TIME_OF_DAY")
+        .expect("aggregates");
     aggs.sort_by(|a, b| {
         b.mean_exclusive
             .unwrap_or(0.0)

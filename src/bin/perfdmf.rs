@@ -68,8 +68,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
     match command.as_str() {
         "import" => {
             let conn = open_db()?;
-            let app = flags.get("app").cloned().unwrap_or_else(|| "default".into());
-            let exp = flags.get("exp").cloned().unwrap_or_else(|| "default".into());
+            let app = flags
+                .get("app")
+                .cloned()
+                .unwrap_or_else(|| "default".into());
+            let exp = flags
+                .get("exp")
+                .cloned()
+                .unwrap_or_else(|| "default".into());
             if positional.is_empty() {
                 return Err("import: no input paths given".into());
             }
@@ -237,7 +243,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     settings_id,
                     ..
                 } => {
-                    println!("k = {k} (silhouette {silhouette:.3}), stored as settings {settings_id}");
+                    println!(
+                        "k = {k} (silhouette {silhouette:.3}), stored as settings {settings_id}"
+                    );
                     for s in summaries {
                         println!("cluster {} ({} threads):", s.cluster, s.size);
                         for (c, v) in columns.iter().zip(&s.centroid) {

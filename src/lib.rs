@@ -21,6 +21,9 @@
 //! * [`workload`] — synthetic dataset generators standing in for the
 //!   paper's LLNL workloads (EVH1, sPPM, Miranda).
 //! * [`xml`] — the XML substrate.
+//! * [`telemetry`] — the framework's own instrumentation layer (spans,
+//!   counters, histograms, structured events, self-profiling export);
+//!   see `docs/observability.md`.
 
 pub use perfdmf_analysis as analysis;
 pub use perfdmf_core as core;
@@ -28,5 +31,6 @@ pub use perfdmf_db as db;
 pub use perfdmf_explorer as explorer;
 pub use perfdmf_import as import;
 pub use perfdmf_profile as profile;
+pub use perfdmf_telemetry as telemetry;
 pub use perfdmf_workload as workload;
 pub use perfdmf_xml as xml;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_engine-5f706b202bbc3c62.d: crates/bench/benches/ablation_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_engine-5f706b202bbc3c62.rmeta: crates/bench/benches/ablation_engine.rs Cargo.toml
+
+crates/bench/benches/ablation_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

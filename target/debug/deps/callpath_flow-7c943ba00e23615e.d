@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/callpath_flow-7c943ba00e23615e.d: tests/callpath_flow.rs
+
+/root/repo/target/debug/deps/callpath_flow-7c943ba00e23615e: tests/callpath_flow.rs
+
+tests/callpath_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/callpath_flow-881ffdaee2b67a39.d: tests/callpath_flow.rs
+
+/root/repo/target/debug/deps/callpath_flow-881ffdaee2b67a39: tests/callpath_flow.rs
+
+tests/callpath_flow.rs:

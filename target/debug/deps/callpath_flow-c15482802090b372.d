@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/callpath_flow-c15482802090b372.d: tests/callpath_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcallpath_flow-c15482802090b372.rmeta: tests/callpath_flow.rs Cargo.toml
+
+tests/callpath_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

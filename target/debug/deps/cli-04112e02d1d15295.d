@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli-04112e02d1d15295.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-04112e02d1d15295: tests/cli.rs
+
+tests/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli-05a2dee5fcdb2a8d.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-05a2dee5fcdb2a8d.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli-c31bd83d85db7964.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-c31bd83d85db7964: tests/cli.rs
+
+tests/cli.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-47ae3403618b04ac.d: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+/root/repo/target/debug/deps/crossbeam-47ae3403618b04ac: vendor/crossbeam/src/lib.rs vendor/crossbeam/src/channel.rs vendor/crossbeam/src/thread.rs
+
+vendor/crossbeam/src/lib.rs:
+vendor/crossbeam/src/channel.rs:
+vendor/crossbeam/src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-3f752005f32dce87.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-3f752005f32dce87: tests/durability.rs
+
+tests/durability.rs:

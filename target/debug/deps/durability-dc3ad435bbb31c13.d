@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durability-dc3ad435bbb31c13.d: tests/durability.rs
+
+/root/repo/target/debug/deps/durability-dc3ad435bbb31c13: tests/durability.rs
+
+tests/durability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_large_scale-d73735c54f431337.d: crates/bench/benches/e1_large_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_large_scale-d73735c54f431337.rmeta: crates/bench/benches/e1_large_scale.rs Cargo.toml
+
+crates/bench/benches/e1_large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

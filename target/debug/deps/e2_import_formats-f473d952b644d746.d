@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_import_formats-f473d952b644d746.d: crates/bench/benches/e2_import_formats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_import_formats-f473d952b644d746.rmeta: crates/bench/benches/e2_import_formats.rs Cargo.toml
+
+crates/bench/benches/e2_import_formats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_speedup-e65e9a4e1b052ace.d: crates/bench/benches/e3_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_speedup-e65e9a4e1b052ace.rmeta: crates/bench/benches/e3_speedup.rs Cargo.toml
+
+crates/bench/benches/e3_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

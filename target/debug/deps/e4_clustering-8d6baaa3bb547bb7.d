@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_clustering-8d6baaa3bb547bb7.d: crates/bench/benches/e4_clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_clustering-8d6baaa3bb547bb7.rmeta: crates/bench/benches/e4_clustering.rs Cargo.toml
+
+crates/bench/benches/e4_clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_schema_ops-88b0c04cbb189a83.d: crates/bench/benches/e5_schema_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_schema_ops-88b0c04cbb189a83.rmeta: crates/bench/benches/e5_schema_ops.rs Cargo.toml
+
+crates/bench/benches/e5_schema_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_sql_aggregates-bd0c6aa9eeb8306c.d: crates/bench/benches/e7_sql_aggregates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_sql_aggregates-bd0c6aa9eeb8306c.rmeta: crates/bench/benches/e7_sql_aggregates.rs Cargo.toml
+
+crates/bench/benches/e7_sql_aggregates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_telemetry_overhead-da9ed7b3e6624766.d: crates/bench/benches/e8_telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_telemetry_overhead-da9ed7b3e6624766.rmeta: crates/bench/benches/e8_telemetry_overhead.rs Cargo.toml
+
+crates/bench/benches/e8_telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible_schema-3c4d58efe56f22d6.d: tests/flexible_schema.rs
+
+/root/repo/target/debug/deps/flexible_schema-3c4d58efe56f22d6: tests/flexible_schema.rs
+
+tests/flexible_schema.rs:

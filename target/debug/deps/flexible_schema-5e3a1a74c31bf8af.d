@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible_schema-5e3a1a74c31bf8af.d: tests/flexible_schema.rs
+
+/root/repo/target/debug/deps/flexible_schema-5e3a1a74c31bf8af: tests/flexible_schema.rs
+
+tests/flexible_schema.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexible_schema-6a6af4c993bae931.d: tests/flexible_schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexible_schema-6a6af4c993bae931.rmeta: tests/flexible_schema.rs Cargo.toml
+
+tests/flexible_schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/importer_roundtrip-54b25a23d6f220b7.d: tests/importer_roundtrip.rs
+
+/root/repo/target/debug/deps/importer_roundtrip-54b25a23d6f220b7: tests/importer_roundtrip.rs
+
+tests/importer_roundtrip.rs:

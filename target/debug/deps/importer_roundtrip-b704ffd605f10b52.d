@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/importer_roundtrip-b704ffd605f10b52.d: tests/importer_roundtrip.rs
+
+/root/repo/target/debug/deps/importer_roundtrip-b704ffd605f10b52: tests/importer_roundtrip.rs
+
+tests/importer_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/importer_roundtrip-e499c35f8d190e16.d: tests/importer_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimporter_roundtrip-e499c35f8d190e16.rmeta: tests/importer_roundtrip.rs Cargo.toml
+
+tests/importer_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrument_stress-0466bce3973f9456.d: crates/telemetry/tests/instrument_stress.rs
+
+/root/repo/target/debug/deps/instrument_stress-0466bce3973f9456: crates/telemetry/tests/instrument_stress.rs
+
+crates/telemetry/tests/instrument_stress.rs:

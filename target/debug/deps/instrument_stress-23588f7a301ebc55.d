@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instrument_stress-23588f7a301ebc55.d: crates/telemetry/tests/instrument_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstrument_stress-23588f7a301ebc55.rmeta: crates/telemetry/tests/instrument_stress.rs Cargo.toml
+
+crates/telemetry/tests/instrument_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_format_archive-65b997bf12acf6a7.d: tests/multi_format_archive.rs
+
+/root/repo/target/debug/deps/multi_format_archive-65b997bf12acf6a7: tests/multi_format_archive.rs
+
+tests/multi_format_archive.rs:

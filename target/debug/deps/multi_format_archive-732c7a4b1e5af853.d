@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_format_archive-732c7a4b1e5af853.d: tests/multi_format_archive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_format_archive-732c7a4b1e5af853.rmeta: tests/multi_format_archive.rs Cargo.toml
+
+tests/multi_format_archive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

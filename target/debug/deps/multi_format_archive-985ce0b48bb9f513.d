@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_format_archive-985ce0b48bb9f513.d: tests/multi_format_archive.rs
+
+/root/repo/target/debug/deps/multi_format_archive-985ce0b48bb9f513: tests/multi_format_archive.rs
+
+tests/multi_format_archive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-0d62ebe3cbaf5b50.d: src/bin/perfdmf.rs
+
+/root/repo/target/debug/deps/perfdmf-0d62ebe3cbaf5b50: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

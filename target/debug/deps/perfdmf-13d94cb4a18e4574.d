@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf-13d94cb4a18e4574.d: src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf-13d94cb4a18e4574.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf-13d94cb4a18e4574.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-2860394505182d89.d: src/lib.rs
+
+/root/repo/target/debug/deps/perfdmf-2860394505182d89: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf-3892d5d50bba2e79.d: src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf-3892d5d50bba2e79.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf-3892d5d50bba2e79.rmeta: src/lib.rs
+
+src/lib.rs:

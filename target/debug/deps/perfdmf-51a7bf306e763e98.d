@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-51a7bf306e763e98.d: src/bin/perfdmf.rs
+
+/root/repo/target/debug/deps/perfdmf-51a7bf306e763e98: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

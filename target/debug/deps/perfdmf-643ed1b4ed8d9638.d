@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf-643ed1b4ed8d9638.d: src/bin/perfdmf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf-643ed1b4ed8d9638.rmeta: src/bin/perfdmf.rs Cargo.toml
+
+src/bin/perfdmf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf-68be19563fa2a088.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf-68be19563fa2a088.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf-8109f7accdcad41c.d: src/bin/perfdmf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf-8109f7accdcad41c.rmeta: src/bin/perfdmf.rs Cargo.toml
+
+src/bin/perfdmf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

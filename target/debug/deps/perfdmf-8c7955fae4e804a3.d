@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-8c7955fae4e804a3.d: src/bin/perfdmf.rs
+
+/root/repo/target/debug/deps/perfdmf-8c7955fae4e804a3: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-e02113e8193bf4b6.d: src/bin/perfdmf.rs
+
+/root/repo/target/debug/deps/perfdmf-e02113e8193bf4b6: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf-ea8b96b4ba700c86.d: src/lib.rs
+
+/root/repo/target/debug/deps/perfdmf-ea8b96b4ba700c86: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf-f725d43a7db6ab88.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf-f725d43a7db6ab88.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

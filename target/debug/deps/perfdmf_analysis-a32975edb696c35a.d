@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/perfdmf_analysis-a32975edb696c35a.d: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs
+
+/root/repo/target/debug/deps/perfdmf_analysis-a32975edb696c35a: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/compare.rs:
+crates/analysis/src/features.rs:
+crates/analysis/src/hierarchical.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/pca.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/scalability.rs:
+crates/analysis/src/speedup.rs:
+crates/analysis/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/perfdmf_analysis-c4fb816e10812a38.d: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_analysis-c4fb816e10812a38.rmeta: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/compare.rs:
+crates/analysis/src/features.rs:
+crates/analysis/src/hierarchical.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/pca.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/scalability.rs:
+crates/analysis/src/speedup.rs:
+crates/analysis/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf_bench-10c199367e016a85.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_bench-10c199367e016a85.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf_bench-2b39bd4048a9db3f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-2b39bd4048a9db3f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-2b39bd4048a9db3f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf_bench-6de045342ea1a495.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-6de045342ea1a495.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-6de045342ea1a495.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

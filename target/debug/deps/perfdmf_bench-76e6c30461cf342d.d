@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf_bench-76e6c30461cf342d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/perfdmf_bench-76e6c30461cf342d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfdmf_bench-a4cd7aef9de3db6a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/perfdmf_bench-a4cd7aef9de3db6a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf_bench-ddaa91b576f0210f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_bench-ddaa91b576f0210f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

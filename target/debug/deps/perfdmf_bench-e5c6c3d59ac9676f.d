@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf_bench-e5c6c3d59ac9676f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-e5c6c3d59ac9676f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libperfdmf_bench-e5c6c3d59ac9676f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

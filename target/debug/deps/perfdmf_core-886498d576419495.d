@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfdmf_core-886498d576419495.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/debug/deps/libperfdmf_core-886498d576419495.rlib: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/debug/deps/libperfdmf_core-886498d576419495.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/objects.rs:
+crates/core/src/schema.rs:
+crates/core/src/session.rs:
+crates/core/src/upload.rs:

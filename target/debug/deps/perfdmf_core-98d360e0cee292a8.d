@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/perfdmf_core-98d360e0cee292a8.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_core-98d360e0cee292a8.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/objects.rs:
+crates/core/src/schema.rs:
+crates/core/src/session.rs:
+crates/core/src/upload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfdmf_core-9ec714e5769eead0.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/debug/deps/libperfdmf_core-9ec714e5769eead0.rlib: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/debug/deps/libperfdmf_core-9ec714e5769eead0.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/objects.rs:
+crates/core/src/schema.rs:
+crates/core/src/session.rs:
+crates/core/src/upload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perfdmf_core-d9b6f1be595a4787.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/debug/deps/perfdmf_core-d9b6f1be595a4787: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/objects.rs:
+crates/core/src/schema.rs:
+crates/core/src/session.rs:
+crates/core/src/upload.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/perfdmf_db-9cce3f856d87f0e1.d: crates/db/src/lib.rs crates/db/src/connection.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/exec/mod.rs crates/db/src/exec/aggregate.rs crates/db/src/exec/eval.rs crates/db/src/exec/select.rs crates/db/src/index.rs crates/db/src/observe.rs crates/db/src/schema.rs crates/db/src/sql/mod.rs crates/db/src/sql/ast.rs crates/db/src/sql/lexer.rs crates/db/src/sql/parser.rs crates/db/src/storage.rs crates/db/src/table.rs crates/db/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_db-9cce3f856d87f0e1.rmeta: crates/db/src/lib.rs crates/db/src/connection.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/exec/mod.rs crates/db/src/exec/aggregate.rs crates/db/src/exec/eval.rs crates/db/src/exec/select.rs crates/db/src/index.rs crates/db/src/observe.rs crates/db/src/schema.rs crates/db/src/sql/mod.rs crates/db/src/sql/ast.rs crates/db/src/sql/lexer.rs crates/db/src/sql/parser.rs crates/db/src/storage.rs crates/db/src/table.rs crates/db/src/value.rs Cargo.toml
+
+crates/db/src/lib.rs:
+crates/db/src/connection.rs:
+crates/db/src/database.rs:
+crates/db/src/error.rs:
+crates/db/src/exec/mod.rs:
+crates/db/src/exec/aggregate.rs:
+crates/db/src/exec/eval.rs:
+crates/db/src/exec/select.rs:
+crates/db/src/index.rs:
+crates/db/src/observe.rs:
+crates/db/src/schema.rs:
+crates/db/src/sql/mod.rs:
+crates/db/src/sql/ast.rs:
+crates/db/src/sql/lexer.rs:
+crates/db/src/sql/parser.rs:
+crates/db/src/storage.rs:
+crates/db/src/table.rs:
+crates/db/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

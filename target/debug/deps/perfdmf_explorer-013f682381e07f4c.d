@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perfdmf_explorer-013f682381e07f4c.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/libperfdmf_explorer-013f682381e07f4c.rlib: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/libperfdmf_explorer-013f682381e07f4c.rmeta: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perfdmf_explorer-3423a233b89029f6.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/libperfdmf_explorer-3423a233b89029f6.rlib: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/libperfdmf_explorer-3423a233b89029f6.rmeta: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/perfdmf_explorer-485e8b77c413a075.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/perfdmf_explorer-485e8b77c413a075: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfdmf_explorer-e06fd2bc9d8c1874.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_explorer-e06fd2bc9d8c1874.rmeta: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs Cargo.toml
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

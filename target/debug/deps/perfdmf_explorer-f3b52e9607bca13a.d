@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/perfdmf_explorer-f3b52e9607bca13a.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/debug/deps/perfdmf_explorer-f3b52e9607bca13a: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/perfdmf_import-08825bd53fb56c51.d: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs
+
+/root/repo/target/debug/deps/perfdmf_import-08825bd53fb56c51: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs
+
+crates/import/src/lib.rs:
+crates/import/src/cube.rs:
+crates/import/src/dynaprof.rs:
+crates/import/src/error.rs:
+crates/import/src/gprof.rs:
+crates/import/src/hpm.rs:
+crates/import/src/mpip.rs:
+crates/import/src/psrun.rs:
+crates/import/src/source.rs:
+crates/import/src/sppm.rs:
+crates/import/src/tau.rs:
+crates/import/src/xml_format.rs:

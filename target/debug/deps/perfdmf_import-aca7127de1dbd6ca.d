@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/perfdmf_import-aca7127de1dbd6ca.d: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_import-aca7127de1dbd6ca.rmeta: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs Cargo.toml
+
+crates/import/src/lib.rs:
+crates/import/src/cube.rs:
+crates/import/src/dynaprof.rs:
+crates/import/src/error.rs:
+crates/import/src/gprof.rs:
+crates/import/src/hpm.rs:
+crates/import/src/mpip.rs:
+crates/import/src/psrun.rs:
+crates/import/src/source.rs:
+crates/import/src/sppm.rs:
+crates/import/src/tau.rs:
+crates/import/src/xml_format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/perfdmf_profile-0dc50c26aa841317.d: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_profile-0dc50c26aa841317.rmeta: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/atomic.rs:
+crates/profile/src/callpath.rs:
+crates/profile/src/derived.rs:
+crates/profile/src/event.rs:
+crates/profile/src/interval.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/perfdmf_profile-532f947552851a68.d: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+/root/repo/target/debug/deps/libperfdmf_profile-532f947552851a68.rlib: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+/root/repo/target/debug/deps/libperfdmf_profile-532f947552851a68.rmeta: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/atomic.rs:
+crates/profile/src/callpath.rs:
+crates/profile/src/derived.rs:
+crates/profile/src/event.rs:
+crates/profile/src/interval.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/thread.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfdmf_profile-7396ca2dd391664f.d: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+/root/repo/target/debug/deps/perfdmf_profile-7396ca2dd391664f: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/atomic.rs:
+crates/profile/src/callpath.rs:
+crates/profile/src/derived.rs:
+crates/profile/src/event.rs:
+crates/profile/src/interval.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/thread.rs:

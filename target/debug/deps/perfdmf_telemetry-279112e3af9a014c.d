@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/perfdmf_telemetry-279112e3af9a014c.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libperfdmf_telemetry-279112e3af9a014c.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libperfdmf_telemetry-279112e3af9a014c.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/perfdmf_telemetry-bd3c1fa05ca66d3f.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_telemetry-bd3c1fa05ca66d3f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

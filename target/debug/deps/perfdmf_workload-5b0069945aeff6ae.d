@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/perfdmf_workload-5b0069945aeff6ae.d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_workload-5b0069945aeff6ae.rmeta: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/models.rs:
+crates/workload/src/writers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf_workload-82339ad05f046019.d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/debug/deps/perfdmf_workload-82339ad05f046019: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/models.rs:
+crates/workload/src/writers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfdmf_workload-b1b3946b5d9416fd.d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/debug/deps/libperfdmf_workload-b1b3946b5d9416fd.rlib: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/debug/deps/libperfdmf_workload-b1b3946b5d9416fd.rmeta: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/models.rs:
+crates/workload/src/writers.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/perfdmf_workload-ebba1ee69955db6d.d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/debug/deps/perfdmf_workload-ebba1ee69955db6d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/models.rs:
+crates/workload/src/writers.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/perfdmf_xml-32b974fdcc4af68d.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfdmf_xml-32b974fdcc4af68d.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perfdmf_xml-963ab63161343f69.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/perfdmf_xml-963ab63161343f69: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/perfdmf_xml-a7f8df4f480f33cd.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libperfdmf_xml-a7f8df4f480f33cd.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/debug/deps/libperfdmf_xml-a7f8df4f480f33cd.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perfexplorer_end_to_end-1be3fde88c95cf94.d: tests/perfexplorer_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperfexplorer_end_to_end-1be3fde88c95cf94.rmeta: tests/perfexplorer_end_to_end.rs Cargo.toml
+
+tests/perfexplorer_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

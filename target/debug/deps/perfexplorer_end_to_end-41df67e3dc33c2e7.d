@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfexplorer_end_to_end-41df67e3dc33c2e7.d: tests/perfexplorer_end_to_end.rs
+
+/root/repo/target/debug/deps/perfexplorer_end_to_end-41df67e3dc33c2e7: tests/perfexplorer_end_to_end.rs
+
+tests/perfexplorer_end_to_end.rs:

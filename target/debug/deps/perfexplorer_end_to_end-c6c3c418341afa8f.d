@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perfexplorer_end_to_end-c6c3c418341afa8f.d: tests/perfexplorer_end_to_end.rs
+
+/root/repo/target/debug/deps/perfexplorer_end_to_end-c6c3c418341afa8f: tests/perfexplorer_end_to_end.rs
+
+tests/perfexplorer_end_to_end.rs:

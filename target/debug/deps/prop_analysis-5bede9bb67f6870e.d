@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_analysis-5bede9bb67f6870e.d: crates/analysis/tests/prop_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_analysis-5bede9bb67f6870e.rmeta: crates/analysis/tests/prop_analysis.rs Cargo.toml
+
+crates/analysis/tests/prop_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

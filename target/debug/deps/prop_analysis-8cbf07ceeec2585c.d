@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_analysis-8cbf07ceeec2585c.d: crates/analysis/tests/prop_analysis.rs
+
+/root/repo/target/debug/deps/prop_analysis-8cbf07ceeec2585c: crates/analysis/tests/prop_analysis.rs
+
+crates/analysis/tests/prop_analysis.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_db-78787f843b94f3f9.d: crates/db/tests/prop_db.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_db-78787f843b94f3f9.rmeta: crates/db/tests/prop_db.rs Cargo.toml
+
+crates/db/tests/prop_db.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_db-ed4662d670b2a951.d: crates/db/tests/prop_db.rs
+
+/root/repo/target/debug/deps/prop_db-ed4662d670b2a951: crates/db/tests/prop_db.rs
+
+crates/db/tests/prop_db.rs:

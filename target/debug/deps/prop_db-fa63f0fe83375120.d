@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_db-fa63f0fe83375120.d: crates/db/tests/prop_db.rs
+
+/root/repo/target/debug/deps/prop_db-fa63f0fe83375120: crates/db/tests/prop_db.rs
+
+crates/db/tests/prop_db.rs:

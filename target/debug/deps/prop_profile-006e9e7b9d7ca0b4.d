@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_profile-006e9e7b9d7ca0b4.d: crates/profile/tests/prop_profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_profile-006e9e7b9d7ca0b4.rmeta: crates/profile/tests/prop_profile.rs Cargo.toml
+
+crates/profile/tests/prop_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

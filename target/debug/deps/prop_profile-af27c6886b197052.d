@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_profile-af27c6886b197052.d: crates/profile/tests/prop_profile.rs
+
+/root/repo/target/debug/deps/prop_profile-af27c6886b197052: crates/profile/tests/prop_profile.rs
+
+crates/profile/tests/prop_profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-17a580b990a26197.d: crates/workload/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-17a580b990a26197.rmeta: crates/workload/tests/prop_roundtrip.rs Cargo.toml
+
+crates/workload/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-2137a3e3cfcdb886.d: crates/workload/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-2137a3e3cfcdb886: crates/workload/tests/prop_roundtrip.rs
+
+crates/workload/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-630be4ae0292bcaa.d: crates/workload/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-630be4ae0292bcaa: crates/workload/tests/prop_roundtrip.rs
+
+crates/workload/tests/prop_roundtrip.rs:

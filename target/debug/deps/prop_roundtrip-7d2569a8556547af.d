@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-7d2569a8556547af.d: crates/xml/tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-7d2569a8556547af.rmeta: crates/xml/tests/prop_roundtrip.rs Cargo.toml
+
+crates/xml/tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-99435b8c200484e7.d: crates/xml/tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-99435b8c200484e7: crates/xml/tests/prop_roundtrip.rs
+
+crates/xml/tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_upload-716e17ce443b522b.d: crates/core/tests/prop_upload.rs
+
+/root/repo/target/debug/deps/prop_upload-716e17ce443b522b: crates/core/tests/prop_upload.rs
+
+crates/core/tests/prop_upload.rs:

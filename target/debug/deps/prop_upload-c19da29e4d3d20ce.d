@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_upload-c19da29e4d3d20ce.d: crates/core/tests/prop_upload.rs
+
+/root/repo/target/debug/deps/prop_upload-c19da29e4d3d20ce: crates/core/tests/prop_upload.rs
+
+crates/core/tests/prop_upload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_upload-c881365e9016556a.d: crates/core/tests/prop_upload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_upload-c881365e9016556a.rmeta: crates/core/tests/prop_upload.rs Cargo.toml
+
+crates/core/tests/prop_upload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

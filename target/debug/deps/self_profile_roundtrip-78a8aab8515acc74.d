@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/self_profile_roundtrip-78a8aab8515acc74.d: crates/core/tests/self_profile_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_profile_roundtrip-78a8aab8515acc74.rmeta: crates/core/tests/self_profile_roundtrip.rs Cargo.toml
+
+crates/core/tests/self_profile_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_profile_roundtrip-906ec3917b3f823b.d: crates/core/tests/self_profile_roundtrip.rs
+
+/root/repo/target/debug/deps/self_profile_roundtrip-906ec3917b3f823b: crates/core/tests/self_profile_roundtrip.rs
+
+crates/core/tests/self_profile_roundtrip.rs:

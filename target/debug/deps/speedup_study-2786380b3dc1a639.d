@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speedup_study-2786380b3dc1a639.d: tests/speedup_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeedup_study-2786380b3dc1a639.rmeta: tests/speedup_study.rs Cargo.toml
+
+tests/speedup_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_study-2c12b5f794e58e4e.d: tests/speedup_study.rs
+
+/root/repo/target/debug/deps/speedup_study-2c12b5f794e58e4e: tests/speedup_study.rs
+
+tests/speedup_study.rs:

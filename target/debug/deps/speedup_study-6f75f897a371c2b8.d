@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup_study-6f75f897a371c2b8.d: tests/speedup_study.rs
+
+/root/repo/target/debug/deps/speedup_study-6f75f897a371c2b8: tests/speedup_study.rs
+
+tests/speedup_study.rs:

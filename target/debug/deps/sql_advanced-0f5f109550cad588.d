@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_advanced-0f5f109550cad588.d: crates/db/tests/sql_advanced.rs
+
+/root/repo/target/debug/deps/sql_advanced-0f5f109550cad588: crates/db/tests/sql_advanced.rs
+
+crates/db/tests/sql_advanced.rs:

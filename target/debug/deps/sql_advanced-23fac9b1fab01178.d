@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_advanced-23fac9b1fab01178.d: crates/db/tests/sql_advanced.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_advanced-23fac9b1fab01178.rmeta: crates/db/tests/sql_advanced.rs Cargo.toml
+
+crates/db/tests/sql_advanced.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

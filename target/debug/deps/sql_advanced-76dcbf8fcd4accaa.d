@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_advanced-76dcbf8fcd4accaa.d: crates/db/tests/sql_advanced.rs
+
+/root/repo/target/debug/deps/sql_advanced-76dcbf8fcd4accaa: crates/db/tests/sql_advanced.rs
+
+crates/db/tests/sql_advanced.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_suite-0d86407d915542d9.d: crates/db/tests/sql_suite.rs
+
+/root/repo/target/debug/deps/sql_suite-0d86407d915542d9: crates/db/tests/sql_suite.rs
+
+crates/db/tests/sql_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_suite-551f72ed5aead7c4.d: crates/db/tests/sql_suite.rs
+
+/root/repo/target/debug/deps/sql_suite-551f72ed5aead7c4: crates/db/tests/sql_suite.rs
+
+crates/db/tests/sql_suite.rs:

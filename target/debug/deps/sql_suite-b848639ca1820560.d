@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_suite-b848639ca1820560.d: crates/db/tests/sql_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_suite-b848639ca1820560.rmeta: crates/db/tests/sql_suite.rs Cargo.toml
+
+crates/db/tests/sql_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-2aa40cf1542986bb.d: crates/db/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-2aa40cf1542986bb.rmeta: crates/db/tests/stress.rs Cargo.toml
+
+crates/db/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

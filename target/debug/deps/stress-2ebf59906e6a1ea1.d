@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-2ebf59906e6a1ea1.d: crates/db/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-2ebf59906e6a1ea1: crates/db/tests/stress.rs
+
+crates/db/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-7e6c7c4b393c3b1c.d: crates/db/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-7e6c7c4b393c3b1c: crates/db/tests/stress.rs
+
+crates/db/tests/stress.rs:

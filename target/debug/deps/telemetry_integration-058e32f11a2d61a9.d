@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_integration-058e32f11a2d61a9.d: crates/db/tests/telemetry_integration.rs
+
+/root/repo/target/debug/deps/telemetry_integration-058e32f11a2d61a9: crates/db/tests/telemetry_integration.rs
+
+crates/db/tests/telemetry_integration.rs:

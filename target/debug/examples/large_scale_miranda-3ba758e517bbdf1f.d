@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_scale_miranda-3ba758e517bbdf1f.d: examples/large_scale_miranda.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_scale_miranda-3ba758e517bbdf1f.rmeta: examples/large_scale_miranda.rs Cargo.toml
+
+examples/large_scale_miranda.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale_miranda-613c4714a3b3351a.d: examples/large_scale_miranda.rs
+
+/root/repo/target/debug/examples/large_scale_miranda-613c4714a3b3351a: examples/large_scale_miranda.rs
+
+examples/large_scale_miranda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale_miranda-8d4f02099349b8b3.d: examples/large_scale_miranda.rs
+
+/root/repo/target/debug/examples/large_scale_miranda-8d4f02099349b8b3: examples/large_scale_miranda.rs
+
+examples/large_scale_miranda.rs:

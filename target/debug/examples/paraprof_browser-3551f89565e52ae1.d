@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paraprof_browser-3551f89565e52ae1.d: examples/paraprof_browser.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparaprof_browser-3551f89565e52ae1.rmeta: examples/paraprof_browser.rs Cargo.toml
+
+examples/paraprof_browser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

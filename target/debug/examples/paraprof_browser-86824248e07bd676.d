@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paraprof_browser-86824248e07bd676.d: examples/paraprof_browser.rs
+
+/root/repo/target/debug/examples/paraprof_browser-86824248e07bd676: examples/paraprof_browser.rs
+
+examples/paraprof_browser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paraprof_browser-d39a60aff822a2e5.d: examples/paraprof_browser.rs
+
+/root/repo/target/debug/examples/paraprof_browser-d39a60aff822a2e5: examples/paraprof_browser.rs
+
+examples/paraprof_browser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perfexplorer_mining-11fefe822edf125c.d: examples/perfexplorer_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperfexplorer_mining-11fefe822edf125c.rmeta: examples/perfexplorer_mining.rs Cargo.toml
+
+examples/perfexplorer_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perfexplorer_mining-1e0418311a2ef7d4.d: examples/perfexplorer_mining.rs
+
+/root/repo/target/debug/examples/perfexplorer_mining-1e0418311a2ef7d4: examples/perfexplorer_mining.rs
+
+examples/perfexplorer_mining.rs:

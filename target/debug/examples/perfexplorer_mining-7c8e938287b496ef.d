@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perfexplorer_mining-7c8e938287b496ef.d: examples/perfexplorer_mining.rs
+
+/root/repo/target/debug/examples/perfexplorer_mining-7c8e938287b496ef: examples/perfexplorer_mining.rs
+
+examples/perfexplorer_mining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d37540b2a28b2adf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d37540b2a28b2adf: examples/quickstart.rs
+
+examples/quickstart.rs:

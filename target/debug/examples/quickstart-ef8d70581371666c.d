@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef8d70581371666c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef8d70581371666c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/report_views-54aafded6b40d171.d: examples/report_views.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreport_views-54aafded6b40d171.rmeta: examples/report_views.rs Cargo.toml
+
+examples/report_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_views-d6b8a1dffe8b56a5.d: examples/report_views.rs
+
+/root/repo/target/debug/examples/report_views-d6b8a1dffe8b56a5: examples/report_views.rs
+
+examples/report_views.rs:

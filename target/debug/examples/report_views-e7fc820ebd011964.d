@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_views-e7fc820ebd011964.d: examples/report_views.rs
+
+/root/repo/target/debug/examples/report_views-e7fc820ebd011964: examples/report_views.rs
+
+examples/report_views.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/self_profile-4cf88db8c79ec86a.d: examples/self_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libself_profile-4cf88db8c79ec86a.rmeta: examples/self_profile.rs Cargo.toml
+
+examples/self_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/self_profile-c8bda37d2b75cf69.d: examples/self_profile.rs
+
+/root/repo/target/debug/examples/self_profile-c8bda37d2b75cf69: examples/self_profile.rs
+
+examples/self_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/speedup_analyzer-9fac555c74434f69.d: examples/speedup_analyzer.rs
+
+/root/repo/target/debug/examples/speedup_analyzer-9fac555c74434f69: examples/speedup_analyzer.rs
+
+examples/speedup_analyzer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/speedup_analyzer-c62c3ee8a4f176bf.d: examples/speedup_analyzer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspeedup_analyzer-c62c3ee8a4f176bf.rmeta: examples/speedup_analyzer.rs Cargo.toml
+
+examples/speedup_analyzer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

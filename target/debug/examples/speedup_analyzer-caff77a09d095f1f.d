@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/speedup_analyzer-caff77a09d095f1f.d: examples/speedup_analyzer.rs
+
+/root/repo/target/debug/examples/speedup_analyzer-caff77a09d095f1f: examples/speedup_analyzer.rs
+
+examples/speedup_analyzer.rs:

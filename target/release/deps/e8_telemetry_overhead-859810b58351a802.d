@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e8_telemetry_overhead-859810b58351a802.d: crates/bench/benches/e8_telemetry_overhead.rs
+
+/root/repo/target/release/deps/e8_telemetry_overhead-859810b58351a802: crates/bench/benches/e8_telemetry_overhead.rs
+
+crates/bench/benches/e8_telemetry_overhead.rs:

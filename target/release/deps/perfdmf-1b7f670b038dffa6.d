@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfdmf-1b7f670b038dffa6.d: src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf-1b7f670b038dffa6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf-1b7f670b038dffa6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfdmf-1f7d40e3b9132e47.d: src/bin/perfdmf.rs
+
+/root/repo/target/release/deps/perfdmf-1f7d40e3b9132e47: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

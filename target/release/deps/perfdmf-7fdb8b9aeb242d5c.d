@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perfdmf-7fdb8b9aeb242d5c.d: src/bin/perfdmf.rs
+
+/root/repo/target/release/deps/perfdmf-7fdb8b9aeb242d5c: src/bin/perfdmf.rs
+
+src/bin/perfdmf.rs:

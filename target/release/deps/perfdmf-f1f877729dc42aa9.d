@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfdmf-f1f877729dc42aa9.d: src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf-f1f877729dc42aa9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf-f1f877729dc42aa9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/perfdmf_analysis-0079bf2a68fd80f9.d: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libperfdmf_analysis-0079bf2a68fd80f9.rlib: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs
+
+/root/repo/target/release/deps/libperfdmf_analysis-0079bf2a68fd80f9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/compare.rs crates/analysis/src/features.rs crates/analysis/src/hierarchical.rs crates/analysis/src/kmeans.rs crates/analysis/src/pca.rs crates/analysis/src/report.rs crates/analysis/src/scalability.rs crates/analysis/src/speedup.rs crates/analysis/src/stats.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/compare.rs:
+crates/analysis/src/features.rs:
+crates/analysis/src/hierarchical.rs:
+crates/analysis/src/kmeans.rs:
+crates/analysis/src/pca.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/scalability.rs:
+crates/analysis/src/speedup.rs:
+crates/analysis/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perfdmf_bench-d321728bcd6c5dee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf_bench-d321728bcd6c5dee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libperfdmf_bench-d321728bcd6c5dee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/perfdmf_core-6e8f58fe50315e6f.d: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/release/deps/libperfdmf_core-6e8f58fe50315e6f.rlib: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+/root/repo/target/release/deps/libperfdmf_core-6e8f58fe50315e6f.rmeta: crates/core/src/lib.rs crates/core/src/archive.rs crates/core/src/objects.rs crates/core/src/schema.rs crates/core/src/session.rs crates/core/src/upload.rs
+
+crates/core/src/lib.rs:
+crates/core/src/archive.rs:
+crates/core/src/objects.rs:
+crates/core/src/schema.rs:
+crates/core/src/session.rs:
+crates/core/src/upload.rs:

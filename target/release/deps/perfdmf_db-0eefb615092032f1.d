@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/perfdmf_db-0eefb615092032f1.d: crates/db/src/lib.rs crates/db/src/connection.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/exec/mod.rs crates/db/src/exec/aggregate.rs crates/db/src/exec/eval.rs crates/db/src/exec/select.rs crates/db/src/index.rs crates/db/src/schema.rs crates/db/src/sql/mod.rs crates/db/src/sql/ast.rs crates/db/src/sql/lexer.rs crates/db/src/sql/parser.rs crates/db/src/storage.rs crates/db/src/table.rs crates/db/src/value.rs
+
+/root/repo/target/release/deps/libperfdmf_db-0eefb615092032f1.rlib: crates/db/src/lib.rs crates/db/src/connection.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/exec/mod.rs crates/db/src/exec/aggregate.rs crates/db/src/exec/eval.rs crates/db/src/exec/select.rs crates/db/src/index.rs crates/db/src/schema.rs crates/db/src/sql/mod.rs crates/db/src/sql/ast.rs crates/db/src/sql/lexer.rs crates/db/src/sql/parser.rs crates/db/src/storage.rs crates/db/src/table.rs crates/db/src/value.rs
+
+/root/repo/target/release/deps/libperfdmf_db-0eefb615092032f1.rmeta: crates/db/src/lib.rs crates/db/src/connection.rs crates/db/src/database.rs crates/db/src/error.rs crates/db/src/exec/mod.rs crates/db/src/exec/aggregate.rs crates/db/src/exec/eval.rs crates/db/src/exec/select.rs crates/db/src/index.rs crates/db/src/schema.rs crates/db/src/sql/mod.rs crates/db/src/sql/ast.rs crates/db/src/sql/lexer.rs crates/db/src/sql/parser.rs crates/db/src/storage.rs crates/db/src/table.rs crates/db/src/value.rs
+
+crates/db/src/lib.rs:
+crates/db/src/connection.rs:
+crates/db/src/database.rs:
+crates/db/src/error.rs:
+crates/db/src/exec/mod.rs:
+crates/db/src/exec/aggregate.rs:
+crates/db/src/exec/eval.rs:
+crates/db/src/exec/select.rs:
+crates/db/src/index.rs:
+crates/db/src/schema.rs:
+crates/db/src/sql/mod.rs:
+crates/db/src/sql/ast.rs:
+crates/db/src/sql/lexer.rs:
+crates/db/src/sql/parser.rs:
+crates/db/src/storage.rs:
+crates/db/src/table.rs:
+crates/db/src/value.rs:

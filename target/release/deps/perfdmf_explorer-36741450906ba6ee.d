@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/perfdmf_explorer-36741450906ba6ee.d: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/release/deps/libperfdmf_explorer-36741450906ba6ee.rlib: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+/root/repo/target/release/deps/libperfdmf_explorer-36741450906ba6ee.rmeta: crates/explorer/src/lib.rs crates/explorer/src/client.rs crates/explorer/src/protocol.rs crates/explorer/src/server.rs
+
+crates/explorer/src/lib.rs:
+crates/explorer/src/client.rs:
+crates/explorer/src/protocol.rs:
+crates/explorer/src/server.rs:

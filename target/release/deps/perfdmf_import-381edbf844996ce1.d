@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/perfdmf_import-381edbf844996ce1.d: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs
+
+/root/repo/target/release/deps/libperfdmf_import-381edbf844996ce1.rlib: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs
+
+/root/repo/target/release/deps/libperfdmf_import-381edbf844996ce1.rmeta: crates/import/src/lib.rs crates/import/src/cube.rs crates/import/src/dynaprof.rs crates/import/src/error.rs crates/import/src/gprof.rs crates/import/src/hpm.rs crates/import/src/mpip.rs crates/import/src/psrun.rs crates/import/src/source.rs crates/import/src/sppm.rs crates/import/src/tau.rs crates/import/src/xml_format.rs
+
+crates/import/src/lib.rs:
+crates/import/src/cube.rs:
+crates/import/src/dynaprof.rs:
+crates/import/src/error.rs:
+crates/import/src/gprof.rs:
+crates/import/src/hpm.rs:
+crates/import/src/mpip.rs:
+crates/import/src/psrun.rs:
+crates/import/src/source.rs:
+crates/import/src/sppm.rs:
+crates/import/src/tau.rs:
+crates/import/src/xml_format.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/perfdmf_profile-8c7fd0581d9fddaf.d: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+/root/repo/target/release/deps/libperfdmf_profile-8c7fd0581d9fddaf.rlib: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+/root/repo/target/release/deps/libperfdmf_profile-8c7fd0581d9fddaf.rmeta: crates/profile/src/lib.rs crates/profile/src/atomic.rs crates/profile/src/callpath.rs crates/profile/src/derived.rs crates/profile/src/event.rs crates/profile/src/interval.rs crates/profile/src/profile.rs crates/profile/src/thread.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/atomic.rs:
+crates/profile/src/callpath.rs:
+crates/profile/src/derived.rs:
+crates/profile/src/event.rs:
+crates/profile/src/interval.rs:
+crates/profile/src/profile.rs:
+crates/profile/src/thread.rs:

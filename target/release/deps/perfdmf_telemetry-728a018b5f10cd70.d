@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/perfdmf_telemetry-728a018b5f10cd70.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libperfdmf_telemetry-728a018b5f10cd70.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libperfdmf_telemetry-728a018b5f10cd70.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perfdmf_workload-2c98c4342e7b6f23.d: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/release/deps/libperfdmf_workload-2c98c4342e7b6f23.rlib: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+/root/repo/target/release/deps/libperfdmf_workload-2c98c4342e7b6f23.rmeta: crates/workload/src/lib.rs crates/workload/src/models.rs crates/workload/src/writers.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/models.rs:
+crates/workload/src/writers.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/perfdmf_xml-f3302f968b90483f.d: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libperfdmf_xml-f3302f968b90483f.rlib: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libperfdmf_xml-f3302f968b90483f.rmeta: crates/xml/src/lib.rs crates/xml/src/dom.rs crates/xml/src/error.rs crates/xml/src/escape.rs crates/xml/src/reader.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/dom.rs:
+crates/xml/src/error.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/reader.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-39b6e026d428c82c.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-39b6e026d428c82c: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/self_profile-2e00dd02040d8e05.d: examples/self_profile.rs
+
+/root/repo/target/release/examples/self_profile-2e00dd02040d8e05: examples/self_profile.rs
+
+examples/self_profile.rs:

@@ -70,10 +70,7 @@ fn callpaths_roundtrip_through_tau_files_and_database() {
     assert_eq!(main.inclusive, Some(100.0));
     let solve = main.child("solve").unwrap();
     assert_eq!(solve.children.len(), 2);
-    assert_eq!(
-        solve.child("MPI_Allreduce()").unwrap().calls,
-        Some(50.0)
-    );
+    assert_eq!(solve.child("MPI_Allreduce()").unwrap().calls, Some(50.0));
 
     // --- flat view merges the callpath leaf with its flat twin ---
     let flat = flatten_callpaths(&loaded, ThreadId::new(0, 0, 0), m);

@@ -108,11 +108,8 @@ fn torn_wal_tail_loses_only_uncommitted_work() {
             .unwrap();
         assert!(rows > 0);
         // and the database remains writable afterwards
-        conn.insert(
-            "INSERT INTO application (name) VALUES ('after-crash')",
-            &[],
-        )
-        .unwrap();
+        conn.insert("INSERT INTO application (name) VALUES ('after-crash')", &[])
+            .unwrap();
     }
     {
         let conn = Connection::open(&dir).unwrap();

@@ -34,7 +34,9 @@ fn tau_directory_import_matches_ground_truth() {
     for (ei, ev) in truth.events().iter().enumerate() {
         let ge = got.find_event(&ev.name).unwrap();
         for &t in truth.threads() {
-            let a = truth.interval(perfdmf::profile::EventId(ei), t, tm).unwrap();
+            let a = truth
+                .interval(perfdmf::profile::EventId(ei), t, tm)
+                .unwrap();
             let b = got.interval(ge, t, gm).unwrap();
             assert!(
                 (a.exclusive().unwrap_or(0.0) - b.exclusive().unwrap_or(0.0)).abs() < 1e-9,
@@ -87,8 +89,18 @@ fn every_text_format_sniffs_and_parses() {
     let app = mp.add_event(IntervalEvent::new("Application", "MPIP_APP"));
     let send = mp.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
     mp.add_thread(ThreadId::ZERO);
-    mp.set_interval(app, ThreadId::ZERO, mt, IntervalData::new(5.0, f64::NAN, 1.0, f64::NAN));
-    mp.set_interval(send, ThreadId::ZERO, mt, IntervalData::new(1.0, 1.0, 10.0, 0.0));
+    mp.set_interval(
+        app,
+        ThreadId::ZERO,
+        mt,
+        IntervalData::new(5.0, f64::NAN, 1.0, f64::NAN),
+    );
+    mp.set_interval(
+        send,
+        ThreadId::ZERO,
+        mt,
+        IntervalData::new(1.0, 1.0, 10.0, 0.0),
+    );
     let mpip = dir.join("run.mpip");
     std::fs::write(&mpip, mpip_report_text(&mp, mt)).unwrap();
     assert_eq!(detect_format(&mpip).unwrap(), ProfileFormat::MpiP);
@@ -145,8 +157,16 @@ fn mixed_directory_scan_with_filters() {
     let e = p.add_event(IntervalEvent::ungrouped("f"));
     p.add_thread(ThreadId::ZERO);
     p.set_interval(e, ThreadId::ZERO, m, IntervalData::new(1.0, 1.0, 1.0, 0.0));
-    std::fs::write(dir.join("a.gprof"), gprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
-    std::fs::write(dir.join("b.gprof"), gprof_report_text(&p, m, ThreadId::ZERO)).unwrap();
+    std::fs::write(
+        dir.join("a.gprof"),
+        gprof_report_text(&p, m, ThreadId::ZERO),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("b.gprof"),
+        gprof_report_text(&p, m, ThreadId::ZERO),
+    )
+    .unwrap();
     std::fs::write(dir.join("c.sppm"), sppm_timing_text(&p, m)).unwrap();
     let all = load_directory_filtered(&dir, &FileFilter::default()).unwrap();
     assert_eq!(all.len(), 3);

@@ -44,7 +44,12 @@ fn three_tool_archive_like_figure_2() {
     let send = mp.add_event(IntervalEvent::new("MPI_Send() site 1", "MPI"));
     mp.add_threads((0..4).map(|n| ThreadId::new(n, 0, 0)));
     for &t in mp.threads().to_vec().iter() {
-        mp.set_interval(app, t, mt, IntervalData::new(50.0, UNDEFINED, 1.0, UNDEFINED));
+        mp.set_interval(
+            app,
+            t,
+            mt,
+            IntervalData::new(50.0, UNDEFINED, 1.0, UNDEFINED),
+        );
         mp.set_interval(send, t, mt, IntervalData::new(4.0, 4.0, 64.0, 0.0));
     }
     let mpip_file = tmp.join("run.mpip");
@@ -91,14 +96,20 @@ fn three_tool_archive_like_figure_2() {
 
     // --- each trial loads back with its own metrics intact ---
     session.set_trial(t_tau);
-    assert!(session.metric_list().unwrap().contains(&"GET_TIME_OF_DAY".to_string()));
+    assert!(session
+        .metric_list()
+        .unwrap()
+        .contains(&"GET_TIME_OF_DAY".to_string()));
     session.set_trial(t_hpm);
     assert_eq!(session.metric_list().unwrap(), vec!["HPM_WALL_CLOCK"]);
     let hpm_back = session.load_profile().unwrap();
     let m = hpm_back.find_metric("HPM_WALL_CLOCK").unwrap();
     let e = hpm_back.find_event("solver").unwrap();
     assert_eq!(
-        hpm_back.interval(e, ThreadId::new(2, 0, 0), m).unwrap().inclusive(),
+        hpm_back
+            .interval(e, ThreadId::new(2, 0, 0), m)
+            .unwrap()
+            .inclusive(),
         Some(42.0)
     );
     session.set_trial(t_mpip);
@@ -115,11 +126,7 @@ fn three_tool_archive_like_figure_2() {
         )
         .unwrap();
     assert_eq!(rs.rows.len(), 3);
-    let total: i64 = rs
-        .rows
-        .iter()
-        .map(|r| r[1].as_int().unwrap())
-        .sum();
+    let total: i64 = rs.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
     assert_eq!(
         total,
         (tau_run.events().len() + 1 /*hpm solver*/ + 2/*mpip app+send*/) as i64

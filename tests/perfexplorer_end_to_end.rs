@@ -42,7 +42,10 @@ fn sppm_clusters_recovered_and_persisted() {
         .unwrap()
         .as_int()
         .unwrap();
-    assert!(n as usize >= 256 + 3, "assignments + summaries stored, got {n}");
+    assert!(
+        n as usize >= 256 + 3,
+        "assignments + summaries stored, got {n}"
+    );
 
     // browse them back through the protocol
     match client.fetch(settings_id) {

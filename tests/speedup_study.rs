@@ -38,7 +38,11 @@ fn evh1_speedup_study_through_database() {
         .find(|r| r.event == "sweep_x_stage1")
         .unwrap();
     let at16 = sweep.points.iter().find(|p| p.processors == 16).unwrap();
-    assert!(at16.mean > 13.0 && at16.mean < 18.0, "sweep mean {}", at16.mean);
+    assert!(
+        at16.mean > 13.0 && at16.mean < 18.0,
+        "sweep mean {}",
+        at16.mean
+    );
     assert!(at16.min <= at16.mean && at16.mean <= at16.max);
 
     // 2. serial setup stays flat
@@ -47,7 +51,10 @@ fn evh1_speedup_study_through_database() {
     assert!(s16.mean < 1.3, "serial speedup {}", s16.mean);
 
     // 3. MPI routines slow down (negative scaling)
-    let mpi = routines.iter().find(|r| r.event == "MPI_Allreduce()").unwrap();
+    let mpi = routines
+        .iter()
+        .find(|r| r.event == "MPI_Allreduce()")
+        .unwrap();
     let m16 = mpi.points.iter().find(|p| p.processors == 16).unwrap();
     assert!(m16.mean < 1.0, "mpi speedup {}", m16.mean);
 
@@ -56,7 +63,11 @@ fn evh1_speedup_study_through_database() {
     assert_eq!(scaling.points.len(), procs.len());
     // speedups monotone increasing, efficiency decreasing
     for w in scaling.points.windows(2) {
-        assert!(w[1].1 > w[0].1, "speedup should increase: {:?}", scaling.points);
+        assert!(
+            w[1].1 > w[0].1,
+            "speedup should increase: {:?}",
+            scaling.points
+        );
         assert!(w[1].2 < w[0].2 + 1e-9, "efficiency should decrease");
     }
     let frac = scaling.amdahl_serial_fraction.unwrap();
@@ -97,8 +108,7 @@ fn aggregates_via_sql_match_analysis_toolkit() {
         assert!((a.mean_exclusive.unwrap() - stats.mean).abs() < 1e-9);
         if stats.count > 1 {
             assert!(
-                (a.stddev_exclusive.unwrap() - stats.stddev).abs()
-                    < 1e-9 * (1.0 + stats.stddev),
+                (a.stddev_exclusive.unwrap() - stats.stddev).abs() < 1e-9 * (1.0 + stats.stddev),
                 "{}: sql {} vs toolkit {}",
                 a.event_name,
                 a.stddev_exclusive.unwrap(),

@@ -1,0 +1,235 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API subset the bench suite uses — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — over a simple wall-clock harness: warm up
+//! briefly, time a calibrated batch, print mean time per iteration (plus
+//! derived throughput when declared). No statistics, plots, or baseline
+//! comparison.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to derive a throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to bench closures; `iter` times the hot loop.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`: short warmup, then a calibrated timed batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until ~20ms elapse.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+
+        // Timed batch: aim for ~200ms, capped to keep huge workloads sane.
+        let target = Duration::from_millis(200);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean: Duration, throughput: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut line = format!("bench: {name:<48} {:>12.3?}/iter", mean);
+    if let Some(tp) = throughput {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  {:>12.0} elem/s", n as f64 / secs);
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  {:>12.1} MiB/s", n as f64 / secs / (1 << 20) as f64);
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; this harness auto-calibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work; reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id.id, b.mean, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an explicit input handle.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, b.mean, self.throughput);
+        self
+    }
+
+    /// End the group (results were already printed per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        report(None, &id.id, b.mean, None);
+        self
+    }
+}
+
+/// Bundle bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10).throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::from_parameter(64), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,282 @@
+//! MPMC channel: many clonable senders, many clonable receivers.
+//!
+//! Semantics match `crossbeam-channel` for the operations used here:
+//! `send` fails once every receiver is gone, `recv` blocks until a
+//! message arrives and fails once the buffer is drained and every sender
+//! is gone, and a bounded sender blocks while the queue is full.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message is pushed or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when a message is popped or the last receiver leaves.
+    writable: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; the
+/// unsent message is handed back.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Create a bounded channel; senders block while `cap` messages queue.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while a bounded channel is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(msg);
+                self.shared.readable.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .writable
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a message, blocking until one arrives or the channel
+    /// disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.shared.writable.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .readable
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match inner.queue.pop_front() {
+            Some(msg) => {
+                self.shared.writable.notify_one();
+                Ok(msg)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.writable.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpmc_fan_out() {
+        let (tx, rx) = unbounded::<u32>();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0u32;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for v in 1..=100 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let total: u32 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_when_drained_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

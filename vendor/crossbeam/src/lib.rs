@@ -1,0 +1,11 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Implements the subset this workspace uses:
+//!
+//! * [`channel`] — MPMC channels (`unbounded`/`bounded`) with clonable
+//!   senders *and* receivers, built on `Mutex<VecDeque>` + `Condvar`.
+//! * [`thread`] — `scope`/`Scope::spawn` in crossbeam's API shape,
+//!   delegating to `std::thread::scope`.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,78 @@
+//! Scoped threads in crossbeam's API shape, over `std::thread::scope`.
+//!
+//! One difference from upstream that matters here: panics inside spawned
+//! threads are not collected into the outer `Result` (std's scope
+//! propagates them), so `scope(...)` only ever returns `Ok` — callers
+//! that `.expect()` the result behave identically.
+
+use std::thread as std_thread;
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std_thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result.
+    pub fn join(self) -> std_thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Spawns scoped threads. Unlike upstream this is `Copy` and handed to
+/// spawned closures by value, which accepts the same `|s|`/`|_|` call
+/// sites.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std_thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to the enclosing [`scope`] call. The
+    /// closure receives the scope, so spawned threads can spawn more.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Run `f` with a scope handle; every thread it spawns is joined before
+/// this returns.
+pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std_thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the whole domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-domain strategy for `T`, as `any::<i32>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($int:ty),* $(,)?) => {$(
+        impl Arbitrary for $int {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $int
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Finite values only; keeps properties comparing arithmetic sane.
+        let v = rng.unit_f64();
+        (v - 0.5) * 2.0 * 1e12
+    }
+}

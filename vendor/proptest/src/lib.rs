@@ -1,0 +1,187 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Random-input property testing with the API subset this workspace
+//! uses: the `proptest!`/`prop_assert*`/`prop_oneof!` macros, `Strategy`
+//! with `prop_map`/`prop_flat_map`/`boxed`, `Just`, `any::<T>()`,
+//! numeric-range strategies, tuple strategies, `collection::vec`, and
+//! regex-literal string strategies (character classes, `\PC`, `{m,n}`
+//! repetition).
+//!
+//! Differences from upstream: generation is deterministic (fixed seed,
+//! no `PROPTEST_` env handling), there is **no shrinking** — a failing
+//! case reports the assertion message only — and the regex subset covers
+//! just the patterns found in this repo's tests.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run one property: generate inputs, run the body, fail the surrounding
+/// `#[test]` on the first `Err`. No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let outcome = runner.run(|__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    { $body }
+                    ::std::result::Result::Ok(())
+                });
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest case failed: {e}");
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the case with a message
+/// instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert two values are equal (by `PartialEq`), reporting both on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+/// Assert two values differ (by `PartialEq`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type. (Upstream's `weight => strategy` arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_maps_and_vecs(
+            (n, rows) in (1usize..4).prop_flat_map(|n| (
+                Just(n),
+                crate::collection::vec(crate::collection::vec(0.0f64..1.0, n), 1..5),
+            ))
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 5);
+            for row in &rows {
+                prop_assert_eq!(row.len(), n);
+            }
+        }
+
+        #[test]
+        fn string_patterns_match_shape(name in "[A-Za-z_][A-Za-z0-9_.-]{0,12}") {
+            let mut chars = name.chars();
+            let first = chars.next().expect("leading atom is mandatory");
+            prop_assert!(first.is_ascii_alphabetic() || first == '_', "bad head {first:?}");
+            prop_assert!(name.chars().count() <= 13);
+            for c in chars {
+                prop_assert!(
+                    c.is_ascii_alphanumeric() || "_.-".contains(c),
+                    "bad tail char {c:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn oneof_and_any(c in prop_oneof![Just('a'), Just('λ')], i in any::<i32>(), b in any::<bool>()) {
+            prop_assert!(c == 'a' || c == 'λ');
+            let _ = (i, b);
+            if i == 0 {
+                return Ok(());
+            }
+            prop_assert!(i != 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_via_panic() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(5));
+        let out = runner.run(|rng| {
+            let v = Strategy::generate(&(0usize..10), rng);
+            prop_assert!(v < 10);
+            prop_assert!(v > 100, "deliberately false for {v}");
+            Ok(())
+        });
+        assert!(out.is_err());
+    }
+}

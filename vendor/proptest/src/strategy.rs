@@ -1,0 +1,221 @@
+//! The [`Strategy`] trait and core combinators.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream there is no value-tree/shrinking layer: `generate`
+/// produces a finished value directly, which keeps the trait
+/// object-safe (`dyn Strategy<Value = T>` backs [`BoxedStrategy`]).
+pub trait Strategy {
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, build a second strategy from it, and generate
+    /// from that — for dependent inputs (e.g. a dimension then a matrix
+    /// of that dimension).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+// ---- numeric range strategies -------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($int:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let off = rng.below(span);
+                (self.start as $wide).wrapping_add(off as $wide) as $int
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $int;
+                }
+                let off = rng.below(span + 1);
+                (start as $wide).wrapping_add(off as $wide) as $int
+            }
+        }
+    )*};
+}
+
+int_range_strategy! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        // Rounding can land exactly on the open upper bound.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let v = (self.start as f64..self.end as f64).generate(rng) as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// ---- tuple strategies ----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}

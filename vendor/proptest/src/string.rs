@@ -1,0 +1,206 @@
+//! String strategies from regex-like literals.
+//!
+//! `&'static str` implements [`Strategy`] with `Value = String`: the
+//! pattern is interpreted as a sequence of atoms — a character class
+//! `[...]` (with `a-z` ranges, literal `-` last, literal `.`), the
+//! printable-character escape `\PC`, or a literal character — each
+//! optionally followed by `{n}` / `{m,n}` repetition. This covers every
+//! pattern in the workspace's tests; anything else panics loudly rather
+//! than silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' => {
+                            // Range if we hold a start char and a real
+                            // end follows; a trailing `-` is literal.
+                            match (pending.take(), chars.peek()) {
+                                (Some(start), Some(&end)) if end != ']' => {
+                                    chars.next();
+                                    ranges.push((start, end));
+                                }
+                                (held, _) => {
+                                    if let Some(h) = held {
+                                        ranges.push((h, h));
+                                    }
+                                    pending = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            if let Some(h) = pending.replace(other) {
+                                ranges.push((h, h));
+                            }
+                        }
+                    }
+                }
+                if let Some(h) = pending {
+                    ranges.push((h, h));
+                }
+                assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                match esc {
+                    'P' | 'p' => {
+                        let prop = chars.next();
+                        assert!(
+                            prop == Some('C'),
+                            "unsupported \\{esc}{prop:?} in {pattern:?} (only \\PC)"
+                        );
+                        Atom::Printable
+                    }
+                    // Escaped literal metacharacter.
+                    other => Atom::Literal(other),
+                }
+            }
+            '{' | '}' | '*' | '+' | '?' | '|' | '(' | ')' => {
+                panic!("unsupported regex syntax {c:?} in {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: u32 = lo.trim().parse().expect("bad repetition lower bound");
+                    let hi: u32 = hi.trim().parse().expect("bad repetition upper bound");
+                    assert!(lo <= hi, "inverted repetition in {pattern:?}");
+                    (lo, hi)
+                }
+                None => {
+                    let n: u32 = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            // Weight ranges by width for a uniform pick over the class.
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = (*hi as u64) - (*lo as u64) + 1;
+                if pick < width {
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class range spans invalid scalar");
+                }
+                pick -= width;
+            }
+            unreachable!("weighted pick out of bounds")
+        }
+        Atom::Printable => {
+            // Mostly printable ASCII, with some multi-byte thrown in to
+            // exercise UTF-8 handling.
+            const EXOTIC: &[char] = &['λ', 'é', 'Ω', '中', '\u{00A0}', '𝛑'];
+            if rng.below(8) == 0 {
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap()
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_trailing_dash_and_dot() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..300 {
+            let s = "[A-Za-z0-9_.-]{1,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_escape_avoids_controls() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let s = "\\PC{0,40}".generate(&mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_runs_and_counts() {
+        let mut rng = TestRng::from_seed(5);
+        let s = "ab{3}c".generate(&mut rng);
+        assert_eq!(s, "abbbc");
+    }
+}

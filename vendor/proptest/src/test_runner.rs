@@ -1,0 +1,144 @@
+//! Case loop, config, failure type, and the PRNG behind generation.
+
+use std::fmt;
+
+/// How many random cases a `proptest!` block runs per test.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps this offline suite quick
+        // while still exploring the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A single case's failure (assertion message). No shrinking metadata.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generation source (xoshiro256++ seeded by SplitMix64).
+/// Fixed seed: failures reproduce run-to-run without env plumbing.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `[0, n)`; rejection-samples the biased tail.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample an empty range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives the configured number of cases against a property closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            // First 16 hex digits of pi: arbitrary but memorable.
+            rng: TestRng::from_seed(0x243F_6A88_85A3_08D3),
+        }
+    }
+
+    /// Run the property once per configured case; stops at the first
+    /// failure, annotated with the case number.
+    pub fn run<F>(&mut self, mut property: F) -> Result<(), TestCaseError>
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            if let Err(e) = property(&mut self.rng) {
+                return Err(TestCaseError::fail(format!(
+                    "case {}/{}: {}",
+                    case + 1,
+                    self.config.cases,
+                    e
+                )));
+            }
+        }
+        Ok(())
+    }
+}
