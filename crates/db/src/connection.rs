@@ -76,6 +76,17 @@ impl Connection {
         })
     }
 
+    /// Open (or create) a persistent database with file I/O routed through
+    /// `vfs` — the entry point for fault-injection testing.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn crate::vfs::Vfs>,
+    ) -> Result<Connection> {
+        Ok(Connection {
+            db: Arc::new(RwLock::new(Database::open_with_vfs(dir.as_ref(), vfs)?)),
+        })
+    }
+
     /// Parse a statement for repeated execution.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
         let _span = telemetry::span("db.parse");

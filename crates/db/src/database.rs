@@ -13,11 +13,14 @@
 
 use crate::error::{DbError, Result};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::storage::{read_snapshot, read_wal, write_snapshot, Wal, WalRecord};
+use crate::storage::{read_snapshot_with, scan_wal, write_snapshot_with, Wal, WalRecord};
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
+use crate::vfs::Vfs;
+use perfdmf_telemetry as telemetry;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Inverse operations for rollback.
 #[derive(Debug)]
@@ -61,6 +64,7 @@ pub struct Database {
     in_txn: bool,
     wal: Option<Wal>,
     dir: Option<PathBuf>,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Marker for statement-level atomicity: positions in the undo/pending logs
@@ -88,6 +92,7 @@ impl Database {
             in_txn: false,
             wal: None,
             dir: None,
+            vfs: crate::vfs::real(),
         }
     }
 
@@ -95,11 +100,31 @@ impl Database {
     ///
     /// Loads `snapshot.pdmf` if present, then replays committed WAL records.
     pub fn open(dir: &Path) -> Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        Database::open_with_vfs(dir, crate::vfs::real())
+    }
+
+    /// Open (or create) a persistent database with all file I/O routed
+    /// through `vfs` (fault injection hooks in here).
+    ///
+    /// Recovery protocol: load the snapshot, then scan the WAL. A WAL
+    /// whose generation is *older* than the snapshot's predates it (the
+    /// crash hit between the checkpoint's rename and its WAL reset); its
+    /// contents are already inside the snapshot, so it is discarded
+    /// instead of replayed. Any torn/uncommitted tail — or a stale or
+    /// old-format log — is repaired by an atomic rewrite (temp + rename)
+    /// so a crash mid-repair can never lose the committed prefix.
+    pub fn open_with_vfs(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<Self> {
+        vfs.create_dir_all(dir)
+            .map_err(|e| DbError::io("create database dir", e))?;
         let mut db = Database::new();
+        db.vfs = vfs.clone();
+        telemetry::add("db.recovery.opens", 1);
         let snap_path = dir.join("snapshot.pdmf");
-        if snap_path.exists() {
-            for table in read_snapshot(&snap_path)? {
+        let mut snap_gen = 0u64;
+        if vfs.exists(&snap_path) {
+            let (tables, generation) = read_snapshot_with(&*vfs, &snap_path)?;
+            snap_gen = generation;
+            for table in tables {
                 let name = table.schema.name.clone();
                 for ix_name in table.indexes.keys() {
                     if !ix_name.starts_with("__uniq_") {
@@ -110,30 +135,49 @@ impl Database {
             }
         }
         let wal_path = dir.join("wal.pdmf");
-        let mut recovered: Option<Vec<WalRecord>> = None;
-        if wal_path.exists() {
-            let records = read_wal(&wal_path)?;
-            for rec in records.clone() {
-                db.apply_record(rec)?;
+        let mut wal_gen = snap_gen;
+        let mut committed: Vec<WalRecord> = Vec::new();
+        let mut needs_rewrite = false;
+        if vfs.exists(&wal_path) {
+            let scan = scan_wal(&*vfs, &wal_path)?;
+            if scan.torn_tail || scan.torn_header {
+                telemetry::add("db.recovery.torn_tail", 1);
             }
-            recovered = Some(records);
-        }
-        let mut wal = Wal::open(&wal_path)?;
-        // Rewrite the log to exactly the committed prefix we replayed: a
-        // torn or uncommitted tail must not bury future appends behind
-        // garbage bytes.
-        if let Some(records) = recovered {
-            wal.reset()?;
-            if !records.is_empty() {
-                wal.append(&records)?;
+            if scan.uncommitted > 0 {
+                telemetry::add("db.recovery.uncommitted_dropped", scan.uncommitted as u64);
+            }
+            if scan.generation < snap_gen {
+                // Stale log from before the snapshot was taken: every
+                // record in it is already part of the snapshot image.
+                telemetry::add("db.recovery.stale_wal", 1);
+                needs_rewrite = true;
+            } else {
+                wal_gen = scan.generation;
+                telemetry::add("db.recovery.replayed_records", scan.records.len() as u64);
+                for rec in scan.records.clone() {
+                    db.apply_record(rec)?;
+                }
+                needs_rewrite = scan.needs_rewrite();
+                committed = scan.records;
             }
         }
+        let wal = if needs_rewrite {
+            telemetry::add("db.recovery.wal_rewrites", 1);
+            Wal::rewrite(vfs.clone(), &wal_path, wal_gen, &committed)?
+        } else {
+            Wal::attach(vfs.clone(), &wal_path, wal_gen)?
+        };
         db.wal = Some(wal);
         db.dir = Some(dir.to_path_buf());
         Ok(db)
     }
 
     /// Write a fresh snapshot and truncate the WAL. No-op for in-memory DBs.
+    ///
+    /// The snapshot is stamped with generation `g+1` (one past the current
+    /// WAL's); only after it is durably in place is the WAL reset to the
+    /// same generation. A crash in between leaves a stale lower-generation
+    /// WAL that recovery detects and discards.
     pub fn checkpoint(&mut self) -> Result<()> {
         let Some(dir) = self.dir.clone() else {
             return Ok(());
@@ -143,10 +187,11 @@ impl Database {
                 "cannot checkpoint inside a transaction".into(),
             ));
         }
+        let next_gen = self.wal.as_ref().map(|w| w.generation() + 1).unwrap_or(1);
         let entries: Vec<(&String, &Table)> = self.tables.iter().collect();
-        write_snapshot(&dir.join("snapshot.pdmf"), &entries)?;
+        write_snapshot_with(&*self.vfs, &dir.join("snapshot.pdmf"), &entries, next_gen)?;
         if let Some(wal) = &mut self.wal {
-            wal.reset()?;
+            wal.reset_to(next_gen)?;
         }
         Ok(())
     }
@@ -340,7 +385,18 @@ impl Database {
         if let Some(wal) = &mut self.wal {
             if !self.pending.is_empty() {
                 self.pending.push(WalRecord::Commit);
-                wal.append(&self.pending)?;
+                if let Err(e) = wal.append(&self.pending) {
+                    // The log rejected the batch: undo the in-memory
+                    // changes so memory and disk agree the transaction
+                    // did not commit. (If the batch actually reached the
+                    // file before the error, recovery may still replay
+                    // it — the standard "commit may have happened"
+                    // ambiguity of a failed commit acknowledgement.)
+                    telemetry::add("db.commit_failures", 1);
+                    self.pending.clear();
+                    self.undo_to(0);
+                    return Err(e);
+                }
             }
         }
         self.pending.clear();

@@ -47,6 +47,9 @@ pub enum DbError {
     Transaction(String),
     /// Persistence layer failure.
     Storage(String),
+    /// An I/O operation failed, with the operation named for context
+    /// (e.g. "snapshot fsync", "wal append").
+    Io { op: String, message: String },
     /// Snapshot/WAL bytes were malformed.
     Corrupt(String),
     /// Anything else.
@@ -97,8 +100,20 @@ impl fmt::Display for DbError {
             DbError::MissingParameter(i) => write!(f, "missing bound parameter {i}"),
             DbError::Transaction(m) => write!(f, "transaction error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Io { op, message } => write!(f, "I/O error during {op}: {message}"),
             DbError::Corrupt(m) => write!(f, "corrupt database file: {m}"),
             DbError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+        }
+    }
+}
+
+impl DbError {
+    /// An [`DbError::Io`] from a `std::io::Error` plus the operation that
+    /// failed.
+    pub fn io(op: impl Into<String>, e: std::io::Error) -> DbError {
+        DbError::Io {
+            op: op.into(),
+            message: e.to_string(),
         }
     }
 }

@@ -50,6 +50,7 @@ pub mod connection;
 pub mod database;
 mod error;
 pub mod exec;
+pub mod faults;
 pub mod index;
 pub mod observe;
 pub mod schema;
@@ -57,12 +58,15 @@ pub mod sql;
 pub mod storage;
 pub mod table;
 pub mod value;
+pub mod vfs;
 
 pub use connection::{Connection, Prepared, TransactionHandle};
 pub use database::Database;
 pub use error::{DbError, Result};
 pub use exec::{Outcome, ResultSet};
+pub use faults::{FaultKind, FaultPlan, FaultVfs};
 pub use observe::{set_slow_query_threshold, slow_query_threshold};
 pub use schema::{ColumnDef, TableSchema};
 pub use table::{Row, RowId, Table};
 pub use value::{DataType, Value};
+pub use vfs::{RealVfs, Vfs, VfsFile};

@@ -10,20 +10,35 @@
 //!   detected by per-record checksums and ignored from the first bad record
 //!   onward, recovering the last fully committed state.
 //!
+//! Both headers carry a **generation number** (format v2). A checkpoint
+//! writes the snapshot at generation `g+1`, renames it into place, then
+//! resets the WAL to generation `g+1`. If a crash lands between the
+//! rename and the reset, reopening finds `wal_gen < snap_gen` and knows
+//! the WAL predates the snapshot — its contents are already inside the
+//! snapshot and must not be replayed on top of it. Version-1 files (no
+//! generation field) are read as generation 0 and upgraded on reopen.
+//!
+//! All file I/O goes through the [`crate::vfs::Vfs`] trait so the fault
+//! injector ([`crate::faults::FaultVfs`]) can exercise every failure
+//! path deterministically.
+//!
 //! Encoding is little-endian throughout, built on the `bytes` crate.
 
 use crate::error::{DbError, Result};
 use crate::schema::{ColumnDef, TableSchema};
 use crate::table::{Row, RowId, Table};
 use crate::value::{DataType, Value};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 use bytes::{Buf, BufMut};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use perfdmf_telemetry as telemetry;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const SNAPSHOT_MAGIC: &[u8; 4] = b"PDMF";
 const WAL_MAGIC: &[u8; 4] = b"PWAL";
-const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format. v2 added the generation field; v1 files are
+/// still readable (generation 0).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A committed change, as recorded in the WAL.
 #[derive(Debug, Clone, PartialEq)]
@@ -416,32 +431,98 @@ pub fn fnv1a(data: &[u8]) -> u64 {
 
 // ---------------- WAL file ----------------
 
+fn wal_header(generation: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(16);
+    h.put_slice(WAL_MAGIC);
+    h.put_u32_le(FORMAT_VERSION);
+    h.put_u64_le(generation);
+    h
+}
+
 /// Append-only write-ahead log handle.
-#[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
+    generation: u64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Wal {
-    /// Open (creating if absent) the WAL at `path`.
+    /// Open (creating if absent) the WAL at `path` on the real file system.
     pub fn open(path: &Path) -> Result<Wal> {
-        let exists = path.exists();
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(path)?;
+        Wal::open_with(crate::vfs::real(), path)
+    }
+
+    /// Open (creating if absent) the WAL at `path` through `vfs`, reading
+    /// the generation from an existing header.
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Wal> {
+        let generation = if vfs.exists(path) {
+            scan_wal(&*vfs, path)?.generation
+        } else {
+            0
+        };
+        Wal::attach(vfs, path, generation)
+    }
+
+    /// Open an append handle, trusting `generation` (the caller has just
+    /// scanned or rewritten the file). Creates the file with a fresh
+    /// header if absent.
+    pub fn attach(vfs: Arc<dyn Vfs>, path: &Path, generation: u64) -> Result<Wal> {
+        let exists = vfs.exists(path);
+        let mut file = vfs
+            .open_append(path)
+            .map_err(|e| DbError::io("wal open", e))?;
         if !exists {
-            file.write_all(WAL_MAGIC)?;
-            let mut ver = Vec::new();
-            ver.put_u32_le(FORMAT_VERSION);
-            file.write_all(&ver)?;
+            file.write_all(&wal_header(generation))
+                .map_err(|e| DbError::io("wal header write", e))?;
+            file.flush().map_err(|e| DbError::io("wal flush", e))?;
         }
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            generation,
         })
+    }
+
+    /// Atomically replace the log with exactly `records` at `generation`
+    /// (write temp + fsync + rename), then open it for appending. Used on
+    /// recovery so a crash mid-rewrite can never lose the committed prefix.
+    pub fn rewrite(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        generation: u64,
+        records: &[WalRecord],
+    ) -> Result<Wal> {
+        let mut out = wal_header(generation);
+        for rec in records {
+            let payload = encode_record(rec);
+            out.put_u32_le(payload.len() as u32);
+            out.put_slice(&payload);
+            out.put_u64_le(fnv1a(&payload));
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = vfs
+                .create(&tmp)
+                .map_err(|e| DbError::io("wal rewrite create", e))?;
+            f.write_all(&out)
+                .map_err(|e| DbError::io("wal rewrite write", e))?;
+            f.sync_all().map_err(|e| {
+                telemetry::add("db.fsync_errors", 1);
+                DbError::io("wal rewrite fsync", e)
+            })?;
+        }
+        vfs.rename(&tmp, path)
+            .map_err(|e| DbError::io("wal rewrite rename", e))?;
+        Wal::attach(vfs, path, generation)
     }
 
     /// Append a batch of records followed by framing checksums; flushes to
@@ -454,21 +535,32 @@ impl Wal {
             out.put_slice(&payload);
             out.put_u64_le(fnv1a(&payload));
         }
-        self.file.write_all(&out)?;
-        self.file.flush()?;
+        self.file
+            .write_all(&out)
+            .map_err(|e| DbError::io("wal append", e))?;
+        self.file.flush().map_err(|e| DbError::io("wal flush", e))?;
         Ok(())
     }
 
-    /// Truncate the log back to empty (after a checkpoint).
+    /// Truncate the log back to empty at the current generation.
     pub fn reset(&mut self) -> Result<()> {
-        self.file.set_len(0)?;
-        use std::io::Seek;
-        self.file.seek(std::io::SeekFrom::Start(0))?;
-        self.file.write_all(WAL_MAGIC)?;
-        let mut ver = Vec::new();
-        ver.put_u32_le(FORMAT_VERSION);
-        self.file.write_all(&ver)?;
-        self.file.flush()?;
+        self.reset_to(self.generation)
+    }
+
+    /// Truncate the log back to empty and stamp a new generation (after a
+    /// checkpoint wrote the snapshot at that generation).
+    pub fn reset_to(&mut self, generation: u64) -> Result<()> {
+        self.file
+            .set_len(0)
+            .map_err(|e| DbError::io("wal truncate", e))?;
+        self.file
+            .seek_start(0)
+            .map_err(|e| DbError::io("wal seek", e))?;
+        self.file
+            .write_all(&wal_header(generation))
+            .map_err(|e| DbError::io("wal header write", e))?;
+        self.file.flush().map_err(|e| DbError::io("wal flush", e))?;
+        self.generation = generation;
         Ok(())
     }
 
@@ -476,63 +568,174 @@ impl Wal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Generation stamped in the log header.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
-/// Read all *committed* records from a WAL file.
-///
-/// Records after the last `Commit` marker, and anything after the first
-/// corrupt/truncated record, are discarded.
-pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
-    let mut buf = bytes.as_slice();
-    if buf.len() < 8 || &buf[..4] != WAL_MAGIC {
+/// What a full scan of a WAL file found: the committed records plus
+/// everything recovery needs to decide whether (and how) to repair it.
+#[derive(Debug, Clone)]
+pub struct WalScan {
+    /// Committed records, in order.
+    pub records: Vec<WalRecord>,
+    /// Generation from the header (0 for v1 files and torn headers).
+    pub generation: u64,
+    /// Header version found (0 if the header itself was torn).
+    pub version: u32,
+    /// File bytes covered by the header + committed prefix.
+    pub committed_bytes: u64,
+    /// Total file length.
+    pub file_bytes: u64,
+    /// Well-formed records discarded because no Commit marker followed.
+    pub uncommitted: usize,
+    /// A torn/corrupt record (or leftover bytes) stopped the scan early.
+    pub torn_tail: bool,
+    /// The file was shorter than its own header (crash during creation
+    /// or during a header rewrite): treated as an empty log.
+    pub torn_header: bool,
+}
+
+impl WalScan {
+    /// Does the on-disk file differ from the committed prefix at the
+    /// current format version (i.e. should recovery rewrite it)?
+    pub fn needs_rewrite(&self) -> bool {
+        self.torn_header
+            || self.torn_tail
+            || self.uncommitted > 0
+            || self.version != FORMAT_VERSION
+            || self.committed_bytes != self.file_bytes
+    }
+
+    fn empty(file_bytes: u64) -> WalScan {
+        WalScan {
+            records: Vec::new(),
+            generation: 0,
+            version: 0,
+            committed_bytes: 0,
+            file_bytes,
+            uncommitted: 0,
+            torn_tail: false,
+            torn_header: true,
+        }
+    }
+}
+
+/// Scan a WAL file: parse the header, walk the framed records, and stop
+/// at the first torn or corrupt one. Only records up to the last `Commit`
+/// marker count as committed.
+pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan> {
+    let bytes = vfs.read(path).map_err(|e| DbError::io("wal read", e))?;
+    let file_bytes = bytes.len() as u64;
+    if bytes.len() < 4 {
+        // Crash during creation before even the magic landed.
+        return Ok(WalScan::empty(file_bytes));
+    }
+    if &bytes[..4] != WAL_MAGIC {
         return Err(DbError::Corrupt("bad WAL magic".into()));
     }
-    buf.advance(4);
-    let version = buf.get_u32_le();
-    if version != FORMAT_VERSION {
-        return Err(DbError::Corrupt(format!(
-            "unsupported WAL version {version}"
-        )));
+    if bytes.len() < 8 {
+        return Ok(WalScan::empty(file_bytes));
     }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let (generation, header_len) = match version {
+        1 => (0u64, 8usize),
+        2 => {
+            if bytes.len() < 16 {
+                return Ok(WalScan::empty(file_bytes));
+            }
+            let mut g = &bytes[8..16];
+            (g.get_u64_le(), 16)
+        }
+        v => {
+            return Err(DbError::Corrupt(format!("unsupported WAL version {v}")));
+        }
+    };
+    let mut buf = &bytes[header_len..];
     let mut all = Vec::new();
     let mut committed_len = 0usize;
-    while buf.remaining() >= 4 {
-        let len = buf[..4].to_vec();
-        let len = u32::from_le_bytes([len[0], len[1], len[2], len[3]]) as usize;
+    let mut consumed = 0usize;
+    let mut committed_body = 0usize;
+    let torn_tail;
+    loop {
+        if buf.remaining() < 4 {
+            torn_tail = buf.remaining() > 0;
+            break;
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
         if buf.remaining() < 4 + len + 8 {
-            break; // torn tail
+            torn_tail = true;
+            break;
         }
         let payload = &buf[4..4 + len];
         let mut sum_bytes = &buf[4 + len..4 + len + 8];
         let stored = sum_bytes.get_u64_le();
         if fnv1a(payload) != stored {
-            break; // corrupt record: stop replay here
+            torn_tail = true;
+            break;
         }
         match decode_record(payload) {
             Ok(rec) => {
                 let is_commit = rec == WalRecord::Commit;
                 all.push(rec);
+                consumed += 4 + len + 8;
                 if is_commit {
                     committed_len = all.len();
+                    committed_body = consumed;
                 }
             }
-            Err(_) => break,
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
         }
         buf.advance(4 + len + 8);
     }
+    let uncommitted = all.len() - committed_len;
     all.truncate(committed_len);
-    Ok(all)
+    Ok(WalScan {
+        records: all,
+        generation,
+        version,
+        committed_bytes: (header_len + committed_body) as u64,
+        file_bytes,
+        uncommitted,
+        torn_tail,
+        torn_header: false,
+    })
+}
+
+/// Read all *committed* records from a WAL file on the real file system.
+///
+/// Records after the last `Commit` marker, and anything after the first
+/// corrupt/truncated record, are discarded.
+pub fn read_wal(path: &Path) -> Result<Vec<WalRecord>> {
+    Ok(scan_wal(&RealVfs, path)?.records)
 }
 
 // ---------------- snapshot ----------------
 
-/// Serialize all tables to a snapshot file (atomic: write temp + rename).
+/// Serialize all tables to a snapshot file on the real file system
+/// (generation 0 — use [`write_snapshot_with`] inside the engine).
 pub fn write_snapshot(path: &Path, tables: &[(&String, &Table)]) -> Result<()> {
+    write_snapshot_with(&RealVfs, path, tables, 0)
+}
+
+/// Serialize all tables to a snapshot file (atomic: write temp + fsync +
+/// rename). A sync failure is propagated — a snapshot that may not have
+/// reached stable storage must not replace the old one silently.
+pub fn write_snapshot_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    tables: &[(&String, &Table)],
+    generation: u64,
+) -> Result<()> {
     let mut buf = Vec::with_capacity(1 << 16);
     buf.put_slice(SNAPSHOT_MAGIC);
     buf.put_u32_le(FORMAT_VERSION);
+    buf.put_u64_le(generation);
     buf.put_u32_le(tables.len() as u32);
     for (_, table) in tables {
         put_schema(&mut buf, &table.schema);
@@ -559,18 +762,31 @@ pub fn write_snapshot(path: &Path, tables: &[(&String, &Table)]) -> Result<()> {
     buf.put_u64_le(sum);
     let tmp = path.with_extension("tmp");
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&buf)?;
-        f.sync_all().ok();
+        let mut f = vfs
+            .create(&tmp)
+            .map_err(|e| DbError::io("snapshot create", e))?;
+        f.write_all(&buf)
+            .map_err(|e| DbError::io("snapshot write", e))?;
+        f.sync_all().map_err(|e| {
+            telemetry::add("db.fsync_errors", 1);
+            DbError::io("snapshot fsync", e)
+        })?;
     }
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)
+        .map_err(|e| DbError::io("snapshot rename", e))?;
     Ok(())
 }
 
-/// Load tables from a snapshot file.
+/// Load tables from a snapshot file on the real file system.
 pub fn read_snapshot(path: &Path) -> Result<Vec<Table>> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(read_snapshot_with(&RealVfs, path)?.0)
+}
+
+/// Load tables (and the header generation) from a snapshot file.
+pub fn read_snapshot_with(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<Table>, u64)> {
+    let bytes = vfs
+        .read(path)
+        .map_err(|e| DbError::io("snapshot read", e))?;
     if bytes.len() < 20 {
         return Err(DbError::Corrupt("snapshot too small".into()));
     }
@@ -586,10 +802,22 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<Table>> {
     }
     buf.advance(4);
     let version = buf.get_u32_le();
-    if version != FORMAT_VERSION {
-        return Err(DbError::Corrupt(format!(
-            "unsupported snapshot version {version}"
-        )));
+    let generation = match version {
+        1 => 0,
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(DbError::Corrupt("truncated snapshot header".into()));
+            }
+            buf.get_u64_le()
+        }
+        v => {
+            return Err(DbError::Corrupt(format!(
+                "unsupported snapshot version {v}"
+            )));
+        }
+    };
+    if buf.remaining() < 4 {
+        return Err(DbError::Corrupt("truncated snapshot header".into()));
     }
     let ntables = buf.get_u32_le() as usize;
     let mut tables = Vec::with_capacity(ntables);
@@ -625,12 +853,14 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<Table>> {
         }
         tables.push(table);
     }
-    Ok(tables)
+    Ok((tables, generation))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn sample_schema() -> TableSchema {
         TableSchema::new(

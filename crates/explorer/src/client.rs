@@ -1,9 +1,55 @@
 //! The PerfExplorer client handle.
 
 use crate::protocol::{Request, Response};
-use crate::server::AnalysisServer;
-use crossbeam::channel::{bounded, Sender};
-use std::time::Instant;
+use crate::server::{AnalysisServer, Job};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TrySendError};
+use perfdmf_telemetry as telemetry;
+use std::time::{Duration, Instant};
+
+/// How a client retries requests that fail transiently.
+///
+/// Retries apply to [`Response::Overloaded`] (the queue was full) and to
+/// [`Response::Failed`] with `retryable: true` (a deadline expired in
+/// the queue). Deterministic failures — panics, analysis errors — are
+/// returned immediately. Delay doubles after each attempt, capped at
+/// `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retries).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure is returned to the caller.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry attempt `n` (0-based), doubling from
+    /// `base_delay` and saturating at `max_delay`.
+    fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
 
 /// A client connected to an [`AnalysisServer`].
 ///
@@ -11,7 +57,7 @@ use std::time::Instant;
 /// by the server's worker pool.
 #[derive(Clone)]
 pub struct ExplorerClient {
-    tx: Sender<(Request, Sender<Response>, Instant)>,
+    tx: Sender<Job>,
 }
 
 impl ExplorerClient {
@@ -23,13 +69,103 @@ impl ExplorerClient {
     }
 
     /// Send a request and block for the response.
+    ///
+    /// The submission never blocks: if the server's bounded queue is
+    /// full the request is shed and [`Response::Overloaded`] returned.
+    /// The wait for the reply is unbounded, but every accepted request
+    /// is answered — workers reply even when the handler panics — so
+    /// this cannot hang on a live server.
     pub fn request(&self, request: Request) -> Response {
-        let (rtx, rrx) = bounded(1);
-        if self.tx.send((request, rtx, Instant::now())).is_err() {
-            return Response::Error("analysis server is down".into());
+        match self.submit(request, None) {
+            Ok(rrx) => rrx
+                .recv()
+                .unwrap_or_else(|_| Response::Error("analysis server dropped the request".into())),
+            Err(shed) => shed,
         }
-        rrx.recv()
-            .unwrap_or_else(|_| Response::Error("analysis server dropped the request".into()))
+    }
+
+    /// Send a request with a deadline covering both queue time and the
+    /// wait for the reply.
+    ///
+    /// Workers discard requests whose deadline passed while queued
+    /// (returning a retryable [`Response::Failed`]); if no reply arrives
+    /// by the deadline the client stops waiting and returns a retryable
+    /// [`Response::Failed`] itself, so the call returns within roughly
+    /// `deadline` even if the server stalls.
+    pub fn request_with_deadline(&self, request: Request, deadline: Duration) -> Response {
+        match self.submit(request, Some(Instant::now() + deadline)) {
+            Ok(rrx) => match rrx.recv_timeout(deadline) {
+                Ok(response) => response,
+                Err(RecvTimeoutError::Timeout) => {
+                    telemetry::add("explorer.timeouts", 1);
+                    Response::Failed {
+                        reason: format!("no response within {deadline:?}"),
+                        retryable: true,
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    Response::Error("analysis server dropped the request".into())
+                }
+            },
+            Err(shed) => shed,
+        }
+    }
+
+    /// Send a request, retrying transient failures (shed and queue
+    /// timeouts) with exponential backoff per `policy`. `deadline`, if
+    /// given, applies to each attempt separately.
+    pub fn request_with_retry(
+        &self,
+        request: Request,
+        deadline: Option<Duration>,
+        policy: RetryPolicy,
+    ) -> Response {
+        let mut attempt = 0u32;
+        loop {
+            let response = match deadline {
+                Some(d) => self.request_with_deadline(request.clone(), d),
+                None => self.request(request.clone()),
+            };
+            let transient = matches!(
+                response,
+                Response::Overloaded
+                    | Response::Failed {
+                        retryable: true,
+                        ..
+                    }
+            );
+            if !transient || attempt >= policy.max_retries {
+                return response;
+            }
+            telemetry::add("explorer.retries", 1);
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Enqueue a request without blocking. Returns the reply channel on
+    /// success, or the shed/error response the caller should return.
+    fn submit(
+        &self,
+        request: Request,
+        deadline: Option<Instant>,
+    ) -> Result<crossbeam::channel::Receiver<Response>, Response> {
+        let (rtx, rrx) = bounded(1);
+        match self.tx.try_send(Job {
+            request,
+            reply: rtx,
+            submitted: Instant::now(),
+            deadline,
+        }) {
+            Ok(()) => Ok(rrx),
+            Err(TrySendError::Full(_)) => {
+                telemetry::add("explorer.shed", 1);
+                Err(Response::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(Response::Error("analysis server is down".into()))
+            }
+        }
     }
 
     /// Convenience: cluster a trial's threads by their per-event time

@@ -22,9 +22,9 @@ mod client;
 mod protocol;
 mod server;
 
-pub use client::ExplorerClient;
+pub use client::{ExplorerClient, RetryPolicy};
 pub use protocol::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
-pub use server::{AnalysisServer, ANALYSIS_DDL};
+pub use server::{AnalysisServer, ANALYSIS_DDL, DEFAULT_QUEUE_CAPACITY};
 
 #[cfg(test)]
 mod tests {
@@ -271,6 +271,160 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        server.shutdown();
+    }
+
+    /// Current value of a telemetry counter (0 if never incremented).
+    /// Tests assert on before/after deltas, never absolute values, so
+    /// they stay correct when other tests run in parallel.
+    fn counter_value(name: &str) -> u64 {
+        perfdmf_telemetry::snapshot()
+            .counter(name)
+            .map(|c| c.value)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn panicking_request_is_isolated_and_server_keeps_serving() {
+        let (conn, trial) = setup();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let restarts_before = counter_value("explorer.worker_restarts");
+        match client.request(Request::InjectPanic("boom".into())) {
+            Response::Failed { reason, retryable } => {
+                assert!(reason.contains("panicked"), "{reason}");
+                assert!(reason.contains("boom"), "{reason}");
+                assert!(!retryable, "a deterministic panic is not retryable");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The single worker restarted and still serves real work.
+        match client.cluster(trial, "TIME", 4) {
+            Response::Clustering { k, .. } => assert_eq!(k, 2),
+            other => panic!("server did not survive the panic: {other:?}"),
+        }
+        assert!(
+            counter_value("explorer.worker_restarts") > restarts_before,
+            "worker restart must be visible in telemetry"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn saturated_queue_sheds_requests_as_overloaded() {
+        let (conn, _trial) = setup();
+        let server = AnalysisServer::start_with_capacity(conn, 1, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let shed_before = counter_value("explorer.shed");
+        // Occupy the single worker, then fill the single queue slot.
+        let busy = {
+            let c = client.clone();
+            std::thread::spawn(move || c.request(Request::Stall { millis: 400 }))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let queued = {
+            let c = client.clone();
+            std::thread::spawn(move || c.request(Request::Stall { millis: 1 }))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        // Worker busy + queue full: this submission must be shed, not block.
+        match client.request(Request::FetchResult { settings_id: 1 }) {
+            Response::Overloaded => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(
+            counter_value("explorer.shed") > shed_before,
+            "shed must be visible in telemetry"
+        );
+        // The accepted requests still complete and the server keeps serving.
+        assert!(matches!(
+            busy.join().unwrap(),
+            Response::Stored { .. } | Response::Error(_)
+        ));
+        assert!(matches!(
+            queued.join().unwrap(),
+            Response::Stored { .. } | Response::Error(_)
+        ));
+        assert!(matches!(
+            client.request(Request::FetchResult { settings_id: 1 }),
+            Response::Error(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_returns_retryable_failure_not_a_hang() {
+        let (conn, _trial) = setup();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let timeouts_before = counter_value("explorer.timeouts");
+        // Occupy the single worker so the next request waits in the queue
+        // past its deadline.
+        let busy = {
+            let c = client.clone();
+            std::thread::spawn(move || c.request(Request::Stall { millis: 400 }))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let response = client.request_with_deadline(
+            Request::FetchResult { settings_id: 1 },
+            std::time::Duration::from_millis(100),
+        );
+        match response {
+            Response::Failed { retryable, .. } => assert!(retryable),
+            other => panic!("expected retryable Failed, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(350),
+            "the client must give up at its deadline, not wait for the worker"
+        );
+        assert!(
+            counter_value("explorer.timeouts") > timeouts_before,
+            "timeout must be visible in telemetry"
+        );
+        busy.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_overload() {
+        let (conn, _trial) = setup();
+        let server = AnalysisServer::start_with_capacity(conn, 1, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        let retries_before = counter_value("explorer.retries");
+        // Worker busy + queue full for ~400ms: the first attempt is shed,
+        // backoff retries land after the stall drains.
+        let busy = {
+            let c = client.clone();
+            std::thread::spawn(move || c.request(Request::Stall { millis: 400 }))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let queued = {
+            let c = client.clone();
+            std::thread::spawn(move || c.request(Request::Stall { millis: 1 }))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let response = client.request_with_retry(
+            Request::FetchResult {
+                settings_id: 424242,
+            },
+            None,
+            RetryPolicy {
+                max_retries: 20,
+                base_delay: std::time::Duration::from_millis(50),
+                max_delay: std::time::Duration::from_millis(200),
+            },
+        );
+        assert!(
+            matches!(response, Response::Error(_)),
+            "retries should eventually get through to a served reply, got {response:?}"
+        );
+        assert!(
+            counter_value("explorer.retries") > retries_before,
+            "retries must be visible in telemetry"
+        );
+        busy.join().unwrap();
+        queued.join().unwrap();
         server.shutdown();
     }
 

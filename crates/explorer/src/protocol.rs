@@ -81,6 +81,19 @@ pub enum Request {
     },
     /// Stop the server workers.
     Shutdown,
+    /// Fault-injection aid: the worker panics with this message while
+    /// handling the request. Exercises the panic-isolation and
+    /// worker-restart paths; not part of the analysis API.
+    #[doc(hidden)]
+    InjectPanic(String),
+    /// Fault-injection aid: the worker sleeps for this many
+    /// milliseconds. Used by tests to saturate the queue and to trip
+    /// request deadlines; not part of the analysis API.
+    #[doc(hidden)]
+    Stall {
+        /// How long the worker holds the request.
+        millis: u64,
+    },
 }
 
 /// Per-cluster summary statistics.
@@ -147,6 +160,20 @@ pub enum Response {
     },
     /// The request failed.
     Error(String),
+    /// The server's request queue was full and the request was shed
+    /// without being enqueued. Retrying after a backoff is appropriate.
+    Overloaded,
+    /// The request was accepted but could not be served — the worker
+    /// panicked while handling it, or its deadline expired before a
+    /// worker picked it up. `retryable` distinguishes transient
+    /// conditions (deadline pressure) from deterministic ones (a
+    /// request that panics will panic again).
+    Failed {
+        /// Human-readable cause.
+        reason: String,
+        /// Whether resubmitting the same request may succeed.
+        retryable: bool,
+    },
     /// Acknowledgement of shutdown.
     ShuttingDown,
 }

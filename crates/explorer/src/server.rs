@@ -10,7 +10,7 @@
 //! `analysis_settings` / `analysis_result` tables created on startup.
 
 use crate::protocol::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use perfdmf_analysis::{
     correlation_matrix, kmeans, pca, select_k, silhouette_score, thread_event_matrix,
     thread_metric_matrix, FeatureMatrix,
@@ -19,8 +19,14 @@ use perfdmf_core::load_trial;
 use perfdmf_db::{Connection, Value};
 use perfdmf_profile::IntervalField;
 use perfdmf_telemetry as telemetry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Default bound on the request queue. Submissions beyond what the
+/// workers can drain plus this backlog are shed with
+/// [`Response::Overloaded`] instead of growing memory without bound.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 
 /// DDL for the analysis-result schema extension.
 pub const ANALYSIS_DDL: &[&str] = &[
@@ -39,9 +45,27 @@ pub const ANALYSIS_DDL: &[&str] = &[
         label TEXT)",
 ];
 
-/// A queued request: what to do, where to reply, and when it was
-/// submitted (for the `explorer.queue_wait_ns` histogram).
-type Job = (Request, Sender<Response>, Instant);
+/// A queued request: what to do, where to reply, when it was submitted
+/// (for the `explorer.queue_wait_ns` histogram), and the optional
+/// deadline after which a worker discards it unserved.
+pub(crate) struct Job {
+    pub(crate) request: Request,
+    pub(crate) reply: Sender<Response>,
+    pub(crate) submitted: Instant,
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// How one incarnation of a worker loop ended.
+enum WorkerExit {
+    /// A `Shutdown` request was dequeued; the thread should exit.
+    Shutdown,
+    /// The channel closed (server dropped); the thread should exit.
+    Disconnected,
+    /// A request handler panicked. The panic was isolated, the client
+    /// was answered with [`Response::Failed`], and the loop should be
+    /// restarted with fresh state.
+    Panicked,
+}
 
 /// A running analysis server with a pool of worker threads.
 pub struct AnalysisServer {
@@ -50,46 +74,34 @@ pub struct AnalysisServer {
 }
 
 impl AnalysisServer {
-    /// Start `workers` worker threads over the shared database.
+    /// Start `workers` worker threads over the shared database, with the
+    /// [`DEFAULT_QUEUE_CAPACITY`] request-queue bound.
     pub fn start(conn: Connection, workers: usize) -> perfdmf_db::Result<AnalysisServer> {
+        AnalysisServer::start_with_capacity(conn, workers, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Start `workers` worker threads with an explicit bound on the
+    /// request queue. When the queue is full, clients shed new requests
+    /// as [`Response::Overloaded`] instead of blocking.
+    pub fn start_with_capacity(
+        conn: Connection,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> perfdmf_db::Result<AnalysisServer> {
         for ddl in ANALYSIS_DDL {
             conn.execute(ddl, &[])?;
         }
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = bounded::<Job>(queue_capacity.max(1));
         let mut handles = Vec::with_capacity(workers.max(1));
         for _ in 0..workers.max(1) {
             let rx = rx.clone();
             let conn = conn.clone();
-            handles.push(std::thread::spawn(move || {
-                while let Ok((request, reply, submitted)) = rx.recv() {
-                    if telemetry::enabled() {
-                        telemetry::record_duration("explorer.queue_wait_ns", submitted.elapsed());
-                        telemetry::record("explorer.queue_depth", rx.len() as u64);
+            handles.push(std::thread::spawn(move || loop {
+                match worker_loop(&conn, &rx) {
+                    WorkerExit::Shutdown | WorkerExit::Disconnected => break,
+                    WorkerExit::Panicked => {
+                        telemetry::add("explorer.worker_restarts", 1);
                     }
-                    if request == Request::Shutdown {
-                        let _ = reply.send(Response::ShuttingDown);
-                        break;
-                    }
-                    let response = {
-                        let _span = telemetry::span("explorer.handle");
-                        let busy = telemetry::enabled().then(Instant::now);
-                        let response = handle(&conn, &request)
-                            .unwrap_or_else(|e| Response::Error(e.to_string()));
-                        if let Some(busy) = busy {
-                            let busy_ns = busy.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                            telemetry::add("explorer.requests", 1);
-                            telemetry::add("explorer.busy_ns", busy_ns);
-                            if matches!(response, Response::Error(_)) {
-                                telemetry::add("explorer.request_errors", 1);
-                            }
-                            telemetry::record_duration(
-                                "explorer.request_latency_ns",
-                                submitted.elapsed(),
-                            );
-                        }
-                        response
-                    };
-                    let _ = reply.send(response);
                 }
             }));
         }
@@ -107,12 +119,97 @@ impl AnalysisServer {
     /// Stop all workers and wait for them.
     pub fn shutdown(self) {
         for _ in &self.workers {
-            let (rtx, _rrx) = unbounded();
-            let _ = self.tx.send((Request::Shutdown, rtx, Instant::now()));
+            let (rtx, _rrx) = bounded(1);
+            let _ = self.tx.send(Job {
+                request: Request::Shutdown,
+                reply: rtx,
+                submitted: Instant::now(),
+                deadline: None,
+            });
         }
         for h in self.workers {
             let _ = h.join();
         }
+    }
+}
+
+/// One incarnation of a worker: drain the queue until shutdown,
+/// disconnect, or a handler panic (which the caller turns into a
+/// restart). Every dequeued job is answered exactly once — including
+/// panicking and expired ones — so clients never wait on a reply that
+/// will not come.
+fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
+    while let Ok(job) = rx.recv() {
+        let Job {
+            request,
+            reply,
+            submitted,
+            deadline,
+        } = job;
+        if telemetry::enabled() {
+            telemetry::record_duration("explorer.queue_wait_ns", submitted.elapsed());
+            telemetry::record("explorer.queue_depth", rx.len() as u64);
+        }
+        if request == Request::Shutdown {
+            let _ = reply.send(Response::ShuttingDown);
+            return WorkerExit::Shutdown;
+        }
+        // Deadline check happens at dequeue: if the request sat in the
+        // queue past its deadline, the client has already given up —
+        // doing the work would only delay requests that can still meet
+        // theirs.
+        if let Some(deadline) = deadline {
+            if Instant::now() > deadline {
+                telemetry::add("explorer.timeouts", 1);
+                let _ = reply.send(Response::Failed {
+                    reason: "deadline expired before a worker picked up the request".into(),
+                    retryable: true,
+                });
+                continue;
+            }
+        }
+        let response = {
+            let _span = telemetry::span("explorer.handle");
+            let busy = telemetry::enabled().then(Instant::now);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                handle(conn, &request).unwrap_or_else(|e| Response::Error(e.to_string()))
+            }));
+            let response = match outcome {
+                Ok(response) => response,
+                Err(payload) => {
+                    let reason = panic_message(payload.as_ref());
+                    telemetry::add("explorer.request_panics", 1);
+                    let _ = reply.send(Response::Failed {
+                        reason: format!("analysis worker panicked: {reason}"),
+                        retryable: false,
+                    });
+                    return WorkerExit::Panicked;
+                }
+            };
+            if let Some(busy) = busy {
+                let busy_ns = busy.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                telemetry::add("explorer.requests", 1);
+                telemetry::add("explorer.busy_ns", busy_ns);
+                if matches!(response, Response::Error(_)) {
+                    telemetry::add("explorer.request_errors", 1);
+                }
+                telemetry::record_duration("explorer.request_latency_ns", submitted.elapsed());
+            }
+            response
+        };
+        let _ = reply.send(response);
+    }
+    WorkerExit::Disconnected
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -145,6 +242,14 @@ fn handle(conn: &Connection, request: &Request) -> perfdmf_db::Result<Response> 
             threshold,
         } => regression_scan(conn, *experiment_id, *threshold),
         Request::Shutdown => Ok(Response::ShuttingDown),
+        Request::InjectPanic(message) => panic!("{}", message.clone()),
+        Request::Stall { millis } => {
+            std::thread::sleep(std::time::Duration::from_millis(*millis));
+            Ok(Response::Stored {
+                method: "stall".into(),
+                rows: Vec::new(),
+            })
+        }
     }
 }
 

@@ -243,6 +243,27 @@ Each sample counts as 0.01 seconds.
     }
 
     #[test]
+    fn malformed_inputs_error_without_panicking() {
+        // Corrupt data rows produce structured errors, not panics.
+        let bad_self = "\
+Flat profile:
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 60.00      0.60      ???     1000     0.60     0.90  compute_flux
+";
+        let mut p = Profile::new("t");
+        let err = parse_gprof_text(bad_self, ThreadId::ZERO, &mut p).unwrap_err();
+        assert!(err.to_string().contains("self-seconds"), "{err}");
+
+        // Truncating a valid report at every byte must yield Ok or a
+        // structured error — never a panic.
+        for i in 0..SAMPLE.len() {
+            let mut p = Profile::new("t");
+            let _ = parse_gprof_text(&SAMPLE[..i], ThreadId::ZERO, &mut p);
+        }
+    }
+
+    #[test]
     fn rejects_empty_report() {
         let mut p = Profile::new("t");
         assert!(parse_gprof_text("nothing here", ThreadId::ZERO, &mut p).is_err());

@@ -212,6 +212,29 @@ Send                 1    *     42     50.0    100.0     10.0   20.8   65.6
     }
 
     #[test]
+    fn malformed_inputs_error_without_panicking() {
+        // Corrupt callsite statistics produce structured errors.
+        let bad_count = "\
+@--- MPI Time (seconds) ---
+Task    AppTime    MPITime     MPI%
+   0       10.0        3.0    30.00
+@--- Callsite Time statistics (all, milliseconds): 1 ----------
+Name              Site Rank  Count      Max     Mean      Min   App%   MPI%
+Send                 1    0    ???     40.0    100.0     10.0   20.0   66.7
+";
+        let mut p = Profile::new("t");
+        let err = parse_mpip_text(bad_count, &mut p).unwrap_err();
+        assert!(err.to_string().contains("count"), "{err}");
+
+        // Truncating a valid report at every byte must yield Ok or a
+        // structured error — never a panic.
+        for i in 0..SAMPLE.len() {
+            let mut p = Profile::new("t");
+            let _ = parse_mpip_text(&SAMPLE[..i], &mut p);
+        }
+    }
+
+    #[test]
     fn malformed_task_line_rejected() {
         let text = "\
 @--- MPI Time (seconds) ---

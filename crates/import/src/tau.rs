@@ -137,8 +137,17 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
     };
     let n_aggregates = section_count(agg_header, "aggregates")
         .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected '<n> aggregates'"))?;
-    for _ in 0..n_aggregates {
-        lines.next();
+    // Bound the skip by the remaining input, not the header's count: a
+    // corrupt count (or a truncated file) must fail fast, not spin for
+    // up to `usize::MAX` iterations on an exhausted iterator.
+    for found in 0..n_aggregates {
+        if lines.next().is_none() {
+            return Err(ImportError::format(
+                FORMAT,
+                0,
+                format!("header promised {n_aggregates} aggregates, found {found}"),
+            ));
+        }
     }
 
     // User events: "<n> userevents" + comment + lines.
@@ -191,6 +200,13 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
                 AtomicData::from_summary(count as u64, min, max, mean, stddev),
             );
             parsed += 1;
+        }
+        if parsed != n_userevents {
+            return Err(ImportError::format(
+                FORMAT,
+                0,
+                format!("header promised {n_userevents} userevents, found {parsed}"),
+            ));
         }
     }
     Ok(metric)
@@ -355,6 +371,31 @@ mod tests {
             &mut p
         )
         .is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panicking_or_hanging() {
+        // A corrupt section count must fail fast, not iterate to the
+        // promised (possibly astronomical) count.
+        let huge_aggregates =
+            "1 templated_functions\n# h\n\"f\" 1 0 1 1 0\n99999999999999 aggregates\n";
+        let mut p = Profile::new("t");
+        let err = parse_tau_text(huge_aggregates, ThreadId::ZERO, &mut p).unwrap_err();
+        assert!(err.to_string().contains("aggregates"), "{err}");
+
+        let huge_userevents =
+            "1 templated_functions\n# h\n\"f\" 1 0 1 1 0\n0 aggregates\n500 userevents\n# h\n";
+        let mut p = Profile::new("t");
+        let err = parse_tau_text(huge_userevents, ThreadId::ZERO, &mut p).unwrap_err();
+        assert!(err.to_string().contains("userevents"), "{err}");
+
+        // Truncating a valid file at every byte must yield Ok or a
+        // structured error — never a panic (the sample is ASCII, so
+        // every byte offset is a char boundary).
+        for i in 0..SAMPLE.len() {
+            let mut p = Profile::new("t");
+            let _ = parse_tau_text(&SAMPLE[..i], ThreadId::ZERO, &mut p);
+        }
     }
 
     #[test]
