@@ -9,7 +9,7 @@
 //! `examples/large_scale_miranda.rs --full`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use perfdmf_bench::store_fresh;
+use perfdmf_bench::{sizes, store_fresh};
 use perfdmf_core::{load_trial, load_trial_filtered, LoadFilter};
 use perfdmf_workload::MirandaModel;
 
@@ -17,7 +17,7 @@ fn bench_store(c: &mut Criterion) {
     let model = MirandaModel::default();
     let mut group = c.benchmark_group("e1_store");
     group.sample_size(10);
-    for procs in [64usize, 256, 1024] {
+    for procs in sizes(&[64, 256, 1024]) {
         let profile = model.generate(procs);
         let points = profile.data_point_count() as u64;
         group.throughput(Throughput::Elements(points));
@@ -32,7 +32,7 @@ fn bench_load(c: &mut Criterion) {
     let model = MirandaModel::default();
     let mut group = c.benchmark_group("e1_load_full");
     group.sample_size(10);
-    for procs in [64usize, 256, 1024] {
+    for procs in sizes(&[64, 256, 1024]) {
         let profile = model.generate(procs);
         let points = profile.data_point_count() as u64;
         let (conn, trial) = store_fresh(&profile);
@@ -47,7 +47,7 @@ fn bench_load(c: &mut Criterion) {
 fn bench_selective_load(c: &mut Criterion) {
     let model = MirandaModel::default();
     let mut group = c.benchmark_group("e1_load_one_node");
-    for procs in [256usize, 1024, 4096] {
+    for procs in sizes(&[256, 1024, 4096]) {
         let profile = model.generate(procs);
         let (conn, trial) = store_fresh(&profile);
         group.bench_with_input(BenchmarkId::from_parameter(procs), &(), |b, _| {
@@ -70,7 +70,7 @@ fn bench_selective_load(c: &mut Criterion) {
 fn bench_summaries(c: &mut Criterion) {
     let model = MirandaModel::default();
     let mut group = c.benchmark_group("e1_total_summary");
-    for procs in [1024usize, 4096, 16384] {
+    for procs in sizes(&[1024, 4096, 16384]) {
         let profile = model.generate(procs);
         let m = profile.find_metric("WALL_CLOCK").expect("metric");
         group.throughput(Throughput::Elements(profile.data_point_count() as u64));
@@ -81,11 +81,91 @@ fn bench_summaries(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel TAU directory import. The directory is written
+/// once; both modes must produce the same profile before being timed.
+fn bench_parallel_import(c: &mut Criterion) {
+    use perfdmf_import::tau::load_tau_directory;
+    use perfdmf_pool as pool;
+
+    let model = MirandaModel::default();
+    let profile = model.generate(if perfdmf_bench::quick() { 16 } else { 64 });
+    let dir = std::env::temp_dir().join(format!("pdmf_bench_tau_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    perfdmf_workload::write_tau_directory(&profile, &dir).expect("write tau dir");
+
+    let serial = {
+        let _mode = pool::override_for_thread(1, 1);
+        load_tau_directory(&dir).expect("serial import")
+    };
+    let parallel = {
+        let _mode = pool::override_for_thread(4, 1);
+        load_tau_directory(&dir).expect("parallel import")
+    };
+    assert_eq!(serial.data_point_count(), parallel.data_point_count());
+    assert_eq!(serial.threads(), parallel.threads());
+
+    let mut group = c.benchmark_group("e1_parallel_import");
+    group.throughput(Throughput::Elements(serial.data_point_count() as u64));
+    for (label, threads) in [("serial", 1usize), ("threads2", 2), ("threads4", 4)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let _mode = pool::override_for_thread(threads, 1);
+            b.iter(|| load_tau_directory(&dir).expect("import"));
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Group-commit bulk insert on an fsync-durable on-disk database: one
+/// WAL fsync per batch instead of one per row.
+fn bench_group_commit(c: &mut Criterion) {
+    use perfdmf_db::{Connection, Durability, Value};
+
+    const ROWS: usize = 200;
+    let batch: Vec<Vec<Value>> = (0..ROWS)
+        .map(|i| vec![Value::Int(i as i64), Value::Float(i as f64 * 0.5)])
+        .collect();
+    let dir = std::env::temp_dir().join(format!("pdmf_bench_commit_{}", std::process::id()));
+
+    let mut group = c.benchmark_group("e1_group_commit");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    for (label, durability, bulk) in [
+        ("row_autocommit_fsync", Durability::Fsync, false),
+        ("bulk_fsync", Durability::Fsync, true),
+        ("bulk_buffered", Durability::Buffered, true),
+    ] {
+        let _ = std::fs::remove_dir_all(&dir);
+        let conn = Connection::open(&dir).expect("open");
+        conn.execute("CREATE TABLE b (x INTEGER, y DOUBLE)", &[])
+            .expect("create");
+        conn.set_durability(durability);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            if bulk {
+                b.iter(|| {
+                    conn.bulk_insert("b", &["x", "y"], batch.clone())
+                        .expect("bulk insert")
+                });
+            } else {
+                b.iter(|| {
+                    for row in &batch {
+                        conn.execute("INSERT INTO b (x, y) VALUES (?, ?)", row)
+                            .expect("insert");
+                    }
+                });
+            }
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_store,
     bench_load,
     bench_selective_load,
-    bench_summaries
+    bench_summaries,
+    bench_parallel_import,
+    bench_group_commit
 );
 criterion_main!(benches);

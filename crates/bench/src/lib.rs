@@ -8,6 +8,21 @@ use perfdmf_core::DatabaseSession;
 use perfdmf_db::Connection;
 use perfdmf_profile::Profile;
 
+/// True when `PERFDMF_BENCH_QUICK` is set: size sweeps shrink to their
+/// smallest point so CI can smoke-test the whole harness in seconds.
+pub fn quick() -> bool {
+    std::env::var_os("PERFDMF_BENCH_QUICK").is_some()
+}
+
+/// The full size sweep, or only its first (smallest) entry in quick mode.
+pub fn sizes(full: &[usize]) -> Vec<usize> {
+    if quick() {
+        full[..1].to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
 /// Store a profile in a fresh in-memory database; returns (connection,
 /// trial id).
 pub fn store_fresh(profile: &Profile) -> (Connection, i64) {

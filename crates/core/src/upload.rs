@@ -39,13 +39,6 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
     let ins_metric = conn.prepare("INSERT INTO metric (trial, name, derived) VALUES (?, ?, ?)")?;
     let ins_event =
         conn.prepare("INSERT INTO interval_event (trial, name, group_name) VALUES (?, ?, ?)")?;
-    let ins_loc = conn.prepare(
-        "INSERT INTO interval_location_profile
-            (interval_event, metric, node, context, thread,
-             inclusive, inclusive_percentage, exclusive, exclusive_percentage,
-             inclusive_per_call, num_calls, num_subrs)
-         VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-    )?;
     let ins_total = conn.prepare(
         "INSERT INTO interval_total_summary
             (interval_event, metric, inclusive, inclusive_percentage, exclusive,
@@ -60,12 +53,6 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
     )?;
     let ins_aevent =
         conn.prepare("INSERT INTO atomic_event (trial, name, group_name) VALUES (?, ?, ?)")?;
-    let ins_aloc = conn.prepare(
-        "INSERT INTO atomic_location_profile
-            (atomic_event, node, context, thread, sample_count,
-             maximum_value, minimum_value, mean_value, standard_deviation)
-         VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-    )?;
 
     conn.transaction(|tx| {
         // Verify the trial exists (FK checks would catch it later, but a
@@ -106,13 +93,29 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
             event_ids.push(id);
         }
 
+        // Fact rows go through the group-commit bulk path: one validated
+        // batch per metric instead of one prepared execution per row.
+        const LOC_COLS: &[&str] = &[
+            "interval_event",
+            "metric",
+            "node",
+            "context",
+            "thread",
+            "inclusive",
+            "inclusive_percentage",
+            "exclusive",
+            "exclusive_percentage",
+            "inclusive_per_call",
+            "num_calls",
+            "num_subrs",
+        ];
         let mut rows = 0usize;
         for (mi, _) in profile.metrics().iter().enumerate() {
             let metric = perfdmf_profile::MetricId(mi);
-            for (event, thread, d) in profile.iter_metric(metric) {
-                tx.execute_prepared(
-                    &ins_loc,
-                    &[
+            let batch: Vec<Vec<Value>> = profile
+                .iter_metric(metric)
+                .map(|(event, thread, d)| {
+                    vec![
                         Value::Int(event_ids[event.0]),
                         Value::Int(metric_ids[mi]),
                         Value::Int(thread.node as i64),
@@ -125,10 +128,11 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
                         v(d.inclusive_per_call),
                         v(d.calls),
                         v(d.subroutines),
-                    ],
-                )?;
-                rows += 1;
-            }
+                    ]
+                })
+                .collect();
+            let (n, _) = tx.bulk_insert("interval_location_profile", LOC_COLS, batch)?;
+            rows += n;
             // summaries
             let totals = profile.total_summary(metric);
             let means = profile.mean_summary(metric);
@@ -171,10 +175,10 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
         }
         let mut atomics: Vec<_> = profile.iter_atomic().collect();
         atomics.sort_by_key(|(e, t, _)| (e.0, *t));
-        for (ae, thread, d) in atomics {
-            tx.execute_prepared(
-                &ins_aloc,
-                &[
+        let abatch: Vec<Vec<Value>> = atomics
+            .into_iter()
+            .map(|(ae, thread, d)| {
+                vec![
                     Value::Int(aevent_ids[ae.0]),
                     Value::Int(thread.node as i64),
                     Value::Int(thread.context as i64),
@@ -184,9 +188,24 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
                     Value::Float(d.min),
                     Value::Float(d.mean),
                     Value::Float(d.stddev().unwrap_or(0.0)),
-                ],
-            )?;
-        }
+                ]
+            })
+            .collect();
+        tx.bulk_insert(
+            "atomic_location_profile",
+            &[
+                "atomic_event",
+                "node",
+                "context",
+                "thread",
+                "sample_count",
+                "maximum_value",
+                "minimum_value",
+                "mean_value",
+                "standard_deviation",
+            ],
+            abatch,
+        )?;
         Ok(rows)
     })
 }

@@ -186,6 +186,37 @@ impl Connection {
         }
     }
 
+    /// Bulk-insert pre-evaluated value tuples as one group-committed batch:
+    /// the write lock is taken once, every row is validated and applied,
+    /// and a single WAL append (one fsync under
+    /// [`crate::storage::Durability::Fsync`]) covers the whole batch. On
+    /// any row failure the entire batch rolls back.
+    pub fn bulk_insert(
+        &self,
+        table: &str,
+        columns: &[&str],
+        rows: Vec<crate::table::Row>,
+    ) -> Result<(usize, Option<i64>)> {
+        let _span = telemetry::span("db.bulk_insert");
+        let mut db = self.db.write();
+        let mark = db.stmt_begin();
+        match db.bulk_insert(table, columns, rows) {
+            Ok(res) => {
+                db.stmt_finish()?;
+                Ok(res)
+            }
+            Err(e) => {
+                db.stmt_abort(mark);
+                Err(e)
+            }
+        }
+    }
+
+    /// Set when WAL commit batches must reach stable storage.
+    pub fn set_durability(&self, durability: crate::storage::Durability) {
+        self.db.write().set_durability(durability);
+    }
+
     /// Run `f` with exclusive access inside a transaction. Commits on `Ok`,
     /// rolls back on `Err`.
     pub fn transaction<T>(
@@ -304,6 +335,30 @@ impl TransactionHandle<'_> {
             _ => Err(DbError::Unsupported(
                 "insert_prepared() requires an INSERT statement".into(),
             )),
+        }
+    }
+
+    /// Bulk-insert pre-evaluated value tuples inside the transaction with
+    /// statement-level atomicity: a failing row undoes the batch but leaves
+    /// the surrounding transaction open. The rows commit with the
+    /// transaction's single WAL batch.
+    pub fn bulk_insert(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        rows: Vec<crate::table::Row>,
+    ) -> Result<(usize, Option<i64>)> {
+        let _span = telemetry::span("db.bulk_insert");
+        let mark = self.db.stmt_begin();
+        match self.db.bulk_insert(table, columns, rows) {
+            Ok(res) => {
+                self.db.stmt_finish()?;
+                Ok(res)
+            }
+            Err(e) => {
+                self.db.stmt_abort(mark);
+                Err(e)
+            }
         }
     }
 

@@ -13,7 +13,9 @@
 
 use crate::error::{DbError, Result};
 use crate::schema::{ColumnDef, TableSchema};
-use crate::storage::{read_snapshot_with, scan_wal, write_snapshot_with, Wal, WalRecord};
+use crate::storage::{
+    read_snapshot_with, scan_wal, write_snapshot_with, Durability, Wal, WalRecord,
+};
 use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 use crate::vfs::Vfs;
@@ -136,10 +138,12 @@ impl Database {
         }
         let wal_path = dir.join("wal.pdmf");
         let mut wal_gen = snap_gen;
+        let mut wal_len = 0u64;
         let mut committed: Vec<WalRecord> = Vec::new();
         let mut needs_rewrite = false;
         if vfs.exists(&wal_path) {
             let scan = scan_wal(&*vfs, &wal_path)?;
+            wal_len = scan.file_bytes;
             if scan.torn_tail || scan.torn_header {
                 telemetry::add("db.recovery.torn_tail", 1);
             }
@@ -165,7 +169,7 @@ impl Database {
             telemetry::add("db.recovery.wal_rewrites", 1);
             Wal::rewrite(vfs.clone(), &wal_path, wal_gen, &committed)?
         } else {
-            Wal::attach(vfs.clone(), &wal_path, wal_gen)?
+            Wal::attach(vfs.clone(), &wal_path, wal_gen, wal_len)?
         };
         db.wal = Some(wal);
         db.dir = Some(dir.to_path_buf());
@@ -264,6 +268,23 @@ impl Database {
     /// Is a write-ahead log attached (persistent database)?
     fn logging(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Set when commit batches must reach stable storage. No-op for
+    /// in-memory databases (nothing to sync).
+    pub fn set_durability(&mut self, durability: Durability) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_durability(durability);
+        }
+    }
+
+    /// Current WAL durability mode (in-memory databases report the
+    /// default).
+    pub fn durability(&self) -> Durability {
+        self.wal
+            .as_ref()
+            .map(|w| w.durability())
+            .unwrap_or_default()
     }
 
     // ---------------- catalog access ----------------
@@ -702,6 +723,78 @@ impl Database {
             });
         }
         Ok(id)
+    }
+
+    /// Bulk-insert pre-evaluated value tuples into `table` — the
+    /// group-commit fast path used by importers. `columns` names the
+    /// position of each tuple element (empty = full schema order); omitted
+    /// columns take their declared defaults, and an omitted AUTO_INCREMENT
+    /// primary key is assigned as usual. All rows join the current pending
+    /// batch, so under autocommit the entire bulk lands in **one** WAL
+    /// append (and one fsync under [`crate::storage::Durability::Fsync`]).
+    ///
+    /// Returns the inserted-row count and the last generated
+    /// AUTO_INCREMENT id, mirroring `INSERT`'s outcome.
+    pub fn bulk_insert(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        rows: Vec<Row>,
+    ) -> Result<(usize, Option<i64>)> {
+        let (col_map, auto_pk, defaults): (Vec<usize>, Option<usize>, Row) = {
+            let t = self.table(table)?;
+            let n = t.schema.columns.len();
+            let map: Vec<usize> = if columns.is_empty() {
+                (0..n).collect()
+            } else {
+                let mut m = Vec::with_capacity(columns.len());
+                for c in columns {
+                    m.push(
+                        t.schema
+                            .column_index(c)
+                            .ok_or_else(|| DbError::NoSuchColumn {
+                                table: table.to_string(),
+                                column: c.to_string(),
+                            })?,
+                    );
+                }
+                m
+            };
+            let auto = t
+                .schema
+                .primary_key_index()
+                .filter(|&i| t.schema.columns[i].auto_increment);
+            let defaults = t
+                .schema
+                .columns
+                .iter()
+                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .collect();
+            (map, auto, defaults)
+        };
+        let mut count = 0;
+        let mut last = None;
+        for tuple in rows {
+            if tuple.len() != col_map.len() {
+                return Err(DbError::Arity {
+                    expected: col_map.len(),
+                    got: tuple.len(),
+                });
+            }
+            let mut row: Row = defaults.clone();
+            for (slot, value) in col_map.iter().zip(tuple) {
+                row[*slot] = value;
+            }
+            let id = self.insert_row(table, row)?;
+            if let Some(pk) = auto_pk {
+                if let Some(Value::Int(v)) = self.table(table)?.row(id).map(|r| r[pk].clone()) {
+                    last = Some(v);
+                }
+            }
+            count += 1;
+        }
+        telemetry::add("db.bulk_insert.rows", count as u64);
+        Ok((count, last))
     }
 
     /// Delete a row by id.

@@ -100,6 +100,86 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Does this accumulator carry DISTINCT state? DISTINCT aggregates
+    /// dedupe through a HashSet whose contents depend on which partition
+    /// saw a value first, so the parallel path must not split them.
+    pub fn is_distinct(&self) -> bool {
+        self.distinct
+    }
+
+    /// Fold another accumulator over the same aggregate expression into
+    /// this one. Used by the parallel execution path: each partition feeds
+    /// its rows into a private accumulator, then partials are merged in
+    /// partition-index order. The merge is commutative up to float
+    /// rounding (mean/m2 use the Chan et al. pairwise combination).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        debug_assert_eq!(self.func, other.func);
+        if self.distinct || other.distinct {
+            return Err(DbError::Unsupported(
+                "DISTINCT aggregates cannot be merged across partitions".into(),
+            ));
+        }
+        if other.count == 0 {
+            return Ok(());
+        }
+        if self.count == 0 {
+            let func = self.func;
+            *self = other.clone();
+            self.func = func;
+            return Ok(());
+        }
+        match self.func {
+            AggregateFn::Count => {}
+            AggregateFn::Min => {
+                if let Some(v) = &other.min {
+                    if self.min.as_ref().is_none_or(|m| v < m) {
+                        self.min = Some(v.clone());
+                    }
+                }
+            }
+            AggregateFn::Max => {
+                if let Some(v) = &other.max {
+                    if self.max.as_ref().is_none_or(|m| v > m) {
+                        self.max = Some(v.clone());
+                    }
+                }
+            }
+            AggregateFn::Sum | AggregateFn::Avg | AggregateFn::StdDev => {
+                if self.int_exact && other.int_exact {
+                    match self.int_sum.checked_add(other.int_sum) {
+                        Some(s) => self.int_sum = s,
+                        None => {
+                            self.int_exact = false;
+                            self.float_sum = self.int_sum as f64 + other.int_sum as f64;
+                        }
+                    }
+                } else {
+                    let lhs = if self.int_exact {
+                        self.int_sum as f64
+                    } else {
+                        self.float_sum
+                    };
+                    let rhs = if other.int_exact {
+                        other.int_sum as f64
+                    } else {
+                        other.float_sum
+                    };
+                    self.int_exact = false;
+                    self.float_sum = lhs + rhs;
+                }
+                // Chan et al. parallel Welford combination.
+                let n1 = self.count as f64;
+                let n2 = other.count as f64;
+                let n = n1 + n2;
+                let delta = other.mean - self.mean;
+                self.mean += delta * n2 / n;
+                self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+            }
+        }
+        self.count += other.count;
+        Ok(())
+    }
+
     /// Final aggregate value.
     pub fn finish(&self) -> Value {
         match self.func {
@@ -240,5 +320,84 @@ mod tests {
     fn non_numeric_sum_errors() {
         let mut acc = Accumulator::new(AggregateFn::Sum, false);
         assert!(acc.update(Some(&Value::Text("x".into()))).is_err());
+    }
+
+    /// Split `vals` at every position, accumulate halves separately, merge,
+    /// and compare against the single-pass result.
+    fn merged_matches_serial(func: AggregateFn, vals: &[Value]) {
+        let serial = run(func, vals);
+        for split in 0..=vals.len() {
+            let mut left = Accumulator::new(func, false);
+            let mut right = Accumulator::new(func, false);
+            for v in &vals[..split] {
+                left.update(Some(v)).unwrap();
+            }
+            for v in &vals[split..] {
+                right.update(Some(v)).unwrap();
+            }
+            left.merge(&right).unwrap();
+            match (left.finish(), serial.clone()) {
+                (Value::Float(a), Value::Float(b)) => {
+                    let tol = 1e-9 * b.abs().max(1.0);
+                    assert!((a - b).abs() <= tol, "{func:?} split {split}: {a} vs {b}");
+                }
+                (a, b) => assert_eq!(a, b, "{func:?} split {split}"),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_serial_for_every_split() {
+        let vals = ints(&[2, 4, 4, 4, 5, 5, 7, 9]);
+        for func in [
+            AggregateFn::Count,
+            AggregateFn::Sum,
+            AggregateFn::Avg,
+            AggregateFn::Min,
+            AggregateFn::Max,
+            AggregateFn::StdDev,
+        ] {
+            merged_matches_serial(func, &vals);
+        }
+        let floats: Vec<Value> = [1.5, -2.25, 3.75, 0.0, 8.125]
+            .iter()
+            .map(|&f| Value::Float(f))
+            .collect();
+        for func in [AggregateFn::Sum, AggregateFn::Avg, AggregateFn::StdDev] {
+            merged_matches_serial(func, &floats);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let vals = ints(&[3, 1, 4]);
+        merged_matches_serial(AggregateFn::Sum, &vals);
+        let mut empty = Accumulator::new(AggregateFn::StdDev, false);
+        let mut full = Accumulator::new(AggregateFn::StdDev, false);
+        for v in &ints(&[10, 20, 30]) {
+            full.update(Some(v)).unwrap();
+        }
+        empty.merge(&full).unwrap();
+        assert_eq!(empty.finish(), full.finish());
+    }
+
+    #[test]
+    fn merge_int_overflow_degrades_to_float() {
+        let mut a = Accumulator::new(AggregateFn::Sum, false);
+        let mut b = Accumulator::new(AggregateFn::Sum, false);
+        a.update(Some(&Value::Int(i64::MAX))).unwrap();
+        b.update(Some(&Value::Int(10))).unwrap();
+        a.merge(&b).unwrap();
+        match a.finish() {
+            Value::Float(f) => assert!((f - (i64::MAX as f64 + 10.0)).abs() < 1e4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rejects_distinct() {
+        let mut a = Accumulator::new(AggregateFn::Count, true);
+        let b = Accumulator::new(AggregateFn::Count, true);
+        assert!(a.merge(&b).is_err());
     }
 }

@@ -17,8 +17,11 @@ use crate::error::{DbError, Result};
 use crate::sql::ast::*;
 use crate::table::Row;
 use crate::value::Value;
+use perfdmf_pool as pool;
+use perfdmf_telemetry as telemetry;
 use std::collections::HashMap;
 use std::ops::Bound;
+use std::ops::Range;
 
 /// Replace uncorrelated subqueries (`IN (SELECT ...)`, scalar
 /// `(SELECT ...)`) in an expression by executing them once up front.
@@ -230,14 +233,35 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
         if pred.contains_aggregate() {
             return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
         }
-        let mut kept = Vec::with_capacity(rows.len());
-        for row in rows {
-            let env = Env::new(&layout, &row, params);
-            if eval_condition(pred, &env)? {
-                kept.push(row);
+        rows = match pool::partitions(rows.len()) {
+            Some(ranges) => {
+                // Partition the materialized rows; concatenating kept rows
+                // in partition order preserves the serial result order.
+                telemetry::add("db.exec.parallel_filters", 1);
+                let rows_ref = &rows;
+                let chunks = pool::try_run(ranges.len(), |pi| {
+                    let mut kept = Vec::new();
+                    for row in &rows_ref[ranges[pi].clone()] {
+                        let env = Env::new(&layout, row, params);
+                        if eval_condition(pred, &env)? {
+                            kept.push(row.clone());
+                        }
+                    }
+                    Ok::<Vec<Row>, DbError>(kept)
+                })?;
+                chunks.into_iter().flatten().collect()
             }
-        }
-        rows = kept;
+            None => {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let env = Env::new(&layout, &row, params);
+                    if eval_condition(pred, &env)? {
+                        kept.push(row);
+                    }
+                }
+                kept
+            }
+        };
     }
 
     let needs_aggregation = !sel.group_by.is_empty()
@@ -611,13 +635,38 @@ fn scan_and_join(
                 out
             }
             None => {
-                let mut out = Vec::new();
-                for (_, row) in base_table.iter() {
-                    if keep(row)? {
-                        out.push(masked_clone(row, &base_mask));
+                // Full scan. The slab is chunked by row-id range; live rows
+                // concatenated in partition order match `Table::iter`'s
+                // ascending-id order, so the parallel scan returns rows in
+                // exactly the serial order.
+                match pool::partitions(base_table.slab_len()) {
+                    Some(ranges) => {
+                        telemetry::add("db.exec.parallel_scans", 1);
+                        let keep = &keep;
+                        let base_mask = &base_mask;
+                        let chunks = pool::try_run(ranges.len(), |pi| {
+                            let mut part = Vec::new();
+                            for id in ranges[pi].clone() {
+                                if let Some(row) = base_table.row(id as crate::table::RowId) {
+                                    if keep(row)? {
+                                        part.push(masked_clone(row, base_mask));
+                                    }
+                                }
+                            }
+                            Ok::<Vec<Row>, DbError>(part)
+                        })?;
+                        chunks.into_iter().flatten().collect()
+                    }
+                    None => {
+                        let mut out = Vec::new();
+                        for (_, row) in base_table.iter() {
+                            if keep(row)? {
+                                out.push(masked_clone(row, &base_mask));
+                            }
+                        }
+                        out
                     }
                 }
-                out
             }
         }
     };
@@ -1150,59 +1199,40 @@ fn aggregate_path(
         collect_aggregates(&o.expr, &mut aggs);
     }
 
-    // Group rows.
-    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
-    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
-    if sel.group_by.is_empty() {
-        groups.push((Vec::new(), (0..rows.len()).collect()));
+    // Group rows and accumulate aggregates, in parallel when the row count
+    // justifies it. DISTINCT aggregates dedupe through per-group hash sets
+    // that cannot be split across partitions, so they pin the serial path.
+    let has_distinct = aggs
+        .iter()
+        .any(|a| matches!(a, Expr::Aggregate { distinct: true, .. }));
+    let parallel = if has_distinct {
+        None
     } else {
-        for (i, row) in rows.iter().enumerate() {
-            let env = Env::new(layout, row, params);
-            let mut key = Vec::with_capacity(sel.group_by.len());
-            for g in &sel.group_by {
-                key.push(eval(g, &env)?);
-            }
-            match group_index.get(&key) {
-                Some(&gi) => groups[gi].1.push(i),
-                None => {
-                    group_index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![i]));
-                }
-            }
+        pool::partitions(rows.len())
+    };
+    let groups = match parallel {
+        Some(ranges) => {
+            telemetry::add("db.exec.parallel_aggregates", 1);
+            let aggs_ref = &aggs;
+            let partials = pool::try_run(ranges.len(), |pi| {
+                group_and_accumulate(sel, layout, rows, params, aggs_ref, ranges[pi].clone())
+            })?;
+            merge_group_partials(partials)?
         }
-    }
+        None => group_and_accumulate(sel, layout, rows, params, &aggs, 0..rows.len())?,
+    };
 
-    // Accumulate aggregates per group.
+    let null_row: Row = vec![Value::Null; layout.width()];
     let mut out_rows = Vec::with_capacity(groups.len());
-    for (_, members) in &groups {
-        let mut accs: Vec<Accumulator> = aggs
-            .iter()
-            .map(|a| match a {
-                Expr::Aggregate { func, distinct, .. } => Accumulator::new(*func, *distinct),
-                _ => unreachable!("collect_aggregates only collects aggregates"),
-            })
-            .collect();
-        for &ri in members {
-            let env = Env::new(layout, &rows[ri], params);
-            for (ai, a) in aggs.iter().enumerate() {
-                let Expr::Aggregate { arg, .. } = a else {
-                    unreachable!()
-                };
-                match arg {
-                    None => accs[ai].update(None)?,
-                    Some(e) => {
-                        let v = eval(e, &env)?;
-                        accs[ai].update(Some(&v))?;
-                    }
-                }
-            }
-        }
+    for (_, rep_idx, accs) in &groups {
         let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
 
         // Representative row for evaluating group-key expressions. An empty
         // group (aggregate over zero rows, no GROUP BY) uses a NULL row.
-        let null_row: Row = vec![Value::Null; layout.width()];
-        let rep: &Row = members.first().map(|&i| &rows[i]).unwrap_or(&null_row);
+        let rep: &Row = match rep_idx {
+            Some(i) => &rows[*i],
+            None => &null_row,
+        };
         let env = Env::new(layout, rep, params);
 
         // HAVING
@@ -1253,6 +1283,107 @@ fn aggregate_path(
         rows: out_rows.into_iter().map(|(_, r)| r).collect(),
         ..ResultSet::default()
     })
+}
+
+/// Grouping state: key values, index of the group's first (representative)
+/// row, and one accumulator per aggregate expression.
+type GroupState = (Vec<Value>, Option<usize>, Vec<Accumulator>);
+
+fn new_accumulators(aggs: &[&Expr]) -> Vec<Accumulator> {
+    aggs.iter()
+        .map(|a| match a {
+            Expr::Aggregate { func, distinct, .. } => Accumulator::new(*func, *distinct),
+            _ => unreachable!("collect_aggregates only collects aggregates"),
+        })
+        .collect()
+}
+
+fn update_accumulators(accs: &mut [Accumulator], aggs: &[&Expr], env: &Env) -> Result<()> {
+    for (ai, a) in aggs.iter().enumerate() {
+        let Expr::Aggregate { arg, .. } = a else {
+            unreachable!()
+        };
+        match arg {
+            None => accs[ai].update(None)?,
+            Some(e) => {
+                let v = eval(e, env)?;
+                accs[ai].update(Some(&v))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Group `rows[range]` and feed the aggregates, producing groups in
+/// first-occurrence order with the range's first member as representative.
+/// Called with the full range on the serial path, and once per partition on
+/// the parallel path.
+fn group_and_accumulate(
+    sel: &Select,
+    layout: &Layout,
+    rows: &[Row],
+    params: &[Value],
+    aggs: &[&Expr],
+    range: Range<usize>,
+) -> Result<Vec<GroupState>> {
+    let mut groups: Vec<GroupState> = Vec::new();
+    if sel.group_by.is_empty() {
+        let rep = (!range.is_empty()).then_some(range.start);
+        let mut accs = new_accumulators(aggs);
+        for i in range {
+            let env = Env::new(layout, &rows[i], params);
+            update_accumulators(&mut accs, aggs, &env)?;
+        }
+        groups.push((Vec::new(), rep, accs));
+    } else {
+        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for i in range {
+            let env = Env::new(layout, &rows[i], params);
+            let mut key = Vec::with_capacity(sel.group_by.len());
+            for g in &sel.group_by {
+                key.push(eval(g, &env)?);
+            }
+            let gi = match group_index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    group_index.insert(key.clone(), groups.len());
+                    groups.push((key, Some(i), new_accumulators(aggs)));
+                    groups.len() - 1
+                }
+            };
+            update_accumulators(&mut groups[gi].2, aggs, &env)?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Merge per-partition group partials in partition-index order. Because
+/// partitions cover ascending row ranges, first occurrence across the merge
+/// equals global first occurrence — group output order and representative
+/// rows match the serial path exactly.
+fn merge_group_partials(partials: Vec<Vec<GroupState>>) -> Result<Vec<GroupState>> {
+    let mut groups: Vec<GroupState> = Vec::new();
+    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for partial in partials {
+        for (key, rep, accs) in partial {
+            match group_index.get(&key) {
+                Some(&gi) => {
+                    // Keep the earlier representative; merge accumulators.
+                    for (dst, src) in groups[gi].2.iter_mut().zip(&accs) {
+                        dst.merge(src)?;
+                    }
+                    if groups[gi].1.is_none() {
+                        groups[gi].1 = rep;
+                    }
+                }
+                None => {
+                    group_index.insert(key.clone(), groups.len());
+                    groups.push((key, rep, accs));
+                }
+            }
+        }
+    }
+    Ok(groups)
 }
 
 // ---------------- ORDER BY helpers ----------------

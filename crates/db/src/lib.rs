@@ -67,6 +67,7 @@ pub use exec::{Outcome, ResultSet};
 pub use faults::{FaultKind, FaultPlan, FaultVfs};
 pub use observe::{set_slow_query_threshold, slow_query_threshold};
 pub use schema::{ColumnDef, TableSchema};
+pub use storage::Durability;
 pub use table::{Row, RowId, Table};
 pub use value::{DataType, Value};
 pub use vfs::{RealVfs, Vfs, VfsFile};

@@ -439,11 +439,37 @@ fn wal_header(generation: u64) -> Vec<u8> {
     h
 }
 
+/// When a commit batch must reach stable storage.
+///
+/// [`Durability::Fsync`] pairs with the group-commit bulk-insert path:
+/// because the engine writes one WAL batch per commit (however many rows it
+/// carries), the fsync cost is amortized across every record in the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Flush to the OS on commit but do not fsync (the historical
+    /// behavior): a process crash loses nothing, an OS crash may lose the
+    /// tail. Recovery discards any torn tail either way.
+    #[default]
+    Buffered,
+    /// `fsync` once per commit batch, so committed data survives power
+    /// loss.
+    Fsync,
+}
+
 /// Append-only write-ahead log handle.
 pub struct Wal {
     file: Box<dyn VfsFile>,
     path: PathBuf,
     generation: u64,
+    durability: Durability,
+    /// File length up to the last successful append (header included).
+    /// A failed append truncates back to this offset so a commit whose
+    /// acknowledgement failed can never be replayed by recovery.
+    len: u64,
+    /// Set when a failed append could not be truncated away: the file may
+    /// hold a record the caller rolled back, so further appends would let
+    /// recovery replay conflicting history. Reopening repairs the log.
+    poisoned: bool,
 }
 
 impl std::fmt::Debug for Wal {
@@ -464,32 +490,51 @@ impl Wal {
     /// Open (creating if absent) the WAL at `path` through `vfs`, reading
     /// the generation from an existing header.
     pub fn open_with(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Wal> {
-        let generation = if vfs.exists(path) {
-            scan_wal(&*vfs, path)?.generation
+        let (generation, file_bytes) = if vfs.exists(path) {
+            let scan = scan_wal(&*vfs, path)?;
+            (scan.generation, scan.file_bytes)
         } else {
-            0
+            (0, 0)
         };
-        Wal::attach(vfs, path, generation)
+        Wal::attach(vfs, path, generation, file_bytes)
     }
 
-    /// Open an append handle, trusting `generation` (the caller has just
-    /// scanned or rewritten the file). Creates the file with a fresh
-    /// header if absent.
-    pub fn attach(vfs: Arc<dyn Vfs>, path: &Path, generation: u64) -> Result<Wal> {
+    /// Open an append handle, trusting `generation` and `file_bytes` (the
+    /// caller has just scanned or rewritten the file; `file_bytes` is its
+    /// current length and is ignored when the file does not exist yet).
+    /// Creates the file with a fresh header if absent.
+    pub fn attach(vfs: Arc<dyn Vfs>, path: &Path, generation: u64, file_bytes: u64) -> Result<Wal> {
         let exists = vfs.exists(path);
         let mut file = vfs
             .open_append(path)
             .map_err(|e| DbError::io("wal open", e))?;
-        if !exists {
-            file.write_all(&wal_header(generation))
+        let len = if exists {
+            file_bytes
+        } else {
+            let header = wal_header(generation);
+            file.write_all(&header)
                 .map_err(|e| DbError::io("wal header write", e))?;
             file.flush().map_err(|e| DbError::io("wal flush", e))?;
-        }
+            header.len() as u64
+        };
         Ok(Wal {
             file,
             path: path.to_path_buf(),
             generation,
+            durability: Durability::default(),
+            len,
+            poisoned: false,
         })
+    }
+
+    /// Set when commit batches must reach stable storage.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// Current durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
     }
 
     /// Atomically replace the log with exactly `records` at `generation`
@@ -522,12 +567,19 @@ impl Wal {
         }
         vfs.rename(&tmp, path)
             .map_err(|e| DbError::io("wal rewrite rename", e))?;
-        Wal::attach(vfs, path, generation)
+        Wal::attach(vfs, path, generation, out.len() as u64)
     }
 
     /// Append a batch of records followed by framing checksums; flushes to
     /// the OS at the end (one syscall per batch, not per record).
     pub fn append(&mut self, records: &[WalRecord]) -> Result<()> {
+        if self.poisoned {
+            return Err(DbError::Corrupt(
+                "write-ahead log poisoned by an earlier failed commit; \
+                 reopen the database to repair it"
+                    .into(),
+            ));
+        }
         let mut out = Vec::with_capacity(records.len() * 64);
         for rec in records {
             let payload = encode_record(rec);
@@ -535,11 +587,45 @@ impl Wal {
             out.put_slice(&payload);
             out.put_u64_le(fnv1a(&payload));
         }
-        self.file
+        let result = self
+            .file
             .write_all(&out)
-            .map_err(|e| DbError::io("wal append", e))?;
-        self.file.flush().map_err(|e| DbError::io("wal flush", e))?;
-        Ok(())
+            .map_err(|e| DbError::io("wal append", e))
+            .and_then(|()| self.file.flush().map_err(|e| DbError::io("wal flush", e)))
+            .and_then(|()| {
+                if self.durability == Durability::Fsync {
+                    self.file.sync_all().map_err(|e| {
+                        telemetry::add("db.fsync_errors", 1);
+                        DbError::io("wal fsync", e)
+                    })?;
+                    telemetry::add("db.wal.fsyncs", 1);
+                }
+                Ok(())
+            });
+        match result {
+            Ok(()) => {
+                self.len += out.len() as u64;
+                telemetry::add("db.wal.commit_batches", 1);
+                telemetry::record("db.wal.batch_records", records.len() as u64);
+                Ok(())
+            }
+            Err(e) => {
+                // The batch may sit in the file partially (torn write) or
+                // fully (post-write fsync failure). The caller rolls the
+                // transaction back in memory on this error, so truncate
+                // the file back too — otherwise recovery would replay a
+                // commit that was acknowledged as failed, conflicting
+                // with whatever committed after it.
+                match self.file.set_len(self.len) {
+                    Ok(()) => telemetry::add("db.wal.failed_appends_truncated", 1),
+                    Err(_) => {
+                        self.poisoned = true;
+                        telemetry::add("db.wal.poisoned", 1);
+                    }
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Truncate the log back to empty at the current generation.
@@ -556,11 +642,14 @@ impl Wal {
         self.file
             .seek_start(0)
             .map_err(|e| DbError::io("wal seek", e))?;
+        let header = wal_header(generation);
         self.file
-            .write_all(&wal_header(generation))
+            .write_all(&header)
             .map_err(|e| DbError::io("wal header write", e))?;
         self.file.flush().map_err(|e| DbError::io("wal flush", e))?;
         self.generation = generation;
+        self.len = header.len() as u64;
+        self.poisoned = false;
         Ok(())
     }
 

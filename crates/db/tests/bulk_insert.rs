@@ -1,0 +1,139 @@
+//! Group-commit bulk-insert path: batching semantics, atomicity, and the
+//! Durability::Fsync knob (verified through fault injection).
+
+use perfdmf_db::{Connection, Durability, FaultKind, FaultPlan, FaultVfs, Value};
+use std::sync::Arc;
+
+fn setup(conn: &Connection) {
+    conn.execute(
+        "CREATE TABLE t (
+            id INTEGER PRIMARY KEY AUTO_INCREMENT,
+            a INTEGER NOT NULL,
+            b TEXT DEFAULT 'dflt'
+        )",
+        &[],
+    )
+    .unwrap();
+}
+
+fn int_rows(vals: &[i64]) -> Vec<Vec<Value>> {
+    vals.iter().map(|&a| vec![Value::Int(a)]).collect()
+}
+
+#[test]
+fn bulk_insert_assigns_auto_ids_and_defaults() {
+    let conn = Connection::open_in_memory();
+    setup(&conn);
+    let (n, last) = conn
+        .bulk_insert("t", &["a"], int_rows(&[10, 20, 30]))
+        .unwrap();
+    assert_eq!(n, 3);
+    assert_eq!(last, Some(3));
+    let rs = conn
+        .query("SELECT id, a, b FROM t ORDER BY id", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(
+        rs.rows[0],
+        vec![Value::Int(1), Value::Int(10), Value::Text("dflt".into())]
+    );
+    assert_eq!(
+        rs.rows[2],
+        vec![Value::Int(3), Value::Int(30), Value::Text("dflt".into())]
+    );
+}
+
+#[test]
+fn bulk_insert_full_schema_order_when_columns_empty() {
+    let conn = Connection::open_in_memory();
+    setup(&conn);
+    let rows = vec![vec![Value::Null, Value::Int(7), Value::Text("x".into())]];
+    let (n, last) = conn.bulk_insert("t", &[], rows).unwrap();
+    assert_eq!((n, last), (1, Some(1)));
+}
+
+#[test]
+fn bulk_insert_rolls_back_whole_batch_on_bad_row() {
+    let conn = Connection::open_in_memory();
+    setup(&conn);
+    conn.bulk_insert("t", &["a"], int_rows(&[1])).unwrap();
+    // Second row violates NOT NULL: the whole batch must vanish.
+    let err = conn.bulk_insert("t", &["a"], vec![vec![Value::Int(2)], vec![Value::Null]]);
+    assert!(err.is_err());
+    assert_eq!(conn.row_count("t").unwrap(), 1);
+}
+
+#[test]
+fn bulk_insert_arity_and_unknown_column_errors() {
+    let conn = Connection::open_in_memory();
+    setup(&conn);
+    assert!(conn
+        .bulk_insert("t", &["a"], vec![vec![Value::Int(1), Value::Int(2)]])
+        .is_err());
+    assert!(conn.bulk_insert("t", &["nope"], int_rows(&[1])).is_err());
+    assert_eq!(conn.row_count("t").unwrap(), 0);
+}
+
+#[test]
+fn bulk_insert_inside_transaction_keeps_txn_open_on_row_failure() {
+    let conn = Connection::open_in_memory();
+    setup(&conn);
+    let res: perfdmf_db::Result<()> = conn.transaction(|tx| {
+        tx.bulk_insert("t", &["a"], int_rows(&[1, 2])).unwrap();
+        // Failing statement rolls back only itself...
+        assert!(tx
+            .bulk_insert("t", &["a"], vec![vec![Value::Null]])
+            .is_err());
+        // ...the earlier rows are still visible inside the transaction.
+        let rs = tx.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(2));
+        Ok(())
+    });
+    res.unwrap();
+    assert_eq!(conn.row_count("t").unwrap(), 2);
+}
+
+#[test]
+fn bulk_batch_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("perfdmf_bulk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let conn = Connection::open(&dir).unwrap();
+        setup(&conn);
+        conn.set_durability(Durability::Fsync);
+        conn.bulk_insert("t", &["a"], int_rows(&(0..100).collect::<Vec<_>>()))
+            .unwrap();
+    }
+    {
+        let conn = Connection::open(&dir).unwrap();
+        assert_eq!(conn.row_count("t").unwrap(), 100);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsync_durability_surfaces_fsync_faults_as_failed_commits() {
+    let dir = std::env::temp_dir().join(format!("perfdmf_bulk_fsync_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let vfs = FaultVfs::on_disk(FaultPlan::default());
+    let conn = Connection::open_with_vfs(&dir, Arc::new(vfs.clone())).unwrap();
+    setup(&conn);
+    conn.set_durability(Durability::Fsync);
+    conn.bulk_insert("t", &["a"], int_rows(&[1, 2, 3])).unwrap();
+
+    // A Fsync-mode commit batch is write, flush, sync (ops 0, 1, 2 after a
+    // reset). Failing the sync must fail the commit and roll back memory.
+    vfs.reset(FaultPlan::fail_at(2, FaultKind::FsyncError));
+    let err = conn.bulk_insert("t", &["a"], int_rows(&[4, 5]));
+    assert!(err.is_err(), "fsync failure must fail the commit");
+    assert_eq!(conn.row_count("t").unwrap(), 3);
+
+    // Buffered mode never fsyncs: the same schedule targets an op that is
+    // no longer issued, so the commit goes through.
+    vfs.reset(FaultPlan::fail_at(2, FaultKind::FsyncError));
+    conn.set_durability(Durability::Buffered);
+    conn.bulk_insert("t", &["a"], int_rows(&[6])).unwrap();
+    assert_eq!(conn.row_count("t").unwrap(), 4);
+    drop(conn);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,657 @@
+//! Differential SQL oracle.
+//!
+//! Random SELECT queries (projections, WHERE predicates, aggregates,
+//! GROUP BY / HAVING, LIMIT / OFFSET) are executed three ways:
+//!
+//!   1. the real engine pinned serial (`perfdmf_pool` forced to 1 worker),
+//!   2. the real engine forced onto the parallel partition path
+//!      (4 workers, partition threshold 1),
+//!   3. a naive, obviously-correct in-memory reference executor (the
+//!      "oracle") written directly against SQL semantics.
+//!
+//! All three answers must agree: exactly for integers, text, and NULL,
+//! and within a small relative epsilon for floats (the parallel
+//! aggregate path reassociates floating-point sums).
+//!
+//! Query shapes are decoded from proptest-generated `u64` seeds with a
+//! splitmix-style mixer, which keeps the generator expressive without
+//! leaning on strategy combinators the vendored proptest shim lacks.
+//! CI scales the case count with `PROPTEST_CASES` (each case runs
+//! several queries).
+
+use std::collections::{HashMap, HashSet};
+
+use perfdmf_db::{Connection, Value};
+use perfdmf_pool as pool;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Seed decoding
+// ---------------------------------------------------------------------------
+
+/// splitmix64 step: every call advances the state and returns a mixed word.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, n: u64) -> u64 {
+    mix(state) % n
+}
+
+// ---------------------------------------------------------------------------
+// Table generation: t(a INTEGER, b INTEGER, c DOUBLE, s TEXT)
+// ---------------------------------------------------------------------------
+
+const COL_A: usize = 0;
+const COL_B: usize = 1;
+const COL_C: usize = 2;
+const COL_S: usize = 3;
+const COL_NAMES: [&str; 4] = ["a", "b", "c", "s"];
+const TEXTS: [&str; 4] = ["red", "green", "blue", "teal"];
+
+fn decode_row(seed: u64) -> Vec<Value> {
+    let mut r = seed;
+    let a = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Int(pick(&mut r, 41) as i64 - 20)
+    };
+    let b = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Int(pick(&mut r, 5) as i64)
+    };
+    let c = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Float(pick(&mut r, 64) as f64 * 0.375 - 9.0)
+    };
+    let s = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Text(TEXTS[pick(&mut r, 4) as usize].to_string())
+    };
+    vec![a, b, c, s]
+}
+
+// ---------------------------------------------------------------------------
+// Predicates (three-valued logic)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Pred {
+    /// `col <op> k` over an integer column.
+    Cmp(usize, CmpOp, i64),
+    /// `col IS [NOT] NULL`.
+    IsNull(usize, bool),
+    /// `col BETWEEN lo AND hi` over an integer column.
+    Between(usize, i64, i64),
+    /// `col IN (k, ...)` over an integer column.
+    InList(usize, Vec<i64>),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+}
+
+fn decode_pred(r: &mut u64, depth: u32) -> Pred {
+    if depth < 2 && pick(r, 3) == 0 {
+        let l = Box::new(decode_pred(r, depth + 1));
+        let rr = Box::new(decode_pred(r, depth + 1));
+        return if pick(r, 2) == 0 {
+            Pred::And(l, rr)
+        } else {
+            Pred::Or(l, rr)
+        };
+    }
+    let int_col = if pick(r, 2) == 0 { COL_A } else { COL_B };
+    match pick(r, 4) {
+        0 => {
+            let op = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][pick(r, 6) as usize];
+            Pred::Cmp(int_col, op, pick(r, 21) as i64 - 10)
+        }
+        1 => {
+            let col = [COL_A, COL_B, COL_S][pick(r, 3) as usize];
+            Pred::IsNull(col, pick(r, 2) == 0)
+        }
+        2 => {
+            let lo = pick(r, 21) as i64 - 10;
+            Pred::Between(int_col, lo, lo + pick(r, 9) as i64)
+        }
+        _ => {
+            let n = 1 + pick(r, 3) as usize;
+            let ks = (0..n).map(|_| pick(r, 21) as i64 - 10).collect();
+            Pred::InList(int_col, ks)
+        }
+    }
+}
+
+fn pred_sql(p: &Pred) -> String {
+    match p {
+        Pred::Cmp(col, op, k) => format!("{} {} {}", COL_NAMES[*col], op.sql(), k),
+        Pred::IsNull(col, negated) => format!(
+            "{} IS {}NULL",
+            COL_NAMES[*col],
+            if *negated { "NOT " } else { "" }
+        ),
+        Pred::Between(col, lo, hi) => format!("{} BETWEEN {} AND {}", COL_NAMES[*col], lo, hi),
+        Pred::InList(col, ks) => {
+            let list: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+            format!("{} IN ({})", COL_NAMES[*col], list.join(", "))
+        }
+        Pred::And(l, r) => format!("({}) AND ({})", pred_sql(l), pred_sql(r)),
+        Pred::Or(l, r) => format!("({}) OR ({})", pred_sql(l), pred_sql(r)),
+    }
+}
+
+/// Three-valued evaluation: `None` means SQL NULL (row not selected).
+fn pred_eval(p: &Pred, row: &[Value]) -> Option<bool> {
+    match p {
+        Pred::Cmp(col, op, k) => match &row[*col] {
+            Value::Null => None,
+            v => Some(op.eval(v.cmp(&Value::Int(*k)))),
+        },
+        Pred::IsNull(col, negated) => {
+            let is_null = row[*col] == Value::Null;
+            Some(is_null != *negated)
+        }
+        Pred::Between(col, lo, hi) => match &row[*col] {
+            Value::Null => None,
+            Value::Int(v) => Some(*lo <= *v && *v <= *hi),
+            _ => unreachable!("BETWEEN only generated over integer columns"),
+        },
+        Pred::InList(col, ks) => match &row[*col] {
+            Value::Null => None,
+            Value::Int(v) => Some(ks.contains(v)),
+            _ => unreachable!("IN only generated over integer columns"),
+        },
+        Pred::And(l, r) => match (pred_eval(l, row), pred_eval(r, row)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        Pred::Or(l, r) => match (pred_eval(l, row), pred_eval(r, row)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum AggSpec {
+    CountStar,
+    Count(usize),
+    CountDistinct(usize),
+    Sum(usize),
+    Avg(usize),
+    Min(usize),
+    Max(usize),
+    StdDev(usize),
+}
+
+fn decode_agg(r: &mut u64) -> AggSpec {
+    let num_col = [COL_A, COL_B, COL_C][pick(r, 3) as usize];
+    match pick(r, 8) {
+        0 => AggSpec::CountStar,
+        1 => AggSpec::Count([COL_A, COL_B, COL_C, COL_S][pick(r, 4) as usize]),
+        // DISTINCT pins the engine's aggregate path serial — generated
+        // on purpose so the "parallel" run exercises that fallback too.
+        2 => AggSpec::CountDistinct([COL_A, COL_B, COL_S][pick(r, 3) as usize]),
+        3 => AggSpec::Sum(num_col),
+        4 => AggSpec::Avg(num_col),
+        5 => AggSpec::Min([COL_A, COL_B, COL_C, COL_S][pick(r, 4) as usize]),
+        6 => AggSpec::Max([COL_A, COL_B, COL_C, COL_S][pick(r, 4) as usize]),
+        _ => AggSpec::StdDev(num_col),
+    }
+}
+
+fn agg_sql(a: &AggSpec) -> String {
+    match a {
+        AggSpec::CountStar => "COUNT(*)".into(),
+        AggSpec::Count(c) => format!("COUNT({})", COL_NAMES[*c]),
+        AggSpec::CountDistinct(c) => format!("COUNT(DISTINCT {})", COL_NAMES[*c]),
+        AggSpec::Sum(c) => format!("SUM({})", COL_NAMES[*c]),
+        AggSpec::Avg(c) => format!("AVG({})", COL_NAMES[*c]),
+        AggSpec::Min(c) => format!("MIN({})", COL_NAMES[*c]),
+        AggSpec::Max(c) => format!("MAX({})", COL_NAMES[*c]),
+        AggSpec::StdDev(c) => format!("STDDEV({})", COL_NAMES[*c]),
+    }
+}
+
+/// Non-null values of `col`, in row order.
+fn non_null<'a>(rows: &[&'a Vec<Value>], col: usize) -> Vec<&'a Value> {
+    rows.iter()
+        .map(|r| &r[col])
+        .filter(|v| **v != Value::Null)
+        .collect()
+}
+
+/// Sum as (is_exact_int, int_sum, float_sum); mirrors the engine's
+/// int-exact tracking without copying its code.
+fn naive_sum(vals: &[&Value]) -> (bool, i64, f64) {
+    let mut exact = true;
+    let mut int_sum: i64 = 0;
+    let mut float_sum = 0.0_f64;
+    for v in vals {
+        match v {
+            Value::Int(i) => {
+                int_sum += *i;
+                float_sum += *i as f64;
+            }
+            Value::Float(f) => {
+                exact = false;
+                float_sum += *f;
+            }
+            _ => unreachable!("SUM only generated over numeric columns"),
+        }
+    }
+    (exact, int_sum, float_sum)
+}
+
+fn oracle_agg(a: &AggSpec, rows: &[&Vec<Value>]) -> Value {
+    match a {
+        AggSpec::CountStar => Value::Int(rows.len() as i64),
+        AggSpec::Count(c) => Value::Int(non_null(rows, *c).len() as i64),
+        AggSpec::CountDistinct(c) => {
+            let distinct: HashSet<&Value> = non_null(rows, *c).into_iter().collect();
+            Value::Int(distinct.len() as i64)
+        }
+        AggSpec::Sum(c) => {
+            let vals = non_null(rows, *c);
+            if vals.is_empty() {
+                return Value::Null;
+            }
+            let (exact, int_sum, float_sum) = naive_sum(&vals);
+            if exact {
+                Value::Int(int_sum)
+            } else {
+                Value::Float(float_sum)
+            }
+        }
+        AggSpec::Avg(c) => {
+            let vals = non_null(rows, *c);
+            if vals.is_empty() {
+                return Value::Null;
+            }
+            let (_, _, float_sum) = naive_sum(&vals);
+            Value::Float(float_sum / vals.len() as f64)
+        }
+        AggSpec::Min(c) => non_null(rows, *c)
+            .into_iter()
+            .min()
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggSpec::Max(c) => non_null(rows, *c)
+            .into_iter()
+            .max()
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggSpec::StdDev(c) => {
+            let vals = non_null(rows, *c);
+            if vals.len() < 2 {
+                return Value::Null;
+            }
+            // Naive two-pass sample standard deviation.
+            let floats: Vec<f64> = vals
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    _ => unreachable!("STDDEV only generated over numeric columns"),
+                })
+                .collect();
+            let mean = floats.iter().sum::<f64>() / floats.len() as f64;
+            let m2 = floats.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+            Value::Float((m2 / (floats.len() - 1) as f64).sqrt())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query shapes
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Query {
+    /// `SELECT cols FROM t [WHERE p] [LIMIT n [OFFSET m]]`
+    Project {
+        cols: Vec<usize>,
+        pred: Option<Pred>,
+        limit: Option<(usize, usize)>,
+    },
+    /// `SELECT aggs FROM t [WHERE p]`
+    Aggregate {
+        aggs: Vec<AggSpec>,
+        pred: Option<Pred>,
+    },
+    /// `SELECT g, aggs FROM t [WHERE p] GROUP BY g [HAVING COUNT(*) > k]`
+    GroupBy {
+        group: usize,
+        aggs: Vec<AggSpec>,
+        pred: Option<Pred>,
+        having_min_count: Option<i64>,
+    },
+}
+
+fn decode_query(seed: u64) -> Query {
+    let mut r = seed;
+    let pred = (pick(&mut r, 3) != 0).then(|| decode_pred(&mut r, 0));
+    match pick(&mut r, 3) {
+        0 => {
+            let mask = 1 + pick(&mut r, 15) as usize; // non-empty subset of 4 columns
+            let cols = (0..4).filter(|i| mask & (1 << i) != 0).collect();
+            let limit = (pick(&mut r, 3) == 0)
+                .then(|| (pick(&mut r, 20) as usize, pick(&mut r, 8) as usize));
+            Query::Project { cols, pred, limit }
+        }
+        1 => {
+            let n = 1 + pick(&mut r, 3) as usize;
+            let aggs = (0..n).map(|_| decode_agg(&mut r)).collect();
+            Query::Aggregate { aggs, pred }
+        }
+        _ => {
+            let group = [COL_A, COL_B, COL_S][pick(&mut r, 3) as usize];
+            let n = 1 + pick(&mut r, 2) as usize;
+            let aggs = (0..n).map(|_| decode_agg(&mut r)).collect();
+            let having_min_count = (pick(&mut r, 3) == 0).then(|| pick(&mut r, 4) as i64);
+            Query::GroupBy {
+                group,
+                aggs,
+                pred,
+                having_min_count,
+            }
+        }
+    }
+}
+
+fn query_sql(q: &Query) -> String {
+    let where_sql = |p: &Option<Pred>| match p {
+        Some(p) => format!(" WHERE {}", pred_sql(p)),
+        None => String::new(),
+    };
+    match q {
+        Query::Project { cols, pred, limit } => {
+            let proj: Vec<&str> = cols.iter().map(|c| COL_NAMES[*c]).collect();
+            let mut sql = format!("SELECT {} FROM t{}", proj.join(", "), where_sql(pred));
+            if let Some((n, off)) = limit {
+                sql.push_str(&format!(" LIMIT {n} OFFSET {off}"));
+            }
+            sql
+        }
+        Query::Aggregate { aggs, pred } => {
+            let proj: Vec<String> = aggs.iter().map(agg_sql).collect();
+            format!("SELECT {} FROM t{}", proj.join(", "), where_sql(pred))
+        }
+        Query::GroupBy {
+            group,
+            aggs,
+            pred,
+            having_min_count,
+        } => {
+            let mut proj = vec![COL_NAMES[*group].to_string()];
+            proj.extend(aggs.iter().map(agg_sql));
+            let mut sql = format!(
+                "SELECT {} FROM t{} GROUP BY {}",
+                proj.join(", "),
+                where_sql(pred),
+                COL_NAMES[*group]
+            );
+            if let Some(k) = having_min_count {
+                sql.push_str(&format!(" HAVING COUNT(*) > {k}"));
+            }
+            sql
+        }
+    }
+}
+
+/// The reference executor: evaluates `q` over the mirrored table with
+/// simple, obviously-correct code paths.
+fn oracle_run(q: &Query, table: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let filtered: Vec<&Vec<Value>> = table
+        .iter()
+        .filter(|row| match q {
+            Query::Project { pred, .. }
+            | Query::Aggregate { pred, .. }
+            | Query::GroupBy { pred, .. } => match pred {
+                Some(p) => pred_eval(p, row) == Some(true),
+                None => true,
+            },
+        })
+        .collect();
+    match q {
+        Query::Project { cols, limit, .. } => {
+            let projected = filtered
+                .iter()
+                .map(|row| cols.iter().map(|c| row[*c].clone()).collect());
+            match limit {
+                Some((n, off)) => projected.skip(*off).take(*n).collect(),
+                None => projected.collect(),
+            }
+        }
+        Query::Aggregate { aggs, .. } => {
+            vec![aggs.iter().map(|a| oracle_agg(a, &filtered)).collect()]
+        }
+        Query::GroupBy {
+            group,
+            aggs,
+            having_min_count,
+            ..
+        } => {
+            // Groups in first-occurrence order, matching the engine.
+            let mut index: HashMap<Value, usize> = HashMap::new();
+            let mut groups: Vec<(Value, Vec<&Vec<Value>>)> = Vec::new();
+            for row in &filtered {
+                let key = row[*group].clone();
+                match index.get(&key) {
+                    Some(i) => groups[*i].1.push(row),
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![row]));
+                    }
+                }
+            }
+            groups
+                .into_iter()
+                .filter(|(_, members)| match having_min_count {
+                    Some(k) => (members.len() as i64) > *k,
+                    None => true,
+                })
+                .map(|(key, members)| {
+                    let mut out = vec![key];
+                    out.extend(aggs.iter().map(|a| oracle_agg(a, &members)));
+                    out
+                })
+                .collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// Exact for Int/Text/Null/Bool; relative epsilon for floats, because the
+/// engine's parallel aggregate merge reassociates floating-point math.
+fn values_match(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let tol = 1e-9_f64.max(1e-9 * x.abs().max(y.abs()));
+            (x - y).abs() <= tol
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_match(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len() && ra.iter().zip(rb).all(|(va, vb)| values_match(va, vb))
+        })
+}
+
+// ---------------------------------------------------------------------------
+// The differential property
+// ---------------------------------------------------------------------------
+
+fn build_connection(table: &[Vec<Value>]) -> Connection {
+    let conn = Connection::open_in_memory();
+    conn.execute(
+        "CREATE TABLE t (a INTEGER, b INTEGER, c DOUBLE, s TEXT)",
+        &[],
+    )
+    .expect("create table");
+    if !table.is_empty() {
+        conn.bulk_insert("t", &["a", "b", "c", "s"], table.to_vec())
+            .expect("bulk insert");
+    }
+    conn
+}
+
+proptest! {
+    /// Engine (serial), engine (forced parallel), and the naive oracle
+    /// agree on every generated query.
+    #[test]
+    fn engine_matches_oracle(
+        row_seeds in proptest::collection::vec(0u64..=u64::MAX, 0..120),
+        query_seeds in proptest::collection::vec(0u64..=u64::MAX, 4..9),
+    ) {
+        let table: Vec<Vec<Value>> = row_seeds.iter().map(|s| decode_row(*s)).collect();
+        let conn = build_connection(&table);
+
+        for seed in &query_seeds {
+            let query = decode_query(*seed);
+            let sql = query_sql(&query);
+
+            let serial = {
+                let _serial = pool::override_for_thread(1, 1);
+                conn.query(&sql, &[]).map_err(|e| {
+                    TestCaseError::fail(format!("serial run failed: {e}\n  sql: {sql}"))
+                })?
+            };
+            let parallel = {
+                let _parallel = pool::override_for_thread(4, 1);
+                conn.query(&sql, &[]).map_err(|e| {
+                    TestCaseError::fail(format!("parallel run failed: {e}\n  sql: {sql}"))
+                })?
+            };
+            let expected = oracle_run(&query, &table);
+
+            prop_assert!(
+                rows_match(&serial.rows, &expected),
+                "serial engine diverged from oracle\n  sql: {}\n  engine: {:?}\n  oracle: {:?}\n  rows: {:?}",
+                sql, serial.rows, expected, table,
+            );
+            prop_assert!(
+                rows_match(&parallel.rows, &expected),
+                "parallel engine diverged from oracle\n  sql: {}\n  engine: {:?}\n  oracle: {:?}\n  rows: {:?}",
+                sql, parallel.rows, expected, table,
+            );
+            prop_assert!(
+                rows_match(&serial.rows, &parallel.rows),
+                "serial and parallel engine runs diverged\n  sql: {}\n  serial: {:?}\n  parallel: {:?}",
+                sql, serial.rows, parallel.rows,
+            );
+        }
+    }
+}
+
+/// A fixed spot-check so a broken generator can never silently turn the
+/// property above into a vacuous pass.
+#[test]
+fn known_answer_spot_check() {
+    let table = vec![
+        vec![
+            Value::Int(1),
+            Value::Int(0),
+            Value::Float(1.5),
+            Value::Text("red".into()),
+        ],
+        vec![Value::Int(2), Value::Int(0), Value::Float(2.5), Value::Null],
+        vec![
+            Value::Null,
+            Value::Int(1),
+            Value::Null,
+            Value::Text("blue".into()),
+        ],
+        vec![
+            Value::Int(2),
+            Value::Int(1),
+            Value::Float(-1.0),
+            Value::Text("red".into()),
+        ],
+    ];
+    let conn = build_connection(&table);
+
+    let rows = conn
+        .query("SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b", &[])
+        .unwrap()
+        .rows;
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(0), Value::Int(2), Value::Int(3)],
+            vec![Value::Int(1), Value::Int(2), Value::Int(2)],
+        ]
+    );
+
+    let query = Query::GroupBy {
+        group: COL_B,
+        aggs: vec![AggSpec::CountStar, AggSpec::Sum(COL_A)],
+        pred: None,
+        having_min_count: None,
+    };
+    assert_eq!(
+        query_sql(&query),
+        "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b"
+    );
+    assert!(rows_match(&oracle_run(&query, &table), &rows));
+}

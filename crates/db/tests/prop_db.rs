@@ -183,3 +183,15 @@ proptest! {
         let _ = conn.execute(&sql, &[]);
     }
 }
+
+/// Pinned from a retired `proptest-regressions` seed file (our vendored
+/// proptest shim does not replay seed files): `parser_never_panics` once
+/// tripped on U+FFFC (OBJECT REPLACEMENT CHARACTER) reaching the lexer.
+/// Keep it as a plain unit test so the case always runs.
+#[test]
+fn parser_handles_object_replacement_character() {
+    let conn = Connection::open_in_memory();
+    for sql in ["\u{FFFC}", "SELECT \u{FFFC}", "SELECT '\u{FFFC}' AS c"] {
+        let _ = conn.execute(sql, &[]);
+    }
+}

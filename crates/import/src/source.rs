@@ -253,8 +253,11 @@ impl FileFilter {
 
 /// Load every matching file in a directory as a profile (one profile per
 /// file, autodetected per file).
+///
+/// Files are loaded concurrently on the worker pool; results come back in
+/// sorted path order, and a failure reports the first failing file in that
+/// order — exactly what the serial loop produced.
 pub fn load_directory_filtered(dir: &Path, filter: &FileFilter) -> Result<Vec<Profile>> {
-    let mut out = Vec::new();
     let mut entries: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| ImportError::io(dir, e))?
         .filter_map(|e| e.ok())
@@ -263,9 +266,8 @@ pub fn load_directory_filtered(dir: &Path, filter: &FileFilter) -> Result<Vec<Pr
         .map(|e| e.path())
         .collect();
     entries.sort();
-    for path in entries {
-        out.push(load_path(&path)?);
-    }
+    perfdmf_telemetry::add("import.directory_files", entries.len() as u64);
+    let out = perfdmf_pool::try_map(&entries, |path| load_path(path))?;
     if out.is_empty() {
         return Err(ImportError::NoProfiles(dir.to_path_buf()));
     }

@@ -40,11 +40,49 @@ pub fn parse_profile_filename(name: &str) -> Option<ThreadId> {
     Some(ThreadId::new(node, context, thread))
 }
 
+/// One parsed `profile.n.c.t` file, not yet applied to a [`Profile`].
+///
+/// Parsing into a shard is a pure function of the file text, so shards can
+/// be produced on worker threads; applying them (which mutates the shared
+/// profile's registries) stays serial and cheap.
+#[derive(Debug, Clone)]
+pub struct TauShard {
+    /// Metric named in the file header.
+    pub metric_name: String,
+    /// `(event name, group, data)` per function line, in file order.
+    pub functions: Vec<(String, String, IntervalData)>,
+    /// `(event name, data)` per userevent line, in file order.
+    pub userevents: Vec<(String, AtomicData)>,
+}
+
 /// Parse one TAU profile file's text into `profile` for `thread`.
 ///
 /// The metric named in the header is registered (or looked up) in the
 /// profile; returns that metric's id.
 pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Result<MetricId> {
+    let shard = parse_tau_shard(text)?;
+    Ok(apply_tau_shard(&shard, thread, profile))
+}
+
+/// Register a parsed shard's metric, events, and data under `thread`.
+/// Registration order follows file order, so applying shards in sorted
+/// thread order reproduces the serial importer's event/metric numbering.
+pub fn apply_tau_shard(shard: &TauShard, thread: ThreadId, profile: &mut Profile) -> MetricId {
+    let metric = profile.add_metric(Metric::measured(shard.metric_name.clone()));
+    profile.add_thread(thread);
+    for (name, group, data) in &shard.functions {
+        let event = profile.add_event(IntervalEvent::new(name, group));
+        profile.set_interval(event, thread, metric, *data);
+    }
+    for (name, data) in &shard.userevents {
+        let ae = profile.add_atomic_event(AtomicEvent::new(name, "TAU_EVENT"));
+        profile.set_atomic(ae, thread, *data);
+    }
+    metric
+}
+
+/// Parse one TAU profile file's text into a standalone [`TauShard`].
+pub fn parse_tau_shard(text: &str) -> Result<TauShard> {
     let mut lines = text.lines().enumerate();
 
     // Header: "<n> templated_functions[_MULTI_<METRIC>]"
@@ -70,8 +108,11 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
         .strip_prefix("templated_functions_MULTI_")
         .unwrap_or("GET_TIME_OF_DAY")
         .to_string();
-    let metric = profile.add_metric(Metric::measured(metric_name));
-    profile.add_thread(thread);
+    let mut shard = TauShard {
+        metric_name,
+        functions: Vec::new(),
+        userevents: Vec::new(),
+    };
 
     // Column-header comment line.
     let (_, columns) = lines
@@ -110,13 +151,11 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
             .and_then(|(_, g)| g.split('"').next())
             .unwrap_or("TAU_DEFAULT")
             .to_string();
-        let event = profile.add_event(IntervalEvent::new(name, group));
-        profile.set_interval(
-            event,
-            thread,
-            metric,
+        shard.functions.push((
+            name.to_string(),
+            group,
             IntervalData::new(incl, excl, calls, subrs),
-        );
+        ));
         parsed_funcs += 1;
     }
     if parsed_funcs != n_funcs {
@@ -133,7 +172,7 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
         None => Box::new(lines),
     };
     let Some((lineno, agg_header)) = lines.next() else {
-        return Ok(metric); // aggregates/userevents sections are optional
+        return Ok(shard); // aggregates/userevents sections are optional
     };
     let n_aggregates = section_count(agg_header, "aggregates")
         .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected '<n> aggregates'"))?;
@@ -152,7 +191,7 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
 
     // User events: "<n> userevents" + comment + lines.
     let Some((lineno, ue_header)) = lines.next() else {
-        return Ok(metric);
+        return Ok(shard);
     };
     let n_userevents = section_count(ue_header, "userevents")
         .ok_or_else(|| ImportError::format(FORMAT, lineno + 1, "expected '<n> userevents'"))?;
@@ -193,12 +232,10 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
             } else {
                 0.0
             };
-            let ae = profile.add_atomic_event(AtomicEvent::new(name, "TAU_EVENT"));
-            profile.set_atomic(
-                ae,
-                thread,
+            shard.userevents.push((
+                name.to_string(),
                 AtomicData::from_summary(count as u64, min, max, mean, stddev),
-            );
+            ));
             parsed += 1;
         }
         if parsed != n_userevents {
@@ -209,7 +246,7 @@ pub fn parse_tau_text(text: &str, thread: ThreadId, profile: &mut Profile) -> Re
             ));
         }
     }
-    Ok(metric)
+    Ok(shard)
 }
 
 fn section_count(line: &str, keyword: &str) -> Option<usize> {
@@ -275,7 +312,6 @@ pub fn load_tau_directory(dir: &Path) -> Result<Profile> {
 }
 
 fn load_flat_dir(dir: &Path, profile: &mut Profile) -> Result<usize> {
-    let mut count = 0usize;
     let mut files: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| ImportError::io(dir, e))?
         .filter_map(|e| e.ok())
@@ -288,10 +324,17 @@ fn load_flat_dir(dir: &Path, profile: &mut Profile) -> Result<usize> {
     // Register all threads first: bulk registration avoids per-thread
     // re-striding of the dense storage.
     profile.add_threads(files.iter().map(|(t, _)| *t));
-    for (thread, path) in files {
-        let text = std::fs::read_to_string(&path).map_err(|e| ImportError::io(&path, e))?;
-        parse_tau_text(&text, thread, profile)?;
-        count += 1;
+    // Read + parse each node-context-thread shard on the worker pool (pure
+    // per-file work), then apply in sorted thread order so event and
+    // metric registration matches the serial importer exactly.
+    perfdmf_telemetry::add("import.tau.shards", files.len() as u64);
+    let shards = perfdmf_pool::try_map(&files, |(_, path)| {
+        let text = std::fs::read_to_string(path).map_err(|e| ImportError::io(path, e))?;
+        parse_tau_shard(&text)
+    })?;
+    let count = shards.len();
+    for ((thread, _), shard) in files.iter().zip(&shards) {
+        apply_tau_shard(shard, *thread, profile);
     }
     Ok(count)
 }
@@ -445,6 +488,50 @@ mod tests {
         assert_eq!(p.metrics().len(), 2);
         assert!(p.find_metric("PAPI_FP_OPS").is_some());
         assert_eq!(p.data_point_count(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parallel_directory_load_matches_serial() {
+        let dir = std::env::temp_dir().join(format!(
+            "pdmf_tau_par_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in 0..6 {
+            for t in 0..2 {
+                std::fs::write(dir.join(format!("profile.{n}.0.{t}")), SAMPLE).unwrap();
+            }
+        }
+        let serial = {
+            let _g = perfdmf_pool::override_for_thread(1, 1);
+            load_tau_directory(&dir).unwrap()
+        };
+        let parallel = {
+            let _g = perfdmf_pool::override_for_thread(4, 1);
+            load_tau_directory(&dir).unwrap()
+        };
+        assert_eq!(serial.threads(), parallel.threads());
+        assert_eq!(serial.data_point_count(), parallel.data_point_count());
+        assert_eq!(
+            serial.events().iter().map(|e| &e.name).collect::<Vec<_>>(),
+            parallel
+                .events()
+                .iter()
+                .map(|e| &e.name)
+                .collect::<Vec<_>>()
+        );
+        let m = serial.find_metric("GET_TIME_OF_DAY").unwrap();
+        for ei in 0..serial.events().len() {
+            for &t in serial.threads() {
+                let a = serial.interval(perfdmf_profile::EventId(ei), t, m);
+                let b = parallel.interval(perfdmf_profile::EventId(ei), t, m);
+                assert_eq!(a.map(|d| d.inclusive()), b.map(|d| d.inclusive()));
+                assert_eq!(a.map(|d| d.exclusive()), b.map(|d| d.exclusive()));
+            }
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

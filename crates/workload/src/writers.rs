@@ -27,14 +27,17 @@ pub fn write_tau_directory(profile: &Profile, dir: &Path) -> std::io::Result<()>
         } else {
             dir.to_path_buf()
         };
-        for &thread in profile.threads() {
+        // Render + write one file per thread on the worker pool; each file
+        // is independent, so output is identical to the serial loop.
+        let target = &target;
+        perfdmf_pool::try_map(profile.threads(), |&thread| {
             let text = tau_file_text(profile, MetricId(mi), thread, mi == 0);
             let path = target.join(format!(
                 "profile.{}.{}.{}",
                 thread.node, thread.context, thread.thread
             ));
-            std::fs::write(path, text)?;
-        }
+            std::fs::write(path, text)
+        })?;
     }
     Ok(())
 }

@@ -9,17 +9,31 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Config running `cases` random cases.
+    /// Config running `cases` random cases, unless the `PROPTEST_CASES`
+    /// environment variable overrides the count (so CI can crank every
+    /// property suite up without code edits).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// `PROPTEST_CASES` override, mirroring upstream's env knob.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         // Upstream defaults to 256; 64 keeps this offline suite quick
         // while still exploring the input space.
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
