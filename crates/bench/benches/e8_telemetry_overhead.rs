@@ -32,6 +32,17 @@ fn bench_sql_aggregates_overhead(c: &mut Criterion) {
         b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
     });
     telemetry::set_enabled(true);
+    // Causal tracing layers span records and the flight recorder on top
+    // of the histograms; the acceptance bar is the same: under 5%
+    // between tracing on and off (both with telemetry on).
+    telemetry::set_tracing(true);
+    group.bench_function("tracing_on", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
+    telemetry::set_tracing(false);
+    group.bench_function("tracing_off", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
     group.finish();
 }
 
@@ -47,6 +58,13 @@ fn bench_primitives(c: &mut Criterion) {
             let _g = telemetry::span("e8.span");
         });
     });
+    telemetry::set_tracing(true);
+    group.bench_function("span_traced", |b| {
+        b.iter(|| {
+            let _g = telemetry::span("e8.span");
+        });
+    });
+    telemetry::set_tracing(false);
     group.bench_function("counter_add", |b| {
         b.iter(|| counter.add(black_box(1)));
     });

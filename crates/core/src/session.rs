@@ -260,6 +260,11 @@ impl DatabaseSession {
 
     /// Create (or reuse) the application/experiment hierarchy and store a
     /// trial with its profile. Returns the trial id.
+    ///
+    /// The `session.store_profile` span encloses every statement issued
+    /// here; with causal tracing on, the whole store — including any
+    /// partitioned bulk-insert work on pool threads — lands in the
+    /// flight recorder as one span tree.
     pub fn store_profile(
         &mut self,
         application: &str,

@@ -119,16 +119,22 @@ impl Connection {
                     &db, sel, params,
                 )?))
             }
-            Statement::Explain(inner) => {
-                if let Statement::Select(sel) = inner.as_ref() {
+            Statement::Explain { statement, analyze } => {
+                if let Statement::Select(sel) = statement.as_ref() {
                     let db = self.db.read();
-                    let lines = crate::exec::select::explain_select(&db, sel, params)?;
+                    let lines = if *analyze {
+                        crate::exec::select::explain_analyze_select(&db, sel, params)?
+                    } else {
+                        crate::exec::select::explain_select(&db, sel, params)?
+                    };
                     return Ok(Outcome::Rows(crate::exec::ResultSet {
                         columns: vec!["plan".to_string()],
                         rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
                         ..Default::default()
                     }));
                 }
+                // EXPLAIN ANALYZE of DML executes the statement, so it
+                // takes the write lock like any other mutation.
                 let mut db = self.db.write();
                 execute(&mut db, &prepared.statement, params)
             }

@@ -116,6 +116,7 @@ impl Database {
     /// old-format log — is repaired by an atomic rewrite (temp + rename)
     /// so a crash mid-repair can never lose the committed prefix.
     pub fn open_with_vfs(dir: &Path, vfs: Arc<dyn Vfs>) -> Result<Self> {
+        let _span = telemetry::span("db.open");
         vfs.create_dir_all(dir)
             .map_err(|e| DbError::io("create database dir", e))?;
         let mut db = Database::new();
@@ -146,6 +147,7 @@ impl Database {
             wal_len = scan.file_bytes;
             if scan.torn_tail || scan.torn_header {
                 telemetry::add("db.recovery.torn_tail", 1);
+                let _ = telemetry::trace::fault_dump("torn wal tail repaired on open");
             }
             if scan.uncommitted > 0 {
                 telemetry::add("db.recovery.uncommitted_dropped", scan.uncommitted as u64);
@@ -154,6 +156,7 @@ impl Database {
                 // Stale log from before the snapshot was taken: every
                 // record in it is already part of the snapshot image.
                 telemetry::add("db.recovery.stale_wal", 1);
+                let _ = telemetry::trace::fault_dump("stale wal discarded on open");
                 needs_rewrite = true;
             } else {
                 wal_gen = scan.generation;

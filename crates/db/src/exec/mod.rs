@@ -137,10 +137,28 @@ pub fn execute(db: &mut Database, stmt: &Statement, params: &[Value]) -> Result<
 
 fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Result<Outcome> {
     match stmt {
-        Statement::Explain(inner) => {
-            let lines = match inner.as_ref() {
-                Statement::Select(sel) => select::explain_select(db, sel, params)?,
-                other => vec![describe_statement(other)],
+        Statement::Explain { statement, analyze } => {
+            let lines = match (statement.as_ref(), *analyze) {
+                (Statement::Select(sel), false) => select::explain_select(db, sel, params)?,
+                (Statement::Select(sel), true) => select::explain_analyze_select(db, sel, params)?,
+                (other, false) => vec![describe_statement(other)],
+                (other, true) => {
+                    // EXPLAIN ANALYZE of DML/DDL executes the statement for
+                    // real (PostgreSQL semantics) and annotates the plan
+                    // description with measured effects.
+                    let started = std::time::Instant::now();
+                    let outcome = execute_inner(db, other, params)?;
+                    let elapsed_ms =
+                        started.elapsed().as_nanos().min(u64::MAX as u128) as f64 / 1e6;
+                    let affected = match outcome {
+                        Outcome::Affected { count, .. } => count,
+                        _ => 0,
+                    };
+                    vec![format!(
+                        "{} [actual rows_affected={affected}, {elapsed_ms:.3}ms]",
+                        describe_statement(other)
+                    )]
+                }
             };
             Ok(Outcome::Rows(ResultSet {
                 columns: vec!["plan".to_string()],

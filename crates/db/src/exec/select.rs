@@ -22,6 +22,43 @@ use perfdmf_telemetry as telemetry;
 use std::collections::HashMap;
 use std::ops::Bound;
 use std::ops::Range;
+use std::time::Instant;
+
+/// Per-operator measurements collected while executing a SELECT for
+/// `EXPLAIN ANALYZE`. Everywhere else the executor runs with `None`, so
+/// the normal path pays one `Option` check per stage.
+#[derive(Debug, Default)]
+pub(crate) struct ExecProfile {
+    /// (rows out, partitions used, wall ns) of the base scan.
+    scan: Option<(u64, usize, u64)>,
+    /// (rows out, wall ns) per join, left to right.
+    joins: Vec<(u64, u64)>,
+    /// (rows in, rows out, partitions used, wall ns) of the WHERE pass.
+    filter: Option<(u64, u64, usize, u64)>,
+    /// (groups, partitions used, wall ns) of the aggregate pass.
+    aggregate: Option<(u64, usize, u64)>,
+    /// Wall ns of the ORDER BY sort (plain or grouped path).
+    sort_ns: u64,
+    /// (rows in, rows out) of the DISTINCT pass.
+    distinct: Option<(u64, u64)>,
+}
+
+fn stage_ns(t0: Option<Instant>) -> u64 {
+    t0.map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+fn partitions_label(n: usize) -> String {
+    if n == 0 {
+        "serial".to_string()
+    } else {
+        n.to_string()
+    }
+}
 
 /// Replace uncorrelated subqueries (`IN (SELECT ...)`, scalar
 /// `(SELECT ...)`) in an expression by executing them once up front.
@@ -209,6 +246,17 @@ fn resolve_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Selec
 
 /// Execute a SELECT.
 pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
+    execute_select_profiled(db, sel, params, None)
+}
+
+/// Execute a SELECT, optionally collecting per-operator measurements
+/// (the `EXPLAIN ANALYZE` path).
+fn execute_select_profiled(
+    db: &Database,
+    sel: &Select,
+    params: &[Value],
+    mut prof: Option<&mut ExecProfile>,
+) -> Result<ResultSet> {
     let started = std::time::Instant::now();
     // Uncorrelated subqueries run once, up front.
     let resolved;
@@ -221,7 +269,7 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
     // Scalar SELECT without FROM.
     let (layout, mut rows) = match &sel.from {
         None => (Layout::default(), vec![Vec::new()]),
-        Some(base) => scan_and_join(db, base, sel, params)?,
+        Some(base) => scan_and_join(db, base, sel, params, prof.as_deref_mut())?,
     };
     let rows_scanned = match &sel.from {
         None => 0,
@@ -233,11 +281,16 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
         if pred.contains_aggregate() {
             return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
         }
+        let _stage = telemetry::span("db.exec.filter");
+        let t0 = prof.is_some().then(Instant::now);
+        let rows_in = rows.len();
+        let mut partitions_used = 0;
         rows = match pool::partitions(rows.len()) {
             Some(ranges) => {
                 // Partition the materialized rows; concatenating kept rows
                 // in partition order preserves the serial result order.
                 telemetry::add("db.exec.parallel_filters", 1);
+                partitions_used = ranges.len();
                 let rows_ref = &rows;
                 let chunks = pool::try_run(ranges.len(), |pi| {
                     let mut kept = Vec::new();
@@ -262,6 +315,14 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
                 kept
             }
         };
+        if let Some(p) = prof.as_deref_mut() {
+            p.filter = Some((
+                rows_in as u64,
+                rows.len() as u64,
+                partitions_used,
+                stage_ns(t0),
+            ));
+        }
     }
 
     let needs_aggregation = !sel.group_by.is_empty()
@@ -272,15 +333,21 @@ pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<R
         });
 
     let mut out = if needs_aggregation {
-        aggregate_path(sel, &layout, &rows, params)?
+        let _stage = telemetry::span("db.exec.aggregate");
+        aggregate_path(sel, &layout, &rows, params, prof.as_deref_mut())?
     } else {
-        plain_path(sel, &layout, &rows, params)?
+        let _stage = telemetry::span("db.exec.project");
+        plain_path(sel, &layout, &rows, params, prof.as_deref_mut())?
     };
 
     // DISTINCT
     if sel.distinct {
+        let rows_in = out.rows.len();
         let mut seen = std::collections::HashSet::new();
         out.rows.retain(|r| seen.insert(r.clone()));
+        if let Some(p) = prof {
+            p.distinct = Some((rows_in as u64, out.rows.len() as u64));
+        }
     }
 
     // LIMIT / OFFSET
@@ -436,6 +503,74 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
     Ok(lines)
 }
 
+/// `EXPLAIN ANALYZE` for a SELECT: execute it for real with per-operator
+/// instrumentation, then annotate the [`explain_select`] plan lines with
+/// actual rows, partitions used, and wall time. The closing `total:`
+/// line carries the executed query's `ResultSet` provenance verbatim
+/// (rows returned, rows scanned, elapsed), so the annotated plan cannot
+/// disagree with what a plain execution reports.
+pub fn explain_analyze_select(
+    db: &Database,
+    sel: &Select,
+    params: &[Value],
+) -> Result<Vec<String>> {
+    let mut prof = ExecProfile::default();
+    let rs = execute_select_profiled(db, sel, params, Some(&mut prof))?;
+    // The static plan comes from the same decision code the execution
+    // just ran, against the same database state, so lines match operators
+    // one-to-one.
+    let mut lines = explain_select(db, sel, params)?;
+    let mut joins = prof.joins.iter();
+    for line in lines.iter_mut() {
+        if line.starts_with("index scan on ") || line.starts_with("seq scan on ") {
+            if let Some((rows_out, parts, ns)) = prof.scan {
+                line.push_str(&format!(
+                    " [actual rows={rows_out}, partitions={}, {}]",
+                    partitions_label(parts),
+                    fmt_ns(ns)
+                ));
+            }
+        } else if line.contains(" join with ") || line.starts_with("cross join") {
+            if let Some((rows_out, ns)) = joins.next() {
+                line.push_str(&format!(" [actual rows={rows_out}, {}]", fmt_ns(*ns)));
+            }
+        } else if line.starts_with("filter: WHERE") {
+            if let Some((rows_in, rows_out, parts, ns)) = prof.filter {
+                line.push_str(&format!(
+                    " [actual rows={rows_out} of {rows_in}, partitions={}, {}]",
+                    partitions_label(parts),
+                    fmt_ns(ns)
+                ));
+            }
+        } else if line.starts_with("aggregate: ") {
+            if let Some((groups, parts, ns)) = prof.aggregate {
+                line.push_str(&format!(
+                    " [actual groups={groups}, partitions={}, {}]",
+                    partitions_label(parts),
+                    fmt_ns(ns)
+                ));
+            }
+        } else if line == "distinct" {
+            if let Some((rows_in, rows_out)) = prof.distinct {
+                line.push_str(&format!(" [actual rows={rows_out} of {rows_in}]"));
+            }
+        } else if line.starts_with("sort: ") {
+            line.push_str(&format!(" [{}]", fmt_ns(prof.sort_ns)));
+        } else if line.starts_with("limit ") {
+            line.push_str(&format!(" [actual rows={}]", rs.rows.len()));
+        } else if line.starts_with("result: constant row") {
+            line.push_str(" [actual rows=1]");
+        }
+    }
+    lines.push(format!(
+        "total: {} row(s) returned, {} row(s) scanned, {}",
+        rs.rows.len(),
+        rs.rows_scanned,
+        fmt_ns(rs.elapsed.as_nanos().min(u64::MAX as u128) as u64)
+    ));
+    Ok(lines)
+}
+
 // ---------------- scan + join ----------------
 
 fn table_layout_entry(db: &Database, tref: &TableRef) -> Result<(String, Vec<String>)> {
@@ -571,6 +706,7 @@ fn scan_and_join(
     base: &TableRef,
     sel: &Select,
     params: &[Value],
+    mut prof: Option<&mut ExecProfile>,
 ) -> Result<(Layout, Vec<Row>)> {
     let joins = &sel.joins;
     let where_clause = sel.where_clause.as_ref();
@@ -580,7 +716,10 @@ fn scan_and_join(
     let base_binding = base.effective_name().to_string();
     let mut bindings = vec![table_layout_entry(db, base)?];
 
+    let mut scan_partitions = 0usize;
+    let scan_t0 = prof.is_some().then(Instant::now);
     let base_rows: Vec<Row> = {
+        let _stage = telemetry::span("db.exec.scan");
         let layout1 = Layout::single(
             base_binding.clone(),
             base_table
@@ -642,6 +781,7 @@ fn scan_and_join(
                 match pool::partitions(base_table.slab_len()) {
                     Some(ranges) => {
                         telemetry::add("db.exec.parallel_scans", 1);
+                        scan_partitions = ranges.len();
                         let keep = &keep;
                         let base_mask = &base_mask;
                         let chunks = pool::try_run(ranges.len(), |pi| {
@@ -671,8 +811,14 @@ fn scan_and_join(
         }
     };
 
+    if let Some(p) = prof.as_deref_mut() {
+        p.scan = Some((base_rows.len() as u64, scan_partitions, stage_ns(scan_t0)));
+    }
+
     let mut rows = base_rows;
     for join in joins {
+        let _stage = telemetry::span("db.exec.join");
+        let join_t0 = prof.is_some().then(Instant::now);
         let right_table = db.table(&join.table.table)?;
         let right_binding = join.table.effective_name().to_string();
         if bindings
@@ -776,6 +922,9 @@ fn scan_and_join(
             }
         }
         rows = joined;
+        if let Some(p) = prof.as_deref_mut() {
+            p.joins.push((rows.len() as u64, stage_ns(join_t0)));
+        }
     }
     Ok((Layout::new(bindings), rows))
 }
@@ -1039,15 +1188,26 @@ fn expand_projections(sel: &Select, layout: &Layout) -> Result<Vec<(String, Expr
     Ok(out)
 }
 
-fn plain_path(sel: &Select, layout: &Layout, rows: &[Row], params: &[Value]) -> Result<ResultSet> {
+fn plain_path(
+    sel: &Select,
+    layout: &Layout,
+    rows: &[Row],
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<ResultSet> {
     let projections = expand_projections(sel, layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
 
     // ORDER BY before projection so sort keys can use any source column.
     let mut indices: Vec<usize> = (0..rows.len()).collect();
     if !sel.order_by.is_empty() {
+        let _stage = telemetry::span("db.exec.sort");
+        let t0 = prof.is_some().then(Instant::now);
         let keys = order_keys(&sel.order_by, layout, rows, params, &projections, None)?;
         sort_indices(&mut indices, &keys, &sel.order_by);
+        if let Some(p) = prof {
+            p.sort_ns = stage_ns(t0);
+        }
     }
 
     let mut out_rows = Vec::with_capacity(rows.len());
@@ -1183,7 +1343,9 @@ fn aggregate_path(
     layout: &Layout,
     rows: &[Row],
     params: &[Value],
+    mut prof: Option<&mut ExecProfile>,
 ) -> Result<ResultSet> {
+    let agg_t0 = prof.is_some().then(Instant::now);
     let projections = expand_projections(sel, layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
 
@@ -1210,17 +1372,21 @@ fn aggregate_path(
     } else {
         pool::partitions(rows.len())
     };
+    let mut agg_partitions = 0usize;
     let groups = match parallel {
         Some(ranges) => {
             telemetry::add("db.exec.parallel_aggregates", 1);
+            agg_partitions = ranges.len();
             let aggs_ref = &aggs;
             let partials = pool::try_run(ranges.len(), |pi| {
                 group_and_accumulate(sel, layout, rows, params, aggs_ref, ranges[pi].clone())
             })?;
+            let _merge = telemetry::span("db.exec.merge");
             merge_group_partials(partials)?
         }
         None => group_and_accumulate(sel, layout, rows, params, &aggs, 0..rows.len())?,
     };
+    let group_count = groups.len() as u64;
 
     let null_row: Row = vec![Value::Null; layout.width()];
     let mut out_rows = Vec::with_capacity(groups.len());
@@ -1264,8 +1430,16 @@ fn aggregate_path(
         out_rows.push((keys, out));
     }
 
+    // Aggregate time excludes the group sort, reported on its own line.
+    let agg_ns = stage_ns(agg_t0);
+    if let Some(p) = prof.as_deref_mut() {
+        p.aggregate = Some((group_count, agg_partitions, agg_ns));
+    }
+
     // Sort groups.
     if !sel.order_by.is_empty() {
+        let _stage = telemetry::span("db.exec.sort");
+        let t0 = prof.is_some().then(Instant::now);
         out_rows.sort_by(|a, b| {
             for (i, o) in sel.order_by.iter().enumerate() {
                 let ord = a.0[i].total_cmp(&b.0[i]);
@@ -1276,6 +1450,9 @@ fn aggregate_path(
             }
             std::cmp::Ordering::Equal
         });
+        if let Some(p) = prof {
+            p.sort_ns = stage_ns(t0);
+        }
     }
 
     Ok(ResultSet {

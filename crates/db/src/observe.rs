@@ -48,6 +48,11 @@ pub fn set_slow_query_threshold(threshold: Duration) {
 
 /// Record one executed statement into the telemetry registry and, when
 /// slow, the event log. No-op while telemetry is disabled.
+///
+/// Called while the statement's `db.exec` span is still open, so with
+/// causal tracing on the `slow_query` event is stamped with the active
+/// trace id and can be joined to its span tree in a flight-recorder
+/// dump.
 pub fn record_statement(sql: &str, outcome: &Result<Outcome>, elapsed: Duration) {
     if !telemetry::enabled() {
         return;

@@ -6,8 +6,13 @@ use crate::value::Value;
 /// A full SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    /// `EXPLAIN <statement>` — describe the execution plan.
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <statement>` — describe the execution plan;
+    /// with `ANALYZE`, execute the statement and annotate each plan line
+    /// with actual rows, partitions used, and wall time.
+    Explain {
+        statement: Box<Statement>,
+        analyze: bool,
+    },
     Select(Select),
     Insert(Insert),
     Update(Update),

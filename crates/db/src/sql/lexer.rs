@@ -110,6 +110,7 @@ const KEYWORDS: &[&str] = &[
     "UNION",
     "ALL",
     "EXPLAIN",
+    "ANALYZE",
 ];
 
 /// Tokenize SQL text.

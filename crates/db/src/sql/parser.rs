@@ -128,7 +128,11 @@ impl Parser {
             TokenKind::Keyword(k) => match k.as_str() {
                 "EXPLAIN" => {
                     self.advance();
-                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                    let analyze = self.eat_keyword("ANALYZE");
+                    Ok(Statement::Explain {
+                        statement: Box::new(self.statement()?),
+                        analyze,
+                    })
                 }
                 "SELECT" => Ok(Statement::Select(self.select()?)),
                 "INSERT" => self.insert(),

@@ -562,6 +562,7 @@ impl Wal {
                 .map_err(|e| DbError::io("wal rewrite write", e))?;
             f.sync_all().map_err(|e| {
                 telemetry::add("db.fsync_errors", 1);
+                let _ = telemetry::trace::fault_dump("wal rewrite fsync failed");
                 DbError::io("wal rewrite fsync", e)
             })?;
         }
@@ -573,6 +574,7 @@ impl Wal {
     /// Append a batch of records followed by framing checksums; flushes to
     /// the OS at the end (one syscall per batch, not per record).
     pub fn append(&mut self, records: &[WalRecord]) -> Result<()> {
+        let _span = telemetry::span("db.wal.append");
         if self.poisoned {
             return Err(DbError::Corrupt(
                 "write-ahead log poisoned by an earlier failed commit; \
@@ -594,8 +596,10 @@ impl Wal {
             .and_then(|()| self.file.flush().map_err(|e| DbError::io("wal flush", e)))
             .and_then(|()| {
                 if self.durability == Durability::Fsync {
+                    let _fsync_span = telemetry::span("db.wal.fsync");
                     self.file.sync_all().map_err(|e| {
                         telemetry::add("db.fsync_errors", 1);
+                        let _ = telemetry::trace::fault_dump("wal fsync failed");
                         DbError::io("wal fsync", e)
                     })?;
                     telemetry::add("db.wal.fsyncs", 1);
@@ -621,6 +625,7 @@ impl Wal {
                     Err(_) => {
                         self.poisoned = true;
                         telemetry::add("db.wal.poisoned", 1);
+                        let _ = telemetry::trace::fault_dump("wal poisoned after failed append");
                     }
                 }
                 Err(e)
@@ -716,6 +721,7 @@ impl WalScan {
 /// at the first torn or corrupt one. Only records up to the last `Commit`
 /// marker count as committed.
 pub fn scan_wal(vfs: &dyn Vfs, path: &Path) -> Result<WalScan> {
+    let _span = telemetry::span("db.wal.recover");
     let bytes = vfs.read(path).map_err(|e| DbError::io("wal read", e))?;
     let file_bytes = bytes.len() as u64;
     if bytes.len() < 4 {
@@ -858,6 +864,7 @@ pub fn write_snapshot_with(
             .map_err(|e| DbError::io("snapshot write", e))?;
         f.sync_all().map_err(|e| {
             telemetry::add("db.fsync_errors", 1);
+            let _ = telemetry::trace::fault_dump("snapshot fsync failed");
             DbError::io("snapshot fsync", e)
         })?;
     }

@@ -662,6 +662,45 @@ fn recovery_telemetry_counters_are_emitted() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn injected_fault_reopen_produces_flight_recorder_dump() {
+    let dir = tmpdir("trace_dump");
+    {
+        let conn = Connection::open(&dir).unwrap();
+        conn.execute("CREATE TABLE t (x INTEGER)", &[]).unwrap();
+        conn.execute("INSERT INTO t (x) VALUES (1)", &[]).unwrap();
+    }
+    // Tear the WAL tail so the reopen trips the torn-tail fault counter.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.pdmf"))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD]).unwrap();
+    }
+    let dump_path = dir.join("flight_recorder.json");
+    perfdmf_telemetry::set_tracing(true);
+    perfdmf_telemetry::trace::set_fault_dump_path(Some(dump_path.clone()));
+    let reopened = Connection::open(&dir);
+    perfdmf_telemetry::trace::set_fault_dump_path(None);
+    perfdmf_telemetry::set_tracing(false);
+    reopened.expect("torn tail must be repaired on reopen");
+    let json = std::fs::read_to_string(&dump_path)
+        .expect("durability fault must dump the flight recorder");
+    // The dump must carry the WAL span that was live when the fault
+    // counter fired: recovery scanned the log and found the torn tail.
+    assert!(
+        json.contains("db.wal.recover"),
+        "dump missing the failing WAL span:\n{json}"
+    );
+    assert!(
+        json.contains("db.open"),
+        "dump missing the enclosing open span:\n{json}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn counter_value(name: &str) -> u64 {
     perfdmf_telemetry::snapshot()
         .counter(name)

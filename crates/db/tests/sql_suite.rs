@@ -651,6 +651,82 @@ fn explain_reports_plan_decisions() {
     assert_eq!(conn.row_count("trial").unwrap(), before);
 }
 
+/// Collect an EXPLAIN [ANALYZE] result into one newline-joined string.
+fn plan_text(rs: &perfdmf_db::ResultSet) -> String {
+    rs.rows
+        .iter()
+        .map(|r| r[0].as_text().unwrap().to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Pull `(returned, scanned)` out of the `total:` line of an
+/// EXPLAIN ANALYZE plan.
+fn analyze_totals(plan: &str) -> (u64, u64) {
+    let total = plan
+        .lines()
+        .find(|l| l.starts_with("total: "))
+        .unwrap_or_else(|| panic!("no total line in:\n{plan}"));
+    let mut nums = total
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().unwrap());
+    (nums.next().unwrap(), nums.next().unwrap())
+}
+
+#[test]
+fn explain_analyze_matches_serial_execution() {
+    let conn = seeded();
+    let sql = "SELECT name FROM trial WHERE node_count = 4 ORDER BY name";
+    let plain = conn.query(sql, &[]).unwrap();
+    let rs = conn.query(&format!("EXPLAIN ANALYZE {sql}"), &[]).unwrap();
+    assert_eq!(rs.columns, vec!["plan"]);
+    let plan = plan_text(&rs);
+    // Per-operator actuals: the whole table was scanned serially, the
+    // filter kept 2 of 6 rows, and the sort was timed.
+    assert!(plan.contains("seq scan on trial"), "{plan}");
+    assert!(plan.contains("[actual rows=6, partitions=serial"), "{plan}");
+    assert!(plan.contains("filter: WHERE [actual rows=2 of 6"), "{plan}");
+    assert!(plan.contains("sort: 1 key(s) ["), "{plan}");
+    // The total line agrees with what a plain execution reports.
+    let (returned, scanned) = analyze_totals(&plan);
+    assert_eq!(returned, plain.rows.len() as u64);
+    assert_eq!(scanned, plain.rows_scanned);
+}
+
+#[test]
+fn explain_analyze_matches_parallel_execution() {
+    use perfdmf_pool as pool;
+    let conn = seeded();
+    let sql = "SELECT experiment, COUNT(*), AVG(time) FROM trial GROUP BY experiment";
+    let _par = pool::override_for_thread(4, 1);
+    let plain = conn.query(sql, &[]).unwrap();
+    let rs = conn.query(&format!("EXPLAIN ANALYZE {sql}"), &[]).unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("aggregate: group by 1 expr(s)"), "{plan}");
+    assert!(plan.contains("[actual groups=3, partitions="), "{plan}");
+    // Forced-parallel: the aggregate must NOT report a serial pass.
+    let agg_line = plan.lines().find(|l| l.starts_with("aggregate: ")).unwrap();
+    assert!(!agg_line.contains("partitions=serial"), "{plan}");
+    let (returned, scanned) = analyze_totals(&plan);
+    assert_eq!(returned, plain.rows.len() as u64);
+    assert_eq!(scanned, plain.rows_scanned);
+}
+
+#[test]
+fn explain_analyze_dml_executes_and_reports_rows() {
+    let conn = seeded();
+    let before = conn.row_count("trial").unwrap();
+    let rs = conn
+        .query("EXPLAIN ANALYZE DELETE FROM trial WHERE id = 1", &[])
+        .unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("delete from trial"), "{plan}");
+    assert!(plan.contains("[actual rows_affected=1"), "{plan}");
+    // Unlike plain EXPLAIN, ANALYZE really runs the statement.
+    assert_eq!(conn.row_count("trial").unwrap(), before - 1);
+}
+
 #[test]
 fn concurrent_readers_one_writer() {
     let conn = seeded();

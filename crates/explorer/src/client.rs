@@ -98,8 +98,16 @@ impl ExplorerClient {
                 Ok(response) => response,
                 Err(RecvTimeoutError::Timeout) => {
                     telemetry::add("explorer.timeouts", 1);
+                    telemetry::emit(
+                        telemetry::Event::new(telemetry::Severity::Warn, "explorer_timeout")
+                            .field("where", "client")
+                            .field("deadline_ns", deadline.as_nanos() as u64),
+                    );
+                    let trace_tag = telemetry::trace::current_trace_id()
+                        .map(|t| format!(" [trace {}]", t.as_hex()))
+                        .unwrap_or_default();
                     Response::Failed {
-                        reason: format!("no response within {deadline:?}"),
+                        reason: format!("no response within {deadline:?}{trace_tag}"),
                         retryable: true,
                     }
                 }
@@ -156,10 +164,15 @@ impl ExplorerClient {
             reply: rtx,
             submitted: Instant::now(),
             deadline,
+            trace: telemetry::trace::current_context(),
         }) {
             Ok(()) => Ok(rrx),
             Err(TrySendError::Full(_)) => {
                 telemetry::add("explorer.shed", 1);
+                telemetry::emit(telemetry::Event::new(
+                    telemetry::Severity::Warn,
+                    "explorer_shed",
+                ));
                 Err(Response::Overloaded)
             }
             Err(TrySendError::Disconnected(_)) => {

@@ -53,6 +53,9 @@ pub(crate) struct Job {
     pub(crate) reply: Sender<Response>,
     pub(crate) submitted: Instant,
     pub(crate) deadline: Option<Instant>,
+    /// Trace context captured on the submitting thread, so the worker's
+    /// `explorer.request` span is a child of the client-side trace.
+    pub(crate) trace: Option<telemetry::SpanContext>,
 }
 
 /// How one incarnation of a worker loop ended.
@@ -125,6 +128,7 @@ impl AnalysisServer {
                 reply: rtx,
                 submitted: Instant::now(),
                 deadline: None,
+                trace: None,
             });
         }
         for h in self.workers {
@@ -145,7 +149,16 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
             reply,
             submitted,
             deadline,
+            trace,
         } = job;
+        // Resume the client's trace on this worker thread: everything
+        // below — queue-expiry shedding, the handler, panic recovery —
+        // shows up as children of the caller's span in a trace dump.
+        let _adopted = trace.map(telemetry::trace::adopt_context);
+        let _req_span = telemetry::span("explorer.request");
+        let trace_tag = telemetry::trace::current_trace_id()
+            .map(|t| format!(" [trace {}]", t.as_hex()))
+            .unwrap_or_default();
         if telemetry::enabled() {
             telemetry::record_duration("explorer.queue_wait_ns", submitted.elapsed());
             telemetry::record("explorer.queue_depth", rx.len() as u64);
@@ -161,8 +174,15 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
         if let Some(deadline) = deadline {
             if Instant::now() > deadline {
                 telemetry::add("explorer.timeouts", 1);
+                telemetry::emit(
+                    telemetry::Event::new(telemetry::Severity::Warn, "explorer_timeout")
+                        .field("where", "queue")
+                        .field("queued_ns", submitted.elapsed().as_nanos() as u64),
+                );
                 let _ = reply.send(Response::Failed {
-                    reason: "deadline expired before a worker picked up the request".into(),
+                    reason: format!(
+                        "deadline expired before a worker picked up the request{trace_tag}"
+                    ),
                     retryable: true,
                 });
                 continue;
@@ -179,8 +199,12 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
                 Err(payload) => {
                     let reason = panic_message(payload.as_ref());
                     telemetry::add("explorer.request_panics", 1);
+                    telemetry::emit(
+                        telemetry::Event::new(telemetry::Severity::Warn, "explorer_panic")
+                            .field("reason", reason),
+                    );
                     let _ = reply.send(Response::Failed {
-                        reason: format!("analysis worker panicked: {reason}"),
+                        reason: format!("analysis worker panicked: {reason}{trace_tag}"),
                         retryable: false,
                     });
                     return WorkerExit::Panicked;
@@ -194,6 +218,12 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
                     telemetry::add("explorer.request_errors", 1);
                 }
                 telemetry::record_duration("explorer.request_latency_ns", submitted.elapsed());
+            }
+            if let Response::Error(msg) = &response {
+                telemetry::emit(
+                    telemetry::Event::new(telemetry::Severity::Warn, "explorer_error")
+                        .field("reason", msg.clone()),
+                );
             }
             response
         };

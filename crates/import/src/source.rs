@@ -93,7 +93,9 @@ impl ProfileFormat {
     ///
     /// Each call records telemetry: an `import.load` span, a per-format
     /// `import.parse_ns.<name>` latency histogram, and `import.files` /
-    /// `import.bytes_read` (total and per-format) counters.
+    /// `import.bytes_read` (total and per-format) counters. With causal
+    /// tracing on, concurrent shard parses adopt this span's trace
+    /// context, so a directory import traces as one cross-thread tree.
     pub fn load(&self, path: &Path) -> Result<Profile> {
         let _span = telemetry::span("import.load");
         let started = telemetry::enabled().then(std::time::Instant::now);

@@ -173,6 +173,9 @@ where
     drop(task_tx);
     let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
     let timing = telemetry::enabled().then(Instant::now);
+    // Capture the dispatching thread's trace context so worker-side spans
+    // join the same trace as children of the span that called run().
+    let trace_ctx = telemetry::trace::current_context();
     let f = &f;
 
     let mut slots: Vec<Option<R>> = cb_thread::scope(|s| {
@@ -180,8 +183,10 @@ where
             let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
             s.spawn(move |_| {
+                let _adopted = trace_ctx.map(telemetry::trace::adopt_context);
                 let mut busy_ns: u64 = 0;
                 while let Ok(i) = task_rx.recv() {
+                    let _task_span = telemetry::span("pool.task");
                     let started = timing.is_some().then(Instant::now);
                     let r = f(i);
                     if let Some(started) = started {
@@ -325,6 +330,35 @@ mod tests {
             assert_eq!(min_partition_items(), 3);
         }
         assert_eq!(threads(), before);
+    }
+
+    #[test]
+    fn run_propagates_trace_context_to_workers() {
+        let _g = override_for_thread(4, 1);
+        telemetry::set_tracing(true);
+        let ctx = {
+            let _root = telemetry::span("pool.test.trace_root");
+            let ctx = telemetry::trace::current_context().expect("context inside span");
+            let out = run(8, |i| i * 2);
+            assert_eq!(out, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+            ctx
+        };
+        telemetry::set_tracing(false);
+        let recs = telemetry::trace::recorder().dump();
+        let root = recs
+            .iter()
+            .find(|r| r.span == ctx.span.0)
+            .expect("root span recorded");
+        let tasks: Vec<_> = recs
+            .iter()
+            .filter(|r| r.trace == ctx.trace.0 && r.name == "pool.task")
+            .collect();
+        assert_eq!(tasks.len(), 8, "one pool.task span per partition");
+        assert!(tasks.iter().all(|t| t.parent == ctx.span.0));
+        assert!(
+            tasks.iter().all(|t| t.thread != root.thread),
+            "pool.task spans run on worker threads, not the dispatcher"
+        );
     }
 
     #[test]

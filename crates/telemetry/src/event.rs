@@ -90,11 +90,15 @@ pub struct Event {
     pub kind: &'static str,
     /// Span path active on the emitting thread, `""` outside any span.
     pub span_path: String,
+    /// Active trace id on the emitting thread, 0 when tracing is off or
+    /// no trace is active — lets log lines be joined to their trace.
+    pub trace_id: u64,
     pub fields: Vec<(&'static str, FieldValue)>,
 }
 
 impl Event {
-    /// Build an event stamped with now and the current span path.
+    /// Build an event stamped with now, the current span path, and the
+    /// active trace id (if causal tracing is on).
     pub fn new(severity: Severity, kind: &'static str) -> Self {
         let timestamp_micros = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -105,6 +109,7 @@ impl Event {
             severity,
             kind,
             span_path: crate::span::current_path(),
+            trace_id: crate::trace::current_trace_id().map(|t| t.0).unwrap_or(0),
             fields: Vec::new(),
         }
     }
@@ -132,6 +137,9 @@ impl Event {
             out.push_str(" @");
             out.push_str(&self.span_path);
         }
+        if self.trace_id != 0 {
+            out.push_str(&format!(" trace={:016x}", self.trace_id));
+        }
         for (k, v) in &self.fields {
             match v {
                 FieldValue::Str(s) => {
@@ -152,6 +160,9 @@ impl Event {
             json_escape(self.kind),
             json_escape(&self.span_path),
         );
+        if self.trace_id != 0 {
+            out.push_str(&format!(",\"trace\":\"{:016x}\"", self.trace_id));
+        }
         for (k, v) in &self.fields {
             out.push_str(",\"");
             out.push_str(&json_escape(k));
@@ -173,7 +184,7 @@ impl Event {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -310,6 +321,7 @@ mod tests {
             severity: Severity::Warn,
             kind: "slow_query",
             span_path: "db.execute".to_string(),
+            trace_id: 0,
             fields: vec![
                 ("sql", FieldValue::Str("SELECT \"x\"\n".to_string())),
                 ("elapsed_ns", FieldValue::U64(1500)),
@@ -319,6 +331,10 @@ mod tests {
         let text = e.to_text();
         assert!(text.contains("WARN slow_query @db.execute"), "{text}");
         assert!(text.contains("elapsed_ns=1500"), "{text}");
+        assert!(
+            !text.contains("trace="),
+            "no trace id when untraced: {text}"
+        );
         let json = e.to_json();
         assert_eq!(
             json,
@@ -326,6 +342,102 @@ mod tests {
              \"span\":\"db.execute\",\"sql\":\"SELECT \\\"x\\\"\\n\",\
              \"elapsed_ns\":1500,\"selectivity\":0.5}"
         );
+    }
+
+    #[test]
+    fn trace_id_rendered_when_present() {
+        let e = Event {
+            timestamp_micros: 42,
+            severity: Severity::Warn,
+            kind: "slow_query",
+            span_path: String::new(),
+            trace_id: 0xdead_beef,
+            fields: vec![],
+        };
+        assert!(e.to_text().contains("trace=00000000deadbeef"));
+        assert!(e.to_json().contains("\"trace\":\"00000000deadbeef\""));
+    }
+
+    /// Minimal JSON well-formedness scan: string-aware brace/bracket
+    /// balance plus a check that no raw control characters survive.
+    fn assert_wellformed_json(s: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                } else {
+                    assert!((c as u32) >= 0x20, "raw control char in string: {s}");
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "unbalanced: {s}");
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced: {s}");
+        assert!(!in_str, "unterminated string: {s}");
+    }
+
+    #[test]
+    fn json_escapes_quotes_newlines_and_controls_in_fields() {
+        let e = Event {
+            timestamp_micros: 1,
+            severity: Severity::Warn,
+            kind: "slow_query",
+            span_path: "db.exec".to_string(),
+            trace_id: 7,
+            fields: vec![(
+                "sql",
+                FieldValue::Str("SELECT \"a\",\n\t'b\\c'\u{1} FROM t\r".to_string()),
+            )],
+        };
+        let json = e.to_json();
+        assert_wellformed_json(&json);
+        assert!(json.contains("\\\"a\\\""), "{json}");
+        assert!(json.contains("\\n\\t"), "{json}");
+        assert!(json.contains("\\\\c"), "{json}");
+        assert!(json.contains("\\u0001"), "{json}");
+        assert!(json.contains("\\r"), "{json}");
+        assert!(!json.contains('\n'), "raw newline leaked: {json}");
+    }
+
+    #[test]
+    fn ring_buffer_wraparound_preserves_emission_order() {
+        let sink = RingBufferSink::new(4);
+        for i in 0..11u64 {
+            sink.accept(&Event {
+                timestamp_micros: i,
+                severity: Severity::Info,
+                kind: "evt.wrap",
+                span_path: String::new(),
+                trace_id: 0,
+                fields: vec![("i", FieldValue::U64(i))],
+            });
+        }
+        // After wrapping nearly three times, the newest 4 remain, oldest
+        // first, in exactly the order they were emitted.
+        let order: Vec<u64> = sink
+            .events()
+            .iter()
+            .map(|e| match e.get("i") {
+                Some(FieldValue::U64(v)) => *v,
+                other => panic!("unexpected field {other:?}"),
+            })
+            .collect();
+        assert_eq!(order, vec![7, 8, 9, 10]);
+        let json = sink.export_json();
+        assert_wellformed_json(&json);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   the slow-query log) fanned out to installed [`event::EventSink`]s
 //!   such as the bundled ring buffer with text/JSON export.
 //!
+//! A fourth layer, [`trace`], turns the same spans into causal traces:
+//! trace/span ids with parent links, cross-thread context propagation,
+//! a lock-free flight recorder, and Chrome-trace export. It has its own
+//! switch ([`set_tracing`], default off) so its cost can be priced
+//! separately; events stamp the active trace id automatically.
+//!
 //! When telemetry is disabled ([`set_enabled`]`(false)`) every
 //! instrumentation point reduces to one relaxed atomic load.
 //!
@@ -27,6 +33,7 @@ pub mod event;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -35,6 +42,9 @@ pub use event::{emit, install_sink, Event, EventSink, FieldValue, RingBufferSink
 pub use registry::{Counter, Histogram, LocalCounter};
 pub use snapshot::{snapshot, snapshot_to_profile, CounterSnapshot, HistogramSnapshot, Snapshot};
 pub use span::{span, SpanGuard};
+pub use trace::{
+    set_tracing, tracing_enabled, FlightRecorder, SpanContext, SpanId, SpanRecord, TraceId,
+};
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
 

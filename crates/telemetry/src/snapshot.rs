@@ -110,9 +110,16 @@ pub const TELEMETRY_METRIC: &str = "TELEMETRY_TIME_NS";
 /// Event group assigned to every exported telemetry event.
 pub const TELEMETRY_GROUP: &str = "TELEMETRY";
 
+/// Quantiles exported per histogram as `{name}.p50` / `.p95` / `.p99`
+/// atomic events.
+pub const EXPORTED_QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
+
 /// Convert a snapshot into a PerfDMF profile (see module docs for the
 /// mapping). Empty histograms are skipped; counters keep zero values so
-/// their existence survives the round trip.
+/// their existence survives the round trip. Each non-empty histogram
+/// additionally exports its p50/p95/p99 (bucket upper bounds) as atomic
+/// events named `{name}.p50` etc., so tail latency survives the export,
+/// not just count/sum.
 pub fn profile_from_snapshot(snap: &Snapshot) -> Profile {
     let mut p = Profile::new("perfdmf-telemetry");
     let metric = p.add_metric(Metric::measured(TELEMETRY_METRIC));
@@ -130,6 +137,15 @@ pub fn profile_from_snapshot(snap: &Snapshot) -> Profile {
             metric,
             IntervalData::new(total, total, h.count as f64, 0.0),
         );
+        for (label, q) in EXPORTED_QUANTILES {
+            if let Some(v) = h.quantile(q) {
+                let qe = p.add_atomic_event(AtomicEvent::new(
+                    format!("{}.{label}", h.name),
+                    TELEMETRY_GROUP,
+                ));
+                p.record_atomic(qe, ThreadId::ZERO, v as f64);
+            }
+        }
     }
 
     for c in &snap.counters {
@@ -201,5 +217,32 @@ mod tests {
         let ad = p.atomic(a, ThreadId::ZERO).expect("atomic data");
         assert_eq!(ad.count, 1);
         assert_eq!(ad.mean, 17.0);
+    }
+
+    #[test]
+    fn export_surfaces_histogram_quantiles() {
+        crate::histogram("snap.test.quant").record(1000);
+        crate::histogram("snap.test.quant").record(1000);
+        crate::histogram("snap.test.quant").record(60_000);
+
+        let p = snapshot_to_profile();
+        let snap = snapshot();
+        let h = snap.histogram("snap.test.quant").expect("histogram");
+        for (label, q) in EXPORTED_QUANTILES {
+            let e = p
+                .find_atomic_event(&format!("snap.test.quant.{label}"))
+                .unwrap_or_else(|| panic!("missing quantile event {label}"));
+            let d = p.atomic(e, ThreadId::ZERO).expect("data");
+            assert_eq!(d.mean, h.quantile(q).unwrap() as f64);
+        }
+        // p50 sits in the 1000-sample bucket, p99 in the outlier's.
+        let p50 = p.find_atomic_event("snap.test.quant.p50").unwrap();
+        let p99 = p.find_atomic_event("snap.test.quant.p99").unwrap();
+        assert!(
+            p.atomic(p99, ThreadId::ZERO).unwrap().mean
+                > p.atomic(p50, ThreadId::ZERO).unwrap().mean
+        );
+        // Empty histograms export no quantile events.
+        assert!(p.find_atomic_event("snap.test.empty.p50").is_none());
     }
 }

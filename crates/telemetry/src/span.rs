@@ -17,20 +17,29 @@ thread_local! {
 pub struct SpanGuard {
     /// `None` when telemetry was disabled at entry — drop does nothing.
     armed: Option<(&'static str, Instant)>,
+    /// Trace span id from [`crate::trace`], 0 when tracing is off.
+    trace_span: u64,
 }
 
 /// Open a span named `name`. While the returned guard lives, the name is
 /// on this thread's span stack; on drop the elapsed time is recorded
-/// into histogram `name` (in nanoseconds). Disabled telemetry makes this
-/// a single atomic load.
+/// into histogram `name` (in nanoseconds). With causal tracing on
+/// ([`crate::trace::set_tracing`]), the span also gets a trace/span id
+/// linked to its parent and lands in the flight recorder on drop.
+/// Disabled telemetry makes this a single atomic load.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !crate::enabled() {
-        return SpanGuard { armed: None };
+        return SpanGuard {
+            armed: None,
+            trace_span: 0,
+        };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    let trace_span = crate::trace::enter_span(name);
     SpanGuard {
         armed: Some((name, Instant::now())),
+        trace_span,
     }
 }
 
@@ -64,6 +73,7 @@ impl Drop for SpanGuard {
                     }
                 }
             });
+            crate::trace::exit_span(self.trace_span);
             crate::histogram(name).record(nanos);
         }
     }

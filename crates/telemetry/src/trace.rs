@@ -1,0 +1,717 @@
+//! Causal tracing: trace/span ids, cross-thread context propagation, a
+//! lock-free flight recorder, and Chrome-trace export.
+//!
+//! This rides on the same [`crate::span`] guards that feed the latency
+//! histograms. When tracing is on ([`set_tracing`]`(true)`, default
+//! **off**), each guard additionally allocates a `SpanId`, links it to
+//! the enclosing span (or to a context adopted from another thread via
+//! [`adopt_context`]), and on drop publishes a [`SpanRecord`] into the
+//! global [`FlightRecorder`] — a fixed-capacity ring of seqlock slots
+//! that writers never block on and readers can snapshot at any time,
+//! including from a panic hook.
+//!
+//! Propagation rules:
+//! * a span opened while another span is live on the same thread becomes
+//!   its child and inherits the trace id;
+//! * a span opened on a thread holding an adopted remote context (pool
+//!   workers, explorer request handlers) becomes a child of the remote
+//!   span — this is how one trace crosses thread boundaries;
+//! * otherwise the span starts a fresh trace as its root.
+//!
+//! Dump triggers: [`FlightRecorder::dump`] on demand, the panic hook
+//! installed by [`install_panic_dump`], and [`fault_dump`] which the db
+//! layer calls whenever a durability fault counter fires (fsync error,
+//! torn WAL tail, poisoned WAL). Fault dumps also capture the calling
+//! thread's still-*open* spans, so the span that observed the fault is
+//! present even though it has not finished.
+
+use parking_lot::RwLock;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Once, OnceLock};
+use std::time::Instant;
+
+/// Default flight-recorder capacity (spans); override with the
+/// `PERFDMF_TRACE_CAPACITY` environment variable.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 16 * 1024;
+
+/// Identifies one causal trace (a request and everything it triggered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl TraceId {
+    /// Fixed-width lowercase hex, the form used in log lines and JSON.
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl SpanId {
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// The (trace, span) pair to hand to another thread so its spans join
+/// this trace. Obtain with [`current_context`], adopt with
+/// [`adopt_context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    pub trace: TraceId,
+    pub span: SpanId,
+}
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Is causal tracing currently collecting? Independent of the telemetry
+/// enabled flag so the overhead can be priced separately; note spans are
+/// only opened at all while `crate::enabled()`.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turn causal tracing on or off globally (default off). Off, each span
+/// costs one extra relaxed atomic load.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Unique non-zero id: splitmix64 of a global sequence counter — well
+/// distributed, allocation-free, and deterministic given call order.
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let mut z = NEXT
+        .fetch_add(1, Ordering::Relaxed)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) | 1
+}
+
+/// Monotonic process epoch all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Small per-thread label for trace output (1, 2, 3, … in first-use
+/// order) — stabler across runs than OS thread ids.
+fn thread_label() -> u64 {
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static LABEL: Cell<u64> = const { Cell::new(0) };
+    }
+    LABEL.with(|l| {
+        if l.get() == 0 {
+            l.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+        l.get()
+    })
+}
+
+struct Frame {
+    name: &'static str,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    start_ns: u64,
+}
+
+thread_local! {
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static REMOTE: Cell<Option<(u64, u64)>> = const { Cell::new(None) };
+}
+
+/// Called by [`crate::span`] on entry. Returns the new span id, or 0
+/// when tracing is off (the guard then skips [`exit_span`]).
+pub(crate) fn enter_span(name: &'static str) -> u64 {
+    if !tracing_enabled() {
+        return 0;
+    }
+    let span = next_id();
+    FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        let (trace, parent) = match f.last() {
+            Some(top) => (top.trace, top.span),
+            None => match REMOTE.with(Cell::get) {
+                Some((t, s)) => (t, s),
+                None => (next_id(), 0),
+            },
+        };
+        f.push(Frame {
+            name,
+            trace,
+            span,
+            parent,
+            start_ns: now_ns(),
+        });
+    });
+    span
+}
+
+/// Called by the span guard's drop: closes the frame and publishes its
+/// record to the flight recorder. Tolerates out-of-order guard drops.
+pub(crate) fn exit_span(span: u64) {
+    if span == 0 {
+        return;
+    }
+    let frame = FRAMES.with(|f| {
+        let mut f = f.borrow_mut();
+        match f.last() {
+            Some(top) if top.span == span => f.pop(),
+            _ => f
+                .iter()
+                .rposition(|fr| fr.span == span)
+                .map(|i| f.remove(i)),
+        }
+    });
+    if let Some(fr) = frame {
+        let end = now_ns();
+        recorder().record(SpanRecord {
+            trace: fr.trace,
+            span: fr.span,
+            parent: fr.parent,
+            name: fr.name,
+            thread: thread_label(),
+            start_ns: fr.start_ns,
+            dur_ns: end.saturating_sub(fr.start_ns),
+            open: false,
+        });
+    }
+}
+
+/// Context of the innermost span live on this thread (falling back to an
+/// adopted remote context), or `None` when tracing is off or nothing is
+/// open. Capture this before handing work to another thread.
+pub fn current_context() -> Option<SpanContext> {
+    if !tracing_enabled() {
+        return None;
+    }
+    FRAMES
+        .with(|f| {
+            f.borrow().last().map(|fr| SpanContext {
+                trace: TraceId(fr.trace),
+                span: SpanId(fr.span),
+            })
+        })
+        .or_else(|| {
+            REMOTE.with(Cell::get).map(|(t, s)| SpanContext {
+                trace: TraceId(t),
+                span: SpanId(s),
+            })
+        })
+}
+
+/// Trace id of the active context, if any — what log lines carry.
+pub fn current_trace_id() -> Option<TraceId> {
+    current_context().map(|c| c.trace)
+}
+
+/// Restores the previously adopted context when dropped.
+pub struct ContextGuard {
+    prev: Option<(u64, u64)>,
+}
+
+/// Adopt `ctx` as this thread's parent context: until the guard drops,
+/// spans opened with no local parent become children of `ctx.span` in
+/// `ctx.trace`. Used on pool workers and explorer request threads.
+pub fn adopt_context(ctx: SpanContext) -> ContextGuard {
+    let prev = REMOTE.with(|r| r.replace(Some((ctx.trace.0, ctx.span.0))));
+    ContextGuard { prev }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        REMOTE.with(|r| r.set(prev));
+    }
+}
+
+/// One finished (or, in fault dumps, still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub trace: u64,
+    pub span: u64,
+    /// 0 for trace roots.
+    pub parent: u64,
+    pub name: &'static str,
+    /// Small per-thread label (see module docs), not an OS thread id.
+    pub thread: u64,
+    /// Nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    /// True only in fault dumps: the span had not finished when the dump
+    /// was taken; `dur_ns` is its elapsed time so far.
+    pub open: bool,
+}
+
+impl SpanRecord {
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+/// Span names interned to small indexes so recorder slots stay
+/// all-atomic (no pointers round-tripped through u64). Duplicate entries
+/// for the same text (one per distinct `&'static str` address) are fine.
+fn names() -> &'static RwLock<Vec<&'static str>> {
+    static NAMES: OnceLock<RwLock<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+fn name_index(name: &'static str) -> u64 {
+    {
+        let names = names().read();
+        if let Some(i) = names.iter().position(|n| std::ptr::eq(*n, name)) {
+            return i as u64 + 1;
+        }
+    }
+    let mut names = names().write();
+    if let Some(i) = names.iter().position(|n| std::ptr::eq(*n, name)) {
+        return i as u64 + 1;
+    }
+    names.push(name);
+    names.len() as u64
+}
+
+fn name_at(idx: u64) -> Option<&'static str> {
+    if idx == 0 {
+        return None;
+    }
+    names().read().get(idx as usize - 1).copied()
+}
+
+/// One seqlock slot. `seq` is 0 while never written, odd while a write
+/// is in flight, even once published; each wrap strictly increases it
+/// (ticket t writes 2t+1 then 2t+2, and tickets for a given slot differ
+/// by the ring capacity), so a torn read can never look stable.
+struct Slot {
+    seq: AtomicU64,
+    trace: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    name: AtomicU64,
+    thread: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            span: AtomicU64::new(0),
+            parent: AtomicU64::new(0),
+            name: AtomicU64::new(0),
+            thread: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            dur_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity lock-free ring of the most recent finished spans.
+/// Writers claim a ticket with one `fetch_add` and never wait; an
+/// in-progress [`dump`](Self::dump) skips (only) slots being rewritten
+/// concurrently.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans recorded over the recorder's lifetime (not capped).
+    pub fn recorded_total(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        (self.recorded_total() as usize).min(self.slots.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publish one record, overwriting the oldest slot once full.
+    pub fn record(&self, rec: SpanRecord) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        slot.seq.store(ticket * 2 + 1, Ordering::Release);
+        slot.trace.store(rec.trace, Ordering::Relaxed);
+        slot.span.store(rec.span, Ordering::Relaxed);
+        slot.parent.store(rec.parent, Ordering::Relaxed);
+        slot.name.store(name_index(rec.name), Ordering::Relaxed);
+        slot.thread.store(rec.thread, Ordering::Relaxed);
+        slot.start_ns.store(rec.start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(rec.dur_ns, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        slot.seq.store(ticket * 2 + 2, Ordering::Release);
+    }
+
+    /// Snapshot the buffered spans, ordered by start time. Slots being
+    /// rewritten while the snapshot runs are skipped, never torn.
+    pub fn dump(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 == 0 || s1 % 2 == 1 {
+                    break;
+                }
+                let trace = slot.trace.load(Ordering::Relaxed);
+                let span = slot.span.load(Ordering::Relaxed);
+                let parent = slot.parent.load(Ordering::Relaxed);
+                let name_idx = slot.name.load(Ordering::Relaxed);
+                let thread = slot.thread.load(Ordering::Relaxed);
+                let start_ns = slot.start_ns.load(Ordering::Relaxed);
+                let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+                std::sync::atomic::fence(Ordering::Acquire);
+                if slot.seq.load(Ordering::Relaxed) != s1 {
+                    continue;
+                }
+                if let Some(name) = name_at(name_idx) {
+                    out.push(SpanRecord {
+                        trace,
+                        span,
+                        parent,
+                        name,
+                        thread,
+                        start_ns,
+                        dur_ns,
+                        open: false,
+                    });
+                }
+                break;
+            }
+        }
+        out.sort_by_key(|r| (r.start_ns, r.span));
+        out
+    }
+
+    /// Discard all buffered spans. Not safe against concurrent writers
+    /// (a mid-flight record may survive); quiesce first in tests.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.seq.store(0, Ordering::Release);
+        }
+        self.cursor.store(0, Ordering::Release);
+    }
+}
+
+/// The process-global flight recorder; capacity comes from
+/// `PERFDMF_TRACE_CAPACITY` (default [`DEFAULT_RECORDER_CAPACITY`]).
+pub fn recorder() -> &'static FlightRecorder {
+    static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        let cap = std::env::var("PERFDMF_TRACE_CAPACITY")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 16)
+            .unwrap_or(DEFAULT_RECORDER_CAPACITY);
+        FlightRecorder::with_capacity(cap)
+    })
+}
+
+/// Records for the calling thread's currently-open spans (marked
+/// `open: true`, duration = elapsed so far). Fault dumps append these so
+/// the span inside which the fault fired is visible.
+pub fn open_spans() -> Vec<SpanRecord> {
+    let end = now_ns();
+    let thread = thread_label();
+    FRAMES.with(|f| {
+        f.borrow()
+            .iter()
+            .map(|fr| SpanRecord {
+                trace: fr.trace,
+                span: fr.span,
+                parent: fr.parent,
+                name: fr.name,
+                thread,
+                start_ns: fr.start_ns,
+                dur_ns: end.saturating_sub(fr.start_ns),
+                open: true,
+            })
+            .collect()
+    })
+}
+
+fn fault_dump_path() -> &'static RwLock<Option<PathBuf>> {
+    static PATH: OnceLock<RwLock<Option<PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| RwLock::new(None))
+}
+
+/// Configure where [`fault_dump`] (and the panic hook) writes its
+/// Chrome-trace JSON; `None` disables fault dumps.
+pub fn set_fault_dump_path(path: Option<PathBuf>) {
+    *fault_dump_path().write() = path;
+}
+
+/// Dump the flight recorder (plus this thread's open spans) as
+/// Chrome-trace JSON to the configured fault-dump path. Called by the db
+/// layer when a durability fault counter fires; a no-op returning `None`
+/// when tracing is off or no path is configured.
+pub fn fault_dump(reason: &str) -> Option<PathBuf> {
+    if !tracing_enabled() {
+        return None;
+    }
+    let path = fault_dump_path().read().clone()?;
+    let mut records = recorder().dump();
+    records.extend(open_spans());
+    let json = export_chrome_trace(&records);
+    if std::fs::write(&path, json).is_err() {
+        return None;
+    }
+    crate::add("trace.fault_dumps", 1);
+    crate::event::emit(
+        crate::event::Event::new(crate::event::Severity::Warn, "trace_fault_dump")
+            .field("reason", reason)
+            .field("path", path.display().to_string())
+            .field("spans", records.len() as u64),
+    );
+    Some(path)
+}
+
+/// Install a process panic hook (once; chains any existing hook) that
+/// writes a fault dump with reason `"panic"` before unwinding continues.
+pub fn install_panic_dump() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = fault_dump("panic");
+            prev(info);
+        }));
+    });
+}
+
+/// Render spans as Chrome-trace / Perfetto JSON (load via
+/// `chrome://tracing` or <https://ui.perfetto.dev>). Each span becomes a
+/// complete (`"X"`) event; when a span's parent ran on a *different*
+/// thread, a flow arrow (`"s"`/`"f"` pair) is added from the parent's
+/// slice to the child's, making cross-thread causality visible.
+pub fn export_chrome_trace(records: &[SpanRecord]) -> String {
+    let by_span: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.span, r)).collect();
+    let mut events = Vec::with_capacity(records.len());
+    for r in records {
+        let ts = r.start_ns as f64 / 1000.0;
+        let dur = r.dur_ns as f64 / 1000.0;
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"perfdmf\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
+             \"parent\":\"{:016x}\",\"open\":{}}}}}",
+            crate::event::json_escape(r.name),
+            r.thread,
+            r.trace,
+            r.span,
+            r.parent,
+            r.open
+        ));
+        if r.parent != 0 {
+            if let Some(p) = by_span.get(&r.parent) {
+                if p.thread != r.thread {
+                    // Flow endpoints must lie inside their slices for the
+                    // viewer to bind them; clamp into the parent interval.
+                    let s_ts = (r.start_ns.clamp(p.start_ns, p.end_ns()) as f64) / 1000.0;
+                    events.push(format!(
+                        "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"s\",\
+                         \"id\":\"{:x}\",\"ts\":{s_ts:.3},\"pid\":1,\"tid\":{}}}",
+                        r.span, p.thread
+                    ));
+                    events.push(format!(
+                        "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":\"{:x}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{}}}",
+                        r.span, r.thread
+                    ));
+                }
+            }
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global tracing flag (they also
+    /// need telemetry enabled, so take the enabled-flag write lock too).
+    fn tracing_test_lock() -> parking_lot::RwLockWriteGuard<'static, ()> {
+        crate::enabled_flag_lock().write()
+    }
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = next_id();
+        let b = next_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spans_link_parent_child_and_record() {
+        let _g = tracing_test_lock();
+        crate::set_enabled(true);
+        set_tracing(true);
+        let (root_ctx, child_ctx) = {
+            let _root = crate::span("trace.test.root");
+            let root_ctx = current_context().unwrap();
+            let _child = crate::span("trace.test.child");
+            let child_ctx = current_context().unwrap();
+            (root_ctx, child_ctx)
+        };
+        set_tracing(false);
+        assert_eq!(root_ctx.trace, child_ctx.trace);
+        assert_ne!(root_ctx.span, child_ctx.span);
+        let recs = recorder().dump();
+        let child = recs
+            .iter()
+            .find(|r| r.span == child_ctx.span.0)
+            .expect("child recorded");
+        assert_eq!(child.parent, root_ctx.span.0);
+        assert_eq!(child.trace, root_ctx.trace.0);
+        let root = recs.iter().find(|r| r.span == root_ctx.span.0).unwrap();
+        assert_eq!(root.parent, 0);
+        assert!(root.end_ns() >= child.end_ns());
+    }
+
+    #[test]
+    fn adopted_context_crosses_threads() {
+        let _g = tracing_test_lock();
+        crate::set_enabled(true);
+        set_tracing(true);
+        let (ctx, remote_span) = {
+            let _root = crate::span("trace.test.xthread.root");
+            let ctx = current_context().unwrap();
+            let remote_span = std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _adopt = adopt_context(ctx);
+                    let _w = crate::span("trace.test.xthread.worker");
+                    current_context().unwrap()
+                })
+                .join()
+                .unwrap()
+            });
+            (ctx, remote_span)
+        };
+        set_tracing(false);
+        assert_eq!(remote_span.trace, ctx.trace);
+        let recs = recorder().dump();
+        let worker = recs.iter().find(|r| r.span == remote_span.span.0).unwrap();
+        assert_eq!(worker.parent, ctx.span.0);
+        let root = recs.iter().find(|r| r.span == ctx.span.0).unwrap();
+        assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let ring = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            ring.record(SpanRecord {
+                trace: 1,
+                span: i + 1,
+                parent: 0,
+                name: "trace.test.wrap",
+                thread: 1,
+                start_ns: i * 100,
+                dur_ns: 10,
+                open: false,
+            });
+        }
+        assert_eq!(ring.recorded_total(), 10);
+        assert_eq!(ring.len(), 4);
+        let spans: Vec<u64> = ring.dump().iter().map(|r| r.span).collect();
+        assert_eq!(spans, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn chrome_export_emits_slices_and_cross_thread_flows() {
+        let recs = vec![
+            SpanRecord {
+                trace: 7,
+                span: 1,
+                parent: 0,
+                name: "root \"q\"",
+                thread: 1,
+                start_ns: 1_000,
+                dur_ns: 9_000,
+                open: false,
+            },
+            SpanRecord {
+                trace: 7,
+                span: 2,
+                parent: 1,
+                name: "worker",
+                thread: 2,
+                start_ns: 2_000,
+                dur_ns: 3_000,
+                open: false,
+            },
+        ];
+        let json = export_chrome_trace(&recs);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("root \\\"q\\\""));
+        // Same-thread child produces no flow.
+        let same_thread = vec![
+            recs[0].clone(),
+            SpanRecord {
+                thread: 1,
+                ..recs[1].clone()
+            },
+        ];
+        assert!(!export_chrome_trace(&same_thread).contains("\"ph\":\"s\""));
+    }
+
+    #[test]
+    fn open_spans_capture_unfinished_frames() {
+        let _g = tracing_test_lock();
+        crate::set_enabled(true);
+        set_tracing(true);
+        let _root = crate::span("trace.test.open");
+        let open = open_spans();
+        set_tracing(false);
+        assert!(open.iter().any(|r| r.name == "trace.test.open" && r.open));
+    }
+
+    #[test]
+    fn tracing_off_is_inert() {
+        let _g = tracing_test_lock();
+        crate::set_enabled(true);
+        set_tracing(false);
+        let _s = crate::span("trace.test.off");
+        assert!(current_context().is_none());
+        assert!(current_trace_id().is_none());
+    }
+}

@@ -69,10 +69,12 @@ fn main() {
     ] {
         if let Some(h) = snap.histogram(name) {
             println!(
-                "  {:<28} n={} mean={:.0}ns p99<={}ns",
+                "  {:<28} n={} mean={:.0}ns p50<={}ns p95<={}ns p99<={}ns",
                 h.name,
                 h.count,
                 h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.quantile(0.95).unwrap_or(0),
                 h.quantile(0.99).unwrap_or(0)
             );
         }
