@@ -26,7 +26,7 @@ fn populated(rows: usize) -> Connection {
                 &ins,
                 &[
                     Value::Int(exp_id),
-                    Value::Text(format!("t{i}")),
+                    Value::Text(format!("t{i}").into()),
                     Value::Int((i % 1024) as i64),
                 ],
             )?;

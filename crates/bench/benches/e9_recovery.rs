@@ -35,7 +35,10 @@ fn populate(dir: &Path, rows: usize) {
     for i in 0..rows {
         conn.insert(
             "INSERT INTO trial (name, node_count) VALUES (?, ?)",
-            &[Value::Text(format!("t{i}")), Value::Int((i % 1024) as i64)],
+            &[
+                Value::Text(format!("t{i}").into()),
+                Value::Int((i % 1024) as i64),
+            ],
         )
         .expect("insert");
     }

@@ -47,7 +47,7 @@ fn attr_to_value(ty: &str, raw: &str) -> Value {
         "float" => raw.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
         "bool" => Value::Bool(raw == "true"),
         "null" => Value::Null,
-        _ => Value::Text(raw.to_string()),
+        _ => Value::Text(raw.to_string().into()),
     }
 }
 

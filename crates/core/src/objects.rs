@@ -66,7 +66,7 @@ impl FlexRow {
         match self.id {
             None => {
                 let mut names = vec!["name".to_string()];
-                let mut params = vec![Value::Text(self.name.clone())];
+                let mut params = vec![Value::Text(self.name.as_str().into())];
                 for (k, v) in &self.fields {
                     if k == "name" || k == "id" {
                         continue;
@@ -87,7 +87,7 @@ impl FlexRow {
             }
             Some(id) => {
                 let mut sets = vec!["name = ?".to_string()];
-                let mut params = vec![Value::Text(self.name.clone())];
+                let mut params = vec![Value::Text(self.name.as_str().into())];
                 for (k, v) in &self.fields {
                     if k == "name" || k == "id" {
                         continue;

@@ -71,7 +71,7 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
                     &ins_metric,
                     &[
                         Value::Int(trial_id),
-                        Value::Text(m.name.clone()),
+                        Value::Text(m.name.as_str().into()),
                         Value::Bool(m.derived),
                     ],
                 )?
@@ -85,8 +85,8 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
                     &ins_event,
                     &[
                         Value::Int(trial_id),
-                        Value::Text(e.name.clone()),
-                        Value::Text(e.group.clone()),
+                        Value::Text(e.name.as_str().into()),
+                        Value::Text(e.group.as_str().into()),
                     ],
                 )?
                 .expect("event has auto id");
@@ -166,8 +166,8 @@ pub fn save_profile(conn: &Connection, trial_id: i64, profile: &Profile) -> Resu
                     &ins_aevent,
                     &[
                         Value::Int(trial_id),
-                        Value::Text(ae.name.clone()),
-                        Value::Text(ae.group.clone()),
+                        Value::Text(ae.name.as_str().into()),
+                        Value::Text(ae.group.as_str().into()),
                     ],
                 )?
                 .expect("atomic event has auto id");
@@ -451,7 +451,7 @@ pub fn append_derived_metric(
         let metric_db_id = tx
             .insert(
                 "INSERT INTO metric (trial, name, derived) VALUES (?, ?, TRUE)",
-                &[Value::Int(trial_id), Value::Text(name.to_string())],
+                &[Value::Int(trial_id), Value::Text(name.into())],
             )?
             .expect("metric auto id");
         // Event name → db id map for this trial.

@@ -17,16 +17,83 @@ use crate::schema::ColumnDef;
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse_statement_with_params;
 use crate::value::Value;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use perfdmf_telemetry as telemetry;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Entries retained by the per-connection parse cache.
+const PARSE_CACHE_CAP: usize = 256;
+
+/// LRU cache of parsed statements, keyed by SQL text. Statements are
+/// pure ASTs (no schema binding happens at parse time), so entries never
+/// need invalidation on DDL. Shared by all clones of a [`Connection`].
+///
+/// Telemetry: `db.sql.parse_cache_hit` / `db.sql.parse_cache_miss`.
+#[derive(Default)]
+struct ParseCache {
+    inner: Mutex<ParseCacheInner>,
+}
+
+#[derive(Default)]
+struct ParseCacheInner {
+    /// SQL text → (parsed statement, `?` count, last-use tick).
+    map: HashMap<String, (Arc<Statement>, usize, u64)>,
+    /// Monotonic use counter backing the LRU ordering.
+    tick: u64,
+}
+
+impl ParseCache {
+    fn get(&self, sql: &str) -> Option<(Arc<Statement>, usize)> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(sql) {
+            Some((statement, param_count, last_used)) => {
+                *last_used = tick;
+                telemetry::add("db.sql.parse_cache_hit", 1);
+                Some((Arc::clone(statement), *param_count))
+            }
+            None => {
+                telemetry::add("db.sql.parse_cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    fn put(&self, sql: &str, statement: Arc<Statement>, param_count: usize) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= PARSE_CACHE_CAP && !inner.map.contains_key(sql) {
+            // Evict the least-recently-used entry. A linear scan over a
+            // capped map is cheaper than keeping an order list coherent.
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner
+            .map
+            .insert(sql.to_string(), (statement, param_count, tick));
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
 
 /// A handle to a shared database.
 #[derive(Clone)]
 pub struct Connection {
     db: Arc<RwLock<Database>>,
+    parse_cache: Arc<ParseCache>,
 }
 
 impl std::fmt::Debug for Connection {
@@ -38,7 +105,7 @@ impl std::fmt::Debug for Connection {
 /// A parsed, reusable statement with a known parameter count.
 #[derive(Debug, Clone)]
 pub struct Prepared {
-    statement: Statement,
+    statement: Arc<Statement>,
     param_count: usize,
     /// Original SQL text, kept for the slow-query log.
     sql: String,
@@ -66,6 +133,7 @@ impl Connection {
     pub fn open_in_memory() -> Connection {
         Connection {
             db: Arc::new(RwLock::new(Database::new())),
+            parse_cache: Arc::new(ParseCache::default()),
         }
     }
 
@@ -73,6 +141,7 @@ impl Connection {
     pub fn open(dir: impl AsRef<Path>) -> Result<Connection> {
         Ok(Connection {
             db: Arc::new(RwLock::new(Database::open(dir.as_ref())?)),
+            parse_cache: Arc::new(ParseCache::default()),
         })
     }
 
@@ -84,18 +153,35 @@ impl Connection {
     ) -> Result<Connection> {
         Ok(Connection {
             db: Arc::new(RwLock::new(Database::open_with_vfs(dir.as_ref(), vfs)?)),
+            parse_cache: Arc::new(ParseCache::default()),
         })
     }
 
-    /// Parse a statement for repeated execution.
+    /// Parse a statement for repeated execution. Repeated SQL text hits
+    /// the connection's LRU parse cache and skips the parser entirely.
     pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        if let Some((statement, param_count)) = self.parse_cache.get(sql) {
+            return Ok(Prepared {
+                statement,
+                param_count,
+                sql: sql.to_string(),
+            });
+        }
         let _span = telemetry::span("db.parse");
         let (statement, param_count) = parse_statement_with_params(sql)?;
+        let statement = Arc::new(statement);
+        self.parse_cache
+            .put(sql, Arc::clone(&statement), param_count);
         Ok(Prepared {
             statement,
             param_count,
             sql: sql.to_string(),
         })
+    }
+
+    /// Number of statements currently retained by the parse cache.
+    pub fn parse_cache_len(&self) -> usize {
+        self.parse_cache.len()
     }
 
     fn check_params(prepared: &Prepared, params: &[Value]) -> Result<()> {
@@ -110,7 +196,7 @@ impl Connection {
         Self::check_params(prepared, params)?;
         let _span = telemetry::span("db.exec");
         let started = telemetry::enabled().then(Instant::now);
-        let outcome = (|| match &prepared.statement {
+        let outcome = (|| match prepared.statement.as_ref() {
             // SELECT and EXPLAIN SELECT never mutate; run them under the
             // read lock so they share with other readers.
             Statement::Select(sel) => {
@@ -129,7 +215,10 @@ impl Connection {
                     };
                     return Ok(Outcome::Rows(crate::exec::ResultSet {
                         columns: vec!["plan".to_string()],
-                        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                        rows: lines
+                            .into_iter()
+                            .map(|l| vec![Value::Text(l.into())])
+                            .collect(),
                         ..Default::default()
                     }));
                 }
@@ -314,7 +403,7 @@ impl TransactionHandle<'_> {
             return Err(DbError::MissingParameter(params.len()));
         }
         if matches!(
-            prepared.statement,
+            *prepared.statement,
             Statement::Begin | Statement::Commit | Statement::Rollback
         ) {
             return Err(DbError::Transaction(
@@ -386,5 +475,71 @@ impl TransactionHandle<'_> {
                 "insert() requires an INSERT statement".into(),
             )),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_counters() -> (u64, u64) {
+        (
+            telemetry::counter("db.sql.parse_cache_hit").value(),
+            telemetry::counter("db.sql.parse_cache_miss").value(),
+        )
+    }
+
+    #[test]
+    fn repeated_sql_parses_once() {
+        let conn = Connection::open_in_memory();
+        conn.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)", &[])
+            .unwrap();
+        let sql = "SELECT v FROM t WHERE id = ?";
+        let (h0, m0) = cache_counters();
+        conn.query(sql, &[Value::Int(1)]).unwrap();
+        let (h1, m1) = cache_counters();
+        assert_eq!(h1 - h0, 0, "first use must miss");
+        assert!(m1 - m0 >= 1, "first use must miss");
+        for i in 0..5 {
+            conn.query(sql, &[Value::Int(i)]).unwrap();
+        }
+        let (h2, m2) = cache_counters();
+        assert_eq!(h2 - h1, 5, "every repeat must hit the parse cache");
+        assert_eq!(m2 - m1, 0, "repeats must not re-parse");
+    }
+
+    #[test]
+    fn parse_cache_evicts_least_recently_used() {
+        let conn = Connection::open_in_memory();
+        // Fill past capacity with distinct statements.
+        for i in 0..PARSE_CACHE_CAP + 10 {
+            conn.prepare(&format!("SELECT {i}")).unwrap();
+        }
+        assert_eq!(conn.parse_cache_len(), PARSE_CACHE_CAP);
+        // The oldest entries are gone; the newest survive.
+        let (h0, _) = cache_counters();
+        conn.prepare(&format!("SELECT {}", PARSE_CACHE_CAP + 9))
+            .unwrap();
+        let (h1, _) = cache_counters();
+        assert_eq!(h1 - h0, 1, "most recent entry must still be cached");
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let conn = Connection::open_in_memory();
+        assert!(conn.prepare("SELEC nonsense").is_err());
+        assert!(conn.prepare("SELEC nonsense").is_err());
+        assert_eq!(conn.parse_cache_len(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_parse_cache() {
+        let conn = Connection::open_in_memory();
+        conn.prepare("SELECT 1").unwrap();
+        let clone = conn.clone();
+        let (h0, _) = cache_counters();
+        clone.prepare("SELECT 1").unwrap();
+        let (h1, _) = cache_counters();
+        assert_eq!(h1 - h0, 1);
     }
 }

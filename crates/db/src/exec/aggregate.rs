@@ -100,6 +100,37 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Assemble an accumulator from kernel-computed state. The columnar
+    /// path (see `exec::vector`) runs tight typed loops per chunk and
+    /// packages the result here, so merging and `finish` reuse the exact
+    /// serial semantics. DISTINCT never reaches the columnar path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        func: AggregateFn,
+        count: u64,
+        int_sum: i64,
+        int_exact: bool,
+        float_sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+        mean: f64,
+        m2: f64,
+    ) -> Self {
+        Accumulator {
+            func,
+            distinct: false,
+            seen: HashSet::new(),
+            count,
+            int_sum,
+            int_exact,
+            float_sum,
+            min,
+            max,
+            mean,
+            m2,
+        }
+    }
+
     /// Does this accumulator carry DISTINCT state? DISTINCT aggregates
     /// dedupe through a HashSet whose contents depend on which partition
     /// saw a value first, so the parallel path must not split them.

@@ -290,7 +290,7 @@ fn eval_binary(op: BinaryOp, left: &Expr, right: &Expr, env: &Env<'_>) -> Result
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::Text(format!("{l}{r}")))
+            Ok(Value::Text(format!("{l}{r}").into()))
         }
         BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
     }
@@ -441,14 +441,14 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
             need(1)?;
             match &vals[0] {
                 Value::Null => Ok(Value::Null),
-                v => Ok(Value::Text(v.to_string().to_lowercase())),
+                v => Ok(Value::Text(v.to_string().to_lowercase().into())),
             }
         }
         "upper" => {
             need(1)?;
             match &vals[0] {
                 Value::Null => Ok(Value::Null),
-                v => Ok(Value::Text(v.to_string().to_uppercase())),
+                v => Ok(Value::Text(v.to_string().to_uppercase().into())),
             }
         }
         "length" => {
@@ -463,7 +463,7 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
             need(1)?;
             match &vals[0] {
                 Value::Null => Ok(Value::Null),
-                v => Ok(Value::Text(v.to_string().trim().to_string())),
+                v => Ok(Value::Text(v.to_string().trim().to_string().into())),
             }
         }
         "substr" | "substring" => {
@@ -491,7 +491,7 @@ fn eval_function(name: &str, args: &[Expr], env: &Env<'_>) -> Result<Value> {
                 None => chars.len().saturating_sub(start),
             };
             let out: String = chars.iter().skip(start).take(len).collect();
-            Ok(Value::Text(out))
+            Ok(Value::Text(out.into()))
         }
         "coalesce" => {
             for v in &vals {

@@ -3,6 +3,7 @@
 pub mod aggregate;
 pub mod eval;
 pub mod select;
+pub mod vector;
 
 use crate::database::Database;
 use crate::error::{DbError, Result};
@@ -162,7 +163,10 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             };
             Ok(Outcome::Rows(ResultSet {
                 columns: vec!["plan".to_string()],
-                rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+                rows: lines
+                    .into_iter()
+                    .map(|l| vec![Value::Text(l.into())])
+                    .collect(),
                 ..ResultSet::default()
             }))
         }
@@ -388,8 +392,8 @@ fn execute_update(
             Ok(())
         };
         match candidates {
-            Some(ids) => {
-                for id in ids {
+            Some(choice) => {
+                for id in choice.ids {
                     if let Some(row) = t.row(id) {
                         check(id, row)?;
                     }
@@ -453,8 +457,8 @@ fn execute_delete(
             Ok(())
         };
         match candidates {
-            Some(cand) => {
-                for id in cand {
+            Some(choice) => {
+                for id in choice.ids {
                     if let Some(row) = t.row(id) {
                         check(id, row)?;
                     }

@@ -11,7 +11,9 @@
 
 use super::aggregate::Accumulator;
 use super::eval::{eval, eval_condition, Env, Layout};
+use super::vector;
 use super::ResultSet;
+use crate::column::CHUNK_ROWS;
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::sql::ast::*;
@@ -31,6 +33,9 @@ use std::time::Instant;
 pub(crate) struct ExecProfile {
     /// (rows out, partitions used, wall ns) of the base scan.
     scan: Option<(u64, usize, u64)>,
+    /// (live rows, chunks, cache hits, cache misses, partitions, wall ns)
+    /// of a columnar scan (fused scan + filter + aggregate).
+    colscan: Option<(u64, usize, u64, u64, usize, u64)>,
     /// (rows out, wall ns) per join, left to right.
     joins: Vec<(u64, u64)>,
     /// (rows in, rows out, partitions used, wall ns) of the WHERE pass.
@@ -244,6 +249,323 @@ fn resolve_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Selec
     Ok(out)
 }
 
+// ---------------- scan strategy selection ----------------
+
+/// True if the expression reads a column outside of any aggregate call.
+/// Such expressions need a representative row, which the columnar path
+/// never materializes.
+fn has_bare_column(expr: &Expr) -> bool {
+    match expr {
+        Expr::Column { .. } => true,
+        Expr::Aggregate { .. } => false, // columns inside the arg are fine
+        Expr::Literal(_) | Expr::Param(_) => false,
+        Expr::Unary { operand, .. } | Expr::IsNull { operand, .. } => has_bare_column(operand),
+        Expr::Binary { left, right, .. } => has_bare_column(left) || has_bare_column(right),
+        Expr::InList { operand, list, .. } => {
+            has_bare_column(operand) || list.iter().any(has_bare_column)
+        }
+        Expr::Between {
+            operand, low, high, ..
+        } => has_bare_column(operand) || has_bare_column(low) || has_bare_column(high),
+        Expr::Function { args, .. } => args.iter().any(has_bare_column),
+        Expr::Case {
+            branches,
+            else_branch,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| has_bare_column(c) || has_bare_column(v))
+                || else_branch.as_ref().is_some_and(|e| has_bare_column(e))
+        }
+        Expr::InSubquery { operand, .. } => has_bare_column(operand),
+        Expr::ScalarSubquery(_) | Expr::Exists { .. } => false,
+    }
+}
+
+/// Query shapes the columnar path can execute: a single-table,
+/// ungrouped aggregate query whose projections are pure aggregate
+/// expressions. Everything else keeps row execution.
+fn columnar_shape_ok(sel: &Select) -> bool {
+    sel.from.is_some()
+        && sel.joins.is_empty()
+        && sel.group_by.is_empty()
+        && sel.having.is_none()
+        && !sel.distinct
+        && sel.order_by.is_empty()
+        && !sel.projections.is_empty()
+        && sel.projections.iter().all(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate() && !has_bare_column(expr),
+            _ => false,
+        })
+}
+
+/// A decided columnar scan: the compiled plan plus the statistics that
+/// justified choosing it (rendered by EXPLAIN).
+pub(crate) struct ColumnarChoice {
+    plan: vector::ColumnarPlan,
+    reason: String,
+}
+
+/// Decide between index, columnar, and sequential scan for an eligible
+/// aggregate query, using table and index statistics. Returns `None`
+/// when row execution (index or seq) should run. Shared by EXPLAIN and
+/// the executor so the plan cannot drift from reality.
+fn columnar_decision(
+    db: &Database,
+    sel: &Select,
+    params: &[Value],
+    had_subqueries: bool,
+) -> Result<Option<ColumnarChoice>> {
+    // Subqueries resolve to literals before execution but EXPLAIN sees
+    // them unresolved; decline in both so the paths agree.
+    if had_subqueries || !columnar_shape_ok(sel) {
+        return Ok(None);
+    }
+    let mode = vector::columnar_mode();
+    if mode == vector::ColumnarMode::Off {
+        return Ok(None);
+    }
+    let base = sel.from.as_ref().expect("shape check");
+    let table = db.table(&base.table)?;
+    let binding = base.effective_name().to_string();
+    let layout1 = Layout::single(
+        binding.clone(),
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    );
+    let projections = expand_projections(sel, &layout1)?;
+    let mut aggs: Vec<&Expr> = Vec::new();
+    for (_, e) in &projections {
+        collect_aggregates(e, &mut aggs);
+    }
+    let Some(plan) = vector::plan_columnar(
+        &table.schema,
+        &binding,
+        &layout1,
+        &aggs,
+        sel.where_clause.as_ref(),
+        params,
+    ) else {
+        return Ok(None);
+    };
+    let live = table.len();
+    let reason = match mode {
+        vector::ColumnarMode::Force => "forced by PERFDMF_COLUMNAR".to_string(),
+        vector::ColumnarMode::Auto => {
+            match index_candidates(table, &binding, &layout1, sel.where_clause.as_ref(), params)? {
+                Some(choice) => {
+                    // A selective index beats scanning every chunk; a
+                    // low-selectivity one does not.
+                    if choice.ids.len().saturating_mul(4) <= live {
+                        return Ok(None);
+                    }
+                    format!(
+                        "index {} unselective: {} candidate(s) of {} live row(s), {} distinct key(s)",
+                        choice.index_name,
+                        choice.ids.len(),
+                        live,
+                        choice.distinct_keys
+                    )
+                }
+                None => {
+                    if live < CHUNK_ROWS {
+                        return Ok(None); // small table: seq scan is fine
+                    }
+                    format!("no usable index, {live} live row(s) ≥ {CHUNK_ROWS} threshold")
+                }
+            }
+        }
+        vector::ColumnarMode::Off => unreachable!("handled above"),
+    };
+    Ok(Some(ColumnarChoice { plan, reason }))
+}
+
+/// Execute a decided columnar scan. Returns `Ok(None)` when a chunk
+/// exposed column data the kernels cannot handle — the caller falls
+/// back to row execution.
+fn columnar_select(
+    db: &Database,
+    sel: &Select,
+    choice: &ColumnarChoice,
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<Option<ResultSet>> {
+    let base = sel.from.as_ref().expect("shape check");
+    let table = db.table(&base.table)?;
+    let t0 = prof.is_some().then(Instant::now);
+    let (accs, stats) = {
+        let _stage = telemetry::span("db.exec.colscan");
+        match vector::execute_columnar(table, &choice.plan)? {
+            Some(out) => out,
+            None => return Ok(None),
+        }
+    };
+    telemetry::add("db.exec.columnar_scans", 1);
+
+    let binding = base.effective_name().to_string();
+    let layout = Layout::single(
+        binding,
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    );
+    // Same collection order as `columnar_decision`, so accumulator `i`
+    // belongs to aggregate expression `i`.
+    let projections = expand_projections(sel, &layout)?;
+    let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
+    let mut aggs: Vec<&Expr> = Vec::new();
+    for (_, e) in &projections {
+        collect_aggregates(e, &mut aggs);
+    }
+    debug_assert_eq!(aggs.len(), accs.len());
+    let agg_values: Vec<Value> = accs.iter().map(|a| a.finish()).collect();
+
+    // No bare columns survive the shape check, so a NULL row suffices as
+    // the evaluation environment (matching the serial empty-group case).
+    let null_row: Row = vec![Value::Null; layout.width()];
+    let env = Env::new(&layout, &null_row, params);
+    let mut out_row = Vec::with_capacity(projections.len());
+    for (_, e) in &projections {
+        let e_sub = substitute(e, &aggs, &agg_values);
+        out_row.push(eval(&e_sub, &env)?);
+    }
+
+    if let Some(p) = prof {
+        let ns = stage_ns(t0);
+        p.colscan = Some((
+            table.len() as u64,
+            stats.chunks,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.partitions,
+            ns,
+        ));
+        p.aggregate = Some((1, stats.partitions, ns));
+    }
+    Ok(Some(ResultSet {
+        columns,
+        rows: vec![out_row],
+        rows_scanned: table.len() as u64,
+        ..ResultSet::default()
+    }))
+}
+
+/// Query shapes where the serial scan can stop early once
+/// `OFFSET + LIMIT` rows match: no joins, no ordering, no aggregation,
+/// no DISTINCT.
+fn early_exit_shape_ok(sel: &Select) -> bool {
+    sel.from.is_some()
+        && sel.limit.is_some()
+        && sel.joins.is_empty()
+        && sel.order_by.is_empty()
+        && !sel.distinct
+        && sel.group_by.is_empty()
+        && sel.having.is_none()
+        && !sel.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+}
+
+/// Rows the early-exit scan needs before it can stop.
+fn early_exit_take(sel: &Select) -> usize {
+    (sel.offset.unwrap_or(0) as usize).saturating_add(sel.limit.unwrap_or(0) as usize)
+}
+
+/// Serial scan that stops after `OFFSET + LIMIT` matching rows instead
+/// of materializing and filtering the whole table.
+fn early_exit_select(
+    db: &Database,
+    sel: &Select,
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<ResultSet> {
+    let base = sel.from.as_ref().expect("shape check");
+    let table = db.table(&base.table)?;
+    let binding = base.effective_name().to_string();
+    let cols: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let layout = Layout::single(binding.clone(), cols.clone());
+    let where_clause = sel.where_clause.as_ref();
+    if let Some(pred) = where_clause {
+        if pred.contains_aggregate() {
+            return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
+        }
+    }
+    let take = early_exit_take(sel);
+    let needed = needed_columns(sel);
+    let mask = column_mask(&binding, &cols, &needed);
+    let scan_t0 = prof.is_some().then(Instant::now);
+    let _stage = telemetry::span("db.exec.scan");
+    let mut kept: Vec<Row> = Vec::new();
+    let mut examined = 0u64;
+    if take > 0 {
+        let check = |row: &Row| -> Result<bool> {
+            match where_clause {
+                None => Ok(true),
+                Some(pred) => {
+                    let env = Env::new(&layout, row, params);
+                    eval_condition(pred, &env)
+                }
+            }
+        };
+        match index_candidates(table, &binding, &layout, where_clause, params)? {
+            Some(choice) => {
+                for id in choice.ids {
+                    if let Some(row) = table.row(id) {
+                        examined += 1;
+                        if check(row)? {
+                            kept.push(masked_clone(row, &mask));
+                            if kept.len() >= take {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for (_, row) in table.iter() {
+                    examined += 1;
+                    if check(row)? {
+                        kept.push(masked_clone(row, &mask));
+                        if kept.len() >= take {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(p) = prof {
+        let ns = stage_ns(scan_t0);
+        p.scan = Some((examined, 0, ns));
+        if where_clause.is_some() {
+            p.filter = Some((examined, kept.len() as u64, 0, 0));
+        }
+    }
+    let mut out = plain_path(sel, &layout, &kept, params, None)?;
+    let offset = sel.offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        out.rows.drain(..offset.min(out.rows.len()));
+    }
+    if let Some(limit) = sel.limit {
+        out.rows.truncate(limit as usize);
+    }
+    out.rows_scanned = examined;
+    Ok(out)
+}
+
 /// Execute a SELECT.
 pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
     execute_select_profiled(db, sel, params, None)
@@ -259,13 +581,40 @@ fn execute_select_profiled(
 ) -> Result<ResultSet> {
     let started = std::time::Instant::now();
     // Uncorrelated subqueries run once, up front.
+    let had_subqueries = select_has_subqueries(sel);
     let resolved;
-    let sel = if select_has_subqueries(sel) {
+    let sel = if had_subqueries {
         resolved = resolve_select(db, sel, params)?;
         &resolved
     } else {
         sel
     };
+
+    // Statistics-driven scan selection: an eligible aggregate query may
+    // run on column chunks instead of materialized rows. A `None` from
+    // the kernels (unsupported chunk data) falls through to row
+    // execution below.
+    if let Some(choice) = columnar_decision(db, sel, params, had_subqueries)? {
+        if let Some(mut out) = columnar_select(db, sel, &choice, params, prof.as_deref_mut())? {
+            let offset = sel.offset.unwrap_or(0) as usize;
+            if offset > 0 {
+                out.rows.drain(..offset.min(out.rows.len()));
+            }
+            if let Some(limit) = sel.limit {
+                out.rows.truncate(limit as usize);
+            }
+            out.elapsed = started.elapsed();
+            return Ok(out);
+        }
+    } else if early_exit_shape_ok(sel) && !had_subqueries {
+        // LIMIT pushdown: stop scanning once OFFSET + LIMIT rows match.
+        // Mutually exclusive with the columnar path (which requires
+        // aggregation) — checked in the else so only one fast path runs.
+        let mut out = early_exit_select(db, sel, params, prof.as_deref_mut())?;
+        out.elapsed = started.elapsed();
+        return Ok(out);
+    }
+
     // Scalar SELECT without FROM.
     let (layout, mut rows) = match &sel.from {
         None => (Layout::default(), vec![Vec::new()]),
@@ -386,24 +735,60 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
             .collect(),
     );
     let needed = needed_columns(sel);
-    match index_candidates(
-        base_table,
-        &base_binding,
-        &layout1,
-        sel.where_clause.as_ref(),
-        params,
-    )? {
-        Some(ids) => lines.push(format!(
-            "index scan on {} ({} candidate row(s) of {})",
+    // Same decision the executor makes: columnar beats index beats seq
+    // when statistics justify it.
+    let had_subqueries = select_has_subqueries(sel);
+    let columnar = columnar_decision(db, sel, params, had_subqueries)?;
+    if let Some(choice) = &columnar {
+        lines.push(format!(
+            "columnar scan on {} ({} live row(s), {} chunk(s) of {}, {} kernel(s), {} fused predicate(s); {})",
             base.table,
-            ids.len(),
-            base_table.len()
-        )),
-        None => lines.push(format!(
-            "seq scan on {} ({} row(s))",
-            base.table,
-            base_table.len()
-        )),
+            base_table.len(),
+            base_table.chunk_count(),
+            CHUNK_ROWS,
+            choice.plan.aggs.len(),
+            choice.plan.pred_count(),
+            choice.reason
+        ));
+    } else {
+        match index_candidates(
+            base_table,
+            &base_binding,
+            &layout1,
+            sel.where_clause.as_ref(),
+            params,
+        )? {
+            Some(choice) => {
+                let mut line = format!(
+                    "index scan on {} ({} candidate row(s) of {}) via {}, {} distinct key(s)",
+                    base.table,
+                    choice.ids.len(),
+                    base_table.len(),
+                    choice.index_name,
+                    choice.distinct_keys
+                );
+                if let Some((lo, hi)) = &choice.key_range {
+                    line.push_str(&format!(", key range [{lo}, {hi}]"));
+                }
+                if early_exit_shape_ok(sel) && !had_subqueries {
+                    line.push_str(&format!(
+                        " [early exit after {} match(es)]",
+                        early_exit_take(sel)
+                    ));
+                }
+                lines.push(line);
+            }
+            None => {
+                let mut line = format!("seq scan on {} ({} row(s))", base.table, base_table.len());
+                if early_exit_shape_ok(sel) && !had_subqueries {
+                    line.push_str(&format!(
+                        " [early exit after {} match(es)]",
+                        early_exit_take(sel)
+                    ));
+                }
+                lines.push(line);
+            }
+        }
     }
     if !sel.joins.is_empty() {
         if let Some(pred) = &sel.where_clause {
@@ -475,7 +860,9 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
         }
         bindings.push((right_binding, right_cols));
     }
-    if sel.where_clause.is_some() {
+    // A columnar scan fuses the WHERE predicates into the scan itself, so
+    // there is no separate filter operator to report.
+    if sel.where_clause.is_some() && columnar.is_none() {
         lines.push("filter: WHERE".to_string());
     }
     let has_agg = !sel.group_by.is_empty()
@@ -522,7 +909,19 @@ pub fn explain_analyze_select(
     let mut lines = explain_select(db, sel, params)?;
     let mut joins = prof.joins.iter();
     for line in lines.iter_mut() {
-        if line.starts_with("index scan on ") || line.starts_with("seq scan on ") {
+        if line.starts_with("columnar scan on ") {
+            if let Some((live, chunks, hits, misses, parts, ns)) = prof.colscan {
+                line.push_str(&format!(
+                    " [actual rows={live}, chunks={chunks}, cache hits={hits} misses={misses}, partitions={}, {}]",
+                    partitions_label(parts),
+                    fmt_ns(ns)
+                ));
+            } else if prof.scan.is_some() {
+                // The plan chose columnar but the kernels declined a
+                // chunk at run time and the row path executed instead.
+                line.push_str(" [fell back to row execution]");
+            }
+        } else if line.starts_with("index scan on ") || line.starts_with("seq scan on ") {
             if let Some((rows_out, parts, ns)) = prof.scan {
                 line.push_str(&format!(
                     " [actual rows={rows_out}, partitions={}, {}]",
@@ -762,9 +1161,9 @@ fn scan_and_join(
             &needed,
         );
         match candidates {
-            Some(ids) => {
-                let mut out = Vec::with_capacity(ids.len());
-                for id in ids {
+            Some(choice) => {
+                let mut out = Vec::with_capacity(choice.ids.len());
+                for id in choice.ids {
                     if let Some(row) = base_table.row(id) {
                         if keep(row)? {
                             out.push(masked_clone(row, &base_mask));
@@ -1020,7 +1419,7 @@ fn refs_only_layout(expr: &Expr, layout: &Layout) -> bool {
 }
 
 /// Collect top-level AND conjuncts.
-fn conjuncts(expr: &Expr) -> Vec<&Expr> {
+pub(crate) fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     match expr {
         Expr::Binary {
             op: BinaryOp::And,
@@ -1035,6 +1434,35 @@ fn conjuncts(expr: &Expr) -> Vec<&Expr> {
     }
 }
 
+/// An index-restricted scan: the candidate row ids plus the statistics
+/// of the index that produced them (surfaced by EXPLAIN and consulted by
+/// the columnar-vs-index decision).
+#[derive(Debug)]
+pub(crate) struct IndexChoice {
+    /// Candidate row ids, in index key order.
+    pub ids: Vec<crate::table::RowId>,
+    /// Name of the consulted index.
+    pub index_name: String,
+    /// Distinct non-NULL keys in the index (cardinality statistic).
+    pub distinct_keys: usize,
+    /// Smallest and largest indexed key, when the index is non-empty.
+    pub key_range: Option<(Value, Value)>,
+}
+
+impl IndexChoice {
+    fn new(ix: &crate::index::Index, ids: Vec<crate::table::RowId>) -> Self {
+        IndexChoice {
+            ids,
+            index_name: ix.name.clone(),
+            distinct_keys: ix.distinct_keys(),
+            key_range: match (ix.min_key(), ix.max_key()) {
+                (Some(lo), Some(hi)) => Some((lo.clone(), hi.clone())),
+                _ => None,
+            },
+        }
+    }
+}
+
 /// If the WHERE clause has an indexable conjunct on the base table, return
 /// the candidate row ids; `None` means full scan. Also used by the
 /// UPDATE/DELETE executors to avoid full-table target scans.
@@ -1044,7 +1472,7 @@ pub(crate) fn index_candidates(
     layout1: &Layout,
     where_clause: Option<&Expr>,
     params: &[Value],
-) -> Result<Option<Vec<crate::table::RowId>>> {
+) -> Result<Option<IndexChoice>> {
     let Some(pred) = where_clause else {
         return Ok(None);
     };
@@ -1089,7 +1517,7 @@ pub(crate) fn index_candidates(
                 BinaryOp::GtEq => ix.range(Bound::Included(&val), Bound::Unbounded),
                 _ => continue,
             };
-            return Ok(Some(ids));
+            return Ok(Some(IndexChoice::new(ix, ids)));
         }
         if let Expr::Between {
             operand,
@@ -1102,7 +1530,8 @@ pub(crate) fn index_candidates(
                 (resolve_base_col(operand), const_val(low), const_val(high))
             {
                 if let Some(ix) = table.index_on(col) {
-                    return Ok(Some(ix.range(Bound::Included(&lo), Bound::Included(&hi))));
+                    let ids = ix.range(Bound::Included(&lo), Bound::Included(&hi));
+                    return Ok(Some(IndexChoice::new(ix, ids)));
                 }
             }
         }
@@ -1128,7 +1557,7 @@ pub(crate) fn index_candidates(
                     if all_const {
                         ids.sort_unstable();
                         ids.dedup();
-                        return Ok(Some(ids));
+                        return Ok(Some(IndexChoice::new(ix, ids)));
                     }
                 }
             }

@@ -47,6 +47,21 @@ impl Index {
         self.entries == 0
     }
 
+    /// Number of distinct non-NULL keys (O(1); feeds scan selection).
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Smallest indexed key, if any.
+    pub fn min_key(&self) -> Option<&Value> {
+        self.map.keys().next()
+    }
+
+    /// Largest indexed key, if any.
+    pub fn max_key(&self) -> Option<&Value> {
+        self.map.keys().next_back()
+    }
+
     /// Add an entry. NULL keys are not indexed (SQL semantics: NULL never
     /// matches an equality or range predicate).
     pub fn insert(&mut self, key: &Value, id: RowId) {

@@ -46,6 +46,7 @@
 //! assert_eq!(rs.get(0, "name"), Some(&Value::from("EVH1")));
 //! ```
 
+pub mod column;
 pub mod connection;
 pub mod database;
 mod error;
@@ -63,11 +64,12 @@ pub mod vfs;
 pub use connection::{Connection, Prepared, TransactionHandle};
 pub use database::Database;
 pub use error::{DbError, Result};
+pub use exec::vector::{columnar_mode, override_for_thread as override_columnar, ColumnarMode};
 pub use exec::{Outcome, ResultSet};
 pub use faults::{FaultKind, FaultPlan, FaultVfs};
 pub use observe::{set_slow_query_threshold, slow_query_threshold};
 pub use schema::{ColumnDef, TableSchema};
 pub use storage::Durability;
 pub use table::{Row, RowId, Table};
-pub use value::{DataType, Value};
+pub use value::{DataType, IStr, Value};
 pub use vfs::{RealVfs, Vfs, VfsFile};

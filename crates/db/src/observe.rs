@@ -15,6 +15,13 @@
 //! | `db.rows_affected`        | counter   | rows touched by DML |
 //! | `db.slow_queries`         | counter   | statements at/over the threshold |
 //!
+//! Adjacent subsystems add their own `db.*` metrics: the columnar scan
+//! path (`db.exec.columnar_scans`, `db.exec.colscan` span), the
+//! column-chunk cache (`db.colcache.chunk_hits` / `.chunk_misses` /
+//! `.budget_declines`, `db.colcache.build` span), and the
+//! prepared-statement parse cache (`db.sql.parse_cache_hit` /
+//! `.parse_cache_miss`). See `docs/columnar.md`.
+//!
 //! Statements slower than the configurable threshold additionally emit a
 //! `slow_query` structured event carrying the SQL text (truncated),
 //! latency, and row counts.

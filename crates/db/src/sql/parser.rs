@@ -520,7 +520,7 @@ impl Parser {
         match self.advance() {
             TokenKind::Int(v) => Ok(Value::Int(if negative { -v } else { v })),
             TokenKind::Float(v) => Ok(Value::Float(if negative { -v } else { v })),
-            TokenKind::Str(s) if !negative => Ok(Value::Text(s)),
+            TokenKind::Str(s) if !negative => Ok(Value::Text(s.into())),
             TokenKind::Keyword(k) if k == "NULL" && !negative => Ok(Value::Null),
             TokenKind::Keyword(k) if k == "TRUE" && !negative => Ok(Value::Bool(true)),
             TokenKind::Keyword(k) if k == "FALSE" && !negative => Ok(Value::Bool(false)),
@@ -752,7 +752,7 @@ impl Parser {
         match self.advance() {
             TokenKind::Int(v) => Ok(Expr::Literal(Value::Int(v))),
             TokenKind::Float(v) => Ok(Expr::Literal(Value::Float(v))),
-            TokenKind::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Text(s.into()))),
             TokenKind::Param => {
                 let ordinal = self.params;
                 self.params += 1;

@@ -137,7 +137,7 @@ pub fn get_value(buf: &mut &[u8]) -> Result<Value> {
             }
             Ok(Value::Float(buf.get_f64_le()))
         }
-        3 => Ok(Value::Text(get_str(buf)?)),
+        3 => Ok(Value::Text(get_str(buf)?.into())),
         4 => {
             if buf.remaining() < 1 {
                 return Err(DbError::Corrupt("truncated bool".into()));

@@ -4,11 +4,13 @@
 //! is reused by later inserts), which lets indexes, the undo log, and the
 //! write-ahead log all address rows cheaply.
 
+use crate::column::{Chunk, ColumnCache, CHUNK_ROWS};
 use crate::error::{DbError, Result};
 use crate::index::Index;
 use crate::schema::{ColumnDef, TableSchema};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A row is a vector of values, one per schema column.
 pub type Row = Vec<Value>;
@@ -31,6 +33,8 @@ pub struct Table {
     next_auto: i64,
     /// Secondary indexes by index name.
     pub(crate) indexes: HashMap<String, Index>,
+    /// Lazily-built column chunks (derived data; clones start cold).
+    colcache: ColumnCache,
 }
 
 impl Table {
@@ -43,6 +47,7 @@ impl Table {
             live: 0,
             next_auto: 1,
             indexes: HashMap::new(),
+            colcache: ColumnCache::default(),
         };
         // Primary key and UNIQUE columns get implicit unique indexes so
         // constraint checks are O(log n).
@@ -181,6 +186,7 @@ impl Table {
             index.insert(&inserted[index.column], id);
         }
         self.live += 1;
+        self.colcache.invalidate_row(id as usize);
         Ok(id)
     }
 
@@ -217,6 +223,7 @@ impl Table {
         }
         self.rows[idx] = Some(row);
         self.live += 1;
+        self.colcache.invalidate_row(idx);
         Ok(())
     }
 
@@ -234,6 +241,7 @@ impl Table {
         }
         self.free.push(id);
         self.live -= 1;
+        self.colcache.invalidate_row(id as usize);
         Ok(row)
     }
 
@@ -254,6 +262,7 @@ impl Table {
                 index.insert(&new_ref[index.column], id);
             }
         }
+        self.colcache.invalidate_row(id as usize);
         Ok(old)
     }
 
@@ -325,6 +334,7 @@ impl Table {
         for slot in self.rows.iter_mut().flatten() {
             slot.push(default.clone());
         }
+        self.colcache.clear();
         Ok(())
     }
 
@@ -341,7 +351,24 @@ impl Table {
         for slot in self.rows.iter_mut().flatten() {
             slot.remove(idx);
         }
+        self.colcache.clear();
         Ok(())
+    }
+
+    /// Number of column chunks covering the slab.
+    pub fn chunk_count(&self) -> usize {
+        self.rows.len().div_ceil(CHUNK_ROWS)
+    }
+
+    /// Get or build the column chunk `idx`; the flag is true on a cache
+    /// hit. `None` only when `idx` is past the slab end.
+    pub fn chunk(&self, idx: usize) -> (Option<Arc<Chunk>>, bool) {
+        self.colcache.chunk(&self.schema, &self.rows, idx)
+    }
+
+    /// Number of column chunks currently cached (tests / EXPLAIN stats).
+    pub fn cached_chunk_count(&self) -> usize {
+        self.colcache.cached_chunks()
     }
 }
 

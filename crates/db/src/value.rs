@@ -1,7 +1,10 @@
 //! SQL values and data types.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// The type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +56,165 @@ impl fmt::Display for DataType {
     }
 }
 
+/// Process-wide string dictionary backing [`IStr`].
+///
+/// Interning is global so equal strings always share one id: `IStr`
+/// equality and hashing reduce to a `u32` compare, which makes group-by
+/// keys and DISTINCT sets cheap and lets column chunks store text
+/// columns as dictionary ids. Entries live for the process lifetime —
+/// acceptable for a metrics store whose event/metric name cardinality
+/// is bounded.
+struct Interner {
+    ids: HashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            ids: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// An interned, immutable UTF-8 string.
+///
+/// Cloning bumps an `Arc`; equality and hashing compare the dictionary
+/// id (O(1)); ordering still compares bytes, so the SQL total order is
+/// unchanged. Derefs to `str`, so call sites treat it like a `String`.
+#[derive(Debug, Clone)]
+pub struct IStr {
+    id: u32,
+    s: Arc<str>,
+}
+
+impl IStr {
+    /// Intern `s`, returning the canonical handle for its contents.
+    pub fn intern(s: &str) -> IStr {
+        {
+            let rd = interner().read().unwrap();
+            if let Some(&id) = rd.ids.get(s) {
+                return IStr {
+                    id,
+                    s: Arc::clone(&rd.strings[id as usize]),
+                };
+            }
+        }
+        let mut wr = interner().write().unwrap();
+        if let Some(&id) = wr.ids.get(s) {
+            return IStr {
+                id,
+                s: Arc::clone(&wr.strings[id as usize]),
+            };
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = u32::try_from(wr.strings.len()).expect("string dictionary overflow");
+        wr.strings.push(Arc::clone(&arc));
+        wr.ids.insert(Arc::clone(&arc), id);
+        IStr { id, s: arc }
+    }
+
+    /// The dictionary id. Equal strings share one id process-wide.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Resolve a dictionary id previously minted by [`IStr::id`].
+    pub fn from_id(id: u32) -> Option<IStr> {
+        let rd = interner().read().unwrap();
+        rd.strings.get(id as usize).map(|s| IStr {
+            id,
+            s: Arc::clone(s),
+        })
+    }
+
+    /// View as `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.s
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.s
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        &self.s
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for IStr {}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.id == other.id {
+            Ordering::Equal
+        } else {
+            self.s.cmp(&other.s)
+        }
+    }
+}
+
+impl std::hash::Hash for IStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.s)
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        IStr::intern(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> Self {
+        IStr::intern(&s)
+    }
+}
+
+impl From<&String> for IStr {
+    fn from(s: &String) -> Self {
+        IStr::intern(s)
+    }
+}
+
 /// A dynamically-typed SQL value.
 ///
 /// `Value` has a *total order* used by indexes, ORDER BY, and MIN/MAX:
@@ -67,8 +229,8 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 text.
-    Text(String),
+    /// UTF-8 text, dictionary-interned.
+    Text(IStr),
     /// Boolean.
     Bool(bool),
     /// Raw bytes.
@@ -116,7 +278,7 @@ impl Value {
     /// Interpret as text.
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Value::Text(s) => Some(s),
+            Value::Text(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -153,9 +315,9 @@ impl Value {
                 "false" | "f" | "0" => Some(Value::Bool(false)),
                 _ => None,
             },
-            (Value::Int(i), DataType::Text) => Some(Value::Text(i.to_string())),
-            (Value::Float(f), DataType::Text) => Some(Value::Text(format_float(*f))),
-            (Value::Bool(b), DataType::Text) => Some(Value::Text(b.to_string())),
+            (Value::Int(i), DataType::Text) => Some(Value::Text(i.to_string().into())),
+            (Value::Float(f), DataType::Text) => Some(Value::Text(format_float(*f).into())),
+            (Value::Bool(b), DataType::Text) => Some(Value::Text(b.to_string().into())),
             _ => None,
         }
     }
@@ -253,6 +415,8 @@ impl std::hash::Hash for Value {
                 2u8.hash(state);
                 f.to_bits().hash(state);
             }
+            // Interned text hashes its dictionary id, not its bytes:
+            // global dedupe guarantees equal strings share one id.
             Value::Text(s) => {
                 3u8.hash(state);
                 s.hash(state);
@@ -313,11 +477,16 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(IStr::intern(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(IStr::intern(&v))
+    }
+}
+impl From<IStr> for Value {
+    fn from(v: IStr) -> Self {
         Value::Text(v)
     }
 }
@@ -423,6 +592,31 @@ mod tests {
         assert_eq!(Value::Float(2.5).to_string(), "2.5");
         assert_eq!(Value::Null.to_string(), "NULL");
         assert_eq!(Value::Bytes(vec![0xde, 0xad]).to_string(), "x'dead'");
+    }
+
+    #[test]
+    fn interning_dedupes_and_orders() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = IStr::intern("MPI_Send");
+        let b = IStr::intern("MPI_Send");
+        let c = IStr::intern("MPI_Recv");
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a, b);
+        // Ordering is by bytes, independent of intern order.
+        assert!(c < a);
+        assert_eq!(IStr::from_id(a.id()).unwrap().as_str(), "MPI_Send");
+        // Hash-by-id must agree with equality.
+        fn h(v: &IStr) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&a), h(&b));
+        // Deref gives str methods.
+        assert_eq!(a.len(), 8);
+        assert!(a.starts_with("MPI"));
     }
 
     #[test]

@@ -360,7 +360,7 @@ fn observe(conn: &Connection) -> Result<Model, DbError> {
     for row in &rs.rows {
         let id = row[0].as_int().expect("trial.id is INTEGER");
         let name = match &row[1] {
-            Value::Text(s) => s.clone(),
+            Value::Text(s) => s.to_string(),
             other => panic!("trial.name should be TEXT, got {other:?}"),
         };
         let nodes = row[2].as_int().expect("trial.nodes is INTEGER");
@@ -706,4 +706,58 @@ fn counter_value(name: &str) -> u64 {
         .counter(name)
         .map(|c| c.value)
         .unwrap_or(0)
+}
+
+#[test]
+fn chunk_cache_is_rebuilt_after_crash_recovery() {
+    use perfdmf_db::{override_columnar, ColumnarMode};
+    let dir = tmpdir("colcache_rebuild");
+    let _force = override_columnar(ColumnarMode::Force);
+    let expected = {
+        let conn = Connection::open(&dir).unwrap();
+        conn.execute("CREATE TABLE t (x INTEGER, y DOUBLE)", &[])
+            .unwrap();
+        for i in 0..100i64 {
+            conn.execute(
+                "INSERT INTO t (x, y) VALUES (?, ?)",
+                &[Value::Int(i), Value::Float(i as f64 * 0.25)],
+            )
+            .unwrap();
+        }
+        // Warm the chunk cache; remember the answer for after the crash.
+        conn.query("SELECT COUNT(*), SUM(x), AVG(y) FROM t WHERE x >= 10", &[])
+            .unwrap()
+    };
+    // Tear the WAL tail so the reopen goes through real crash recovery
+    // (chunks are derived data living only in memory — they must come
+    // back from the recovered slab, not from disk).
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("wal.pdmf"))
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD]).unwrap();
+    }
+    let conn = Connection::open(&dir).unwrap();
+    // The recovered table starts with a cold cache: the first columnar
+    // query must build its chunk (a cache miss), and its answer must
+    // match the pre-crash result.
+    let misses_before = counter_value("db.colcache.chunk_misses");
+    let recovered = conn
+        .query("SELECT COUNT(*), SUM(x), AVG(y) FROM t WHERE x >= 10", &[])
+        .unwrap();
+    assert_eq!(recovered, expected, "recovered chunks changed the answer");
+    assert!(
+        counter_value("db.colcache.chunk_misses") > misses_before,
+        "reopened table should have rebuilt its chunk from the slab"
+    );
+    // And the rebuilt chunk is retained: a repeat hits the cache.
+    let hits_before = counter_value("db.colcache.chunk_hits");
+    let again = conn
+        .query("SELECT COUNT(*), SUM(x), AVG(y) FROM t WHERE x >= 10", &[])
+        .unwrap();
+    assert_eq!(again, expected);
+    assert!(counter_value("db.colcache.chunk_hits") > hits_before);
+    let _ = std::fs::remove_dir_all(&dir);
 }

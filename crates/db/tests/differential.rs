@@ -1,17 +1,19 @@
 //! Differential SQL oracle.
 //!
 //! Random SELECT queries (projections, WHERE predicates, aggregates,
-//! GROUP BY / HAVING, LIMIT / OFFSET) are executed three ways:
+//! GROUP BY / HAVING, LIMIT / OFFSET) are executed five ways:
 //!
 //!   1. the real engine pinned serial (`perfdmf_pool` forced to 1 worker),
 //!   2. the real engine forced onto the parallel partition path
 //!      (4 workers, partition threshold 1),
-//!   3. a naive, obviously-correct in-memory reference executor (the
+//!   3. the engine with columnar execution forced on (serial),
+//!   4. the engine with columnar execution forced on across 4 partitions,
+//!   5. a naive, obviously-correct in-memory reference executor (the
 //!      "oracle") written directly against SQL semantics.
 //!
-//! All three answers must agree: exactly for integers, text, and NULL,
-//! and within a small relative epsilon for floats (the parallel
-//! aggregate path reassociates floating-point sums).
+//! All answers must agree: exactly for integers, text, and NULL, and
+//! within a small relative epsilon for floats (the parallel and columnar
+//! aggregate paths reassociate floating-point sums).
 //!
 //! Query shapes are decoded from proptest-generated `u64` seeds with a
 //! splitmix-style mixer, which keeps the generator expressive without
@@ -21,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use perfdmf_db::{Connection, Value};
+use perfdmf_db::{override_columnar, ColumnarMode, Connection, Value};
 use perfdmf_pool as pool;
 use proptest::prelude::*;
 
@@ -73,7 +75,7 @@ fn decode_row(seed: u64) -> Vec<Value> {
     let s = if pick(&mut r, 8) == 0 {
         Value::Null
     } else {
-        Value::Text(TEXTS[pick(&mut r, 4) as usize].to_string())
+        Value::Text(TEXTS[pick(&mut r, 4) as usize].into())
     };
     vec![a, b, c, s]
 }
@@ -573,14 +575,32 @@ proptest! {
 
             let serial = {
                 let _serial = pool::override_for_thread(1, 1);
+                let _row = override_columnar(ColumnarMode::Off);
                 conn.query(&sql, &[]).map_err(|e| {
                     TestCaseError::fail(format!("serial run failed: {e}\n  sql: {sql}"))
                 })?
             };
             let parallel = {
                 let _parallel = pool::override_for_thread(4, 1);
+                let _row = override_columnar(ColumnarMode::Off);
                 conn.query(&sql, &[]).map_err(|e| {
                     TestCaseError::fail(format!("parallel run failed: {e}\n  sql: {sql}"))
+                })?
+            };
+            // Columnar kernels forced on, serially and partitioned; queries
+            // outside the columnar shape exercise the decline-to-row path.
+            let columnar = {
+                let _serial = pool::override_for_thread(1, 1);
+                let _col = override_columnar(ColumnarMode::Force);
+                conn.query(&sql, &[]).map_err(|e| {
+                    TestCaseError::fail(format!("columnar run failed: {e}\n  sql: {sql}"))
+                })?
+            };
+            let columnar_parallel = {
+                let _parallel = pool::override_for_thread(4, 1);
+                let _col = override_columnar(ColumnarMode::Force);
+                conn.query(&sql, &[]).map_err(|e| {
+                    TestCaseError::fail(format!("columnar parallel run failed: {e}\n  sql: {sql}"))
                 })?
             };
             let expected = oracle_run(&query, &table);
@@ -599,6 +619,16 @@ proptest! {
                 rows_match(&serial.rows, &parallel.rows),
                 "serial and parallel engine runs diverged\n  sql: {}\n  serial: {:?}\n  parallel: {:?}",
                 sql, serial.rows, parallel.rows,
+            );
+            prop_assert!(
+                rows_match(&columnar.rows, &expected),
+                "columnar engine diverged from oracle\n  sql: {}\n  engine: {:?}\n  oracle: {:?}\n  rows: {:?}",
+                sql, columnar.rows, expected, table,
+            );
+            prop_assert!(
+                rows_match(&columnar_parallel.rows, &columnar.rows),
+                "columnar partitioning changed the result\n  sql: {}\n  serial: {:?}\n  parallel: {:?}",
+                sql, columnar.rows, columnar_parallel.rows,
             );
         }
     }

@@ -8,7 +8,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<i32>().prop_map(|i| Value::Int(i as i64)),
         (-1e9f64..1e9f64).prop_map(Value::Float),
-        "[a-zA-Z0-9_ ]{0,16}".prop_map(Value::Text),
+        "[a-zA-Z0-9_ ]{0,16}".prop_map(|s: String| Value::Text(s.into())),
         any::<bool>().prop_map(Value::Bool),
     ]
 }

@@ -26,7 +26,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         ]
         .prop_map(Value::Float),
         prop_oneof![Just(String::new()), "[ -~]{0,48}".prop_map(String::from)]
-            .prop_map(Value::Text),
+            .prop_map(|s: String| Value::Text(s.into())),
         any::<bool>().prop_map(Value::Bool),
         proptest::collection::vec(any::<u8>(), 0..256).prop_map(Value::Bytes),
     ]
@@ -63,7 +63,7 @@ fn arb_column_parts() -> impl Strategy<Value = (DataType, bool, bool, Option<Val
                 _ => Some(match ty {
                     DataType::Integer => Value::Int(seed),
                     DataType::Double => Value::Float(seed as f64 / 3.0),
-                    DataType::Text => Value::Text(format!("d{seed}")),
+                    DataType::Text => Value::Text(format!("d{seed}").into()),
                     DataType::Boolean => Value::Bool(seed % 2 == 0),
                     DataType::Blob => Value::Bytes(seed.to_le_bytes().to_vec()),
                 }),
@@ -217,7 +217,7 @@ fn max_length_blob_roundtrips() {
     let rec = WalRecord::Insert {
         table: "trial".into(),
         id: 42,
-        row: vec![Value::Int(1), v, Value::Text(String::new())],
+        row: vec![Value::Int(1), v, Value::Text("".into())],
     };
     assert_eq!(decode_record(&encode_record(&rec)).expect("decode"), rec);
 }
@@ -227,7 +227,7 @@ fn max_length_blob_roundtrips() {
 #[test]
 fn long_text_roundtrips() {
     let text = "pérf-δmf ".repeat(200_000);
-    let v = Value::Text(text);
+    let v = Value::Text(text.into());
     let mut buf = Vec::new();
     put_value(&mut buf, &v);
     let mut slice = buf.as_slice();

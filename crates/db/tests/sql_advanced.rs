@@ -21,7 +21,7 @@ fn numbers(n: i64) -> Connection {
                 &[
                     Value::Int(i % 10),
                     Value::Float(i as f64 / 2.0),
-                    Value::Text(format!("row{i}")),
+                    Value::Text(format!("row{i}").into()),
                 ],
             )?;
         }

@@ -746,7 +746,7 @@ fn concurrent_readers_one_writer() {
         for i in 0..25 {
             w.insert(
                 "INSERT INTO trial (experiment, name) VALUES (1, ?)",
-                &[Value::Text(format!("w{i}"))],
+                &[Value::Text(format!("w{i}").into())],
             )
             .unwrap();
         }
@@ -770,4 +770,113 @@ fn result_set_rendering() {
     assert!(s.contains("name"));
     assert!(s.contains("p1"));
     assert!(s.lines().count() >= 4);
+}
+
+// ---------------- columnar scan selection ----------------
+
+#[test]
+fn explain_names_columnar_strategy_and_stats() {
+    use perfdmf_db::{override_columnar, ColumnarMode};
+    let conn = seeded();
+    let sql = "SELECT COUNT(*), SUM(node_count), AVG(time) FROM trial WHERE node_count >= 2";
+    // Too few rows for Auto to pick columnar; force it.
+    let _force = override_columnar(ColumnarMode::Force);
+    let rs = conn.query(&format!("EXPLAIN {sql}"), &[]).unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("columnar scan on trial"), "{plan}");
+    assert!(plan.contains("3 kernel(s)"), "{plan}");
+    assert!(plan.contains("1 fused predicate(s)"), "{plan}");
+    assert!(plan.contains("forced by PERFDMF_COLUMNAR"), "{plan}");
+    // The WHERE is fused into the scan, not a separate operator.
+    assert!(!plan.contains("filter: WHERE"), "{plan}");
+}
+
+#[test]
+fn columnar_and_row_execution_agree() {
+    use perfdmf_db::{override_columnar, ColumnarMode};
+    let conn = seeded();
+    let queries = [
+        "SELECT COUNT(*), COUNT(time), SUM(node_count), AVG(time) FROM trial",
+        "SELECT MIN(time), MAX(time), STDDEV(time) FROM trial WHERE node_count >= 2",
+        "SELECT MIN(name), MAX(name) FROM trial WHERE name != 'base'",
+        "SELECT SUM(node_count) * 2 + COUNT(*) FROM trial WHERE time BETWEEN 20.0 AND 60.0",
+        "SELECT COUNT(*) FROM trial WHERE time IS NULL",
+        "SELECT AVG(node_count) FROM trial WHERE experiment IN (1, 3)",
+    ];
+    for sql in queries {
+        let row = {
+            let _off = override_columnar(ColumnarMode::Off);
+            conn.query(sql, &[]).unwrap()
+        };
+        let col = {
+            let _force = override_columnar(ColumnarMode::Force);
+            conn.query(sql, &[]).unwrap()
+        };
+        assert_eq!(row, col, "columnar diverged on {sql}");
+    }
+}
+
+#[test]
+fn explain_analyze_columnar_reports_chunk_cache() {
+    use perfdmf_db::{override_columnar, ColumnarMode};
+    let conn = seeded();
+    let sql = "SELECT SUM(time), COUNT(*) FROM trial";
+    let _force = override_columnar(ColumnarMode::Force);
+    // First run builds the chunk (miss), second reads it back (hit).
+    conn.query(sql, &[]).unwrap();
+    let rs = conn.query(&format!("EXPLAIN ANALYZE {sql}"), &[]).unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("columnar scan on trial"), "{plan}");
+    assert!(plan.contains("cache hits=1 misses=0"), "{plan}");
+    assert!(plan.contains("chunks=1"), "{plan}");
+    let (returned, scanned) = analyze_totals(&plan);
+    assert_eq!(returned, 1);
+    assert_eq!(scanned, 6);
+}
+
+#[test]
+fn auto_columnar_requires_stats_justification() {
+    use perfdmf_db::{override_columnar, ColumnarMode};
+    let conn = seeded();
+    let _auto = override_columnar(ColumnarMode::Auto);
+    // 6 live rows: far below the chunk threshold, so Auto keeps row
+    // execution and EXPLAIN says so.
+    let rs = conn
+        .query("EXPLAIN SELECT COUNT(*) FROM trial", &[])
+        .unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("seq scan on trial"), "{plan}");
+    assert!(!plan.contains("columnar scan"), "{plan}");
+}
+
+// ---------------- early-exit LIMIT pushdown ----------------
+
+#[test]
+fn limit_pushdown_stops_scanning_early() {
+    let conn = seeded();
+    // Plain LIMIT: only the first two rows are ever examined.
+    let rs = conn.query("SELECT name FROM trial LIMIT 2", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows_scanned, 2, "scan did not stop early");
+    // WHERE + OFFSET: scans until offset + limit matches are found.
+    let rs = conn
+        .query(
+            "SELECT name FROM trial WHERE node_count >= 2 LIMIT 1 OFFSET 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p4")));
+    assert!(rs.rows_scanned < 6, "scan did not stop early: {rs:?}");
+    // The plan advertises the early exit.
+    let rs = conn
+        .query("EXPLAIN SELECT name FROM trial LIMIT 2", &[])
+        .unwrap();
+    let plan = plan_text(&rs);
+    assert!(plan.contains("[early exit after 2 match(es)]"), "{plan}");
+    // ORDER BY disables it: every row must be seen before sorting.
+    let rs = conn
+        .query("SELECT name FROM trial ORDER BY name LIMIT 2", &[])
+        .unwrap();
+    assert_eq!(rs.rows_scanned, 6);
 }

@@ -194,7 +194,7 @@ fn wide_rows_and_long_strings() {
     conn.transaction(|tx| {
         for i in 0..200 {
             let vals: Vec<Value> = (0..24)
-                .map(|c| Value::Text(format!("{long}-{i}-{c}")))
+                .map(|c| Value::Text(format!("{long}-{i}-{c}").into()))
                 .collect();
             tx.execute_prepared(&ins, &vals)?;
         }

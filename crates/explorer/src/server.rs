@@ -489,9 +489,9 @@ fn cluster_trial(
                  VALUES (?, ?, ?, ?)",
                 &[
                     Value::Int(trial_id),
-                    Value::Text(method_name.to_string()),
-                    Value::Text(space_name.to_string()),
-                    Value::Text(params.clone()),
+                    Value::Text(method_name.into()),
+                    Value::Text(space_name.into()),
+                    Value::Text(params.as_str().into()),
                 ],
             )?
             .expect("auto id");
@@ -507,7 +507,7 @@ fn cluster_trial(
                     Value::Text("assignment".into()),
                     Value::Int(i as i64),
                     Value::Float(a as f64),
-                    Value::Text(raw.threads[i].to_string()),
+                    Value::Text(raw.threads[i].to_string().into()),
                 ],
             )?;
         }
@@ -519,7 +519,7 @@ fn cluster_trial(
                     Value::Text("cluster_size".into()),
                     Value::Int(s.cluster as i64),
                     Value::Float(s.size as f64),
-                    Value::Text(String::new()),
+                    Value::Text("".into()),
                 ],
             )?;
             for (ci, &v) in s.centroid.iter().enumerate() {
@@ -530,7 +530,7 @@ fn cluster_trial(
                         Value::Text("centroid".into()),
                         Value::Int((s.cluster * d + ci) as i64),
                         Value::Float(v),
-                        Value::Text(raw.columns[ci].clone()),
+                        Value::Text(raw.columns[ci].as_str().into()),
                     ],
                 )?;
             }
@@ -542,7 +542,7 @@ fn cluster_trial(
                 Value::Text("silhouette".into()),
                 Value::Int(0),
                 Value::Float(silhouette),
-                Value::Text(String::new()),
+                Value::Text("".into()),
             ],
         )?;
         Ok(sid)
@@ -581,7 +581,7 @@ fn correlate_metrics(
                  VALUES (?, 'correlation', NULL, ?)",
                 &[
                     Value::Int(trial_id),
-                    Value::Text(format!("event={event_name}")),
+                    Value::Text(format!("event={event_name}").into()),
                 ],
             )?
             .expect("auto id");
@@ -597,7 +597,7 @@ fn correlate_metrics(
                         Value::Int(sid),
                         Value::Int((i * d + j) as i64),
                         Value::Float(v),
-                        Value::Text(format!("{}~{}", fm.columns[i], fm.columns[j])),
+                        Value::Text(format!("{}~{}", fm.columns[i], fm.columns[j]).into()),
                     ],
                 )?;
             }
