@@ -43,6 +43,18 @@ fn bench_sql_aggregates_overhead(c: &mut Criterion) {
     group.bench_function("tracing_off", |b| {
         b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
     });
+    // The background metrics sampler snapshots the whole registry on its
+    // own thread; the workload only pays for cache pressure and registry
+    // shard contention. Same 5% bar, at the configured cadence (250ms
+    // default; set PERFDMF_METRICS_INTERVAL_MS to price faster rates).
+    let sampler = telemetry::metrics::start_sampler(telemetry::metrics::default_interval());
+    group.bench_function("sampler_on", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
+    sampler.stop();
+    group.bench_function("sampler_off", |b| {
+        b.iter(|| session.event_aggregates("GET_TIME_OF_DAY").expect("aggs"));
+    });
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use perfdmf_core::DatabaseSession;
 use perfdmf_db::Connection;
 use perfdmf_profile::ThreadId;
 use perfdmf_telemetry as telemetry;
-use perfdmf_telemetry::snapshot::TELEMETRY_METRIC;
+use perfdmf_telemetry::snapshot::{EXPORTED_QUANTILES, TELEMETRY_METRIC};
 
 #[test]
 fn telemetry_snapshot_round_trips_through_database() {
@@ -53,4 +53,51 @@ fn telemetry_snapshot_round_trips_through_database() {
     assert!(snap
         .histogram("session.load_profile")
         .is_some_and(|s| s.count >= 1));
+}
+
+#[test]
+fn histogram_quantiles_survive_the_round_trip() {
+    let mut session = DatabaseSession::new(Connection::open_in_memory()).unwrap();
+
+    // A skewed distribution so p50 and p99 land in different buckets.
+    let h = telemetry::histogram("rt.quant.latency_ns");
+    for _ in 0..98 {
+        h.record(1_000);
+    }
+    h.record(500_000);
+    h.record(2_000_000);
+
+    // Freeze the expectation from the same snapshot that gets exported;
+    // other tests keep recording into the shared registry.
+    let snap = telemetry::snapshot();
+    let live = snap.histogram("rt.quant.latency_ns").expect("histogram");
+    let expected: Vec<(String, u64)> = EXPORTED_QUANTILES
+        .iter()
+        .map(|(label, q)| {
+            (
+                format!("rt.quant.latency_ns.{label}"),
+                live.quantile(*q).expect("non-empty"),
+            )
+        })
+        .collect();
+    let profile = telemetry::snapshot::profile_from_snapshot(&snap);
+
+    let trial_id = session
+        .store_profile("perfdmf", "self-profiling-quantiles", &profile)
+        .unwrap();
+    session.set_trial(trial_id);
+    let loaded = session.load_profile().unwrap();
+
+    let mut stored = Vec::new();
+    for (name, want) in &expected {
+        let event = loaded
+            .find_atomic_event(name)
+            .unwrap_or_else(|| panic!("{name} survives store/load"));
+        let data = loaded.atomic(event, ThreadId::ZERO).expect("atomic data");
+        assert_eq!(data.mean, *want as f64, "{name}");
+        stored.push(data.mean);
+    }
+    // p50 <= p95 <= p99, and the tail actually separated from the median.
+    assert!(stored[0] <= stored[1] && stored[1] <= stored[2]);
+    assert!(stored[2] > stored[0], "p99 must reflect the outliers");
 }

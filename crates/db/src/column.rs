@@ -32,7 +32,7 @@ const DEFAULT_BUDGET_MB: usize = 256;
 static CACHED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 /// The configured budget in bytes. Read per build so tests can vary it.
-fn budget_bytes() -> usize {
+pub fn budget_bytes() -> usize {
     std::env::var("PERFDMF_COLCACHE_MB")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())

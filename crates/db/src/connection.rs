@@ -31,7 +31,7 @@ const PARSE_CACHE_CAP: usize = 256;
 /// pure ASTs (no schema binding happens at parse time), so entries never
 /// need invalidation on DDL. Shared by all clones of a [`Connection`].
 ///
-/// Telemetry: `db.sql.parse_cache_hit` / `db.sql.parse_cache_miss`.
+/// Telemetry: `db.sql.parse_cache_hits` / `db.sql.parse_cache_misses`.
 #[derive(Default)]
 struct ParseCache {
     inner: Mutex<ParseCacheInner>,
@@ -53,11 +53,11 @@ impl ParseCache {
         match inner.map.get_mut(sql) {
             Some((statement, param_count, last_used)) => {
                 *last_used = tick;
-                telemetry::add("db.sql.parse_cache_hit", 1);
+                telemetry::add("db.sql.parse_cache_hits", 1);
                 Some((Arc::clone(statement), *param_count))
             }
             None => {
-                telemetry::add("db.sql.parse_cache_miss", 1);
+                telemetry::add("db.sql.parse_cache_misses", 1);
                 None
             }
         }
@@ -484,8 +484,8 @@ mod tests {
 
     fn cache_counters() -> (u64, u64) {
         (
-            telemetry::counter("db.sql.parse_cache_hit").value(),
-            telemetry::counter("db.sql.parse_cache_miss").value(),
+            telemetry::counter("db.sql.parse_cache_hits").value(),
+            telemetry::counter("db.sql.parse_cache_misses").value(),
         )
     }
 

@@ -446,6 +446,7 @@ impl Database {
     /// CREATE TABLE.
     pub fn create_table(&mut self, schema: TableSchema, if_not_exists: bool) -> Result<()> {
         let name = schema.name.clone();
+        crate::introspect::check_ddl_name(&name)?;
         if self.tables.contains_key(&name) {
             if if_not_exists {
                 return Ok(());

@@ -52,6 +52,10 @@ pub enum DbError {
     Io { op: String, message: String },
     /// Snapshot/WAL bytes were malformed.
     Corrupt(String),
+    /// DDL attempted on the reserved `perfdmf_` system-table namespace.
+    ReservedTableName(String),
+    /// DML attempted against a read-only virtual system table.
+    ReadOnlySystemTable(String),
     /// Anything else.
     Unsupported(String),
 }
@@ -102,6 +106,14 @@ impl fmt::Display for DbError {
             DbError::Storage(m) => write!(f, "storage error: {m}"),
             DbError::Io { op, message } => write!(f, "I/O error during {op}: {message}"),
             DbError::Corrupt(m) => write!(f, "corrupt database file: {m}"),
+            DbError::ReservedTableName(t) => write!(
+                f,
+                "table name is reserved for system tables: {t} (the perfdmf_ prefix \
+                 names read-only virtual tables; see docs/introspection.md)"
+            ),
+            DbError::ReadOnlySystemTable(t) => {
+                write!(f, "system table is read-only: {t}")
+            }
             DbError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }

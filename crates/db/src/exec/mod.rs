@@ -172,6 +172,7 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
         }
         Statement::Select(sel) => Ok(Outcome::Rows(select::execute_select(db, sel, params)?)),
         Statement::Insert(ins) => {
+            crate::introspect::check_dml_name(&ins.table)?;
             let (count, last) = execute_insert(db, ins, params)?;
             Ok(Outcome::Affected {
                 count,
@@ -179,6 +180,7 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             })
         }
         Statement::Update(upd) => {
+            crate::introspect::check_dml_name(&upd.table)?;
             let count = execute_update(db, upd, params)?;
             Ok(Outcome::Affected {
                 count,
@@ -186,6 +188,7 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             })
         }
         Statement::Delete(del) => {
+            crate::introspect::check_dml_name(&del.table)?;
             let count = execute_delete(db, del, params)?;
             Ok(Outcome::Affected {
                 count,
@@ -202,14 +205,17 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             Ok(Outcome::Done)
         }
         Statement::DropTable { name, if_exists } => {
+            crate::introspect::check_ddl_name(name)?;
             db.drop_table(name, *if_exists)?;
             Ok(Outcome::Done)
         }
         Statement::AlterTableAddColumn { table, column } => {
+            crate::introspect::check_ddl_name(table)?;
             db.add_column(table, column.clone())?;
             Ok(Outcome::Done)
         }
         Statement::AlterTableDropColumn { table, column } => {
+            crate::introspect::check_ddl_name(table)?;
             db.drop_column(table, column)?;
             Ok(Outcome::Done)
         }
@@ -219,6 +225,7 @@ fn execute_inner(db: &mut Database, stmt: &Statement, params: &[Value]) -> Resul
             column,
             unique,
         } => {
+            crate::introspect::check_ddl_name(table)?;
             db.create_index(name, table, column, *unique)?;
             Ok(Outcome::Done)
         }

@@ -16,8 +16,9 @@ use super::ResultSet;
 use crate::column::CHUNK_ROWS;
 use crate::database::Database;
 use crate::error::{DbError, Result};
+use crate::introspect;
 use crate::sql::ast::*;
-use crate::table::Row;
+use crate::table::{Row, Table};
 use crate::value::Value;
 use perfdmf_pool as pool;
 use perfdmf_telemetry as telemetry;
@@ -25,6 +26,47 @@ use std::collections::HashMap;
 use std::ops::Bound;
 use std::ops::Range;
 use std::time::Instant;
+
+/// A resolved FROM-clause table: either a borrowed base table or a
+/// virtual system table materialized for this statement. Derefs to
+/// [`Table`] so the scan/join/EXPLAIN code is agnostic to the source.
+pub(crate) enum TableSource<'a> {
+    Base(&'a Table),
+    Virtual(Box<Table>),
+}
+
+impl std::ops::Deref for TableSource<'_> {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        match self {
+            TableSource::Base(t) => t,
+            TableSource::Virtual(t) => t,
+        }
+    }
+}
+
+impl TableSource<'_> {
+    pub(crate) fn is_virtual(&self) -> bool {
+        matches!(self, TableSource::Virtual(_))
+    }
+}
+
+/// Resolve a FROM-clause table name: names under the reserved `perfdmf_`
+/// prefix materialize the corresponding virtual system table from live
+/// engine state; everything else resolves against the database catalog.
+pub(crate) fn resolve_table<'a>(db: &'a Database, name: &str) -> Result<TableSource<'a>> {
+    if introspect::is_reserved_name(name) {
+        return match introspect::materialize(db, name) {
+            Some(t) => {
+                telemetry::add("db.exec.virtual_scans", 1);
+                Ok(TableSource::Virtual(Box::new(t)))
+            }
+            None => Err(DbError::NoSuchTable(name.to_string())),
+        };
+    }
+    db.table(name).map(TableSource::Base)
+}
 
 /// Per-operator measurements collected while executing a SELECT for
 /// `EXPLAIN ANALYZE`. Everywhere else the executor runs with `None`, so
@@ -326,6 +368,11 @@ fn columnar_decision(
         return Ok(None);
     }
     let base = sel.from.as_ref().expect("shape check");
+    if introspect::is_reserved_name(&base.table) {
+        // Virtual tables are rematerialized per statement, so their chunk
+        // caches would never pay off: always take the row path.
+        return Ok(None);
+    }
     let table = db.table(&base.table)?;
     let binding = base.effective_name().to_string();
     let layout1 = Layout::single(
@@ -488,7 +535,8 @@ fn early_exit_select(
     prof: Option<&mut ExecProfile>,
 ) -> Result<ResultSet> {
     let base = sel.from.as_ref().expect("shape check");
-    let table = db.table(&base.table)?;
+    let source = resolve_table(db, &base.table)?;
+    let table: &Table = &source;
     let binding = base.effective_name().to_string();
     let cols: Vec<String> = table
         .schema
@@ -723,7 +771,8 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
         lines.push("result: constant row (no FROM)".to_string());
         return Ok(lines);
     };
-    let base_table = db.table(&base.table)?;
+    let base_source = resolve_table(db, &base.table)?;
+    let base_table: &Table = &base_source;
     let base_binding = base.effective_name().to_string();
     let layout1 = Layout::single(
         base_binding.clone(),
@@ -739,7 +788,22 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
     // when statistics justify it.
     let had_subqueries = select_has_subqueries(sel);
     let columnar = columnar_decision(db, sel, params, had_subqueries)?;
-    if let Some(choice) = &columnar {
+    if base_source.is_virtual() {
+        // System tables have no indexes or chunk caches; the executor
+        // always row-scans the per-statement materialization.
+        let mut line = format!(
+            "virtual scan on {} ({} row(s), materialized from live engine state)",
+            base.table,
+            base_table.len()
+        );
+        if early_exit_shape_ok(sel) && !had_subqueries {
+            line.push_str(&format!(
+                " [early exit after {} match(es)]",
+                early_exit_take(sel)
+            ));
+        }
+        lines.push(line);
+    } else if let Some(choice) = &columnar {
         lines.push(format!(
             "columnar scan on {} ({} live row(s), {} chunk(s) of {}, {} kernel(s), {} fused predicate(s); {})",
             base.table,
@@ -818,7 +882,8 @@ pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<V
     // joins, left-to-right, using the same equi-detection
     let mut bindings = vec![(base_binding.clone(), base_cols.clone())];
     for join in &sel.joins {
-        let right_table = db.table(&join.table.table)?;
+        let right_source = resolve_table(db, &join.table.table)?;
+        let right_table: &Table = &right_source;
         let right_binding = join.table.effective_name().to_string();
         let right_cols: Vec<String> = right_table
             .schema
@@ -921,7 +986,10 @@ pub fn explain_analyze_select(
                 // chunk at run time and the row path executed instead.
                 line.push_str(" [fell back to row execution]");
             }
-        } else if line.starts_with("index scan on ") || line.starts_with("seq scan on ") {
+        } else if line.starts_with("index scan on ")
+            || line.starts_with("seq scan on ")
+            || line.starts_with("virtual scan on ")
+        {
             if let Some((rows_out, parts, ns)) = prof.scan {
                 line.push_str(&format!(
                     " [actual rows={rows_out}, partitions={}, {}]",
@@ -973,7 +1041,7 @@ pub fn explain_analyze_select(
 // ---------------- scan + join ----------------
 
 fn table_layout_entry(db: &Database, tref: &TableRef) -> Result<(String, Vec<String>)> {
-    let t = db.table(&tref.table)?;
+    let t = resolve_table(db, &tref.table)?;
     Ok((
         tref.effective_name().to_string(),
         t.schema.columns.iter().map(|c| c.name.clone()).collect(),
@@ -1111,7 +1179,8 @@ fn scan_and_join(
     let where_clause = sel.where_clause.as_ref();
     let needed = needed_columns(sel);
     // Base scan with index pushdown.
-    let base_table = db.table(&base.table)?;
+    let base_source = resolve_table(db, &base.table)?;
+    let base_table: &Table = &base_source;
     let base_binding = base.effective_name().to_string();
     let mut bindings = vec![table_layout_entry(db, base)?];
 
@@ -1218,7 +1287,8 @@ fn scan_and_join(
     for join in joins {
         let _stage = telemetry::span("db.exec.join");
         let join_t0 = prof.is_some().then(Instant::now);
-        let right_table = db.table(&join.table.table)?;
+        let right_source = resolve_table(db, &join.table.table)?;
+        let right_table: &Table = &right_source;
         let right_binding = join.table.effective_name().to_string();
         if bindings
             .iter()

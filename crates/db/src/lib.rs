@@ -53,6 +53,7 @@ mod error;
 pub mod exec;
 pub mod faults;
 pub mod index;
+pub mod introspect;
 pub mod observe;
 pub mod schema;
 pub mod sql;
@@ -67,7 +68,9 @@ pub use error::{DbError, Result};
 pub use exec::vector::{columnar_mode, override_for_thread as override_columnar, ColumnarMode};
 pub use exec::{Outcome, ResultSet};
 pub use faults::{FaultKind, FaultPlan, FaultVfs};
-pub use observe::{set_slow_query_threshold, slow_query_threshold};
+pub use observe::{
+    set_slow_query_threshold, slow_query_log, slow_query_threshold, SlowQueryRecord,
+};
 pub use schema::{ColumnDef, TableSchema};
 pub use storage::Durability;
 pub use table::{Row, RowId, Table};

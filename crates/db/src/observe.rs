@@ -19,15 +19,21 @@
 //! path (`db.exec.columnar_scans`, `db.exec.colscan` span), the
 //! column-chunk cache (`db.colcache.chunk_hits` / `.chunk_misses` /
 //! `.budget_declines`, `db.colcache.build` span), and the
-//! prepared-statement parse cache (`db.sql.parse_cache_hit` /
-//! `.parse_cache_miss`). See `docs/columnar.md`.
+//! prepared-statement parse cache (`db.sql.parse_cache_hits` /
+//! `.parse_cache_misses`). See `docs/columnar.md`.
 //!
 //! Statements slower than the configurable threshold additionally emit a
 //! `slow_query` structured event carrying the SQL text (truncated),
-//! latency, and row counts.
+//! latency, and row counts, and are retained in a bounded process-wide
+//! ring ([`slow_query_log`]) that backs the `perfdmf_slow_queries`
+//! virtual system table.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use crate::error::Result;
 use crate::exec::Outcome;
@@ -38,6 +44,59 @@ const DEFAULT_SLOW_QUERY_NS: u64 = 50_000_000;
 
 /// Longest SQL prefix included in a `slow_query` event.
 const SQL_SNIPPET_LEN: usize = 512;
+
+/// Slow statements retained by the ring (oldest evicted first).
+const SLOW_LOG_CAPACITY: usize = 256;
+
+/// One retained slow statement, as exposed by `perfdmf_slow_queries`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQueryRecord {
+    /// Monotonically increasing record number (survives eviction).
+    pub seq: u64,
+    /// The SQL text, truncated to 512 bytes.
+    pub sql: String,
+    /// Execution latency in nanoseconds (parse excluded).
+    pub elapsed_ns: u64,
+    /// SELECT rows handed to the caller.
+    pub rows_returned: u64,
+    /// Base-table rows materialized during execution.
+    pub rows_scanned: u64,
+    /// Rows touched when the statement was DML.
+    pub rows_affected: u64,
+    /// False when the statement returned an error.
+    pub ok: bool,
+}
+
+#[derive(Default)]
+struct SlowLog {
+    ring: VecDeque<SlowQueryRecord>,
+    next_seq: u64,
+}
+
+fn slow_log() -> &'static Mutex<SlowLog> {
+    static LOG: OnceLock<Mutex<SlowLog>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(SlowLog::default()))
+}
+
+/// Copy of the retained slow statements, oldest first.
+pub fn slow_query_log() -> Vec<SlowQueryRecord> {
+    slow_log().lock().ring.iter().cloned().collect()
+}
+
+/// Drop all retained slow statements (sequence numbers keep counting).
+pub fn clear_slow_query_log() {
+    slow_log().lock().ring.clear();
+}
+
+fn retain_slow_query(mut record: SlowQueryRecord) {
+    let mut log = slow_log().lock();
+    record.seq = log.next_seq;
+    log.next_seq += 1;
+    if log.ring.len() >= SLOW_LOG_CAPACITY {
+        log.ring.pop_front();
+    }
+    log.ring.push_back(record);
+}
 
 static SLOW_QUERY_THRESHOLD_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_QUERY_NS);
 
@@ -91,18 +150,25 @@ pub fn record_statement(sql: &str, outcome: &Result<Outcome>, elapsed: Duration)
         } else {
             sql.to_string()
         };
+        let elapsed_ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
         telemetry::emit(
             telemetry::Event::new(telemetry::Severity::Warn, "slow_query")
-                .field("sql", snippet)
-                .field(
-                    "elapsed_ns",
-                    elapsed.as_nanos().min(u64::MAX as u128) as u64,
-                )
+                .field("sql", snippet.clone())
+                .field("elapsed_ns", elapsed_ns)
                 .field("rows_returned", rows_returned)
                 .field("rows_scanned", rows_scanned)
                 .field("rows_affected", rows_affected)
                 .field("ok", u64::from(outcome.is_ok())),
         );
+        retain_slow_query(SlowQueryRecord {
+            seq: 0,
+            sql: snippet,
+            elapsed_ns,
+            rows_returned,
+            rows_scanned,
+            rows_affected,
+            ok: outcome.is_ok(),
+        });
     }
 }
 

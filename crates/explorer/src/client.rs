@@ -168,7 +168,7 @@ impl ExplorerClient {
         }) {
             Ok(()) => Ok(rrx),
             Err(TrySendError::Full(_)) => {
-                telemetry::add("explorer.shed", 1);
+                telemetry::add("explorer.sheds", 1);
                 telemetry::emit(telemetry::Event::new(
                     telemetry::Severity::Warn,
                     "explorer_shed",
@@ -246,6 +246,23 @@ impl ExplorerClient {
         self.request(Request::RegressionScan {
             experiment_id,
             threshold,
+        })
+    }
+
+    /// Convenience: watchdog-check one trial against its experiment's
+    /// archive baseline (all other trials, Chan–Welford combined).
+    pub fn watchdog(
+        &self,
+        experiment_id: i64,
+        trial_id: i64,
+        metric: &str,
+        min_ratio: f64,
+    ) -> Response {
+        self.request(Request::WatchdogCheck {
+            experiment_id,
+            trial_id,
+            metric: metric.to_string(),
+            min_ratio,
         })
     }
 }

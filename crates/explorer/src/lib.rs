@@ -274,6 +274,67 @@ mod tests {
         server.shutdown();
     }
 
+    #[test]
+    fn watchdog_flags_two_x_slowdown_against_archive_baseline() {
+        let conn = Connection::open_in_memory();
+        let mut session = DatabaseSession::new(conn.clone()).unwrap();
+        // Four baseline trials with small jitter, then a candidate whose
+        // hot routine doubled.
+        let mut candidate_id = 0;
+        for (run, slow) in [(1, 0.98), (2, 1.0), (3, 1.01), (4, 1.02), (5, 2.0)] {
+            let mut p = Profile::new(format!("watchdog-{run}"));
+            let m = p.add_metric(Metric::measured("TIME"));
+            let stable = p.add_event(IntervalEvent::ungrouped("stable"));
+            let hot = p.add_event(IntervalEvent::ungrouped("hot_loop"));
+            p.add_thread(ThreadId::ZERO);
+            p.set_interval(
+                stable,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(10.0, 10.0, 1.0, 0.0),
+            );
+            p.set_interval(
+                hot,
+                ThreadId::ZERO,
+                m,
+                IntervalData::new(20.0 * slow, 20.0 * slow, 1.0, 0.0),
+            );
+            candidate_id = session.store_profile("app", "watchdog", &p).unwrap();
+        }
+        let server = AnalysisServer::start(conn.clone(), 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        match client.watchdog(1, candidate_id, "TIME", 1.25) {
+            Response::Watchdog {
+                baseline_trials,
+                findings,
+            } => {
+                assert_eq!(baseline_trials, 4);
+                assert_eq!(findings.len(), 1, "{findings:?}");
+                let (event, baseline_mean, candidate, ratio) = &findings[0];
+                assert_eq!(event, "hot_loop");
+                assert!((baseline_mean - 20.0).abs() < 0.5);
+                assert!((candidate - 40.0).abs() < 1e-9);
+                assert!((ratio - 2.0).abs() < 0.05);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The finding is queryable through the system-table surface.
+        let logged = conn
+            .query(
+                "SELECT context, event, ratio FROM perfdmf_regressions WHERE event = 'hot_loop'",
+                &[],
+            )
+            .unwrap();
+        assert!(
+            logged.rows.iter().any(|r| {
+                matches!(&r[0], perfdmf_db::Value::Text(c)
+                    if c.as_ref().contains(&format!("trial {candidate_id}")))
+            }),
+            "{logged:?}"
+        );
+        server.shutdown();
+    }
+
     /// Current value of a telemetry counter (0 if never incremented).
     /// Tests assert on before/after deltas, never absolute values, so
     /// they stay correct when other tests run in parallel.
@@ -315,7 +376,7 @@ mod tests {
         let (conn, _trial) = setup();
         let server = AnalysisServer::start_with_capacity(conn, 1, 1).unwrap();
         let client = ExplorerClient::connect(&server);
-        let shed_before = counter_value("explorer.shed");
+        let shed_before = counter_value("explorer.sheds");
         // Occupy the single worker, then fill the single queue slot.
         let busy = {
             let c = client.clone();
@@ -333,7 +394,7 @@ mod tests {
             other => panic!("expected Overloaded, got {other:?}"),
         }
         assert!(
-            counter_value("explorer.shed") > shed_before,
+            counter_value("explorer.sheds") > shed_before,
             "shed must be visible in telemetry"
         );
         // The accepted requests still complete and the server keeps serving.

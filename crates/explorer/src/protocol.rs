@@ -79,6 +79,24 @@ pub enum Request {
         /// Relative-change threshold, e.g. 0.10 for ±10%.
         threshold: f64,
     },
+    /// Watchdog check of one new trial against its experiment's archive
+    /// baseline: every other trial of the experiment contributes one
+    /// per-routine sample (mean exclusive value over threads) to a
+    /// Chan–Welford baseline, and the candidate trial's routines are
+    /// flagged where they exceed the configured ratio and z-score.
+    /// Flagged findings are also pushed to the global telemetry
+    /// regression log (the `perfdmf_regressions` system table) and
+    /// emitted as `perf_regression` events.
+    WatchdogCheck {
+        /// Experiment whose other trials form the baseline.
+        experiment_id: i64,
+        /// The candidate (usually newest) trial.
+        trial_id: i64,
+        /// Metric to compare, e.g. `TIME`.
+        metric: String,
+        /// Minimum candidate/baseline ratio to flag (e.g. 1.25).
+        min_ratio: f64,
+    },
     /// Stop the server workers.
     Shutdown,
     /// Fault-injection aid: the worker panics with this message while
@@ -150,6 +168,14 @@ pub enum Response {
         findings: Vec<(i64, i64, String, String, f64)>,
         /// Number of consecutive trial pairs compared.
         pairs_compared: usize,
+    },
+    /// Result of a watchdog check.
+    Watchdog {
+        /// Trials that contributed baseline samples.
+        baseline_trials: usize,
+        /// Flagged routines: (event, baseline mean, candidate value,
+        /// candidate/baseline ratio).
+        findings: Vec<(String, f64, f64, f64)>,
     },
     /// A previously stored result, re-materialized from the database.
     Stored {

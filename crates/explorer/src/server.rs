@@ -271,6 +271,12 @@ fn handle(conn: &Connection, request: &Request) -> perfdmf_db::Result<Response> 
             experiment_id,
             threshold,
         } => regression_scan(conn, *experiment_id, *threshold),
+        Request::WatchdogCheck {
+            experiment_id,
+            trial_id,
+            metric,
+            min_ratio,
+        } => watchdog_check(conn, *experiment_id, *trial_id, metric, *min_ratio),
         Request::Shutdown => Ok(Response::ShuttingDown),
         Request::InjectPanic(message) => panic!("{}", message.clone()),
         Request::Stall { millis } => {
@@ -321,6 +327,42 @@ fn regression_scan(
     Ok(Response::Regressions {
         findings,
         pairs_compared: ids.len() - 1,
+    })
+}
+
+fn watchdog_check(
+    conn: &Connection,
+    experiment_id: i64,
+    trial_id: i64,
+    metric: &str,
+    min_ratio: f64,
+) -> perfdmf_db::Result<Response> {
+    let trials = conn.query(
+        "SELECT id FROM trial WHERE experiment = ? AND id <> ? ORDER BY id",
+        &[Value::Int(experiment_id), Value::Int(trial_id)],
+    )?;
+    if trials.rows.is_empty() {
+        return Err(perfdmf_db::DbError::Unsupported(format!(
+            "experiment {experiment_id} has no baseline trials besides {trial_id}"
+        )));
+    }
+    let mut baseline = perfdmf_analysis::Baseline::new(metric);
+    for row in &trials.rows {
+        baseline.add_profile(&load_trial(conn, row[0].as_int().expect("pk"))?);
+    }
+    let candidate = load_trial(conn, trial_id)?;
+    let config = perfdmf_analysis::WatchdogConfig {
+        min_ratio,
+        ..Default::default()
+    };
+    let context = format!("trial {trial_id} vs experiment {experiment_id} baseline");
+    let findings = perfdmf_analysis::check_profile(&baseline, &candidate, &config, &context);
+    Ok(Response::Watchdog {
+        baseline_trials: trials.rows.len(),
+        findings: findings
+            .into_iter()
+            .map(|f| (f.event, f.baseline_mean, f.candidate, f.ratio))
+            .collect(),
     })
 }
 

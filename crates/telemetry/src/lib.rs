@@ -21,6 +21,12 @@
 //! switch ([`set_tracing`], default off) so its cost can be priced
 //! separately; events stamp the active trace id automatically.
 //!
+//! Two retention layers make the instruments queryable after the fact:
+//! [`metrics`] keeps a bounded time series of registry snapshots (the
+//! background sampler behind the `perfdmf_metrics_history` system
+//! table), and [`regressions`] keeps the bounded log of flagged
+//! performance regressions (the `perfdmf_regressions` system table).
+//!
 //! When telemetry is disabled ([`set_enabled`]`(false)`) every
 //! instrumentation point reduces to one relaxed atomic load.
 //!
@@ -30,7 +36,9 @@
 //! queried, and analyzed with the very machinery it instruments.
 
 pub mod event;
+pub mod metrics;
 pub mod registry;
+pub mod regressions;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -39,7 +47,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 pub use event::{emit, install_sink, Event, EventSink, FieldValue, RingBufferSink, Severity};
+pub use metrics::{sample_now, start_sampler, MetricsRecorder, MetricsSample, SamplerHandle};
 pub use registry::{Counter, Histogram, LocalCounter};
+pub use regressions::RegressionRecord;
 pub use snapshot::{snapshot, snapshot_to_profile, CounterSnapshot, HistogramSnapshot, Snapshot};
 pub use span::{span, SpanGuard};
 pub use trace::{

@@ -1,0 +1,112 @@
+//! The process-wide performance-regression log.
+//!
+//! Detection lives in `perfdmf-analysis` (the Chan–Welford baseline
+//! comparison) and in callers like the explorer's watchdog hook; this
+//! module only *retains* what they flag, in a bounded ring, so the
+//! findings are observable after the fact — `perfdmf-db` exposes the
+//! ring as the `perfdmf_regressions` virtual system table.
+//!
+//! Reporters should also emit a structured [`crate::Event`] so sinks see
+//! the finding in real time; the ring is the queryable archive half.
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+/// Findings retained by the ring (oldest evicted first).
+const LOG_CAPACITY: usize = 1024;
+
+/// One flagged deviation of a candidate measurement from its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionRecord {
+    /// Monotonically increasing record number (survives eviction).
+    pub seq: u64,
+    /// What was compared, e.g. `"trial 7 vs experiment 1 baseline"`.
+    pub context: String,
+    /// The regressing routine / event / bench name.
+    pub event: String,
+    /// Metric the samples were taken in (e.g. `TIME`, `ns`).
+    pub metric: String,
+    /// Baseline mean of the event's samples.
+    pub baseline_mean: f64,
+    /// Baseline standard deviation (0 when the baseline never varied).
+    pub baseline_stddev: f64,
+    /// Number of baseline samples behind the mean.
+    pub baseline_count: u64,
+    /// The candidate's value.
+    pub candidate: f64,
+    /// `candidate / baseline_mean` (∞ when the baseline mean is 0).
+    pub ratio: f64,
+    /// Standard-score of the candidate against the baseline, when the
+    /// baseline has spread; `None` for a constant baseline.
+    pub zscore: Option<f64>,
+}
+
+#[derive(Default)]
+struct LogInner {
+    ring: VecDeque<RegressionRecord>,
+    next_seq: u64,
+}
+
+fn log_inner() -> &'static Mutex<LogInner> {
+    static LOG: OnceLock<Mutex<LogInner>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(LogInner::default()))
+}
+
+/// Append a finding to the log, assigning its sequence number (returned).
+pub fn report(mut record: RegressionRecord) -> u64 {
+    let mut inner = log_inner().lock();
+    let seq = inner.next_seq;
+    inner.next_seq += 1;
+    record.seq = seq;
+    if inner.ring.len() >= LOG_CAPACITY {
+        inner.ring.pop_front();
+    }
+    inner.ring.push_back(record);
+    seq
+}
+
+/// Copy of the retained findings, oldest first.
+pub fn log() -> Vec<RegressionRecord> {
+    log_inner().lock().ring.iter().cloned().collect()
+}
+
+/// Drop all retained findings (sequence numbers keep counting).
+pub fn clear() {
+    log_inner().lock().ring.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(event: &str) -> RegressionRecord {
+        RegressionRecord {
+            seq: 0,
+            context: "test".into(),
+            event: event.into(),
+            metric: "TIME".into(),
+            baseline_mean: 10.0,
+            baseline_stddev: 1.0,
+            baseline_count: 4,
+            candidate: 25.0,
+            ratio: 2.5,
+            zscore: Some(15.0),
+        }
+    }
+
+    #[test]
+    fn report_assigns_increasing_seqs() {
+        let a = report(record("a"));
+        let b = report(record("b"));
+        assert!(b > a);
+        let found: Vec<_> = log()
+            .into_iter()
+            .filter(|r| r.seq == a || r.seq == b)
+            .collect();
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].event, "a");
+        assert_eq!(found[1].event, "b");
+    }
+}

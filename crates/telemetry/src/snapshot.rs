@@ -196,6 +196,83 @@ mod tests {
     }
 
     #[test]
+    fn quantile_single_sample() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[11] = 1; // one sample in [1024, 2048)
+        let h = HistogramSnapshot {
+            name: "one".into(),
+            count: 1,
+            sum: 1500,
+            min: Some(1500),
+            max: Some(1500),
+            buckets,
+        };
+        // Every quantile of a single sample lands in its bucket.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(registry::bucket_upper_bound(11)));
+        }
+        assert_eq!(h.mean(), Some(1500.0));
+    }
+
+    #[test]
+    fn quantile_all_in_one_bucket() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[5] = 1_000_000; // everything in [16, 32)
+        let h = HistogramSnapshot {
+            name: "uniform".into(),
+            count: 1_000_000,
+            sum: 20_000_000,
+            min: Some(16),
+            max: Some(31),
+            buckets,
+        };
+        let bound = registry::bucket_upper_bound(5);
+        assert_eq!(h.quantile(0.01), Some(bound));
+        assert_eq!(h.quantile(0.5), Some(bound));
+        assert_eq!(h.quantile(0.99), Some(bound));
+    }
+
+    #[test]
+    fn quantile_saturating_counts() {
+        // Counts near u64::MAX must not overflow or panic; the rank math
+        // goes through f64 and falls back to `max` past the last bucket.
+        let mut buckets = [0u64; BUCKETS];
+        buckets[1] = u64::MAX / 2;
+        buckets[64] = u64::MAX / 2;
+        let h = HistogramSnapshot {
+            name: "huge".into(),
+            count: u64::MAX - 1,
+            sum: u64::MAX, // wrapped in reality; quantiles don't read it
+            min: Some(1),
+            max: Some(u64::MAX),
+            buckets,
+        };
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.99), Some(u64::MAX));
+        // q clamps: out-of-range inputs behave like 0 and 1.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_rank_past_buckets_falls_back_to_max() {
+        // A snapshot taken mid-record can see `count` ahead of the bucket
+        // increments; the cumulative scan then never reaches the rank and
+        // must return `max` instead of None.
+        let mut buckets = [0u64; BUCKETS];
+        buckets[3] = 2;
+        let h = HistogramSnapshot {
+            name: "torn".into(),
+            count: 5, // more than the buckets hold
+            sum: 30,
+            min: Some(4),
+            max: Some(7),
+            buckets,
+        };
+        assert_eq!(h.quantile(0.99), Some(7));
+    }
+
+    #[test]
     fn export_maps_instruments_to_profile_events() {
         crate::counter("snap.test.rows").add(17);
         crate::histogram("snap.test.latency").record(1000);
