@@ -1,0 +1,155 @@
+//! Experiment E11 — network front-door throughput and tail latency.
+//!
+//! Prices the TCP hop that `perfdmf-server` adds over the in-process
+//! explorer: single-client round-trip latency for the cheapest request
+//! (`Ping`) and for a real analysis (`ClusterTrial`), then a swarm of
+//! `PERFDMF_E11_CLIENTS` (default 1000) concurrent clients hammering
+//! the server with pings. After the swarm the client-side latency
+//! histogram's p50/p95/p99 are printed — the numbers recorded in
+//! `EXPERIMENTS.md` §E11.
+//!
+//! The swarm is the interesting part: 1000 sessions means 1000 server
+//! threads polling small frames through the admission-control queue,
+//! so the measurement covers accept pressure, session bookkeeping, and
+//! queue contention — not just codec cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use perfdmf_core::DatabaseSession;
+use perfdmf_db::Connection;
+use perfdmf_explorer::{ClusterMethod, FeatureSpace, Request, Response, RetryPolicy};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+use perfdmf_server::{NetClient, PerfdmfServer, ServerConfig};
+
+fn swarm_clients() -> usize {
+    std::env::var("PERFDMF_E11_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1000)
+}
+
+/// Trial with clusterable structure (mirrors the chaos fixture).
+fn seeded_database() -> (Connection, i64) {
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).expect("schema");
+    let mut p = Profile::new("e11");
+    let m = p.add_metric(Metric::measured("TIME"));
+    let a = p.add_event(IntervalEvent::ungrouped("compute"));
+    let b = p.add_event(IntervalEvent::ungrouped("exchange"));
+    p.add_threads((0..32).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in p.threads().to_vec().iter().enumerate() {
+        let (ca, cb) = if i < 16 { (100.0, 5.0) } else { (10.0, 80.0) };
+        p.set_interval(a, t, m, IntervalData::new(ca, ca, 10.0, 0.0));
+        p.set_interval(b, t, m, IntervalData::new(cb, cb, 10.0, 0.0));
+    }
+    let trial = session
+        .store_profile("e11-app", "e11-exp", &p)
+        .expect("store");
+    (conn, trial)
+}
+
+fn start_server(conn: Connection) -> PerfdmfServer {
+    PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start")
+}
+
+fn bench_single_client(c: &mut Criterion) {
+    let (conn, trial) = seeded_database();
+    let server = start_server(conn);
+    let mut client = NetClient::new(server.addr(), "e11-single").with_policy(RetryPolicy::none());
+    assert!(client.ping(), "server must be live");
+
+    let mut group = c.benchmark_group("e11_roundtrip");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ping", |b| {
+        b.iter(|| {
+            assert!(matches!(client.request(Request::Ping), Response::Pong));
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("cluster", |b| {
+        b.iter(|| {
+            let response = client.request(Request::ClusterTrial {
+                trial_id: trial,
+                features: FeatureSpace::EventsOfMetric("TIME".into()),
+                k: None,
+                max_k: 4,
+                pca_components: 0,
+                method: ClusterMethod::KMeans,
+            });
+            assert!(matches!(response, Response::Clustering { .. }));
+        })
+    });
+    group.finish();
+    client.close();
+    server.shutdown();
+}
+
+/// Each swarm client: connect, handshake, issue `requests` pings,
+/// close. Returns how many requests got a good answer.
+fn swarm_client(addr: std::net::SocketAddr, id: usize, requests: usize) -> usize {
+    let mut client = NetClient::new(addr, format!("e11-swarm-{id}"));
+    let mut good = 0;
+    for _ in 0..requests {
+        if matches!(client.request(Request::Ping), Response::Pong) {
+            good += 1;
+        }
+    }
+    client.close();
+    good
+}
+
+fn bench_swarm(c: &mut Criterion) {
+    let (conn, _trial) = seeded_database();
+    let server = start_server(conn);
+    let addr = server.addr();
+    let clients = swarm_clients();
+    let requests_per_client = 2;
+
+    let mut group = c.benchmark_group("e11_swarm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((clients * requests_per_client) as u64));
+    group.bench_function(format!("{clients}_clients"), |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..clients)
+                .map(|id| std::thread::spawn(move || swarm_client(addr, id, requests_per_client)))
+                .collect();
+            let good: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+            assert_eq!(
+                good,
+                clients * requests_per_client,
+                "every swarm request must be answered"
+            );
+        })
+    });
+    group.finish();
+
+    // Tail latency of the client-observed round trip, across everything
+    // the swarm just did. These are the §E11 numbers.
+    let snap = perfdmf_telemetry::snapshot();
+    if let Some(h) = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "netclient.request_latency_ns")
+    {
+        eprintln!(
+            "e11_server: {} requests, latency p50={}us p95={}us p99={}us max={}us",
+            h.count,
+            h.quantile(0.50).unwrap_or(0) / 1_000,
+            h.quantile(0.95).unwrap_or(0) / 1_000,
+            h.quantile(0.99).unwrap_or(0) / 1_000,
+            h.max.unwrap_or(0) / 1_000,
+        );
+    }
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_single_client, bench_swarm);
+criterion_main!(benches);

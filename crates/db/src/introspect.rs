@@ -22,6 +22,7 @@
 //! | `perfdmf_pool`            | process (single row)         | worker pool config + `pool.*` metrics |
 //! | `perfdmf_metrics_history` | (sample, instrument) pair    | `telemetry::metrics::recorder()` |
 //! | `perfdmf_regressions`     | flagged perf regression      | `telemetry::regressions::log()` |
+//! | `perfdmf_sessions`        | network server session       | `telemetry::sessions::log()` |
 //!
 //! Schemas and example queries are documented in `docs/introspection.md`.
 
@@ -38,7 +39,7 @@ use perfdmf_telemetry::snapshot::EXPORTED_QUANTILES;
 pub const SYSTEM_PREFIX: &str = "perfdmf_";
 
 /// Every virtual system table, in catalog order.
-pub const SYSTEM_TABLES: [&str; 10] = [
+pub const SYSTEM_TABLES: [&str; 11] = [
     "perfdmf_counters",
     "perfdmf_histograms",
     "perfdmf_slow_queries",
@@ -49,6 +50,7 @@ pub const SYSTEM_TABLES: [&str; 10] = [
     "perfdmf_pool",
     "perfdmf_metrics_history",
     "perfdmf_regressions",
+    "perfdmf_sessions",
 ];
 
 /// True when `name` falls in the reserved namespace (case-insensitive,
@@ -98,6 +100,7 @@ pub fn materialize(db: &Database, name: &str) -> Option<Table> {
         "perfdmf_pool" => Some(pool_table()),
         "perfdmf_metrics_history" => Some(metrics_history_table()),
         "perfdmf_regressions" => Some(regressions_table()),
+        "perfdmf_sessions" => Some(sessions_table()),
         _ => None,
     }
 }
@@ -440,6 +443,40 @@ fn regressions_table() -> Table {
                 Value::Float(r.candidate),
                 Value::Float(r.ratio),
                 opt_float(r.zscore),
+            ]
+        }),
+    )
+}
+
+fn sessions_table() -> Table {
+    build(
+        "perfdmf_sessions",
+        vec![
+            ColumnDef::new("id", DataType::Integer).not_null(),
+            ColumnDef::new("tenant", DataType::Text).not_null(),
+            ColumnDef::new("state", DataType::Text).not_null(),
+            ColumnDef::new("requests", DataType::Integer).not_null(),
+            ColumnDef::new("sheds", DataType::Integer).not_null(),
+            ColumnDef::new("errors", DataType::Integer).not_null(),
+            ColumnDef::new("replays", DataType::Integer).not_null(),
+            ColumnDef::new("protocol_errors", DataType::Integer).not_null(),
+            ColumnDef::new("last_seq", DataType::Integer).not_null(),
+            ColumnDef::new("connected_ms", DataType::Integer).not_null(),
+            ColumnDef::new("close_reason", DataType::Text),
+        ],
+        telemetry::sessions::log().into_iter().map(|s| {
+            vec![
+                int(s.id),
+                text(s.tenant),
+                text(s.state.as_str()),
+                int(s.requests),
+                int(s.sheds),
+                int(s.errors),
+                int(s.replays),
+                int(s.protocol_errors),
+                int(s.last_seq),
+                int(s.connected_ms),
+                s.close_reason.map(text).unwrap_or(Value::Null),
             ]
         }),
     )

@@ -378,3 +378,61 @@ fn regressions_table_starts_queryable() {
         .unwrap();
     assert_eq!(rs.columns.len(), 4);
 }
+
+#[test]
+fn sessions_table_reflects_the_session_registry() {
+    use telemetry::sessions::{SessionRecord, SessionState};
+
+    // Publish two sessions into the process-wide registry the way the
+    // network server does: one live, one closed with accounting. Use
+    // high ids so concurrent tests (or a real server in this process)
+    // can't collide.
+    let mut live = SessionRecord::new(9_000_001, "tenant-a");
+    live.requests = 12;
+    live.sheds = 2;
+    live.last_seq = 12;
+    telemetry::sessions::upsert(live);
+    let mut closed = SessionRecord::new(9_000_002, "tenant-b");
+    closed.state = SessionState::Closed;
+    closed.requests = 3;
+    closed.errors = 1;
+    closed.replays = 1;
+    closed.protocol_errors = 1;
+    closed.connected_ms = 1234;
+    closed.close_reason = Some("client goodbye".into());
+    telemetry::sessions::upsert(closed);
+
+    let conn = Connection::open_in_memory();
+    let rs = conn
+        .query(
+            "SELECT id, tenant, state, requests, sheds, errors, replays, \
+                    protocol_errors, last_seq, connected_ms, close_reason \
+             FROM perfdmf_sessions WHERE id >= 9000001 ORDER BY id",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][1], Value::Text("tenant-a".into()));
+    assert_eq!(rs.rows[0][2], Value::Text("active".into()));
+    assert_eq!(rs.rows[0][3], Value::Int(12));
+    assert_eq!(rs.rows[0][4], Value::Int(2));
+    assert_eq!(
+        rs.rows[0][10],
+        Value::Null,
+        "live session has no close reason"
+    );
+    assert_eq!(rs.rows[1][2], Value::Text("closed".into()));
+    assert_eq!(rs.rows[1][5], Value::Int(1));
+    assert_eq!(rs.rows[1][6], Value::Int(1));
+    assert_eq!(rs.rows[1][10], Value::Text("client goodbye".into()));
+
+    // Aggregates compose like any table: shed rate per tenant.
+    let agg = conn
+        .query(
+            "SELECT SUM(requests), SUM(sheds) FROM perfdmf_sessions WHERE id >= 9000001",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(agg.rows[0][0], Value::Int(15));
+    assert_eq!(agg.rows[0][1], Value::Int(2));
+}

@@ -10,17 +10,29 @@ use std::time::{Duration, Instant};
 ///
 /// Retries apply to [`Response::Overloaded`] (the queue was full) and to
 /// [`Response::Failed`] with `retryable: true` (a deadline expired in
-/// the queue). Deterministic failures — panics, analysis errors — are
-/// returned immediately. Delay doubles after each attempt, capped at
-/// `max_delay`.
+/// the queue, or the transport dropped mid-request). Deterministic
+/// failures — panics, analysis errors — are returned immediately. Delay
+/// doubles after each attempt, capped at `max_delay`, plus a jitter term
+/// of up to `jitter` so simultaneous retriers don't re-collide in
+/// lockstep.
+///
+/// The jitter is **seed-deterministic**: it is a pure function of
+/// `(seed, key, attempt)`, where the seed comes from the
+/// `PERFDMF_RETRY_SEED` environment variable (same convention as
+/// `PERFDMF_POOL_SEED`) and `key` identifies the logical request (the
+/// network client passes its idempotency key). A chaos-test failure
+/// therefore replays with exactly the same backoff schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries after the first attempt (0 = no retries).
     pub max_retries: u32,
     /// Delay before the first retry.
     pub base_delay: Duration,
-    /// Upper bound on the per-attempt delay.
+    /// Upper bound on the per-attempt exponential delay (jitter rides
+    /// on top).
     pub max_delay: Duration,
+    /// Upper bound on the additive per-attempt jitter.
+    pub jitter: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -29,8 +41,32 @@ impl Default for RetryPolicy {
             max_retries: 3,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(500),
+            jitter: Duration::from_millis(10),
         }
     }
+}
+
+/// Default jitter seed; override with `PERFDMF_RETRY_SEED`.
+const DEFAULT_RETRY_SEED: u64 = 0x5045_5246_444D_4601;
+
+/// The process-wide jitter seed (`PERFDMF_RETRY_SEED`, read once).
+pub(crate) fn retry_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("PERFDMF_RETRY_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_RETRY_SEED)
+    })
+}
+
+/// SplitMix64 — the same tiny deterministic generator the fault and
+/// pool seams use.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -40,14 +76,28 @@ impl RetryPolicy {
             max_retries: 0,
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
         }
     }
 
-    /// Backoff before retry attempt `n` (0-based), doubling from
-    /// `base_delay` and saturating at `max_delay`.
-    fn delay(&self, attempt: u32) -> Duration {
+    /// Backoff before retry attempt `n` (0-based) of the request
+    /// identified by `key`: `base_delay` doubling per attempt and
+    /// saturating at `max_delay`, plus a deterministic jitter in
+    /// `[0, jitter]` drawn from `(seed, key, attempt)`.
+    pub fn delay(&self, attempt: u32, key: u64) -> Duration {
+        self.delay_seeded(attempt, key, retry_seed())
+    }
+
+    /// [`RetryPolicy::delay`] with an explicit seed (tests).
+    pub(crate) fn delay_seeded(&self, attempt: u32, key: u64, seed: u64) -> Duration {
         let factor = 1u32 << attempt.min(16);
-        (self.base_delay * factor).min(self.max_delay)
+        let exp = (self.base_delay * factor).min(self.max_delay);
+        let jitter_ns = self.jitter.as_nanos().min(u64::MAX as u128) as u64;
+        if jitter_ns == 0 {
+            return exp;
+        }
+        let draw = splitmix64(seed ^ key.rotate_left(17) ^ (u64::from(attempt) << 1));
+        exp + Duration::from_nanos(draw % (jitter_ns + 1))
     }
 }
 
@@ -58,6 +108,10 @@ impl RetryPolicy {
 #[derive(Clone)]
 pub struct ExplorerClient {
     tx: Sender<Job>,
+    /// Monotonic ticket shared by all clones: each retried request gets
+    /// a distinct jitter key, so backoff schedules are deterministic per
+    /// (seed, submission order) without coupling unrelated requests.
+    retry_ticket: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ExplorerClient {
@@ -65,6 +119,7 @@ impl ExplorerClient {
     pub fn connect(server: &AnalysisServer) -> ExplorerClient {
         ExplorerClient {
             tx: server.sender(),
+            retry_ticket: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -128,6 +183,9 @@ impl ExplorerClient {
         deadline: Option<Duration>,
         policy: RetryPolicy,
     ) -> Response {
+        let key = self
+            .retry_ticket
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut attempt = 0u32;
         loop {
             let response = match deadline {
@@ -146,7 +204,7 @@ impl ExplorerClient {
                 return response;
             }
             telemetry::add("explorer.retries", 1);
-            std::thread::sleep(policy.delay(attempt));
+            std::thread::sleep(policy.delay(attempt, key));
             attempt += 1;
         }
     }

@@ -474,6 +474,7 @@ mod tests {
                 max_retries: 20,
                 base_delay: std::time::Duration::from_millis(50),
                 max_delay: std::time::Duration::from_millis(200),
+                jitter: std::time::Duration::from_millis(10),
             },
         );
         assert!(
@@ -486,6 +487,55 @@ mod tests {
         );
         busy.join().unwrap();
         queued.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_backoff_jitter_is_seed_deterministic() {
+        use std::time::Duration;
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            jitter: Duration::from_millis(20),
+        };
+        // Replay: the whole schedule is a pure function of
+        // (seed, key, attempt), so a failing chaos run re-executes with
+        // identical backoff.
+        for attempt in 0..8 {
+            for key in [0u64, 1, 42, u64::MAX] {
+                let a = policy.delay_seeded(attempt, key, 7);
+                let b = policy.delay_seeded(attempt, key, 7);
+                assert_eq!(a, b, "attempt {attempt} key {key}");
+                // Jitter is additive and bounded: exp <= delay <= exp + jitter.
+                let exp = (policy.base_delay * (1u32 << attempt.min(16))).min(policy.max_delay);
+                assert!(a >= exp && a <= exp + policy.jitter, "{a:?} vs {exp:?}");
+            }
+        }
+        // Different seeds (or keys) decorrelate the schedules: at least
+        // one attempt must differ.
+        assert!(
+            (0..8).any(|n| policy.delay_seeded(n, 42, 7) != policy.delay_seeded(n, 42, 8)),
+            "seed must influence the jitter"
+        );
+        assert!(
+            (0..8).any(|n| policy.delay_seeded(n, 1, 7) != policy.delay_seeded(n, 2, 7)),
+            "key must influence the jitter"
+        );
+        // Zero jitter degrades to the pure exponential schedule.
+        let bare = RetryPolicy {
+            jitter: Duration::ZERO,
+            ..policy
+        };
+        assert_eq!(bare.delay_seeded(2, 9, 1), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn ping_answers_pong() {
+        let (conn, _trial) = setup();
+        let server = AnalysisServer::start(conn, 1).unwrap();
+        let client = ExplorerClient::connect(&server);
+        assert_eq!(client.request(Request::Ping), Response::Pong);
         server.shutdown();
     }
 

@@ -97,6 +97,10 @@ pub enum Request {
         /// Minimum candidate/baseline ratio to flag (e.g. 1.25).
         min_ratio: f64,
     },
+    /// Liveness probe: answered with [`Response::Pong`] without touching
+    /// the database. The cheapest possible request — used by network
+    /// health checks and the `e11_server` round-trip benchmark.
+    Ping,
     /// Stop the server workers.
     Shutdown,
     /// Fault-injection aid: the worker panics with this message while
@@ -184,6 +188,8 @@ pub enum Response {
         /// Result rows as (result_type, item, value, label).
         rows: Vec<(String, i64, f64, String)>,
     },
+    /// Answer to [`Request::Ping`].
+    Pong,
     /// The request failed.
     Error(String),
     /// The server's request queue was full and the request was shed

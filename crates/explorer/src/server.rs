@@ -277,6 +277,7 @@ fn handle(conn: &Connection, request: &Request) -> perfdmf_db::Result<Response> 
             metric,
             min_ratio,
         } => watchdog_check(conn, *experiment_id, *trial_id, metric, *min_ratio),
+        Request::Ping => Ok(Response::Pong),
         Request::Shutdown => Ok(Response::ShuttingDown),
         Request::InjectPanic(message) => panic!("{}", message.clone()),
         Request::Stall { millis } => {

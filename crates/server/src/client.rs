@@ -1,0 +1,408 @@
+//! The network client: `ExplorerClient` semantics over a TCP
+//! connection, with retries that survive torn connections.
+//!
+//! [`NetClient`] mirrors the in-process [`ExplorerClient`] API —
+//! `request(Request) -> Response` — but adds what a network hop
+//! requires:
+//!
+//! * **reconnect-and-retry** — transport failures (reset, torn frame,
+//!   refused reply) tear down the connection and retry on a fresh one,
+//!   paced by the explorer's [`RetryPolicy`] with its seed-deterministic
+//!   backoff jitter;
+//! * **idempotency keys** — every request carries a key drawn from the
+//!   client's key space; the server records the response under it, so a
+//!   retry whose predecessor *did* execute (the ack was lost, not the
+//!   write) replays the recorded response instead of applying the write
+//!   twice;
+//! * **deadline propagation** — an optional per-request deadline covers
+//!   *all* attempts; each `Call` frame carries the milliseconds still
+//!   remaining at send time, and the server enforces that budget across
+//!   queue wait and execution.
+//!
+//! Transport failures that outlive the retry budget surface as
+//! [`Response::Failed`] with `retryable: true` — the caller sees the
+//! same vocabulary the in-process client uses, never an `io::Error`.
+
+use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
+use crate::wire::{parse_header, Message, PROTOCOL_VERSION};
+use perfdmf_explorer::{Request, Response, RetryPolicy};
+use perfdmf_telemetry as telemetry;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long a single connect attempt may take.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Read-poll granularity while waiting for a reply.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// How long to wait for a reply when the request has no deadline.
+const DEFAULT_REPLY_WAIT: Duration = Duration::from_secs(10);
+
+/// Process-wide source of distinct client key spaces (high 32 bits of
+/// the idempotency key), so concurrent clients never collide.
+static NEXT_KEY_SPACE: AtomicU64 = AtomicU64::new(1);
+
+/// A TCP client for [`crate::PerfdmfServer`].
+pub struct NetClient {
+    addr: SocketAddr,
+    tenant: String,
+    policy: RetryPolicy,
+    deadline: Option<Duration>,
+    fault: Option<NetFaultPlan>,
+    stream: Option<Box<dyn Stream>>,
+    /// Server-assigned session id of the current connection (0 = none).
+    session: u64,
+    next_seq: u64,
+    key_space: u64,
+    next_key: u64,
+    connects: u64,
+}
+
+impl NetClient {
+    /// A client for `addr`, tagged with `tenant`. No I/O happens until
+    /// the first request (or [`NetClient::ping`]).
+    pub fn new(addr: SocketAddr, tenant: impl Into<String>) -> NetClient {
+        NetClient {
+            addr,
+            tenant: tenant.into(),
+            policy: RetryPolicy::default(),
+            deadline: None,
+            fault: None,
+            stream: None,
+            session: 0,
+            next_seq: 1,
+            key_space: NEXT_KEY_SPACE.fetch_add(1, Ordering::Relaxed),
+            next_key: 1,
+            connects: 0,
+        }
+    }
+
+    /// Builder: replace the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder: give every request this overall deadline (covering all
+    /// retry attempts, propagated to the server in each frame).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Builder: wrap every connection in a
+    /// [`crate::stream::FaultStream`] with this plan (chaos tests). The
+    /// plan's seed is decorrelated per reconnect so retries don't replay
+    /// the identical tear.
+    pub fn with_fault_plan(mut self, plan: NetFaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Builder: pin the idempotency-key space (chaos tests want keys
+    /// that are a pure function of the scenario seed, not of client
+    /// construction order across the whole process).
+    pub fn with_key_space(mut self, space: u64) -> Self {
+        self.key_space = space;
+        self
+    }
+
+    /// The session id granted by the server's `HelloAck` (0 before the
+    /// first successful handshake).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Times this client has (re)connected.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Draw the next idempotency key: `key_space` in the high 32 bits,
+    /// a local counter below. Never zero (zero means "no key").
+    fn draw_key(&mut self) -> u64 {
+        let key = (self.key_space << 32) | self.next_key;
+        self.next_key += 1;
+        key
+    }
+
+    /// Liveness probe; `true` when the server answered `Pong`.
+    pub fn ping(&mut self) -> bool {
+        matches!(self.request(Request::Ping), Response::Pong)
+    }
+
+    /// Send `request`, retrying transport failures and retryable
+    /// rejections per the policy. The idempotency key is drawn
+    /// automatically; use [`NetClient::request_keyed`] to control it.
+    pub fn request(&mut self, request: Request) -> Response {
+        let key = self.draw_key();
+        self.request_keyed(request, key)
+    }
+
+    /// Send `request` under an explicit idempotency key. Reusing a key
+    /// re-delivers the recorded response of the first successful
+    /// execution instead of executing again.
+    pub fn request_keyed(&mut self, request: Request, key: u64) -> Response {
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        telemetry::add("netclient.requests", 1);
+        let started = Instant::now();
+        let mut last = Response::Failed {
+            reason: "request not attempted".into(),
+            retryable: true,
+        };
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                telemetry::add("netclient.retries", 1);
+                let mut pause = self.policy.delay(attempt - 1, key);
+                if let Some(deadline) = deadline {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    pause = pause.min(remaining);
+                }
+                std::thread::sleep(pause);
+            }
+            match self.attempt(&request, key, deadline) {
+                Ok(response) => {
+                    let transient = matches!(
+                        response,
+                        Response::Overloaded
+                            | Response::Failed {
+                                retryable: true,
+                                ..
+                            }
+                    );
+                    if !transient || attempt == self.policy.max_retries {
+                        telemetry::record_duration(
+                            "netclient.request_latency_ns",
+                            started.elapsed(),
+                        );
+                        return response;
+                    }
+                    last = response;
+                }
+                Err(e) => {
+                    telemetry::add("netclient.transport_errors", 1);
+                    self.disconnect();
+                    last = Response::Failed {
+                        reason: format!("transport: {e}"),
+                        retryable: true,
+                    };
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        break;
+                    }
+                }
+            }
+        }
+        telemetry::record_duration("netclient.request_latency_ns", started.elapsed());
+        last
+    }
+
+    /// One attempt over the current (or a fresh) connection.
+    /// `Err` means the transport failed and the caller should
+    /// reconnect; `Ok` is the server's verdict, favorable or not.
+    fn attempt(
+        &mut self,
+        request: &Request,
+        key: u64,
+        deadline: Option<Instant>,
+    ) -> std::io::Result<Response> {
+        self.ensure_connected()?;
+        let deadline_ms = match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Ok(Response::Failed {
+                        reason: "deadline expired before send".into(),
+                        retryable: false,
+                    });
+                }
+                remaining.as_millis().min(u128::from(u32::MAX)) as u32
+            }
+            None => 0,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = Message::Call {
+            seq,
+            deadline_ms,
+            idempotency: key,
+            request: request.clone(),
+        }
+        .to_frame();
+        let stream = self.stream.as_mut().expect("connected");
+        write_all(stream.as_mut(), &frame)?;
+        // Give the server its full deadline plus slack for the reply to
+        // cross the wire; without a deadline, wait a bounded default.
+        let reply_by = deadline
+            .map(|d| d + Duration::from_millis(250))
+            .unwrap_or_else(|| Instant::now() + DEFAULT_REPLY_WAIT);
+        loop {
+            let message = match read_message(stream.as_mut(), reply_by) {
+                Ok(Some(message)) => message,
+                Ok(None) => {
+                    // No reply in time. Drop the connection so a stale
+                    // reply can never be matched to a future request.
+                    self.disconnect();
+                    return Ok(Response::Failed {
+                        reason: "reply deadline expired".into(),
+                        retryable: true,
+                    });
+                }
+                Err(e) => return Err(e),
+            };
+            match message {
+                Message::Reply {
+                    seq: reply_seq,
+                    response,
+                } => {
+                    if reply_seq == seq {
+                        return Ok(response);
+                    }
+                    // A stale reply from an abandoned attempt on this
+                    // connection; skip it and keep reading.
+                }
+                Message::Goodbye { reason } => {
+                    self.disconnect();
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        format!("server goodbye: {reason}"),
+                    ));
+                }
+                _ => {
+                    self.disconnect();
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected message while awaiting reply",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Connect and handshake if there is no live connection.
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let socket = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        let mut stream: Box<dyn Stream> = Box::new(RealStream::new(socket));
+        if let Some(plan) = self.fault.clone() {
+            let mut plan = plan;
+            plan.seed = plan
+                .seed
+                .wrapping_add(self.connects.wrapping_mul(0x9E37_79B9));
+            stream = Box::new(crate::stream::FaultStream::new(stream, plan));
+        }
+        stream.set_read_timeout(Some(READ_POLL))?;
+        self.connects += 1;
+        telemetry::add("netclient.connects", 1);
+        write_all(
+            stream.as_mut(),
+            &Message::Hello {
+                protocol: PROTOCOL_VERSION,
+                tenant: self.tenant.clone(),
+            }
+            .to_frame(),
+        )?;
+        let reply_by = Instant::now() + DEFAULT_REPLY_WAIT;
+        match read_message(stream.as_mut(), reply_by)? {
+            Some(Message::HelloAck { session }) => {
+                self.session = session;
+                self.stream = Some(stream);
+                Ok(())
+            }
+            Some(Message::Goodbye { reason }) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                format!("server refused session: {reason}"),
+            )),
+            Some(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unexpected handshake reply",
+            )),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "no handshake reply",
+            )),
+        }
+    }
+
+    /// Tear down the current connection, if any.
+    fn disconnect(&mut self) {
+        if let Some(mut stream) = self.stream.take() {
+            stream.shutdown();
+        }
+    }
+
+    /// Say goodbye and close. Dropping the client without calling this
+    /// is also fine — the server treats the EOF as a clean close.
+    pub fn close(mut self) {
+        if let Some(mut stream) = self.stream.take() {
+            let _ = write_all(
+                stream.as_mut(),
+                &Message::Goodbye {
+                    reason: "client done".into(),
+                }
+                .to_frame(),
+            );
+            stream.shutdown();
+        }
+    }
+}
+
+/// Read one message, polling until `reply_by`. `Ok(None)` means the
+/// wait expired with no complete frame; any transport or protocol
+/// defect is an `Err` (the connection is no longer trustworthy).
+fn read_message(stream: &mut dyn Stream, reply_by: Instant) -> std::io::Result<Option<Message>> {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    let mut body: Option<(Vec<u8>, usize)> = None;
+    loop {
+        if Instant::now() >= reply_by {
+            return Ok(None);
+        }
+        let target: &mut [u8] = match &mut body {
+            None => &mut header[filled..],
+            Some((buf, at)) => &mut buf[*at..],
+        };
+        match stream.read(target) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(n) => match &mut body {
+                None => {
+                    filled += n;
+                    if filled == header.len() {
+                        let len = parse_header(&header).map_err(wire_to_io)?;
+                        if len == 0 {
+                            return Message::decode(&[]).map(Some).map_err(wire_to_io);
+                        }
+                        body = Some((vec![0u8; len as usize], 0));
+                    }
+                }
+                Some((buf, at)) => {
+                    *at += n;
+                    if *at == buf.len() {
+                        let (buf, _) = body.take().expect("body present");
+                        return Message::decode(&buf).map(Some).map_err(wire_to_io);
+                    }
+                }
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn wire_to_io(e: crate::wire::WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("wire: {e}"))
+}

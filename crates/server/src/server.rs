@@ -1,0 +1,621 @@
+//! The TCP front door: acceptor, per-connection sessions, graceful
+//! drain.
+//!
+//! ```text
+//! TcpListener ── acceptor thread ──┬── session thread ──┐
+//!                                  ├── session thread ──┼─► ExplorerClient ─► AnalysisServer
+//!                                  └── session thread ──┘      (bounded queue, shed,
+//!                                                               deadlines, panic isolation)
+//! ```
+//!
+//! Each accepted connection gets one session thread that speaks the
+//! frame protocol ([`crate::wire`]), tracks per-session state (tenant
+//! tag, statement sequence numbers, idempotency replays), and funnels
+//! decoded requests into the explorer's admission control. Every
+//! admission decision the in-process explorer makes — shed on a full
+//! queue, discard past-deadline work, isolate panics — is therefore
+//! made for network clients too, with no second code path.
+//!
+//! Failure semantics (see `docs/server.md` for the client's view):
+//!
+//! * malformed frames (bad magic, oversized, garbage body) → one
+//!   `Goodbye` with the decode error, then close; the stream cannot be
+//!   trusted to stay in frame sync;
+//! * sequence regressions → `Goodbye("sequence regression")`, close;
+//! * stalled peers → after `idle_timeout` without a complete frame,
+//!   `Goodbye("idle timeout")`, close;
+//! * drain → in-flight requests finish (or shed at their deadline),
+//!   then every session gets `ShuttingDown`/`Goodbye` and the acceptor
+//!   stops; telemetry is flushed into the metrics time series.
+
+use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
+use crate::wire::{parse_header, Message, WireError, PROTOCOL_VERSION};
+use perfdmf_db::Connection;
+use perfdmf_explorer::{AnalysisServer, ExplorerClient, Request, Response};
+use perfdmf_telemetry as telemetry;
+use perfdmf_telemetry::sessions::{SessionRecord, SessionState};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Entries retained by the idempotency replay cache.
+const REPLAY_CACHE_CAPACITY: usize = 4096;
+
+/// Tuning knobs for [`PerfdmfServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Analysis worker threads behind the queue.
+    pub workers: usize,
+    /// Bound on the request queue; submissions beyond it are shed as
+    /// [`Response::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum concurrent sessions; connections beyond it are told
+    /// `Goodbye("server at connection capacity")` and closed.
+    pub max_sessions: usize,
+    /// Close sessions that fail to deliver a complete frame for this
+    /// long (defense against stalled peers holding threads hostage).
+    pub idle_timeout: Duration,
+    /// Test aid: wrap every **accepted** stream in a
+    /// [`crate::stream::FaultStream`] with this plan, so chaos tests
+    /// can tear the server side of connections too. `None` in
+    /// production.
+    pub fault: Option<NetFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: perfdmf_explorer::DEFAULT_QUEUE_CAPACITY,
+            max_sessions: 4096,
+            idle_timeout: Duration::from_secs(30),
+            fault: None,
+        }
+    }
+}
+
+/// Bounded idempotency-key → response cache (FIFO eviction). One cache
+/// per server, not per session: a retried request usually arrives on a
+/// *new* connection after the old one died mid-reply.
+struct ReplayCache {
+    map: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl ReplayCache {
+    fn new() -> ReplayCache {
+        ReplayCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Response> {
+        self.map.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: u64, response: Response) {
+        if self.map.insert(key, response).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > REPLAY_CACHE_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// State shared by the acceptor and every session thread.
+struct Shared {
+    explorer: ExplorerClient,
+    config: ServerConfig,
+    draining: AtomicBool,
+    next_session: AtomicU64,
+    live_sessions: AtomicUsize,
+    replay: Mutex<ReplayCache>,
+}
+
+/// A running network server.
+pub struct PerfdmfServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    analysis: Option<AnalysisServer>,
+}
+
+impl PerfdmfServer {
+    /// Bind `127.0.0.1:0` (an ephemeral loopback port) and start
+    /// serving with the default configuration.
+    pub fn start(conn: Connection) -> perfdmf_db::Result<PerfdmfServer> {
+        PerfdmfServer::start_with_config(conn, ServerConfig::default())
+    }
+
+    /// Bind an ephemeral loopback port and start serving with an
+    /// explicit configuration.
+    pub fn start_with_config(
+        conn: Connection,
+        config: ServerConfig,
+    ) -> perfdmf_db::Result<PerfdmfServer> {
+        let analysis =
+            AnalysisServer::start_with_capacity(conn, config.workers, config.queue_capacity)?;
+        let explorer = ExplorerClient::connect(&analysis);
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_to_db)?;
+        listener.set_nonblocking(true).map_err(io_to_db)?;
+        let addr = listener.local_addr().map_err(io_to_db)?;
+        let shared = Arc::new(Shared {
+            explorer,
+            config,
+            draining: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            live_sessions: AtomicUsize::new(0),
+            replay: Mutex::new(ReplayCache::new()),
+        });
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = shared.clone();
+            let sessions = sessions.clone();
+            std::thread::spawn(move || accept_loop(listener, shared, sessions))
+        };
+        Ok(PerfdmfServer {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            sessions,
+            analysis: Some(analysis),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, let every session finish (or
+    /// shed) its in-flight request and say goodbye, stop the analysis
+    /// workers, and flush a final telemetry sample into the metrics
+    /// time series.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles = std::mem::take(&mut *self.sessions.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(analysis) = self.analysis.take() {
+            analysis.shutdown();
+        }
+        telemetry::add("server.drains", 1);
+        telemetry::sample_now();
+    }
+}
+
+impl Drop for PerfdmfServer {
+    fn drop(&mut self) {
+        // `shutdown` consumed the handles; a plain drop still stops the
+        // acceptor and sessions, just without waiting for the analysis
+        // pool (AnalysisServer's own shutdown handles that when taken).
+        self.shared.draining.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles = std::mem::take(&mut *self.sessions.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(analysis) = self.analysis.take() {
+            analysis.shutdown();
+        }
+    }
+}
+
+fn io_to_db(e: std::io::Error) -> perfdmf_db::DbError {
+    perfdmf_db::DbError::Unsupported(format!("server socket: {e}"))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((socket, _peer)) => {
+                let mut stream: Box<dyn Stream> = Box::new(RealStream::new(socket));
+                if let Some(plan) = shared.config.fault.clone() {
+                    // Decorrelate per-connection schedules while keeping
+                    // the whole run a function of the configured seed.
+                    let nth = shared.next_session.load(Ordering::Relaxed);
+                    let mut plan = plan;
+                    plan.seed = plan.seed.wrapping_add(nth.wrapping_mul(0x9E37_79B9));
+                    stream = Box::new(crate::stream::FaultStream::new(stream, plan));
+                }
+                if shared.live_sessions.load(Ordering::Relaxed) >= shared.config.max_sessions {
+                    telemetry::add("server.connection_sheds", 1);
+                    let _ = write_all(
+                        stream.as_mut(),
+                        &Message::Goodbye {
+                            reason: "server at connection capacity".into(),
+                        }
+                        .to_frame(),
+                    );
+                    stream.shutdown();
+                    continue;
+                }
+                shared.live_sessions.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("server.connections", 1);
+                let shared = shared.clone();
+                let handle = std::thread::spawn(move || {
+                    // A session-loop panic must never take the process
+                    // down; it is counted so chaos tests can assert the
+                    // loop itself is panic-free.
+                    if catch_unwind(AssertUnwindSafe(|| session_loop(stream, &shared))).is_err() {
+                        telemetry::add("server.session_panics", 1);
+                    }
+                    shared.live_sessions.fetch_sub(1, Ordering::Relaxed);
+                });
+                sessions.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// What one attempt to read a frame produced.
+enum FrameEvent {
+    /// A complete frame body, already length-checked.
+    Frame(Vec<u8>),
+    /// The peer closed cleanly between frames.
+    Eof,
+    /// The server is draining.
+    Draining,
+    /// No complete frame within the idle timeout.
+    IdleTimeout,
+    /// The header failed validation (bad magic / oversized).
+    Wire(WireError),
+    /// The transport failed (reset, mid-frame EOF, ...).
+    Io(std::io::Error),
+}
+
+/// Read one complete frame, waking every [`POLL_INTERVAL`] to check the
+/// drain flag and the idle budget. The idle clock resets on every byte
+/// of progress, so a slow-but-live peer is fine and a stalled one is
+/// not.
+fn read_frame(stream: &mut dyn Stream, shared: &Shared) -> FrameEvent {
+    let mut header = [0u8; 8];
+    let mut filled = 0usize;
+    let mut body: Option<(Vec<u8>, usize)> = None;
+    let mut last_progress = Instant::now();
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return FrameEvent::Draining;
+        }
+        if last_progress.elapsed() > shared.config.idle_timeout {
+            return FrameEvent::IdleTimeout;
+        }
+        let target: &mut [u8] = match &mut body {
+            None => &mut header[filled..],
+            Some((buf, at)) => &mut buf[*at..],
+        };
+        match stream.read(target) {
+            Ok(0) => {
+                let mid_frame = filled > 0 || body.is_some();
+                return if mid_frame {
+                    FrameEvent::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                } else {
+                    FrameEvent::Eof
+                };
+            }
+            Ok(n) => {
+                last_progress = Instant::now();
+                match &mut body {
+                    None => {
+                        filled += n;
+                        if filled == header.len() {
+                            match parse_header(&header) {
+                                Ok(len) => {
+                                    if len == 0 {
+                                        return FrameEvent::Frame(Vec::new());
+                                    }
+                                    body = Some((vec![0u8; len as usize], 0));
+                                }
+                                Err(e) => return FrameEvent::Wire(e),
+                            }
+                        }
+                    }
+                    Some((buf, at)) => {
+                        *at += n;
+                        if *at == buf.len() {
+                            let (buf, _) = body.take().expect("body present");
+                            return FrameEvent::Frame(buf);
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return FrameEvent::Io(e),
+        }
+    }
+}
+
+/// Send a best-effort goodbye and close.
+fn farewell(stream: &mut dyn Stream, reason: &str) {
+    let _ = write_all(
+        stream,
+        &Message::Goodbye {
+            reason: reason.into(),
+        }
+        .to_frame(),
+    );
+    stream.shutdown();
+}
+
+/// Drive one session from handshake to close.
+fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let started = Instant::now();
+
+    // Handshake: the first frame must be a protocol-compatible Hello.
+    let record = match read_frame(stream.as_mut(), shared) {
+        FrameEvent::Frame(body) => match Message::decode(&body) {
+            Ok(Message::Hello { protocol, tenant }) => {
+                if protocol != PROTOCOL_VERSION {
+                    telemetry::add("server.protocol_errors", 1);
+                    farewell(
+                        stream.as_mut(),
+                        &format!(
+                            "protocol version {protocol} unsupported (want {PROTOCOL_VERSION})"
+                        ),
+                    );
+                    return;
+                }
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                if write_all(
+                    stream.as_mut(),
+                    &Message::HelloAck { session: id }.to_frame(),
+                )
+                .is_err()
+                {
+                    telemetry::add("server.disconnects", 1);
+                    return;
+                }
+                let record = SessionRecord::new(id, tenant);
+                telemetry::sessions::upsert(record.clone());
+                record
+            }
+            Ok(_) => {
+                telemetry::add("server.protocol_errors", 1);
+                farewell(stream.as_mut(), "expected Hello as the first frame");
+                return;
+            }
+            Err(e) => {
+                telemetry::add("server.frames_rejected", 1);
+                farewell(stream.as_mut(), &format!("bad hello frame: {e}"));
+                return;
+            }
+        },
+        FrameEvent::Draining => {
+            farewell(stream.as_mut(), "server draining");
+            return;
+        }
+        _ => {
+            telemetry::add("server.disconnects", 1);
+            stream.shutdown();
+            return;
+        }
+    };
+
+    let mut record = record;
+    let close_reason = serve_session(stream.as_mut(), shared, &mut record);
+    record.state = SessionState::Closed;
+    record.connected_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+    record.close_reason = Some(close_reason);
+    telemetry::sessions::upsert(record);
+    telemetry::record_duration("server.session_lifetime_ns", started.elapsed());
+}
+
+/// The post-handshake request loop. Returns the close reason.
+fn serve_session(stream: &mut dyn Stream, shared: &Shared, record: &mut SessionRecord) -> String {
+    loop {
+        let body = match read_frame(stream, shared) {
+            FrameEvent::Frame(body) => body,
+            FrameEvent::Eof => {
+                telemetry::add("server.disconnects", 1);
+                stream.shutdown();
+                return "client closed".into();
+            }
+            FrameEvent::Draining => {
+                farewell(stream, "server draining");
+                return "server drained".into();
+            }
+            FrameEvent::IdleTimeout => {
+                telemetry::add("server.idle_closes", 1);
+                farewell(stream, "idle timeout");
+                return "idle timeout".into();
+            }
+            FrameEvent::Wire(e) => {
+                telemetry::add("server.frames_rejected", 1);
+                record.protocol_errors += 1;
+                farewell(stream, &format!("bad frame: {e}"));
+                return format!("protocol error: {e}");
+            }
+            FrameEvent::Io(e) => {
+                telemetry::add("server.disconnects", 1);
+                stream.shutdown();
+                return format!("transport error: {e}");
+            }
+        };
+        let message = match Message::decode(&body) {
+            Ok(message) => message,
+            Err(e) => {
+                telemetry::add("server.frames_rejected", 1);
+                record.protocol_errors += 1;
+                telemetry::sessions::upsert(record.clone());
+                farewell(stream, &format!("bad frame: {e}"));
+                return format!("protocol error: {e}");
+            }
+        };
+        match message {
+            Message::Goodbye { .. } => {
+                stream.shutdown();
+                return "client goodbye".into();
+            }
+            Message::Call {
+                seq,
+                deadline_ms,
+                idempotency,
+                request,
+            } => {
+                if seq <= record.last_seq {
+                    telemetry::add("server.protocol_errors", 1);
+                    record.protocol_errors += 1;
+                    telemetry::sessions::upsert(record.clone());
+                    farewell(
+                        stream,
+                        &format!("sequence regression: {seq} after {}", record.last_seq),
+                    );
+                    return "protocol error: sequence regression".into();
+                }
+                record.last_seq = seq;
+                let response = answer(shared, record, deadline_ms, idempotency, request);
+                telemetry::sessions::upsert(record.clone());
+                if write_all(stream, &Message::Reply { seq, response }.to_frame()).is_err() {
+                    telemetry::add("server.disconnects", 1);
+                    stream.shutdown();
+                    return "transport error: reply write failed".into();
+                }
+            }
+            Message::Hello { .. } | Message::HelloAck { .. } | Message::Reply { .. } => {
+                telemetry::add("server.protocol_errors", 1);
+                record.protocol_errors += 1;
+                telemetry::sessions::upsert(record.clone());
+                farewell(stream, "unexpected message kind");
+                return "protocol error: unexpected message kind".into();
+            }
+        }
+    }
+}
+
+/// Largest accepted value for any clustering cardinality parameter
+/// (`k`, `max_k`, `pca_components`). A bit-flipped or hostile frame can
+/// decode to a structurally valid request with a parameter like
+/// `max_k = 2^30`, which would pin an analysis worker in a
+/// CPU-bound sweep no deadline can interrupt — the chaos harness found
+/// exactly this. Real trials never need more clusters than threads.
+const MAX_CLUSTER_PARAM: usize = 4096;
+
+/// Largest accepted `Stall` duration; anything longer parks a worker
+/// for what is effectively forever.
+const MAX_STALL_MS: u64 = 60_000;
+
+/// Network-boundary validation: requests that decode fine but carry
+/// values that would capture a worker are rejected before dispatch.
+fn validate(request: &Request) -> Result<(), String> {
+    match request {
+        Request::Shutdown => {
+            // Shutdown is an in-process control request; over the
+            // network it would let any client kill a worker thread.
+            Err("Shutdown is not accepted over the network".into())
+        }
+        Request::ClusterTrial {
+            k,
+            max_k,
+            pca_components,
+            ..
+        } => {
+            let biggest = k.unwrap_or(0).max(*max_k).max(*pca_components);
+            if biggest > MAX_CLUSTER_PARAM {
+                Err(format!(
+                    "clustering parameter {biggest} exceeds limit {MAX_CLUSTER_PARAM}"
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        Request::Stall { millis } if *millis > MAX_STALL_MS => Err(format!(
+            "stall of {millis}ms exceeds limit {MAX_STALL_MS}ms"
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Resolve one `Call` into a `Response`: replay-cache hit, drain
+/// rejection, or dispatch through the explorer's admission control.
+fn answer(
+    shared: &Shared,
+    record: &mut SessionRecord,
+    deadline_ms: u32,
+    idempotency: u64,
+    request: Request,
+) -> Response {
+    if let Err(reason) = validate(&request) {
+        telemetry::add("server.requests_rejected", 1);
+        record.errors += 1;
+        return Response::Error(reason);
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::ShuttingDown;
+    }
+    if idempotency != 0 {
+        if let Some(cached) = shared.replay.lock().unwrap().get(idempotency) {
+            telemetry::add("server.idempotent_replays", 1);
+            record.replays += 1;
+            return cached;
+        }
+    }
+    let submitted = Instant::now();
+    let response = if deadline_ms > 0 {
+        shared
+            .explorer
+            .request_with_deadline(request, Duration::from_millis(u64::from(deadline_ms)))
+    } else {
+        shared.explorer.request(request)
+    };
+    telemetry::add("server.requests", 1);
+    telemetry::record_duration("server.request_latency_ns", submitted.elapsed());
+    record.requests += 1;
+    match &response {
+        Response::Overloaded => {
+            telemetry::add("server.sheds", 1);
+            record.sheds += 1;
+        }
+        Response::Error(_) | Response::Failed { .. } => {
+            telemetry::add("server.request_errors", 1);
+            record.errors += 1;
+        }
+        _ => {
+            if idempotency != 0 {
+                shared
+                    .replay
+                    .lock()
+                    .unwrap()
+                    .insert(idempotency, response.clone());
+            }
+        }
+    }
+    response
+}

@@ -1,0 +1,286 @@
+//! Property tests for the wire codec: encoding is total and decoding
+//! is total — any `Message` round-trips bit-exactly, and any byte
+//! soup (truncations, bit flips, pure garbage) yields a typed
+//! [`WireError`], never a panic and never an outsized allocation.
+
+use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
+use perfdmf_server::wire::{parse_header, Message, WireError, MAGIC, MAX_FRAME_LEN};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9 _.:/-]{0,24}"
+}
+
+fn arb_feature_space() -> BoxedStrategy<FeatureSpace> {
+    prop_oneof![
+        arb_name().prop_map(FeatureSpace::EventsOfMetric),
+        arb_name().prop_map(FeatureSpace::MetricsOfEvent),
+    ]
+    .boxed()
+}
+
+fn arb_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (
+            any::<i64>(),
+            arb_feature_space(),
+            prop_oneof![Just(None), (1usize..64).prop_map(Some)],
+            1usize..64,
+            0usize..8,
+            prop_oneof![
+                Just(ClusterMethod::KMeans),
+                Just(ClusterMethod::Hierarchical)
+            ],
+        )
+            .prop_map(|(trial_id, features, k, max_k, pca_components, method)| {
+                Request::ClusterTrial {
+                    trial_id,
+                    features,
+                    k,
+                    max_k,
+                    pca_components,
+                    method,
+                }
+            }),
+        (any::<i64>(), arb_name())
+            .prop_map(|(trial_id, event)| Request::CorrelateMetrics { trial_id, event }),
+        any::<i64>().prop_map(|settings_id| Request::FetchResult { settings_id }),
+        (any::<i64>(), arb_name()).prop_map(|(experiment_id, metric)| Request::SpeedupStudy {
+            experiment_id,
+            metric
+        }),
+        (any::<i64>(), -2.0..2.0).prop_map(|(experiment_id, threshold)| {
+            Request::RegressionScan {
+                experiment_id,
+                threshold,
+            }
+        }),
+        (any::<i64>(), any::<i64>(), arb_name(), -4.0..4.0).prop_map(
+            |(experiment_id, trial_id, metric, min_ratio)| Request::WatchdogCheck {
+                experiment_id,
+                trial_id,
+                metric,
+                min_ratio,
+            }
+        ),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+        arb_name().prop_map(Request::InjectPanic),
+        (0u64..100_000).prop_map(|millis| Request::Stall { millis }),
+    ]
+    .boxed()
+}
+
+fn arb_summaries() -> impl Strategy<Value = Vec<ClusterSummary>> {
+    proptest::collection::vec(
+        (
+            0usize..16,
+            0usize..4096,
+            proptest::collection::vec(-1e9..1e9, 0..6),
+        )
+            .prop_map(|(cluster, size, centroid)| ClusterSummary {
+                cluster,
+                size,
+                centroid,
+            }),
+        0..4,
+    )
+}
+
+fn arb_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        (
+            any::<i64>(),
+            0usize..64,
+            proptest::collection::vec(0usize..8, 0..32),
+            arb_summaries(),
+            -1.0..1.0,
+            proptest::collection::vec(arb_name(), 0..4),
+        )
+            .prop_map(
+                |(settings_id, k, assignments, summaries, silhouette, columns)| {
+                    Response::Clustering {
+                        settings_id,
+                        k,
+                        assignments,
+                        summaries,
+                        silhouette,
+                        columns,
+                    }
+                }
+            ),
+        (
+            any::<i64>(),
+            proptest::collection::vec(arb_name(), 0..3),
+            proptest::collection::vec(proptest::collection::vec(-1.0..1.0, 0..3), 0..3),
+        )
+            .prop_map(|(settings_id, metrics, matrix)| Response::Correlation {
+                settings_id,
+                metrics,
+                matrix,
+            }),
+        (
+            proptest::collection::vec((1usize..4096, 0.0..64.0, 0.0..1.5), 0..4),
+            prop_oneof![Just(None), (0.0..1.0).prop_map(Some)],
+            proptest::collection::vec(
+                (arb_name(), 1usize..4096, 0.0..64.0, 0.0..64.0, 0.0..64.0),
+                0..3
+            ),
+        )
+            .prop_map(|(application, amdahl_serial_fraction, routines)| {
+                Response::Speedup {
+                    application,
+                    amdahl_serial_fraction,
+                    routines,
+                }
+            }),
+        (
+            proptest::collection::vec(
+                (
+                    any::<i64>(),
+                    any::<i64>(),
+                    arb_name(),
+                    arb_name(),
+                    -2.0..2.0
+                ),
+                0..3
+            ),
+            0usize..1000,
+        )
+            .prop_map(|(findings, pairs_compared)| Response::Regressions {
+                findings,
+                pairs_compared,
+            }),
+        (
+            0usize..100,
+            proptest::collection::vec((arb_name(), 0.0..1e6, 0.0..1e6, 0.0..100.0), 0..3),
+        )
+            .prop_map(|(baseline_trials, findings)| Response::Watchdog {
+                baseline_trials,
+                findings,
+            }),
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), any::<i64>(), -1e9..1e9, arb_name()), 0..4),
+        )
+            .prop_map(|(method, rows)| Response::Stored { method, rows }),
+        Just(Response::Pong),
+        arb_name().prop_map(Response::Error),
+        Just(Response::Overloaded),
+        (arb_name(), any::<bool>())
+            .prop_map(|(reason, retryable)| Response::Failed { reason, retryable }),
+        Just(Response::ShuttingDown),
+    ]
+    .boxed()
+}
+
+fn arb_message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        (any::<u32>(), arb_name())
+            .prop_map(|(protocol, tenant)| Message::Hello { protocol, tenant }),
+        any::<u64>().prop_map(|session| Message::HelloAck { session }),
+        (any::<u64>(), any::<u32>(), any::<u64>(), arb_request()).prop_map(
+            |(seq, deadline_ms, idempotency, request)| Message::Call {
+                seq,
+                deadline_ms,
+                idempotency,
+                request,
+            }
+        ),
+        (any::<u64>(), arb_response()).prop_map(|(seq, response)| Message::Reply { seq, response }),
+        arb_name().prop_map(|reason| Message::Goodbye { reason }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Any message round-trips bit-exactly through encode/decode.
+    #[test]
+    fn message_roundtrips(message in arb_message()) {
+        let body = message.encode();
+        prop_assert_eq!(Message::decode(&body).unwrap(), message);
+    }
+
+    /// Every strict prefix of a valid body is a typed error — the
+    /// decoder never reads past the buffer and never panics on torn
+    /// frames.
+    #[test]
+    fn every_truncation_is_a_typed_error(message in arb_message(), cut in 0usize..4096) {
+        let body = message.encode();
+        if !body.is_empty() {
+            let cut = cut % body.len();
+            prop_assert!(Message::decode(&body[..cut]).is_err());
+        }
+    }
+
+    /// A single flipped bit never panics the decoder: it either still
+    /// decodes (the flip landed in a value) or yields a typed error
+    /// (the flip landed in structure).
+    #[test]
+    fn single_bit_flips_never_panic(
+        message in arb_message(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut body = message.encode();
+        if !body.is_empty() {
+            let pos = pos % body.len();
+            body[pos] ^= 1 << bit;
+            let _ = Message::decode(&body);
+        }
+    }
+
+    /// Pure garbage never panics and never allocates beyond the body
+    /// it was handed (forged collection lengths are rejected against
+    /// the remaining byte count before any allocation).
+    #[test]
+    fn garbage_bodies_never_panic(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&body);
+    }
+
+    /// Random frame headers are only accepted when both the magic and
+    /// the length bound hold.
+    #[test]
+    fn headers_reject_bad_magic_and_oversized_lengths(magic in any::<u32>(), len in any::<u32>()) {
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&magic.to_le_bytes());
+        header[4..].copy_from_slice(&len.to_le_bytes());
+        match parse_header(&header) {
+            Ok(got) => {
+                prop_assert_eq!(magic, MAGIC);
+                prop_assert!(len <= MAX_FRAME_LEN);
+                prop_assert_eq!(got, len);
+            }
+            Err(WireError::BadMagic(m)) => prop_assert_eq!(m, magic),
+            Err(WireError::Oversized(l)) => {
+                prop_assert_eq!(magic, MAGIC);
+                prop_assert_eq!(l, len);
+                prop_assert!(len > MAX_FRAME_LEN);
+            }
+            Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other:?}"))),
+        }
+    }
+
+    /// A declared-huge collection length inside an otherwise valid
+    /// frame fails fast with `BadLength` instead of allocating.
+    #[test]
+    fn forged_collection_lengths_fail_before_allocating(declared in 4096u32..u32::MAX) {
+        // Call { seq, deadline_ms, idempotency, ClusterTrial { trial_id,
+        // EventsOfMetric(<declared-length string>) ... } } cut so the
+        // declared length exceeds the remaining bytes.
+        let mut body = vec![2u8]; // Call
+        body.extend_from_slice(&1u64.to_le_bytes()); // seq
+        body.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        body.extend_from_slice(&0u64.to_le_bytes()); // idempotency
+        body.push(0); // Request::ClusterTrial
+        body.extend_from_slice(&7i64.to_le_bytes()); // trial_id
+        body.push(0); // FeatureSpace::EventsOfMetric
+        body.extend_from_slice(&declared.to_le_bytes()); // forged string length
+        body.extend_from_slice(b"tiny"); // far fewer bytes than declared
+        match Message::decode(&body) {
+            Err(WireError::BadLength { declared: d, .. }) => prop_assert_eq!(d, declared),
+            Err(WireError::Truncated { .. }) => {}
+            other => return Err(TestCaseError::fail(format!("expected length rejection, got {other:?}"))),
+        }
+    }
+}

@@ -21,11 +21,13 @@
 //! switch ([`set_tracing`], default off) so its cost can be priced
 //! separately; events stamp the active trace id automatically.
 //!
-//! Two retention layers make the instruments queryable after the fact:
-//! [`metrics`] keeps a bounded time series of registry snapshots (the
-//! background sampler behind the `perfdmf_metrics_history` system
-//! table), and [`regressions`] keeps the bounded log of flagged
-//! performance regressions (the `perfdmf_regressions` system table).
+//! Three retention layers make the instruments queryable after the
+//! fact: [`metrics`] keeps a bounded time series of registry snapshots
+//! (the background sampler behind the `perfdmf_metrics_history` system
+//! table), [`regressions`] keeps the bounded log of flagged
+//! performance regressions (the `perfdmf_regressions` system table),
+//! and [`sessions`] keeps one record per network session (the
+//! `perfdmf_sessions` system table fed by `perfdmf-server`).
 //!
 //! When telemetry is disabled ([`set_enabled`]`(false)`) every
 //! instrumentation point reduces to one relaxed atomic load.
@@ -39,6 +41,7 @@ pub mod event;
 pub mod metrics;
 pub mod registry;
 pub mod regressions;
+pub mod sessions;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -50,6 +53,7 @@ pub use event::{emit, install_sink, Event, EventSink, FieldValue, RingBufferSink
 pub use metrics::{sample_now, start_sampler, MetricsRecorder, MetricsSample, SamplerHandle};
 pub use registry::{Counter, Histogram, LocalCounter};
 pub use regressions::RegressionRecord;
+pub use sessions::{SessionRecord, SessionState};
 pub use snapshot::{snapshot, snapshot_to_profile, CounterSnapshot, HistogramSnapshot, Snapshot};
 pub use span::{span, SpanGuard};
 pub use trace::{

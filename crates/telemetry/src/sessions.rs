@@ -1,0 +1,181 @@
+//! The process-wide network-session registry.
+//!
+//! The network front door (`perfdmf-server`) serves many short-lived
+//! client sessions; this module retains one record per session — live
+//! ones updated in place, closed ones kept until evicted — so the
+//! population is observable after the fact. `perfdmf-db` exposes the
+//! registry as the `perfdmf_sessions` virtual system table, mirroring
+//! how [`crate::regressions`] backs `perfdmf_regressions`.
+//!
+//! The registry lives here rather than in the server crate so the
+//! database layer (which cannot depend on the server without a cycle)
+//! can materialize it; any subsystem that models sessions may publish
+//! into it.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+/// Default bound on retained session records; override with
+/// `PERFDMF_SESSIONS_CAPACITY`.
+pub const DEFAULT_SESSIONS_CAPACITY: usize = 1024;
+
+/// Lifecycle state of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Handshake complete; the session is serving requests.
+    Active,
+    /// The server is draining: the session answers in-flight work but
+    /// accepts nothing new.
+    Draining,
+    /// The session ended (cleanly or not — see `close_reason`).
+    Closed,
+}
+
+impl SessionState {
+    /// Lower-case label used by the system table.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionState::Active => "active",
+            SessionState::Draining => "draining",
+            SessionState::Closed => "closed",
+        }
+    }
+}
+
+/// One network session, updated in place over its lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// Server-assigned session id (unique per process).
+    pub id: u64,
+    /// Tenant tag the client presented in its handshake.
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Requests dispatched on this session.
+    pub requests: u64,
+    /// Requests shed by admission control (queue full).
+    pub sheds: u64,
+    /// Requests answered with an error or failure.
+    pub errors: u64,
+    /// Idempotent retries served from the replay cache.
+    pub replays: u64,
+    /// Protocol violations observed (bad frames, sequence regressions).
+    pub protocol_errors: u64,
+    /// Highest statement sequence number seen.
+    pub last_seq: u64,
+    /// Milliseconds the session has been (or was) connected.
+    pub connected_ms: u64,
+    /// Why the session closed, when it has (`None` while live).
+    pub close_reason: Option<String>,
+}
+
+impl SessionRecord {
+    /// A fresh active record for a newly handshaken session.
+    pub fn new(id: u64, tenant: impl Into<String>) -> SessionRecord {
+        SessionRecord {
+            id,
+            tenant: tenant.into(),
+            state: SessionState::Active,
+            requests: 0,
+            sheds: 0,
+            errors: 0,
+            replays: 0,
+            protocol_errors: 0,
+            last_seq: 0,
+            connected_ms: 0,
+            close_reason: None,
+        }
+    }
+}
+
+struct RegistryInner {
+    sessions: BTreeMap<u64, SessionRecord>,
+    capacity: usize,
+}
+
+fn registry() -> &'static Mutex<RegistryInner> {
+    static REGISTRY: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let capacity = std::env::var("PERFDMF_SESSIONS_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_SESSIONS_CAPACITY);
+        Mutex::new(RegistryInner {
+            sessions: BTreeMap::new(),
+            capacity,
+        })
+    })
+}
+
+/// Insert or update the record for `record.id`. When the registry is
+/// full, closed sessions are evicted oldest-id first; live sessions are
+/// never evicted to make room (the bound applies to the retained
+/// history, not to concurrency).
+pub fn upsert(record: SessionRecord) {
+    let mut inner = registry().lock();
+    let is_update = inner.sessions.contains_key(&record.id);
+    if !is_update && inner.sessions.len() >= inner.capacity {
+        if let Some(oldest_closed) = inner
+            .sessions
+            .iter()
+            .find(|(_, r)| r.state == SessionState::Closed)
+            .map(|(&id, _)| id)
+        {
+            inner.sessions.remove(&oldest_closed);
+        }
+    }
+    inner.sessions.insert(record.id, record);
+}
+
+/// Copy of every retained session record, ordered by session id.
+pub fn log() -> Vec<SessionRecord> {
+    registry().lock().sessions.values().cloned().collect()
+}
+
+/// Drop all retained records (tests and process resets).
+pub fn clear() {
+    registry().lock().sessions.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_updates_in_place_and_log_orders_by_id() {
+        clear();
+        upsert(SessionRecord::new(2, "b"));
+        upsert(SessionRecord::new(1, "a"));
+        let mut r = SessionRecord::new(2, "b");
+        r.requests = 5;
+        r.state = SessionState::Closed;
+        r.close_reason = Some("client goodbye".into());
+        upsert(r);
+        let log = log();
+        let ours: Vec<_> = log.iter().filter(|r| r.id <= 2).collect();
+        assert_eq!(ours.len(), 2);
+        assert_eq!(ours[0].id, 1);
+        assert_eq!(ours[1].requests, 5);
+        assert_eq!(ours[1].state, SessionState::Closed);
+        clear();
+    }
+
+    #[test]
+    fn closed_sessions_evict_before_live_ones() {
+        clear();
+        // Fill well past any plausible capacity with closed sessions,
+        // then insert one live session: it must survive.
+        let cap = registry().lock().capacity;
+        for id in 0..cap as u64 {
+            let mut r = SessionRecord::new(id, "old");
+            r.state = SessionState::Closed;
+            upsert(r);
+        }
+        upsert(SessionRecord::new(u64::MAX, "live"));
+        assert!(log().iter().any(|r| r.id == u64::MAX));
+        clear();
+    }
+}

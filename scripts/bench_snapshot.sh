@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
 # Run the headline benchmarks (e1 large-scale, e7 SQL aggregates,
-# e8 telemetry overhead, e9 recovery, e10 columnar) and snapshot every
-# result into one dated JSON file, so runs can be diffed across commits
-# or archived as CI artifacts.
+# e8 telemetry overhead, e9 recovery, e10 columnar, e11 server) and
+# snapshot every result into one dated JSON file, so runs can be diffed
+# across commits or archived as CI artifacts.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #
 # Defaults to bench_snapshot_YYYY-MM-DD.json in the repo root. Honors
 # PERFDMF_BENCH_QUICK=1 (shrinks every size sweep to its smallest
 # point — what CI uses); leave it unset for real measurements.
+#
+# Archival workflow (documented in EXPERIMENTS.md): after a perf-relevant
+# change, run this on a quiet machine and commit the output as
+# BENCH_YYYY-MM-DD.json, so the history of measured numbers travels with
+# the code that produced them:
+#
+#     scripts/bench_snapshot.sh BENCH_$(date +%Y-%m-%d).json
+#     git add BENCH_*.json
 set -eu
 set -o pipefail
 
@@ -19,7 +27,12 @@ out=${1:-bench_snapshot_$(date +%Y-%m-%d).json}
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
-benches="e1_large_scale e7_sql_aggregates e8_telemetry_overhead e9_recovery e10_columnar"
+benches="e1_large_scale e7_sql_aggregates e8_telemetry_overhead e9_recovery e10_columnar e11_server"
+# PERFDMF_BENCH_QUICK also shrinks the e11 swarm unless the caller
+# already pinned a size.
+if [ "${PERFDMF_BENCH_QUICK:-}" = "1" ] && [ -z "${PERFDMF_E11_CLIENTS:-}" ]; then
+    export PERFDMF_E11_CLIENTS=50
+fi
 for bench in $benches; do
     cargo bench -p perfdmf-bench --bench "$bench" 2>&1 | tee -a "$log"
 done

@@ -18,6 +18,9 @@
 //! * [`analysis`] — the profile analysis toolkit (speedup, comparison,
 //!   statistics, clustering, PCA).
 //! * [`explorer`] — the PerfExplorer-style client/server data-mining layer.
+//! * [`server`] — the fault-tolerant TCP front door (length-prefixed wire
+//!   protocol, sessions, network fault injection, graceful drain); see
+//!   `docs/server.md`.
 //! * [`workload`] — synthetic dataset generators standing in for the
 //!   paper's LLNL workloads (EVH1, sPPM, Miranda).
 //! * [`xml`] — the XML substrate.
@@ -31,6 +34,7 @@ pub use perfdmf_db as db;
 pub use perfdmf_explorer as explorer;
 pub use perfdmf_import as import;
 pub use perfdmf_profile as profile;
+pub use perfdmf_server as server;
 pub use perfdmf_telemetry as telemetry;
 pub use perfdmf_workload as workload;
 pub use perfdmf_xml as xml;
