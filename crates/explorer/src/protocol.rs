@@ -118,6 +118,23 @@ pub enum Request {
     },
 }
 
+impl Request {
+    /// Whether executing this request mutates durable state: stored
+    /// analysis results (`ClusterTrial`, `CorrelateMetrics`) or the
+    /// global regression log (`WatchdogCheck`). Effectful requests need
+    /// idempotency keys when retried over the network; pure reads and
+    /// probes do not, and keying them would only churn the server's
+    /// bounded replay cache.
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            Request::ClusterTrial { .. }
+                | Request::CorrelateMetrics { .. }
+                | Request::WatchdogCheck { .. }
+        )
+    }
+}
+
 /// Per-cluster summary statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSummary {

@@ -9,11 +9,14 @@
 //!   refused reply) tear down the connection and retry on a fresh one,
 //!   paced by the explorer's [`RetryPolicy`] with its seed-deterministic
 //!   backoff jitter;
-//! * **idempotency keys** — every request carries a key drawn from the
-//!   client's key space; the server records the response under it, so a
-//!   retry whose predecessor *did* execute (the ack was lost, not the
-//!   write) replays the recorded response instead of applying the write
-//!   twice;
+//! * **idempotency keys** — every *effectful* request carries a key
+//!   drawn from the client's server-assigned key space (granted in
+//!   `HelloAck`, so clients in different processes can never collide);
+//!   the server records the response under it, so a retry whose
+//!   predecessor *did* execute (the ack was lost, not the write)
+//!   replays the recorded response instead of applying the write twice.
+//!   Pure reads and pings send no key, keeping the server's bounded
+//!   replay cache for the writes that need it;
 //! * **deadline propagation** — an optional per-request deadline covers
 //!   *all* attempts; each `Call` frame carries the milliseconds still
 //!   remaining at send time, and the server enforces that budget across
@@ -24,11 +27,10 @@
 //! same vocabulary the in-process client uses, never an `io::Error`.
 
 use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
-use crate::wire::{parse_header, Message, PROTOCOL_VERSION};
+use crate::wire::{parse_header, verify_body, Message, HEADER_LEN, PROTOCOL_VERSION};
 use perfdmf_explorer::{Request, Response, RetryPolicy};
 use perfdmf_telemetry as telemetry;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How long a single connect attempt may take.
@@ -39,10 +41,6 @@ const READ_POLL: Duration = Duration::from_millis(25);
 
 /// How long to wait for a reply when the request has no deadline.
 const DEFAULT_REPLY_WAIT: Duration = Duration::from_secs(10);
-
-/// Process-wide source of distinct client key spaces (high 32 bits of
-/// the idempotency key), so concurrent clients never collide.
-static NEXT_KEY_SPACE: AtomicU64 = AtomicU64::new(1);
 
 /// A TCP client for [`crate::PerfdmfServer`].
 pub struct NetClient {
@@ -55,8 +53,15 @@ pub struct NetClient {
     /// Server-assigned session id of the current connection (0 = none).
     session: u64,
     next_seq: u64,
+    /// Idempotency key space (high 32 bits of every drawn key).
+    /// 0 = not yet assigned: the server grants one in the first
+    /// `HelloAck`, uniquely across *all* clients of that server —
+    /// a process-local counter could hand two clients in different
+    /// processes the same space and let one replay the other's cached
+    /// responses. [`NetClient::with_key_space`] pins it for tests.
     key_space: u64,
     next_key: u64,
+    next_jitter: u64,
     connects: u64,
 }
 
@@ -73,8 +78,9 @@ impl NetClient {
             stream: None,
             session: 0,
             next_seq: 1,
-            key_space: NEXT_KEY_SPACE.fetch_add(1, Ordering::Relaxed),
+            key_space: 0,
             next_key: 1,
+            next_jitter: 0,
             connects: 0,
         }
     }
@@ -101,9 +107,10 @@ impl NetClient {
         self
     }
 
-    /// Builder: pin the idempotency-key space (chaos tests want keys
-    /// that are a pure function of the scenario seed, not of client
-    /// construction order across the whole process).
+    /// Builder: pin the idempotency-key space instead of adopting the
+    /// server-assigned one (chaos tests want keys that are a pure
+    /// function of the scenario seed). Pinned spaces bypass the
+    /// server's uniqueness guarantee — the caller owns non-collision.
     pub fn with_key_space(mut self, space: u64) -> Self {
         self.key_space = space;
         self
@@ -115,13 +122,22 @@ impl NetClient {
         self.session
     }
 
+    /// The idempotency-key space in use: pinned via
+    /// [`NetClient::with_key_space`], else granted by the server's
+    /// first `HelloAck` (0 before then). Stable across reconnects —
+    /// keys drawn before a reconnect stay valid for replay.
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
     /// Times this client has (re)connected.
     pub fn connects(&self) -> u64 {
         self.connects
     }
 
     /// Draw the next idempotency key: `key_space` in the high 32 bits,
-    /// a local counter below. Never zero (zero means "no key").
+    /// a local counter below. Never zero (zero means "no key"). Only
+    /// called once a key space exists — post-handshake or pinned.
     fn draw_key(&mut self) -> u64 {
         let key = (self.key_space << 32) | self.next_key;
         self.next_key += 1;
@@ -134,20 +150,38 @@ impl NetClient {
     }
 
     /// Send `request`, retrying transport failures and retryable
-    /// rejections per the policy. The idempotency key is drawn
-    /// automatically; use [`NetClient::request_keyed`] to control it.
+    /// rejections per the policy. Effectful requests (see
+    /// [`Request::is_effectful`]) automatically draw an idempotency key
+    /// from the server-assigned key space on their first attempt; pure
+    /// reads and pings carry none. Use [`NetClient::request_keyed`] to
+    /// control the key explicitly.
     pub fn request(&mut self, request: Request) -> Response {
-        let key = self.draw_key();
-        self.request_keyed(request, key)
+        self.run_request(request, None)
     }
 
     /// Send `request` under an explicit idempotency key. Reusing a key
     /// re-delivers the recorded response of the first successful
     /// execution instead of executing again.
     pub fn request_keyed(&mut self, request: Request, key: u64) -> Response {
+        self.run_request(request, Some(key))
+    }
+
+    /// The retry loop shared by [`NetClient::request`] and
+    /// [`NetClient::request_keyed`]. `key` is `None` until the first
+    /// attempt resolves it (drawn post-handshake so the space is the
+    /// server-assigned one); every retry then reuses the same key.
+    fn run_request(&mut self, request: Request, mut key: Option<u64>) -> Response {
         let deadline = self.deadline.map(|d| Instant::now() + d);
         telemetry::add("netclient.requests", 1);
         let started = Instant::now();
+        // Backoff jitter seed: the pinned key when there is one, else a
+        // per-client nonce — deterministic either way, and independent
+        // of the idempotency key, which may not exist yet (or at all,
+        // for reads).
+        let jitter = key.unwrap_or_else(|| {
+            self.next_jitter = self.next_jitter.wrapping_add(1);
+            self.next_jitter
+        });
         let mut last = Response::Failed {
             reason: "request not attempted".into(),
             retryable: true,
@@ -155,7 +189,7 @@ impl NetClient {
         for attempt in 0..=self.policy.max_retries {
             if attempt > 0 {
                 telemetry::add("netclient.retries", 1);
-                let mut pause = self.policy.delay(attempt - 1, key);
+                let mut pause = self.policy.delay(attempt - 1, jitter);
                 if let Some(deadline) = deadline {
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     if remaining.is_zero() {
@@ -165,7 +199,7 @@ impl NetClient {
                 }
                 std::thread::sleep(pause);
             }
-            match self.attempt(&request, key, deadline) {
+            match self.attempt(&request, &mut key, deadline) {
                 Ok(response) => {
                     let transient = matches!(
                         response,
@@ -204,13 +238,26 @@ impl NetClient {
     /// One attempt over the current (or a fresh) connection.
     /// `Err` means the transport failed and the caller should
     /// reconnect; `Ok` is the server's verdict, favorable or not.
+    ///
+    /// An unresolved `key` is settled here, after the handshake has
+    /// granted a key space: effectful requests draw a fresh key (stored
+    /// back so retries reuse it), everything else sends 0 (no key).
     fn attempt(
         &mut self,
         request: &Request,
-        key: u64,
+        key: &mut Option<u64>,
         deadline: Option<Instant>,
     ) -> std::io::Result<Response> {
         self.ensure_connected()?;
+        let key = match *key {
+            Some(k) => k,
+            None if request.is_effectful() => {
+                let k = self.draw_key();
+                *key = Some(k);
+                k
+            }
+            None => 0,
+        };
         let deadline_ms = match deadline {
             Some(d) => {
                 let remaining = d.saturating_duration_since(Instant::now());
@@ -310,8 +357,15 @@ impl NetClient {
         )?;
         let reply_by = Instant::now() + DEFAULT_REPLY_WAIT;
         match read_message(stream.as_mut(), reply_by)? {
-            Some(Message::HelloAck { session }) => {
+            Some(Message::HelloAck { session, key_space }) => {
                 self.session = session;
+                // Adopt the server-assigned key space once, on the
+                // first handshake; reconnects grant fresh spaces that
+                // are ignored so keys drawn before the reconnect stay
+                // in a space no other client can ever be assigned.
+                if self.key_space == 0 {
+                    self.key_space = key_space;
+                }
                 self.stream = Some(stream);
                 Ok(())
             }
@@ -357,8 +411,9 @@ impl NetClient {
 /// wait expired with no complete frame; any transport or protocol
 /// defect is an `Err` (the connection is no longer trustworthy).
 fn read_message(stream: &mut dyn Stream, reply_by: Instant) -> std::io::Result<Option<Message>> {
-    let mut header = [0u8; 8];
+    let mut header = [0u8; HEADER_LEN];
     let mut filled = 0usize;
+    let mut crc = 0u32;
     let mut body: Option<(Vec<u8>, usize)> = None;
     loop {
         if Instant::now() >= reply_by {
@@ -379,8 +434,10 @@ fn read_message(stream: &mut dyn Stream, reply_by: Instant) -> std::io::Result<O
                 None => {
                     filled += n;
                     if filled == header.len() {
-                        let len = parse_header(&header).map_err(wire_to_io)?;
+                        let (len, declared) = parse_header(&header).map_err(wire_to_io)?;
+                        crc = declared;
                         if len == 0 {
+                            verify_body(crc, &[]).map_err(wire_to_io)?;
                             return Message::decode(&[]).map(Some).map_err(wire_to_io);
                         }
                         body = Some((vec![0u8; len as usize], 0));
@@ -390,6 +447,7 @@ fn read_message(stream: &mut dyn Stream, reply_by: Instant) -> std::io::Result<O
                     *at += n;
                     if *at == buf.len() {
                         let (buf, _) = body.take().expect("body present");
+                        verify_body(crc, &buf).map_err(wire_to_io)?;
                         return Message::decode(&buf).map(Some).map_err(wire_to_io);
                     }
                 }

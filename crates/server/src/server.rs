@@ -29,7 +29,7 @@
 //!   stops; telemetry is flushed into the metrics time series.
 
 use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
-use crate::wire::{parse_header, Message, WireError, PROTOCOL_VERSION};
+use crate::wire::{parse_header, verify_body, Message, WireError, HEADER_LEN, PROTOCOL_VERSION};
 use perfdmf_db::Connection;
 use perfdmf_explorer::{AnalysisServer, ExplorerClient, Request, Response};
 use perfdmf_telemetry as telemetry;
@@ -38,7 +38,7 @@ use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,11 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Entries retained by the idempotency replay cache.
 const REPLAY_CACHE_CAPACITY: usize = 4096;
+
+/// How long a duplicate request with no deadline waits for the original
+/// execution to finish before giving up with a retryable failure.
+/// Matches the client's default reply wait.
+const DUPLICATE_WAIT: Duration = Duration::from_secs(10);
 
 /// Tuning knobs for [`PerfdmfServer`].
 #[derive(Debug, Clone)]
@@ -67,6 +72,12 @@ pub struct ServerConfig {
     /// can tear the server side of connections too. `None` in
     /// production.
     pub fault: Option<NetFaultPlan>,
+    /// Test aid: accept the fault-injection requests
+    /// (`Request::InjectPanic`, `Request::Stall`) over the network.
+    /// `false` in production — with it off (the default), any client
+    /// sending them gets `Response::Error`, so the network boundary
+    /// cannot be used to panic workers or park them in long stalls.
+    pub allow_fault_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -77,15 +88,29 @@ impl Default for ServerConfig {
             max_sessions: 4096,
             idle_timeout: Duration::from_secs(30),
             fault: None,
+            allow_fault_injection: false,
         }
     }
 }
 
+/// One replay-cache slot: either the recorded response of a completed
+/// execution, or a marker that the execution is still running so a
+/// concurrent retry waits for its outcome instead of re-executing.
+enum ReplayEntry {
+    /// The keyed request was dispatched and has not completed yet.
+    InFlight,
+    /// The recorded response of the first successful execution.
+    Done(Response),
+}
+
 /// Bounded idempotency-key → response cache (FIFO eviction). One cache
 /// per server, not per session: a retried request usually arrives on a
-/// *new* connection after the old one died mid-reply.
+/// *new* connection after the old one died mid-reply. The in-flight
+/// marker is inserted **before** dispatch, closing the window where a
+/// retry of a still-executing request would miss the cache and apply
+/// the write twice; eviction never removes in-flight entries.
 struct ReplayCache {
-    map: HashMap<u64, Response>,
+    map: HashMap<u64, ReplayEntry>,
     order: VecDeque<u64>,
 }
 
@@ -97,17 +122,50 @@ impl ReplayCache {
         }
     }
 
-    fn get(&self, key: u64) -> Option<Response> {
-        self.map.get(&key).cloned()
+    fn entry(&self, key: u64) -> Option<&ReplayEntry> {
+        self.map.get(&key)
     }
 
-    fn insert(&mut self, key: u64, response: Response) {
-        if self.map.insert(key, response).is_none() {
-            self.order.push_back(key);
-            if self.order.len() > REPLAY_CACHE_CAPACITY {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
-                }
+    /// Mark `key` as executing. The caller must have checked the key is
+    /// absent while holding the same lock.
+    fn begin(&mut self, key: u64) {
+        self.map.insert(key, ReplayEntry::InFlight);
+        self.order.push_back(key);
+    }
+
+    /// Record the response of a completed execution under `key`.
+    fn finish(&mut self, key: u64, response: Response) {
+        self.map.insert(key, ReplayEntry::Done(response));
+        self.trim();
+    }
+
+    /// Drop `key` without recording a response (the execution failed in
+    /// a way that an honest retry should re-attempt).
+    fn abandon(&mut self, key: u64) {
+        self.map.remove(&key);
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+        }
+    }
+
+    /// Evict oldest completed entries beyond capacity. In-flight
+    /// entries are rotated past, never evicted — their population is
+    /// bounded by the number of concurrent sessions.
+    fn trim(&mut self) {
+        let mut rotations = 0;
+        while self.map.len() > REPLAY_CACHE_CAPACITY && rotations <= self.order.len() {
+            match self.order.pop_front() {
+                None => break,
+                Some(key) => match self.map.get(&key) {
+                    Some(ReplayEntry::Done(_)) => {
+                        self.map.remove(&key);
+                    }
+                    Some(ReplayEntry::InFlight) => {
+                        self.order.push_back(key);
+                        rotations += 1;
+                    }
+                    None => {}
+                },
             }
         }
     }
@@ -121,6 +179,9 @@ struct Shared {
     next_session: AtomicU64,
     live_sessions: AtomicUsize,
     replay: Mutex<ReplayCache>,
+    /// Signalled whenever a replay-cache entry completes or is
+    /// abandoned, waking sessions parked on an in-flight duplicate.
+    replay_done: Condvar,
 }
 
 /// A running network server.
@@ -158,6 +219,7 @@ impl PerfdmfServer {
             next_session: AtomicU64::new(1),
             live_sessions: AtomicUsize::new(0),
             replay: Mutex::new(ReplayCache::new()),
+            replay_done: Condvar::new(),
         });
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -182,6 +244,14 @@ impl PerfdmfServer {
     /// Number of currently live sessions.
     pub fn live_sessions(&self) -> usize {
         self.shared.live_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Number of session thread handles currently tracked (live
+    /// sessions plus any finished ones not yet reaped — the acceptor
+    /// reaps on every accept, so this stays near [`Self::live_sessions`]
+    /// on a long-running server instead of growing without bound).
+    pub fn tracked_session_handles(&self) -> usize {
+        self.sessions.lock().unwrap().len()
     }
 
     /// Graceful drain: stop accepting, let every session finish (or
@@ -269,7 +339,11 @@ fn accept_loop(
                     }
                     shared.live_sessions.fetch_sub(1, Ordering::Relaxed);
                 });
-                sessions.lock().unwrap().push(handle);
+                let mut sessions = sessions.lock().unwrap();
+                // Reap finished handles so a long-running server does
+                // not accumulate one per past connection.
+                sessions.retain(|h| !h.is_finished());
+                sessions.push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -289,7 +363,7 @@ enum FrameEvent {
     Draining,
     /// No complete frame within the idle timeout.
     IdleTimeout,
-    /// The header failed validation (bad magic / oversized).
+    /// The frame failed validation (bad magic / oversized / checksum).
     Wire(WireError),
     /// The transport failed (reset, mid-frame EOF, ...).
     Io(std::io::Error),
@@ -300,8 +374,9 @@ enum FrameEvent {
 /// of progress, so a slow-but-live peer is fine and a stalled one is
 /// not.
 fn read_frame(stream: &mut dyn Stream, shared: &Shared) -> FrameEvent {
-    let mut header = [0u8; 8];
+    let mut header = [0u8; HEADER_LEN];
     let mut filled = 0usize;
+    let mut crc = 0u32;
     let mut body: Option<(Vec<u8>, usize)> = None;
     let mut last_progress = Instant::now();
     loop {
@@ -334,9 +409,13 @@ fn read_frame(stream: &mut dyn Stream, shared: &Shared) -> FrameEvent {
                         filled += n;
                         if filled == header.len() {
                             match parse_header(&header) {
-                                Ok(len) => {
+                                Ok((len, declared)) => {
+                                    crc = declared;
                                     if len == 0 {
-                                        return FrameEvent::Frame(Vec::new());
+                                        return match verify_body(crc, &[]) {
+                                            Ok(()) => FrameEvent::Frame(Vec::new()),
+                                            Err(e) => FrameEvent::Wire(e),
+                                        };
                                     }
                                     body = Some((vec![0u8; len as usize], 0));
                                 }
@@ -348,7 +427,10 @@ fn read_frame(stream: &mut dyn Stream, shared: &Shared) -> FrameEvent {
                         *at += n;
                         if *at == buf.len() {
                             let (buf, _) = body.take().expect("body present");
-                            return FrameEvent::Frame(buf);
+                            return match verify_body(crc, &buf) {
+                                Ok(()) => FrameEvent::Frame(buf),
+                                Err(e) => FrameEvent::Wire(e),
+                            };
                         }
                     }
                 }
@@ -394,9 +476,20 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
                     return;
                 }
                 let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                // The key space must be unique server-wide so clients
+                // in different processes can never collide in the
+                // replay cache; the session counter provides exactly
+                // that. Only the low 32 bits participate in keys
+                // (`key_space << 32 | counter`), which wraps after 2^32
+                // sessions of one server process — far beyond any
+                // replay-cache lifetime.
                 if write_all(
                     stream.as_mut(),
-                    &Message::HelloAck { session: id }.to_frame(),
+                    &Message::HelloAck {
+                        session: id,
+                        key_space: id & 0xFFFF_FFFF,
+                    }
+                    .to_frame(),
                 )
                 .is_err()
                 {
@@ -534,12 +627,20 @@ const MAX_STALL_MS: u64 = 60_000;
 
 /// Network-boundary validation: requests that decode fine but carry
 /// values that would capture a worker are rejected before dispatch.
-fn validate(request: &Request) -> Result<(), String> {
+fn validate(request: &Request, config: &ServerConfig) -> Result<(), String> {
     match request {
         Request::Shutdown => {
             // Shutdown is an in-process control request; over the
             // network it would let any client kill a worker thread.
             Err("Shutdown is not accepted over the network".into())
+        }
+        Request::InjectPanic(_) | Request::Stall { .. } if !config.allow_fault_injection => {
+            // Fault-injection aids exist for the chaos harness; over
+            // the network they would let any client panic workers or
+            // park them all in minute-long stalls — a trivial denial of
+            // service. Only a server explicitly configured for testing
+            // accepts them.
+            Err("fault-injection requests are not accepted over the network".into())
         }
         Request::ClusterTrial {
             k,
@@ -563,8 +664,57 @@ fn validate(request: &Request) -> Result<(), String> {
     }
 }
 
+/// Removes the in-flight replay-cache marker if the execution never
+/// reported an outcome (a panic between dispatch and completion, caught
+/// by the session loop's `catch_unwind`). Without this, a stuck
+/// `InFlight` entry would park every future retry of the key forever.
+struct InFlightGuard<'a> {
+    shared: &'a Shared,
+    key: u64,
+    resolved: bool,
+}
+
+impl InFlightGuard<'_> {
+    /// Record the execution's outcome: cache successful responses for
+    /// replay, drop the marker for outcomes an honest retry should
+    /// re-attempt. Either way, waiters are woken.
+    fn resolve(mut self, response: &Response) {
+        let cacheable = !matches!(
+            response,
+            Response::Overloaded
+                | Response::Error(_)
+                | Response::Failed { .. }
+                | Response::ShuttingDown
+        );
+        let mut cache = self.shared.replay.lock().unwrap();
+        if cacheable {
+            cache.finish(self.key, response.clone());
+            telemetry::add("server.replay_inserts", 1);
+        } else {
+            cache.abandon(self.key);
+        }
+        drop(cache);
+        self.resolved = true;
+        self.shared.replay_done.notify_all();
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.shared.replay.lock().unwrap().abandon(self.key);
+            self.shared.replay_done.notify_all();
+        }
+    }
+}
+
 /// Resolve one `Call` into a `Response`: replay-cache hit, drain
 /// rejection, or dispatch through the explorer's admission control.
+///
+/// Keyed requests are registered in the replay cache **before**
+/// dispatch, so a retry that arrives while the original is still
+/// executing waits for its outcome (bounded by the retry's own
+/// deadline) instead of executing the write a second time.
 fn answer(
     shared: &Shared,
     record: &mut SessionRecord,
@@ -572,7 +722,7 @@ fn answer(
     idempotency: u64,
     request: Request,
 ) -> Response {
-    if let Err(reason) = validate(&request) {
+    if let Err(reason) = validate(&request, &shared.config) {
         telemetry::add("server.requests_rejected", 1);
         record.errors += 1;
         return Response::Error(reason);
@@ -580,13 +730,54 @@ fn answer(
     if shared.draining.load(Ordering::SeqCst) {
         return Response::ShuttingDown;
     }
-    if idempotency != 0 {
-        if let Some(cached) = shared.replay.lock().unwrap().get(idempotency) {
-            telemetry::add("server.idempotent_replays", 1);
-            record.replays += 1;
-            return cached;
+    let guard = if idempotency != 0 {
+        let wait_until = Instant::now()
+            + if deadline_ms > 0 {
+                Duration::from_millis(u64::from(deadline_ms))
+            } else {
+                DUPLICATE_WAIT
+            };
+        let mut cache = shared.replay.lock().unwrap();
+        loop {
+            match cache.entry(idempotency) {
+                Some(ReplayEntry::Done(response)) => {
+                    let response = response.clone();
+                    telemetry::add("server.idempotent_replays", 1);
+                    record.replays += 1;
+                    return response;
+                }
+                Some(ReplayEntry::InFlight) => {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return Response::ShuttingDown;
+                    }
+                    let now = Instant::now();
+                    if now >= wait_until {
+                        telemetry::add("server.duplicate_waits_expired", 1);
+                        return Response::Failed {
+                            reason: "duplicate request still executing".into(),
+                            retryable: true,
+                        };
+                    }
+                    // Short slices so the drain flag stays responsive
+                    // even if the wakeup is missed.
+                    let slice = (wait_until - now).min(POLL_INTERVAL);
+                    let (c, _) = shared.replay_done.wait_timeout(cache, slice).unwrap();
+                    cache = c;
+                }
+                None => {
+                    cache.begin(idempotency);
+                    break;
+                }
+            }
         }
-    }
+        Some(InFlightGuard {
+            shared,
+            key: idempotency,
+            resolved: false,
+        })
+    } else {
+        None
+    };
     let submitted = Instant::now();
     let response = if deadline_ms > 0 {
         shared
@@ -607,15 +798,48 @@ fn answer(
             telemetry::add("server.request_errors", 1);
             record.errors += 1;
         }
-        _ => {
-            if idempotency != 0 {
-                shared
-                    .replay
-                    .lock()
-                    .unwrap()
-                    .insert(idempotency, response.clone());
-            }
-        }
+        _ => {}
+    }
+    if let Some(guard) = guard {
+        guard.resolve(&response);
     }
     response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_cache_evicts_oldest_done_but_never_in_flight() {
+        let mut cache = ReplayCache::new();
+        let pinned = u64::MAX;
+        cache.begin(pinned);
+        for key in 1..=(REPLAY_CACHE_CAPACITY as u64 + 8) {
+            cache.begin(key);
+            cache.finish(key, Response::Pong);
+        }
+        assert!(cache.map.len() <= REPLAY_CACHE_CAPACITY);
+        assert!(
+            matches!(cache.entry(pinned), Some(ReplayEntry::InFlight)),
+            "in-flight entries must survive churn"
+        );
+        assert!(
+            cache.entry(1).is_none(),
+            "the oldest completed entry must be evicted first"
+        );
+        assert!(
+            matches!(
+                cache.entry(REPLAY_CACHE_CAPACITY as u64 + 8),
+                Some(ReplayEntry::Done(_))
+            ),
+            "the newest completed entry must be retained"
+        );
+        cache.abandon(pinned);
+        assert!(cache.entry(pinned).is_none());
+        assert!(
+            !cache.order.contains(&pinned),
+            "abandon must drop the eviction-order slot too"
+        );
+    }
 }

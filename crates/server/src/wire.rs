@@ -1,17 +1,22 @@
 //! The length-prefixed binary wire protocol.
 //!
-//! Every frame on the wire is `magic(u32) | len(u32) | body`, little
-//! endian, where `body` encodes one [`Message`]. The body is a tagged
-//! tree: one `u8` tag per enum variant, `u64`/`i64`/`u32` little-endian
-//! integers, `f64` as IEEE bits, strings and vectors as `u32` length +
-//! elements.
+//! Every frame on the wire is `magic(u32) | len(u32) | crc(u32) |
+//! body`, little endian, where `body` encodes one [`Message`] and `crc`
+//! is the CRC-32 (IEEE) of the body. The body is a tagged tree: one
+//! `u8` tag per enum variant, `u64`/`i64`/`u32` little-endian integers,
+//! `f64` as IEEE bits, strings and vectors as `u32` length + elements.
 //!
 //! Decoding is **total**: any byte sequence yields either a value or a
 //! typed [`WireError`] — never a panic and never an unbounded
-//! allocation. Two guards enforce that:
+//! allocation. Three guards enforce that:
 //!
 //! * frames longer than [`MAX_FRAME_LEN`] are rejected from the header
 //!   alone, before any body byte is read or buffered;
+//! * the body checksum must match the header's `crc` before decoding —
+//!   in-flight corruption becomes a typed error and a clean retry, not
+//!   a structurally valid frame with silently altered values (a flipped
+//!   bit in an idempotency key or a clustering parameter would
+//!   otherwise *execute*, as the chaos harness demonstrated);
 //! * every declared collection length is checked against the bytes
 //!   actually remaining in the frame before allocating, so a forged
 //!   length can never make the decoder reserve more memory than the
@@ -26,14 +31,51 @@ use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Res
 /// Frame magic: `"PDMF"` little-endian.
 pub const MAGIC: u32 = 0x464D_4450;
 
+/// Bytes in a frame header: magic, body length, body CRC-32.
+pub const HEADER_LEN: usize = 12;
+
 /// Hard cap on a frame body. Large enough for any real analysis
 /// response (a 16K-thread clustering reply is well under 1 MiB);
 /// anything bigger is a corrupt or hostile frame and is rejected before
 /// allocation.
 pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
 
-/// Wire-protocol version carried in the handshake.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Wire-protocol version carried in the handshake. Version 2 added the
+/// server-assigned `key_space` field to [`Message::HelloAck`] and the
+/// body CRC-32 to the frame header.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`. Chosen over a fast non-cryptographic hash
+/// because it *guarantees* detection of any single-bit error — exactly
+/// the corruption model the chaos harness injects.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Why a frame or body failed to decode. Every variant is a protocol
 /// error: the connection that produced it cannot be trusted to stay in
@@ -68,6 +110,14 @@ pub enum WireError {
     },
     /// A string field held invalid UTF-8.
     BadUtf8,
+    /// The body's CRC-32 did not match the header's — the frame was
+    /// corrupted in flight.
+    ChecksumMismatch {
+        /// The checksum the header declared.
+        declared: u32,
+        /// The checksum of the body as received.
+        actual: u32,
+    },
     /// The body decoded completely but bytes were left over — a framing
     /// bug or tampering.
     TrailingBytes(usize),
@@ -93,6 +143,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "unknown tag {tag} for {context}")
             }
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::ChecksumMismatch { declared, actual } => write!(
+                f,
+                "body checksum {actual:#010x} does not match header {declared:#010x}"
+            ),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after message"),
         }
     }
@@ -115,6 +169,11 @@ pub enum Message {
     HelloAck {
         /// Server-assigned session id.
         session: u64,
+        /// Server-assigned idempotency-key space (the high 32 bits of
+        /// every key this client draws). Server-wide uniqueness is what
+        /// keeps two clients — possibly in different processes — from
+        /// ever colliding in the replay cache.
+        key_space: u64,
     },
     /// Client → server: one analysis request.
     Call {
@@ -751,9 +810,10 @@ impl Message {
                 w.u32(*protocol);
                 w.str(tenant);
             }
-            Message::HelloAck { session } => {
+            Message::HelloAck { session, key_space } => {
                 w.u8(1);
                 w.u64(*session);
+                w.u64(*key_space);
             }
             Message::Call {
                 seq,
@@ -791,6 +851,7 @@ impl Message {
             },
             1 => Message::HelloAck {
                 session: r.u64("HelloAck session")?,
+                key_space: r.u64("HelloAck key_space")?,
             },
             2 => Message::Call {
                 seq: r.u64("Call seq")?,
@@ -818,30 +879,43 @@ impl Message {
         Ok(msg)
     }
 
-    /// Encode the message as a complete frame: header + body.
+    /// Encode the message as a complete frame: header (magic, length,
+    /// body CRC-32) + body.
     pub fn to_frame(&self) -> Vec<u8> {
         let body = self.encode();
-        let mut frame = Vec::with_capacity(8 + body.len());
+        let mut frame = Vec::with_capacity(HEADER_LEN + body.len());
         frame.extend_from_slice(&MAGIC.to_le_bytes());
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
         frame
     }
 }
 
-/// Parse a frame header. Returns the declared body length after
-/// validating magic and the [`MAX_FRAME_LEN`] cap — the caller must not
-/// buffer any body byte before this check passes.
-pub fn parse_header(header: &[u8; 8]) -> Result<u32, WireError> {
+/// Parse a frame header. Returns the declared body length and CRC-32
+/// after validating magic and the [`MAX_FRAME_LEN`] cap — the caller
+/// must not buffer any body byte before this check passes, and must
+/// confirm the received body with [`verify_body`] before decoding it.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u32, u32), WireError> {
     let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let len = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if len > MAX_FRAME_LEN {
         return Err(WireError::Oversized(len));
     }
-    Ok(len)
+    let crc = u32::from_le_bytes(header[8..].try_into().expect("4 bytes"));
+    Ok((len, crc))
+}
+
+/// Check a received body against the checksum its header declared.
+pub fn verify_body(declared: u32, body: &[u8]) -> Result<(), WireError> {
+    let actual = crc32(body);
+    if actual != declared {
+        return Err(WireError::ChecksumMismatch { declared, actual });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -850,9 +924,10 @@ mod tests {
 
     fn roundtrip(msg: Message) {
         let frame = msg.to_frame();
-        let len = parse_header(frame[..8].try_into().unwrap()).unwrap();
-        assert_eq!(len as usize, frame.len() - 8);
-        assert_eq!(Message::decode(&frame[8..]).unwrap(), msg);
+        let (len, crc) = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
+        assert_eq!(len as usize, frame.len() - HEADER_LEN);
+        verify_body(crc, &frame[HEADER_LEN..]).unwrap();
+        assert_eq!(Message::decode(&frame[HEADER_LEN..]).unwrap(), msg);
     }
 
     #[test]
@@ -861,7 +936,10 @@ mod tests {
             protocol: PROTOCOL_VERSION,
             tenant: "acme/ci".into(),
         });
-        roundtrip(Message::HelloAck { session: 42 });
+        roundtrip(Message::HelloAck {
+            session: 42,
+            key_space: 42,
+        });
         roundtrip(Message::Goodbye {
             reason: "drain".into(),
         });
@@ -985,17 +1063,45 @@ mod tests {
 
     #[test]
     fn header_rejects_bad_magic_and_oversized_frames() {
-        let mut header = [0u8; 8];
+        let mut header = [0u8; HEADER_LEN];
         header[..4].copy_from_slice(&0x6261_6421u32.to_le_bytes());
         assert_eq!(parse_header(&header), Err(WireError::BadMagic(0x6261_6421)));
         header[..4].copy_from_slice(&MAGIC.to_le_bytes());
-        header[4..].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        header[4..8].copy_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
         assert_eq!(
             parse_header(&header),
             Err(WireError::Oversized(MAX_FRAME_LEN + 1))
         );
-        header[4..].copy_from_slice(&0u32.to_le_bytes());
-        assert_eq!(parse_header(&header), Ok(0));
+        header[4..8].copy_from_slice(&0u32.to_le_bytes());
+        header[8..].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(parse_header(&header), Ok((0, 7)));
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_the_body_fails_the_checksum() {
+        let frame = Message::Call {
+            seq: 9,
+            deadline_ms: 100,
+            idempotency: 0xAB_0001,
+            request: Request::Ping,
+        }
+        .to_frame();
+        let (_, crc) = parse_header(frame[..HEADER_LEN].try_into().unwrap()).unwrap();
+        let body = &frame[HEADER_LEN..];
+        verify_body(crc, body).unwrap();
+        for pos in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupted = body.to_vec();
+                corrupted[pos] ^= 1 << bit;
+                assert!(
+                    matches!(
+                        verify_body(crc, &corrupted),
+                        Err(WireError::ChecksumMismatch { .. })
+                    ),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1044,7 +1150,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut body = Message::HelloAck { session: 1 }.encode();
+        let mut body = Message::HelloAck {
+            session: 1,
+            key_space: 1,
+        }
+        .encode();
         body.push(0xFF);
         assert_eq!(Message::decode(&body), Err(WireError::TrailingBytes(1)));
     }

@@ -93,21 +93,17 @@ fn cluster_request(trial_id: i64) -> Request {
 }
 
 /// A client-side fault plan derived from (scenario seed, client index).
-/// Writer clients (even index) get tears and fragmentation but no
-/// corruption, so their idempotency accounting stays sound; reader
-/// clients (odd index) get corruption too — a corrupted write may
-/// execute as a *different* read, which is harmless.
+/// Every client gets tears, fragmentation, disconnects, *and* bit-flip
+/// corruption: the frame checksum turns a corrupted `Call` into a
+/// rejected frame and a retry under the same idempotency key, so even
+/// writers keep their accounting sound under corruption.
 fn client_plan(seed: u64, client: usize) -> NetFaultPlan {
     let d = splitmix64(seed ^ (client as u64).wrapping_mul(0xA076_1D64_78BD_642F));
-    let plan = NetFaultPlan::seeded(d)
+    NetFaultPlan::seeded(d)
         .partial_io(1 + (d % 13) as usize)
         .delays(d >> 8 & 0x3)
-        .disconnect_after(300 + (d >> 16) % 4000);
-    if client % 2 == 1 {
-        plan.corrupt_one_in(48 + (d >> 32) % 64)
-    } else {
-        plan
-    }
+        .disconnect_after(300 + (d >> 16) % 4000)
+        .corrupt_one_in(48 + (d >> 32) % 64)
 }
 
 /// What one storm client observed.
@@ -344,6 +340,9 @@ fn deadline_propagates_into_execution() {
         ServerConfig {
             workers: 1,
             queue_capacity: 4,
+            // The staller below drives Request::Stall over the wire,
+            // which production servers reject.
+            allow_fault_injection: true,
             ..ServerConfig::default()
         },
     )

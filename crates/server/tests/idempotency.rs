@@ -1,0 +1,205 @@
+//! Regression tests for the idempotency and session-lifecycle defects
+//! found in review:
+//!
+//! * key spaces are **server-assigned** (granted in `HelloAck`), so two
+//!   clients — even in different processes — can never draw colliding
+//!   keys and replay each other's cached responses;
+//! * a retry that arrives while the original keyed request is still
+//!   executing waits for its outcome instead of executing the write a
+//!   second time (in-flight replay-cache markers);
+//! * fault-injection requests (`Stall`, `InjectPanic`) are rejected at
+//!   the network boundary unless the server opts in for testing;
+//! * finished session thread handles are reaped by the acceptor instead
+//!   of accumulating for the life of the server.
+
+use perfdmf_core::DatabaseSession;
+use perfdmf_db::Connection;
+use perfdmf_explorer::{ClusterMethod, FeatureSpace, Request, Response, RetryPolicy};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+use perfdmf_server::{NetClient, NetFaultPlan, PerfdmfServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Small two-group trial so clustering requests do real work.
+fn seeded_database() -> (Connection, i64) {
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).expect("schema");
+    let mut p = Profile::new("idem");
+    let m = p.add_metric(Metric::measured("TIME"));
+    let a = p.add_event(IntervalEvent::ungrouped("compute"));
+    let b = p.add_event(IntervalEvent::ungrouped("exchange"));
+    p.add_threads((0..8).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in p.threads().to_vec().iter().enumerate() {
+        let (ca, cb) = if i < 4 { (100.0, 5.0) } else { (10.0, 80.0) };
+        p.set_interval(a, t, m, IntervalData::new(ca, ca, 10.0, 0.0));
+        p.set_interval(b, t, m, IntervalData::new(cb, cb, 10.0, 0.0));
+    }
+    let trial = session
+        .store_profile("idem-app", "idem-exp", &p)
+        .expect("store");
+    (conn, trial)
+}
+
+fn cluster_request(trial_id: i64) -> Request {
+    Request::ClusterTrial {
+        trial_id,
+        features: FeatureSpace::EventsOfMetric("TIME".into()),
+        k: None,
+        max_k: 4,
+        pca_components: 0,
+        method: ClusterMethod::KMeans,
+    }
+}
+
+#[test]
+fn key_spaces_are_server_assigned_distinct_and_stable() {
+    let (conn, _trial) = seeded_database();
+    let server = PerfdmfServer::start(conn).expect("server start");
+
+    // Two fresh clients: each adopts the space granted in HelloAck.
+    let mut a = NetClient::new(server.addr(), "space-a");
+    let mut b = NetClient::new(server.addr(), "space-b");
+    assert_eq!(a.key_space(), 0, "no space before the first handshake");
+    assert!(a.ping());
+    assert!(b.ping());
+    assert_ne!(a.key_space(), 0, "handshake must grant a key space");
+    assert_ne!(b.key_space(), 0);
+    assert_ne!(
+        a.key_space(),
+        b.key_space(),
+        "concurrent clients must never share a key space"
+    );
+    assert_eq!(
+        a.key_space(),
+        a.session() & 0xFFFF_FFFF,
+        "the space is derived from the server-unique session id"
+    );
+    a.close();
+    b.close();
+
+    // A reconnecting client keeps its original space: keys drawn before
+    // the reconnect must stay in a space no other client can be granted.
+    let mut c = NetClient::new(server.addr(), "space-c")
+        .with_fault_plan(NetFaultPlan::seeded(7).disconnect_after(200));
+    assert!(c.ping());
+    let first_space = c.key_space();
+    for _ in 0..20 {
+        let _ = c.request(Request::Ping);
+    }
+    assert!(c.connects() > 1, "the fault plan must force reconnects");
+    assert_eq!(
+        c.key_space(),
+        first_space,
+        "the key space must survive reconnects"
+    );
+    c.close();
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_duplicate_with_same_key_executes_once() {
+    let (conn, trial) = seeded_database();
+    let server = PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 1,
+            // The staller below needs Stall over the wire.
+            allow_fault_injection: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    // Park the single worker so both duplicates are in flight at once.
+    let staller = std::thread::spawn(move || {
+        let mut c = NetClient::new(addr, "staller").with_policy(RetryPolicy::none());
+        c.request(Request::Stall { millis: 800 });
+        c.close();
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Two clients race the same idempotency key while the original is
+    // still queued/executing. Without the in-flight marker both would
+    // miss the replay cache and the write would apply twice — visible
+    // as two distinct settings_ids.
+    let key = 0x5EED_0001u64;
+    let racers: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = NetClient::new(addr, format!("racer-{i}"));
+                let response = c.request_keyed(cluster_request(trial), key);
+                c.close();
+                response
+            })
+        })
+        .collect();
+    let settings: Vec<i64> = racers
+        .into_iter()
+        .map(|h| match h.join().expect("racer must not panic") {
+            Response::Clustering { settings_id, .. } => settings_id,
+            other => panic!("duplicate race must still answer the request: {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        settings[0], settings[1],
+        "a concurrent retry of an in-flight key must replay, not re-execute"
+    );
+    staller.join().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn fault_injection_requests_are_rejected_by_default() {
+    let (conn, _trial) = seeded_database();
+    let server = PerfdmfServer::start(conn).expect("server start");
+    let mut client = NetClient::new(server.addr(), "hostile").with_policy(RetryPolicy::none());
+    for request in [
+        Request::Stall { millis: 10 },
+        Request::InjectPanic("boom".into()),
+        Request::Shutdown,
+    ] {
+        match client.request(request.clone()) {
+            Response::Error(reason) => assert!(
+                reason.contains("not accepted over the network"),
+                "unexpected rejection reason for {request:?}: {reason}"
+            ),
+            other => panic!("{request:?} must be rejected at the boundary, got {other:?}"),
+        }
+    }
+    // The server is still healthy afterwards.
+    assert!(client.ping());
+    client.close();
+    server.shutdown();
+}
+
+#[test]
+fn finished_session_handles_are_reaped() {
+    let (conn, _trial) = seeded_database();
+    let server = PerfdmfServer::start(conn).expect("server start");
+
+    for i in 0..8 {
+        let mut c = NetClient::new(server.addr(), format!("churn-{i}"));
+        assert!(c.ping());
+        c.close();
+    }
+
+    // Reaping happens on accept, and session threads take a moment to
+    // finish after the close; poll with fresh connections until the
+    // tracked-handle count collapses to the live tail.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c = NetClient::new(server.addr(), "reap-probe");
+        assert!(c.ping());
+        c.close();
+        let tracked = server.tracked_session_handles();
+        if tracked <= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "handles never reaped: still tracking {tracked}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,107 @@
+//! The replay cache must hold only what retries need: effectful
+//! requests. Keying every Ping and read would churn the bounded FIFO
+//! cache until a genuine write retry finds its recorded response
+//! evicted — quietly weakening the at-most-once guarantee.
+//!
+//! This lives in its own test binary (own process) because it asserts
+//! exact deltas of process-global telemetry counters.
+
+use perfdmf_core::DatabaseSession;
+use perfdmf_db::Connection;
+use perfdmf_explorer::{ClusterMethod, FeatureSpace, Request, Response};
+use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
+use perfdmf_server::{NetClient, PerfdmfServer};
+
+fn seeded_database() -> (Connection, i64) {
+    let conn = Connection::open_in_memory();
+    let mut session = DatabaseSession::new(conn.clone()).expect("schema");
+    let mut p = Profile::new("churn");
+    let m = p.add_metric(Metric::measured("TIME"));
+    let a = p.add_event(IntervalEvent::ungrouped("compute"));
+    let b = p.add_event(IntervalEvent::ungrouped("exchange"));
+    p.add_threads((0..8).map(|n| ThreadId::new(n, 0, 0)));
+    for (i, &t) in p.threads().to_vec().iter().enumerate() {
+        let (ca, cb) = if i < 4 { (100.0, 5.0) } else { (10.0, 80.0) };
+        p.set_interval(a, t, m, IntervalData::new(ca, ca, 10.0, 0.0));
+        p.set_interval(b, t, m, IntervalData::new(cb, cb, 10.0, 0.0));
+    }
+    let trial = session
+        .store_profile("churn-app", "churn-exp", &p)
+        .expect("store");
+    (conn, trial)
+}
+
+fn cluster_request(trial_id: i64) -> Request {
+    Request::ClusterTrial {
+        trial_id,
+        features: FeatureSpace::EventsOfMetric("TIME".into()),
+        k: None,
+        max_k: 4,
+        pca_components: 0,
+        method: ClusterMethod::KMeans,
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    perfdmf_telemetry::snapshot()
+        .counter(name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+#[test]
+fn only_effectful_requests_populate_the_replay_cache() {
+    let (conn, trial) = seeded_database();
+    let server = PerfdmfServer::start(conn).expect("server start");
+    let mut client = NetClient::new(server.addr(), "churn");
+
+    let inserts_before = counter("server.replay_inserts");
+
+    // One explicitly keyed write: exactly one cache insert.
+    let key = 0xCAFE_0001u64;
+    let first = match client.request_keyed(cluster_request(trial), key) {
+        Response::Clustering { settings_id, .. } => settings_id,
+        other => panic!("clustering failed: {other:?}"),
+    };
+
+    // Reads and pings through the automatic path draw no key and must
+    // not touch the cache.
+    for _ in 0..20 {
+        assert!(client.ping());
+    }
+    match client.request(Request::FetchResult { settings_id: first }) {
+        Response::Stored { .. } => {}
+        other => panic!("fetch failed: {other:?}"),
+    }
+    assert_eq!(
+        counter("server.replay_inserts") - inserts_before,
+        1,
+        "reads and pings must not populate the replay cache"
+    );
+
+    // An automatic effectful request draws its own key and is cached.
+    match client.request(cluster_request(trial)) {
+        Response::Clustering { .. } => {}
+        other => panic!("auto-keyed clustering failed: {other:?}"),
+    }
+    assert_eq!(
+        counter("server.replay_inserts") - inserts_before,
+        2,
+        "automatically keyed writes must be cached for replay"
+    );
+
+    // The keyed write from the start is still replayable — no churn
+    // evicted it.
+    let replays_before = counter("server.idempotent_replays");
+    match client.request_keyed(cluster_request(trial), key) {
+        Response::Clustering { settings_id, .. } => assert_eq!(
+            settings_id, first,
+            "the recorded response must replay, not re-execute"
+        ),
+        other => panic!("replay failed: {other:?}"),
+    }
+    assert_eq!(counter("server.idempotent_replays") - replays_before, 1);
+
+    client.close();
+    server.shutdown();
+}

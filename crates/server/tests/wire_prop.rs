@@ -4,7 +4,9 @@
 //! [`WireError`], never a panic and never an outsized allocation.
 
 use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
-use perfdmf_server::wire::{parse_header, Message, WireError, MAGIC, MAX_FRAME_LEN};
+use perfdmf_server::wire::{
+    crc32, parse_header, verify_body, Message, WireError, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
+};
 use proptest::prelude::*;
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -178,7 +180,8 @@ fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
         (any::<u32>(), arb_name())
             .prop_map(|(protocol, tenant)| Message::Hello { protocol, tenant }),
-        any::<u64>().prop_map(|session| Message::HelloAck { session }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(session, key_space)| Message::HelloAck { session, key_space }),
         (any::<u64>(), any::<u32>(), any::<u64>(), arb_request()).prop_map(
             |(seq, deadline_ms, idempotency, request)| Message::Call {
                 seq,
@@ -239,17 +242,24 @@ proptest! {
     }
 
     /// Random frame headers are only accepted when both the magic and
-    /// the length bound hold.
+    /// the length bound hold; the declared checksum passes through
+    /// untouched for the body check.
     #[test]
-    fn headers_reject_bad_magic_and_oversized_lengths(magic in any::<u32>(), len in any::<u32>()) {
-        let mut header = [0u8; 8];
+    fn headers_reject_bad_magic_and_oversized_lengths(
+        magic in any::<u32>(),
+        len in any::<u32>(),
+        crc in any::<u32>(),
+    ) {
+        let mut header = [0u8; HEADER_LEN];
         header[..4].copy_from_slice(&magic.to_le_bytes());
-        header[4..].copy_from_slice(&len.to_le_bytes());
+        header[4..8].copy_from_slice(&len.to_le_bytes());
+        header[8..].copy_from_slice(&crc.to_le_bytes());
         match parse_header(&header) {
-            Ok(got) => {
+            Ok((got_len, got_crc)) => {
                 prop_assert_eq!(magic, MAGIC);
                 prop_assert!(len <= MAX_FRAME_LEN);
-                prop_assert_eq!(got, len);
+                prop_assert_eq!(got_len, len);
+                prop_assert_eq!(got_crc, crc);
             }
             Err(WireError::BadMagic(m)) => prop_assert_eq!(m, magic),
             Err(WireError::Oversized(l)) => {
@@ -258,6 +268,29 @@ proptest! {
                 prop_assert!(len > MAX_FRAME_LEN);
             }
             Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other:?}"))),
+        }
+    }
+
+    /// Any single flipped bit in any encoded body is caught by the
+    /// frame checksum — this is the CRC guarantee the fault-tolerant
+    /// transport leans on, since the chaos fault injector corrupts
+    /// streams exactly one bit at a time.
+    #[test]
+    fn single_bit_flips_always_fail_the_checksum(
+        message in arb_message(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut body = message.encode();
+        let declared = crc32(&body);
+        if !body.is_empty() {
+            let pos = pos % body.len();
+            body[pos] ^= 1 << bit;
+            let caught = matches!(
+                verify_body(declared, &body),
+                Err(WireError::ChecksumMismatch { declared: _, actual: _ })
+            );
+            prop_assert!(caught, "flip at byte {} bit {} went undetected", pos, bit);
         }
     }
 
