@@ -1,13 +1,12 @@
-//! SELECT execution: scan → join → filter → aggregate → sort → limit.
+//! SELECT execution over the logical-plan IR.
 //!
-//! The planner is deliberately simple but does the two optimizations that
-//! matter for PerfDMF's access patterns (large `INTERVAL_LOCATION_PROFILE`
-//! tables filtered by trial/metric, joined to small dimension tables):
-//!
-//! * **Index pushdown** — an equality or range conjunct on an indexed
-//!   column of the base table restricts the scan to index hits.
-//! * **Hash joins** — `JOIN ... ON a.x = b.y` builds a hash table on the
-//!   smaller, right side instead of a nested loop.
+//! A SELECT no longer runs off ad-hoc heuristic branches: the statement
+//! is lowered to a [`LogicalPlan`] tree, rewritten by the rule-based
+//! optimizer, annotated with per-scan access decisions (`crate::plan`),
+//! and then *walked* here — [`run_planned`] decomposes the operator
+//! tail, [`exec_pipeline`] recurses over Filter/Join/Scan, and the
+//! EXPLAIN renderer prints the very same tree, so the reported plan
+//! cannot drift from what executes.
 
 use super::aggregate::Accumulator;
 use super::eval::{eval, eval_condition, Env, Layout};
@@ -17,8 +16,10 @@ use crate::column::CHUNK_ROWS;
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::introspect;
+use crate::plan;
+use crate::plan::ir::{base_scan, Access, LogicalPlan, PlannedSelect, ScanNode};
 use crate::sql::ast::*;
-use crate::table::{Row, Table};
+use crate::table::{Row, RowId, Table};
 use crate::value::Value;
 use perfdmf_pool as pool;
 use perfdmf_telemetry as telemetry;
@@ -291,12 +292,10 @@ fn resolve_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Selec
     Ok(out)
 }
 
-// ---------------- scan strategy selection ----------------
-
 /// True if the expression reads a column outside of any aggregate call.
 /// Such expressions need a representative row, which the columnar path
-/// never materializes.
-fn has_bare_column(expr: &Expr) -> bool {
+/// never materializes (and which join reordering may permute).
+pub(crate) fn has_bare_column(expr: &Expr) -> bool {
     match expr {
         Expr::Column { .. } => true,
         Expr::Aggregate { .. } => false, // columns inside the arg are fine
@@ -324,148 +323,574 @@ fn has_bare_column(expr: &Expr) -> bool {
     }
 }
 
-/// Query shapes the columnar path can execute: a single-table,
-/// ungrouped aggregate query whose projections are pure aggregate
-/// expressions. Everything else keeps row execution.
-fn columnar_shape_ok(sel: &Select) -> bool {
-    sel.from.is_some()
-        && sel.joins.is_empty()
-        && sel.group_by.is_empty()
-        && sel.having.is_none()
-        && !sel.distinct
-        && sel.order_by.is_empty()
-        && !sel.projections.is_empty()
-        && sel.projections.iter().all(|p| match p {
-            Projection::Expr { expr, .. } => expr.contains_aggregate() && !has_bare_column(expr),
-            _ => false,
-        })
+// ---------------- execution ----------------
+
+/// Execute a SELECT.
+pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
+    execute_select_profiled(db, sel, params, None)
 }
 
-/// A decided columnar scan: the compiled plan plus the statistics that
-/// justified choosing it (rendered by EXPLAIN).
-pub(crate) struct ColumnarChoice {
-    plan: vector::ColumnarPlan,
-    reason: String,
-}
-
-/// Decide between index, columnar, and sequential scan for an eligible
-/// aggregate query, using table and index statistics. Returns `None`
-/// when row execution (index or seq) should run. Shared by EXPLAIN and
-/// the executor so the plan cannot drift from reality.
-fn columnar_decision(
+/// Execute a SELECT, optionally collecting per-operator measurements
+/// (the `EXPLAIN ANALYZE` path).
+fn execute_select_profiled(
     db: &Database,
     sel: &Select,
     params: &[Value],
-    had_subqueries: bool,
-) -> Result<Option<ColumnarChoice>> {
-    // Subqueries resolve to literals before execution but EXPLAIN sees
-    // them unresolved; decline in both so the paths agree.
-    if had_subqueries || !columnar_shape_ok(sel) {
-        return Ok(None);
-    }
-    let mode = vector::columnar_mode();
-    if mode == vector::ColumnarMode::Off {
-        return Ok(None);
-    }
-    let base = sel.from.as_ref().expect("shape check");
-    if introspect::is_reserved_name(&base.table) {
-        // Virtual tables are rematerialized per statement, so their chunk
-        // caches would never pay off: always take the row path.
-        return Ok(None);
-    }
-    let table = db.table(&base.table)?;
-    let binding = base.effective_name().to_string();
-    let layout1 = Layout::single(
-        binding.clone(),
-        table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect(),
-    );
-    let projections = expand_projections(sel, &layout1)?;
-    let mut aggs: Vec<&Expr> = Vec::new();
-    for (_, e) in &projections {
-        collect_aggregates(e, &mut aggs);
-    }
-    let Some(plan) = vector::plan_columnar(
-        &table.schema,
-        &binding,
-        &layout1,
-        &aggs,
-        sel.where_clause.as_ref(),
-        params,
-    ) else {
-        return Ok(None);
+    prof: Option<&mut ExecProfile>,
+) -> Result<ResultSet> {
+    let started = Instant::now();
+    // Uncorrelated subqueries run once, up front.
+    let had_subqueries = select_has_subqueries(sel);
+    let resolved;
+    let sel = if had_subqueries {
+        resolved = resolve_select(db, sel, params)?;
+        &resolved
+    } else {
+        sel
     };
-    let live = table.len();
-    let reason = match mode {
-        vector::ColumnarMode::Force => "forced by PERFDMF_COLUMNAR".to_string(),
-        vector::ColumnarMode::Auto => {
-            match index_candidates(table, &binding, &layout1, sel.where_clause.as_ref(), params)? {
-                Some(choice) => {
-                    // A selective index beats scanning every chunk; a
-                    // low-selectivity one does not.
-                    if choice.ids.len().saturating_mul(4) <= live {
-                        return Ok(None);
+    let planned = plan::plan_select(db, sel, params, had_subqueries)?;
+    let mut out = run_planned(&planned, params, prof)?;
+    out.elapsed = started.elapsed();
+    Ok(out)
+}
+
+/// The operator tail of a plan, decomposed for direct execution. The
+/// lowering's canonical spine ordering makes this a straight-line
+/// pattern match.
+struct Tail<'p, 'a> {
+    limit: Option<u64>,
+    offset: Option<u64>,
+    has_limit: bool,
+    distinct: bool,
+    order_by: &'p [OrderItem],
+    projections: &'p [Projection],
+    /// `Some((group_by, having))` when an Aggregate node is present.
+    aggregate: Option<(&'p [Expr], Option<&'p Expr>)>,
+    /// The scan/join/filter pipeline below the tail.
+    pipeline: &'p LogicalPlan<'a>,
+}
+
+fn decompose<'p, 'a>(root: &'p LogicalPlan<'a>) -> Tail<'p, 'a> {
+    let mut node = root;
+    let (mut limit, mut offset, mut has_limit) = (None, None, false);
+    if let LogicalPlan::Limit {
+        input,
+        limit: l,
+        offset: o,
+    } = node
+    {
+        limit = *l;
+        offset = *o;
+        has_limit = true;
+        node = input;
+    }
+    let mut distinct = false;
+    if let LogicalPlan::Distinct { input } = node {
+        distinct = true;
+        node = input;
+    }
+    let mut order_by: &[OrderItem] = &[];
+    if let LogicalPlan::Sort { input, keys } = node {
+        order_by = keys;
+        node = input;
+    }
+    let mut projections: &[Projection] = &[];
+    if let LogicalPlan::Project {
+        input,
+        projections: p,
+    } = node
+    {
+        projections = p;
+        node = input;
+    }
+    let mut aggregate = None;
+    if let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        having,
+    } = node
+    {
+        aggregate = Some((group_by.as_slice(), having.as_ref()));
+        node = input;
+    }
+    Tail {
+        limit,
+        offset,
+        has_limit,
+        distinct,
+        order_by,
+        projections,
+        aggregate,
+        pipeline: node,
+    }
+}
+
+fn apply_offset_limit(out: &mut ResultSet, offset: Option<u64>, limit: Option<u64>) {
+    let offset = offset.unwrap_or(0) as usize;
+    if offset > 0 {
+        out.rows.drain(..offset.min(out.rows.len()));
+    }
+    if let Some(limit) = limit {
+        out.rows.truncate(limit as usize);
+    }
+}
+
+/// Walk an optimized, access-annotated plan.
+fn run_planned(
+    planned: &PlannedSelect<'_>,
+    params: &[Value],
+    mut prof: Option<&mut ExecProfile>,
+) -> Result<ResultSet> {
+    let tail = decompose(&planned.root);
+
+    // Columnar fast path: fused scan + filter + aggregate over column
+    // chunks. A `None` from the kernels (unsupported chunk data) falls
+    // through to row execution below.
+    if let Some(scan) = base_scan(tail.pipeline) {
+        if let Access::Columnar { plan: cplan, .. } = &scan.access {
+            if let Some(mut out) =
+                exec_columnar(scan, cplan, tail.projections, params, prof.as_deref_mut())?
+            {
+                apply_offset_limit(&mut out, tail.offset, tail.limit);
+                return Ok(out);
+            }
+        }
+    }
+
+    let (layout, rows, rows_scanned) = exec_pipeline(tail.pipeline, params, prof.as_deref_mut())?;
+
+    let mut out = match tail.aggregate {
+        Some((group_by, having)) => {
+            let _stage = telemetry::span("db.exec.aggregate");
+            aggregate_path(
+                tail.projections,
+                group_by,
+                having,
+                tail.order_by,
+                &layout,
+                &rows,
+                params,
+                prof.as_deref_mut(),
+            )?
+        }
+        None => {
+            let _stage = telemetry::span("db.exec.project");
+            plain_path(
+                tail.projections,
+                tail.order_by,
+                &layout,
+                &rows,
+                params,
+                prof.as_deref_mut(),
+            )?
+        }
+    };
+
+    // DISTINCT
+    if tail.distinct {
+        let rows_in = out.rows.len();
+        let mut seen = std::collections::HashSet::new();
+        out.rows.retain(|r| seen.insert(r.clone()));
+        if let Some(p) = prof {
+            p.distinct = Some((rows_in as u64, out.rows.len() as u64));
+        }
+    }
+
+    apply_offset_limit(&mut out, tail.offset, tail.limit);
+    out.rows_scanned = rows_scanned;
+    Ok(out)
+}
+
+/// Execute the scan/join/filter pipeline of a plan, returning the
+/// accumulated layout, the materialized rows, and the scanned-row count
+/// (rows materialized after scan + joins, before WHERE; or rows
+/// *examined* when a scan early-exits).
+fn exec_pipeline(
+    node: &LogicalPlan<'_>,
+    params: &[Value],
+    mut prof: Option<&mut ExecProfile>,
+) -> Result<(Layout, Vec<Row>, u64)> {
+    match node {
+        LogicalPlan::Empty => Ok((Layout::default(), vec![Vec::new()], 0)),
+        LogicalPlan::Scan(scan) => exec_scan(scan, params, prof),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let (left_layout, left_rows, _) = exec_pipeline(left, params, prof.as_deref_mut())?;
+            exec_join(
+                left_layout,
+                left_rows,
+                right,
+                *kind,
+                on.as_ref(),
+                params,
+                prof,
+            )
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let (layout, rows, scanned) = exec_pipeline(input, params, prof.as_deref_mut())?;
+            let rows = exec_filter(&layout, rows, predicate, params, prof)?;
+            Ok((layout, rows, scanned))
+        }
+        _ => Err(DbError::Unsupported(
+            "tail operator in scan pipeline".into(),
+        )),
+    }
+}
+
+/// Evaluate a scan's pushed conjuncts against one of its rows.
+fn pushed_match(
+    scan: &ScanNode<'_>,
+    layout1: &Layout,
+    row: &Row,
+    params: &[Value],
+) -> Result<bool> {
+    for c in &scan.pushed {
+        let env = Env::new(layout1, row, params);
+        if !eval_condition(c, &env)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Materialize one scan according to its access decision.
+fn exec_scan(
+    scan: &ScanNode<'_>,
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<(Layout, Vec<Row>, u64)> {
+    let table: &Table = &scan.source;
+    let layout1 = scan.layout1();
+    let _stage = telemetry::span("db.exec.scan");
+    let t0 = prof.is_some().then(Instant::now);
+
+    // Candidate ids, when the access method prescribes an order other
+    // than ascending row id.
+    let ids: Option<Vec<RowId>> = match &scan.access {
+        Access::Seq => None,
+        Access::Index(choice) => Some(choice.ids.clone()),
+        Access::IndexOrder { column, .. } => {
+            let col = layout1.resolve(None, column)?;
+            let Some(ix) = table.index_on(col) else {
+                return Err(DbError::Unsupported(format!(
+                    "index-order scan lost its index on {column}"
+                )));
+            };
+            // NULL keys are not indexed; NULL sorts first under
+            // `Value::total_cmp`, and ids ascend within each key, so
+            // NULL-key rows (in id order) followed by `scan_asc` is
+            // exactly the stable `ORDER BY column ASC` order.
+            let mut ids: Vec<RowId> = table
+                .iter()
+                .filter(|(_, row)| row[col].is_null())
+                .map(|(id, _)| id)
+                .collect();
+            ids.extend(ix.scan_asc());
+            Some(ids)
+        }
+        // Runtime fallback from a declined columnar plan: make the index
+        // decision the row path would have made.
+        Access::Columnar { .. } => index_candidates(
+            table,
+            &scan.binding,
+            &layout1,
+            scan.index_filter.as_ref(),
+            params,
+        )?
+        .map(|c| c.ids),
+    };
+
+    // Early-exit scan (LIMIT pushdown): serial, stops after `take`
+    // matches, and reports rows *examined* as the scanned count.
+    if let Some(take) = scan.stop_after {
+        let mut kept: Vec<Row> = Vec::new();
+        let mut examined = 0u64;
+        if take > 0 {
+            match ids {
+                Some(ids) => {
+                    for id in ids {
+                        if let Some(row) = table.row(id) {
+                            examined += 1;
+                            if pushed_match(scan, &layout1, row, params)? {
+                                kept.push(masked_clone(row, &scan.mask));
+                                if kept.len() >= take {
+                                    break;
+                                }
+                            }
+                        }
                     }
-                    format!(
-                        "index {} unselective: {} candidate(s) of {} live row(s), {} distinct key(s)",
-                        choice.index_name,
-                        choice.ids.len(),
-                        live,
-                        choice.distinct_keys
-                    )
                 }
                 None => {
-                    if live < CHUNK_ROWS {
-                        return Ok(None); // small table: seq scan is fine
+                    for (_, row) in table.iter() {
+                        examined += 1;
+                        if pushed_match(scan, &layout1, row, params)? {
+                            kept.push(masked_clone(row, &scan.mask));
+                            if kept.len() >= take {
+                                break;
+                            }
+                        }
                     }
-                    format!("no usable index, {live} live row(s) ≥ {CHUNK_ROWS} threshold")
                 }
             }
         }
-        vector::ColumnarMode::Off => unreachable!("handled above"),
+        if let Some(p) = prof {
+            p.scan = Some((examined, 0, stage_ns(t0)));
+        }
+        return Ok((layout1, kept, examined));
+    }
+
+    let mut partitions = 0usize;
+    let rows: Vec<Row> = match ids {
+        Some(ids) => {
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                if let Some(row) = table.row(id) {
+                    if pushed_match(scan, &layout1, row, params)? {
+                        out.push(masked_clone(row, &scan.mask));
+                    }
+                }
+            }
+            out
+        }
+        None => {
+            // Full scan. The slab is chunked by row-id range; live rows
+            // concatenated in partition order match `Table::iter`'s
+            // ascending-id order, so the parallel scan returns rows in
+            // exactly the serial order.
+            match pool::partitions(table.slab_len()) {
+                Some(ranges) => {
+                    telemetry::add("db.exec.parallel_scans", 1);
+                    partitions = ranges.len();
+                    let layout1 = &layout1;
+                    let chunks = pool::try_run(ranges.len(), |pi| {
+                        let mut part = Vec::new();
+                        for id in ranges[pi].clone() {
+                            if let Some(row) = table.row(id as RowId) {
+                                if pushed_match(scan, layout1, row, params)? {
+                                    part.push(masked_clone(row, &scan.mask));
+                                }
+                            }
+                        }
+                        Ok::<Vec<Row>, DbError>(part)
+                    })?;
+                    chunks.into_iter().flatten().collect()
+                }
+                None => {
+                    let mut out = Vec::new();
+                    for (_, row) in table.iter() {
+                        if pushed_match(scan, &layout1, row, params)? {
+                            out.push(masked_clone(row, &scan.mask));
+                        }
+                    }
+                    out
+                }
+            }
+        }
     };
-    Ok(Some(ColumnarChoice { plan, reason }))
+    let scanned = rows.len() as u64;
+    if let Some(p) = prof {
+        p.scan = Some((scanned, partitions, stage_ns(t0)));
+    }
+    Ok((layout1, rows, scanned))
+}
+
+/// Join already-materialized left rows against a right scan node.
+fn exec_join(
+    left_layout: Layout,
+    left_rows: Vec<Row>,
+    right: &ScanNode<'_>,
+    kind: JoinKind,
+    on: Option<&Expr>,
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<(Layout, Vec<Row>, u64)> {
+    let _stage = telemetry::span("db.exec.join");
+    let join_t0 = prof.is_some().then(Instant::now);
+    let right_table: &Table = &right.source;
+    let right_layout1 = right.layout1();
+    let right_width = right.columns.len();
+
+    let mut bindings = left_layout.bindings().to_vec();
+    bindings.push((right.binding.clone(), right.columns.clone()));
+    let full_layout = Layout::new(bindings);
+
+    // Right rows in insertion order, prefiltered by pushed conjuncts.
+    // Prefiltering INNER/CROSS right sides only drops rows that could
+    // never survive the residual WHERE, and keeps survivors in the same
+    // relative order — so join output is a verbatim subsequence-free
+    // match of the unoptimized result.
+    let mut right_rows: Vec<&Row> = Vec::new();
+    for (_, row) in right_table.iter() {
+        if pushed_match(right, &right_layout1, row, params)? {
+            right_rows.push(row);
+        }
+    }
+
+    let extend_masked = |row: &mut Row, r: &Row| match &right.mask {
+        None => row.extend(r.iter().cloned()),
+        Some(mask) => {
+            row.extend(
+                r.iter()
+                    .zip(mask)
+                    .map(|(v, &keep)| if keep { v.clone() } else { Value::Null }),
+            )
+        }
+    };
+
+    let mut joined: Vec<Row> = Vec::new();
+    match kind {
+        JoinKind::Cross => {
+            for l in &left_rows {
+                for r in &right_rows {
+                    let mut row = l.clone();
+                    extend_masked(&mut row, r);
+                    joined.push(row);
+                }
+            }
+        }
+        JoinKind::Inner | JoinKind::Left => {
+            let on = on.ok_or_else(|| DbError::Unsupported("JOIN requires ON".into()))?;
+            // Try hash join on a simple equi-condition.
+            if let Some((l_off, r_off)) =
+                equi_offsets(on, &left_layout, &right.binding, &right.columns)
+            {
+                let mut table: HashMap<Value, Vec<&Row>> = HashMap::new();
+                for r in &right_rows {
+                    let key = &r[r_off];
+                    if !key.is_null() {
+                        table.entry(key.clone()).or_default().push(r);
+                    }
+                }
+                for l in &left_rows {
+                    let key = &l[l_off];
+                    let matches = if key.is_null() { None } else { table.get(key) };
+                    match matches {
+                        Some(ms) if !ms.is_empty() => {
+                            for m in ms {
+                                let mut row = l.clone();
+                                extend_masked(&mut row, m);
+                                joined.push(row);
+                            }
+                        }
+                        _ if kind == JoinKind::Left => {
+                            let mut row = l.clone();
+                            row.extend(std::iter::repeat_n(Value::Null, right_width));
+                            joined.push(row);
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                // General nested loop with full ON evaluation.
+                for l in &left_rows {
+                    let mut matched = false;
+                    for r in &right_rows {
+                        let mut row = l.clone();
+                        extend_masked(&mut row, r);
+                        let env = Env::new(&full_layout, &row, params);
+                        if eval_condition(on, &env)? {
+                            joined.push(row);
+                            matched = true;
+                        }
+                    }
+                    if !matched && kind == JoinKind::Left {
+                        let mut row = l.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        joined.push(row);
+                    }
+                }
+            }
+        }
+    }
+    let scanned = joined.len() as u64;
+    if let Some(p) = prof {
+        p.joins.push((scanned, stage_ns(join_t0)));
+    }
+    Ok((full_layout, joined, scanned))
+}
+
+/// The WHERE pass: partition-parallel filtering of materialized rows.
+fn exec_filter(
+    layout: &Layout,
+    rows: Vec<Row>,
+    pred: &Expr,
+    params: &[Value],
+    prof: Option<&mut ExecProfile>,
+) -> Result<Vec<Row>> {
+    let _stage = telemetry::span("db.exec.filter");
+    let t0 = prof.is_some().then(Instant::now);
+    let rows_in = rows.len();
+    let mut partitions_used = 0;
+    let rows: Vec<Row> = match pool::partitions(rows.len()) {
+        Some(ranges) => {
+            // Partition the materialized rows; concatenating kept rows
+            // in partition order preserves the serial result order.
+            telemetry::add("db.exec.parallel_filters", 1);
+            partitions_used = ranges.len();
+            let rows_ref = &rows;
+            let chunks = pool::try_run(ranges.len(), |pi| {
+                let mut kept = Vec::new();
+                for row in &rows_ref[ranges[pi].clone()] {
+                    let env = Env::new(layout, row, params);
+                    if eval_condition(pred, &env)? {
+                        kept.push(row.clone());
+                    }
+                }
+                Ok::<Vec<Row>, DbError>(kept)
+            })?;
+            chunks.into_iter().flatten().collect()
+        }
+        None => {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                let env = Env::new(layout, &row, params);
+                if eval_condition(pred, &env)? {
+                    kept.push(row);
+                }
+            }
+            kept
+        }
+    };
+    if let Some(p) = prof {
+        p.filter = Some((
+            rows_in as u64,
+            rows.len() as u64,
+            partitions_used,
+            stage_ns(t0),
+        ));
+    }
+    Ok(rows)
 }
 
 /// Execute a decided columnar scan. Returns `Ok(None)` when a chunk
 /// exposed column data the kernels cannot handle — the caller falls
 /// back to row execution.
-fn columnar_select(
-    db: &Database,
-    sel: &Select,
-    choice: &ColumnarChoice,
+fn exec_columnar(
+    scan: &ScanNode<'_>,
+    cplan: &vector::ColumnarPlan,
+    projections: &[Projection],
     params: &[Value],
     prof: Option<&mut ExecProfile>,
 ) -> Result<Option<ResultSet>> {
-    let base = sel.from.as_ref().expect("shape check");
-    let table = db.table(&base.table)?;
+    let table: &Table = &scan.source;
     let t0 = prof.is_some().then(Instant::now);
     let (accs, stats) = {
         let _stage = telemetry::span("db.exec.colscan");
-        match vector::execute_columnar(table, &choice.plan)? {
+        match vector::execute_columnar(table, cplan)? {
             Some(out) => out,
             None => return Ok(None),
         }
     };
     telemetry::add("db.exec.columnar_scans", 1);
 
-    let binding = base.effective_name().to_string();
-    let layout = Layout::single(
-        binding,
-        table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect(),
-    );
-    // Same collection order as `columnar_decision`, so accumulator `i`
+    let layout = scan.layout1();
+    // Same collection order as the access decision, so accumulator `i`
     // belongs to aggregate expression `i`.
-    let projections = expand_projections(sel, &layout)?;
+    let projections = expand_projections(projections, &layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
     let mut aggs: Vec<&Expr> = Vec::new();
     for (_, e) in &projections {
@@ -504,455 +929,189 @@ fn columnar_select(
     }))
 }
 
-/// Query shapes where the serial scan can stop early once
-/// `OFFSET + LIMIT` rows match: no joins, no ordering, no aggregation,
-/// no DISTINCT.
-fn early_exit_shape_ok(sel: &Select) -> bool {
-    sel.from.is_some()
-        && sel.limit.is_some()
-        && sel.joins.is_empty()
-        && sel.order_by.is_empty()
-        && !sel.distinct
-        && sel.group_by.is_empty()
-        && sel.having.is_none()
-        && !sel.projections.iter().any(|p| match p {
-            Projection::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        })
-}
-
-/// Rows the early-exit scan needs before it can stop.
-fn early_exit_take(sel: &Select) -> usize {
-    (sel.offset.unwrap_or(0) as usize).saturating_add(sel.limit.unwrap_or(0) as usize)
-}
-
-/// Serial scan that stops after `OFFSET + LIMIT` matching rows instead
-/// of materializing and filtering the whole table.
-fn early_exit_select(
-    db: &Database,
-    sel: &Select,
-    params: &[Value],
-    prof: Option<&mut ExecProfile>,
-) -> Result<ResultSet> {
-    let base = sel.from.as_ref().expect("shape check");
-    let source = resolve_table(db, &base.table)?;
-    let table: &Table = &source;
-    let binding = base.effective_name().to_string();
-    let cols: Vec<String> = table
-        .schema
-        .columns
-        .iter()
-        .map(|c| c.name.clone())
-        .collect();
-    let layout = Layout::single(binding.clone(), cols.clone());
-    let where_clause = sel.where_clause.as_ref();
-    if let Some(pred) = where_clause {
-        if pred.contains_aggregate() {
-            return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
-        }
-    }
-    let take = early_exit_take(sel);
-    let needed = needed_columns(sel);
-    let mask = column_mask(&binding, &cols, &needed);
-    let scan_t0 = prof.is_some().then(Instant::now);
-    let _stage = telemetry::span("db.exec.scan");
-    let mut kept: Vec<Row> = Vec::new();
-    let mut examined = 0u64;
-    if take > 0 {
-        let check = |row: &Row| -> Result<bool> {
-            match where_clause {
-                None => Ok(true),
-                Some(pred) => {
-                    let env = Env::new(&layout, row, params);
-                    eval_condition(pred, &env)
-                }
-            }
-        };
-        match index_candidates(table, &binding, &layout, where_clause, params)? {
-            Some(choice) => {
-                for id in choice.ids {
-                    if let Some(row) = table.row(id) {
-                        examined += 1;
-                        if check(row)? {
-                            kept.push(masked_clone(row, &mask));
-                            if kept.len() >= take {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-            None => {
-                for (_, row) in table.iter() {
-                    examined += 1;
-                    if check(row)? {
-                        kept.push(masked_clone(row, &mask));
-                        if kept.len() >= take {
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    if let Some(p) = prof {
-        let ns = stage_ns(scan_t0);
-        p.scan = Some((examined, 0, ns));
-        if where_clause.is_some() {
-            p.filter = Some((examined, kept.len() as u64, 0, 0));
-        }
-    }
-    let mut out = plain_path(sel, &layout, &kept, params, None)?;
-    let offset = sel.offset.unwrap_or(0) as usize;
-    if offset > 0 {
-        out.rows.drain(..offset.min(out.rows.len()));
-    }
-    if let Some(limit) = sel.limit {
-        out.rows.truncate(limit as usize);
-    }
-    out.rows_scanned = examined;
-    Ok(out)
-}
-
-/// Execute a SELECT.
-pub fn execute_select(db: &Database, sel: &Select, params: &[Value]) -> Result<ResultSet> {
-    execute_select_profiled(db, sel, params, None)
-}
-
-/// Execute a SELECT, optionally collecting per-operator measurements
-/// (the `EXPLAIN ANALYZE` path).
-fn execute_select_profiled(
-    db: &Database,
-    sel: &Select,
-    params: &[Value],
-    mut prof: Option<&mut ExecProfile>,
-) -> Result<ResultSet> {
-    let started = std::time::Instant::now();
-    // Uncorrelated subqueries run once, up front.
-    let had_subqueries = select_has_subqueries(sel);
-    let resolved;
-    let sel = if had_subqueries {
-        resolved = resolve_select(db, sel, params)?;
-        &resolved
-    } else {
-        sel
-    };
-
-    // Statistics-driven scan selection: an eligible aggregate query may
-    // run on column chunks instead of materialized rows. A `None` from
-    // the kernels (unsupported chunk data) falls through to row
-    // execution below.
-    if let Some(choice) = columnar_decision(db, sel, params, had_subqueries)? {
-        if let Some(mut out) = columnar_select(db, sel, &choice, params, prof.as_deref_mut())? {
-            let offset = sel.offset.unwrap_or(0) as usize;
-            if offset > 0 {
-                out.rows.drain(..offset.min(out.rows.len()));
-            }
-            if let Some(limit) = sel.limit {
-                out.rows.truncate(limit as usize);
-            }
-            out.elapsed = started.elapsed();
-            return Ok(out);
-        }
-    } else if early_exit_shape_ok(sel) && !had_subqueries {
-        // LIMIT pushdown: stop scanning once OFFSET + LIMIT rows match.
-        // Mutually exclusive with the columnar path (which requires
-        // aggregation) — checked in the else so only one fast path runs.
-        let mut out = early_exit_select(db, sel, params, prof.as_deref_mut())?;
-        out.elapsed = started.elapsed();
-        return Ok(out);
-    }
-
-    // Scalar SELECT without FROM.
-    let (layout, mut rows) = match &sel.from {
-        None => (Layout::default(), vec![Vec::new()]),
-        Some(base) => scan_and_join(db, base, sel, params, prof.as_deref_mut())?,
-    };
-    let rows_scanned = match &sel.from {
-        None => 0,
-        Some(_) => rows.len() as u64,
-    };
-
-    // WHERE
-    if let Some(pred) = &sel.where_clause {
-        if pred.contains_aggregate() {
-            return Err(DbError::Eval("aggregates are not allowed in WHERE".into()));
-        }
-        let _stage = telemetry::span("db.exec.filter");
-        let t0 = prof.is_some().then(Instant::now);
-        let rows_in = rows.len();
-        let mut partitions_used = 0;
-        rows = match pool::partitions(rows.len()) {
-            Some(ranges) => {
-                // Partition the materialized rows; concatenating kept rows
-                // in partition order preserves the serial result order.
-                telemetry::add("db.exec.parallel_filters", 1);
-                partitions_used = ranges.len();
-                let rows_ref = &rows;
-                let chunks = pool::try_run(ranges.len(), |pi| {
-                    let mut kept = Vec::new();
-                    for row in &rows_ref[ranges[pi].clone()] {
-                        let env = Env::new(&layout, row, params);
-                        if eval_condition(pred, &env)? {
-                            kept.push(row.clone());
-                        }
-                    }
-                    Ok::<Vec<Row>, DbError>(kept)
-                })?;
-                chunks.into_iter().flatten().collect()
-            }
-            None => {
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let env = Env::new(&layout, &row, params);
-                    if eval_condition(pred, &env)? {
-                        kept.push(row);
-                    }
-                }
-                kept
-            }
-        };
-        if let Some(p) = prof.as_deref_mut() {
-            p.filter = Some((
-                rows_in as u64,
-                rows.len() as u64,
-                partitions_used,
-                stage_ns(t0),
-            ));
-        }
-    }
-
-    let needs_aggregation = !sel.group_by.is_empty()
-        || sel.having.is_some()
-        || sel.projections.iter().any(|p| match p {
-            Projection::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-
-    let mut out = if needs_aggregation {
-        let _stage = telemetry::span("db.exec.aggregate");
-        aggregate_path(sel, &layout, &rows, params, prof.as_deref_mut())?
-    } else {
-        let _stage = telemetry::span("db.exec.project");
-        plain_path(sel, &layout, &rows, params, prof.as_deref_mut())?
-    };
-
-    // DISTINCT
-    if sel.distinct {
-        let rows_in = out.rows.len();
-        let mut seen = std::collections::HashSet::new();
-        out.rows.retain(|r| seen.insert(r.clone()));
-        if let Some(p) = prof {
-            p.distinct = Some((rows_in as u64, out.rows.len() as u64));
-        }
-    }
-
-    // LIMIT / OFFSET
-    let offset = sel.offset.unwrap_or(0) as usize;
-    if offset > 0 {
-        out.rows.drain(..offset.min(out.rows.len()));
-    }
-    if let Some(limit) = sel.limit {
-        out.rows.truncate(limit as usize);
-    }
-    out.rows_scanned = rows_scanned;
-    out.elapsed = started.elapsed();
-    Ok(out)
-}
+// ---------------- EXPLAIN ----------------
 
 /// Describe the plan the executor would use for a SELECT (`EXPLAIN`).
 ///
-/// The description is produced by the same decision code the executor
-/// runs — index candidate selection, base-conjunct pushdown, projection
-/// masking, and per-join strategy — so it cannot drift from reality.
+/// The description is rendered from the very plan tree the executor
+/// walks — same lowering, same rewrite rules, same access decisions —
+/// so it cannot drift from reality. Fired rewrite rules are appended as
+/// `optimizer:` trail lines.
 pub fn explain_select(db: &Database, sel: &Select, params: &[Value]) -> Result<Vec<String>> {
-    let mut lines = Vec::new();
-    let Some(base) = &sel.from else {
-        lines.push("result: constant row (no FROM)".to_string());
-        return Ok(lines);
-    };
-    let base_source = resolve_table(db, &base.table)?;
-    let base_table: &Table = &base_source;
-    let base_binding = base.effective_name().to_string();
-    let layout1 = Layout::single(
-        base_binding.clone(),
-        base_table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect(),
-    );
-    let needed = needed_columns(sel);
-    // Same decision the executor makes: columnar beats index beats seq
-    // when statistics justify it.
     let had_subqueries = select_has_subqueries(sel);
-    let columnar = columnar_decision(db, sel, params, had_subqueries)?;
-    if base_source.is_virtual() {
-        // System tables have no indexes or chunk caches; the executor
-        // always row-scans the per-statement materialization.
-        let mut line = format!(
-            "virtual scan on {} ({} row(s), materialized from live engine state)",
-            base.table,
-            base_table.len()
-        );
-        if early_exit_shape_ok(sel) && !had_subqueries {
-            line.push_str(&format!(
-                " [early exit after {} match(es)]",
-                early_exit_take(sel)
-            ));
-        }
-        lines.push(line);
-    } else if let Some(choice) = &columnar {
-        lines.push(format!(
-            "columnar scan on {} ({} live row(s), {} chunk(s) of {}, {} kernel(s), {} fused predicate(s); {})",
-            base.table,
-            base_table.len(),
-            base_table.chunk_count(),
-            CHUNK_ROWS,
-            choice.plan.aggs.len(),
-            choice.plan.pred_count(),
-            choice.reason
-        ));
-    } else {
-        match index_candidates(
-            base_table,
-            &base_binding,
-            &layout1,
-            sel.where_clause.as_ref(),
-            params,
-        )? {
-            Some(choice) => {
-                let mut line = format!(
-                    "index scan on {} ({} candidate row(s) of {}) via {}, {} distinct key(s)",
-                    base.table,
-                    choice.ids.len(),
-                    base_table.len(),
-                    choice.index_name,
-                    choice.distinct_keys
-                );
-                if let Some((lo, hi)) = &choice.key_range {
-                    line.push_str(&format!(", key range [{lo}, {hi}]"));
-                }
-                if early_exit_shape_ok(sel) && !had_subqueries {
-                    line.push_str(&format!(
-                        " [early exit after {} match(es)]",
-                        early_exit_take(sel)
-                    ));
-                }
-                lines.push(line);
-            }
-            None => {
-                let mut line = format!("seq scan on {} ({} row(s))", base.table, base_table.len());
-                if early_exit_shape_ok(sel) && !had_subqueries {
-                    line.push_str(&format!(
-                        " [early exit after {} match(es)]",
-                        early_exit_take(sel)
-                    ));
-                }
-                lines.push(line);
-            }
-        }
+    let planned = plan::plan_select(db, sel, params, had_subqueries)?;
+    Ok(render_plan(&planned))
+}
+
+fn render_plan(planned: &PlannedSelect<'_>) -> Vec<String> {
+    let tail = decompose(&planned.root);
+    let mut lines = Vec::new();
+    // Strip an optional Filter to reach the join chain / base scan.
+    let (filter_present, mut node) = match tail.pipeline {
+        LogicalPlan::Filter { input, .. } => (true, &**input),
+        n => (false, n),
+    };
+    if matches!(node, LogicalPlan::Empty) {
+        lines.push("result: constant row (no FROM)".to_string());
+        return lines;
     }
-    if !sel.joins.is_empty() {
-        if let Some(pred) = &sel.where_clause {
-            let pushed = conjuncts(pred)
-                .into_iter()
-                .filter(|c| !c.contains_aggregate() && refs_only_layout(c, &layout1))
-                .count();
-            if pushed > 0 {
-                lines.push(format!("  pushdown: {pushed} base-only conjunct(s)"));
-            }
-        }
+    // Flatten the left-deep join chain, outermost last.
+    let mut joins: Vec<(&ScanNode<'_>, JoinKind, Option<&Expr>)> = Vec::new();
+    while let LogicalPlan::Join {
+        left,
+        right,
+        kind,
+        on,
+    } = node
+    {
+        joins.push((right, *kind, on.as_ref()));
+        node = left;
     }
-    let base_cols: Vec<String> = base_table
-        .schema
-        .columns
-        .iter()
-        .map(|c| c.name.clone())
-        .collect();
-    if let Some(mask) = column_mask(&base_binding, &base_cols, &needed) {
-        let masked = mask.iter().filter(|&&k| !k).count();
+    joins.reverse();
+    let LogicalPlan::Scan(base) = node else {
+        lines.push("result: constant row (no FROM)".to_string());
+        return lines;
+    };
+
+    lines.push(scan_line(base));
+    if !joins.is_empty() && !base.pushed.is_empty() {
         lines.push(format!(
-            "  projection pruning: {masked}/{} column(s) of {} masked",
-            base_cols.len(),
-            base.table
+            "  pushdown: {} base-only conjunct(s)",
+            base.pushed.len()
         ));
     }
-    // joins, left-to-right, using the same equi-detection
-    let mut bindings = vec![(base_binding.clone(), base_cols.clone())];
-    for join in &sel.joins {
-        let right_source = resolve_table(db, &join.table.table)?;
-        let right_table: &Table = &right_source;
-        let right_binding = join.table.effective_name().to_string();
-        let right_cols: Vec<String> = right_table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
+    push_mask_line(&mut lines, base);
+
+    let mut bindings: Vec<(String, Vec<String>)> =
+        vec![(base.binding.clone(), base.columns.clone())];
+    for (right, kind, on) in &joins {
         let left_layout = Layout::new(bindings.clone());
-        let strategy = match join.kind {
+        let strategy = match kind {
             JoinKind::Cross => "cross join (cartesian)".to_string(),
             JoinKind::Inner | JoinKind::Left => {
-                let kind = if join.kind == JoinKind::Left {
+                let k = if *kind == JoinKind::Left {
                     "left"
                 } else {
                     "inner"
                 };
-                match join
-                    .on
-                    .as_ref()
-                    .and_then(|on| equi_offsets(on, &left_layout, &right_binding, &right_cols))
+                match on
+                    .and_then(|on| equi_offsets(on, &left_layout, &right.binding, &right.columns))
                 {
-                    Some(_) => format!("{kind} hash join"),
-                    None => format!("{kind} nested-loop join"),
+                    Some(_) => format!("{k} hash join"),
+                    None => format!("{k} nested-loop join"),
                 }
             }
         };
         lines.push(format!(
             "{strategy} with {} ({} row(s))",
-            join.table.table,
-            right_table.len()
+            right.table_name,
+            right.source.len()
         ));
-        if let Some(mask) = column_mask(&right_binding, &right_cols, &needed) {
-            let masked = mask.iter().filter(|&&k| !k).count();
+        if !right.pushed.is_empty() {
             lines.push(format!(
-                "  projection pruning: {masked}/{} column(s) of {} masked",
-                right_cols.len(),
-                join.table.table
+                "  pushdown: {} conjunct(s) into {}",
+                right.pushed.len(),
+                right.table_name
             ));
         }
-        bindings.push((right_binding, right_cols));
+        push_mask_line(&mut lines, right);
+        bindings.push((right.binding.clone(), right.columns.clone()));
     }
+
     // A columnar scan fuses the WHERE predicates into the scan itself, so
     // there is no separate filter operator to report.
-    if sel.where_clause.is_some() && columnar.is_none() {
+    if filter_present && !matches!(base.access, Access::Columnar { .. }) {
         lines.push("filter: WHERE".to_string());
     }
-    let has_agg = !sel.group_by.is_empty()
-        || sel.having.is_some()
-        || sel.projections.iter().any(|p| match p {
-            Projection::Expr { expr, .. } => expr.contains_aggregate(),
-            _ => false,
-        });
-    if has_agg {
+    if let Some((group_by, having)) = tail.aggregate {
         lines.push(format!(
             "aggregate: group by {} expr(s){}",
-            sel.group_by.len(),
-            if sel.having.is_some() { ", having" } else { "" }
+            group_by.len(),
+            if having.is_some() { ", having" } else { "" }
         ));
     }
-    if sel.distinct {
+    if tail.distinct {
         lines.push("distinct".to_string());
     }
-    if !sel.order_by.is_empty() {
-        lines.push(format!("sort: {} key(s)", sel.order_by.len()));
+    if !tail.order_by.is_empty() {
+        lines.push(format!("sort: {} key(s)", tail.order_by.len()));
     }
-    if sel.limit.is_some() || sel.offset.is_some() {
-        lines.push(format!("limit {:?} offset {:?}", sel.limit, sel.offset));
+    if tail.has_limit {
+        lines.push(format!("limit {:?} offset {:?}", tail.limit, tail.offset));
     }
-    Ok(lines)
+    if planned.optimizer_off {
+        lines.push("optimizer: off (rewrite rules disabled)".to_string());
+    } else {
+        for t in &planned.trail {
+            lines.push(format!("optimizer: {}: {}", t.rule, t.detail));
+        }
+    }
+    lines
+}
+
+fn scan_line(scan: &ScanNode<'_>) -> String {
+    let table: &Table = &scan.source;
+    let mut line = if scan.source.is_virtual() {
+        // System tables have no indexes or chunk caches; the executor
+        // always row-scans the per-statement materialization.
+        format!(
+            "virtual scan on {} ({} row(s), materialized from live engine state)",
+            scan.table_name,
+            table.len()
+        )
+    } else {
+        match &scan.access {
+            Access::Columnar { plan, reason } => format!(
+                "columnar scan on {} ({} live row(s), {} chunk(s) of {}, {} kernel(s), {} fused predicate(s); {})",
+                scan.table_name,
+                table.len(),
+                table.chunk_count(),
+                CHUNK_ROWS,
+                plan.aggs.len(),
+                plan.pred_count(),
+                reason
+            ),
+            Access::Index(choice) => {
+                let mut l = format!(
+                    "index scan on {} ({} candidate row(s) of {}) via {}, {} distinct key(s)",
+                    scan.table_name,
+                    choice.ids.len(),
+                    table.len(),
+                    choice.index_name,
+                    choice.distinct_keys
+                );
+                if let Some((lo, hi)) = &choice.key_range {
+                    l.push_str(&format!(", key range [{lo}, {hi}]"));
+                }
+                l
+            }
+            Access::IndexOrder { index_name, column } => format!(
+                "index-order scan on {} ({} row(s)) via {}, ascending by {}",
+                scan.table_name,
+                table.len(),
+                index_name,
+                column
+            ),
+            Access::Seq => format!("seq scan on {} ({} row(s))", scan.table_name, table.len()),
+        }
+    };
+    if let Some(take) = scan.stop_after {
+        if !matches!(scan.access, Access::Columnar { .. }) {
+            line.push_str(&format!(" [early exit after {take} match(es)]"));
+        }
+    }
+    line
+}
+
+fn push_mask_line(lines: &mut Vec<String>, scan: &ScanNode<'_>) {
+    if let Some(mask) = &scan.mask {
+        let masked = mask.iter().filter(|&&k| !k).count();
+        lines.push(format!(
+            "  projection pruning: {masked}/{} column(s) of {} masked",
+            scan.columns.len(),
+            scan.table_name
+        ));
+    }
 }
 
 /// `EXPLAIN ANALYZE` for a SELECT: execute it for real with per-operator
@@ -968,8 +1127,8 @@ pub fn explain_analyze_select(
 ) -> Result<Vec<String>> {
     let mut prof = ExecProfile::default();
     let rs = execute_select_profiled(db, sel, params, Some(&mut prof))?;
-    // The static plan comes from the same decision code the execution
-    // just ran, against the same database state, so lines match operators
+    // The static plan comes from the same planner the execution just ran,
+    // against the same database state, so lines match operators
     // one-to-one.
     let mut lines = explain_select(db, sel, params)?;
     let mut joins = prof.joins.iter();
@@ -987,6 +1146,7 @@ pub fn explain_analyze_select(
                 line.push_str(" [fell back to row execution]");
             }
         } else if line.starts_with("index scan on ")
+            || line.starts_with("index-order scan on ")
             || line.starts_with("seq scan on ")
             || line.starts_with("virtual scan on ")
         {
@@ -1038,18 +1198,10 @@ pub fn explain_analyze_select(
     Ok(lines)
 }
 
-// ---------------- scan + join ----------------
-
-fn table_layout_entry(db: &Database, tref: &TableRef) -> Result<(String, Vec<String>)> {
-    let t = resolve_table(db, &tref.table)?;
-    Ok((
-        tref.effective_name().to_string(),
-        t.schema.columns.iter().map(|c| c.name.clone()).collect(),
-    ))
-}
+// ---------------- shared analysis helpers ----------------
 
 /// Collect every column reference in an expression tree.
-fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
+pub(crate) fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>) {
     match expr {
         Expr::Column { table, column } => out.push((table.as_deref(), column)),
         Expr::Literal(_) | Expr::Param(_) => {}
@@ -1100,63 +1252,6 @@ fn collect_columns<'a>(expr: &'a Expr, out: &mut Vec<(Option<&'a str>, &'a str)>
     }
 }
 
-/// Columns the query actually reads, or `None` when a wildcard projection
-/// requires everything. Used for projection pruning: unneeded columns are
-/// masked to NULL at materialization time, which avoids cloning large
-/// strings from dimension tables into every joined fact row.
-fn needed_columns(sel: &Select) -> Option<Vec<(Option<&str>, &str)>> {
-    let mut out = Vec::new();
-    for p in &sel.projections {
-        match p {
-            Projection::Wildcard | Projection::TableWildcard(_) => return None,
-            Projection::Expr { expr, .. } => collect_columns(expr, &mut out),
-        }
-    }
-    if let Some(w) = &sel.where_clause {
-        collect_columns(w, &mut out);
-    }
-    for g in &sel.group_by {
-        collect_columns(g, &mut out);
-    }
-    if let Some(h) = &sel.having {
-        collect_columns(h, &mut out);
-    }
-    for o in &sel.order_by {
-        collect_columns(&o.expr, &mut out);
-        // ORDER BY bare names may refer to projection aliases; aliases are
-        // computed from projections already collected above. Bare names
-        // that are real columns are collected by collect_columns too.
-    }
-    for j in &sel.joins {
-        if let Some(on) = &j.on {
-            collect_columns(on, &mut out);
-        }
-    }
-    Some(out)
-}
-
-/// Per-column keep/mask flags for one binding.
-fn column_mask(
-    binding: &str,
-    columns: &[String],
-    needed: &Option<Vec<(Option<&str>, &str)>>,
-) -> Option<Vec<bool>> {
-    let needed = needed.as_ref()?;
-    let mask: Vec<bool> = columns
-        .iter()
-        .map(|col| {
-            needed.iter().any(|(t, c)| {
-                c.eq_ignore_ascii_case(col) && t.is_none_or(|t| t.eq_ignore_ascii_case(binding))
-            })
-        })
-        .collect();
-    if mask.iter().all(|&k| k) {
-        None // nothing to prune
-    } else {
-        Some(mask)
-    }
-}
-
 fn masked_clone(row: &Row, mask: &Option<Vec<bool>>) -> Row {
     match mask {
         None => row.clone(),
@@ -1166,236 +1261,6 @@ fn masked_clone(row: &Row, mask: &Option<Vec<bool>>) -> Row {
             .map(|(v, &keep)| if keep { v.clone() } else { Value::Null })
             .collect(),
     }
-}
-
-fn scan_and_join(
-    db: &Database,
-    base: &TableRef,
-    sel: &Select,
-    params: &[Value],
-    mut prof: Option<&mut ExecProfile>,
-) -> Result<(Layout, Vec<Row>)> {
-    let joins = &sel.joins;
-    let where_clause = sel.where_clause.as_ref();
-    let needed = needed_columns(sel);
-    // Base scan with index pushdown.
-    let base_source = resolve_table(db, &base.table)?;
-    let base_table: &Table = &base_source;
-    let base_binding = base.effective_name().to_string();
-    let mut bindings = vec![table_layout_entry(db, base)?];
-
-    let mut scan_partitions = 0usize;
-    let scan_t0 = prof.is_some().then(Instant::now);
-    let base_rows: Vec<Row> = {
-        let _stage = telemetry::span("db.exec.scan");
-        let layout1 = Layout::single(
-            base_binding.clone(),
-            base_table
-                .schema
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect(),
-        );
-        let candidates =
-            index_candidates(base_table, &base_binding, &layout1, where_clause, params)?;
-        // Push down every WHERE conjunct that references only base-table
-        // columns, *before* materializing rows for the join — this keeps
-        // filtered scans over million-row fact tables from cloning the
-        // whole table.
-        let pushdown: Vec<&Expr> = match (where_clause, joins.is_empty()) {
-            (Some(pred), false) => conjuncts(pred)
-                .into_iter()
-                .filter(|c| !c.contains_aggregate() && refs_only_layout(c, &layout1))
-                .collect(),
-            _ => Vec::new(), // without joins the main WHERE pass handles it
-        };
-        let keep = |row: &Row| -> Result<bool> {
-            for c in &pushdown {
-                let env = Env::new(&layout1, row, params);
-                if !eval_condition(c, &env)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        };
-        let base_mask = column_mask(
-            &base_binding,
-            &base_table
-                .schema
-                .columns
-                .iter()
-                .map(|c| c.name.clone())
-                .collect::<Vec<_>>(),
-            &needed,
-        );
-        match candidates {
-            Some(choice) => {
-                let mut out = Vec::with_capacity(choice.ids.len());
-                for id in choice.ids {
-                    if let Some(row) = base_table.row(id) {
-                        if keep(row)? {
-                            out.push(masked_clone(row, &base_mask));
-                        }
-                    }
-                }
-                out
-            }
-            None => {
-                // Full scan. The slab is chunked by row-id range; live rows
-                // concatenated in partition order match `Table::iter`'s
-                // ascending-id order, so the parallel scan returns rows in
-                // exactly the serial order.
-                match pool::partitions(base_table.slab_len()) {
-                    Some(ranges) => {
-                        telemetry::add("db.exec.parallel_scans", 1);
-                        scan_partitions = ranges.len();
-                        let keep = &keep;
-                        let base_mask = &base_mask;
-                        let chunks = pool::try_run(ranges.len(), |pi| {
-                            let mut part = Vec::new();
-                            for id in ranges[pi].clone() {
-                                if let Some(row) = base_table.row(id as crate::table::RowId) {
-                                    if keep(row)? {
-                                        part.push(masked_clone(row, base_mask));
-                                    }
-                                }
-                            }
-                            Ok::<Vec<Row>, DbError>(part)
-                        })?;
-                        chunks.into_iter().flatten().collect()
-                    }
-                    None => {
-                        let mut out = Vec::new();
-                        for (_, row) in base_table.iter() {
-                            if keep(row)? {
-                                out.push(masked_clone(row, &base_mask));
-                            }
-                        }
-                        out
-                    }
-                }
-            }
-        }
-    };
-
-    if let Some(p) = prof.as_deref_mut() {
-        p.scan = Some((base_rows.len() as u64, scan_partitions, stage_ns(scan_t0)));
-    }
-
-    let mut rows = base_rows;
-    for join in joins {
-        let _stage = telemetry::span("db.exec.join");
-        let join_t0 = prof.is_some().then(Instant::now);
-        let right_source = resolve_table(db, &join.table.table)?;
-        let right_table: &Table = &right_source;
-        let right_binding = join.table.effective_name().to_string();
-        if bindings
-            .iter()
-            .any(|(b, _)| b.eq_ignore_ascii_case(&right_binding))
-        {
-            return Err(DbError::Unsupported(format!(
-                "duplicate table binding {right_binding:?} in FROM (use an alias)"
-            )));
-        }
-        let right_cols: Vec<String> = right_table
-            .schema
-            .columns
-            .iter()
-            .map(|c| c.name.clone())
-            .collect();
-        let right_width = right_cols.len();
-        let left_layout = Layout::new(bindings.clone());
-        bindings.push((right_binding.clone(), right_cols.clone()));
-        let full_layout = Layout::new(bindings.clone());
-
-        let right_rows: Vec<&Row> = right_table.iter().map(|(_, r)| r).collect();
-        let right_mask = column_mask(&right_binding, &right_cols, &needed);
-        let extend_masked = |row: &mut Row, r: &Row| match &right_mask {
-            None => row.extend(r.iter().cloned()),
-            Some(mask) => {
-                row.extend(
-                    r.iter()
-                        .zip(mask)
-                        .map(|(v, &keep)| if keep { v.clone() } else { Value::Null }),
-                )
-            }
-        };
-
-        let mut joined: Vec<Row> = Vec::new();
-        match join.kind {
-            JoinKind::Cross => {
-                for l in &rows {
-                    for r in &right_rows {
-                        let mut row = l.clone();
-                        extend_masked(&mut row, r);
-                        joined.push(row);
-                    }
-                }
-            }
-            JoinKind::Inner | JoinKind::Left => {
-                let on = join
-                    .on
-                    .as_ref()
-                    .ok_or_else(|| DbError::Unsupported("JOIN requires ON".into()))?;
-                // Try hash join on a simple equi-condition.
-                if let Some((l_off, r_off)) =
-                    equi_offsets(on, &left_layout, &right_binding, &right_cols)
-                {
-                    let mut table: HashMap<Value, Vec<&Row>> = HashMap::new();
-                    for r in &right_rows {
-                        let key = &r[r_off];
-                        if !key.is_null() {
-                            table.entry(key.clone()).or_default().push(r);
-                        }
-                    }
-                    for l in &rows {
-                        let key = &l[l_off];
-                        let matches = if key.is_null() { None } else { table.get(key) };
-                        match matches {
-                            Some(ms) if !ms.is_empty() => {
-                                for m in ms {
-                                    let mut row = l.clone();
-                                    extend_masked(&mut row, m);
-                                    joined.push(row);
-                                }
-                            }
-                            _ if join.kind == JoinKind::Left => {
-                                let mut row = l.clone();
-                                row.extend(std::iter::repeat_n(Value::Null, right_width));
-                                joined.push(row);
-                            }
-                            _ => {}
-                        }
-                    }
-                } else {
-                    // General nested loop with full ON evaluation.
-                    for l in &rows {
-                        let mut matched = false;
-                        for r in &right_rows {
-                            let mut row = l.clone();
-                            extend_masked(&mut row, r);
-                            let env = Env::new(&full_layout, &row, params);
-                            if eval_condition(on, &env)? {
-                                joined.push(row);
-                                matched = true;
-                            }
-                        }
-                        if !matched && join.kind == JoinKind::Left {
-                            let mut row = l.clone();
-                            row.extend(std::iter::repeat_n(Value::Null, right_width));
-                            joined.push(row);
-                        }
-                    }
-                }
-            }
-        }
-        rows = joined;
-        if let Some(p) = prof.as_deref_mut() {
-            p.joins.push((rows.len() as u64, stage_ns(join_t0)));
-        }
-    }
-    Ok((Layout::new(bindings), rows))
 }
 
 /// If `on` is `left_col = right_col` (either order), return flat offsets
@@ -1450,7 +1315,7 @@ fn equi_offsets(
 }
 
 /// True if every column reference in `expr` resolves within `layout`.
-fn refs_only_layout(expr: &Expr, layout: &Layout) -> bool {
+pub(crate) fn refs_only_layout(expr: &Expr, layout: &Layout) -> bool {
     match expr {
         Expr::Column { table, column } => layout.resolve(table.as_deref(), column).is_ok(),
         Expr::Literal(_) | Expr::Param(_) => true,
@@ -1510,7 +1375,7 @@ pub(crate) fn conjuncts(expr: &Expr) -> Vec<&Expr> {
 #[derive(Debug)]
 pub(crate) struct IndexChoice {
     /// Candidate row ids, in index key order.
-    pub ids: Vec<crate::table::RowId>,
+    pub ids: Vec<RowId>,
     /// Name of the consulted index.
     pub index_name: String,
     /// Distinct non-NULL keys in the index (cardinality statistic).
@@ -1520,7 +1385,7 @@ pub(crate) struct IndexChoice {
 }
 
 impl IndexChoice {
-    fn new(ix: &crate::index::Index, ids: Vec<crate::table::RowId>) -> Self {
+    fn new(ix: &crate::index::Index, ids: Vec<RowId>) -> Self {
         IndexChoice {
             ids,
             index_name: ix.name.clone(),
@@ -1537,7 +1402,7 @@ impl IndexChoice {
 /// the candidate row ids; `None` means full scan. Also used by the
 /// UPDATE/DELETE executors to avoid full-table target scans.
 pub(crate) fn index_candidates(
-    table: &crate::table::Table,
+    table: &Table,
     binding: &str,
     layout1: &Layout,
     where_clause: Option<&Expr>,
@@ -1649,9 +1514,9 @@ fn flip(op: BinaryOp) -> BinaryOp {
 // ---------------- projection ----------------
 
 /// Expand projections into (name, expr) pairs; wildcards become columns.
-fn expand_projections(sel: &Select, layout: &Layout) -> Result<Vec<(String, Expr)>> {
+fn expand_projections(projections: &[Projection], layout: &Layout) -> Result<Vec<(String, Expr)>> {
     let mut out = Vec::new();
-    for p in &sel.projections {
+    for p in projections {
         match p {
             Projection::Wildcard => {
                 for (binding, col) in layout.flat() {
@@ -1688,22 +1553,23 @@ fn expand_projections(sel: &Select, layout: &Layout) -> Result<Vec<(String, Expr
 }
 
 fn plain_path(
-    sel: &Select,
+    proj: &[Projection],
+    order_by: &[OrderItem],
     layout: &Layout,
     rows: &[Row],
     params: &[Value],
     prof: Option<&mut ExecProfile>,
 ) -> Result<ResultSet> {
-    let projections = expand_projections(sel, layout)?;
+    let projections = expand_projections(proj, layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
 
     // ORDER BY before projection so sort keys can use any source column.
     let mut indices: Vec<usize> = (0..rows.len()).collect();
-    if !sel.order_by.is_empty() {
+    if !order_by.is_empty() {
         let _stage = telemetry::span("db.exec.sort");
         let t0 = prof.is_some().then(Instant::now);
-        let keys = order_keys(&sel.order_by, layout, rows, params, &projections, None)?;
-        sort_indices(&mut indices, &keys, &sel.order_by);
+        let keys = order_keys(order_by, layout, rows, params, &projections)?;
+        sort_indices(&mut indices, &keys, order_by);
         if let Some(p) = prof {
             p.sort_ns = stage_ns(t0);
         }
@@ -1728,7 +1594,7 @@ fn plain_path(
 // ---------------- aggregation ----------------
 
 /// Collect every distinct aggregate sub-expression in a tree.
-fn collect_aggregates<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+pub(crate) fn collect_aggregates<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
     match expr {
         Expr::Aggregate { .. } => {
             if !out.contains(&expr) {
@@ -1837,15 +1703,19 @@ fn substitute(expr: &Expr, aggs: &[&Expr], values: &[Value]) -> Expr {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn aggregate_path(
-    sel: &Select,
+    proj: &[Projection],
+    group_by: &[Expr],
+    having: Option<&Expr>,
+    order_by: &[OrderItem],
     layout: &Layout,
     rows: &[Row],
     params: &[Value],
     mut prof: Option<&mut ExecProfile>,
 ) -> Result<ResultSet> {
     let agg_t0 = prof.is_some().then(Instant::now);
-    let projections = expand_projections(sel, layout)?;
+    let projections = expand_projections(proj, layout)?;
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
 
     // All aggregate expressions across projections, HAVING, ORDER BY.
@@ -1853,10 +1723,10 @@ fn aggregate_path(
     for (_, e) in &projections {
         collect_aggregates(e, &mut aggs);
     }
-    if let Some(h) = &sel.having {
+    if let Some(h) = having {
         collect_aggregates(h, &mut aggs);
     }
-    for o in &sel.order_by {
+    for o in order_by {
         collect_aggregates(&o.expr, &mut aggs);
     }
 
@@ -1878,12 +1748,12 @@ fn aggregate_path(
             agg_partitions = ranges.len();
             let aggs_ref = &aggs;
             let partials = pool::try_run(ranges.len(), |pi| {
-                group_and_accumulate(sel, layout, rows, params, aggs_ref, ranges[pi].clone())
+                group_and_accumulate(group_by, layout, rows, params, aggs_ref, ranges[pi].clone())
             })?;
             let _merge = telemetry::span("db.exec.merge");
             merge_group_partials(partials)?
         }
-        None => group_and_accumulate(sel, layout, rows, params, &aggs, 0..rows.len())?,
+        None => group_and_accumulate(group_by, layout, rows, params, &aggs, 0..rows.len())?,
     };
     let group_count = groups.len() as u64;
 
@@ -1901,7 +1771,7 @@ fn aggregate_path(
         let env = Env::new(layout, rep, params);
 
         // HAVING
-        if let Some(h) = &sel.having {
+        if let Some(h) = having {
             let h_sub = substitute(h, &aggs, &agg_values);
             if !eval_condition(&h_sub, &env)? {
                 continue;
@@ -1915,8 +1785,8 @@ fn aggregate_path(
         }
 
         // ORDER BY keys for this group (computed now, sorted below).
-        let mut keys = Vec::with_capacity(sel.order_by.len());
-        for o in &sel.order_by {
+        let mut keys = Vec::with_capacity(order_by.len());
+        for o in order_by {
             let key = resolve_order_expr(&o.expr, &projections, &columns, &out)?;
             match key {
                 Some(v) => keys.push(v),
@@ -1936,11 +1806,11 @@ fn aggregate_path(
     }
 
     // Sort groups.
-    if !sel.order_by.is_empty() {
+    if !order_by.is_empty() {
         let _stage = telemetry::span("db.exec.sort");
         let t0 = prof.is_some().then(Instant::now);
         out_rows.sort_by(|a, b| {
-            for (i, o) in sel.order_by.iter().enumerate() {
+            for (i, o) in order_by.iter().enumerate() {
                 let ord = a.0[i].total_cmp(&b.0[i]);
                 let ord = if o.descending { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
@@ -1995,7 +1865,7 @@ fn update_accumulators(accs: &mut [Accumulator], aggs: &[&Expr], env: &Env) -> R
 /// Called with the full range on the serial path, and once per partition on
 /// the parallel path.
 fn group_and_accumulate(
-    sel: &Select,
+    group_by: &[Expr],
     layout: &Layout,
     rows: &[Row],
     params: &[Value],
@@ -2003,7 +1873,7 @@ fn group_and_accumulate(
     range: Range<usize>,
 ) -> Result<Vec<GroupState>> {
     let mut groups: Vec<GroupState> = Vec::new();
-    if sel.group_by.is_empty() {
+    if group_by.is_empty() {
         let rep = (!range.is_empty()).then_some(range.start);
         let mut accs = new_accumulators(aggs);
         for i in range {
@@ -2015,8 +1885,8 @@ fn group_and_accumulate(
         let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
         for i in range {
             let env = Env::new(layout, &rows[i], params);
-            let mut key = Vec::with_capacity(sel.group_by.len());
-            for g in &sel.group_by {
+            let mut key = Vec::with_capacity(group_by.len());
+            for g in group_by {
                 key.push(eval(g, &env)?);
             }
             let gi = match group_index.get(&key) {
@@ -2108,7 +1978,6 @@ fn order_keys(
     rows: &[Row],
     params: &[Value],
     projections: &[(String, Expr)],
-    _unused: Option<()>,
 ) -> Result<Vec<Vec<Value>>> {
     let columns: Vec<String> = projections.iter().map(|(n, _)| n.clone()).collect();
     let mut keys = Vec::with_capacity(rows.len());

@@ -55,6 +55,7 @@ pub mod faults;
 pub mod index;
 pub mod introspect;
 pub mod observe;
+pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod storage;
@@ -70,6 +71,10 @@ pub use exec::{Outcome, ResultSet};
 pub use faults::{FaultKind, FaultPlan, FaultVfs};
 pub use observe::{
     set_slow_query_threshold, slow_query_log, slow_query_threshold, SlowQueryRecord,
+};
+pub use plan::{
+    optimizer_config, override_for_thread as override_optimizer, OptimizerConfig,
+    OptimizerOverrideGuard,
 };
 pub use schema::{ColumnDef, TableSchema};
 pub use storage::Durability;

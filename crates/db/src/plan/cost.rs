@@ -1,0 +1,175 @@
+//! Physical access selection: decide per [`ScanNode`] how its rows are
+//! read — columnar kernels, index candidates, index-order, or a
+//! sequential scan — using table and index statistics.
+//!
+//! This is a *cost* decision, not a rewrite: it runs with the optimizer
+//! off too (matching the pre-IR engine, where index and columnar
+//! dispatch were per-statement heuristics independent of any rewrites),
+//! and it never changes what rows the plan produces, only how they are
+//! found.
+
+use super::ir::{base_scan_mut, Access, LogicalPlan};
+use crate::column::CHUNK_ROWS;
+use crate::error::Result;
+use crate::exec::select::{collect_aggregates, has_bare_column, index_candidates};
+use crate::exec::vector;
+use crate::sql::ast::{Expr, Projection};
+use crate::value::Value;
+
+/// Annotate every scan in the plan with its access decision.
+pub(crate) fn decide_access(
+    root: &mut LogicalPlan<'_>,
+    params: &[Value],
+    had_subqueries: bool,
+) -> Result<()> {
+    if let Some((plan, reason)) = columnar_choice(root, params, had_subqueries)? {
+        if let Some(scan) = base_scan_mut(root) {
+            scan.access = Access::Columnar {
+                plan: Box::new(plan),
+                reason,
+            };
+        }
+        return Ok(());
+    }
+    // Join right sides always scan sequentially in insertion order (an
+    // index-ordered right side would permute join output), so only the
+    // base scan gets an index decision.
+    let Some(scan) = base_scan_mut(root) else {
+        return Ok(());
+    };
+    if !matches!(scan.access, Access::Seq) {
+        return Ok(()); // sort-elision preset an index-order scan
+    }
+    if scan.source.is_virtual() {
+        return Ok(()); // per-statement materializations have no indexes
+    }
+    let choice = index_candidates(
+        &scan.source,
+        &scan.binding,
+        &scan.layout1(),
+        scan.index_filter.as_ref(),
+        params,
+    )?;
+    if let Some(choice) = choice {
+        scan.access = Access::Index(choice);
+    }
+    Ok(())
+}
+
+/// Decide between columnar, index, and sequential execution for an
+/// eligible aggregate plan, using the same statistics thresholds the
+/// pre-IR heuristic applied. Returns `None` when row execution (index
+/// or seq) should run.
+fn columnar_choice(
+    root: &LogicalPlan<'_>,
+    params: &[Value],
+    had_subqueries: bool,
+) -> Result<Option<(vector::ColumnarPlan, String)>> {
+    // Subqueries resolve to literals before execution but EXPLAIN plans
+    // them unresolved; decline in both so the paths agree.
+    if had_subqueries {
+        return Ok(None);
+    }
+    let mode = vector::columnar_mode();
+    if mode == vector::ColumnarMode::Off {
+        return Ok(None);
+    }
+    // Eligible shape: Limit?(Project(Aggregate[ungrouped](Filter?(Scan))))
+    // — a single-table, ungrouped aggregate query whose projections are
+    // pure aggregate expressions. Any other node (Sort, Distinct, Join)
+    // breaks the pattern and keeps row execution.
+    let node = match root {
+        LogicalPlan::Limit { input, .. } => &**input,
+        other => other,
+    };
+    let LogicalPlan::Project { input, projections } = node else {
+        return Ok(None);
+    };
+    let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        having,
+    } = &**input
+    else {
+        return Ok(None);
+    };
+    if !group_by.is_empty() || having.is_some() {
+        return Ok(None);
+    }
+    let (scan, pred) = match &**input {
+        LogicalPlan::Scan(s) => (s, None),
+        LogicalPlan::Filter { input, predicate } => match &**input {
+            LogicalPlan::Scan(s) => (s, Some(predicate)),
+            _ => return Ok(None),
+        },
+        _ => return Ok(None),
+    };
+    if scan.source.is_virtual() {
+        // Virtual tables are rematerialized per statement, so their chunk
+        // caches would never pay off: always take the row path.
+        return Ok(None);
+    }
+    if projections.is_empty()
+        || !projections.iter().all(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate() && !has_bare_column(expr),
+            _ => false,
+        })
+    {
+        return Ok(None);
+    }
+    let layout1 = scan.layout1();
+    // Same collection order as the executor, so accumulator `i` belongs
+    // to aggregate expression `i`.
+    let mut aggs: Vec<&Expr> = Vec::new();
+    for p in projections {
+        if let Projection::Expr { expr, .. } = p {
+            collect_aggregates(expr, &mut aggs);
+        }
+    }
+    let Some(plan) = vector::plan_columnar(
+        &scan.source.schema,
+        &scan.binding,
+        &layout1,
+        &aggs,
+        pred,
+        params,
+    ) else {
+        return Ok(None);
+    };
+    let live = scan.source.len();
+    let reason = match mode {
+        vector::ColumnarMode::Force => "forced by PERFDMF_COLUMNAR".to_string(),
+        vector::ColumnarMode::Auto => {
+            match index_candidates(
+                &scan.source,
+                &scan.binding,
+                &layout1,
+                scan.index_filter.as_ref(),
+                params,
+            )? {
+                Some(choice) => {
+                    // A selective index beats scanning every chunk; a
+                    // low-selectivity one does not.
+                    if choice.ids.len().saturating_mul(4) <= live {
+                        return Ok(None);
+                    }
+                    format!(
+                        "index {} unselective: {} candidate(s) of {} live row(s), {} distinct key(s)",
+                        choice.index_name,
+                        choice.ids.len(),
+                        live,
+                        choice.distinct_keys
+                    )
+                }
+                None => {
+                    if live < CHUNK_ROWS {
+                        return Ok(None); // small table: seq scan is fine
+                    }
+                    format!("no usable index, {live} live row(s) ≥ {CHUNK_ROWS} threshold")
+                }
+            }
+        }
+        vector::ColumnarMode::Off => unreachable!("handled above"),
+    };
+    Ok(Some((plan, reason)))
+}

@@ -1,0 +1,695 @@
+//! Rule-based plan rewrites, each independently toggleable.
+//!
+//! | rule                 | rewrite                                              |
+//! |----------------------|------------------------------------------------------|
+//! | `predicate-pushdown` | move single-table WHERE conjuncts into scans of a    |
+//! |                      | join pipeline (base always; join right sides only    |
+//! |                      | for INNER/CROSS — LEFT right sides would turn        |
+//! |                      | filtered matches into NULL extensions)               |
+//! | `join-reorder`       | joins of an ungrouped aggregate query run smallest   |
+//! |                      | right side first (table stats), when ON conditions   |
+//! |                      | are qualified and local to base + own right table    |
+//! | `sort-elision`       | `ORDER BY col ASC ... LIMIT` with an index on `col`  |
+//! |                      | drops the Sort and scans in index key order          |
+//! | `limit-pushdown`     | single-table `LIMIT` fuses the WHERE into the scan   |
+//! |                      | and stops after OFFSET+LIMIT matches — never under a |
+//! |                      | Sort unless sort-elision removed it first            |
+//! | `projection-pruning` | columns no operator reads are masked to NULL at      |
+//! |                      | materialization time, per scan                       |
+//!
+//! Every rewrite preserves the result multiset AND row order of the
+//! unoptimized plan (float aggregate reassociation under join-reorder
+//! excepted), which is what the differential oracle's optimizer legs
+//! and the per-rule rewrite-equivalence suite check.
+//!
+//! Configuration: `PERFDMF_OPTIMIZER=off|0|false` disables every rule;
+//! `PERFDMF_OPT_DISABLE=rule[,rule...]` disables individual rules by
+//! the names above. Tests pin a config per thread with
+//! [`override_for_thread`], which shadows both variables.
+
+use std::cell::Cell;
+
+use super::ir::{base_scan_mut, contains_join, map_pipeline, LogicalPlan, ScanNode, TrailEntry};
+use crate::exec::select::{collect_columns, conjuncts, has_bare_column, refs_only_layout};
+use crate::sql::ast::{Expr, JoinKind, Projection};
+
+/// Which rewrite rules run. `enabled: false` turns the optimizer off
+/// wholesale (physical access selection — index and columnar — is not a
+/// rewrite and stays active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    pub enabled: bool,
+    pub predicate_pushdown: bool,
+    pub projection_pruning: bool,
+    pub limit_pushdown: bool,
+    pub sort_elision: bool,
+    pub join_reorder: bool,
+}
+
+impl OptimizerConfig {
+    /// Every rule on (the default).
+    pub fn all_on() -> Self {
+        OptimizerConfig {
+            enabled: true,
+            predicate_pushdown: true,
+            projection_pruning: true,
+            limit_pushdown: true,
+            sort_elision: true,
+            join_reorder: true,
+        }
+    }
+
+    /// No rewrites at all — the naive plan runs as lowered.
+    pub fn disabled() -> Self {
+        OptimizerConfig {
+            enabled: false,
+            predicate_pushdown: false,
+            projection_pruning: false,
+            limit_pushdown: false,
+            sort_elision: false,
+            join_reorder: false,
+        }
+    }
+
+    /// All rules on except the named one (rule names as in the module
+    /// docs). Unknown names leave everything on.
+    pub fn without(rule: &str) -> Self {
+        let mut cfg = Self::all_on();
+        cfg.disable(rule);
+        cfg
+    }
+
+    fn disable(&mut self, rule: &str) {
+        match rule.trim() {
+            "predicate-pushdown" => self.predicate_pushdown = false,
+            "projection-pruning" => self.projection_pruning = false,
+            "limit-pushdown" => self.limit_pushdown = false,
+            "sort-elision" => self.sort_elision = false,
+            "join-reorder" => self.join_reorder = false,
+            _ => {}
+        }
+    }
+
+    fn from_env() -> Self {
+        if matches!(
+            std::env::var("PERFDMF_OPTIMIZER").ok().as_deref(),
+            Some("off") | Some("0") | Some("false")
+        ) {
+            return Self::disabled();
+        }
+        let mut cfg = Self::all_on();
+        if let Ok(list) = std::env::var("PERFDMF_OPT_DISABLE") {
+            for rule in list.split(',') {
+                cfg.disable(rule);
+            }
+        }
+        cfg
+    }
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self::all_on()
+    }
+}
+
+thread_local! {
+    static CONFIG_OVERRIDE: Cell<Option<OptimizerConfig>> = const { Cell::new(None) };
+}
+
+/// The effective optimizer configuration: a thread-local override if
+/// set, else the environment.
+pub fn optimizer_config() -> OptimizerConfig {
+    CONFIG_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(OptimizerConfig::from_env)
+}
+
+/// Force an optimizer configuration for the current thread until the
+/// guard drops. The differential oracle and the rewrite-equivalence
+/// suite use this to run the same query with rules on, off, and
+/// individually disabled, in-process.
+pub fn override_for_thread(cfg: OptimizerConfig) -> OptimizerOverrideGuard {
+    let prev = CONFIG_OVERRIDE.with(|c| c.replace(Some(cfg)));
+    OptimizerOverrideGuard { prev }
+}
+
+/// Restores the previous thread-local config on drop.
+pub struct OptimizerOverrideGuard {
+    prev: Option<OptimizerConfig>,
+}
+
+impl Drop for OptimizerOverrideGuard {
+    fn drop(&mut self) {
+        CONFIG_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run the enabled rules over a lowered plan, returning the rewritten
+/// tree and the trail of fired rules.
+pub(crate) fn optimize<'a>(
+    root: LogicalPlan<'a>,
+    cfg: &OptimizerConfig,
+    had_subqueries: bool,
+) -> (LogicalPlan<'a>, Vec<TrailEntry>) {
+    let mut trail = Vec::new();
+    if !cfg.enabled {
+        return (root, trail);
+    }
+    let mut root = root;
+    if cfg.predicate_pushdown {
+        root = predicate_pushdown(root, &mut trail);
+    }
+    if cfg.join_reorder {
+        join_reorder(&mut root, &mut trail);
+    }
+    limit_rules(&mut root, cfg, had_subqueries, &mut trail);
+    if cfg.projection_pruning {
+        projection_pruning(&mut root, &mut trail);
+    }
+    (root, trail)
+}
+
+// ---------------- predicate pushdown ----------------
+
+/// Push single-table WHERE conjuncts of a join query into the scans
+/// that own their columns. The residual Filter keeps the full predicate
+/// (re-evaluating a pushed conjunct is cheap and keeps the residual a
+/// verbatim copy of the WHERE clause), so the rewrite only shrinks the
+/// rows materialized for the join — it cannot change the result.
+fn predicate_pushdown<'a>(root: LogicalPlan<'a>, trail: &mut Vec<TrailEntry>) -> LogicalPlan<'a> {
+    map_pipeline(root, &mut |pipe| {
+        let LogicalPlan::Filter {
+            mut input,
+            predicate,
+        } = pipe
+        else {
+            return pipe;
+        };
+        if !contains_join(&input) {
+            // Single-table WHERE stays a residual filter: the main
+            // filter pass is partition-parallel, a pushed conjunct
+            // would run serially in the scan.
+            return LogicalPlan::Filter { input, predicate };
+        }
+        let mut pushed: Vec<(String, usize)> = Vec::new();
+        let mut note = |table: String| match pushed.iter_mut().find(|(t, _)| *t == table) {
+            Some((_, n)) => *n += 1,
+            None => pushed.push((table, 1)),
+        };
+        for c in conjuncts(&predicate) {
+            if c.contains_aggregate() {
+                continue;
+            }
+            if let Some(base) = base_scan_mut(&mut input) {
+                if refs_only_layout(c, &base.layout1()) {
+                    let t = base.table_name.clone();
+                    base.pushed.push(c.clone());
+                    note(t);
+                    continue;
+                }
+            }
+            if let Some(t) = try_push_right(&mut input, c) {
+                note(t);
+            }
+        }
+        for (table, n) in pushed {
+            trail.push(TrailEntry {
+                rule: "predicate-pushdown",
+                detail: format!("{n} conjunct(s) into scan of {table}"),
+            });
+        }
+        LogicalPlan::Filter { input, predicate }
+    })
+}
+
+/// Push one conjunct into the left-most INNER/CROSS join right scan
+/// whose single-table layout resolves every column it references. LEFT
+/// join right sides are never eligible: prefiltering them would turn
+/// would-be-filtered matches into NULL extensions (visible to e.g.
+/// `right.col IS NULL` in the residual WHERE).
+fn try_push_right(node: &mut LogicalPlan<'_>, c: &Expr) -> Option<String> {
+    match node {
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            if let Some(t) = try_push_right(left, c) {
+                return Some(t);
+            }
+            if matches!(kind, JoinKind::Inner | JoinKind::Cross)
+                && refs_only_layout(c, &right.layout1())
+            {
+                right.pushed.push(c.clone());
+                return Some(right.table_name.clone());
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+// ---------------- join reordering ----------------
+
+/// Reorder the joins of an ungrouped aggregate query so smaller right
+/// sides join first, shrinking intermediate row counts. Gated hard:
+/// only full-query aggregates with no bare column references (their
+/// result is order-insensitive up to float reassociation), only INNER
+/// joins, and only ON conditions whose columns are explicitly qualified
+/// with the base or their own right binding — so any permutation
+/// resolves names identically and joins legally.
+fn join_reorder(root: &mut LogicalPlan<'_>, trail: &mut Vec<TrailEntry>) {
+    // Walk the tail, proving the query shape is order-insensitive.
+    let mut node = &mut *root;
+    loop {
+        match node {
+            LogicalPlan::Limit { input, .. } | LogicalPlan::Distinct { input } => {
+                node = &mut **input;
+            }
+            LogicalPlan::Sort { input, keys } => {
+                if keys.iter().any(|k| has_bare_column(&k.expr)) {
+                    return;
+                }
+                node = &mut **input;
+            }
+            LogicalPlan::Project { input, projections } => {
+                let pure_aggregates = projections.iter().all(|p| match p {
+                    Projection::Expr { expr, .. } => !has_bare_column(expr),
+                    _ => false,
+                });
+                if !pure_aggregates {
+                    return;
+                }
+                node = &mut **input;
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                having,
+            } => {
+                if !group_by.is_empty() || having.as_ref().is_some_and(has_bare_column) {
+                    return;
+                }
+                node = &mut **input;
+                break;
+            }
+            _ => return, // no Aggregate in the tail: row order is the result
+        }
+    }
+    let pipe = match node {
+        LogicalPlan::Filter { input, .. } => &mut **input,
+        other => other,
+    };
+    if !matches!(pipe, LogicalPlan::Join { .. }) {
+        return;
+    }
+    let owned = std::mem::replace(pipe, LogicalPlan::Empty);
+    let (base, joins) = flatten_joins(owned);
+    let rebuilt = reorder_chain(base, joins, trail);
+    *pipe = rebuilt;
+}
+
+type JoinPart<'a> = (JoinKind, Option<Expr>, Box<ScanNode<'a>>);
+
+fn flatten_joins(node: LogicalPlan<'_>) -> (LogicalPlan<'_>, Vec<JoinPart<'_>>) {
+    match node {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            let (base, mut v) = flatten_joins(*left);
+            v.push((kind, on, right));
+            (base, v)
+        }
+        other => (other, Vec::new()),
+    }
+}
+
+fn rebuild_joins<'a>(base: LogicalPlan<'a>, joins: Vec<JoinPart<'a>>) -> LogicalPlan<'a> {
+    let mut node = base;
+    for (kind, on, right) in joins {
+        node = LogicalPlan::Join {
+            left: Box::new(node),
+            right,
+            kind,
+            on,
+        };
+    }
+    node
+}
+
+fn reorder_chain<'a>(
+    base: LogicalPlan<'a>,
+    joins: Vec<JoinPart<'a>>,
+    trail: &mut Vec<TrailEntry>,
+) -> LogicalPlan<'a> {
+    let base_binding = match &base {
+        LogicalPlan::Scan(s) => s.binding.clone(),
+        _ => return rebuild_joins(base, joins),
+    };
+    let eligible = joins.len() >= 2
+        && joins.iter().all(|(kind, on, right)| {
+            *kind == JoinKind::Inner
+                && on.as_ref().is_some_and(|on| {
+                    let mut cols = Vec::new();
+                    collect_columns(on, &mut cols);
+                    !cols.is_empty()
+                        && cols.iter().all(|(t, _)| {
+                            t.is_some_and(|t| {
+                                t.eq_ignore_ascii_case(&base_binding)
+                                    || t.eq_ignore_ascii_case(&right.binding)
+                            })
+                        })
+                })
+        });
+    if !eligible {
+        return rebuild_joins(base, joins);
+    }
+    let mut order: Vec<usize> = (0..joins.len()).collect();
+    order.sort_by_key(|&i| joins[i].2.source.len());
+    if order.iter().enumerate().all(|(pos, &i)| pos == i) {
+        return rebuild_joins(base, joins); // already smallest-first
+    }
+    let detail = order
+        .iter()
+        .map(|&i| format!("{}({})", joins[i].2.table_name, joins[i].2.source.len()))
+        .collect::<Vec<_>>()
+        .join(" ⋈ ");
+    trail.push(TrailEntry {
+        rule: "join-reorder",
+        detail: format!("smallest right side first: {detail} (table stats)"),
+    });
+    let mut by_order: Vec<Option<JoinPart<'a>>> = joins.into_iter().map(Some).collect();
+    let reordered: Vec<JoinPart<'a>> = order
+        .into_iter()
+        .map(|i| by_order[i].take().expect("each join moved once"))
+        .collect();
+    rebuild_joins(base, reordered)
+}
+
+// ---------------- LIMIT pushdown + sort elision ----------------
+
+/// Top-k rewrites under a `Limit` node. Two shapes fire:
+///
+/// * `Limit(Project(Filter?(Scan)))` — the classic early exit: fuse the
+///   WHERE into the scan and stop after OFFSET+LIMIT matches.
+/// * `Limit(Sort(Project(Filter?(Scan))))` with a single ascending
+///   bare-column key backed by an index — sort elision: drop the Sort,
+///   scan in index key order, and early-exit as above. Without the
+///   index the Sort blocks the pushdown (every row must be seen), which
+///   is exactly the regression the plan-equivalence harness pins.
+fn limit_rules(
+    root: &mut LogicalPlan<'_>,
+    cfg: &OptimizerConfig,
+    had_subqueries: bool,
+    trail: &mut Vec<TrailEntry>,
+) {
+    // EXPLAIN plans the unresolved statement, execution the resolved
+    // one; skip whenever subqueries were present so both agree (the
+    // pre-IR engine made the same call).
+    if !cfg.limit_pushdown || had_subqueries {
+        return;
+    }
+    let LogicalPlan::Limit {
+        input,
+        limit: Some(limit),
+        offset,
+    } = root
+    else {
+        return;
+    };
+    let take = (offset.unwrap_or(0) as usize).saturating_add(*limit as usize);
+    match &mut **input {
+        LogicalPlan::Project { input: pinput, .. } => {
+            if let Some((scan, n_fused)) = fuse_filter_into_scan(pinput) {
+                scan.stop_after = Some(take);
+                trail.push(TrailEntry {
+                    rule: "limit-pushdown",
+                    detail: format!(
+                        "{} early-exits after {take} match(es){}",
+                        scan.table_name,
+                        if n_fused > 0 {
+                            format!(", {n_fused} WHERE conjunct(s) fused into the scan")
+                        } else {
+                            String::new()
+                        }
+                    ),
+                });
+            }
+        }
+        LogicalPlan::Sort { keys, .. } if cfg.sort_elision => {
+            // Single ascending bare-column key only.
+            let [key] = keys.as_slice() else { return };
+            let (key_table, key_col) = match (&key.expr, key.descending) {
+                (Expr::Column { table, column }, false) => (table.clone(), column.clone()),
+                _ => return,
+            };
+            let saved_keys = keys.clone();
+            let LogicalPlan::Sort { input: sinput, .. } =
+                std::mem::replace(&mut **input, LogicalPlan::Empty)
+            else {
+                unreachable!("matched above");
+            };
+            **input = *sinput; // tentatively drop the Sort
+            let restore = |input: &mut Box<LogicalPlan>, keys: Vec<crate::sql::ast::OrderItem>| {
+                let inner = std::mem::replace(&mut **input, LogicalPlan::Empty);
+                **input = LogicalPlan::Sort {
+                    input: Box::new(inner),
+                    keys,
+                };
+            };
+            let LogicalPlan::Project {
+                input: pinput,
+                projections,
+            } = &mut **input
+            else {
+                restore(input, saved_keys.clone());
+                return;
+            };
+            // A projection alias with the key's name shadows the table
+            // column in ORDER BY resolution; don't second-guess that.
+            let shadowed = projections.iter().any(|p| {
+                matches!(p, Projection::Expr { alias: Some(a), .. }
+                         if a.eq_ignore_ascii_case(&key_col))
+            });
+            let index = (!shadowed)
+                .then(|| match peel_filter(pinput) {
+                    LogicalPlan::Scan(scan) => {
+                        let col = match &key_table {
+                            Some(t) if !t.eq_ignore_ascii_case(&scan.binding) => None,
+                            _ => scan.layout1().resolve(None, &key_col).ok(),
+                        }?;
+                        scan.source.index_on(col).map(|ix| ix.name.clone())
+                    }
+                    _ => None,
+                })
+                .flatten();
+            let Some(index_name) = index else {
+                restore(input, saved_keys.clone());
+                return;
+            };
+            let Some((scan, n_fused)) = fuse_filter_into_scan(pinput) else {
+                restore(input, saved_keys.clone());
+                return;
+            };
+            scan.access = super::ir::Access::IndexOrder {
+                index_name: index_name.clone(),
+                column: key_col.clone(),
+            };
+            scan.stop_after = Some(take);
+            let table = scan.table_name.clone();
+            trail.push(TrailEntry {
+                rule: "sort-elision",
+                detail: format!(
+                    "ORDER BY {key_col} satisfied by index {index_name} on {table}: \
+                     Sort dropped, scanning in key order"
+                ),
+            });
+            trail.push(TrailEntry {
+                rule: "limit-pushdown",
+                detail: format!(
+                    "{table} early-exits after {take} match(es){}",
+                    if n_fused > 0 {
+                        format!(", {n_fused} WHERE conjunct(s) fused into the scan")
+                    } else {
+                        String::new()
+                    }
+                ),
+            });
+        }
+        _ => {} // Sort without an index, Distinct, Aggregate: no early exit
+    }
+}
+
+fn peel_filter<'p, 'a>(node: &'p mut LogicalPlan<'a>) -> &'p mut LogicalPlan<'a> {
+    match node {
+        LogicalPlan::Filter { input, .. } => input,
+        other => other,
+    }
+}
+
+/// If `node` is `Filter?(Scan)` over a single table, fuse the filter's
+/// conjuncts into the scan (removing the Filter node) and return the
+/// scan plus the number of fused conjuncts. The fused conjunction is
+/// equivalent to the whole predicate because `conjuncts` splits on
+/// top-level AND only.
+fn fuse_filter_into_scan<'p, 'a>(
+    node: &'p mut Box<LogicalPlan<'a>>,
+) -> Option<(&'p mut ScanNode<'a>, usize)> {
+    match &mut **node {
+        LogicalPlan::Scan(_) => match &mut **node {
+            LogicalPlan::Scan(s) => Some((s, 0)),
+            _ => unreachable!(),
+        },
+        LogicalPlan::Filter { input, .. } if matches!(&**input, LogicalPlan::Scan(_)) => {
+            let LogicalPlan::Filter { input, predicate } =
+                std::mem::replace(&mut **node, LogicalPlan::Empty)
+            else {
+                unreachable!("matched above");
+            };
+            **node = *input;
+            let LogicalPlan::Scan(s) = &mut **node else {
+                unreachable!("matched above");
+            };
+            let fused: Vec<Expr> = conjuncts(&predicate).into_iter().cloned().collect();
+            let n = fused.len();
+            s.pushed.extend(fused);
+            Some((s, n))
+        }
+        _ => None,
+    }
+}
+
+// ---------------- projection pruning ----------------
+
+/// Mask columns no operator reads to NULL at materialization time —
+/// the masked slots never leave the scan, which avoids cloning large
+/// dimension-table strings into every joined fact row.
+fn projection_pruning(root: &mut LogicalPlan<'_>, trail: &mut Vec<TrailEntry>) {
+    let mut needed: Vec<(Option<String>, String)> = Vec::new();
+    if !collect_needed(root, &mut needed) {
+        return; // a wildcard projection reads everything
+    }
+    let mut details = Vec::new();
+    mask_scans(root, &needed, &mut details);
+    for d in details {
+        trail.push(TrailEntry {
+            rule: "projection-pruning",
+            detail: d,
+        });
+    }
+}
+
+/// Gather every column the tree reads; `false` means a wildcard needs
+/// them all.
+fn collect_needed(node: &LogicalPlan<'_>, out: &mut Vec<(Option<String>, String)>) -> bool {
+    let mut collect = |e: &Expr| {
+        let mut cols = Vec::new();
+        collect_columns(e, &mut cols);
+        out.extend(
+            cols.into_iter()
+                .map(|(t, c)| (t.map(str::to_string), c.to_string())),
+        );
+    };
+    match node {
+        LogicalPlan::Empty => true,
+        LogicalPlan::Scan(s) => {
+            s.pushed.iter().for_each(&mut collect);
+            true
+        }
+        LogicalPlan::Join {
+            left, right, on, ..
+        } => {
+            right.pushed.iter().for_each(&mut collect);
+            if let Some(on) = on {
+                collect(on);
+            }
+            collect_needed(left, out)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            collect(predicate);
+            collect_needed(input, out)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            having,
+        } => {
+            group_by.iter().for_each(&mut collect);
+            if let Some(h) = having {
+                collect(h);
+            }
+            collect_needed(input, out)
+        }
+        LogicalPlan::Project { input, projections } => {
+            for p in projections {
+                match p {
+                    Projection::Wildcard | Projection::TableWildcard(_) => return false,
+                    Projection::Expr { expr, .. } => collect(expr),
+                }
+            }
+            collect_needed(input, out)
+        }
+        LogicalPlan::Distinct { input } => collect_needed(input, out),
+        LogicalPlan::Sort { input, keys } => {
+            keys.iter().for_each(|k| collect(&k.expr));
+            collect_needed(input, out)
+        }
+        LogicalPlan::Limit { input, .. } => collect_needed(input, out),
+    }
+}
+
+fn mask_scans(
+    node: &mut LogicalPlan<'_>,
+    needed: &[(Option<String>, String)],
+    details: &mut Vec<String>,
+) {
+    let mask_one = |s: &mut ScanNode<'_>, details: &mut Vec<String>| {
+        if let Some(mask) = column_mask(&s.binding, &s.columns, needed) {
+            let masked = mask.iter().filter(|&&k| !k).count();
+            details.push(format!(
+                "{}: {masked}/{} column(s) masked",
+                s.table_name,
+                s.columns.len()
+            ));
+            s.mask = Some(mask);
+        }
+    };
+    match node {
+        LogicalPlan::Scan(s) => mask_one(s, details),
+        LogicalPlan::Join { left, right, .. } => {
+            mask_scans(left, needed, details);
+            mask_one(right, details);
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. } => mask_scans(input, needed, details),
+        LogicalPlan::Empty => {}
+    }
+}
+
+/// Per-column keep flags for one binding; `None` when nothing prunes.
+pub(crate) fn column_mask(
+    binding: &str,
+    columns: &[String],
+    needed: &[(Option<String>, String)],
+) -> Option<Vec<bool>> {
+    let mask: Vec<bool> = columns
+        .iter()
+        .map(|col| {
+            needed.iter().any(|(t, c)| {
+                c.eq_ignore_ascii_case(col)
+                    && t.as_deref().is_none_or(|t| t.eq_ignore_ascii_case(binding))
+            })
+        })
+        .collect();
+    if mask.iter().all(|&k| k) {
+        None // nothing to prune
+    } else {
+        Some(mask)
+    }
+}

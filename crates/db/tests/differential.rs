@@ -129,6 +129,8 @@ enum Pred {
     Between(usize, i64, i64),
     /// `col IN (k, ...)` over an integer column.
     InList(usize, Vec<i64>),
+    /// `names[i] = names[j]` — column-to-column equality (join ON).
+    ColEq(usize, usize),
     And(Box<Pred>, Box<Pred>),
     Or(Box<Pred>, Box<Pred>),
 }
@@ -172,21 +174,22 @@ fn decode_pred(r: &mut u64, depth: u32) -> Pred {
     }
 }
 
-fn pred_sql(p: &Pred) -> String {
+fn pred_sql(p: &Pred, names: &[&str]) -> String {
     match p {
-        Pred::Cmp(col, op, k) => format!("{} {} {}", COL_NAMES[*col], op.sql(), k),
+        Pred::Cmp(col, op, k) => format!("{} {} {}", names[*col], op.sql(), k),
         Pred::IsNull(col, negated) => format!(
             "{} IS {}NULL",
-            COL_NAMES[*col],
+            names[*col],
             if *negated { "NOT " } else { "" }
         ),
-        Pred::Between(col, lo, hi) => format!("{} BETWEEN {} AND {}", COL_NAMES[*col], lo, hi),
+        Pred::Between(col, lo, hi) => format!("{} BETWEEN {} AND {}", names[*col], lo, hi),
         Pred::InList(col, ks) => {
             let list: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
-            format!("{} IN ({})", COL_NAMES[*col], list.join(", "))
+            format!("{} IN ({})", names[*col], list.join(", "))
         }
-        Pred::And(l, r) => format!("({}) AND ({})", pred_sql(l), pred_sql(r)),
-        Pred::Or(l, r) => format!("({}) OR ({})", pred_sql(l), pred_sql(r)),
+        Pred::ColEq(i, j) => format!("{} = {}", names[*i], names[*j]),
+        Pred::And(l, r) => format!("({}) AND ({})", pred_sql(l, names), pred_sql(r, names)),
+        Pred::Or(l, r) => format!("({}) OR ({})", pred_sql(l, names), pred_sql(r, names)),
     }
 }
 
@@ -210,6 +213,10 @@ fn pred_eval(p: &Pred, row: &[Value]) -> Option<bool> {
             Value::Null => None,
             Value::Int(v) => Some(ks.contains(v)),
             _ => unreachable!("IN only generated over integer columns"),
+        },
+        Pred::ColEq(i, j) => match (&row[*i], &row[*j]) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (a, b) => Some(a == b),
         },
         Pred::And(l, r) => match (pred_eval(l, row), pred_eval(r, row)) {
             (Some(false), _) | (_, Some(false)) => Some(false),
@@ -256,16 +263,16 @@ fn decode_agg(r: &mut u64) -> AggSpec {
     }
 }
 
-fn agg_sql(a: &AggSpec) -> String {
+fn agg_sql(a: &AggSpec, names: &[&str]) -> String {
     match a {
         AggSpec::CountStar => "COUNT(*)".into(),
-        AggSpec::Count(c) => format!("COUNT({})", COL_NAMES[*c]),
-        AggSpec::CountDistinct(c) => format!("COUNT(DISTINCT {})", COL_NAMES[*c]),
-        AggSpec::Sum(c) => format!("SUM({})", COL_NAMES[*c]),
-        AggSpec::Avg(c) => format!("AVG({})", COL_NAMES[*c]),
-        AggSpec::Min(c) => format!("MIN({})", COL_NAMES[*c]),
-        AggSpec::Max(c) => format!("MAX({})", COL_NAMES[*c]),
-        AggSpec::StdDev(c) => format!("STDDEV({})", COL_NAMES[*c]),
+        AggSpec::Count(c) => format!("COUNT({})", names[*c]),
+        AggSpec::CountDistinct(c) => format!("COUNT(DISTINCT {})", names[*c]),
+        AggSpec::Sum(c) => format!("SUM({})", names[*c]),
+        AggSpec::Avg(c) => format!("AVG({})", names[*c]),
+        AggSpec::Min(c) => format!("MIN({})", names[*c]),
+        AggSpec::Max(c) => format!("MAX({})", names[*c]),
+        AggSpec::StdDev(c) => format!("STDDEV({})", names[*c]),
     }
 }
 
@@ -417,7 +424,7 @@ fn decode_query(seed: u64) -> Query {
 
 fn query_sql(q: &Query) -> String {
     let where_sql = |p: &Option<Pred>| match p {
-        Some(p) => format!(" WHERE {}", pred_sql(p)),
+        Some(p) => format!(" WHERE {}", pred_sql(p, &COL_NAMES)),
         None => String::new(),
     };
     match q {
@@ -430,7 +437,7 @@ fn query_sql(q: &Query) -> String {
             sql
         }
         Query::Aggregate { aggs, pred } => {
-            let proj: Vec<String> = aggs.iter().map(agg_sql).collect();
+            let proj: Vec<String> = aggs.iter().map(|a| agg_sql(a, &COL_NAMES)).collect();
             format!("SELECT {} FROM t{}", proj.join(", "), where_sql(pred))
         }
         Query::GroupBy {
@@ -440,7 +447,7 @@ fn query_sql(q: &Query) -> String {
             having_min_count,
         } => {
             let mut proj = vec![COL_NAMES[*group].to_string()];
-            proj.extend(aggs.iter().map(agg_sql));
+            proj.extend(aggs.iter().map(|a| agg_sql(a, &COL_NAMES)));
             let mut sql = format!(
                 "SELECT {} FROM t{} GROUP BY {}",
                 proj.join(", "),
@@ -684,4 +691,487 @@ fn known_answer_spot_check() {
         "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b"
     );
     assert!(rows_match(&oracle_run(&query, &table), &rows));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-table joins + optimizer legs
+// ---------------------------------------------------------------------------
+//
+// Join queries over t(a,b,c,s) ⋈ u(k,d,v) [⋈ w(x,y)] run under every
+// optimizer configuration — all rules on, `PERFDMF_OPTIMIZER=off`
+// equivalent, and each rule individually disabled — serially and across
+// 4 workers, and every leg must agree with the naive oracle. This is
+// the plan-equivalence harness keeping the rewrite rules honest:
+// predicate pushdown (correlated and single-table conjuncts, LEFT-join
+// IS NULL probes), join reordering (ungrouped aggregates over 2 joins),
+// projection pruning, and LIMIT pushdown all fire on these shapes.
+
+/// Flattened layout of the joined row: t ⋈ u [⋈ w].
+const JCOL_NAMES: [&str; 9] = [
+    "t.a", "t.b", "t.c", "t.s", "u.k", "u.d", "u.v", "w.x", "w.y",
+];
+const JCOL_TA: usize = 0;
+const JCOL_TB: usize = 1;
+const JCOL_UK: usize = 4;
+const JCOL_UD: usize = 5;
+const JCOL_WX: usize = 7;
+
+fn decode_u_row(seed: u64) -> Vec<Value> {
+    let mut r = seed;
+    let k = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Int(pick(&mut r, 5) as i64)
+    };
+    let d = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Int(pick(&mut r, 5) as i64)
+    };
+    let v = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Float(pick(&mut r, 32) as f64 * 0.625 - 10.0)
+    };
+    vec![k, d, v]
+}
+
+fn decode_w_row(seed: u64) -> Vec<Value> {
+    let mut r = seed;
+    let x = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Int(pick(&mut r, 5) as i64)
+    };
+    let y = if pick(&mut r, 8) == 0 {
+        Value::Null
+    } else {
+        Value::Text(TEXTS[pick(&mut r, 4) as usize].into())
+    };
+    vec![x, y]
+}
+
+#[derive(Debug, Clone)]
+struct JoinQuery {
+    left_join: bool,
+    /// Add `u.d >= 1` to the first ON (compound ON forces the
+    /// nested-loop join and, under LEFT, tests ON-vs-WHERE semantics).
+    on_extra: bool,
+    with_w: bool,
+    /// Second join keyed on the base (`t.a = w.x`) instead of the
+    /// middle table — the shape join reordering can legally commute.
+    second_on_base: bool,
+    pred: Option<Pred>,
+    shape: JoinShape,
+}
+
+#[derive(Debug, Clone)]
+enum JoinShape {
+    Project {
+        cols: Vec<usize>,
+        limit: Option<(usize, usize)>,
+    },
+    Aggregate {
+        aggs: Vec<AggSpec>,
+    },
+}
+
+/// Predicates over the joined layout: correlated conjuncts reference
+/// columns of any joined table (the predicate-pushdown surface).
+fn decode_jpred(r: &mut u64, depth: u32, width: usize) -> Pred {
+    if depth < 2 && pick(r, 3) == 0 {
+        let l = Box::new(decode_jpred(r, depth + 1, width));
+        let rr = Box::new(decode_jpred(r, depth + 1, width));
+        return if pick(r, 2) == 0 {
+            Pred::And(l, rr)
+        } else {
+            Pred::Or(l, rr)
+        };
+    }
+    let int_cols: &[usize] = if width > 7 {
+        &[JCOL_TA, JCOL_TB, JCOL_UK, JCOL_UD, JCOL_WX]
+    } else {
+        &[JCOL_TA, JCOL_TB, JCOL_UK, JCOL_UD]
+    };
+    let int_col = int_cols[pick(r, int_cols.len() as u64) as usize];
+    match pick(r, 4) {
+        0 => {
+            let op = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ][pick(r, 6) as usize];
+            Pred::Cmp(int_col, op, pick(r, 11) as i64 - 3)
+        }
+        // IS NULL over right-table columns probes the LEFT-join
+        // NULL-extension hazard predicate pushdown must not break.
+        1 => Pred::IsNull(int_col, pick(r, 2) == 0),
+        2 => {
+            let lo = pick(r, 11) as i64 - 3;
+            Pred::Between(int_col, lo, lo + pick(r, 5) as i64)
+        }
+        _ => {
+            let n = 1 + pick(r, 3) as usize;
+            let ks = (0..n).map(|_| pick(r, 11) as i64 - 3).collect();
+            Pred::InList(int_col, ks)
+        }
+    }
+}
+
+fn decode_join_query(seed: u64) -> JoinQuery {
+    let mut r = seed;
+    let left_join = pick(&mut r, 3) == 0;
+    let on_extra = pick(&mut r, 4) == 0;
+    let with_w = pick(&mut r, 2) == 0;
+    let second_on_base = pick(&mut r, 2) == 0;
+    let width = if with_w { 9 } else { 7 };
+    let pred = (pick(&mut r, 3) != 0).then(|| decode_jpred(&mut r, 0, width));
+    let shape = if pick(&mut r, 2) == 0 {
+        let ncols = 1 + pick(&mut r, 4) as usize;
+        let cols = (0..ncols)
+            .map(|_| pick(&mut r, width as u64) as usize)
+            .collect();
+        let limit =
+            (pick(&mut r, 3) == 0).then(|| (pick(&mut r, 30) as usize, pick(&mut r, 6) as usize));
+        JoinShape::Project { cols, limit }
+    } else {
+        let num_cols: &[usize] = if with_w {
+            &[JCOL_TA, JCOL_TB, 2, JCOL_UK, JCOL_UD, 6, JCOL_WX]
+        } else {
+            &[JCOL_TA, JCOL_TB, 2, JCOL_UK, JCOL_UD, 6]
+        };
+        let n = 1 + pick(&mut r, 3) as usize;
+        let aggs = (0..n)
+            .map(|_| {
+                let col = num_cols[pick(&mut r, num_cols.len() as u64) as usize];
+                match pick(&mut r, 5) {
+                    0 => AggSpec::CountStar,
+                    1 => AggSpec::Count(col),
+                    2 => AggSpec::Sum(col),
+                    3 => AggSpec::Min(col),
+                    _ => AggSpec::Max(col),
+                }
+            })
+            .collect();
+        JoinShape::Aggregate { aggs }
+    };
+    JoinQuery {
+        left_join,
+        on_extra,
+        with_w,
+        second_on_base,
+        pred,
+        shape,
+    }
+}
+
+fn join_on1(q: &JoinQuery) -> Pred {
+    let eq = Pred::ColEq(JCOL_TB, JCOL_UK);
+    if q.on_extra {
+        Pred::And(Box::new(eq), Box::new(Pred::Cmp(JCOL_UD, CmpOp::Ge, 1)))
+    } else {
+        eq
+    }
+}
+
+fn join_on2(q: &JoinQuery) -> Pred {
+    if q.second_on_base {
+        Pred::ColEq(JCOL_TA, JCOL_WX)
+    } else {
+        Pred::ColEq(JCOL_UD, JCOL_WX)
+    }
+}
+
+fn join_query_sql(q: &JoinQuery) -> String {
+    let join_kw = if q.left_join { "LEFT JOIN" } else { "JOIN" };
+    let mut from = format!(
+        "FROM t {join_kw} u ON {}",
+        pred_sql(&join_on1(q), &JCOL_NAMES)
+    );
+    if q.with_w {
+        from.push_str(&format!(
+            " JOIN w ON {}",
+            pred_sql(&join_on2(q), &JCOL_NAMES)
+        ));
+    }
+    let where_sql = match &q.pred {
+        Some(p) => format!(" WHERE {}", pred_sql(p, &JCOL_NAMES)),
+        None => String::new(),
+    };
+    match &q.shape {
+        JoinShape::Project { cols, limit } => {
+            let proj: Vec<&str> = cols.iter().map(|c| JCOL_NAMES[*c]).collect();
+            let mut sql = format!("SELECT {} {from}{where_sql}", proj.join(", "));
+            if let Some((n, off)) = limit {
+                sql.push_str(&format!(" LIMIT {n} OFFSET {off}"));
+            }
+            sql
+        }
+        JoinShape::Aggregate { aggs } => {
+            let proj: Vec<String> = aggs.iter().map(|a| agg_sql(a, &JCOL_NAMES)).collect();
+            format!("SELECT {} {from}{where_sql}", proj.join(", "))
+        }
+    }
+}
+
+/// Naive reference join: left-deep nested loops in insertion order,
+/// NULL-extending unmatched left rows for LEFT joins — the definition
+/// the engine's hash/nested-loop strategies and every rewrite rule must
+/// reproduce.
+fn oracle_join_rows(
+    q: &JoinQuery,
+    t: &[Vec<Value>],
+    u: &[Vec<Value>],
+    w: &[Vec<Value>],
+) -> Vec<Vec<Value>> {
+    let on1 = join_on1(q);
+    let mut joined: Vec<Vec<Value>> = Vec::new();
+    for l in t {
+        let mut matched = false;
+        for r in u {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            if pred_eval(&on1, &row) == Some(true) {
+                joined.push(row);
+                matched = true;
+            }
+        }
+        if q.left_join && !matched {
+            let mut row = l.clone();
+            row.extend(std::iter::repeat_n(Value::Null, 3));
+            joined.push(row);
+        }
+    }
+    if q.with_w {
+        let on2 = join_on2(q);
+        let mut next = Vec::new();
+        for l in &joined {
+            for r in w {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                if pred_eval(&on2, &row) == Some(true) {
+                    next.push(row);
+                }
+            }
+        }
+        joined = next;
+    }
+    joined
+}
+
+fn oracle_join_run(
+    q: &JoinQuery,
+    t: &[Vec<Value>],
+    u: &[Vec<Value>],
+    w: &[Vec<Value>],
+) -> Vec<Vec<Value>> {
+    let joined = oracle_join_rows(q, t, u, w);
+    let filtered: Vec<&Vec<Value>> = joined
+        .iter()
+        .filter(|row| match &q.pred {
+            Some(p) => pred_eval(p, row) == Some(true),
+            None => true,
+        })
+        .collect();
+    match &q.shape {
+        JoinShape::Project { cols, limit } => {
+            let projected = filtered
+                .iter()
+                .map(|row| cols.iter().map(|c| row[*c].clone()).collect());
+            match limit {
+                Some((n, off)) => projected.skip(*off).take(*n).collect(),
+                None => projected.collect(),
+            }
+        }
+        JoinShape::Aggregate { aggs } => {
+            vec![aggs.iter().map(|a| oracle_agg(a, &filtered)).collect()]
+        }
+    }
+}
+
+const RULE_NAMES: [&str; 5] = [
+    "predicate-pushdown",
+    "join-reorder",
+    "sort-elision",
+    "limit-pushdown",
+    "projection-pruning",
+];
+
+fn engine_rows(
+    conn: &Connection,
+    sql: &str,
+    threads: usize,
+    cfg: perfdmf_db::OptimizerConfig,
+) -> Result<Vec<Vec<Value>>, TestCaseError> {
+    let _p = pool::override_for_thread(threads, 1);
+    let _c = override_columnar(ColumnarMode::Off);
+    let _o = perfdmf_db::override_optimizer(cfg);
+    conn.query(sql, &[])
+        .map(|rs| rs.rows)
+        .map_err(|e| TestCaseError::fail(format!("engine run failed: {e}\n  sql: {sql}")))
+}
+
+fn build_join_connection(t: &[Vec<Value>], u: &[Vec<Value>], w: &[Vec<Value>]) -> Connection {
+    let conn = build_connection(t);
+    conn.execute("CREATE TABLE u (k INTEGER, d INTEGER, v DOUBLE)", &[])
+        .expect("create u");
+    conn.execute("CREATE TABLE w (x INTEGER, y TEXT)", &[])
+        .expect("create w");
+    // A right-side index exercises the cost pass's base-scan-only rule
+    // (right scans must stay sequential or join output would permute).
+    // No index on t: an index scan returns rows in key order, which the
+    // insertion-order oracle deliberately does not model.
+    conn.execute("CREATE INDEX ix_u_k ON u (k)", &[]).unwrap();
+    if !u.is_empty() {
+        conn.bulk_insert("u", &["k", "d", "v"], u.to_vec())
+            .expect("bulk insert u");
+    }
+    if !w.is_empty() {
+        conn.bulk_insert("w", &["x", "y"], w.to_vec())
+            .expect("bulk insert w");
+    }
+    conn
+}
+
+proptest! {
+    /// Join queries agree with the oracle under every optimizer
+    /// configuration, serially and across 4 workers. Non-aggregate legs
+    /// must be *identical* across configurations (rewrites may not even
+    /// reorder rows); aggregate legs allow the float-reassociation
+    /// epsilon (join reordering and parallel merges re-bracket sums).
+    #[test]
+    fn join_queries_match_oracle_across_optimizer_legs(
+        t_seeds in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        u_seeds in proptest::collection::vec(0u64..=u64::MAX, 0..40),
+        w_seeds in proptest::collection::vec(0u64..=u64::MAX, 0..20),
+        query_seeds in proptest::collection::vec(0u64..=u64::MAX, 3..7),
+    ) {
+        let t: Vec<Vec<Value>> = t_seeds.iter().map(|s| decode_row(*s)).collect();
+        let u: Vec<Vec<Value>> = u_seeds.iter().map(|s| decode_u_row(*s)).collect();
+        let w: Vec<Vec<Value>> = w_seeds.iter().map(|s| decode_w_row(*s)).collect();
+        let conn = build_join_connection(&t, &u, &w);
+
+        for seed in &query_seeds {
+            let query = decode_join_query(*seed);
+            let sql = join_query_sql(&query);
+            let expected = oracle_join_run(&query, &t, &u, &w);
+
+            let all_on = perfdmf_db::OptimizerConfig::all_on();
+            let off = perfdmf_db::OptimizerConfig::disabled();
+            let rule = RULE_NAMES[(*seed % 5) as usize];
+            let legs = [
+                ("optimized serial", engine_rows(&conn, &sql, 1, all_on)?),
+                ("optimized 4-way", engine_rows(&conn, &sql, 4, all_on)?),
+                ("optimizer-off serial", engine_rows(&conn, &sql, 1, off)?),
+                ("optimizer-off 4-way", engine_rows(&conn, &sql, 4, off)?),
+                (rule, engine_rows(&conn, &sql, 1, perfdmf_db::OptimizerConfig::without(rule))?),
+            ];
+            for (name, rows) in &legs {
+                prop_assert!(
+                    rows_match(rows, &expected),
+                    "{name} leg diverged from oracle\n  sql: {}\n  engine: {:?}\n  oracle: {:?}\n  t: {:?}\n  u: {:?}\n  w: {:?}",
+                    sql, rows, expected, t, u, w,
+                );
+            }
+            if matches!(query.shape, JoinShape::Project { .. }) {
+                for (name, rows) in &legs[1..] {
+                    prop_assert!(
+                        legs[0].1 == *rows,
+                        "{name} leg not bit-identical to the optimized serial leg\n  sql: {}\n  optimized: {:?}\n  leg: {:?}",
+                        sql, legs[0].1, rows,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fixed join spot-check so the join generator/oracle pair can't rot
+/// into a vacuous property.
+#[test]
+fn join_known_answer_spot_check() {
+    let t = vec![
+        vec![
+            Value::Int(1),
+            Value::Int(0),
+            Value::Float(1.0),
+            Value::Text("red".into()),
+        ],
+        vec![Value::Int(2), Value::Int(1), Value::Float(2.0), Value::Null],
+        vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Float(3.0),
+            Value::Text("blue".into()),
+        ],
+    ];
+    let u = vec![
+        vec![Value::Int(0), Value::Int(1), Value::Float(0.5)],
+        vec![Value::Int(0), Value::Int(2), Value::Float(1.5)],
+        vec![Value::Int(4), Value::Int(3), Value::Float(2.5)],
+    ];
+    let conn = build_join_connection(&t, &u, &[]);
+
+    // INNER: only t.b=0 matches, twice.
+    let rs = conn
+        .query("SELECT t.a, u.d FROM t JOIN u ON t.b = u.k", &[])
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+        ]
+    );
+
+    // LEFT: unmatched rows (t.b=1, t.b=NULL) NULL-extend, and the
+    // IS NULL probe sees exactly those.
+    let rs = conn
+        .query(
+            "SELECT t.a FROM t LEFT JOIN u ON t.b = u.k WHERE u.k IS NULL",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+
+    // Oracle agrees on both.
+    let q = JoinQuery {
+        left_join: false,
+        on_extra: false,
+        with_w: false,
+        second_on_base: false,
+        pred: None,
+        shape: JoinShape::Project {
+            cols: vec![JCOL_TA, JCOL_UD],
+            limit: None,
+        },
+    };
+    assert_eq!(
+        join_query_sql(&q),
+        "SELECT t.a, u.d FROM t JOIN u ON t.b = u.k"
+    );
+    let expected = oracle_join_run(&q, &t, &u, &[]);
+    assert_eq!(
+        expected,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+        ]
+    );
+    let q = JoinQuery {
+        left_join: true,
+        on_extra: false,
+        with_w: false,
+        second_on_base: false,
+        pred: Some(Pred::IsNull(JCOL_UK, false)),
+        shape: JoinShape::Project {
+            cols: vec![JCOL_TA],
+            limit: None,
+        },
+    };
+    let expected = oracle_join_run(&q, &t, &u, &[]);
+    assert_eq!(expected, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
 }

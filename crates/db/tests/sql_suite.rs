@@ -880,3 +880,120 @@ fn limit_pushdown_stops_scanning_early() {
         .unwrap();
     assert_eq!(rs.rows_scanned, 6);
 }
+
+#[test]
+fn sort_elision_requires_an_index_on_the_key() {
+    let conn = seeded();
+    // No index on trial(name): the Sort blocks the LIMIT pushdown — every
+    // row must be seen before the first output row is known.
+    let rs = conn
+        .query("SELECT name FROM trial ORDER BY name LIMIT 2", &[])
+        .unwrap();
+    assert_eq!(
+        rs.rows_scanned, 6,
+        "early exit fired under an unsorted scan"
+    );
+    let expected = rs.rows.clone();
+    let plan = plan_text(
+        &conn
+            .query("EXPLAIN SELECT name FROM trial ORDER BY name LIMIT 2", &[])
+            .unwrap(),
+    );
+    assert!(plan.contains("sort: 1 key(s)"), "{plan}");
+    assert!(!plan.contains("early exit"), "{plan}");
+
+    // An index on the key lets the optimizer drop the Sort, scan in key
+    // order, and stop after LIMIT matches — same rows, fewer examined.
+    conn.execute("CREATE INDEX ix_name ON trial (name)", &[])
+        .unwrap();
+    let rs = conn
+        .query("SELECT name FROM trial ORDER BY name LIMIT 2", &[])
+        .unwrap();
+    assert_eq!(rs.rows, expected, "sort elision changed the result");
+    assert_eq!(rs.rows_scanned, 2, "index-order scan did not stop early");
+    let plan = plan_text(
+        &conn
+            .query("EXPLAIN SELECT name FROM trial ORDER BY name LIMIT 2", &[])
+            .unwrap(),
+    );
+    assert!(plan.contains("index-order scan on trial"), "{plan}");
+    assert!(plan.contains("[early exit after 2 match(es)]"), "{plan}");
+    assert!(!plan.contains("sort:"), "{plan}");
+    assert!(plan.contains("optimizer: sort-elision:"), "{plan}");
+    assert!(plan.contains("optimizer: limit-pushdown:"), "{plan}");
+}
+
+#[test]
+fn sort_elision_declines_unsupported_shapes() {
+    let conn = seeded();
+    conn.execute("CREATE INDEX ix_name ON trial (name)", &[])
+        .unwrap();
+    // DESC cannot ride an ascending index scan.
+    let rs = conn
+        .query("SELECT name FROM trial ORDER BY name DESC LIMIT 2", &[])
+        .unwrap();
+    assert_eq!(rs.rows_scanned, 6);
+    assert_eq!(rs.get(0, "name"), Some(&Value::from("p8")));
+    // A projection alias shadowing the key column changes what ORDER BY
+    // means; the rule must leave the Sort in place.
+    let rs = conn
+        .query(
+            "SELECT node_count AS name FROM trial ORDER BY name LIMIT 2",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows_scanned, 6);
+    // Multi-key sorts keep the Sort node.
+    let rs = conn
+        .query(
+            "SELECT name FROM trial ORDER BY name, node_count LIMIT 2",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows_scanned, 6);
+}
+
+#[test]
+fn sort_elision_fuses_where_and_respects_nulls() {
+    let conn = seeded();
+    conn.execute(
+        "INSERT INTO trial (experiment, name, node_count, time) VALUES (1, 'nullname', NULL, 0.0)",
+        &[],
+    )
+    .unwrap();
+    conn.execute("CREATE INDEX ix_nodes ON trial (node_count)", &[])
+        .unwrap();
+    // Reference: optimizer off. NULL sorts first, ties stay in id order.
+    let naive = {
+        let _g = perfdmf_db::override_optimizer(perfdmf_db::OptimizerConfig::disabled());
+        conn.query(
+            "SELECT name, node_count FROM trial WHERE node_count IS NULL OR node_count >= 2 \
+             ORDER BY node_count LIMIT 4",
+            &[],
+        )
+        .unwrap()
+    };
+    let opt = conn
+        .query(
+            "SELECT name, node_count FROM trial WHERE node_count IS NULL OR node_count >= 2 \
+             ORDER BY node_count LIMIT 4",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(opt, naive, "sort elision diverged from the naive plan");
+    assert_eq!(opt.get(0, "name"), Some(&Value::from("nullname")));
+    let plan = plan_text(
+        &conn
+            .query(
+                "EXPLAIN SELECT name, node_count FROM trial \
+                 WHERE node_count IS NULL OR node_count >= 2 ORDER BY node_count LIMIT 4",
+                &[],
+            )
+            .unwrap(),
+    );
+    assert!(plan.contains("index-order scan on trial"), "{plan}");
+    assert!(
+        plan.contains("WHERE conjunct(s) fused into the scan"),
+        "{plan}"
+    );
+}
