@@ -73,6 +73,16 @@ fn bench_single_client(c: &mut Criterion) {
             assert!(matches!(client.request(Request::Ping), Response::Pong));
         })
     });
+    // Same hop with the full observability stack on: client span,
+    // trace context on the wire, server-side resource meter, and the
+    // usage bill riding the Reply. §E11's bar: within 5% of plain ping.
+    perfdmf_telemetry::set_tracing(true);
+    group.bench_function("ping_traced", |b| {
+        b.iter(|| {
+            assert!(matches!(client.request(Request::Ping), Response::Pong));
+        })
+    });
+    perfdmf_telemetry::set_tracing(false);
     group.sample_size(20);
     group.bench_function("cluster", |b| {
         b.iter(|| {

@@ -10,6 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use perfdmf_bench::store_fresh;
 use perfdmf_core::DatabaseSession;
+use perfdmf_explorer::{Request, Response, RetryPolicy};
 use perfdmf_telemetry as telemetry;
 use perfdmf_workload::Evh1Model;
 
@@ -58,6 +59,53 @@ fn bench_sql_aggregates_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The network request path with end-to-end tracing and per-request
+/// metering on vs off. `Ping` isolates the per-request machinery
+/// (span, wire context, resource meter, accounting-ring record) from
+/// analysis work; the acceptance bar is the same under-5% as the rest
+/// of the layer.
+fn bench_network_overhead(c: &mut Criterion) {
+    use perfdmf_server::{NetClient, PerfdmfServer, ServerConfig};
+
+    let model = Evh1Model::default_mix(41);
+    let profile = model.generate(8);
+    let (conn, _trial) = store_fresh(&profile);
+    let server = PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let mut client = NetClient::new(server.addr(), "e8-net").with_policy(RetryPolicy::none());
+    assert!(client.ping(), "server must be live");
+
+    let mut group = c.benchmark_group("e8_network");
+    // Full observability: client.request span, trace context on the
+    // wire, server-side meter, accounting ring, usage on the Reply.
+    telemetry::set_enabled(true);
+    telemetry::set_tracing(true);
+    group.bench_function("ping_traced_metered", |b| {
+        b.iter(|| assert!(matches!(client.request(Request::Ping), Response::Pong)));
+    });
+    // Metering but no tracing: no spans, no wire context; the meter
+    // and the request ring still run server-side.
+    telemetry::set_tracing(false);
+    group.bench_function("ping_metered", |b| {
+        b.iter(|| assert!(matches!(client.request(Request::Ping), Response::Pong)));
+    });
+    // Everything off: each instrumentation point is one relaxed load.
+    telemetry::set_enabled(false);
+    group.bench_function("ping_dark", |b| {
+        b.iter(|| assert!(matches!(client.request(Request::Ping), Response::Pong)));
+    });
+    telemetry::set_enabled(true);
+    group.finish();
+    client.close();
+    server.shutdown();
+}
+
 /// Raw primitive costs: span enter/exit, counter add, histogram record —
 /// and the same points with collection switched off.
 fn bench_primitives(c: &mut Criterion) {
@@ -99,5 +147,10 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sql_aggregates_overhead, bench_primitives);
+criterion_group!(
+    benches,
+    bench_sql_aggregates_overhead,
+    bench_network_overhead,
+    bench_primitives
+);
 criterion_main!(benches);

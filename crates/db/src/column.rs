@@ -210,10 +210,12 @@ impl ColumnCache {
             let guard = self.inner.lock().unwrap();
             if let Some(Some(c)) = guard.get(idx) {
                 telemetry::add("db.colcache.chunk_hits", 1);
+                telemetry::meter::add_chunk_hit();
                 return (Some(Arc::clone(c)), true);
             }
         }
         telemetry::add("db.colcache.chunk_misses", 1);
+        telemetry::meter::add_chunk_miss();
         let end = rows.len().min(base + CHUNK_ROWS);
         let built = {
             let _span = telemetry::span("db.colcache.build");

@@ -23,6 +23,8 @@
 //! | `perfdmf_metrics_history` | (sample, instrument) pair    | `telemetry::metrics::recorder()` |
 //! | `perfdmf_regressions`     | flagged perf regression      | `telemetry::regressions::log()` |
 //! | `perfdmf_sessions`        | network server session       | `telemetry::sessions::log()` |
+//! | `perfdmf_requests`        | answered network request     | `telemetry::requests::log()` |
+//! | `perfdmf_request_summary` | request kind                 | `telemetry::requests::summary()` |
 //!
 //! Schemas and example queries are documented in `docs/introspection.md`.
 
@@ -39,7 +41,7 @@ use perfdmf_telemetry::snapshot::EXPORTED_QUANTILES;
 pub const SYSTEM_PREFIX: &str = "perfdmf_";
 
 /// Every virtual system table, in catalog order.
-pub const SYSTEM_TABLES: [&str; 11] = [
+pub const SYSTEM_TABLES: [&str; 13] = [
     "perfdmf_counters",
     "perfdmf_histograms",
     "perfdmf_slow_queries",
@@ -51,6 +53,8 @@ pub const SYSTEM_TABLES: [&str; 11] = [
     "perfdmf_metrics_history",
     "perfdmf_regressions",
     "perfdmf_sessions",
+    "perfdmf_requests",
+    "perfdmf_request_summary",
 ];
 
 /// True when `name` falls in the reserved namespace (case-insensitive,
@@ -101,6 +105,8 @@ pub fn materialize(db: &Database, name: &str) -> Option<Table> {
         "perfdmf_metrics_history" => Some(metrics_history_table()),
         "perfdmf_regressions" => Some(regressions_table()),
         "perfdmf_sessions" => Some(sessions_table()),
+        "perfdmf_requests" => Some(requests_table()),
+        "perfdmf_request_summary" => Some(request_summary_table()),
         _ => None,
     }
 }
@@ -463,6 +469,8 @@ fn sessions_table() -> Table {
             ColumnDef::new("last_seq", DataType::Integer).not_null(),
             ColumnDef::new("connected_ms", DataType::Integer).not_null(),
             ColumnDef::new("close_reason", DataType::Text),
+            ColumnDef::new("trace_id", DataType::Text),
+            ColumnDef::new("requests_inflight", DataType::Integer).not_null(),
         ],
         telemetry::sessions::log().into_iter().map(|s| {
             vec![
@@ -477,7 +485,113 @@ fn sessions_table() -> Table {
                 int(s.last_seq),
                 int(s.connected_ms),
                 s.close_reason.map(text).unwrap_or(Value::Null),
+                hex_or_null(s.trace_id),
+                int(s.requests_inflight),
             ]
+        }),
+    )
+}
+
+/// Random u64 ids render as fixed-width hex (see `spans_table`); absent
+/// ones as NULL.
+fn hex_or_null(v: Option<u64>) -> Value {
+    v.map(|v| text(format!("{v:016x}"))).unwrap_or(Value::Null)
+}
+
+/// Shared tail of the `perfdmf_requests` / `perfdmf_request_summary`
+/// schemas: one column per [`telemetry::ResourceUsage`] field.
+fn usage_columns() -> Vec<ColumnDef> {
+    vec![
+        ColumnDef::new("rows_scanned", DataType::Integer).not_null(),
+        ColumnDef::new("chunk_hits", DataType::Integer).not_null(),
+        ColumnDef::new("chunk_misses", DataType::Integer).not_null(),
+        ColumnDef::new("pool_tasks", DataType::Integer).not_null(),
+        ColumnDef::new("wal_bytes", DataType::Integer).not_null(),
+        ColumnDef::new("queue_wait_ns", DataType::Integer).not_null(),
+        ColumnDef::new("execute_ns", DataType::Integer).not_null(),
+    ]
+}
+
+fn usage_values(u: &telemetry::ResourceUsage) -> Vec<Value> {
+    vec![
+        int(u.rows_scanned),
+        int(u.chunk_hits),
+        int(u.chunk_misses),
+        int(u.pool_tasks),
+        int(u.wal_bytes),
+        int(u.queue_wait_ns),
+        int(u.execute_ns),
+    ]
+}
+
+fn requests_table() -> Table {
+    let mut columns = vec![
+        ColumnDef::new("seq", DataType::Integer).not_null(),
+        ColumnDef::new("trace", DataType::Text),
+        ColumnDef::new("session", DataType::Integer).not_null(),
+        ColumnDef::new("tenant", DataType::Text).not_null(),
+        ColumnDef::new("kind", DataType::Text).not_null(),
+        ColumnDef::new("status", DataType::Text).not_null(),
+        ColumnDef::new("deadline_slack_ms", DataType::Integer),
+        ColumnDef::new("elapsed_ns", DataType::Integer).not_null(),
+        ColumnDef::new("slow", DataType::Boolean).not_null(),
+    ];
+    columns.extend(usage_columns());
+    build(
+        "perfdmf_requests",
+        columns,
+        telemetry::requests::log().into_iter().map(|r| {
+            let mut row = vec![
+                int(r.seq),
+                hex_or_null(r.trace_id),
+                int(r.session),
+                text(r.tenant),
+                text(r.kind),
+                text(r.status),
+                r.deadline_slack_ms.map(Value::Int).unwrap_or(Value::Null),
+                int(r.elapsed_ns),
+                Value::Bool(r.slow),
+            ];
+            row.extend(usage_values(&r.usage));
+            row
+        }),
+    )
+}
+
+fn request_summary_table() -> Table {
+    let mut columns = vec![
+        ColumnDef::new("kind", DataType::Text).not_null(),
+        ColumnDef::new("count", DataType::Integer).not_null(),
+        ColumnDef::new("errors", DataType::Integer).not_null(),
+        ColumnDef::new("slow", DataType::Integer).not_null(),
+        ColumnDef::new("mean_latency_ns", DataType::Double),
+        ColumnDef::new("stddev_latency_ns", DataType::Double),
+        ColumnDef::new("max_latency_ns", DataType::Integer).not_null(),
+    ];
+    columns.extend(usage_columns());
+    build(
+        "perfdmf_request_summary",
+        columns,
+        telemetry::requests::summary().into_iter().map(|s| {
+            let mut row = vec![
+                text(s.kind),
+                int(s.count),
+                int(s.errors),
+                int(s.slow),
+                if s.count > 0 {
+                    Value::Float(s.latency.mean)
+                } else {
+                    Value::Null
+                },
+                if s.count > 0 {
+                    Value::Float(s.latency.stddev())
+                } else {
+                    Value::Null
+                },
+                int(s.max_latency_ns),
+            ];
+            row.extend(usage_values(&s.totals));
+            row
         }),
     )
 }

@@ -138,6 +138,9 @@ pub fn record_statement(sql: &str, outcome: &Result<Outcome>, elapsed: Duration)
     telemetry::add("db.rows_returned", rows_returned);
     telemetry::add("db.rows_scanned", rows_scanned);
     telemetry::add("db.rows_affected", rows_affected);
+    // Bill the scan to the in-flight network request, if one adopted a
+    // meter on this thread (inert otherwise).
+    telemetry::meter::add_rows_scanned(rows_scanned);
 
     if elapsed >= slow_query_threshold() {
         telemetry::add("db.slow_queries", 1);

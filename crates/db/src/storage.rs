@@ -611,6 +611,7 @@ impl Wal {
                 self.len += out.len() as u64;
                 telemetry::add("db.wal.commit_batches", 1);
                 telemetry::record("db.wal.batch_records", records.len() as u64);
+                telemetry::meter::add_wal_bytes(out.len() as u64);
                 Ok(())
             }
             Err(e) => {

@@ -436,3 +436,159 @@ fn sessions_table_reflects_the_session_registry() {
     assert_eq!(agg.rows[0][0], Value::Int(15));
     assert_eq!(agg.rows[0][1], Value::Int(2));
 }
+
+#[test]
+fn sessions_table_tracks_trace_and_inflight_churn() {
+    use telemetry::sessions::SessionRecord;
+
+    let conn = Connection::open_in_memory();
+    // Churn the way serve_session does: each request flips the session
+    // to "one in flight, carrying this trace", then back to idle. The
+    // columns must follow every flip.
+    for round in 0..5u64 {
+        let trace = 0xABCD_0000 + round;
+        let mut rec = SessionRecord::new(9_100_001, "tenant-trace");
+        rec.requests = round;
+        rec.trace_id = Some(trace);
+        rec.requests_inflight = 1;
+        telemetry::sessions::upsert(rec.clone());
+        let busy = conn
+            .query(
+                "SELECT trace_id, requests_inflight FROM perfdmf_sessions \
+                 WHERE id = 9100001",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(busy.rows.len(), 1, "round {round}");
+        assert_eq!(
+            busy.rows[0][0],
+            Value::Text(format!("{trace:016x}").into()),
+            "round {round}: in-flight trace id surfaces as hex"
+        );
+        assert_eq!(busy.rows[0][1], Value::Int(1), "round {round}");
+
+        rec.trace_id = None;
+        rec.requests_inflight = 0;
+        rec.requests = round + 1;
+        telemetry::sessions::upsert(rec);
+        let idle = conn
+            .query(
+                "SELECT trace_id, requests_inflight, requests FROM perfdmf_sessions \
+                 WHERE id = 9100001",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            idle.rows[0][0],
+            Value::Null,
+            "round {round}: idle session carries no trace"
+        );
+        assert_eq!(idle.rows[0][1], Value::Int(0), "round {round}");
+        assert_eq!(idle.rows[0][2], Value::Int(round as i64 + 1));
+    }
+
+    // Idle sessions are filterable the way an operator would look for
+    // stuck requests.
+    let stuck = conn
+        .query_scalar(
+            "SELECT COUNT(*) FROM perfdmf_sessions \
+             WHERE id = 9100001 AND requests_inflight > 0",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(stuck, Value::Int(0));
+}
+
+#[test]
+fn requests_tables_surface_the_accounting_ring() {
+    use telemetry::{RequestRecord, ResourceUsage};
+
+    // Seed the ring the way the server does — one metered success, one
+    // deadline-free failure — under a kind no other test uses.
+    telemetry::requests::record(RequestRecord {
+        seq: 0,
+        trace_id: Some(0xC0FFEE),
+        session: 9_200_001,
+        tenant: "tenant-req".into(),
+        kind: "introspect_probe",
+        status: "ok",
+        deadline_slack_ms: Some(450),
+        elapsed_ns: 5_000,
+        slow: false,
+        usage: ResourceUsage {
+            rows_scanned: 42,
+            chunk_hits: 7,
+            chunk_misses: 1,
+            pool_tasks: 4,
+            wal_bytes: 128,
+            queue_wait_ns: 1_000,
+            execute_ns: 2_000,
+        },
+    });
+    telemetry::requests::record(RequestRecord {
+        seq: 0,
+        trace_id: None,
+        session: 9_200_001,
+        tenant: "tenant-req".into(),
+        kind: "introspect_probe",
+        status: "error",
+        deadline_slack_ms: None,
+        elapsed_ns: 9_000,
+        slow: false,
+        usage: ResourceUsage::default(),
+    });
+
+    let conn = Connection::open_in_memory();
+    let rs = conn
+        .query(
+            "SELECT trace, session, tenant, status, deadline_slack_ms, \
+                    rows_scanned, wal_bytes, execute_ns \
+             FROM perfdmf_requests WHERE kind = 'introspect_probe' ORDER BY seq",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(
+        rs.rows[0][0],
+        Value::Text(format!("{:016x}", 0xC0FFEEu64).into()),
+        "trace id surfaces as hex"
+    );
+    assert_eq!(rs.rows[0][1], Value::Int(9_200_001));
+    assert_eq!(rs.rows[0][2], Value::Text("tenant-req".into()));
+    assert_eq!(rs.rows[0][3], Value::Text("ok".into()));
+    assert_eq!(rs.rows[0][4], Value::Int(450));
+    assert_eq!(rs.rows[0][5], Value::Int(42));
+    assert_eq!(rs.rows[0][6], Value::Int(128));
+    assert_eq!(rs.rows[0][7], Value::Int(2_000));
+    assert_eq!(rs.rows[1][0], Value::Null, "untraced request is NULL");
+    assert_eq!(rs.rows[1][3], Value::Text("error".into()));
+    assert_eq!(rs.rows[1][4], Value::Null, "no deadline, no slack");
+
+    // The per-kind rollup: count, error count, Welford latency moments
+    // (population stddev of {5000, 9000} is 2000), and resource totals.
+    let s = conn
+        .query(
+            "SELECT count, errors, slow, mean_latency_ns, stddev_latency_ns, \
+                    max_latency_ns, rows_scanned, pool_tasks \
+             FROM perfdmf_request_summary WHERE kind = 'introspect_probe'",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(s.rows.len(), 1);
+    assert_eq!(s.rows[0][0], Value::Int(2));
+    assert_eq!(s.rows[0][1], Value::Int(1));
+    assert_eq!(s.rows[0][2], Value::Int(0));
+    assert!(
+        matches!(s.rows[0][3], Value::Float(m) if (m - 7_000.0).abs() < 1e-6),
+        "mean of 5000 and 9000: {:?}",
+        s.rows[0][3]
+    );
+    assert!(
+        matches!(s.rows[0][4], Value::Float(sd) if (sd - 2_000.0).abs() < 1e-6),
+        "stddev of 5000 and 9000: {:?}",
+        s.rows[0][4]
+    );
+    assert_eq!(s.rows[0][5], Value::Int(9_000));
+    assert_eq!(s.rows[0][6], Value::Int(42));
+    assert_eq!(s.rows[0][7], Value::Int(4));
+}

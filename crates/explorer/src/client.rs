@@ -223,6 +223,7 @@ impl ExplorerClient {
             submitted: Instant::now(),
             deadline,
             trace: telemetry::trace::current_context(),
+            meter: telemetry::current_meter(),
         }) {
             Ok(()) => Ok(rrx),
             Err(TrySendError::Full(_)) => {

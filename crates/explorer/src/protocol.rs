@@ -133,6 +133,24 @@ impl Request {
                 | Request::WatchdogCheck { .. }
         )
     }
+
+    /// Stable lower-case label for this request's kind, used by the
+    /// per-request accounting ring (`perfdmf_requests`) and its
+    /// per-kind summary table so costs can be grouped by operation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::ClusterTrial { .. } => "cluster_trial",
+            Request::CorrelateMetrics { .. } => "correlate_metrics",
+            Request::FetchResult { .. } => "fetch_result",
+            Request::SpeedupStudy { .. } => "speedup_study",
+            Request::RegressionScan { .. } => "regression_scan",
+            Request::WatchdogCheck { .. } => "watchdog_check",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+            Request::InjectPanic(_) => "inject_panic",
+            Request::Stall { .. } => "stall",
+        }
+    }
 }
 
 /// Per-cluster summary statistics.

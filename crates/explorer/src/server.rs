@@ -56,6 +56,10 @@ pub(crate) struct Job {
     /// Trace context captured on the submitting thread, so the worker's
     /// `explorer.request` span is a child of the client-side trace.
     pub(crate) trace: Option<telemetry::SpanContext>,
+    /// Resource meter captured on the submitting thread, so queue wait,
+    /// execute time, and everything the handler touches (rows, chunk
+    /// cache, WAL) is charged to the originating request.
+    pub(crate) meter: Option<telemetry::RequestMeter>,
 }
 
 /// How one incarnation of a worker loop ended.
@@ -129,6 +133,7 @@ impl AnalysisServer {
                 submitted: Instant::now(),
                 deadline: None,
                 trace: None,
+                meter: None,
             });
         }
         for h in self.workers {
@@ -150,15 +155,22 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
             submitted,
             deadline,
             trace,
+            meter,
         } = job;
         // Resume the client's trace on this worker thread: everything
         // below — queue-expiry shedding, the handler, panic recovery —
         // shows up as children of the caller's span in a trace dump.
         let _adopted = trace.map(telemetry::trace::adopt_context);
+        // Likewise resume the caller's resource meter, so the handler's
+        // row scans, cache traffic, and WAL appends bill to the request.
+        let _metered = meter.map(telemetry::adopt_meter);
         let _req_span = telemetry::span("explorer.request");
         let trace_tag = telemetry::trace::current_trace_id()
             .map(|t| format!(" [trace {}]", t.as_hex()))
             .unwrap_or_default();
+        telemetry::meter::add_queue_wait_ns(
+            submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64
+        );
         if telemetry::enabled() {
             telemetry::record_duration("explorer.queue_wait_ns", submitted.elapsed());
             telemetry::record("explorer.queue_depth", rx.len() as u64);
@@ -191,9 +203,13 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
         let response = {
             let _span = telemetry::span("explorer.handle");
             let busy = telemetry::enabled().then(Instant::now);
+            let execute_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 handle(conn, &request).unwrap_or_else(|e| Response::Error(e.to_string()))
             }));
+            telemetry::meter::add_execute_ns(
+                execute_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
             let response = match outcome {
                 Ok(response) => response,
                 Err(payload) => {

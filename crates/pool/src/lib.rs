@@ -165,6 +165,7 @@ where
     telemetry::add("pool.runs", 1);
     telemetry::add("pool.partitions_dispatched", parts as u64);
     telemetry::record("pool.workers_per_run", workers as u64);
+    telemetry::meter::add_pool_tasks(parts as u64);
 
     let (task_tx, task_rx) = channel::unbounded::<usize>();
     for i in dispatch_order(parts) {
@@ -176,14 +177,19 @@ where
     // Capture the dispatching thread's trace context so worker-side spans
     // join the same trace as children of the span that called run().
     let trace_ctx = telemetry::trace::current_context();
+    // Likewise the resource meter, so work the partitions do (chunk
+    // cache lookups, row scans) bills to the request being served.
+    let meter = telemetry::current_meter();
     let f = &f;
 
     let mut slots: Vec<Option<R>> = cb_thread::scope(|s| {
         for _ in 0..workers {
             let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
+            let meter = meter.clone();
             s.spawn(move |_| {
                 let _adopted = trace_ctx.map(telemetry::trace::adopt_context);
+                let _metered = meter.map(telemetry::adopt_meter);
                 let mut busy_ns: u64 = 0;
                 while let Ok(i) = task_rx.recv() {
                     let _task_span = telemetry::span("pool.task");

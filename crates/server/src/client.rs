@@ -63,6 +63,9 @@ pub struct NetClient {
     next_key: u64,
     next_jitter: u64,
     connects: u64,
+    /// Server-side resource usage attached to the most recent reply
+    /// (`None` before the first reply, or when the server sent none).
+    last_usage: Option<telemetry::ResourceUsage>,
 }
 
 impl NetClient {
@@ -82,6 +85,7 @@ impl NetClient {
             next_key: 1,
             next_jitter: 0,
             connects: 0,
+            last_usage: None,
         }
     }
 
@@ -135,6 +139,14 @@ impl NetClient {
         self.connects
     }
 
+    /// The server-side [`telemetry::ResourceUsage`] attached to the most
+    /// recent reply: what the last request cost the server in rows,
+    /// cache traffic, WAL bytes, and queue/execute time. `None` before
+    /// the first reply or when the peer predates protocol v3.
+    pub fn last_usage(&self) -> Option<telemetry::ResourceUsage> {
+        self.last_usage
+    }
+
     /// Draw the next idempotency key: `key_space` in the high 32 bits,
     /// a local counter below. Never zero (zero means "no key"). Only
     /// called once a key space exists — post-handshake or pinned.
@@ -174,6 +186,18 @@ impl NetClient {
         let deadline = self.deadline.map(|d| Instant::now() + d);
         telemetry::add("netclient.requests", 1);
         let started = Instant::now();
+        // The client half of the end-to-end trace: when tracing is on
+        // and the sampler elects this request (`PERFDMF_TRACE_SAMPLE`),
+        // open a `client.request` span covering every attempt and
+        // propagate its context in each Call frame, so the server's
+        // `server.request` span parents into it across the wire.
+        let sampled = telemetry::tracing_enabled() && telemetry::trace::sample_request();
+        let _span = sampled.then(|| telemetry::span("client.request"));
+        let trace = if sampled {
+            telemetry::trace::current_context()
+        } else {
+            None
+        };
         // Backoff jitter seed: the pinned key when there is one, else a
         // per-client nonce — deterministic either way, and independent
         // of the idempotency key, which may not exist yet (or at all,
@@ -199,7 +223,7 @@ impl NetClient {
                 }
                 std::thread::sleep(pause);
             }
-            match self.attempt(&request, &mut key, deadline) {
+            match self.attempt(&request, &mut key, deadline, trace) {
                 Ok(response) => {
                     let transient = matches!(
                         response,
@@ -247,6 +271,7 @@ impl NetClient {
         request: &Request,
         key: &mut Option<u64>,
         deadline: Option<Instant>,
+        trace: Option<telemetry::SpanContext>,
     ) -> std::io::Result<Response> {
         self.ensure_connected()?;
         let key = match *key {
@@ -277,6 +302,7 @@ impl NetClient {
             seq,
             deadline_ms,
             idempotency: key,
+            trace,
             request: request.clone(),
         }
         .to_frame();
@@ -304,9 +330,11 @@ impl NetClient {
             match message {
                 Message::Reply {
                     seq: reply_seq,
+                    usage,
                     response,
                 } => {
                     if reply_seq == seq {
+                        self.last_usage = usage;
                         return Ok(response);
                     }
                     // A stale reply from an abandoned attempt on this

@@ -29,7 +29,10 @@
 //!   stops; telemetry is flushed into the metrics time series.
 
 use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
-use crate::wire::{parse_header, verify_body, Message, WireError, HEADER_LEN, PROTOCOL_VERSION};
+use crate::wire::{
+    parse_header, verify_body, Message, WireError, HEADER_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 use perfdmf_db::Connection;
 use perfdmf_explorer::{AnalysisServer, ExplorerClient, Request, Response};
 use perfdmf_telemetry as telemetry;
@@ -336,6 +339,10 @@ fn accept_loop(
                     // loop itself is panic-free.
                     if catch_unwind(AssertUnwindSafe(|| session_loop(stream, &shared))).is_err() {
                         telemetry::add("server.session_panics", 1);
+                        // Freeze the flight recorder at the moment of
+                        // death so the trace leading up to the panic
+                        // survives for post-mortem analysis.
+                        telemetry::trace::fault_dump("session panic");
                     }
                     shared.live_sessions.fetch_sub(1, Ordering::Relaxed);
                 });
@@ -462,15 +469,19 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
     let started = Instant::now();
 
     // Handshake: the first frame must be a protocol-compatible Hello.
-    let record = match read_frame(stream.as_mut(), shared) {
+    // Anything in `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` is served;
+    // the peer's version is remembered so replies to v2 clients never
+    // carry v3-only encodings (the usage-bearing Reply).
+    let (record, peer_protocol) = match read_frame(stream.as_mut(), shared) {
         FrameEvent::Frame(body) => match Message::decode(&body) {
             Ok(Message::Hello { protocol, tenant }) => {
-                if protocol != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
                     telemetry::add("server.protocol_errors", 1);
                     farewell(
                         stream.as_mut(),
                         &format!(
-                            "protocol version {protocol} unsupported (want {PROTOCOL_VERSION})"
+                            "protocol version {protocol} unsupported \
+                             (want {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
                         ),
                     );
                     return;
@@ -498,7 +509,7 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
                 }
                 let record = SessionRecord::new(id, tenant);
                 telemetry::sessions::upsert(record.clone());
-                record
+                (record, protocol)
             }
             Ok(_) => {
                 telemetry::add("server.protocol_errors", 1);
@@ -523,7 +534,7 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
     };
 
     let mut record = record;
-    let close_reason = serve_session(stream.as_mut(), shared, &mut record);
+    let close_reason = serve_session(stream.as_mut(), shared, &mut record, peer_protocol);
     record.state = SessionState::Closed;
     record.connected_ms = started.elapsed().as_millis().min(u64::MAX as u128) as u64;
     record.close_reason = Some(close_reason);
@@ -532,7 +543,12 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
 }
 
 /// The post-handshake request loop. Returns the close reason.
-fn serve_session(stream: &mut dyn Stream, shared: &Shared, record: &mut SessionRecord) -> String {
+fn serve_session(
+    stream: &mut dyn Stream,
+    shared: &Shared,
+    record: &mut SessionRecord,
+    peer_protocol: u32,
+) -> String {
     loop {
         let body = match read_frame(stream, shared) {
             FrameEvent::Frame(body) => body,
@@ -581,6 +597,7 @@ fn serve_session(stream: &mut dyn Stream, shared: &Shared, record: &mut SessionR
                 seq,
                 deadline_ms,
                 idempotency,
+                trace,
                 request,
             } => {
                 if seq <= record.last_seq {
@@ -594,9 +611,28 @@ fn serve_session(stream: &mut dyn Stream, shared: &Shared, record: &mut SessionR
                     return "protocol error: sequence regression".into();
                 }
                 record.last_seq = seq;
-                let response = answer(shared, record, deadline_ms, idempotency, request);
-                telemetry::sessions::upsert(record.clone());
-                if write_all(stream, &Message::Reply { seq, response }.to_frame()).is_err() {
+                record.requests_inflight += 1;
+                record.trace_id = trace.map(|c| c.trace.0);
+                telemetry::sessions::note_request_started(record.id, record.trace_id);
+                let (response, usage) =
+                    answer(shared, record, deadline_ms, idempotency, trace, request);
+                record.requests_inflight = record.requests_inflight.saturating_sub(1);
+                record.trace_id = None;
+                telemetry::sessions::note_request_finished(record.id);
+                // A v2 peer cannot decode the usage-bearing Reply tag;
+                // its replies stay in the legacy encoding.
+                let usage = (peer_protocol >= 3).then_some(usage);
+                if write_all(
+                    stream,
+                    &Message::Reply {
+                        seq,
+                        usage,
+                        response,
+                    }
+                    .to_frame(),
+                )
+                .is_err()
+                {
                     telemetry::add("server.disconnects", 1);
                     stream.shutdown();
                     return "transport error: reply write failed".into();
@@ -708,27 +744,153 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// Resolve one `Call` into a `Response`: replay-cache hit, drain
-/// rejection, or dispatch through the explorer's admission control.
+/// Emits the panic artifacts for a request that dies on the session
+/// thread: without it, the `catch_unwind` in the accept loop swallows
+/// the unwinding with nothing but a counter, losing the trace context
+/// of the request that killed the session. Dropped while panicking (and
+/// not `completed`), it records the request in the accounting ring with
+/// `status = "panic"` and freezes the flight recorder. Declared
+/// *before* the `server.request` span guard so the span publishes its
+/// record first and the dump captures it.
+struct PanicArtifact {
+    kind: &'static str,
+    session: u64,
+    tenant: String,
+    trace_id: Option<u64>,
+    deadline_ms: u32,
+    started: Instant,
+    meter: telemetry::RequestMeter,
+    completed: bool,
+}
+
+impl Drop for PanicArtifact {
+    fn drop(&mut self) {
+        if self.completed || !std::thread::panicking() {
+            return;
+        }
+        telemetry::add("server.request_panics", 1);
+        let elapsed = self.started.elapsed();
+        let mut event = telemetry::Event::new(telemetry::Severity::Warn, "session_panic")
+            .field("kind", self.kind)
+            .field("session", self.session)
+            .field("tenant", self.tenant.clone());
+        if let Some(trace_id) = self.trace_id {
+            event = event.field("trace", format!("{trace_id:016x}"));
+        }
+        telemetry::emit(event);
+        telemetry::requests::record(telemetry::RequestRecord {
+            seq: 0,
+            trace_id: self.trace_id,
+            session: self.session,
+            tenant: std::mem::take(&mut self.tenant),
+            kind: self.kind,
+            status: "panic",
+            deadline_slack_ms: deadline_slack(self.deadline_ms, elapsed),
+            elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            slow: false,
+            usage: self.meter.snapshot(),
+        });
+        telemetry::trace::fault_dump("session panic");
+    }
+}
+
+/// Milliseconds of deadline left when the reply was formed (negative =
+/// the deadline was exceeded); `None` for calls without a deadline.
+fn deadline_slack(deadline_ms: u32, elapsed: Duration) -> Option<i64> {
+    (deadline_ms > 0)
+        .then(|| i64::from(deadline_ms) - (elapsed.as_millis().min(i64::MAX as u128) as i64))
+}
+
+/// Resolve one `Call` into a `Response` plus the resources it consumed.
 ///
-/// Keyed requests are registered in the replay cache **before**
-/// dispatch, so a retry that arrives while the original is still
-/// executing waits for its outcome (bounded by the retry's own
-/// deadline) instead of executing the write a second time.
+/// This is the server end of the causal trace: the client's propagated
+/// context (if any) is adopted so the `server.request` span — and every
+/// span below it on the worker and pool threads — parents into the
+/// caller's `client.request` span. A fresh [`telemetry::RequestMeter`]
+/// is adopted for the duration, and the finished request is recorded in
+/// the bounded accounting ring behind `perfdmf_requests`.
 fn answer(
     shared: &Shared,
     record: &mut SessionRecord,
     deadline_ms: u32,
     idempotency: u64,
+    trace: Option<telemetry::SpanContext>,
     request: Request,
-) -> Response {
+) -> (Response, telemetry::ResourceUsage) {
+    let kind = request.kind();
+    let started = Instant::now();
+    let _adopted = trace.map(telemetry::trace::adopt_context);
+    let meter = telemetry::RequestMeter::new();
+    let _metered = telemetry::adopt_meter(meter.clone());
+    let mut artifact = PanicArtifact {
+        kind,
+        session: record.id,
+        tenant: record.tenant.clone(),
+        trace_id: trace.map(|c| c.trace.0),
+        deadline_ms,
+        started,
+        meter: meter.clone(),
+        completed: false,
+    };
+    let _span = telemetry::span("server.request");
+    // A server tracing without a propagated client context still stamps
+    // its own fresh trace id on the accounting row.
+    let trace_id = artifact
+        .trace_id
+        .or_else(|| telemetry::trace::current_trace_id().map(|t| t.0));
+    artifact.trace_id = trace_id;
+    if shared.config.allow_fault_injection {
+        if let Request::InjectPanic(message) = &request {
+            // `session:`-prefixed injections panic *here*, on the
+            // session thread inside the `server.request` span — the
+            // deterministic trigger for the panic-artifact path (plain
+            // injections panic on a worker and are isolated there).
+            if let Some(rest) = message.strip_prefix("session:") {
+                panic!("injected session panic: {rest}");
+            }
+        }
+    }
+    let (response, status) = dispatch(shared, record, deadline_ms, idempotency, request);
+    artifact.completed = true;
+    let usage = meter.snapshot();
+    let elapsed = started.elapsed();
+    telemetry::requests::record(telemetry::RequestRecord {
+        seq: 0,
+        trace_id,
+        session: record.id,
+        tenant: record.tenant.clone(),
+        kind,
+        status,
+        deadline_slack_ms: deadline_slack(deadline_ms, elapsed),
+        elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        slow: false,
+        usage,
+    });
+    (response, usage)
+}
+
+/// Replay-cache hit, drain rejection, or dispatch through the
+/// explorer's admission control. Returns the response plus the status
+/// label the accounting ring files it under.
+///
+/// Keyed requests are registered in the replay cache **before**
+/// dispatch, so a retry that arrives while the original is still
+/// executing waits for its outcome (bounded by the retry's own
+/// deadline) instead of executing the write a second time.
+fn dispatch(
+    shared: &Shared,
+    record: &mut SessionRecord,
+    deadline_ms: u32,
+    idempotency: u64,
+    request: Request,
+) -> (Response, &'static str) {
     if let Err(reason) = validate(&request, &shared.config) {
         telemetry::add("server.requests_rejected", 1);
         record.errors += 1;
-        return Response::Error(reason);
+        return (Response::Error(reason), "rejected");
     }
     if shared.draining.load(Ordering::SeqCst) {
-        return Response::ShuttingDown;
+        return (Response::ShuttingDown, "shutting_down");
     }
     let guard = if idempotency != 0 {
         let wait_until = Instant::now()
@@ -744,19 +906,22 @@ fn answer(
                     let response = response.clone();
                     telemetry::add("server.idempotent_replays", 1);
                     record.replays += 1;
-                    return response;
+                    return (response, "replayed");
                 }
                 Some(ReplayEntry::InFlight) => {
                     if shared.draining.load(Ordering::SeqCst) {
-                        return Response::ShuttingDown;
+                        return (Response::ShuttingDown, "shutting_down");
                     }
                     let now = Instant::now();
                     if now >= wait_until {
                         telemetry::add("server.duplicate_waits_expired", 1);
-                        return Response::Failed {
-                            reason: "duplicate request still executing".into(),
-                            retryable: true,
-                        };
+                        return (
+                            Response::Failed {
+                                reason: "duplicate request still executing".into(),
+                                retryable: true,
+                            },
+                            "failed",
+                        );
                     }
                     // Short slices so the drain flag stays responsive
                     // even if the wakeup is missed.
@@ -803,7 +968,14 @@ fn answer(
     if let Some(guard) = guard {
         guard.resolve(&response);
     }
-    response
+    let status = match &response {
+        Response::Overloaded => "overloaded",
+        Response::Error(_) => "error",
+        Response::Failed { .. } => "failed",
+        Response::ShuttingDown => "shutting_down",
+        _ => "ok",
+    };
+    (response, status)
 }
 
 #[cfg(test)]

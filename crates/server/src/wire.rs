@@ -24,9 +24,22 @@
 //!
 //! The codec is versioned by [`PROTOCOL_VERSION`], carried in the
 //! [`Message::Hello`] handshake; servers reject clients speaking a
-//! different version with a `Goodbye`.
+//! version outside [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`] with
+//! a `Goodbye`.
+//!
+//! **Version 3** added end-to-end tracing and metering without breaking
+//! version 2 peers: a `Call` *may* carry a trace context and a `Reply`
+//! *may* carry the server-side [`ResourceUsage`], each encoded under a
+//! new message tag (5 and 6). A `Call` without trace context and a
+//! `Reply` without usage still encode under their v2 tags (2 and 3),
+//! bit-identical to version 2 — so a v2 peer's frames decode unchanged
+//! on a v3 server, and a v3 server answering a v2 session simply never
+//! sends tag 6. The trace context rides *inside* the CRC-protected
+//! body, so a corrupted trace id is caught at the frame boundary like
+//! any other field.
 
 use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
+use perfdmf_telemetry::{ResourceUsage, SpanContext, SpanId, TraceId};
 
 /// Frame magic: `"PDMF"` little-endian.
 pub const MAGIC: u32 = 0x464D_4450;
@@ -42,8 +55,15 @@ pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
 
 /// Wire-protocol version carried in the handshake. Version 2 added the
 /// server-assigned `key_space` field to [`Message::HelloAck`] and the
-/// body CRC-32 to the frame header.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// body CRC-32 to the frame header; version 3 added optional trace
+/// context on [`Message::Call`] and optional [`ResourceUsage`] on
+/// [`Message::Reply`] (see the module docs for the compat scheme).
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Oldest protocol version the server still accepts in a handshake.
+/// Version 2 peers never send trace context and are never sent
+/// resource usage; everything else is identical.
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
 const CRC32_TABLE: [u32; 256] = {
@@ -188,6 +208,11 @@ pub enum Message {
         /// must carry the same key; the server replays the recorded
         /// response instead of applying the write twice.
         idempotency: u64,
+        /// Trace context of the client span issuing this call (v3;
+        /// `None` from v2 peers or when tracing/sampling skips the
+        /// request). The server adopts it so its `server.request` span
+        /// joins the client's causal trace.
+        trace: Option<SpanContext>,
         /// The request itself.
         request: Request,
     },
@@ -195,6 +220,9 @@ pub enum Message {
     Reply {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Server-side resource accounting for this request (v3; `None`
+        /// to v2 peers or when the server did not meter the request).
+        usage: Option<ResourceUsage>,
         /// The response.
         response: Response,
     },
@@ -800,8 +828,36 @@ fn decode_response(r: &mut Reader) -> Result<Response, WireError> {
     }
 }
 
+fn encode_usage(w: &mut Writer, usage: &ResourceUsage) {
+    w.u64(usage.rows_scanned);
+    w.u64(usage.chunk_hits);
+    w.u64(usage.chunk_misses);
+    w.u64(usage.pool_tasks);
+    w.u64(usage.wal_bytes);
+    w.u64(usage.queue_wait_ns);
+    w.u64(usage.execute_ns);
+}
+
+fn decode_usage(r: &mut Reader) -> Result<ResourceUsage, WireError> {
+    Ok(ResourceUsage {
+        rows_scanned: r.u64("ResourceUsage rows_scanned")?,
+        chunk_hits: r.u64("ResourceUsage chunk_hits")?,
+        chunk_misses: r.u64("ResourceUsage chunk_misses")?,
+        pool_tasks: r.u64("ResourceUsage pool_tasks")?,
+        wal_bytes: r.u64("ResourceUsage wal_bytes")?,
+        queue_wait_ns: r.u64("ResourceUsage queue_wait_ns")?,
+        execute_ns: r.u64("ResourceUsage execute_ns")?,
+    })
+}
+
 impl Message {
     /// Encode the message body (without the frame header).
+    ///
+    /// A `Call` without trace context and a `Reply` without usage
+    /// encode under their version-2 tags, byte-identical to a v2 peer's
+    /// encoding; the v3 payloads get tags of their own (5 and 6), so no
+    /// version negotiation is needed to *decode* — the tag says which
+    /// shape follows.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
@@ -819,16 +875,34 @@ impl Message {
                 seq,
                 deadline_ms,
                 idempotency,
+                trace,
                 request,
             } => {
-                w.u8(2);
+                match trace {
+                    None => w.u8(2),
+                    Some(ctx) => {
+                        w.u8(5);
+                        w.u64(ctx.trace.0);
+                        w.u64(ctx.span.0);
+                    }
+                }
                 w.u64(*seq);
                 w.u32(*deadline_ms);
                 w.u64(*idempotency);
                 encode_request(&mut w, request);
             }
-            Message::Reply { seq, response } => {
-                w.u8(3);
+            Message::Reply {
+                seq,
+                usage,
+                response,
+            } => {
+                match usage {
+                    None => w.u8(3),
+                    Some(u) => {
+                        w.u8(6);
+                        encode_usage(&mut w, u);
+                    }
+                }
                 w.u64(*seq);
                 encode_response(&mut w, response);
             }
@@ -857,14 +931,32 @@ impl Message {
                 seq: r.u64("Call seq")?,
                 deadline_ms: r.u32("Call deadline_ms")?,
                 idempotency: r.u64("Call idempotency")?,
+                trace: None,
                 request: decode_request(&mut r)?,
             },
             3 => Message::Reply {
                 seq: r.u64("Reply seq")?,
+                usage: None,
                 response: decode_response(&mut r)?,
             },
             4 => Message::Goodbye {
                 reason: r.str("Goodbye reason")?,
+            },
+            5 => {
+                let trace = TraceId(r.u64("Call trace id")?);
+                let span = SpanId(r.u64("Call span id")?);
+                Message::Call {
+                    trace: Some(SpanContext { trace, span }),
+                    seq: r.u64("Call seq")?,
+                    deadline_ms: r.u32("Call deadline_ms")?,
+                    idempotency: r.u64("Call idempotency")?,
+                    request: decode_request(&mut r)?,
+                }
+            }
+            6 => Message::Reply {
+                usage: Some(decode_usage(&mut r)?),
+                seq: r.u64("Reply seq")?,
+                response: decode_response(&mut r)?,
             },
             tag => {
                 return Err(WireError::UnknownTag {
@@ -984,9 +1076,75 @@ mod tests {
                 seq: 1,
                 deadline_ms: 250,
                 idempotency: 0xDEAD_BEEF,
+                trace: None,
+                request: request.clone(),
+            });
+            roundtrip(Message::Call {
+                seq: 1,
+                deadline_ms: 250,
+                idempotency: 0xDEAD_BEEF,
+                trace: Some(SpanContext {
+                    trace: TraceId(0x0123_4567_89AB_CDEF),
+                    span: SpanId(0xFEDC_BA98_7654_3210),
+                }),
                 request,
             });
         }
+    }
+
+    #[test]
+    fn traceless_call_encodes_bit_identical_to_v2() {
+        // The compat contract: `trace: None` must produce the exact
+        // byte layout a version-2 peer emits — tag 2, then seq,
+        // deadline, idempotency, request.
+        let body = Message::Call {
+            seq: 0x0102_0304_0506_0708,
+            deadline_ms: 250,
+            idempotency: 0xAA,
+            trace: None,
+            request: Request::Ping,
+        }
+        .encode();
+        let mut v2 = vec![2u8];
+        v2.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        v2.extend_from_slice(&250u32.to_le_bytes());
+        v2.extend_from_slice(&0xAAu64.to_le_bytes());
+        v2.push(6); // Request::Ping
+        assert_eq!(body, v2);
+        // And the usage-less Reply likewise: tag 3, seq, response.
+        let body = Message::Reply {
+            seq: 7,
+            usage: None,
+            response: Response::Pong,
+        }
+        .encode();
+        let mut v2 = vec![3u8];
+        v2.extend_from_slice(&7u64.to_le_bytes());
+        v2.push(6); // Response::Pong
+        assert_eq!(body, v2);
+    }
+
+    #[test]
+    fn reply_usage_roundtrips() {
+        let usage = ResourceUsage {
+            rows_scanned: 1,
+            chunk_hits: 2,
+            chunk_misses: 3,
+            pool_tasks: 4,
+            wal_bytes: 5,
+            queue_wait_ns: 6,
+            execute_ns: 7,
+        };
+        roundtrip(Message::Reply {
+            seq: 7,
+            usage: Some(usage),
+            response: Response::Pong,
+        });
+        roundtrip(Message::Reply {
+            seq: 7,
+            usage: None,
+            response: Response::Pong,
+        });
     }
 
     #[test]
@@ -1035,7 +1193,11 @@ mod tests {
             },
             Response::ShuttingDown,
         ] {
-            roundtrip(Message::Reply { seq: 7, response });
+            roundtrip(Message::Reply {
+                seq: 7,
+                usage: None,
+                response,
+            });
         }
     }
 
@@ -1043,6 +1205,7 @@ mod tests {
     fn nan_silhouette_survives_bit_exactly() {
         let msg = Message::Reply {
             seq: 1,
+            usage: None,
             response: Response::Clustering {
                 settings_id: 1,
                 k: 1,
@@ -1083,6 +1246,10 @@ mod tests {
             seq: 9,
             deadline_ms: 100,
             idempotency: 0xAB_0001,
+            trace: Some(SpanContext {
+                trace: TraceId(0xD00D_F00D),
+                span: SpanId(0xBEEF),
+            }),
             request: Request::Ping,
         }
         .to_frame();
@@ -1110,6 +1277,10 @@ mod tests {
             seq: 3,
             deadline_ms: 100,
             idempotency: 77,
+            trace: Some(SpanContext {
+                trace: TraceId(0x11),
+                span: SpanId(0x22),
+            }),
             request: Request::SpeedupStudy {
                 experiment_id: 2,
                 metric: "TIME".into(),

@@ -52,6 +52,23 @@ const STORM_DEADLINE: Duration = Duration::from_secs(5);
 /// budget (3 retries, ≤500ms backoff each), and scheduling slack.
 const REQUEST_WALL_BOUND: Duration = Duration::from_secs(30);
 
+/// Serializes tests that assert on process-global telemetry counters:
+/// the storms require `server.session_panics` to stay flat while they
+/// run, and the panic-injection test below deliberately bumps it.
+fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(std::sync::Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter(name: &str) -> u64 {
+    perfdmf_telemetry::snapshot()
+        .counter(name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -265,6 +282,7 @@ fn run_storm(seed: u64) {
 
 #[test]
 fn storms_across_fixed_seeds_hold_every_invariant() {
+    let _g = telemetry_lock();
     for seed in FIXED_SEEDS {
         run_storm(seed);
     }
@@ -276,8 +294,93 @@ fn storm_for_env_seed_holds_every_invariant() {
     // fresh schedule; locally the test is a no-op unless the var is set.
     if let Ok(seed) = std::env::var("RUST_SEED") {
         let seed: u64 = seed.parse().expect("RUST_SEED must be a u64");
+        let _g = telemetry_lock();
         run_storm(seed);
     }
+}
+
+/// A request that panics mid-session must stay a *session* problem:
+/// the server survives, the panic is counted, the half-finished
+/// request lands in the accounting ring with status `"panic"`, and the
+/// flight recorder dumps the span tree that was open when it died.
+#[test]
+fn injected_session_panic_is_observable_and_contained() {
+    let _g = telemetry_lock();
+    let dump = std::env::temp_dir().join(format!(
+        "perfdmf-chaos-fault-dump-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&dump);
+    perfdmf_telemetry::set_tracing(true);
+    perfdmf_telemetry::trace::set_fault_dump_path(Some(dump.clone()));
+
+    let (conn, _trial) = seeded_database();
+    let server = PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 2,
+            allow_fault_injection: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+
+    let session_panics_before = counter("server.session_panics");
+    let request_panics_before = counter("server.request_panics");
+
+    // The victim's session thread dies mid-request, so the client sees
+    // a transport failure, not a reply.
+    let mut victim = NetClient::new(server.addr(), "panic-victim").with_policy(RetryPolicy::none());
+    let response = victim.request(Request::InjectPanic("session:chaos".into()));
+    assert!(
+        matches!(response, Response::Failed { .. }),
+        "a panicking session must surface as a clean failure, got {response:?}"
+    );
+    victim.close();
+
+    // Containment: the accept loop caught the unwind and keeps serving.
+    let mut probe = NetClient::new(server.addr(), "panic-probe");
+    assert!(probe.ping(), "server must survive a session panic");
+    probe.close();
+
+    assert!(
+        counter("server.session_panics") > session_panics_before,
+        "session panic must be counted"
+    );
+    assert!(
+        counter("server.request_panics") > request_panics_before,
+        "request panic must be counted"
+    );
+
+    // The accounting ring kept the half-finished request.
+    let log = perfdmf_telemetry::requests::log();
+    let rec = log
+        .iter()
+        .rev()
+        .find(|r| r.status == "panic")
+        .expect("panicking request must land in the accounting ring");
+    assert_eq!(rec.kind, "inject_panic");
+    assert_eq!(rec.tenant, "panic-victim");
+
+    // And the flight recorder dumped the open span tree to disk.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !std::fs::metadata(&dump)
+        .map(|m| m.len() > 0)
+        .unwrap_or(false)
+    {
+        assert!(Instant::now() < deadline, "fault dump never written");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let json = std::fs::read_to_string(&dump).expect("dump readable");
+    assert!(
+        json.contains("server.request"),
+        "dump must contain the panicking request's span"
+    );
+
+    perfdmf_telemetry::trace::set_fault_dump_path(None);
+    perfdmf_telemetry::set_tracing(false);
+    let _ = std::fs::remove_file(&dump);
+    server.shutdown();
 }
 
 #[test]

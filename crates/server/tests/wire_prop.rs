@@ -4,9 +4,11 @@
 //! [`WireError`], never a panic and never an outsized allocation.
 
 use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
+use perfdmf_server::stream::{read_exact, write_all, FaultStream, NetFaultPlan, Stream};
 use perfdmf_server::wire::{
     crc32, parse_header, verify_body, Message, WireError, HEADER_LEN, MAGIC, MAX_FRAME_LEN,
 };
+use perfdmf_telemetry::{ResourceUsage, SpanContext, SpanId, TraceId};
 use proptest::prelude::*;
 
 fn arb_name() -> impl Strategy<Value = String> {
@@ -176,24 +178,96 @@ fn arb_response() -> BoxedStrategy<Response> {
     .boxed()
 }
 
+fn arb_trace() -> BoxedStrategy<Option<SpanContext>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, s)| Some(SpanContext {
+            trace: TraceId(t),
+            span: SpanId(s),
+        })),
+    ]
+    .boxed()
+}
+
+fn arb_usage() -> BoxedStrategy<Option<ResourceUsage>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(any::<u64>(), 7).prop_map(|v| Some(ResourceUsage {
+            rows_scanned: v[0],
+            chunk_hits: v[1],
+            chunk_misses: v[2],
+            pool_tasks: v[3],
+            wal_bytes: v[4],
+            queue_wait_ns: v[5],
+            execute_ns: v[6],
+        })),
+    ]
+    .boxed()
+}
+
 fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
         (any::<u32>(), arb_name())
             .prop_map(|(protocol, tenant)| Message::Hello { protocol, tenant }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(session, key_space)| Message::HelloAck { session, key_space }),
-        (any::<u64>(), any::<u32>(), any::<u64>(), arb_request()).prop_map(
-            |(seq, deadline_ms, idempotency, request)| Message::Call {
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            arb_trace(),
+            arb_request()
+        )
+            .prop_map(
+                |(seq, deadline_ms, idempotency, trace, request)| Message::Call {
+                    seq,
+                    deadline_ms,
+                    idempotency,
+                    trace,
+                    request,
+                }
+            ),
+        (any::<u64>(), arb_usage(), arb_response()).prop_map(|(seq, usage, response)| {
+            Message::Reply {
                 seq,
-                deadline_ms,
-                idempotency,
-                request,
+                usage,
+                response,
             }
-        ),
-        (any::<u64>(), arb_response()).prop_map(|(seq, response)| Message::Reply { seq, response }),
+        }),
         arb_name().prop_map(|reason| Message::Goodbye { reason }),
     ]
     .boxed()
+}
+
+/// In-memory half-duplex pipe, so the fault layer can be exercised
+/// without sockets.
+#[derive(Clone, Default)]
+struct Pipe(std::sync::Arc<std::sync::Mutex<std::collections::VecDeque<u8>>>);
+
+impl Stream for Pipe {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut inner = self.0.lock().unwrap();
+        let n = buf.len().min(inner.len());
+        for slot in buf[..n].iter_mut() {
+            *slot = inner.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend(buf.iter().copied());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {}
+
+    fn set_read_timeout(&mut self, _t: Option<std::time::Duration>) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 proptest! {
@@ -315,5 +389,104 @@ proptest! {
             Err(WireError::Truncated { .. }) => {}
             other => return Err(TestCaseError::fail(format!("expected length rejection, got {other:?}"))),
         }
+    }
+
+    /// v2 compatibility: a hand-built v2 `Call` body (legacy tag, no
+    /// trace field) decodes on a v3 codec as a traceless call — and a
+    /// v3 `Call` without trace context encodes to exactly those bytes.
+    #[test]
+    fn v2_calls_decode_on_a_v3_codec(
+        seq in any::<u64>(),
+        deadline_ms in any::<u32>(),
+        idempotency in any::<u64>(),
+        request in arb_request(),
+    ) {
+        let v3 = Message::Call {
+            seq,
+            deadline_ms,
+            idempotency,
+            trace: None,
+            request: request.clone(),
+        };
+        let body = v3.encode();
+        // The legacy layout: tag 2, then seq/deadline/idempotency in v2
+        // field order. Rebuild it by hand to prove the bytes are the
+        // v2 ones, not merely self-consistent.
+        let mut v2_body = vec![2u8];
+        v2_body.extend_from_slice(&seq.to_le_bytes());
+        v2_body.extend_from_slice(&deadline_ms.to_le_bytes());
+        v2_body.extend_from_slice(&idempotency.to_le_bytes());
+        prop_assert_eq!(&body[..v2_body.len()], &v2_body[..]);
+        prop_assert_eq!(Message::decode(&body).unwrap(), v3);
+    }
+
+    /// A corrupted trace field never sneaks a wrong context past the
+    /// frame boundary: any bit flip inside the trace/span id bytes of a
+    /// trace-carrying `Call` fails the CRC check.
+    #[test]
+    fn corrupted_trace_context_fails_the_frame_checksum(
+        seq in any::<u64>(),
+        trace in any::<u64>(),
+        span in any::<u64>(),
+        pos in 0usize..16,
+        bit in 0u8..8,
+    ) {
+        let message = Message::Call {
+            seq,
+            deadline_ms: 0,
+            idempotency: 0,
+            trace: Some(SpanContext { trace: TraceId(trace), span: SpanId(span) }),
+            request: Request::Ping,
+        };
+        let mut body = message.encode();
+        let declared = crc32(&body);
+        // Tag 5 layout: byte 0 is the tag, bytes 1..17 the trace and
+        // span ids.
+        body[1 + pos] ^= 1 << bit;
+        let caught = matches!(
+            verify_body(declared, &body),
+            Err(WireError::ChecksumMismatch { .. })
+        );
+        prop_assert!(caught, "flip at trace byte {} bit {} went undetected", pos, bit);
+    }
+
+    /// Trace context survives the fault-injecting transport bit-exactly:
+    /// a trace-carrying frame written and read through `FaultStream`
+    /// partial I/O reassembles into the identical message.
+    #[test]
+    fn trace_context_roundtrips_through_faulty_partial_io(
+        seq in any::<u64>(),
+        trace in any::<u64>(),
+        span in any::<u64>(),
+        request in arb_request(),
+        seed in any::<u64>(),
+        max_read in 1usize..5,
+        max_write in 1usize..5,
+    ) {
+        let message = Message::Call {
+            seq,
+            deadline_ms: 7,
+            idempotency: 9,
+            trace: Some(SpanContext { trace: TraceId(trace), span: SpanId(span) }),
+            request,
+        };
+        let frame = message.to_frame();
+        let pipe = Pipe::default();
+        let mut writer = FaultStream::new(
+            Box::new(pipe.clone()),
+            NetFaultPlan::seeded(seed).partial_io(max_write),
+        );
+        write_all(&mut writer, &frame).unwrap();
+        let mut reader = FaultStream::new(
+            Box::new(pipe),
+            NetFaultPlan::seeded(seed.wrapping_add(1)).partial_io(max_read),
+        );
+        let mut header = [0u8; HEADER_LEN];
+        prop_assert!(read_exact(&mut reader, &mut header).unwrap());
+        let (len, declared) = parse_header(&header).unwrap();
+        let mut body = vec![0u8; len as usize];
+        prop_assert!(read_exact(&mut reader, &mut body).unwrap());
+        verify_body(declared, &body).unwrap();
+        prop_assert_eq!(Message::decode(&body).unwrap(), message);
     }
 }

@@ -21,13 +21,17 @@
 //! switch ([`set_tracing`], default off) so its cost can be priced
 //! separately; events stamp the active trace id automatically.
 //!
-//! Three retention layers make the instruments queryable after the
+//! Four retention layers make the instruments queryable after the
 //! fact: [`metrics`] keeps a bounded time series of registry snapshots
 //! (the background sampler behind the `perfdmf_metrics_history` system
 //! table), [`regressions`] keeps the bounded log of flagged
 //! performance regressions (the `perfdmf_regressions` system table),
-//! and [`sessions`] keeps one record per network session (the
-//! `perfdmf_sessions` system table fed by `perfdmf-server`).
+//! [`sessions`] keeps one record per network session (the
+//! `perfdmf_sessions` system table fed by `perfdmf-server`), and
+//! [`requests`] keeps a bounded ring of recent network requests with
+//! their per-request [`meter::ResourceUsage`] plus per-kind Chan–Welford
+//! aggregates (the `perfdmf_requests` / `perfdmf_request_summary`
+//! system tables).
 //!
 //! When telemetry is disabled ([`set_enabled`]`(false)`) every
 //! instrumentation point reduces to one relaxed atomic load.
@@ -38,9 +42,11 @@
 //! queried, and analyzed with the very machinery it instruments.
 
 pub mod event;
+pub mod meter;
 pub mod metrics;
 pub mod registry;
 pub mod regressions;
+pub mod requests;
 pub mod sessions;
 pub mod snapshot;
 pub mod span;
@@ -50,9 +56,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 pub use event::{emit, install_sink, Event, EventSink, FieldValue, RingBufferSink, Severity};
+pub use meter::{adopt_meter, current_meter, MeterGuard, RequestMeter, ResourceUsage};
 pub use metrics::{sample_now, start_sampler, MetricsRecorder, MetricsSample, SamplerHandle};
 pub use registry::{Counter, Histogram, LocalCounter};
 pub use regressions::RegressionRecord;
+pub use requests::{RequestKindSummary, RequestRecord, Welford};
 pub use sessions::{SessionRecord, SessionState};
 pub use snapshot::{snapshot, snapshot_to_profile, CounterSnapshot, HistogramSnapshot, Snapshot};
 pub use span::{span, SpanGuard};

@@ -1,0 +1,380 @@
+//! The process-wide network-request log: a bounded ring of recent
+//! requests with their [`ResourceUsage`], per-kind Chan–Welford
+//! latency/cost aggregates, and a slow-request log symmetrical to the
+//! db layer's slow-query log.
+//!
+//! `perfdmf-server` calls [`record`] once per answered request;
+//! `perfdmf-db` materializes the retained state as the
+//! `perfdmf_requests` and `perfdmf_request_summary` virtual system
+//! tables (the registry lives here, like [`crate::sessions`], because
+//! the db layer cannot depend on the server crate without a cycle).
+//!
+//! Requests at or over the configurable threshold
+//! ([`set_slow_request_threshold`], default 100ms) additionally emit a
+//! `slow_request` structured event, bump the `server.slow_requests`
+//! counter, and are retained in their own ring ([`slow_request_log`])
+//! so a burst of fast traffic cannot evict the evidence of a slow one.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::meter::ResourceUsage;
+
+/// Default bound on retained request records; override with
+/// `PERFDMF_REQUESTS_CAPACITY`.
+pub const DEFAULT_REQUESTS_CAPACITY: usize = 256;
+
+/// Slow requests retained by their dedicated ring.
+const SLOW_RING_CAPACITY: usize = 256;
+
+/// Default slow-request threshold: 100ms (a network request includes
+/// queue wait and retries, so it breathes wider than a statement).
+const DEFAULT_SLOW_REQUEST_NS: u64 = 100_000_000;
+
+/// One answered (or failed) network request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Monotonically increasing record number (survives eviction).
+    pub seq: u64,
+    /// Trace id of the request's causal trace, when tracing was on.
+    pub trace_id: Option<u64>,
+    /// Server session that carried the request.
+    pub session: u64,
+    /// Tenant tag of that session.
+    pub tenant: String,
+    /// Request kind label (e.g. `"ClusterTrial"`, `"Ping"`).
+    pub kind: &'static str,
+    /// How the request resolved: `"ok"`, `"error"`, `"failed"`,
+    /// `"overloaded"`, `"replayed"`, `"rejected"`, `"panic"`, …
+    pub status: &'static str,
+    /// Milliseconds of deadline remaining at completion (negative when
+    /// the deadline was exceeded); `None` for requests with no deadline.
+    pub deadline_slack_ms: Option<i64>,
+    /// Wall time from dispatch to reply, nanoseconds.
+    pub elapsed_ns: u64,
+    /// True when `elapsed_ns` met the slow-request threshold (set by
+    /// [`record`]).
+    pub slow: bool,
+    /// Server-side resources the request consumed.
+    pub usage: ResourceUsage,
+}
+
+/// Chan–Welford accumulator: single observations fold in as
+/// count-1 accumulators via the parallel combine, so the same merge
+/// serves streaming updates and cross-accumulator merges.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    pub count: u64,
+    pub mean: f64,
+    pub m2: f64,
+}
+
+impl Welford {
+    /// Accumulator holding the single observation `x`.
+    pub fn of(x: f64) -> Welford {
+        Welford {
+            count: 1,
+            mean: x,
+            m2: 0.0,
+        }
+    }
+
+    /// Chan et al.'s parallel combine of two accumulators.
+    pub fn merge(self, other: Welford) -> Welford {
+        if self.count == 0 {
+            return other;
+        }
+        if other.count == 0 {
+            return self;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (other.count as f64 / count as f64);
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64 / count as f64);
+        Welford { count, mean, m2 }
+    }
+
+    /// Population standard deviation (0 for fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Aggregates for one request kind, as exposed by
+/// `perfdmf_request_summary`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestKindSummary {
+    pub kind: &'static str,
+    /// Requests of this kind recorded (all statuses).
+    pub count: u64,
+    /// Requests that resolved as anything but `"ok"` or `"replayed"`.
+    pub errors: u64,
+    /// Requests that met the slow threshold.
+    pub slow: u64,
+    /// Chan–Welford latency accumulator (nanoseconds).
+    pub latency: Welford,
+    /// Largest single latency seen, nanoseconds.
+    pub max_latency_ns: u64,
+    /// Element-wise resource totals (divide by `count` for means).
+    pub totals: ResourceUsage,
+}
+
+impl RequestKindSummary {
+    fn new(kind: &'static str) -> RequestKindSummary {
+        RequestKindSummary {
+            kind,
+            count: 0,
+            errors: 0,
+            slow: 0,
+            latency: Welford::default(),
+            max_latency_ns: 0,
+            totals: ResourceUsage::default(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Log {
+    ring: VecDeque<RequestRecord>,
+    slow_ring: VecDeque<RequestRecord>,
+    summary: BTreeMap<&'static str, RequestKindSummary>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+fn log_cell() -> &'static Mutex<Log> {
+    static LOG: OnceLock<Mutex<Log>> = OnceLock::new();
+    LOG.get_or_init(|| {
+        let capacity = std::env::var("PERFDMF_REQUESTS_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_REQUESTS_CAPACITY);
+        Mutex::new(Log {
+            capacity,
+            ..Log::default()
+        })
+    })
+}
+
+static SLOW_REQUEST_THRESHOLD_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_REQUEST_NS);
+
+/// Requests at or above this wall time are logged as slow.
+pub fn slow_request_threshold() -> Duration {
+    Duration::from_nanos(SLOW_REQUEST_THRESHOLD_NS.load(Ordering::Relaxed))
+}
+
+/// Change the slow-request threshold process-wide. `Duration::ZERO`
+/// flags every request.
+pub fn set_slow_request_threshold(threshold: Duration) {
+    let ns = threshold.as_nanos().min(u64::MAX as u128) as u64;
+    SLOW_REQUEST_THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+/// Record one completed request: assigns its sequence number, computes
+/// the `slow` flag, folds it into the per-kind summary, and — when slow
+/// — emits the `slow_request` event and retains it in the slow ring.
+/// No-op while telemetry is disabled.
+pub fn record(mut record: RequestRecord) {
+    if !crate::enabled() {
+        return;
+    }
+    record.slow = record.elapsed_ns >= SLOW_REQUEST_THRESHOLD_NS.load(Ordering::Relaxed);
+    let ok = matches!(record.status, "ok" | "replayed");
+    {
+        let mut log = log_cell().lock();
+        record.seq = log.next_seq;
+        log.next_seq += 1;
+
+        let entry = log
+            .summary
+            .entry(record.kind)
+            .or_insert_with(|| RequestKindSummary::new(record.kind));
+        entry.count += 1;
+        entry.errors += u64::from(!ok);
+        entry.slow += u64::from(record.slow);
+        entry.latency = entry.latency.merge(Welford::of(record.elapsed_ns as f64));
+        entry.max_latency_ns = entry.max_latency_ns.max(record.elapsed_ns);
+        entry.totals = entry.totals.saturating_add(&record.usage);
+
+        if log.ring.len() >= log.capacity {
+            log.ring.pop_front();
+        }
+        log.ring.push_back(record.clone());
+        if record.slow {
+            if log.slow_ring.len() >= SLOW_RING_CAPACITY {
+                log.slow_ring.pop_front();
+            }
+            log.slow_ring.push_back(record.clone());
+        }
+    }
+    if record.slow {
+        crate::add("server.slow_requests", 1);
+        let mut event = crate::event::Event::new(crate::event::Severity::Warn, "slow_request")
+            .field("kind", record.kind)
+            .field("status", record.status)
+            .field("tenant", record.tenant.clone())
+            .field("session", record.session)
+            .field("elapsed_ns", record.elapsed_ns)
+            .field("rows_scanned", record.usage.rows_scanned)
+            .field("queue_wait_ns", record.usage.queue_wait_ns)
+            .field("execute_ns", record.usage.execute_ns)
+            .field("wal_bytes", record.usage.wal_bytes);
+        if let Some(trace) = record.trace_id {
+            event = event.field("trace", format!("{trace:016x}"));
+        }
+        crate::event::emit(event);
+    }
+}
+
+/// Copy of the retained request records, oldest first.
+pub fn log() -> Vec<RequestRecord> {
+    log_cell().lock().ring.iter().cloned().collect()
+}
+
+/// Copy of the retained *slow* request records, oldest first.
+pub fn slow_request_log() -> Vec<RequestRecord> {
+    log_cell().lock().slow_ring.iter().cloned().collect()
+}
+
+/// Per-kind aggregates, ordered by kind name. Aggregates cover every
+/// request ever recorded, not just those still in the ring.
+pub fn summary() -> Vec<RequestKindSummary> {
+    log_cell().lock().summary.values().cloned().collect()
+}
+
+/// Drop all retained records and aggregates (sequence numbers keep
+/// counting).
+pub fn clear() {
+    let mut log = log_cell().lock();
+    log.ring.clear();
+    log.slow_ring.clear();
+    log.summary.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests that mutate the shared request log.
+    fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    fn sample(kind: &'static str, elapsed_ns: u64, status: &'static str) -> RequestRecord {
+        RequestRecord {
+            seq: 0,
+            trace_id: Some(0xABCD),
+            session: 7,
+            tenant: "t".into(),
+            kind,
+            status,
+            deadline_slack_ms: Some(12),
+            elapsed_ns,
+            slow: false,
+            usage: ResourceUsage {
+                rows_scanned: 10,
+                execute_ns: elapsed_ns / 2,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn records_fold_into_ring_and_summary() {
+        let _serial = test_lock();
+        let _on = crate::enabled_flag_lock().read();
+        clear();
+        let before = log().len();
+        record(sample("reqtest.Ping", 1_000, "ok"));
+        record(sample("reqtest.Ping", 3_000, "ok"));
+        record(sample("reqtest.Ping", 2_000, "error"));
+        assert_eq!(log().len(), before + 3);
+        let summary = summary()
+            .into_iter()
+            .find(|s| s.kind == "reqtest.Ping")
+            .expect("kind aggregated");
+        assert_eq!(summary.count, 3);
+        assert_eq!(summary.errors, 1);
+        assert_eq!(summary.latency.count, 3);
+        assert!((summary.latency.mean - 2_000.0).abs() < 1e-6);
+        assert_eq!(summary.max_latency_ns, 3_000);
+        assert_eq!(summary.totals.rows_scanned, 30);
+        clear();
+    }
+
+    #[test]
+    fn slow_requests_land_in_the_slow_ring() {
+        let _serial = test_lock();
+        let _on = crate::enabled_flag_lock().read();
+        clear();
+        let before = slow_request_threshold();
+        set_slow_request_threshold(Duration::from_nanos(2_000));
+        record(sample("reqtest.Slow", 1_000, "ok"));
+        record(sample("reqtest.Slow", 5_000, "ok"));
+        set_slow_request_threshold(before);
+        let slow: Vec<_> = slow_request_log()
+            .into_iter()
+            .filter(|r| r.kind == "reqtest.Slow")
+            .collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].elapsed_ns, 5_000);
+        assert!(slow[0].slow);
+        let fast = log()
+            .into_iter()
+            .find(|r| r.kind == "reqtest.Slow" && r.elapsed_ns == 1_000)
+            .unwrap();
+        assert!(!fast.slow);
+        clear();
+    }
+
+    #[test]
+    fn welford_merge_matches_direct_computation() {
+        let xs = [1.0f64, 2.0, 4.0, 8.0, 16.0, 32.0];
+        // Streaming fold.
+        let streamed = xs
+            .iter()
+            .fold(Welford::default(), |acc, &x| acc.merge(Welford::of(x)));
+        // Two-way split merged with Chan's combine.
+        let left = xs[..3]
+            .iter()
+            .fold(Welford::default(), |acc, &x| acc.merge(Welford::of(x)));
+        let right = xs[3..]
+            .iter()
+            .fold(Welford::default(), |acc, &x| acc.merge(Welford::of(x)));
+        let merged = left.merge(right);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        for w in [streamed, merged] {
+            assert_eq!(w.count, xs.len() as u64);
+            assert!((w.mean - mean).abs() < 1e-9);
+            assert!((w.stddev() - var.sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _serial = test_lock();
+        let _on = crate::enabled_flag_lock().read();
+        clear();
+        let cap = log_cell().lock().capacity;
+        for i in 0..cap + 10 {
+            record(sample("reqtest.Bound", i as u64, "ok"));
+        }
+        assert_eq!(log().len(), cap);
+        clear();
+    }
+}

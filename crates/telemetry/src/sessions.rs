@@ -69,6 +69,11 @@ pub struct SessionRecord {
     pub connected_ms: u64,
     /// Why the session closed, when it has (`None` while live).
     pub close_reason: Option<String>,
+    /// Trace id of the request currently being served, when tracing is
+    /// on and a request is in flight (`None` otherwise).
+    pub trace_id: Option<u64>,
+    /// Requests currently being served on this session.
+    pub requests_inflight: u64,
 }
 
 impl SessionRecord {
@@ -86,6 +91,8 @@ impl SessionRecord {
             last_seq: 0,
             connected_ms: 0,
             close_reason: None,
+            trace_id: None,
+            requests_inflight: 0,
         }
     }
 }
@@ -128,6 +135,26 @@ pub fn upsert(record: SessionRecord) {
         }
     }
     inner.sessions.insert(record.id, record);
+}
+
+/// Mark a retained session as having one more request in flight,
+/// carrying `trace` (when the request was traced). In-place — no
+/// record clone — because it runs on every network request.
+pub fn note_request_started(id: u64, trace: Option<u64>) {
+    if let Some(r) = registry().lock().sessions.get_mut(&id) {
+        r.requests_inflight += 1;
+        r.trace_id = trace;
+    }
+}
+
+/// Undo [`note_request_started`] once the request is answered.
+pub fn note_request_finished(id: u64) {
+    if let Some(r) = registry().lock().sessions.get_mut(&id) {
+        r.requests_inflight = r.requests_inflight.saturating_sub(1);
+        if r.requests_inflight == 0 {
+            r.trace_id = None;
+        }
+    }
 }
 
 /// Copy of every retained session record, ordered by session id.

@@ -83,6 +83,46 @@ pub fn set_tracing(on: bool) {
     TRACING.store(on, Ordering::Relaxed);
 }
 
+/// 0 = not yet initialized (read `PERFDMF_TRACE_SAMPLE` on first use).
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
+static SAMPLE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The request-trace sampling period: `NetClient` attaches trace
+/// context to (and opens a `client.request` span for) one request in
+/// every `trace_sample_every()`. Initialized from `PERFDMF_TRACE_SAMPLE`
+/// (default 1 — every request while tracing is on).
+pub fn trace_sample_every() -> u64 {
+    let current = SAMPLE_EVERY.load(Ordering::Relaxed);
+    if current != 0 {
+        return current;
+    }
+    let every = std::env::var("PERFDMF_TRACE_SAMPLE")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    SAMPLE_EVERY.store(every, Ordering::Relaxed);
+    every
+}
+
+/// Override the sampling period process-wide (values below 1 clamp
+/// to 1, i.e. sample everything).
+pub fn set_trace_sample(every: u64) {
+    SAMPLE_EVERY.store(every.max(1), Ordering::Relaxed);
+}
+
+/// Draw from the process-wide sampling sequence: true for one request
+/// in every [`trace_sample_every`]. Always true at the default period.
+pub fn sample_request() -> bool {
+    let every = trace_sample_every();
+    if every <= 1 {
+        return true;
+    }
+    SAMPLE_COUNTER
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(every)
+}
+
 /// Unique non-zero id: splitmix64 of a global sequence counter — well
 /// distributed, allocation-free, and deterministic given call order.
 fn next_id() -> u64 {
@@ -510,44 +550,86 @@ pub fn install_panic_dump() {
     });
 }
 
+/// One process's worth of spans for [`export_chrome_trace_merged`]:
+/// its Chrome-trace `pid`, a display name, and its records.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceProcess<'a> {
+    /// Chrome-trace process id (must be distinct per group).
+    pub pid: u64,
+    /// Display name emitted as `process_name` metadata.
+    pub name: &'a str,
+    /// The process's span records.
+    pub records: &'a [SpanRecord],
+}
+
 /// Render spans as Chrome-trace / Perfetto JSON (load via
 /// `chrome://tracing` or <https://ui.perfetto.dev>). Each span becomes a
 /// complete (`"X"`) event; when a span's parent ran on a *different*
 /// thread, a flow arrow (`"s"`/`"f"` pair) is added from the parent's
 /// slice to the child's, making cross-thread causality visible.
 pub fn export_chrome_trace(records: &[SpanRecord]) -> String {
-    let by_span: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.span, r)).collect();
-    let mut events = Vec::with_capacity(records.len());
-    for r in records {
-        let ts = r.start_ns as f64 / 1000.0;
-        let dur = r.dur_ns as f64 / 1000.0;
+    export_chrome_trace_merged(&[TraceProcess {
+        pid: 1,
+        name: "perfdmf",
+        records,
+    }])
+}
+
+/// Render spans from several processes as one merged Chrome-trace
+/// timeline: each group gets its own `pid` (with a `process_name`
+/// metadata event), and parent links are resolved *across* groups, so a
+/// child whose parent span lives in another process gets a
+/// cross-process flow arrow — this is how a client-side `client.request`
+/// slice visibly dispatches into the server's `server.request` slice in
+/// Perfetto.
+pub fn export_chrome_trace_merged(processes: &[TraceProcess<'_>]) -> String {
+    // Parent lookup spans every process: (pid, record).
+    let by_span: HashMap<u64, (u64, &SpanRecord)> = processes
+        .iter()
+        .flat_map(|p| p.records.iter().map(move |r| (r.span, (p.pid, r))))
+        .collect();
+    let mut events = Vec::new();
+    for proc in processes {
         events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"perfdmf\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
-             \"pid\":1,\"tid\":{},\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
-             \"parent\":\"{:016x}\",\"open\":{}}}}}",
-            crate::event::json_escape(r.name),
-            r.thread,
-            r.trace,
-            r.span,
-            r.parent,
-            r.open
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            proc.pid,
+            crate::event::json_escape(proc.name)
         ));
-        if r.parent != 0 {
-            if let Some(p) = by_span.get(&r.parent) {
-                if p.thread != r.thread {
-                    // Flow endpoints must lie inside their slices for the
-                    // viewer to bind them; clamp into the parent interval.
-                    let s_ts = (r.start_ns.clamp(p.start_ns, p.end_ns()) as f64) / 1000.0;
-                    events.push(format!(
-                        "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"s\",\
-                         \"id\":\"{:x}\",\"ts\":{s_ts:.3},\"pid\":1,\"tid\":{}}}",
-                        r.span, p.thread
-                    ));
-                    events.push(format!(
-                        "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"f\",\"bp\":\"e\",\
-                         \"id\":\"{:x}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{}}}",
-                        r.span, r.thread
-                    ));
+    }
+    for proc in processes {
+        for r in proc.records {
+            let ts = r.start_ns as f64 / 1000.0;
+            let dur = r.dur_ns as f64 / 1000.0;
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"perfdmf\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+                 \"pid\":{},\"tid\":{},\"args\":{{\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\
+                 \"parent\":\"{:016x}\",\"open\":{}}}}}",
+                crate::event::json_escape(r.name),
+                proc.pid,
+                r.thread,
+                r.trace,
+                r.span,
+                r.parent,
+                r.open
+            ));
+            if r.parent != 0 {
+                if let Some(&(parent_pid, p)) = by_span.get(&r.parent) {
+                    if parent_pid != proc.pid || p.thread != r.thread {
+                        // Flow endpoints must lie inside their slices for the
+                        // viewer to bind them; clamp into the parent interval.
+                        let s_ts = (r.start_ns.clamp(p.start_ns, p.end_ns()) as f64) / 1000.0;
+                        events.push(format!(
+                            "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"s\",\
+                             \"id\":\"{:x}\",\"ts\":{s_ts:.3},\"pid\":{},\"tid\":{}}}",
+                            r.span, parent_pid, p.thread
+                        ));
+                        events.push(format!(
+                            "{{\"name\":\"dispatch\",\"cat\":\"perfdmf\",\"ph\":\"f\",\"bp\":\"e\",\
+                             \"id\":\"{:x}\",\"ts\":{ts:.3},\"pid\":{},\"tid\":{}}}",
+                            r.span, proc.pid, r.thread
+                        ));
+                    }
                 }
             }
         }
@@ -703,6 +785,61 @@ mod tests {
         let open = open_spans();
         set_tracing(false);
         assert!(open.iter().any(|r| r.name == "trace.test.open" && r.open));
+    }
+
+    #[test]
+    fn merged_export_links_parents_across_processes() {
+        let client = vec![SpanRecord {
+            trace: 9,
+            span: 1,
+            parent: 0,
+            name: "client.request",
+            thread: 1,
+            start_ns: 1_000,
+            dur_ns: 9_000,
+            open: false,
+        }];
+        let server = vec![SpanRecord {
+            trace: 9,
+            span: 2,
+            parent: 1,
+            name: "server.request",
+            thread: 1, // same thread label, different process
+            start_ns: 2_000,
+            dur_ns: 3_000,
+            open: false,
+        }];
+        let json = export_chrome_trace_merged(&[
+            TraceProcess {
+                pid: 1,
+                name: "client",
+                records: &client,
+            },
+            TraceProcess {
+                pid: 2,
+                name: "server",
+                records: &server,
+            },
+        ]);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        // The server span's parent lives in the client process: the
+        // same thread label must still produce a flow pair.
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn sampling_period_is_configurable() {
+        let before = trace_sample_every();
+        set_trace_sample(1);
+        assert!(sample_request());
+        assert!(sample_request());
+        set_trace_sample(3);
+        let hits = (0..30).filter(|_| sample_request()).count();
+        assert_eq!(hits, 10, "1-in-3 sampling must hit exactly a third");
+        set_trace_sample(before);
     }
 
     #[test]
