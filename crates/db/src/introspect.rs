@@ -471,6 +471,7 @@ fn sessions_table() -> Table {
             ColumnDef::new("close_reason", DataType::Text),
             ColumnDef::new("trace_id", DataType::Text),
             ColumnDef::new("requests_inflight", DataType::Integer).not_null(),
+            ColumnDef::new("authenticated", DataType::Integer).not_null(),
         ],
         telemetry::sessions::log().into_iter().map(|s| {
             vec![
@@ -487,6 +488,7 @@ fn sessions_table() -> Table {
                 s.close_reason.map(text).unwrap_or(Value::Null),
                 hex_or_null(s.trace_id),
                 int(s.requests_inflight),
+                int(u64::from(s.authenticated)),
             ]
         }),
     )

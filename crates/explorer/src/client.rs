@@ -216,6 +216,24 @@ impl ExplorerClient {
         request: Request,
         deadline: Option<Instant>,
     ) -> Result<crossbeam::channel::Receiver<Response>, Response> {
+        self.submit_with_notify(request, deadline, None)
+    }
+
+    /// Enqueue a request without blocking, registering an optional waker
+    /// that the worker invokes right after the reply is sent.
+    ///
+    /// This is the seam event-driven callers (the `perfdmf-server`
+    /// session executor) build on: submit here, park the connection on
+    /// readiness, and let the waker poke the event loop when the reply
+    /// channel becomes ready — no thread blocks on `recv`. The trace
+    /// context and request meter active on the *calling* thread are
+    /// captured now, exactly as for the blocking paths.
+    pub fn submit_with_notify(
+        &self,
+        request: Request,
+        deadline: Option<Instant>,
+        notify: Option<std::sync::Arc<dyn Fn() + Send + Sync>>,
+    ) -> Result<crossbeam::channel::Receiver<Response>, Response> {
         let (rtx, rrx) = bounded(1);
         match self.tx.try_send(Job {
             request,
@@ -224,6 +242,7 @@ impl ExplorerClient {
             deadline,
             trace: telemetry::trace::current_context(),
             meter: telemetry::current_meter(),
+            notify,
         }) {
             Ok(()) => Ok(rrx),
             Err(TrySendError::Full(_)) => {

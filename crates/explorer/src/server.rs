@@ -60,6 +60,24 @@ pub(crate) struct Job {
     /// execute time, and everything the handler touches (rows, chunk
     /// cache, WAL) is charged to the originating request.
     pub(crate) meter: Option<telemetry::RequestMeter>,
+    /// Invoked after the reply is sent (even for sheds, panics, and
+    /// expired deadlines). Event-driven callers register a waker here so
+    /// they can park on readiness instead of blocking on the channel.
+    pub(crate) notify: Option<std::sync::Arc<dyn Fn() + Send + Sync>>,
+}
+
+/// Send `response` on `reply` and poke the submitter's waker, if any.
+/// Every dequeued job goes through here so the "answered exactly once,
+/// notified exactly once" contract has a single enforcement point.
+fn send_reply(
+    reply: &Sender<Response>,
+    notify: &Option<std::sync::Arc<dyn Fn() + Send + Sync>>,
+    response: Response,
+) {
+    let _ = reply.send(response);
+    if let Some(notify) = notify {
+        notify();
+    }
 }
 
 /// How one incarnation of a worker loop ended.
@@ -134,6 +152,7 @@ impl AnalysisServer {
                 deadline: None,
                 trace: None,
                 meter: None,
+                notify: None,
             });
         }
         for h in self.workers {
@@ -156,6 +175,7 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
             deadline,
             trace,
             meter,
+            notify,
         } = job;
         // Resume the client's trace on this worker thread: everything
         // below — queue-expiry shedding, the handler, panic recovery —
@@ -176,7 +196,7 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
             telemetry::record("explorer.queue_depth", rx.len() as u64);
         }
         if request == Request::Shutdown {
-            let _ = reply.send(Response::ShuttingDown);
+            send_reply(&reply, &notify, Response::ShuttingDown);
             return WorkerExit::Shutdown;
         }
         // Deadline check happens at dequeue: if the request sat in the
@@ -191,12 +211,16 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
                         .field("where", "queue")
                         .field("queued_ns", submitted.elapsed().as_nanos() as u64),
                 );
-                let _ = reply.send(Response::Failed {
-                    reason: format!(
-                        "deadline expired before a worker picked up the request{trace_tag}"
-                    ),
-                    retryable: true,
-                });
+                send_reply(
+                    &reply,
+                    &notify,
+                    Response::Failed {
+                        reason: format!(
+                            "deadline expired before a worker picked up the request{trace_tag}"
+                        ),
+                        retryable: true,
+                    },
+                );
                 continue;
             }
         }
@@ -219,10 +243,14 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
                         telemetry::Event::new(telemetry::Severity::Warn, "explorer_panic")
                             .field("reason", reason),
                     );
-                    let _ = reply.send(Response::Failed {
-                        reason: format!("analysis worker panicked: {reason}{trace_tag}"),
-                        retryable: false,
-                    });
+                    send_reply(
+                        &reply,
+                        &notify,
+                        Response::Failed {
+                            reason: format!("analysis worker panicked: {reason}{trace_tag}"),
+                            retryable: false,
+                        },
+                    );
                     return WorkerExit::Panicked;
                 }
             };
@@ -243,7 +271,7 @@ fn worker_loop(conn: &Connection, rx: &Receiver<Job>) -> WorkerExit {
             }
             response
         };
-        let _ = reply.send(response);
+        send_reply(&reply, &notify, response);
     }
     WorkerExit::Disconnected
 }

@@ -26,6 +26,7 @@
 //! [`Response::Failed`] with `retryable: true` — the caller sees the
 //! same vocabulary the in-process client uses, never an `io::Error`.
 
+use crate::server::DEFAULT_PIPELINE_WINDOW;
 use crate::stream::{write_all, NetFaultPlan, RealStream, Stream};
 use crate::wire::{parse_header, verify_body, Message, HEADER_LEN, PROTOCOL_VERSION};
 use perfdmf_explorer::{Request, Response, RetryPolicy};
@@ -46,8 +47,14 @@ const DEFAULT_REPLY_WAIT: Duration = Duration::from_secs(10);
 pub struct NetClient {
     addr: SocketAddr,
     tenant: String,
+    /// Session token presented in the handshake. Defaults to
+    /// `PERFDMF_SERVER_TOKEN` so a client process pointed at a
+    /// token-guarded server authenticates without code changes.
+    token: Option<String>,
     policy: RetryPolicy,
     deadline: Option<Duration>,
+    /// Max calls left unanswered on the wire by [`NetClient::pipeline`].
+    window: usize,
     fault: Option<NetFaultPlan>,
     stream: Option<Box<dyn Stream>>,
     /// Server-assigned session id of the current connection (0 = none).
@@ -75,8 +82,10 @@ impl NetClient {
         NetClient {
             addr,
             tenant: tenant.into(),
+            token: std::env::var("PERFDMF_SERVER_TOKEN").ok(),
             policy: RetryPolicy::default(),
             deadline: None,
+            window: DEFAULT_PIPELINE_WINDOW,
             fault: None,
             stream: None,
             session: 0,
@@ -92,6 +101,21 @@ impl NetClient {
     /// Builder: replace the retry policy.
     pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Builder: present `token` in the handshake (overrides the
+    /// `PERFDMF_SERVER_TOKEN` environment default; `None` clears it).
+    pub fn with_token(mut self, token: Option<String>) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Builder: cap how many pipelined calls may be outstanding at once
+    /// (see [`NetClient::pipeline`]). Keep at or below the server's
+    /// window or the excess comes back as typed errors.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
         self
     }
 
@@ -178,6 +202,163 @@ impl NetClient {
         self.run_request(request, Some(key))
     }
 
+    /// Send `requests` pipelined on one connection: up to the client
+    /// window are left outstanding at once, replies are matched to
+    /// requests by seq (the server may answer them out of order), and
+    /// the result lines up index-for-index with the input.
+    ///
+    /// A transport failure tears the connection down and resends only
+    /// the *unanswered* requests on a fresh one, under their original
+    /// idempotency keys — so an effectful request whose reply was lost
+    /// replays the recorded response instead of executing twice, the
+    /// same at-most-once contract as [`NetClient::request`]. Server
+    /// verdicts (including window-overflow errors and overload sheds)
+    /// are returned as-is, never retried here.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Vec<Response> {
+        telemetry::add("netclient.pipelines", 1);
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let mut responses: Vec<Option<Response>> = vec![None; requests.len()];
+        let mut keys: Vec<Option<u64>> = vec![None; requests.len()];
+        for attempt in 0..=self.policy.max_retries {
+            if attempt > 0 {
+                telemetry::add("netclient.retries", 1);
+                self.next_jitter = self.next_jitter.wrapping_add(1);
+                let mut pause = self.policy.delay(attempt - 1, self.next_jitter);
+                if let Some(deadline) = deadline {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    pause = pause.min(remaining);
+                }
+                std::thread::sleep(pause);
+            }
+            match self.pipeline_attempt(requests, &mut keys, &mut responses, deadline) {
+                Ok(()) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => {
+                    telemetry::add("netclient.auth_rejections", 1);
+                    self.disconnect();
+                    let reason = e.to_string();
+                    for slot in responses.iter_mut().filter(|s| s.is_none()) {
+                        *slot = Some(Response::Error(reason.clone()));
+                    }
+                    break;
+                }
+                Err(_) => {
+                    telemetry::add("netclient.transport_errors", 1);
+                    self.disconnect();
+                }
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Response::Failed {
+                    reason: "transport: pipelined request unanswered after retries".into(),
+                    retryable: true,
+                })
+            })
+            .collect()
+    }
+
+    /// One pipelined pass: keep the window full of unanswered requests,
+    /// read replies (any order) until none remain. `Err` means the
+    /// transport failed mid-flight; answered slots keep their verdicts
+    /// and only the rest are retried by [`NetClient::pipeline`].
+    fn pipeline_attempt(
+        &mut self,
+        requests: &[Request],
+        keys: &mut [Option<u64>],
+        responses: &mut [Option<Response>],
+        deadline: Option<Instant>,
+    ) -> std::io::Result<()> {
+        self.ensure_connected()?;
+        let pending: Vec<usize> = (0..requests.len())
+            .filter(|&i| responses[i].is_none())
+            .collect();
+        let mut outstanding: Vec<(u64, usize)> = Vec::new();
+        let mut next = 0usize;
+        let reply_by = deadline
+            .map(|d| d + Duration::from_millis(250))
+            .unwrap_or_else(|| Instant::now() + DEFAULT_REPLY_WAIT);
+        while next < pending.len() || !outstanding.is_empty() {
+            while next < pending.len() && outstanding.len() < self.window {
+                let i = pending[next];
+                next += 1;
+                let key = match keys[i] {
+                    Some(k) => k,
+                    None if requests[i].is_effectful() => {
+                        let k = self.draw_key();
+                        keys[i] = Some(k);
+                        k
+                    }
+                    None => 0,
+                };
+                let deadline_ms = match deadline {
+                    Some(d) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::TimedOut,
+                                "deadline expired before send",
+                            ));
+                        }
+                        remaining.as_millis().min(u128::from(u32::MAX)) as u32
+                    }
+                    None => 0,
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let frame = Message::Call {
+                    seq,
+                    deadline_ms,
+                    idempotency: key,
+                    trace: None,
+                    request: requests[i].clone(),
+                }
+                .to_frame();
+                let stream = self.stream.as_mut().expect("connected");
+                write_all(stream.as_mut(), &frame)?;
+                outstanding.push((seq, i));
+            }
+            let stream = self.stream.as_mut().expect("connected");
+            match read_message(stream.as_mut(), reply_by)? {
+                Some(Message::Reply {
+                    seq,
+                    usage,
+                    response,
+                }) => {
+                    if let Some(pos) = outstanding.iter().position(|&(s, _)| s == seq) {
+                        let (_, i) = outstanding.swap_remove(pos);
+                        self.last_usage = usage;
+                        responses[i] = Some(response);
+                    }
+                    // Unknown seq: a stale reply from an abandoned
+                    // attempt on this connection; skip it.
+                }
+                Some(Message::Goodbye { reason }) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        format!("server goodbye: {reason}"),
+                    ));
+                }
+                Some(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected message while awaiting pipelined replies",
+                    ));
+                }
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "pipelined reply deadline expired",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The retry loop shared by [`NetClient::request`] and
     /// [`NetClient::request_keyed`]. `key` is `None` until the first
     /// attempt resolves it (drawn post-handshake so the space is the
@@ -241,6 +422,12 @@ impl NetClient {
                         return response;
                     }
                     last = response;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => {
+                    telemetry::add("netclient.auth_rejections", 1);
+                    self.disconnect();
+                    telemetry::record_duration("netclient.request_latency_ns", started.elapsed());
+                    return Response::Error(e.to_string());
                 }
                 Err(e) => {
                     telemetry::add("netclient.transport_errors", 1);
@@ -380,6 +567,7 @@ impl NetClient {
             &Message::Hello {
                 protocol: PROTOCOL_VERSION,
                 tenant: self.tenant.clone(),
+                token: self.token.clone(),
             }
             .to_frame(),
         )?;
@@ -397,6 +585,13 @@ impl NetClient {
                 self.stream = Some(stream);
                 Ok(())
             }
+            Some(Message::AuthFailed { reason }) => Err(std::io::Error::new(
+                // PermissionDenied is terminal: the retry loop gives up
+                // immediately — retrying the same bad token cannot help
+                // and would hammer the server's auth-failure path.
+                std::io::ErrorKind::PermissionDenied,
+                format!("authentication rejected: {reason}"),
+            )),
             Some(Message::Goodbye { reason }) => Err(std::io::Error::new(
                 std::io::ErrorKind::ConnectionRefused,
                 format!("server refused session: {reason}"),

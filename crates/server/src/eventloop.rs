@@ -1,0 +1,1662 @@
+//! The event-driven session executor: many connections per thread.
+//!
+//! The thread-per-session executor in [`crate::server`] spends one OS
+//! thread (stack, scheduler slot, context switches) per connection,
+//! which collapses under thousands of mostly-idle sessions — the
+//! classic C10K wall. This module replaces the *session* threads with a
+//! small sharded set of event-loop threads; the analysis worker pool
+//! behind the explorer queue is untouched.
+//!
+//! Architecture:
+//!
+//! ```text
+//! TcpListener ── acceptor ──(round robin)──┬─ executor 0 ─ poll(2) over N sessions
+//!                                          ├─ executor 1 ─ poll(2) over N sessions
+//!                                          └─ executor K ─ poll(2) over N sessions
+//!                                                 │ submit_with_notify
+//!                                                 ▼
+//!                                          ExplorerClient → AnalysisServer workers
+//! ```
+//!
+//! Each accepted socket becomes a nonblocking [`Session`] state machine
+//! (handshake → framed read → dispatch → framed write) parked on
+//! readiness. Dispatch goes through [`ExplorerClient::submit_with_notify`]:
+//! the reply channel is polled with `try_recv`, and a [`WakeHandle`]
+//! (one byte down a socketpair) pokes the loop out of `poll` the moment
+//! a worker finishes — no thread ever blocks on a reply.
+//!
+//! Readiness comes from a minimal [`Reactor`] seam whose production
+//! implementation, [`PollReactor`], calls `poll(2)` directly through a
+//! one-function `extern "C"` declaration — no async runtime, no
+//! polling-crate dependency, and the blocking [`crate::stream::Stream`]
+//! seam (including [`crate::stream::FaultStream`] chaos injection)
+//! stays intact underneath.
+//!
+//! Because sessions are state machines rather than blocked threads,
+//! this executor also serves **pipelined** calls: a client may keep a
+//! bounded window ([`crate::server::ServerConfig::window`]) of seqs
+//! outstanding on one connection; replies are written as executions
+//! complete, matched by seq, possibly out of order. Calls beyond the
+//! window are answered immediately with a typed `Response::Error` so a
+//! runaway client cannot queue unbounded work.
+//!
+//! Every protocol semantic of the threaded executor is preserved:
+//! idempotency admission (replay, park-on-duplicate, at-most-once),
+//! deadline expiry with the same retryable failure text, tracing-v3
+//! span parentage, `RequestMeter` resource accounting, panic artifacts,
+//! and the same telemetry counters in the same situations — the chaos
+//! harness runs its full invariant suite against both executors.
+
+use crate::server::{
+    authenticate, deadline_slack, finish_request, validate, InFlightGuard, PanicArtifact,
+    ReplayEntry, Shared, DUPLICATE_WAIT, POLL_INTERVAL,
+};
+use crate::stream::{write_all, write_available, RealStream, Stream};
+use crate::wire::{
+    parse_header, verify_body, Message, WireError, HEADER_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use perfdmf_explorer::{Request, Response};
+use perfdmf_telemetry as telemetry;
+use perfdmf_telemetry::sessions::{SessionRecord, SessionState};
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many sched_yields the shard spends re-checking completion
+/// channels before parking in the reactor (see the eager-completion
+/// pass in [`run`]).
+const EAGER_SPINS: usize = 4;
+
+// ---------------------------------------------------------------------
+// Reactor: the readiness seam.
+// ---------------------------------------------------------------------
+
+/// One descriptor the reactor should watch, and for what.
+#[derive(Debug, Clone, Copy)]
+pub struct Interest {
+    /// The raw descriptor.
+    pub fd: RawFd,
+    /// Wake when readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when writable.
+    pub write: bool,
+}
+
+/// Readiness facts for one watched descriptor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Readiness {
+    /// Data (or EOF) is available to read.
+    pub readable: bool,
+    /// The socket will accept bytes.
+    pub writable: bool,
+    /// The peer hung up or the descriptor is in an error state.
+    pub hangup: bool,
+}
+
+/// The one operation an event loop needs from the OS: block until any
+/// watched descriptor is ready or the timeout lapses. Narrow by design
+/// so tests can drive the executor with a scripted reactor and
+/// production stays a single `poll(2)` call.
+pub trait Reactor: Send {
+    /// Wait up to `timeout`; returns one [`Readiness`] per `interests`
+    /// slot (all-false on timeout).
+    fn wait(
+        &mut self,
+        interests: &[Interest],
+        timeout: Duration,
+    ) -> std::io::Result<Vec<Readiness>>;
+}
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+unsafe extern "C" {
+    /// Declared directly instead of through a bindings crate: one
+    /// POSIX function is not worth a dependency, and the signature is
+    /// ABI-stable everywhere this server builds.
+    fn poll(
+        fds: *mut PollFd,
+        nfds: core::ffi::c_ulong,
+        timeout: core::ffi::c_int,
+    ) -> core::ffi::c_int;
+}
+
+/// The production [`Reactor`]: `poll(2)` over the interest list.
+/// `poll` (not `epoll`/`kqueue`) keeps it portable across POSIX and
+/// dependency-free; the interest lists here are per-shard (hundreds,
+/// not millions), where poll's O(n) scan is noise next to the syscall.
+pub struct PollReactor {
+    fds: Vec<PollFd>,
+}
+
+impl PollReactor {
+    /// A reactor with an empty scratch buffer.
+    pub fn new() -> PollReactor {
+        PollReactor { fds: Vec::new() }
+    }
+}
+
+impl Default for PollReactor {
+    fn default() -> Self {
+        PollReactor::new()
+    }
+}
+
+impl Reactor for PollReactor {
+    fn wait(
+        &mut self,
+        interests: &[Interest],
+        timeout: Duration,
+    ) -> std::io::Result<Vec<Readiness>> {
+        self.fds.clear();
+        for interest in interests {
+            let mut events = 0i16;
+            if interest.read {
+                events |= POLLIN;
+            }
+            if interest.write {
+                events |= POLLOUT;
+            }
+            self.fds.push(PollFd {
+                fd: interest.fd,
+                events,
+                revents: 0,
+            });
+        }
+        // Round sub-millisecond timeouts *up* so a 200µs deadline wait
+        // does not degenerate into a zero-timeout busy loop.
+        let millis = timeout
+            .as_micros()
+            .div_ceil(1000)
+            .min(core::ffi::c_int::MAX as u128) as core::ffi::c_int;
+        loop {
+            let rc = unsafe {
+                poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as core::ffi::c_ulong,
+                    millis,
+                )
+            };
+            if rc >= 0 {
+                break;
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry. Re-waiting the full timeout slightly
+            // overshoots, which is fine — the loop re-derives every
+            // deadline from the clock each tick anyway.
+        }
+        Ok(self
+            .fds
+            .iter()
+            .map(|p| Readiness {
+                readable: p.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                writable: p.revents & (POLLOUT | POLLERR) != 0,
+                hangup: p.revents & (POLLHUP | POLLERR | POLLNVAL) != 0,
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker: cross-thread "poke the poll loop".
+// ---------------------------------------------------------------------
+
+/// Wakes a parked executor by writing one byte down a nonblocking
+/// socketpair whose read end sits in the executor's interest list.
+/// Cloned (via `Arc`) into every `submit_with_notify` notify closure.
+pub(crate) struct WakeHandle {
+    pipe: UnixStream,
+    /// True while the owning shard is parked (or committing to park)
+    /// in the reactor — see the park gate in [`run`]. `wake` pays the
+    /// pipe-write syscall only when someone may actually be asleep;
+    /// a shard that is awake sweeps every wakeable condition itself
+    /// before it parks, so skipping the byte can never lose a signal.
+    parked: AtomicBool,
+}
+
+impl WakeHandle {
+    fn new(pipe: UnixStream) -> WakeHandle {
+        WakeHandle {
+            pipe,
+            // Conservative until the shard's first park gate: early
+            // wakes write the byte and are drained on the first tick.
+            parked: AtomicBool::new(true),
+        }
+    }
+
+    /// Poke the loop. A full pipe means a wake is already pending,
+    /// which is exactly the desired state — the error is ignored.
+    pub(crate) fn wake(&self) {
+        if self.parked.load(Ordering::SeqCst) {
+            let _ = (&self.pipe).write(&[1u8]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executor handles and intake.
+// ---------------------------------------------------------------------
+
+/// A freshly accepted connection on its way to an executor shard.
+pub(crate) struct NewSession {
+    /// The (possibly fault-wrapped) stream; the underlying socket is
+    /// already nonblocking.
+    pub(crate) stream: Box<dyn Stream>,
+    /// Raw descriptor of the underlying socket, captured before the
+    /// stream was boxed (the [`Stream`] seam deliberately hides it).
+    pub(crate) fd: RawFd,
+}
+
+/// The acceptor's end of one executor shard: a channel plus the waker
+/// that makes the shard notice the delivery.
+pub(crate) struct Intake {
+    tx: Sender<NewSession>,
+    waker: Arc<WakeHandle>,
+}
+
+impl Intake {
+    /// Hand a new connection to the shard and wake it.
+    pub(crate) fn deliver(&self, session: NewSession) {
+        // A send can only fail once the executor has exited, which only
+        // happens during drain — dropping the stream closes the socket,
+        // and the client sees a clean EOF, same as a drain farewell
+        // racing the accept.
+        let _ = self.tx.send(session);
+        self.waker.wake();
+    }
+
+    /// Wake the shard without delivering anything (drain notification).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+/// One spawned executor shard, owned by `PerfdmfServer`.
+pub struct ExecutorHandle {
+    tx: Sender<NewSession>,
+    waker: Arc<WakeHandle>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ExecutorHandle {
+    /// Spawn shard `index` over `shared`.
+    pub(crate) fn spawn(shared: Arc<Shared>, index: usize) -> ExecutorHandle {
+        let (tx, rx) = unbounded::<NewSession>();
+        let (wake_tx, wake_rx) = UnixStream::pair().expect("executor wake socketpair");
+        wake_tx
+            .set_nonblocking(true)
+            .expect("nonblocking wake writer");
+        wake_rx
+            .set_nonblocking(true)
+            .expect("nonblocking wake reader");
+        let waker = Arc::new(WakeHandle::new(wake_tx));
+        let thread = {
+            let waker = waker.clone();
+            std::thread::Builder::new()
+                .name(format!("perfdmf-exec-{index}"))
+                .spawn(move || run(shared, rx, wake_rx, waker))
+                .expect("spawn executor thread")
+        };
+        ExecutorHandle {
+            tx,
+            waker,
+            thread: Some(thread),
+        }
+    }
+
+    /// The acceptor-side delivery handle for this shard.
+    pub(crate) fn intake(&self) -> Intake {
+        Intake {
+            tx: self.tx.clone(),
+            waker: self.waker.clone(),
+        }
+    }
+
+    /// Wake the shard (it re-reads the drain flag) and wait for it to
+    /// finish closing its sessions.
+    pub(crate) fn join(mut self) {
+        self.waker.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop (event-loop mode).
+// ---------------------------------------------------------------------
+
+/// Accept connections and deal them round-robin across the shards.
+/// Mirrors the threaded accept loop's capacity shed, fault-plan
+/// decorrelation, and drain behavior — only the hand-off differs.
+pub(crate) fn accept_loop(listener: TcpListener, shared: Arc<Shared>, intakes: Vec<Intake>) {
+    let mut next = 0usize;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((socket, _peer)) => {
+                // The executor never blocks on this socket; readiness
+                // decides when it is touched.
+                let _ = socket.set_nonblocking(true);
+                let fd = socket.as_raw_fd();
+                let mut stream: Box<dyn Stream> = Box::new(RealStream::new(socket));
+                if let Some(plan) = shared.config.fault.clone() {
+                    // Decorrelate per-connection schedules while keeping
+                    // the whole run a function of the configured seed.
+                    let nth = shared.next_session.load(Ordering::Relaxed);
+                    let mut plan = plan;
+                    plan.seed = plan.seed.wrapping_add(nth.wrapping_mul(0x9E37_79B9));
+                    stream = Box::new(crate::stream::FaultStream::new(stream, plan));
+                }
+                if shared.live_sessions.load(Ordering::Relaxed) >= shared.config.max_sessions {
+                    telemetry::add("server.connection_sheds", 1);
+                    let _ = write_all(
+                        stream.as_mut(),
+                        &Message::Goodbye {
+                            reason: "server at connection capacity".into(),
+                        }
+                        .to_frame(),
+                    );
+                    stream.shutdown();
+                    continue;
+                }
+                shared.live_sessions.fetch_add(1, Ordering::Relaxed);
+                telemetry::add("server.connections", 1);
+                intakes[next % intakes.len()].deliver(NewSession { stream, fd });
+                next += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    // Make every shard notice the drain flag promptly.
+    for intake in &intakes {
+        intake.wake();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-session state machine.
+// ---------------------------------------------------------------------
+
+/// Incremental frame reassembly over a nonblocking stream: the
+/// state-machine form of the threaded executor's `read_frame`.
+struct FrameReader {
+    header: [u8; HEADER_LEN],
+    filled: usize,
+    crc: u32,
+    body: Option<(Vec<u8>, usize)>,
+}
+
+/// What one [`FrameReader::step`] produced.
+enum ReadStep {
+    /// A complete frame body, already length- and checksum-checked.
+    Frame(Vec<u8>),
+    /// No complete frame buffered and the socket would block.
+    Blocked,
+    /// The peer closed cleanly between frames.
+    Eof,
+    /// The peer closed mid-frame (a torn frame).
+    TornEof,
+    /// The frame failed validation (bad magic / oversized / checksum).
+    Wire(WireError),
+    /// The transport failed (reset, ...).
+    Io(std::io::Error),
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader {
+            header: [0u8; HEADER_LEN],
+            filled: 0,
+            crc: 0,
+            body: None,
+        }
+    }
+
+    /// Pull bytes until a complete frame, `WouldBlock`, or failure.
+    /// Sets `*progressed` whenever any bytes arrived, so the caller can
+    /// reset its idle clock exactly like the blocking reader does.
+    fn step(&mut self, stream: &mut dyn Stream, progressed: &mut bool) -> ReadStep {
+        loop {
+            let target: &mut [u8] = match &mut self.body {
+                None => &mut self.header[self.filled..],
+                Some((buf, at)) => &mut buf[*at..],
+            };
+            match stream.read(target) {
+                Ok(0) => {
+                    let mid_frame = self.filled > 0 || self.body.is_some();
+                    return if mid_frame {
+                        ReadStep::TornEof
+                    } else {
+                        ReadStep::Eof
+                    };
+                }
+                Ok(n) => {
+                    *progressed = true;
+                    match &mut self.body {
+                        None => {
+                            self.filled += n;
+                            if self.filled == self.header.len() {
+                                match parse_header(&self.header) {
+                                    Ok((len, declared)) => {
+                                        self.crc = declared;
+                                        if len == 0 {
+                                            self.reset_header();
+                                            match verify_body(declared, &[]) {
+                                                Ok(()) => return ReadStep::Frame(Vec::new()),
+                                                Err(e) => return ReadStep::Wire(e),
+                                            }
+                                        }
+                                        self.body = Some((vec![0u8; len as usize], 0));
+                                    }
+                                    Err(e) => return ReadStep::Wire(e),
+                                }
+                            }
+                        }
+                        Some((buf, at)) => {
+                            *at += n;
+                            if *at == buf.len() {
+                                let (buf, _) = self.body.take().expect("body present");
+                                let crc = self.crc;
+                                self.reset_header();
+                                return match verify_body(crc, &buf) {
+                                    Ok(()) => ReadStep::Frame(buf),
+                                    Err(e) => ReadStep::Wire(e),
+                                };
+                            }
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return ReadStep::Blocked
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return ReadStep::Io(e),
+            }
+        }
+    }
+
+    fn reset_header(&mut self) {
+        self.filled = 0;
+        self.crc = 0;
+    }
+}
+
+/// Identity of one admitted call, threaded through dispatch so the
+/// completion (whenever and wherever it lands) can file the same
+/// accounting row and reply the threaded executor would.
+struct CallCtx {
+    seq: u64,
+    kind: &'static str,
+    deadline_ms: u32,
+    started: Instant,
+    trace_id: Option<u64>,
+}
+
+/// One dispatched call whose reply channel is being polled.
+struct Inflight {
+    ctx: CallCtx,
+    /// Wall-clock expiry, when the call carried a deadline.
+    deadline: Option<Instant>,
+    /// When the explorer accepted the job (latency histogram base).
+    submitted: Instant,
+    rx: Receiver<Response>,
+    guard: Option<InFlightGuard>,
+    meter: telemetry::RequestMeter,
+    /// For orphan accounting after the session is gone.
+    session: u64,
+    tenant: String,
+}
+
+/// A call parked behind a duplicate idempotency key still executing
+/// (possibly submitted by a *different* connection). Re-checked against
+/// the replay cache every tick — the nonblocking analogue of the
+/// threaded executor's condvar wait.
+struct Parked {
+    ctx: CallCtx,
+    key: u64,
+    wait_until: Instant,
+    trace: Option<telemetry::SpanContext>,
+    meter: telemetry::RequestMeter,
+    request: Request,
+}
+
+/// Decoded pieces of one `Call` frame.
+struct CallFrame {
+    seq: u64,
+    deadline_ms: u32,
+    idempotency: u64,
+    trace: Option<telemetry::SpanContext>,
+    request: Request,
+}
+
+/// Lifecycle phase of a session state machine.
+enum Phase {
+    /// Waiting for the Hello frame.
+    Handshake,
+    /// Serving calls.
+    Serving,
+    /// A farewell (or auth rejection) is queued; close once the out
+    /// buffer drains or the linger budget lapses. Nothing further is
+    /// read.
+    Closing { since: Instant },
+}
+
+/// One connection as a state machine.
+struct Session {
+    stream: Box<dyn Stream>,
+    fd: RawFd,
+    phase: Phase,
+    peer_protocol: u32,
+    record: SessionRecord,
+    /// `false` until the handshake succeeds (no registry row exists to
+    /// finalize) and after a session panic (the threaded executor's
+    /// panicked sessions never write a closing upsert either).
+    record_on_close: bool,
+    started: Instant,
+    last_progress: Instant,
+    reader: FrameReader,
+    outbuf: Vec<u8>,
+    inflight: Vec<Inflight>,
+    parked: Vec<Parked>,
+    window: usize,
+    close_reason: Option<String>,
+    dead: bool,
+}
+
+impl Session {
+    fn new(new: NewSession, window: usize, now: Instant) -> Session {
+        Session {
+            stream: new.stream,
+            fd: new.fd,
+            phase: Phase::Handshake,
+            peer_protocol: PROTOCOL_VERSION,
+            record: SessionRecord::new(0, ""),
+            record_on_close: false,
+            started: now,
+            last_progress: now,
+            reader: FrameReader::new(),
+            outbuf: Vec::new(),
+            inflight: Vec::new(),
+            parked: Vec::new(),
+            window,
+            close_reason: None,
+            dead: false,
+        }
+    }
+
+    /// Readiness this session currently cares about.
+    fn interest(&self) -> Interest {
+        Interest {
+            fd: self.fd,
+            read: !matches!(self.phase, Phase::Closing { .. }),
+            write: !self.outbuf.is_empty(),
+        }
+    }
+
+    /// The nearest instant at which this session needs the loop to act
+    /// even without I/O readiness (deadline expiry, duplicate-wait
+    /// expiry). Idle and linger budgets ride on the loop's 25ms tick.
+    fn next_deadline(&self) -> Option<Instant> {
+        let inflight = self.inflight.iter().filter_map(|i| i.deadline).min();
+        let parked = self.parked.iter().map(|p| p.wait_until).min();
+        match (inflight, parked) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Queue a `Goodbye` and stop reading; the connection closes once
+    /// the farewell is flushed.
+    fn farewell(&mut self, message: &str, close_reason: String, now: Instant) {
+        self.outbuf.extend_from_slice(
+            &Message::Goodbye {
+                reason: message.into(),
+            }
+            .to_frame(),
+        );
+        self.close_reason.get_or_insert(close_reason);
+        self.phase = Phase::Closing { since: now };
+    }
+
+    /// Per-tick work that is not I/O readiness: reply completions,
+    /// deadline expiry, parked-duplicate resolution, drain/idle
+    /// transitions, and the write flush.
+    fn tick(&mut self, shared: &Arc<Shared>, waker: &Arc<WakeHandle>, now: Instant) {
+        if self.dead {
+            return;
+        }
+        self.poll_completions(shared, now);
+        self.poll_parked(shared, waker, now);
+        let draining = shared.draining.load(Ordering::SeqCst);
+        let quiescent = self.inflight.is_empty() && self.parked.is_empty();
+        match self.phase {
+            Phase::Handshake if draining => {
+                self.farewell("server draining", "server drained".into(), now);
+            }
+            Phase::Serving if draining && quiescent => {
+                self.farewell("server draining", "server drained".into(), now);
+            }
+            Phase::Handshake | Phase::Serving
+                if quiescent && self.last_progress.elapsed() > shared.config.idle_timeout =>
+            {
+                if matches!(self.phase, Phase::Serving) {
+                    telemetry::add("server.idle_closes", 1);
+                    self.farewell("idle timeout", "idle timeout".into(), now);
+                } else {
+                    // A peer that connects and never says Hello is
+                    // filed as a disconnect, like the threaded
+                    // executor's pre-handshake bailout.
+                    telemetry::add("server.disconnects", 1);
+                    self.dead = true;
+                }
+            }
+            _ => {}
+        }
+        self.flush_outbuf();
+        if let Phase::Closing { since } = self.phase {
+            if self.outbuf.is_empty() || since.elapsed() > shared.config.idle_timeout {
+                self.dead = true;
+            }
+        }
+    }
+
+    /// Drain finished (or expired) in-flight calls.
+    fn poll_completions(&mut self, shared: &Arc<Shared>, now: Instant) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            match self.inflight[i].rx.try_recv() {
+                Ok(response) => {
+                    let inf = self.inflight.remove(i);
+                    self.complete(inf, response);
+                }
+                Err(TryRecvError::Disconnected) => {
+                    let inf = self.inflight.remove(i);
+                    self.complete(
+                        inf,
+                        Response::Error("analysis server dropped the request".into()),
+                    );
+                }
+                Err(TryRecvError::Empty) => {
+                    if self.inflight[i].deadline.is_some_and(|d| now >= d) {
+                        // Same synthesized failure (and counter) the
+                        // blocking `request_with_deadline` produces;
+                        // dropping `rx` discards any late completion.
+                        let inf = self.inflight.remove(i);
+                        let response = synthesize_timeout(&inf.ctx);
+                        self.complete(inf, response);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let _ = shared;
+    }
+
+    /// Account and answer one finished dispatch.
+    fn complete(&mut self, inf: Inflight, response: Response) {
+        let status = finish_request(&mut self.record, &response, inf.submitted);
+        if let Some(guard) = inf.guard {
+            guard.resolve(&response);
+        }
+        let usage = inf.meter.snapshot();
+        self.finish_call(&inf.ctx, usage, response, status);
+    }
+
+    /// Re-check parked duplicates against the replay cache.
+    fn poll_parked(&mut self, shared: &Arc<Shared>, waker: &Arc<WakeHandle>, now: Instant) {
+        enum Action {
+            Replay(Response),
+            Promote,
+            Shed,
+            Expire,
+        }
+        let mut i = 0;
+        while i < self.parked.len() {
+            let action = {
+                let parked = &self.parked[i];
+                let mut cache = shared.replay.lock().unwrap();
+                match cache.entry(parked.key) {
+                    Some(ReplayEntry::Done(response)) => Action::Replay(response.clone()),
+                    None => {
+                        // The original execution was abandoned; this
+                        // retry now runs it, registered under the same
+                        // key before the lock drops.
+                        cache.begin(parked.key);
+                        Action::Promote
+                    }
+                    Some(ReplayEntry::InFlight) => {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            Action::Shed
+                        } else if now >= parked.wait_until {
+                            telemetry::add("server.duplicate_waits_expired", 1);
+                            Action::Expire
+                        } else {
+                            i += 1;
+                            continue;
+                        }
+                    }
+                }
+            };
+            let parked = self.parked.remove(i);
+            match action {
+                Action::Replay(response) => {
+                    telemetry::add("server.idempotent_replays", 1);
+                    self.record.replays += 1;
+                    let usage = parked.meter.snapshot();
+                    self.finish_call(&parked.ctx, usage, response, "replayed");
+                }
+                Action::Shed => {
+                    let usage = parked.meter.snapshot();
+                    self.finish_call(&parked.ctx, usage, Response::ShuttingDown, "shutting_down");
+                }
+                Action::Expire => {
+                    let usage = parked.meter.snapshot();
+                    let response = Response::Failed {
+                        reason: "duplicate request still executing".into(),
+                        retryable: true,
+                    };
+                    self.finish_call(&parked.ctx, usage, response, "failed");
+                }
+                Action::Promote => {
+                    let guard = InFlightGuard::new(shared.clone(), parked.key);
+                    // Re-adopt the call's trace and meter for the
+                    // submission so worker spans and usage attribute to
+                    // the right request, as the blocking wait (which
+                    // held them adopted throughout) did.
+                    let _adopted = parked.trace.map(telemetry::trace::adopt_context);
+                    let _metered = telemetry::adopt_meter(parked.meter.clone());
+                    let deadline = (parked.ctx.deadline_ms > 0)
+                        .then(|| now + Duration::from_millis(u64::from(parked.ctx.deadline_ms)));
+                    let notify = notify_via(waker);
+                    match shared
+                        .explorer
+                        .submit_with_notify(parked.request, deadline, Some(notify))
+                    {
+                        Ok(rx) => self.inflight.push(Inflight {
+                            session: self.record.id,
+                            tenant: self.record.tenant.clone(),
+                            ctx: parked.ctx,
+                            deadline,
+                            submitted: now,
+                            rx,
+                            guard: Some(guard),
+                            meter: parked.meter,
+                        }),
+                        Err(shed) => {
+                            let status = finish_request(&mut self.record, &shed, now);
+                            guard.resolve(&shed);
+                            let usage = parked.meter.snapshot();
+                            self.finish_call(&parked.ctx, usage, shed, status);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// File the accounting row, balance the in-flight bookkeeping, and
+    /// queue the reply frame.
+    fn finish_call(
+        &mut self,
+        ctx: &CallCtx,
+        usage: telemetry::ResourceUsage,
+        response: Response,
+        status: &'static str,
+    ) {
+        let elapsed = ctx.started.elapsed();
+        telemetry::requests::record(telemetry::RequestRecord {
+            seq: 0,
+            trace_id: ctx.trace_id,
+            session: self.record.id,
+            tenant: self.record.tenant.clone(),
+            kind: ctx.kind,
+            status,
+            deadline_slack_ms: deadline_slack(ctx.deadline_ms, elapsed),
+            elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            slow: false,
+            usage,
+        });
+        self.record.requests_inflight = self.record.requests_inflight.saturating_sub(1);
+        if self.record.requests_inflight == 0 {
+            self.record.trace_id = None;
+        }
+        telemetry::sessions::note_request_finished(self.record.id);
+        self.queue_reply(ctx.seq, usage, response);
+    }
+
+    /// Queue a `Reply` frame, downgrading the encoding for v2 peers.
+    fn queue_reply(&mut self, seq: u64, usage: telemetry::ResourceUsage, response: Response) {
+        let usage = (self.peer_protocol >= 3).then_some(usage);
+        self.outbuf.extend_from_slice(
+            &Message::Reply {
+                seq,
+                usage,
+                response,
+            }
+            .to_frame(),
+        );
+    }
+
+    /// Push queued bytes at the socket; park the rest on `WouldBlock`.
+    fn flush_outbuf(&mut self) {
+        if self.outbuf.is_empty() || self.dead {
+            return;
+        }
+        match write_available(self.stream.as_mut(), &mut self.outbuf) {
+            Ok(_) => {
+                self.last_progress = Instant::now();
+            }
+            Err(_) => {
+                if !matches!(self.phase, Phase::Closing { .. }) {
+                    telemetry::add("server.disconnects", 1);
+                    self.close_reason
+                        .get_or_insert_with(|| "transport error: reply write failed".into());
+                }
+                self.dead = true;
+            }
+        }
+    }
+
+    /// Pull frames while the socket has them, dispatching each.
+    fn on_readable(&mut self, shared: &Arc<Shared>, waker: &Arc<WakeHandle>, now: Instant) {
+        loop {
+            if self.dead || matches!(self.phase, Phase::Closing { .. }) {
+                return;
+            }
+            let mut progressed = false;
+            let step = self.reader.step(self.stream.as_mut(), &mut progressed);
+            if progressed {
+                self.last_progress = Instant::now();
+            }
+            match step {
+                ReadStep::Frame(body) => self.on_frame(shared, waker, body, now),
+                ReadStep::Blocked => return,
+                ReadStep::Eof => {
+                    telemetry::add("server.disconnects", 1);
+                    if matches!(self.phase, Phase::Serving) {
+                        self.close_reason.get_or_insert("client closed".into());
+                    }
+                    self.stream.shutdown();
+                    self.dead = true;
+                    return;
+                }
+                ReadStep::TornEof => {
+                    telemetry::add("server.disconnects", 1);
+                    self.close_reason
+                        .get_or_insert("transport error: peer closed mid-frame".into());
+                    self.stream.shutdown();
+                    self.dead = true;
+                    return;
+                }
+                ReadStep::Wire(e) => {
+                    telemetry::add("server.frames_rejected", 1);
+                    if matches!(self.phase, Phase::Serving) {
+                        self.record.protocol_errors += 1;
+                        self.farewell(
+                            &format!("bad frame: {e}"),
+                            format!("protocol error: {e}"),
+                            now,
+                        );
+                    } else {
+                        self.farewell(
+                            &format!("bad hello frame: {e}"),
+                            format!("protocol error: {e}"),
+                            now,
+                        );
+                    }
+                    self.flush_outbuf();
+                    return;
+                }
+                ReadStep::Io(e) => {
+                    telemetry::add("server.disconnects", 1);
+                    self.close_reason
+                        .get_or_insert_with(|| format!("transport error: {e}"));
+                    self.stream.shutdown();
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Dispatch one decoded frame per the current phase.
+    fn on_frame(
+        &mut self,
+        shared: &Arc<Shared>,
+        waker: &Arc<WakeHandle>,
+        body: Vec<u8>,
+        now: Instant,
+    ) {
+        match self.phase {
+            Phase::Handshake => self.on_hello(shared, body, now),
+            Phase::Serving => self.on_call_frame(shared, waker, body, now),
+            Phase::Closing { .. } => {}
+        }
+    }
+
+    /// Handshake: the first frame must be a protocol-compatible,
+    /// (when required) authenticated Hello.
+    fn on_hello(&mut self, shared: &Arc<Shared>, body: Vec<u8>, now: Instant) {
+        match Message::decode(&body) {
+            Ok(Message::Hello {
+                protocol,
+                tenant,
+                token,
+            }) => {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
+                    telemetry::add("server.protocol_errors", 1);
+                    self.farewell(
+                        &format!(
+                            "protocol version {protocol} unsupported \
+                             (want {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                        ),
+                        "protocol error: unsupported version".into(),
+                        now,
+                    );
+                    return;
+                }
+                match authenticate(&shared.config, protocol, &token) {
+                    Ok(authenticated) => {
+                        let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                        self.outbuf.extend_from_slice(
+                            &Message::HelloAck {
+                                session: id,
+                                key_space: id & 0xFFFF_FFFF,
+                            }
+                            .to_frame(),
+                        );
+                        let mut record = SessionRecord::new(id, tenant);
+                        record.authenticated = authenticated;
+                        telemetry::sessions::upsert(record.clone());
+                        self.record = record;
+                        self.record_on_close = true;
+                        self.peer_protocol = protocol;
+                        self.phase = Phase::Serving;
+                    }
+                    Err(rejection) => {
+                        self.outbuf.extend_from_slice(&rejection.to_frame());
+                        self.close_reason
+                            .get_or_insert("authentication failed".into());
+                        self.phase = Phase::Closing { since: now };
+                    }
+                }
+            }
+            Ok(_) => {
+                telemetry::add("server.protocol_errors", 1);
+                self.farewell(
+                    "expected Hello as the first frame",
+                    "protocol error: expected Hello".into(),
+                    now,
+                );
+            }
+            Err(e) => {
+                telemetry::add("server.frames_rejected", 1);
+                self.farewell(
+                    &format!("bad hello frame: {e}"),
+                    format!("protocol error: {e}"),
+                    now,
+                );
+            }
+        }
+        self.flush_outbuf();
+    }
+
+    /// A frame on an established session: Call, Goodbye, or garbage.
+    fn on_call_frame(
+        &mut self,
+        shared: &Arc<Shared>,
+        waker: &Arc<WakeHandle>,
+        body: Vec<u8>,
+        now: Instant,
+    ) {
+        match Message::decode(&body) {
+            Ok(Message::Goodbye { .. }) => {
+                self.close_reason.get_or_insert("client goodbye".into());
+                self.stream.shutdown();
+                self.dead = true;
+            }
+            Ok(Message::Call {
+                seq,
+                deadline_ms,
+                idempotency,
+                trace,
+                request,
+            }) => {
+                if seq <= self.record.last_seq {
+                    telemetry::add("server.protocol_errors", 1);
+                    self.record.protocol_errors += 1;
+                    self.farewell(
+                        &format!("sequence regression: {seq} after {}", self.record.last_seq),
+                        "protocol error: sequence regression".into(),
+                        now,
+                    );
+                    return;
+                }
+                self.begin_call(
+                    shared,
+                    waker,
+                    CallFrame {
+                        seq,
+                        deadline_ms,
+                        idempotency,
+                        trace,
+                        request,
+                    },
+                );
+            }
+            Ok(_) => {
+                telemetry::add("server.protocol_errors", 1);
+                self.record.protocol_errors += 1;
+                self.farewell(
+                    "unexpected message kind",
+                    "protocol error: unexpected message kind".into(),
+                    now,
+                );
+            }
+            Err(e) => {
+                telemetry::add("server.frames_rejected", 1);
+                self.record.protocol_errors += 1;
+                self.farewell(
+                    &format!("bad frame: {e}"),
+                    format!("protocol error: {e}"),
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Admit one call: window check, then the same traced, metered,
+    /// panic-instrumented admission pipeline as the threaded executor's
+    /// `answer`/`dispatch` — except the explorer submission parks an
+    /// [`Inflight`] entry instead of blocking on the reply.
+    fn begin_call(&mut self, shared: &Arc<Shared>, waker: &Arc<WakeHandle>, call: CallFrame) {
+        let CallFrame {
+            seq,
+            deadline_ms,
+            idempotency,
+            trace,
+            request,
+        } = call;
+        self.record.last_seq = seq;
+        let kind = request.kind();
+        let started = Instant::now();
+        if self.inflight.len() + self.parked.len() >= self.window {
+            // The window bounds queued work per connection; rejecting
+            // beyond it is a protocol-visible, typed error the client's
+            // pipeline API surfaces verbatim.
+            telemetry::add("server.window_overflows", 1);
+            telemetry::add("server.requests_rejected", 1);
+            self.record.errors += 1;
+            let ctx = CallCtx {
+                seq,
+                kind,
+                deadline_ms,
+                started,
+                trace_id: trace.map(|c| c.trace.0),
+            };
+            let usage = telemetry::RequestMeter::new().snapshot();
+            let response = Response::Error(format!(
+                "pipelining window of {} outstanding calls exceeded",
+                self.window
+            ));
+            // No in-flight bookkeeping was started for this seq, so
+            // file the row and reply directly.
+            let elapsed = started.elapsed();
+            telemetry::requests::record(telemetry::RequestRecord {
+                seq: 0,
+                trace_id: ctx.trace_id,
+                session: self.record.id,
+                tenant: self.record.tenant.clone(),
+                kind,
+                status: "rejected",
+                deadline_slack_ms: deadline_slack(deadline_ms, elapsed),
+                elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                slow: false,
+                usage,
+            });
+            self.queue_reply(seq, usage, response);
+            return;
+        }
+        self.record.requests_inflight += 1;
+        self.record.trace_id = trace.map(|c| c.trace.0);
+        telemetry::sessions::note_request_started(self.record.id, self.record.trace_id);
+
+        // The traced, metered scope: everything from here to the
+        // explorer hand-off runs under the adopted client context and a
+        // `server.request` span, so worker spans parent correctly and a
+        // session-injected panic leaves the same artifacts as on a
+        // session thread.
+        let _adopted = trace.map(telemetry::trace::adopt_context);
+        let meter = telemetry::RequestMeter::new();
+        let _metered = telemetry::adopt_meter(meter.clone());
+        let mut artifact = PanicArtifact {
+            kind,
+            session: self.record.id,
+            tenant: self.record.tenant.clone(),
+            trace_id: trace.map(|c| c.trace.0),
+            deadline_ms,
+            started,
+            meter: meter.clone(),
+            completed: false,
+        };
+        let _span = telemetry::span("server.request");
+        let trace_id = artifact
+            .trace_id
+            .or_else(|| telemetry::trace::current_trace_id().map(|t| t.0));
+        artifact.trace_id = trace_id;
+        let ctx = CallCtx {
+            seq,
+            kind,
+            deadline_ms,
+            started,
+            trace_id,
+        };
+        if shared.config.allow_fault_injection {
+            if let Request::InjectPanic(message) = &request {
+                if let Some(rest) = message.strip_prefix("session:") {
+                    panic!("injected session panic: {rest}");
+                }
+            }
+        }
+        if let Err(reason) = validate(&request, &shared.config) {
+            telemetry::add("server.requests_rejected", 1);
+            self.record.errors += 1;
+            artifact.completed = true;
+            let usage = meter.snapshot();
+            self.finish_call(&ctx, usage, Response::Error(reason), "rejected");
+            return;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            artifact.completed = true;
+            let usage = meter.snapshot();
+            self.finish_call(&ctx, usage, Response::ShuttingDown, "shutting_down");
+            return;
+        }
+        let mut guard = None;
+        if idempotency != 0 {
+            let wait_until = started
+                + if deadline_ms > 0 {
+                    Duration::from_millis(u64::from(deadline_ms))
+                } else {
+                    DUPLICATE_WAIT
+                };
+            let mut cache = shared.replay.lock().unwrap();
+            match cache.entry(idempotency) {
+                Some(ReplayEntry::Done(response)) => {
+                    let response = response.clone();
+                    drop(cache);
+                    telemetry::add("server.idempotent_replays", 1);
+                    self.record.replays += 1;
+                    artifact.completed = true;
+                    let usage = meter.snapshot();
+                    self.finish_call(&ctx, usage, response, "replayed");
+                    return;
+                }
+                Some(ReplayEntry::InFlight) => {
+                    drop(cache);
+                    // Park: the original execution (possibly on another
+                    // connection) is still running; every tick
+                    // re-checks the cache until it resolves or the wait
+                    // budget lapses.
+                    artifact.completed = true;
+                    self.parked.push(Parked {
+                        ctx,
+                        key: idempotency,
+                        wait_until,
+                        trace,
+                        meter,
+                        request,
+                    });
+                    return;
+                }
+                None => {
+                    cache.begin(idempotency);
+                    guard = Some(InFlightGuard::new(shared.clone(), idempotency));
+                }
+            }
+        }
+        let deadline =
+            (deadline_ms > 0).then(|| started + Duration::from_millis(u64::from(deadline_ms)));
+        let notify = notify_via(waker);
+        match shared
+            .explorer
+            .submit_with_notify(request, deadline, Some(notify))
+        {
+            Ok(rx) => {
+                artifact.completed = true;
+                self.inflight.push(Inflight {
+                    session: self.record.id,
+                    tenant: self.record.tenant.clone(),
+                    ctx,
+                    deadline,
+                    submitted: started,
+                    rx,
+                    guard,
+                    meter,
+                });
+            }
+            Err(shed) => {
+                artifact.completed = true;
+                let status = finish_request(&mut self.record, &shed, started);
+                if let Some(guard) = guard {
+                    guard.resolve(&shed);
+                }
+                let usage = meter.snapshot();
+                self.finish_call(&ctx, usage, shed, status);
+            }
+        }
+    }
+
+    /// A panic escaped this session's tick or I/O dispatch: count it,
+    /// freeze the flight recorder, and close without the final registry
+    /// upsert — exactly what a dying session thread leaves behind.
+    fn panic_close(&mut self) {
+        telemetry::add("server.session_panics", 1);
+        telemetry::trace::fault_dump("session panic");
+        self.record_on_close = false;
+        self.stream.shutdown();
+        self.dead = true;
+    }
+
+    /// Tear down: release the socket, push unfinished dispatches to the
+    /// executor's orphan list (their completions must still resolve
+    /// replay-cache guards), and finalize the registry row.
+    fn finalize(mut self, shared: &Arc<Shared>, orphans: &mut Vec<Inflight>) {
+        self.stream.shutdown();
+        orphans.append(&mut self.inflight);
+        // Parked entries hold no cache guard; dropping them simply
+        // stops the wait, as a dying session thread's condvar wait
+        // would.
+        if self.record_on_close {
+            self.record.state = SessionState::Closed;
+            self.record.connected_ms =
+                self.started.elapsed().as_millis().min(u64::MAX as u128) as u64;
+            self.record.close_reason = Some(
+                self.close_reason
+                    .take()
+                    .unwrap_or_else(|| "connection closed".into()),
+            );
+            telemetry::sessions::upsert(self.record.clone());
+            telemetry::record_duration("server.session_lifetime_ns", self.started.elapsed());
+        }
+        shared.live_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The synthesized deadline failure, bit-compatible with the one the
+/// blocking `request_with_deadline` path produces.
+fn synthesize_timeout(ctx: &CallCtx) -> Response {
+    let deadline = Duration::from_millis(u64::from(ctx.deadline_ms));
+    telemetry::add("explorer.timeouts", 1);
+    telemetry::emit(
+        telemetry::Event::new(telemetry::Severity::Warn, "explorer_timeout")
+            .field("where", "eventloop")
+            .field("deadline_ns", deadline.as_nanos() as u64),
+    );
+    let trace_tag = ctx
+        .trace_id
+        .map(|t| format!(" [trace {t:016x}]"))
+        .unwrap_or_default();
+    Response::Failed {
+        reason: format!("no response within {deadline:?}{trace_tag}"),
+        retryable: true,
+    }
+}
+
+/// Wrap a waker in the `Arc<dyn Fn()>` shape `submit_with_notify` takes.
+fn notify_via(waker: &Arc<WakeHandle>) -> Arc<dyn Fn() + Send + Sync> {
+    let waker = waker.clone();
+    Arc::new(move || waker.wake())
+}
+
+/// Resolve an orphaned completion (session gone before its dispatch
+/// finished): the replay-cache guard and global counters must still see
+/// the outcome so a retry on a *new* connection replays instead of
+/// re-executing. Returns `true` when the orphan is finished.
+fn orphan_tick(orphan: &mut Inflight, now: Instant) -> bool {
+    let outcome = match orphan.rx.try_recv() {
+        Ok(response) => Some(response),
+        Err(TryRecvError::Disconnected) => {
+            // Worker pool gone (shutdown); the guard's drop abandons
+            // the in-flight marker so future retries re-execute.
+            return true;
+        }
+        Err(TryRecvError::Empty) => {
+            if orphan.deadline.is_some_and(|d| now >= d) {
+                Some(synthesize_timeout(&orphan.ctx))
+            } else {
+                None
+            }
+        }
+    };
+    let Some(response) = outcome else {
+        return false;
+    };
+    // `finish_request` against a scratch record: the global counters
+    // and histograms must move exactly as they would have; the
+    // session's registry row is already final.
+    let mut scratch = SessionRecord::new(orphan.session, orphan.tenant.clone());
+    let status = finish_request(&mut scratch, &response, orphan.submitted);
+    if let Some(guard) = orphan.guard.take() {
+        guard.resolve(&response);
+    }
+    let elapsed = orphan.ctx.started.elapsed();
+    telemetry::requests::record(telemetry::RequestRecord {
+        seq: 0,
+        trace_id: orphan.ctx.trace_id,
+        session: orphan.session,
+        tenant: orphan.tenant.clone(),
+        kind: orphan.ctx.kind,
+        status,
+        deadline_slack_ms: deadline_slack(orphan.ctx.deadline_ms, elapsed),
+        elapsed_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        slow: false,
+        usage: orphan.meter.snapshot(),
+    });
+    true
+}
+
+// ---------------------------------------------------------------------
+// The executor loop.
+// ---------------------------------------------------------------------
+
+/// One shard: poll over the wake pipe plus every session's socket;
+/// tick sessions; dispatch readiness; reap the dead.
+fn run(
+    shared: Arc<Shared>,
+    intake: Receiver<NewSession>,
+    wake_rx: UnixStream,
+    waker: Arc<WakeHandle>,
+) {
+    let mut reactor = PollReactor::new();
+    let window = shared.config.resolved_window();
+    let wake_fd = wake_rx.as_raw_fd();
+    let mut wake_scratch = [0u8; 64];
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut orphans: Vec<Inflight> = Vec::new();
+    let mut interests: Vec<Interest> = Vec::new();
+    // Whether the last poll reported the wake pipe readable; pending
+    // bytes must be drained then (level-triggered poll would spin on
+    // them otherwise), and only then — the drain read is a syscall on
+    // the per-request path.
+    let mut drain_wake = true;
+    loop {
+        let now = Instant::now();
+        // Intake: adopt newly accepted connections.
+        while let Ok(new) = intake.try_recv() {
+            sessions.push(Session::new(new, window, now));
+        }
+        if drain_wake {
+            drain_wake = false;
+            loop {
+                match (&wake_rx).read(&mut wake_scratch) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        // Tick every session; a panic (e.g. an injected session panic)
+        // kills only that session, never the shard.
+        for session in &mut sessions {
+            if catch_unwind(AssertUnwindSafe(|| session.tick(&shared, &waker, now))).is_err() {
+                session.panic_close();
+            }
+        }
+        // Orphaned dispatches from closed sessions.
+        orphans.retain_mut(|orphan| !orphan_tick(orphan, now));
+        // Reap the dead.
+        let mut i = 0;
+        while i < sessions.len() {
+            if sessions[i].dead {
+                let session = sessions.swap_remove(i);
+                session.finalize(&shared, &mut orphans);
+            } else {
+                i += 1;
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) && sessions.is_empty() && orphans.is_empty() {
+            // Intake was drained at the top of this iteration; anything
+            // delivered after this check finds a dropped receiver and
+            // the connection closes cleanly.
+            return;
+        }
+        // Eager completions: a dispatched call often finishes within
+        // microseconds (Ping, replay-cache hits), and parking in the
+        // reactor first would tax every such reply with a wake-pipe
+        // round trip — a worker write, a poll(2) wakeup, and a drain
+        // read. Yield to the workers a few times and re-check the
+        // completion channels; park only once the spin comes up dry.
+        // Slow calls cost at most EAGER_SPINS sched_yields here, noise
+        // against their execution time.
+        let mut pending: usize = sessions.iter().map(|s| s.inflight.len()).sum();
+        if pending > 0 {
+            for _ in 0..EAGER_SPINS {
+                std::thread::yield_now();
+                let now = Instant::now();
+                let mut remaining = 0;
+                for session in &mut sessions {
+                    if session.dead || session.inflight.is_empty() {
+                        continue;
+                    }
+                    if catch_unwind(AssertUnwindSafe(|| {
+                        session.poll_completions(&shared, now);
+                        session.flush_outbuf();
+                    }))
+                    .is_err()
+                    {
+                        session.panic_close();
+                        continue;
+                    }
+                    remaining += session.inflight.len();
+                }
+                if remaining < pending {
+                    // Progress: replies are flushed; resume the loop so
+                    // fresh intake and I/O aren't starved by the spin.
+                    break;
+                }
+                pending = remaining;
+            }
+        }
+        // Park gate: advertise the shard as parked, then make one
+        // final non-blocking sweep of everything a wake() signals —
+        // intake deliveries and completion channels. A producer that
+        // loaded `parked == false` is ordered before the store below,
+        // so its message is visible to this sweep; a producer that
+        // sees `true` pays the pipe write and poll(2) returns at once.
+        // Either way nothing actionable slips into the gap, and the
+        // steady path (shard awake, eager spin already flushed the
+        // reply) skips the wake byte, its drain read, and the spurious
+        // poll return entirely. The drain flag is deliberately not
+        // swept: every sleep is capped at POLL_INTERVAL, so a drain
+        // landing mid-gate is noticed one tick later at worst.
+        waker.parked.store(true, Ordering::SeqCst);
+        if !intake.is_empty()
+            || sessions
+                .iter()
+                .any(|s| s.inflight.iter().any(|i| !i.rx.is_empty()))
+            || orphans.iter().any(|o| !o.rx.is_empty())
+        {
+            waker.parked.store(false, Ordering::SeqCst);
+            continue;
+        }
+        // Build the interest list and the poll timeout.
+        interests.clear();
+        interests.push(Interest {
+            fd: wake_fd,
+            read: true,
+            write: false,
+        });
+        let mut timeout = POLL_INTERVAL;
+        for session in &sessions {
+            interests.push(session.interest());
+            if let Some(deadline) = session.next_deadline() {
+                timeout = timeout.min(deadline.saturating_duration_since(now));
+            }
+        }
+        if let Some(deadline) = orphans.iter().filter_map(|o| o.deadline).min() {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+        let waited = reactor.wait(&interests, timeout);
+        waker.parked.store(false, Ordering::SeqCst);
+        let ready = match waited {
+            Ok(ready) => ready,
+            Err(_) => {
+                // A reactor failure (resource exhaustion) must not spin
+                // the shard; back off one tick and retry.
+                std::thread::sleep(POLL_INTERVAL);
+                continue;
+            }
+        };
+        // Dispatch readiness. ready[0] is the wake pipe, drained at the
+        // top of the next iteration.
+        drain_wake = ready.first().is_some_and(|r| r.readable);
+        let now = Instant::now();
+        for (session, readiness) in sessions.iter_mut().zip(ready.iter().skip(1)) {
+            if session.dead {
+                continue;
+            }
+            let io = catch_unwind(AssertUnwindSafe(|| {
+                if readiness.writable {
+                    session.flush_outbuf();
+                }
+                if readiness.readable {
+                    session.on_readable(&shared, &waker, now);
+                }
+                if readiness.hangup && !readiness.readable && !session.dead {
+                    telemetry::add("server.disconnects", 1);
+                    session
+                        .close_reason
+                        .get_or_insert("transport error: hangup".into());
+                    session.dead = true;
+                }
+            }));
+            if io.is_err() {
+                session.panic_close();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_reactor_times_out_then_reports_readable() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut reactor = PollReactor::new();
+        let interests = [Interest {
+            fd: b.as_raw_fd(),
+            read: true,
+            write: false,
+        }];
+        let idle = reactor
+            .wait(&interests, Duration::from_millis(20))
+            .expect("poll");
+        assert!(!idle[0].readable, "nothing written yet");
+        (&a).write_all(&[7u8]).unwrap();
+        let ready = reactor
+            .wait(&interests, Duration::from_millis(200))
+            .expect("poll");
+        assert!(ready[0].readable, "a pending byte must report readable");
+    }
+
+    #[test]
+    fn poll_reactor_reports_writable_and_hangup() {
+        let (a, b) = UnixStream::pair().expect("pair");
+        let mut reactor = PollReactor::new();
+        let writable = reactor
+            .wait(
+                &[Interest {
+                    fd: a.as_raw_fd(),
+                    read: false,
+                    write: true,
+                }],
+                Duration::from_millis(100),
+            )
+            .expect("poll");
+        assert!(writable[0].writable, "fresh socket must accept bytes");
+        drop(b);
+        let hung = reactor
+            .wait(
+                &[Interest {
+                    fd: a.as_raw_fd(),
+                    read: true,
+                    write: false,
+                }],
+                Duration::from_millis(100),
+            )
+            .expect("poll");
+        assert!(
+            hung[0].readable && hung[0].hangup,
+            "peer close must surface as readable EOF + hangup, got {:?}",
+            hung[0]
+        );
+    }
+
+    #[test]
+    fn wake_handle_unblocks_a_parked_wait() {
+        let (wake_tx, wake_rx) = UnixStream::pair().expect("pair");
+        wake_tx.set_nonblocking(true).unwrap();
+        wake_rx.set_nonblocking(true).unwrap();
+        let waker = Arc::new(WakeHandle::new(wake_tx));
+        let poker = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            poker.wake();
+        });
+        let mut reactor = PollReactor::new();
+        let started = Instant::now();
+        let ready = reactor
+            .wait(
+                &[Interest {
+                    fd: wake_rx.as_raw_fd(),
+                    read: true,
+                    write: false,
+                }],
+                Duration::from_secs(5),
+            )
+            .expect("poll");
+        assert!(ready[0].readable, "the wake byte must be readable");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "the wake must cut the 5s timeout short"
+        );
+        handle.join().unwrap();
+        // Repeated wakes while one is pending must not error or block.
+        waker.wake();
+        waker.wake();
+    }
+}

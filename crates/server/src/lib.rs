@@ -16,10 +16,17 @@
 //!   partial reads/writes, mid-frame disconnects, corruption, and
 //!   stalls per a [`NetFaultPlan`] — the network analogue of the
 //!   storage layer's `RealVfs`/`FaultVfs` split.
-//! * [`server`] — [`PerfdmfServer`]: acceptor, per-connection session
-//!   threads (handshake, tenant tag, strictly-increasing sequence
-//!   numbers, idempotency replay cache), graceful drain, and telemetry
-//!   that surfaces in the `perfdmf_sessions` system table.
+//! * [`server`] — [`PerfdmfServer`]: acceptor, per-connection sessions
+//!   (handshake with optional token auth, tenant tag,
+//!   strictly-increasing sequence numbers, idempotency replay cache),
+//!   graceful drain, and telemetry that surfaces in the
+//!   `perfdmf_sessions` system table.
+//! * [`eventloop`] — the default session executor: sharded event-loop
+//!   threads over nonblocking sockets behind a minimal poll(2)
+//!   reactor, so sessions scale as parked state machines rather than
+//!   OS threads, with bounded-window request pipelining. The original
+//!   thread-per-session executor remains one env var away
+//!   (`PERFDMF_SERVER_EXECUTOR=threads`) for differential chaos runs.
 //! * [`client`] — [`NetClient`]: `ExplorerClient` semantics over TCP
 //!   with reconnect-on-failure retries (seed-deterministic backoff
 //!   jitter), idempotency keys so retried writes apply at most once,
@@ -31,12 +38,13 @@
 //! failed within its deadline, and no acknowledged write lost.
 
 pub mod client;
+pub mod eventloop;
 pub mod server;
 pub mod stream;
 pub mod wire;
 
 pub use client::NetClient;
-pub use server::{PerfdmfServer, ServerConfig};
+pub use server::{ExecutorMode, PerfdmfServer, ServerConfig, DEFAULT_PIPELINE_WINDOW};
 pub use stream::{FaultStream, NetFaultPlan, RealStream, Stream};
 pub use wire::{Message, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
 

@@ -1,6 +1,19 @@
 //! The TCP front door: acceptor, per-connection sessions, graceful
 //! drain.
 //!
+//! Two session executors share this module's protocol logic:
+//!
+//! * **`eventloop`** (the default) — a sharded set of event-loop
+//!   threads ([`crate::eventloop`]); each accepted connection becomes a
+//!   nonblocking state machine parked on poll(2) readiness, so ten
+//!   thousand idle sessions cost ten thousand small structs, not ten
+//!   thousand OS threads. This executor also serves *pipelined* calls:
+//!   a bounded window of outstanding seqs per connection, answered out
+//!   of order as they complete.
+//!
+//! * **`threads`** — the original thread-per-session layer below, kept
+//!   for differential chaos runs (`PERFDMF_SERVER_EXECUTOR=threads`):
+//!
 //! ```text
 //! TcpListener ── acceptor thread ──┬── session thread ──┐
 //!                                  ├── session thread ──┼─► ExplorerClient ─► AnalysisServer
@@ -8,13 +21,13 @@
 //!                                                               deadlines, panic isolation)
 //! ```
 //!
-//! Each accepted connection gets one session thread that speaks the
-//! frame protocol ([`crate::wire`]), tracks per-session state (tenant
-//! tag, statement sequence numbers, idempotency replays), and funnels
-//! decoded requests into the explorer's admission control. Every
-//! admission decision the in-process explorer makes — shed on a full
-//! queue, discard past-deadline work, isolate panics — is therefore
-//! made for network clients too, with no second code path.
+//! Either way each session speaks the frame protocol ([`crate::wire`]),
+//! tracks per-session state (tenant tag, statement sequence numbers,
+//! idempotency replays), and funnels decoded requests into the
+//! explorer's admission control. Every admission decision the
+//! in-process explorer makes — shed on a full queue, discard
+//! past-deadline work, isolate panics — is therefore made for network
+//! clients too, with no second code path.
 //!
 //! Failure semantics (see `docs/server.md` for the client's view):
 //!
@@ -46,7 +59,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How often blocked reads wake up to check the drain flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Entries retained by the idempotency replay cache.
 const REPLAY_CACHE_CAPACITY: usize = 4096;
@@ -54,11 +67,43 @@ const REPLAY_CACHE_CAPACITY: usize = 4096;
 /// How long a duplicate request with no deadline waits for the original
 /// execution to finish before giving up with a retryable failure.
 /// Matches the client's default reply wait.
-const DUPLICATE_WAIT: Duration = Duration::from_secs(10);
+pub(crate) const DUPLICATE_WAIT: Duration = Duration::from_secs(10);
+
+/// Default bound on outstanding pipelined calls per session
+/// (overridable via `PERFDMF_SERVER_WINDOW` or
+/// [`ServerConfig::window`]). Calls beyond the window are answered
+/// immediately with a typed `Response::Error` naming the window, so a
+/// runaway client cannot queue unbounded work behind one connection.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 32;
+
+/// Which session executor drives accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// One OS thread per session, blocking reads (the PR 7 design).
+    Threads,
+    /// Sharded event loops over nonblocking sockets (the default):
+    /// sessions are state machines parked on poll(2) readiness, and
+    /// calls may be pipelined within a bounded window.
+    EventLoop,
+}
+
+impl ExecutorMode {
+    /// Resolve from `PERFDMF_SERVER_EXECUTOR` (`threads` | `eventloop`),
+    /// defaulting to [`ExecutorMode::EventLoop`].
+    pub fn from_env() -> ExecutorMode {
+        match std::env::var("PERFDMF_SERVER_EXECUTOR").as_deref() {
+            Ok("threads") => ExecutorMode::Threads,
+            _ => ExecutorMode::EventLoop,
+        }
+    }
+}
 
 /// Tuning knobs for [`PerfdmfServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// Address to bind. The default, `127.0.0.1:0`, picks an ephemeral
+    /// loopback port (tests); the CLI's `serve` command sets a real one.
+    pub addr: SocketAddr,
     /// Analysis worker threads behind the queue.
     pub workers: usize,
     /// Bound on the request queue; submissions beyond it are shed as
@@ -70,6 +115,22 @@ pub struct ServerConfig {
     /// Close sessions that fail to deliver a complete frame for this
     /// long (defense against stalled peers holding threads hostage).
     pub idle_timeout: Duration,
+    /// Which session executor to run. Defaults from
+    /// `PERFDMF_SERVER_EXECUTOR` (eventloop unless told otherwise).
+    pub executor: ExecutorMode,
+    /// Event-loop shards (0 = `PERFDMF_SERVER_EXECUTORS`, falling back
+    /// to the machine's core count). Ignored by the threads executor.
+    pub executors: usize,
+    /// Bound on outstanding pipelined calls per session (0 =
+    /// `PERFDMF_SERVER_WINDOW`, falling back to
+    /// [`DEFAULT_PIPELINE_WINDOW`]). The threads executor reads one
+    /// call at a time, so the window only binds under the event loop.
+    pub window: usize,
+    /// Shared-secret session token. `Some` requires every `Hello` to
+    /// present a matching token (constant-time compare) before any
+    /// request is admitted; mismatches get a typed `AuthFailed`.
+    /// Defaults from `PERFDMF_SERVER_TOKEN` (unset = open).
+    pub token: Option<String>,
     /// Test aid: wrap every **accepted** stream in a
     /// [`crate::stream::FaultStream`] with this plan, so chaos tests
     /// can tear the server side of connections too. `None` in
@@ -86,20 +147,110 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 4,
             queue_capacity: perfdmf_explorer::DEFAULT_QUEUE_CAPACITY,
             max_sessions: 4096,
             idle_timeout: Duration::from_secs(30),
+            executor: ExecutorMode::from_env(),
+            executors: 0,
+            window: 0,
+            token: std::env::var("PERFDMF_SERVER_TOKEN").ok(),
             fault: None,
             allow_fault_injection: false,
         }
     }
 }
 
+impl ServerConfig {
+    /// The resolved event-loop shard count: the explicit setting, else
+    /// `PERFDMF_SERVER_EXECUTORS`, else the core count.
+    pub(crate) fn resolved_executors(&self) -> usize {
+        if self.executors > 0 {
+            return self.executors;
+        }
+        std::env::var("PERFDMF_SERVER_EXECUTORS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
+
+    /// The resolved pipelining window: the explicit setting, else
+    /// `PERFDMF_SERVER_WINDOW`, else [`DEFAULT_PIPELINE_WINDOW`].
+    pub(crate) fn resolved_window(&self) -> usize {
+        if self.window > 0 {
+            return self.window;
+        }
+        std::env::var("PERFDMF_SERVER_WINDOW")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_PIPELINE_WINDOW)
+    }
+}
+
+/// Constant-time byte equality: the comparison touches every byte of
+/// both inputs regardless of where they first differ, so a client
+/// cannot binary-search the token by timing rejections.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = (a.len() ^ b.len()) as u8;
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Check a `Hello`'s token against the configured secret. `Ok(flag)`
+/// admits the session (`flag` = a secret was required and matched);
+/// `Err(message)` is the rejection frame to send before closing —
+/// a typed [`Message::AuthFailed`] to v4 peers, a `Goodbye` to older
+/// peers that cannot decode the new tag.
+pub(crate) fn authenticate(
+    config: &ServerConfig,
+    protocol: u32,
+    token: &Option<String>,
+) -> Result<bool, Box<Message>> {
+    let Some(expected) = &config.token else {
+        // Open server: tokens (if any) are accepted but nothing was
+        // verified, so the session does not count as authenticated.
+        return Ok(false);
+    };
+    let presented = token.as_deref().unwrap_or("");
+    if token.is_some() && constant_time_eq(presented.as_bytes(), expected.as_bytes()) {
+        return Ok(true);
+    }
+    telemetry::add("server.auth_failures", 1);
+    telemetry::emit(
+        telemetry::Event::new(telemetry::Severity::Warn, "auth_failed")
+            .field("presented", u64::from(token.is_some())),
+    );
+    let reason = if token.is_some() {
+        "session token mismatch".to_string()
+    } else {
+        "session token required".to_string()
+    };
+    // Older peers cannot decode the AuthFailed tag; they get a Goodbye
+    // carrying the same reason instead.
+    Err(Box::new(if protocol >= 4 {
+        Message::AuthFailed { reason }
+    } else {
+        Message::Goodbye {
+            reason: format!("authentication failed: {reason}"),
+        }
+    }))
+}
+
 /// One replay-cache slot: either the recorded response of a completed
 /// execution, or a marker that the execution is still running so a
 /// concurrent retry waits for its outcome instead of re-executing.
-enum ReplayEntry {
+pub(crate) enum ReplayEntry {
     /// The keyed request was dispatched and has not completed yet.
     InFlight,
     /// The recorded response of the first successful execution.
@@ -112,7 +263,7 @@ enum ReplayEntry {
 /// marker is inserted **before** dispatch, closing the window where a
 /// retry of a still-executing request would miss the cache and apply
 /// the write twice; eviction never removes in-flight entries.
-struct ReplayCache {
+pub(crate) struct ReplayCache {
     map: HashMap<u64, ReplayEntry>,
     order: VecDeque<u64>,
 }
@@ -125,13 +276,13 @@ impl ReplayCache {
         }
     }
 
-    fn entry(&self, key: u64) -> Option<&ReplayEntry> {
+    pub(crate) fn entry(&self, key: u64) -> Option<&ReplayEntry> {
         self.map.get(&key)
     }
 
     /// Mark `key` as executing. The caller must have checked the key is
     /// absent while holding the same lock.
-    fn begin(&mut self, key: u64) {
+    pub(crate) fn begin(&mut self, key: u64) {
         self.map.insert(key, ReplayEntry::InFlight);
         self.order.push_back(key);
     }
@@ -174,17 +325,18 @@ impl ReplayCache {
     }
 }
 
-/// State shared by the acceptor and every session thread.
-struct Shared {
-    explorer: ExplorerClient,
-    config: ServerConfig,
-    draining: AtomicBool,
-    next_session: AtomicU64,
-    live_sessions: AtomicUsize,
-    replay: Mutex<ReplayCache>,
+/// State shared by the acceptor and every session (thread or
+/// event-loop state machine).
+pub(crate) struct Shared {
+    pub(crate) explorer: ExplorerClient,
+    pub(crate) config: ServerConfig,
+    pub(crate) draining: AtomicBool,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) live_sessions: AtomicUsize,
+    pub(crate) replay: Mutex<ReplayCache>,
     /// Signalled whenever a replay-cache entry completes or is
     /// abandoned, waking sessions parked on an in-flight duplicate.
-    replay_done: Condvar,
+    pub(crate) replay_done: Condvar,
 }
 
 /// A running network server.
@@ -193,6 +345,7 @@ pub struct PerfdmfServer {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    executors: Vec<crate::eventloop::ExecutorHandle>,
     analysis: Option<AnalysisServer>,
 }
 
@@ -203,8 +356,8 @@ impl PerfdmfServer {
         PerfdmfServer::start_with_config(conn, ServerConfig::default())
     }
 
-    /// Bind an ephemeral loopback port and start serving with an
-    /// explicit configuration.
+    /// Bind [`ServerConfig::addr`] and start serving with an explicit
+    /// configuration.
     pub fn start_with_config(
         conn: Connection,
         config: ServerConfig,
@@ -212,9 +365,11 @@ impl PerfdmfServer {
         let analysis =
             AnalysisServer::start_with_capacity(conn, config.workers, config.queue_capacity)?;
         let explorer = ExplorerClient::connect(&analysis);
-        let listener = TcpListener::bind("127.0.0.1:0").map_err(io_to_db)?;
+        let listener = TcpListener::bind(config.addr).map_err(io_to_db)?;
         listener.set_nonblocking(true).map_err(io_to_db)?;
         let addr = listener.local_addr().map_err(io_to_db)?;
+        let executor = config.executor;
+        let shard_count = config.resolved_executors();
         let shared = Arc::new(Shared {
             explorer,
             config,
@@ -225,16 +380,35 @@ impl PerfdmfServer {
             replay_done: Condvar::new(),
         });
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = shared.clone();
-            let sessions = sessions.clone();
-            std::thread::spawn(move || accept_loop(listener, shared, sessions))
+        let (acceptor, executors) = match executor {
+            ExecutorMode::Threads => {
+                let acceptor = {
+                    let shared = shared.clone();
+                    let sessions = sessions.clone();
+                    std::thread::spawn(move || accept_loop(listener, shared, sessions))
+                };
+                (acceptor, Vec::new())
+            }
+            ExecutorMode::EventLoop => {
+                let executors: Vec<crate::eventloop::ExecutorHandle> = (0..shard_count)
+                    .map(|i| crate::eventloop::ExecutorHandle::spawn(shared.clone(), i))
+                    .collect();
+                let intakes: Vec<_> = executors.iter().map(|e| e.intake()).collect();
+                let acceptor = {
+                    let shared = shared.clone();
+                    std::thread::spawn(move || {
+                        crate::eventloop::accept_loop(listener, shared, intakes)
+                    })
+                };
+                (acceptor, executors)
+            }
         };
         Ok(PerfdmfServer {
             addr,
             shared,
             acceptor: Some(acceptor),
             sessions,
+            executors,
             analysis: Some(analysis),
         })
     }
@@ -270,6 +444,9 @@ impl PerfdmfServer {
         for handle in handles {
             let _ = handle.join();
         }
+        for executor in std::mem::take(&mut self.executors) {
+            executor.join();
+        }
         if let Some(analysis) = self.analysis.take() {
             analysis.shutdown();
         }
@@ -290,6 +467,9 @@ impl Drop for PerfdmfServer {
         let handles = std::mem::take(&mut *self.sessions.lock().unwrap());
         for handle in handles {
             let _ = handle.join();
+        }
+        for executor in std::mem::take(&mut self.executors) {
+            executor.join();
         }
         if let Some(analysis) = self.analysis.take() {
             analysis.shutdown();
@@ -353,6 +533,11 @@ fn accept_loop(
                 sessions.push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle tick: reap finished session handles even when no
+                // fresh connection arrives, so a server that goes quiet
+                // after a burst does not hold a handle per past session
+                // until the next accept.
+                sessions.lock().unwrap().retain(|h| !h.is_finished());
                 std::thread::sleep(POLL_INTERVAL);
             }
             Err(_) => std::thread::sleep(POLL_INTERVAL),
@@ -464,7 +649,7 @@ fn farewell(stream: &mut dyn Stream, reason: &str) {
 }
 
 /// Drive one session from handshake to close.
-fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
+fn session_loop(mut stream: Box<dyn Stream>, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let started = Instant::now();
 
@@ -474,7 +659,11 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
     // carry v3-only encodings (the usage-bearing Reply).
     let (record, peer_protocol) = match read_frame(stream.as_mut(), shared) {
         FrameEvent::Frame(body) => match Message::decode(&body) {
-            Ok(Message::Hello { protocol, tenant }) => {
+            Ok(Message::Hello {
+                protocol,
+                tenant,
+                token,
+            }) => {
                 if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
                     telemetry::add("server.protocol_errors", 1);
                     farewell(
@@ -486,6 +675,14 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
                     );
                     return;
                 }
+                let authenticated = match authenticate(&shared.config, protocol, &token) {
+                    Ok(authenticated) => authenticated,
+                    Err(rejection) => {
+                        let _ = write_all(stream.as_mut(), &rejection.to_frame());
+                        stream.shutdown();
+                        return;
+                    }
+                };
                 let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
                 // The key space must be unique server-wide so clients
                 // in different processes can never collide in the
@@ -507,7 +704,8 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
                     telemetry::add("server.disconnects", 1);
                     return;
                 }
-                let record = SessionRecord::new(id, tenant);
+                let mut record = SessionRecord::new(id, tenant);
+                record.authenticated = authenticated;
                 telemetry::sessions::upsert(record.clone());
                 (record, protocol)
             }
@@ -545,7 +743,7 @@ fn session_loop(mut stream: Box<dyn Stream>, shared: &Shared) {
 /// The post-handshake request loop. Returns the close reason.
 fn serve_session(
     stream: &mut dyn Stream,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     record: &mut SessionRecord,
     peer_protocol: u32,
 ) -> String {
@@ -638,7 +836,10 @@ fn serve_session(
                     return "transport error: reply write failed".into();
                 }
             }
-            Message::Hello { .. } | Message::HelloAck { .. } | Message::Reply { .. } => {
+            Message::Hello { .. }
+            | Message::HelloAck { .. }
+            | Message::Reply { .. }
+            | Message::AuthFailed { .. } => {
                 telemetry::add("server.protocol_errors", 1);
                 record.protocol_errors += 1;
                 telemetry::sessions::upsert(record.clone());
@@ -663,7 +864,7 @@ const MAX_STALL_MS: u64 = 60_000;
 
 /// Network-boundary validation: requests that decode fine but carry
 /// values that would capture a worker are rejected before dispatch.
-fn validate(request: &Request, config: &ServerConfig) -> Result<(), String> {
+pub(crate) fn validate(request: &Request, config: &ServerConfig) -> Result<(), String> {
     match request {
         Request::Shutdown => {
             // Shutdown is an in-process control request; over the
@@ -704,17 +905,28 @@ fn validate(request: &Request, config: &ServerConfig) -> Result<(), String> {
 /// reported an outcome (a panic between dispatch and completion, caught
 /// by the session loop's `catch_unwind`). Without this, a stuck
 /// `InFlight` entry would park every future retry of the key forever.
-struct InFlightGuard<'a> {
-    shared: &'a Shared,
+pub(crate) struct InFlightGuard {
+    shared: Arc<Shared>,
     key: u64,
     resolved: bool,
 }
 
-impl InFlightGuard<'_> {
+impl InFlightGuard {
+    /// Register `key` as in flight. The caller must already hold the
+    /// cache decision that the key is fresh (no `Done`/`InFlight`
+    /// entry).
+    pub(crate) fn new(shared: Arc<Shared>, key: u64) -> InFlightGuard {
+        InFlightGuard {
+            shared,
+            key,
+            resolved: false,
+        }
+    }
+
     /// Record the execution's outcome: cache successful responses for
     /// replay, drop the marker for outcomes an honest retry should
     /// re-attempt. Either way, waiters are woken.
-    fn resolve(mut self, response: &Response) {
+    pub(crate) fn resolve(mut self, response: &Response) {
         let cacheable = !matches!(
             response,
             Response::Overloaded
@@ -735,7 +947,7 @@ impl InFlightGuard<'_> {
     }
 }
 
-impl Drop for InFlightGuard<'_> {
+impl Drop for InFlightGuard {
     fn drop(&mut self) {
         if !self.resolved {
             self.shared.replay.lock().unwrap().abandon(self.key);
@@ -752,15 +964,15 @@ impl Drop for InFlightGuard<'_> {
 /// `status = "panic"` and freezes the flight recorder. Declared
 /// *before* the `server.request` span guard so the span publishes its
 /// record first and the dump captures it.
-struct PanicArtifact {
-    kind: &'static str,
-    session: u64,
-    tenant: String,
-    trace_id: Option<u64>,
-    deadline_ms: u32,
-    started: Instant,
-    meter: telemetry::RequestMeter,
-    completed: bool,
+pub(crate) struct PanicArtifact {
+    pub(crate) kind: &'static str,
+    pub(crate) session: u64,
+    pub(crate) tenant: String,
+    pub(crate) trace_id: Option<u64>,
+    pub(crate) deadline_ms: u32,
+    pub(crate) started: Instant,
+    pub(crate) meter: telemetry::RequestMeter,
+    pub(crate) completed: bool,
 }
 
 impl Drop for PanicArtifact {
@@ -796,7 +1008,7 @@ impl Drop for PanicArtifact {
 
 /// Milliseconds of deadline left when the reply was formed (negative =
 /// the deadline was exceeded); `None` for calls without a deadline.
-fn deadline_slack(deadline_ms: u32, elapsed: Duration) -> Option<i64> {
+pub(crate) fn deadline_slack(deadline_ms: u32, elapsed: Duration) -> Option<i64> {
     (deadline_ms > 0)
         .then(|| i64::from(deadline_ms) - (elapsed.as_millis().min(i64::MAX as u128) as i64))
 }
@@ -810,7 +1022,7 @@ fn deadline_slack(deadline_ms: u32, elapsed: Duration) -> Option<i64> {
 /// is adopted for the duration, and the finished request is recorded in
 /// the bounded accounting ring behind `perfdmf_requests`.
 fn answer(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     record: &mut SessionRecord,
     deadline_ms: u32,
     idempotency: u64,
@@ -878,7 +1090,7 @@ fn answer(
 /// executing waits for its outcome (bounded by the retry's own
 /// deadline) instead of executing the write a second time.
 fn dispatch(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     record: &mut SessionRecord,
     deadline_ms: u32,
     idempotency: u64,
@@ -935,11 +1147,7 @@ fn dispatch(
                 }
             }
         }
-        Some(InFlightGuard {
-            shared,
-            key: idempotency,
-            resolved: false,
-        })
+        Some(InFlightGuard::new(shared.clone(), idempotency))
     } else {
         None
     };
@@ -951,10 +1159,26 @@ fn dispatch(
     } else {
         shared.explorer.request(request)
     };
+    let status = finish_request(record, &response, submitted);
+    if let Some(guard) = guard {
+        guard.resolve(&response);
+    }
+    (response, status)
+}
+
+/// Account a completed dispatch: the shared counters, the per-session
+/// tallies, and the status label the accounting ring files the request
+/// under. Used by both executors so the counter deltas chaos tests
+/// assert on are identical in either mode.
+pub(crate) fn finish_request(
+    record: &mut SessionRecord,
+    response: &Response,
+    submitted: Instant,
+) -> &'static str {
     telemetry::add("server.requests", 1);
     telemetry::record_duration("server.request_latency_ns", submitted.elapsed());
     record.requests += 1;
-    match &response {
+    match response {
         Response::Overloaded => {
             telemetry::add("server.sheds", 1);
             record.sheds += 1;
@@ -965,17 +1189,13 @@ fn dispatch(
         }
         _ => {}
     }
-    if let Some(guard) = guard {
-        guard.resolve(&response);
-    }
-    let status = match &response {
+    match response {
         Response::Overloaded => "overloaded",
         Response::Error(_) => "error",
         Response::Failed { .. } => "failed",
         Response::ShuttingDown => "shutting_down",
         _ => "ok",
-    };
-    (response, status)
+    }
 }
 
 #[cfg(test)]

@@ -304,6 +304,43 @@ pub fn write_all(stream: &mut dyn Stream, mut buf: &[u8]) -> std::io::Result<()>
     stream.flush()
 }
 
+/// Drain as much of `buf` as the stream will take *right now*, removing
+/// the written prefix from the front. Returns `true` when the buffer
+/// emptied (and the stream was flushed), `false` when the stream
+/// reported `WouldBlock` with bytes still pending — the event-loop
+/// executor's write path: park the remainder and retry on writability.
+/// `Ok(0)` from a would-block-capable stream is treated as `WriteZero`
+/// like [`write_all`] does.
+pub fn write_available(stream: &mut dyn Stream, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+    let mut written = 0;
+    let done = loop {
+        if written == buf.len() {
+            break true;
+        }
+        match stream.write(&buf[written..]) {
+            Ok(0) => {
+                buf.drain(..written);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "stream accepted no bytes",
+                ));
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+            Err(e) => {
+                buf.drain(..written);
+                return Err(e);
+            }
+        }
+    };
+    buf.drain(..written);
+    if done {
+        stream.flush()?;
+    }
+    Ok(done)
+}
+
 /// Fill the whole buffer through partial-read-returning streams.
 /// `Ok(false)` reports a clean end-of-stream **before the first byte**;
 /// EOF mid-buffer is an `UnexpectedEof` error (a torn frame).
@@ -415,6 +452,59 @@ mod tests {
         assert!(read_exact(&mut reader, &mut got).unwrap());
         let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
         assert!(flipped >= 1, "at least one write must have been corrupted");
+    }
+
+    /// A pipe whose write side accepts a bounded number of bytes per
+    /// "tick" and then reports `WouldBlock`, like a full socket buffer.
+    struct Throttled {
+        inner: Pipe,
+        budget: usize,
+    }
+
+    impl Stream for Throttled {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read(buf)
+        }
+
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.budget == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "send buffer full",
+                ));
+            }
+            let n = buf.len().min(self.budget);
+            self.budget -= n;
+            self.inner.write(&buf[..n])
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.inner.flush()
+        }
+
+        fn shutdown(&mut self) {}
+
+        fn set_read_timeout(&mut self, _t: Option<Duration>) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_available_parks_on_would_block_and_resumes() {
+        let (w, mut r) = pipe();
+        let mut throttled = Throttled {
+            inner: w,
+            budget: 5,
+        };
+        let mut pending: Vec<u8> = (0u8..12).collect();
+        assert!(!write_available(&mut throttled, &mut pending).unwrap());
+        assert_eq!(pending.len(), 7, "unwritten suffix stays queued");
+        throttled.budget = 100; // "socket drained" — writable again
+        assert!(write_available(&mut throttled, &mut pending).unwrap());
+        assert!(pending.is_empty());
+        let mut got = vec![0u8; 12];
+        assert!(read_exact(&mut r, &mut got).unwrap());
+        assert_eq!(got, (0u8..12).collect::<Vec<u8>>());
     }
 
     #[test]

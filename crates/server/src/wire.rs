@@ -37,6 +37,18 @@
 //! sends tag 6. The trace context rides *inside* the CRC-protected
 //! body, so a corrupted trace id is caught at the frame boundary like
 //! any other field.
+//!
+//! **Version 4** adds session authentication and request pipelining,
+//! again additively. A `Hello` *may* carry a shared-secret token under
+//! a new tag (7); a token-less `Hello` still encodes under tag 0,
+//! bit-identical to earlier versions. A server that rejects the token
+//! answers with a typed [`Message::AuthFailed`] (tag 8) before any
+//! request is admitted. Pipelining required no new frames at all:
+//! `Call` already carries a per-session `seq` and every `Reply` echoes
+//! it, so a client may keep a bounded window of calls outstanding and
+//! match replies out of order; the server bounds the window
+//! (`PERFDMF_SERVER_WINDOW`) and answers overflow calls with a typed
+//! `Response::Error` naming the window.
 
 use perfdmf_explorer::{ClusterMethod, ClusterSummary, FeatureSpace, Request, Response};
 use perfdmf_telemetry::{ResourceUsage, SpanContext, SpanId, TraceId};
@@ -57,12 +69,15 @@ pub const MAX_FRAME_LEN: u32 = 8 * 1024 * 1024;
 /// server-assigned `key_space` field to [`Message::HelloAck`] and the
 /// body CRC-32 to the frame header; version 3 added optional trace
 /// context on [`Message::Call`] and optional [`ResourceUsage`] on
-/// [`Message::Reply`] (see the module docs for the compat scheme).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// [`Message::Reply`]; version 4 added the optional auth token on
+/// [`Message::Hello`], the typed [`Message::AuthFailed`] rejection, and
+/// pipelined (out-of-order) replies (see the module docs for the compat
+/// scheme).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest protocol version the server still accepts in a handshake.
-/// Version 2 peers never send trace context and are never sent
-/// resource usage; everything else is identical.
+/// Version 2 peers never send trace context or auth tokens and are
+/// never sent resource usage; everything else is identical.
 pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
@@ -184,6 +199,11 @@ pub enum Message {
         /// Tenant tag attached to the session (multi-tenant accounting;
         /// surfaces in the `perfdmf_sessions` system table).
         tenant: String,
+        /// Shared-secret session token (v4; `None` from older peers or
+        /// when the deployment runs open). Compared in constant time
+        /// against `PERFDMF_SERVER_TOKEN` before any request is
+        /// admitted.
+        token: Option<String>,
     },
     /// Server → client handshake acknowledgement.
     HelloAck {
@@ -230,6 +250,13 @@ pub enum Message {
     /// cleanly. Carries a human-readable reason.
     Goodbye {
         /// Why the connection is closing.
+        reason: String,
+    },
+    /// Server → client (v4): the `Hello` token was rejected. Sent
+    /// instead of `HelloAck`, after which the server closes the
+    /// connection; no request was admitted.
+    AuthFailed {
+        /// Why authentication failed (never echoes the token).
         reason: String,
     },
 }
@@ -861,10 +888,20 @@ impl Message {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
-            Message::Hello { protocol, tenant } => {
-                w.u8(0);
+            Message::Hello {
+                protocol,
+                tenant,
+                token,
+            } => {
+                match token {
+                    None => w.u8(0),
+                    Some(_) => w.u8(7),
+                }
                 w.u32(*protocol);
                 w.str(tenant);
+                if let Some(token) = token {
+                    w.str(token);
+                }
             }
             Message::HelloAck { session, key_space } => {
                 w.u8(1);
@@ -910,6 +947,10 @@ impl Message {
                 w.u8(4);
                 w.str(reason);
             }
+            Message::AuthFailed { reason } => {
+                w.u8(8);
+                w.str(reason);
+            }
         }
         w.buf
     }
@@ -922,6 +963,7 @@ impl Message {
             0 => Message::Hello {
                 protocol: r.u32("Hello protocol")?,
                 tenant: r.str("Hello tenant")?,
+                token: None,
             },
             1 => Message::HelloAck {
                 session: r.u64("HelloAck session")?,
@@ -957,6 +999,14 @@ impl Message {
                 usage: Some(decode_usage(&mut r)?),
                 seq: r.u64("Reply seq")?,
                 response: decode_response(&mut r)?,
+            },
+            7 => Message::Hello {
+                protocol: r.u32("Hello protocol")?,
+                tenant: r.str("Hello tenant")?,
+                token: Some(r.str("Hello token")?),
+            },
+            8 => Message::AuthFailed {
+                reason: r.str("AuthFailed reason")?,
             },
             tag => {
                 return Err(WireError::UnknownTag {
@@ -1027,6 +1077,12 @@ mod tests {
         roundtrip(Message::Hello {
             protocol: PROTOCOL_VERSION,
             tenant: "acme/ci".into(),
+            token: None,
+        });
+        roundtrip(Message::Hello {
+            protocol: PROTOCOL_VERSION,
+            tenant: "acme/ci".into(),
+            token: Some("s3cret".into()),
         });
         roundtrip(Message::HelloAck {
             session: 42,
@@ -1035,6 +1091,28 @@ mod tests {
         roundtrip(Message::Goodbye {
             reason: "drain".into(),
         });
+        roundtrip(Message::AuthFailed {
+            reason: "token mismatch".into(),
+        });
+    }
+
+    #[test]
+    fn tokenless_hello_encodes_bit_identical_to_v2() {
+        // Same compat contract as the traceless Call: `token: None`
+        // must produce the exact byte layout older peers emit — tag 0,
+        // protocol, tenant — so a v4 client running open (no token)
+        // is indistinguishable on the wire from a v2/v3 client.
+        let body = Message::Hello {
+            protocol: 2,
+            tenant: "acme".into(),
+            token: None,
+        }
+        .encode();
+        let mut v2 = vec![0u8];
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&4u32.to_le_bytes());
+        v2.extend_from_slice(b"acme");
+        assert_eq!(body, v2);
     }
 
     #[test]

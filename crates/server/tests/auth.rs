@@ -1,0 +1,154 @@
+//! Shared-secret session authentication at the front door.
+//!
+//! When a server is configured with a token, every handshake must
+//! present it: a match grants an authenticated session (visible in the
+//! `perfdmf_sessions` system table), a mismatch or absence is rejected
+//! with a typed `AuthFailed` before any session state is created, and
+//! the client gives up immediately — re-presenting the same bad token
+//! can never succeed, so retrying would only hammer the server.
+
+use perfdmf_core::DatabaseSession;
+use perfdmf_db::Connection;
+use perfdmf_explorer::Response;
+use perfdmf_server::{NetClient, PerfdmfServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+fn open_database() -> Connection {
+    let conn = Connection::open_in_memory();
+    let _session = DatabaseSession::new(conn.clone()).expect("schema");
+    conn
+}
+
+fn guarded_server(conn: Connection) -> PerfdmfServer {
+    PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 2,
+            token: Some("sesame".into()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start")
+}
+
+fn counter(name: &str) -> u64 {
+    perfdmf_telemetry::snapshot()
+        .counter(name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+#[test]
+fn right_token_authenticates_and_marks_the_session() {
+    let conn = open_database();
+    let server = guarded_server(conn.clone());
+    let mut client = NetClient::new(server.addr(), "auth-good").with_token(Some("sesame".into()));
+    assert!(client.ping(), "the right token must be admitted");
+    let session = client.session();
+    client.close();
+
+    // The registry row claims authentication — and so does the
+    // `perfdmf_sessions` system table the registry backs.
+    let record = perfdmf_telemetry::sessions::log()
+        .into_iter()
+        .find(|r| r.id == session)
+        .expect("session record");
+    assert!(record.authenticated, "verified token must mark the record");
+    match conn
+        .execute(
+            &format!("SELECT authenticated FROM perfdmf_sessions WHERE id = {session}"),
+            &[],
+        )
+        .expect("query sessions table")
+    {
+        perfdmf_db::Outcome::Rows(rs) => {
+            assert_eq!(rs.rows[0][0].as_int(), Some(1), "authenticated column");
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn wrong_token_is_rejected_without_retries() {
+    let conn = open_database();
+    let server = guarded_server(conn);
+    let failures_before = counter("server.auth_failures");
+    let retries_before = counter("netclient.retries");
+
+    let mut client = NetClient::new(server.addr(), "auth-bad").with_token(Some("swordfish".into()));
+    let started = Instant::now();
+    let response = client.request(perfdmf_explorer::Request::Ping);
+    let elapsed = started.elapsed();
+    match response {
+        Response::Error(reason) => assert!(
+            reason.contains("authentication rejected") && reason.contains("mismatch"),
+            "got: {reason}"
+        ),
+        other => panic!("expected a terminal auth error, got {other:?}"),
+    }
+    // Terminal means terminal: no backoff retries burned on a
+    // credential that cannot start working.
+    assert_eq!(
+        counter("netclient.retries"),
+        retries_before,
+        "auth rejection must not be retried"
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "rejection must be immediate, took {elapsed:?}"
+    );
+    assert!(
+        counter("server.auth_failures") > failures_before,
+        "the failure must be counted server-side"
+    );
+    // No session record exists for the rejected handshake.
+    assert!(
+        !perfdmf_telemetry::sessions::log()
+            .iter()
+            .any(|r| r.tenant == "auth-bad"),
+        "a rejected handshake must not create a session record"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn missing_token_is_rejected_when_required() {
+    let conn = open_database();
+    let server = guarded_server(conn);
+    let mut client = NetClient::new(server.addr(), "auth-none").with_token(None);
+    match client.request(perfdmf_explorer::Request::Ping) {
+        Response::Error(reason) => assert!(reason.contains("required"), "got: {reason}"),
+        other => panic!("expected a terminal auth error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn open_server_admits_but_does_not_claim_authentication() {
+    let conn = open_database();
+    let server = PerfdmfServer::start_with_config(
+        conn,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    // Even a client that volunteers a token is admitted — but nothing
+    // was verified, so the session must not claim authentication.
+    let mut client =
+        NetClient::new(server.addr(), "auth-open").with_token(Some("unchecked".into()));
+    assert!(client.ping());
+    let session = client.session();
+    client.close();
+    let record = perfdmf_telemetry::sessions::log()
+        .into_iter()
+        .find(|r| r.id == session)
+        .expect("session record");
+    assert!(
+        !record.authenticated,
+        "an open server verifies nothing and must claim nothing"
+    );
+    server.shutdown();
+}

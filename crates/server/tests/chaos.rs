@@ -32,7 +32,7 @@ use perfdmf_core::DatabaseSession;
 use perfdmf_db::Connection;
 use perfdmf_explorer::{ClusterMethod, FeatureSpace, Request, Response, RetryPolicy};
 use perfdmf_profile::{IntervalData, IntervalEvent, Metric, Profile, ThreadId};
-use perfdmf_server::{NetClient, NetFaultPlan, PerfdmfServer, ServerConfig};
+use perfdmf_server::{ExecutorMode, NetClient, NetFaultPlan, PerfdmfServer, ServerConfig};
 use std::time::{Duration, Instant};
 
 /// Fixed chaos seeds every run must survive.
@@ -195,14 +195,18 @@ fn storm_client(addr: std::net::SocketAddr, seed: u64, client: usize, trial: i64
     report
 }
 
-/// Run one full storm for `seed` and check every invariant.
-fn run_storm(seed: u64) {
+/// Run one full storm for `seed` on `executor` and check every
+/// invariant. The same seeds run on both executors (the chaos matrix):
+/// any invariant the threaded executor upholds under a fault schedule,
+/// the event loop must uphold under the identical schedule.
+fn run_storm(seed: u64, executor: ExecutorMode) {
     let (conn, trial) = seeded_database();
     let server = PerfdmfServer::start_with_config(
         conn.clone(),
         ServerConfig {
             workers: 3,
             queue_capacity: 16,
+            executor,
             ..ServerConfig::default()
         },
     )
@@ -238,7 +242,8 @@ fn run_storm(seed: u64) {
     let total_failures: usize = reports.iter().map(|r| r.failures).sum();
     let slowest = reports.iter().map(|r| r.slowest).max().unwrap_or_default();
     eprintln!(
-        "chaos seed {seed}: {} acked writes, {} clean failures, slowest request {slowest:?}",
+        "chaos seed {seed} ({executor:?}): {} acked writes, {} clean failures, \
+         slowest request {slowest:?}",
         total_acked, total_failures
     );
 
@@ -284,7 +289,15 @@ fn run_storm(seed: u64) {
 fn storms_across_fixed_seeds_hold_every_invariant() {
     let _g = telemetry_lock();
     for seed in FIXED_SEEDS {
-        run_storm(seed);
+        run_storm(seed, ExecutorMode::EventLoop);
+    }
+}
+
+#[test]
+fn storms_across_fixed_seeds_hold_every_invariant_on_threads() {
+    let _g = telemetry_lock();
+    for seed in FIXED_SEEDS {
+        run_storm(seed, ExecutorMode::Threads);
     }
 }
 
@@ -292,10 +305,13 @@ fn storms_across_fixed_seeds_hold_every_invariant() {
 fn storm_for_env_seed_holds_every_invariant() {
     // CI passes RUST_SEED=${{ github.run_id }} so every run explores a
     // fresh schedule; locally the test is a no-op unless the var is set.
+    // The fresh schedule runs on both executors — a differential check
+    // with an identical fault plan.
     if let Ok(seed) = std::env::var("RUST_SEED") {
         let seed: u64 = seed.parse().expect("RUST_SEED must be a u64");
         let _g = telemetry_lock();
-        run_storm(seed);
+        run_storm(seed, ExecutorMode::EventLoop);
+        run_storm(seed, ExecutorMode::Threads);
     }
 }
 

@@ -207,8 +207,16 @@ fn arb_usage() -> BoxedStrategy<Option<ResourceUsage>> {
 
 fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
-        (any::<u32>(), arb_name())
-            .prop_map(|(protocol, tenant)| Message::Hello { protocol, tenant }),
+        (
+            any::<u32>(),
+            arb_name(),
+            prop_oneof![Just(None), arb_name().prop_map(Some)]
+        )
+            .prop_map(|(protocol, tenant, token)| Message::Hello {
+                protocol,
+                tenant,
+                token,
+            }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(session, key_space)| Message::HelloAck { session, key_space }),
         (

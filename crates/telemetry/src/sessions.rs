@@ -74,6 +74,10 @@ pub struct SessionRecord {
     pub trace_id: Option<u64>,
     /// Requests currently being served on this session.
     pub requests_inflight: u64,
+    /// Whether the handshake presented a session token the server
+    /// verified. `false` on an open server (no token configured) —
+    /// nothing was checked, so nothing is claimed.
+    pub authenticated: bool,
 }
 
 impl SessionRecord {
@@ -93,6 +97,7 @@ impl SessionRecord {
             close_reason: None,
             trace_id: None,
             requests_inflight: 0,
+            authenticated: false,
         }
     }
 }

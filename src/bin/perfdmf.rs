@@ -10,16 +10,27 @@
 //! perfdmf speedup --db DIR --exp ID --metric NAME          speedup analysis
 //! perfdmf cluster --db DIR --trial ID (--metric M | --event E) [--max-k K]
 //! perfdmf regress --db DIR --exp ID [--threshold 0.10]      regression scan
+//! perfdmf serve   --db DIR --addr HOST:PORT [--workers N]   network server
+//! perfdmf ping    --connect HOST:PORT                       liveness probe
 //! ```
+//!
+//! `cluster` and `regress` also accept `--connect HOST:PORT` instead of
+//! `--db DIR` to run the analysis on a remote `perfdmf serve` instance
+//! over the wire protocol, with the client's reconnect/retry machinery.
 
 use perfdmf::analysis::SpeedupAnalysis;
 use perfdmf::core::{append_derived_metric, DatabaseSession};
 use perfdmf::db::{Connection, Value};
-use perfdmf::explorer::{AnalysisServer, ExplorerClient, Response};
+use perfdmf::explorer::{
+    AnalysisServer, ClusterMethod, ExplorerClient, FeatureSpace, Request, Response,
+};
 use perfdmf::import::{export_xml, load_path};
+use perfdmf::server::{NetClient, PerfdmfServer, ServerConfig};
 use std::collections::HashMap;
+use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +75,26 @@ fn run(args: Vec<String>) -> Result<(), String> {
             .get("db")
             .ok_or("missing --db DIR (the archive directory)")?;
         Connection::open(PathBuf::from(dir)).map_err(|e| e.to_string())
+    };
+    // Analysis requests route either to an in-process worker pool over
+    // --db, or across the wire to a `perfdmf serve` instance named by
+    // --connect — same request, same rendering.
+    let dispatch = |request: Request| -> Result<Response, String> {
+        if let Some(target) = flags.get("connect") {
+            let addr = resolve_addr(target)?;
+            let tenant = flags.get("tenant").cloned().unwrap_or_else(|| "cli".into());
+            let mut client = NetClient::new(addr, tenant);
+            let response = client.request(request);
+            client.close();
+            Ok(response)
+        } else {
+            let conn = open_db()?;
+            let server = AnalysisServer::start(conn, 2).map_err(|e| e.to_string())?;
+            let client = ExplorerClient::connect(&server);
+            let response = client.request(request);
+            server.shutdown();
+            Ok(response)
+        }
     };
     match command.as_str() {
         "import" => {
@@ -213,7 +244,6 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "cluster" => {
-            let conn = open_db()?;
             let trial: i64 = flags
                 .get("trial")
                 .ok_or("cluster: missing --trial ID")?
@@ -224,17 +254,20 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| "cluster: bad --max-k"))
                 .transpose()?
                 .unwrap_or(6);
-            let server = AnalysisServer::start(conn, 2).map_err(|e| e.to_string())?;
-            let client = ExplorerClient::connect(&server);
-            let response = match (flags.get("metric"), flags.get("event")) {
-                (Some(metric), None) => client.cluster(trial, metric, max_k),
-                (None, Some(event)) => client.cluster_counters(trial, event, max_k),
-                _ => {
-                    server.shutdown();
-                    return Err("cluster: pass exactly one of --metric or --event".into());
-                }
+            let features = match (flags.get("metric"), flags.get("event")) {
+                (Some(metric), None) => FeatureSpace::EventsOfMetric(metric.clone()),
+                (None, Some(event)) => FeatureSpace::MetricsOfEvent(event.clone()),
+                _ => return Err("cluster: pass exactly one of --metric or --event".into()),
             };
-            let result = match response {
+            let response = dispatch(Request::ClusterTrial {
+                trial_id: trial,
+                features,
+                k: None,
+                max_k,
+                pca_components: 0,
+                method: ClusterMethod::KMeans,
+            })?;
+            match response {
                 Response::Clustering {
                     k,
                     summaries,
@@ -256,9 +289,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 Response::Error(e) => Err(e),
                 other => Err(format!("unexpected response {other:?}")),
-            };
-            server.shutdown();
-            result
+            }
         }
         "dump" => {
             let conn = open_db()?;
@@ -278,7 +309,6 @@ fn run(args: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "regress" => {
-            let conn = open_db()?;
             let exp: i64 = flags
                 .get("exp")
                 .ok_or("regress: missing --exp ID")?
@@ -289,9 +319,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| "regress: bad --threshold"))
                 .transpose()?
                 .unwrap_or(0.10);
-            let server = AnalysisServer::start(conn, 1).map_err(|e| e.to_string())?;
-            let client = ExplorerClient::connect(&server);
-            let result = match client.regressions(exp, threshold) {
+            let response = dispatch(Request::RegressionScan {
+                experiment_id: exp,
+                threshold,
+            })?;
+            match response {
                 Response::Regressions {
                     findings,
                     pairs_compared,
@@ -314,9 +346,63 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 Response::Error(e) => Err(e),
                 other => Err(format!("unexpected response {other:?}")),
+            }
+        }
+        "ping" => {
+            let target = flags
+                .get("connect")
+                .ok_or("ping: missing --connect HOST:PORT")?;
+            let addr = resolve_addr(target)?;
+            let tenant = flags.get("tenant").cloned().unwrap_or_else(|| "cli".into());
+            let mut client = NetClient::new(addr, tenant);
+            // First ping pays for connect + handshake; time the second
+            // so the printed RTT is the steady-state round trip.
+            if !client.ping() {
+                return Err(format!("ping: no Pong from {target}"));
+            }
+            let started = Instant::now();
+            let alive = client.ping();
+            let rtt = started.elapsed();
+            client.close();
+            if !alive {
+                return Err(format!("ping: no Pong from {target}"));
+            }
+            println!("pong from {target} (session established, rtt {rtt:?})");
+            Ok(())
+        }
+        "serve" => {
+            let conn = open_db()?;
+            // The schema must exist before the analysis layer resolves
+            // its tables.
+            let _session = DatabaseSession::new(conn.clone()).map_err(|e| e.to_string())?;
+            let target = flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:0".into());
+            let addr = resolve_addr(&target)?;
+            let mut config = ServerConfig {
+                addr,
+                ..ServerConfig::default()
             };
+            if let Some(workers) = flags.get("workers") {
+                config.workers = workers.parse().map_err(|_| "serve: bad --workers")?;
+            }
+            let server =
+                PerfdmfServer::start_with_config(conn, config).map_err(|e| e.to_string())?;
+            println!("perfdmf-server listening on {}", server.addr());
+            println!("press Ctrl-D (EOF on stdin) to drain and stop");
+            // Park until stdin closes, then drain gracefully — in-flight
+            // requests finish, new ones get ShuttingDown.
+            let mut sink = String::new();
+            while std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink).is_ok() {
+                if sink.is_empty() {
+                    break;
+                }
+                sink.clear();
+            }
             server.shutdown();
-            result
+            println!("perfdmf-server drained");
+            Ok(())
         }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -324,6 +410,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
+}
+
+/// Resolve `HOST:PORT` to a socket address (first resolution wins).
+fn resolve_addr(target: &str) -> Result<std::net::SocketAddr, String> {
+    target
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {target:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{target:?} resolved to no addresses"))
 }
 
 fn usage() -> String {
@@ -335,9 +430,14 @@ fn usage() -> String {
        export  --db DIR --trial ID [--out FILE]\n\
        derive  --db DIR --trial ID NAME EXPR\n\
        speedup --db DIR --exp ID [--metric NAME]\n\
-       cluster --db DIR --trial ID (--metric M | --event E) [--max-k K]\n\
-       regress --db DIR --exp ID [--threshold 0.10]\n\
+       cluster (--db DIR | --connect HOST:PORT) --trial ID (--metric M | --event E) [--max-k K]\n\
+       regress (--db DIR | --connect HOST:PORT) --exp ID [--threshold 0.10]\n\
+       serve   --db DIR [--addr HOST:PORT] [--workers N]\n\
+       ping    --connect HOST:PORT\n\
        dump    --db DIR --out DIR\n\
-       restore --db DIR --from DIR"
+       restore --db DIR --from DIR\n\
+     serve honors PERFDMF_SERVER_TOKEN (required client token),\n\
+     PERFDMF_SERVER_EXECUTOR (eventloop|threads), PERFDMF_SERVER_EXECUTORS,\n\
+     and PERFDMF_SERVER_WINDOW; clients send PERFDMF_SERVER_TOKEN when set"
         .to_string()
 }
